@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the runners in ``repro.harness.experiments`` / ``repro.harness.ablations``,
+printing the rows the paper reports and asserting the qualitative shape
+(who wins, by roughly what factor, where the crossovers sit).
+
+The experiments are deterministic end-to-end simulations, so one round is
+a measurement, not noise: ``once()`` wraps ``benchmark.pedantic`` with a
+single round to keep the suite's total wall time sane.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

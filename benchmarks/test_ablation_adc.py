@@ -1,0 +1,21 @@
+"""Ablation — µArch ADC resolution/rate design space."""
+
+from repro.harness.ablations import ablation_adc
+
+
+def test_ablation_adc(once):
+    sweep = once(ablation_adc)
+    print()
+    print(sweep.render())
+    by_key = {(r["bits"], r["clock_hz"]): r for r in sweep.rows}
+    # The paper's chosen point — 8 bits at 100 kHz — is safe.
+    assert by_key[(8, 100e3)]["safe"]
+    # A 1 kHz clock (ISR-class) misses the 1 ms pulse minimum at 8+ bits.
+    assert not by_key[(8, 1e3)]["safe"]
+    # At a fast clock, fewer bits mean more conservatism, never unsafety.
+    fast = sorted((r["bits"], r["error_pct"]) for r in sweep.rows
+                  if r["clock_hz"] == 100e3)
+    assert all(err >= prev_err or bits > prev_bits
+               for (prev_bits, prev_err), (bits, err)
+               in zip(fast, fast[1:]))
+    assert all(r["safe"] for r in sweep.rows if r["clock_hz"] == 100e3)

@@ -1,0 +1,20 @@
+"""Ablation — buffer aging: stale Culpeo-PG vs re-profiled Culpeo-R."""
+
+from repro.harness.ablations import ablation_aging
+
+
+def test_ablation_aging(once):
+    sweep = once(ablation_aging)
+    print()
+    print(sweep.render())
+    fresh, *aged = sweep.rows
+    # The compile-time analysis is fine on the part it was profiled on...
+    assert fresh["pg_safe"]
+    # ...but goes unsafe as capacitance fades and ESR doubles (§IV-C),
+    # while re-profiled Culpeo-R stays safe at every stage.
+    assert not aged[-1]["pg_safe"]
+    for row in sweep.rows:
+        assert row["r_safe"]
+    # The requirement itself grows monotonically with age.
+    truths = [row["true"] for row in sweep.rows]
+    assert truths == sorted(truths)

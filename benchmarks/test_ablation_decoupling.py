@@ -1,0 +1,17 @@
+"""Ablation — decoupling capacitance does not fix sustained ESR drop."""
+
+from repro.harness.ablations import ablation_decoupling
+
+
+def test_ablation_decoupling(once):
+    sweep = once(ablation_decoupling)
+    print()
+    print(sweep.render())
+    drops = [row["drop"] for row in sweep.rows]
+    # More decoupling helps monotonically...
+    assert drops == sorted(drops, reverse=True)
+    # ...but even an abnormally large 6.4 mF leaves a drop near 20% of the
+    # operating range under a 50 mA / 100 ms load (paper §II-D).
+    final = sweep.rows[-1]
+    assert final["c_dec"] == 6.4e-3
+    assert final["drop"] / sweep.operating_span > 0.15

@@ -1,0 +1,19 @@
+"""Ablation — where energy-only reasoning breaks as ESR grows."""
+
+from repro.harness.ablations import ablation_esr_sweep
+
+
+def test_ablation_esr_sweep(once):
+    sweep = once(ablation_esr_sweep)
+    print()
+    print(sweep.render())
+    # At tiny ESR (prior work's regime) energy-only estimates are fine;
+    # the crossover to unsafe arrives well below supercapacitor ESR.
+    assert sweep.rows[0]["safe"]
+    assert sweep.crossover_esr is not None
+    assert sweep.crossover_esr <= 1.0
+    # The shortfall grows monotonically with ESR and is dramatic at the
+    # dense-supercap operating point.
+    shortfalls = [row["shortfall"] for row in sweep.rows]
+    assert shortfalls == sorted(shortfalls)
+    assert shortfalls[-1] > 0.2

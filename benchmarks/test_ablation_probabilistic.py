@@ -1,0 +1,41 @@
+"""Ablation — probabilistic completion reasoning (paper §IX future work).
+
+Quantifies the paper's closing argument: an energy-only termination
+checker bounds completion probability far too optimistically, because a
+task "could with all likelihood have enough energy to run and still fail".
+"""
+
+from repro.harness.probabilistic import probability_curve
+from repro.harness.report import TextTable
+from repro.loads.synthetic import uniform_load
+
+GRID = (1.65, 1.70, 1.75, 1.80, 1.90, 2.10)
+
+
+def test_ablation_probabilistic(once):
+    load = uniform_load(0.025, 0.010).trace
+    curve = once(probability_curve, load, GRID, trials=120)
+    table = TextTable(
+        ["V_start (V)", "P(complete) energy-only", "P(complete) true",
+         "optimism gap"],
+        title="Ablation — completion probability under manufacturing/"
+              "aging uncertainty (25 mA / 10 ms)",
+    )
+    for est in curve:
+        table.add_row([
+            f"{est.v_start:.2f}",
+            f"{est.energy_only_probability:.2f}",
+            f"{est.completion_probability:.2f}",
+            f"{est.optimism_gap:+.2f}",
+        ])
+    print()
+    print(table.render())
+    # True probability is monotone in start voltage and reaches certainty.
+    probs = [e.completion_probability for e in curve]
+    assert probs == sorted(probs)
+    assert probs[-1] == 1.0
+    # The energy-only bound is never below the truth, and in the
+    # transition region it overstates completion by a wide margin.
+    for est in curve:
+        assert est.energy_only_probability >= est.completion_probability
+    assert max(e.optimism_gap for e in curve) > 0.5

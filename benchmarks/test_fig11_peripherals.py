@@ -1,0 +1,23 @@
+"""Figure 11 — real peripherals from each method's V_safe."""
+
+from repro.harness.experiments import fig11_peripherals
+
+PERIPHERALS = ("Gesture", "BLE", "MNIST")
+
+
+def test_fig11_peripherals(once):
+    result = once(fig11_peripherals)
+    print()
+    print(result.render())
+    # Energy-V and CatNap start the peripherals at voltages that cross
+    # V_off; both Culpeo versions complete on all three.
+    for peripheral in PERIPHERALS:
+        assert not result.safe("Energy-V", peripheral)
+        assert not result.safe("Catnap-Measured", peripheral)
+        assert result.safe("Culpeo-PG", peripheral)
+        assert result.safe("Culpeo-ISR", peripheral)
+    # Culpeo-R's accuracy claim: its runs never leave V_min above 1.7 V
+    # (tight), yet never below V_off (safe).
+    for row in result.rows:
+        if row["method"] == "Culpeo-ISR":
+            assert 1.6 <= row["v_min"] <= 1.7

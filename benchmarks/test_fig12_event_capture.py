@@ -1,0 +1,19 @@
+"""Figure 12 — application event capture: CatNap vs Culpeo."""
+
+from repro.harness.experiments import fig12_event_capture
+
+
+def test_fig12_event_capture(once):
+    result = once(fig12_event_capture, trials=3)
+    print()
+    print(result.render())
+    series = ("Periodic Sensing", "Responsive Reporting",
+              "Noise Monitor Mic", "Noise Monitor BLE")
+    # Culpeo eliminates the vast majority of CatNap's missed events.
+    for s in series:
+        assert result.capture(s, "culpeo") >= result.capture(s, "catnap")
+        assert result.capture(s, "culpeo") >= 90.0
+    # CatNap loses a large share everywhere; RR is its worst case.
+    for s in series:
+        assert result.capture(s, "catnap") <= 75.0
+    assert result.capture("Responsive Reporting", "catnap") <= 30.0

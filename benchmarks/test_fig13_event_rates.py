@@ -1,0 +1,24 @@
+"""Figure 13 — event capture vs inter-arrival rate for PS and RR."""
+
+from repro.harness.experiments import fig13_event_rates
+
+
+def test_fig13_event_rates(once):
+    result = once(fig13_event_rates, trials=3)
+    print()
+    print(result.render())
+    for app in ("PS", "RR"):
+        # Culpeo: near-ideal capture at achievable and slow rates...
+        assert result.capture(app, "culpeo", "slow") >= 95.0
+        assert result.capture(app, "culpeo", "achievable") >= 95.0
+        # ...and degradation only when the rate outruns the energy income.
+        assert result.capture(app, "culpeo", "too fast") <= \
+            result.capture(app, "culpeo", "achievable")
+        # CatNap sees little or inverted benefit from slowing down: more
+        # idle time just lets background work drain the buffer further.
+        assert result.capture(app, "catnap", "slow") <= \
+            result.capture(app, "catnap", "too fast") + 15.0
+        # And CatNap never approaches Culpeo at any rate.
+        for rate in ("slow", "achievable", "too fast"):
+            assert result.capture(app, "catnap", rate) < \
+                result.capture(app, "culpeo", rate)

@@ -1,0 +1,22 @@
+"""Figure 3 — volume vs ESR for 45 mF banks across capacitor technologies."""
+
+from repro.harness.experiments import fig3_capacitor_survey
+from repro.power.catalog import CapacitorTechnology
+
+
+def test_fig3_capacitor_survey(once):
+    survey = once(fig3_capacitor_survey, parts_per_technology=500)
+    print()
+    print(survey.render())
+    best = survey.best
+    supercap = best[CapacitorTechnology.SUPERCAPACITOR]
+    # Supercaps enable the smallest design point by orders of magnitude...
+    for tech, info in best.items():
+        if tech is not CapacitorTechnology.SUPERCAPACITOR:
+            assert supercap["volume_mm3"] < 0.1 * info["volume_mm3"]
+    # ...with few parts and nanoamp leakage, but the highest ESR.
+    assert supercap["part_count"] <= 10
+    assert supercap["leakage"] < 1e-6
+    assert supercap["esr"] > 1.0
+    assert best[CapacitorTechnology.CERAMIC]["part_count"] > 500
+    assert best[CapacitorTechnology.TANTALUM]["leakage"] > 1e-3

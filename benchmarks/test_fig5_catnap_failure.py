@@ -1,0 +1,13 @@
+"""Figure 5 — CatNap's energy-only feasibility admits a schedule ESR kills."""
+
+from repro.harness.experiments import fig5_catnap_schedule
+
+
+def test_fig5_catnap_failure(once):
+    demo = once(fig5_catnap_schedule)
+    print()
+    print(demo.render())
+    assert demo.catnap_admits          # the feasibility test says go
+    assert not demo.radio_completed    # the radio browns out anyway
+    assert not demo.culpeo_admits      # Theorem 1 refuses the same launch
+    assert demo.culpeo_gate > demo.catnap_gate

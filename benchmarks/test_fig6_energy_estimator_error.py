@@ -1,0 +1,20 @@
+"""Figure 6 — energy-only V_safe estimates fail on pulse+compute loads."""
+
+from repro.harness.experiments import fig6_energy_estimator_error
+
+
+def test_fig6_energy_estimator_error(once):
+    result = once(fig6_energy_estimator_error)
+    print()
+    print(result.render())
+    # Positive error = the prediction is too low and the task fails.
+    # All three energy-only estimators fail on every pulse+compute load.
+    for estimator in ("Energy-Direct", "Catnap-Slow", "Catnap-Measured"):
+        errors = result.errors_for(estimator)
+        assert all(e > 0 for e in errors), f"{estimator} was safe somewhere"
+    # The failure grows with pulse current: the worst error (50 mA) must
+    # dwarf the mildest (5 mA), as the paper's bars do.
+    measured = result.errors_for("Catnap-Measured")
+    assert max(measured) > 3 * min(measured)
+    # The highest-current loads miss by tens of percent of the range.
+    assert max(measured) > 15.0

@@ -1,0 +1,18 @@
+"""Table III — the evaluated load profiles and their envelopes."""
+
+from repro.harness.experiments import table3_load_profiles
+
+
+def test_table3_load_profiles(once):
+    inventory = once(table3_load_profiles)
+    print()
+    print(inventory.render())
+    rows = {r["name"]: r for r in inventory.rows if r["type"] == "peripheral"}
+    # Table III envelopes: gesture 25 mA / 3.5 ms, BLE 13 mA / 17 ms,
+    # MNIST 5 mA / 1.1 s.
+    assert rows["Gesture"]["peak"] == 0.025
+    assert abs(rows["Gesture"]["pulse"] - 0.0035) < 1e-6
+    assert rows["BLE"]["peak"] == 0.013
+    assert abs(rows["MNIST"]["duration"] - 1.1) < 0.05
+    synthetic = [r for r in inventory.rows if r["type"] != "peripheral"]
+    assert len(synthetic) == 18

@@ -1,0 +1,64 @@
+"""Adaptive re-profiling when the weather changes (paper §V-B).
+
+Culpeo-R profiles embed the harvesting conditions they were taken under:
+while a task runs, incoming power back-fills the buffer, so the measured
+voltage drop understates the task's true demand. Profile on a sunny
+morning, run into an overcast afternoon, and the stale gates admit tasks
+that now brown out.
+
+This example runs the same periodic sensor-sweep application across a
+harvest collapse (10 mW -> 0.5 mW at t = 45 s) twice:
+
+* with the re-profiling monitor frozen — the stale policy browns out and
+  pays full-recharge penalties;
+* with the paper's policy — "a change in incoming power that exceeds a
+  threshold triggers re-profiling" — the gates rise and brown-outs vanish.
+
+Run with:  python examples/adaptive_reprofiling.py
+"""
+
+from repro.loads import CurrentTrace
+from repro.power import CallableHarvester, capybara_power_system
+from repro.sched import AdaptiveCulpeoScheduler, Task, TaskChain
+from repro.sim import PowerSystemSimulator
+
+
+def run_day(adaptive: bool) -> None:
+    harvester = CallableHarvester(lambda t: 10e-3 if t < 45.0 else 0.5e-3)
+    system = capybara_power_system(harvester=harvester)
+    system.rest_at(system.monitor.v_high)
+    engine = PowerSystemSimulator(system)
+
+    chain = TaskChain(
+        "SWEEP", [Task("sweep", CurrentTrace.constant(0.004, 2.5))],
+        deadline=20.0)
+    scheduler = AdaptiveCulpeoScheduler(engine, [chain])
+    gate_before = scheduler.policy.gate("SWEEP", 0)
+    if not adaptive:
+        scheduler.monitor.threshold = float("inf")  # never re-profile
+
+    arrivals = [(t, chain) for t in
+                [10.0] + [60.0 + 20.0 * i for i in range(9)]]
+    result = scheduler.run(arrivals, duration=250.0)
+
+    label = "adaptive" if adaptive else "frozen  "
+    print(f"{label}: captured {100 * result.capture_fraction():3.0f}%  "
+          f"brown-outs {result.brownout_count}  "
+          f"profile passes {scheduler.reprofile_count}  "
+          f"gate {gate_before:.3f} -> "
+          f"{scheduler.policy.gate('SWEEP', 0):.3f} V")
+
+
+def main() -> None:
+    print("sensor sweep every 20 s; harvest collapses 10 mW -> 0.5 mW "
+          "at t = 45 s\n")
+    run_day(adaptive=False)
+    run_day(adaptive=True)
+    print("\nThe frozen policy keeps launching at the sunny-day gate and "
+          "browns out;\nthe adaptive policy re-profiles after the collapse "
+          "and waits instead —\ntrading catastrophic restarts for clean "
+          "deadline management.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Survey 45 mF capacitor-bank designs across technologies (Figure 3).
+
+A volume-constrained energy-harvesting device wants a tiny, high-capacity,
+low-leakage, low-ESR buffer — which doesn't exist. This example regenerates
+the paper's Figure 3 trade-off study from the synthetic part catalog and
+prints, per technology, the smallest feasible 45 mF bank and what it costs
+in ESR, part count, and leakage.
+
+Run with:  python examples/capacitor_survey.py
+"""
+
+from repro.harness.experiments import fig3_capacitor_survey
+from repro.power import CapacitorTechnology
+
+
+def main() -> None:
+    survey = fig3_capacitor_survey(parts_per_technology=500)
+    print(survey.render())
+    print()
+
+    supercap = survey.best[CapacitorTechnology.SUPERCAPACITOR]
+    ceramic = survey.best[CapacitorTechnology.CERAMIC]
+    tantalum = survey.best[CapacitorTechnology.TANTALUM]
+    print("Reading the trade-off the way the paper does:")
+    print(f"  - supercapacitors reach 45 mF in {supercap['volume_mm3']:.0f} mm^3 "
+          f"with {supercap['part_count']} parts and {supercap['leakage']:.0e} A "
+          f"leakage — but {supercap['esr']:.1f} ohms of ESR;")
+    print(f"  - ceramics have ~{ceramic['esr'] * 1e3:.2g} mOhm ESR but need "
+          f"{ceramic['part_count']} parts;")
+    print(f"  - the smallest tantalum bank leaks {tantalum['leakage'] * 1e3:.0f} mA.")
+    print()
+    print("The supercapacitor's ESR is the one cost software can manage —")
+    print("which is exactly what Culpeo does.")
+
+
+if __name__ == "__main__":
+    main()

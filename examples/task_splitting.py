@@ -1,0 +1,64 @@
+"""Use V_safe at development time to size tasks (paper §III).
+
+The paper positions Culpeo not just as scheduler plumbing but as a
+development-time tool: "if a task's V_safe value is higher than what the
+energy buffer can provide, the programmer knows they must correct the task
+division." This example shows that workflow:
+
+1. a monolithic sense-and-transmit task whose V_safe exceeds V_high —
+   it can never run safely, no matter how full the buffer;
+2. the same work split into two atomic tasks with a recharge between,
+   each individually safe, with V_safe_multi showing the split sequence
+   is feasible from a full buffer.
+
+Run with:  python examples/task_splitting.py
+"""
+
+from repro.core import CulpeoPG, vsafe_multi
+from repro.harness import find_true_vsafe
+from repro.loads import CurrentTrace, lora_packet
+from repro.power import capybara_power_system
+
+
+def main() -> None:
+    system = capybara_power_system()
+    model = system.characterize()
+    pg = CulpeoPG(model)
+    v_high = model.v_high
+
+    # A greedy task: long sensor sampling followed by two LoRa packets.
+    sampling = CurrentTrace.constant(0.004, 4.0)
+    packet = lora_packet().trace
+    monolith = sampling.concat(packet).concat(packet)
+
+    est = pg.analyze(monolith)
+    print(f"monolithic task: V_safe = {est.v_safe:.3f} V "
+          f"(V_high is only {v_high:.2f} V)")
+    truth = find_true_vsafe(system, monolith)
+    feasible = "feasible" if truth.feasible else "NOT feasible"
+    print(f"ground truth agrees: the task is {feasible} on this buffer\n")
+
+    # The fix: split at the natural boundary and recharge between halves.
+    sense_task = pg.analyze(sampling)
+    radio_task = pg.analyze(packet.concat(packet))
+    print(f"after splitting:")
+    print(f"  sense  V_safe = {sense_task.v_safe:.3f} V")
+    print(f"  radio  V_safe = {radio_task.v_safe:.3f} V")
+
+    back_to_back = vsafe_multi([sense_task.demand, radio_task.demand],
+                               model.v_off)
+    print(f"  back-to-back (V_safe_multi) = {back_to_back:.3f} V", end=" ")
+    if back_to_back <= v_high:
+        print("-> the pair fits on one discharge from a full buffer")
+    else:
+        print("-> still too much for one discharge; recharge between tasks")
+
+    for name, task_est in (("sense", sense_task), ("radio", radio_task)):
+        gt = find_true_vsafe(system, sampling if name == "sense"
+                             else packet.concat(packet))
+        print(f"  {name}: ground-truth V_safe {gt.v_safe:.3f} V "
+              f"(fits under V_high: {gt.v_safe <= v_high})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Culpeo reproduction: ESR-aware charge management for energy-harvesting systems.
+
+This package reproduces *An Architectural Charge Management Interface for
+Energy-Harvesting Systems* (Ruppel, Surbatovich, Desai, Maeng, Lucia —
+MICRO 2022). It provides:
+
+* ``repro.power``   — energy-harvesting power-system models (supercapacitors
+  with equivalent series resistance, boost converters, harvesters, voltage
+  monitors) and the capacitor-technology survey of the paper's Figure 3.
+* ``repro.loads``   — current-profile representations, the synthetic load
+  generators of Table III, and models of the paper's real peripherals.
+* ``repro.sim``     — a discrete-time device simulator: power-system
+  integration, brown-out semantics, ADC models, and the Culpeo
+  microarchitectural peripheral block of Table II.
+* ``repro.core``    — the Culpeo contribution: the voltage-aware charge model
+  (Algorithm 1), ``V_safe``/``V_safe_multi`` computation, the Table I API,
+  and the Culpeo-PG / Culpeo-R-ISR / Culpeo-R-uArch implementations.
+* ``repro.sched``   — the CatNap-style energy-only scheduler baseline, the
+  energy-based V_safe estimators it relies on, and the Culpeo-integrated
+  scheduler that restores correctness.
+* ``repro.apps``    — the paper's three event-driven applications (Periodic
+  Sensing, Responsive Reporting, Noise Monitoring & Reporting).
+* ``repro.harness`` — ground-truth V_safe search and one experiment runner
+  per figure/table in the paper's evaluation.
+
+Quickstart::
+
+    from repro.power import capybara_power_system
+    from repro.loads import pulse_with_compute_tail
+    from repro.harness import find_true_vsafe
+
+    system = capybara_power_system()
+    load = pulse_with_compute_tail(i_pulse=0.050, t_pulse=0.010)
+    v_safe = find_true_vsafe(system, load)
+"""
+
+from repro.units import OperatingRange
+
+__version__ = "1.0.0"
+
+__all__ = ["OperatingRange", "__version__"]

@@ -1,0 +1,36 @@
+"""The paper's three event-driven applications (paper §VI-B).
+
+* **Periodic Sensing (PS)** — 32 IMU samples every 4.5 s on a 15 mF
+  buffer, plus a background photoresistor-averaging task. An event is
+  lost when the inter-sample deadline is missed.
+* **Responsive Reporting (RR)** — Poisson interrupts (mean 45 s) trigger
+  sense -> encrypt -> BLE send + 2 s listen, due within 3 s.
+* **Noise Monitoring & Reporting (NMR)** — 256 microphone samples every
+  7 s; Poisson interrupts (mean 30 s) trigger a BLE report of FFT data
+  due within 15 s; a background FFT crunches the sample buffer.
+
+Each application is an :class:`AppSpec` — power system, harvester, task
+chains with arrival processes, and background work — consumed by
+:mod:`repro.apps.runner`, which runs the paper's three five-minute trials
+per configuration and reports per-chain event-capture percentages.
+"""
+
+from repro.apps.events import poisson_arrivals, periodic_arrivals
+from repro.apps.spec import AppSpec, ChainSpec
+from repro.apps.periodic_sensing import periodic_sensing_app
+from repro.apps.responsive_reporting import responsive_reporting_app
+from repro.apps.noise_monitoring import noise_monitoring_app
+from repro.apps.runner import AppTrialResult, run_app, run_comparison
+
+__all__ = [
+    "poisson_arrivals",
+    "periodic_arrivals",
+    "AppSpec",
+    "ChainSpec",
+    "periodic_sensing_app",
+    "responsive_reporting_app",
+    "noise_monitoring_app",
+    "AppTrialResult",
+    "run_app",
+    "run_comparison",
+]

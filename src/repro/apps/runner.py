@@ -1,0 +1,119 @@
+"""Application trial runner (paper §VI-B / §VII-C).
+
+Runs an :class:`~repro.apps.spec.AppSpec` under a scheduling policy for the
+paper's regime — three five-minute trials — and reports per-chain event
+capture percentages. The policy's estimates are profiled once, before the
+application starts, exactly as the paper's evaluation does under stable
+harvestable power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.spec import AppSpec
+from repro.power.harvester import ConstantPowerHarvester
+from repro.core.runtime import CulpeoRCalculator
+from repro.sched.estimators import (
+    CatnapEstimator,
+    CulpeoREstimator,
+    VsafeEstimator,
+)
+from repro.sched.policy import CatnapPolicy, CulpeoPolicy, SchedulerPolicy
+from repro.sched.scheduler import IntermittentScheduler, ScheduleResult
+from repro.sched.task import TaskChain
+from repro.sim.engine import PowerSystemSimulator
+
+
+@dataclass
+class AppTrialResult:
+    """Capture statistics for one (app, policy) configuration."""
+
+    app_name: str
+    policy_name: str
+    trials: List[ScheduleResult] = field(default_factory=list)
+
+    def capture_percent(self, chain_name: Optional[str] = None) -> float:
+        """Mean percentage of events captured across trials."""
+        if not self.trials:
+            return 0.0
+        fractions = [t.capture_fraction(chain_name) for t in self.trials]
+        return 100.0 * sum(fractions) / len(fractions)
+
+    def total_brownouts(self) -> int:
+        return sum(t.brownout_count for t in self.trials)
+
+    def chain_names(self) -> List[str]:
+        names: List[str] = []
+        for trial in self.trials:
+            for event in trial.events:
+                if event.chain_name not in names:
+                    names.append(event.chain_name)
+        return names
+
+
+def build_policy(spec: AppSpec, kind: str,
+                 estimator: Optional[VsafeEstimator] = None) -> SchedulerPolicy:
+    """Profile the app's tasks and compile a scheduling policy.
+
+    ``kind`` is ``"catnap"`` (energy-only, Catnap-Measured estimates) or
+    ``"culpeo"`` (ESR-aware, Culpeo-R-ISR estimates) — the two systems the
+    paper's Figure 12 compares. A custom ``estimator`` overrides the
+    default for ablations.
+    """
+    system = spec.system_factory()
+    model = system.characterize()
+    chains = spec.task_chains()
+    background = [spec.background] if spec.background is not None else []
+    if kind == "catnap":
+        est = estimator or CatnapEstimator.measured(model)
+        return CatnapPolicy.build(system, est, chains, background)
+    if kind == "culpeo":
+        calc = CulpeoRCalculator(efficiency=model.efficiency,
+                                 v_off=model.v_off, v_high=model.v_high)
+        est = estimator or CulpeoREstimator(calc, "isr")
+        return CulpeoPolicy.build(system, est, chains, background)
+    raise ValueError(f"unknown policy kind {kind!r}")
+
+
+def run_trial(spec: AppSpec, policy: SchedulerPolicy,
+              seed: int) -> ScheduleResult:
+    """One trial: fresh system, fresh arrivals, full buffer at t=0."""
+    rng = np.random.default_rng(seed)
+    system = spec.system_factory().with_harvester(
+        ConstantPowerHarvester(spec.harvest_power)
+    )
+    system.rest_at(system.monitor.v_high)
+    engine = PowerSystemSimulator(system)
+    scheduler = IntermittentScheduler(engine, policy,
+                                      background=spec.background)
+    arrivals: List[Tuple[float, TaskChain]] = []
+    for chain_spec in spec.chains:
+        for t in chain_spec.generate_arrivals(spec.trial_duration, rng):
+            arrivals.append((t, chain_spec.chain))
+    return scheduler.run(arrivals, spec.trial_duration)
+
+
+def run_app(spec: AppSpec, kind: str, *, trials: int = 3,
+            base_seed: int = 2022,
+            estimator: Optional[VsafeEstimator] = None) -> AppTrialResult:
+    """Run the paper's three-trial evaluation for one policy kind."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    policy = build_policy(spec, kind, estimator)
+    result = AppTrialResult(app_name=spec.name, policy_name=policy.name)
+    for i in range(trials):
+        result.trials.append(run_trial(spec, policy, seed=base_seed + i))
+    return result
+
+
+def run_comparison(spec: AppSpec, *, trials: int = 3,
+                   base_seed: int = 2022) -> Dict[str, AppTrialResult]:
+    """CatNap versus Culpeo on the same app and the same arrival seeds."""
+    return {
+        kind: run_app(spec, kind, trials=trials, base_seed=base_seed)
+        for kind in ("catnap", "culpeo")
+    }

@@ -1,0 +1,175 @@
+"""Command-line interface to the experiment harness.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro run fig10                 # one experiment, table to stdout
+    python -m repro run all                   # the full evaluation
+    python -m repro vsafe 25mA 10ms --shape pulse   # ad-hoc V_safe check
+
+``run`` executes the same runners the benchmark suite wraps; ``vsafe``
+answers the day-to-day developer question — "from what voltage is this
+load safe?" — with ground truth and every estimator side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.harness import ablations, experiments
+from repro.harness.ground_truth import find_true_vsafe
+from repro.harness.report import TextTable, format_percent
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.power.system import capybara_power_system
+from repro.sched.estimators import standard_estimators
+
+#: Experiment registry: id -> zero-argument runner returning .render().
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig1b": experiments.fig1b_esr_drop,
+    "fig3": experiments.fig3_capacitor_survey,
+    "fig4": experiments.fig4_poweroff_demo,
+    "fig5": experiments.fig5_catnap_schedule,
+    "fig6": experiments.fig6_energy_estimator_error,
+    "fig8": experiments.fig8_vsafe_multi,
+    "table3": experiments.table3_load_profiles,
+    "fig10": experiments.fig10_vsafe_accuracy,
+    "fig11": experiments.fig11_peripherals,
+    "fig12": experiments.fig12_event_capture,
+    "fig13": experiments.fig13_event_rates,
+    "ablation-decoupling": ablations.ablation_decoupling,
+    "ablation-aging": ablations.ablation_aging,
+    "ablation-adc": ablations.ablation_adc,
+    "ablation-esr": ablations.ablation_esr_sweep,
+}
+
+
+def _parse_current(text: str) -> float:
+    """Parse '25mA', '0.025A', or a bare float in amperes."""
+    text = text.strip().lower()
+    if text.endswith("ma"):
+        return float(text[:-2]) * 1e-3
+    if text.endswith("a"):
+        return float(text[:-1])
+    return float(text)
+
+
+def _parse_duration(text: str) -> float:
+    """Parse '10ms', '1.5s', or a bare float in seconds."""
+    text = text.strip().lower()
+    if text.endswith("ms"):
+        return float(text[:-2]) * 1e-3
+    if text.endswith("s"):
+        return float(text[:-1])
+    return float(text)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = (list(EXPERIMENTS) if "all" in args.experiment
+                        else args.experiment)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.render())
+        print()
+        if args.csv is not None:
+            from pathlib import Path
+
+            from repro.harness.export import save_result_csv
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            target = out_dir / f"{name}.csv"
+            try:
+                save_result_csv(result, target)
+                print(f"wrote {target}", file=sys.stderr)
+            except ValueError:
+                print(f"{name}: no tabular data to export", file=sys.stderr)
+    return 0
+
+
+def cmd_vsafe(args: argparse.Namespace) -> int:
+    current = _parse_current(args.current)
+    width = _parse_duration(args.width)
+    if args.shape == "pulse":
+        load = pulse_with_compute_tail(current, width)
+    else:
+        load = uniform_load(current, width)
+    system = capybara_power_system(
+        datasheet_capacitance=args.capacitance * 1e-3,
+        dc_esr=args.esr,
+    )
+    model = system.characterize()
+    truth = find_true_vsafe(system, load.trace)
+    op_range = system.operating_range
+    table = TextTable(
+        ["method", "V_safe (V)", "error (% range)"],
+        title=(f"V_safe for {load.label} ({load.shape}) on "
+               f"{args.capacitance:g} mF / {args.esr:g} ohm"),
+    )
+    if not truth.feasible:
+        print(f"{load.label} cannot complete even from V_high on this "
+              f"buffer — split the task or grow the buffer.")
+        return 1
+    table.add_row(["ground truth", f"{truth.v_safe:.3f}", "—"])
+    for estimator in standard_estimators(system, model):
+        estimate = estimator.estimate(system, load.trace)
+        error = op_range.as_percent_of_range(estimate.v_safe - truth.v_safe)
+        table.add_row([estimator.name, f"{estimate.v_safe:.3f}",
+                       format_percent(error)])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Culpeo reproduction: regenerate the paper's "
+                    "evaluation or query V_safe for ad-hoc loads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments and print tables")
+    p_run.add_argument("experiment", nargs="+",
+                       help="experiment ids (or 'all')")
+    p_run.add_argument("--csv", metavar="DIR", default=None,
+                       help="also write each experiment's data to DIR/<id>.csv")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_vsafe = sub.add_parser("vsafe",
+                             help="V_safe for a synthetic load, all methods")
+    p_vsafe.add_argument("current", help="pulse current, e.g. 25mA")
+    p_vsafe.add_argument("width", help="pulse width, e.g. 10ms")
+    p_vsafe.add_argument("--shape", choices=("uniform", "pulse"),
+                         default="uniform",
+                         help="uniform pulse or pulse + 100 ms compute tail")
+    p_vsafe.add_argument("--capacitance", type=float, default=45.0,
+                         help="datasheet capacitance in mF (default 45)")
+    p_vsafe.add_argument("--esr", type=float, default=4.0,
+                         help="DC ESR in ohms (default 4)")
+    p_vsafe.set_defaults(fn=cmd_vsafe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The Culpeo contribution: the voltage-aware charge model and its
+implementations.
+
+* :mod:`repro.core.model` — the pure math: V_safe composition, penalty
+  terms, V_safe_multi, and the Theorem 1 feasibility test.
+* :mod:`repro.core.profile_guided` — Culpeo-PG, the compile-time analysis
+  (paper Algorithm 1) over a recorded current trace.
+* :mod:`repro.core.runtime` — the Culpeo-R equations (1a-1c and 3) that
+  turn three measured voltages into a V_safe estimate on-device.
+* :mod:`repro.core.api` — the Table I hardware/software interface.
+* :mod:`repro.core.isr` / :mod:`repro.core.uarch_runtime` — the two
+  Culpeo-R implementations: timer-ISR ADC sampling and the dedicated
+  microarchitectural block.
+"""
+
+from repro.core.model import (
+    TaskDemand,
+    VsafeEstimate,
+    penalty,
+    sequence_feasible,
+    vsafe_multi,
+    vsafe_multi_additive,
+    vsafe_single,
+)
+from repro.core.api import CulpeoInterface
+from repro.core.profile_guided import CulpeoPG
+from repro.core.runtime import (
+    CulpeoRCalculator,
+    vdelta_safe,
+    vsafe_energy,
+)
+from repro.core.tables import ProfileRecord, ProfileTable, VsafeTable
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.uarch_runtime import CulpeoUArchRuntime
+from repro.core.reprofile import ReprofilingMonitor
+from repro.core.fixedpoint import FixedPointCulpeoR
+from repro.core.pg_profiler import CulpeoPgProfiler, CurrentProbe
+from repro.core.persistence import load_table, save_table
+from repro.core.analysis import (
+    ConfigRecommendation,
+    TaskReport,
+    analyze_tasks,
+    plan_discharge_groups,
+    recommend_configuration,
+    suggest_split,
+)
+
+__all__ = [
+    "TaskDemand",
+    "VsafeEstimate",
+    "penalty",
+    "vsafe_single",
+    "vsafe_multi",
+    "vsafe_multi_additive",
+    "sequence_feasible",
+    "CulpeoInterface",
+    "CulpeoPG",
+    "CulpeoRCalculator",
+    "vdelta_safe",
+    "vsafe_energy",
+    "ProfileRecord",
+    "ProfileTable",
+    "VsafeTable",
+    "CulpeoIsrRuntime",
+    "CulpeoUArchRuntime",
+    "ReprofilingMonitor",
+    "FixedPointCulpeoR",
+    "CulpeoPgProfiler",
+    "CurrentProbe",
+    "save_table",
+    "load_table",
+    "TaskReport",
+    "ConfigRecommendation",
+    "analyze_tasks",
+    "suggest_split",
+    "plan_discharge_groups",
+    "recommend_configuration",
+]

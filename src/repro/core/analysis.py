@@ -1,0 +1,203 @@
+"""Development-time task analysis (paper §III).
+
+Beyond feeding schedulers, the paper positions V_safe as a programmer's
+tool: "if a task's V_safe value is higher than what the energy buffer can
+provide, the programmer knows they must correct the task division", and on
+devices with configurable storage "the programmer can also use V_safe as a
+guide to configure the energy buffer". This module packages those
+workflows:
+
+* :func:`analyze_tasks` — per-task feasibility report against the buffer.
+* :func:`suggest_split` — cut an infeasible task at its segment boundaries
+  into the fewest atomic pieces that each fit on one discharge.
+* :func:`plan_discharge_groups` — group a task sequence into maximal runs
+  that are jointly feasible from a full buffer (recharge between groups),
+  using the V_safe_multi composition.
+* :func:`recommend_configuration` — pick the cheapest (fastest-recharging)
+  buffer configuration that can run a task safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.model import TaskDemand, vsafe_multi
+from repro.core.profile_guided import CulpeoPG
+from repro.errors import ScheduleError
+from repro.loads.trace import CurrentTrace
+from repro.power.reconfigurable import ReconfigurableBuffer
+from repro.power.system import PowerSystem
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Feasibility verdict for one task on one buffer."""
+
+    name: str
+    v_safe: float
+    v_delta: float
+    feasible: bool
+    headroom: float
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.feasible else "INFEASIBLE"
+        return (f"{self.name}: V_safe={self.v_safe:.3f} V "
+                f"({verdict}, headroom {self.headroom:+.3f} V)")
+
+
+def analyze_tasks(pg: CulpeoPG, tasks: Mapping[str, CurrentTrace],
+                  margin: float = 0.0) -> Dict[str, TaskReport]:
+    """Check every task's V_safe against the buffer's V_high.
+
+    ``margin`` demands extra headroom below V_high (e.g. to leave room for
+    the scheduler to compose tasks).
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be >= 0, got {margin}")
+    ceiling = pg.model.v_high - margin
+    reports: Dict[str, TaskReport] = {}
+    for name, trace in tasks.items():
+        estimate = pg.analyze(trace)
+        reports[name] = TaskReport(
+            name=name,
+            v_safe=estimate.v_safe,
+            v_delta=estimate.v_delta,
+            feasible=estimate.v_safe <= ceiling,
+            headroom=ceiling - estimate.v_safe,
+        )
+    return reports
+
+
+def suggest_split(pg: CulpeoPG, trace: CurrentTrace,
+                  margin: float = 0.02) -> List[CurrentTrace]:
+    """Split an infeasible task into the fewest feasible atomic pieces.
+
+    Cuts are only legal at trace segment boundaries (a segment is one
+    operation — a radio packet cannot stop halfway). Greedy left-to-right:
+    extend the current piece while its V_safe stays under
+    ``V_high - margin``. Raises :class:`ScheduleError` if a single segment
+    alone does not fit — no task division can save a task whose atomic
+    step exceeds the buffer.
+    """
+    ceiling = pg.model.v_high - margin
+    segments = list(trace.segments())
+    pieces: List[CurrentTrace] = []
+    start = 0
+    while start < len(segments):
+        best_end: Optional[int] = None
+        for end in range(start + 1, len(segments) + 1):
+            candidate = CurrentTrace(segments[start:end])
+            if pg.analyze(candidate).v_safe <= ceiling:
+                best_end = end
+            else:
+                break
+        if best_end is None:
+            single = CurrentTrace(segments[start:start + 1])
+            v = pg.analyze(single).v_safe
+            raise ScheduleError(
+                f"segment {start} alone needs V_safe={v:.3f} V > "
+                f"{ceiling:.3f} V; no split can make this task feasible"
+            )
+        pieces.append(CurrentTrace(segments[start:best_end]))
+        start = best_end
+    return pieces
+
+
+def plan_discharge_groups(
+        pg: CulpeoPG,
+        tasks: Sequence[Tuple[str, CurrentTrace]],
+        margin: float = 0.02) -> List[List[str]]:
+    """Group a task sequence into runs feasible on one discharge each.
+
+    Greedy left-to-right using V_safe_multi over the group's demands: a
+    task joins the current group while the group's composed requirement
+    stays under ``V_high - margin``; otherwise a recharge is scheduled and
+    a new group starts. Raises :class:`ScheduleError` when a single task
+    does not fit on its own (use :func:`suggest_split` first).
+    """
+    ceiling = pg.model.v_high - margin
+    v_off = pg.model.v_off
+    demands: List[Tuple[str, TaskDemand]] = [
+        (name, pg.analyze(trace).demand) for name, trace in tasks
+    ]
+    groups: List[List[str]] = []
+    current: List[Tuple[str, TaskDemand]] = []
+    for name, demand in demands:
+        if vsafe_multi([demand], v_off) > ceiling:
+            raise ScheduleError(
+                f"task {name!r} is infeasible even alone; split it first"
+            )
+        candidate = current + [(name, demand)]
+        if vsafe_multi([d for _, d in candidate], v_off) <= ceiling:
+            current = candidate
+        else:
+            groups.append([n for n, _ in current])
+            current = [(name, demand)]
+    if current:
+        groups.append([n for n, _ in current])
+    return groups
+
+
+@dataclass(frozen=True)
+class ConfigRecommendation:
+    """Outcome of a buffer-configuration search."""
+
+    config: frozenset
+    v_safe: float
+    capacitance: float
+    rejected: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        names = "+".join(sorted(self.config))
+        return (f"use [{names}] ({self.capacitance * 1e3:.3g} mF): "
+                f"V_safe={self.v_safe:.3f} V")
+
+
+def recommend_configuration(
+        system: PowerSystem,
+        trace: CurrentTrace,
+        configurations: Iterable[Iterable[str]],
+        margin: float = 0.02) -> ConfigRecommendation:
+    """Choose the smallest buffer configuration that runs ``trace`` safely.
+
+    Smaller capacitance recharges faster, so among the safe configurations
+    the one with the least capacitance wins — the paper's §III workflow of
+    using V_safe "as a guide to configure the energy buffer". The system's
+    buffer must be a :class:`ReconfigurableBuffer`. Each candidate is
+    characterized and analyzed with Culpeo-PG on a copy of the system.
+    Raises :class:`ScheduleError` when no candidate is safe.
+    """
+    if not isinstance(system.buffer, ReconfigurableBuffer):
+        raise ScheduleError(
+            "recommend_configuration needs a ReconfigurableBuffer"
+        )
+    rejected: List[str] = []
+    best: Optional[ConfigRecommendation] = None
+    for config in configurations:
+        trial = system.copy()
+        buffer: ReconfigurableBuffer = trial.buffer  # type: ignore[assignment]
+        config_id = buffer.configure(config)
+        trial.rest_at(trial.monitor.v_high)
+        model = trial.characterize()
+        estimate = CulpeoPG(model).analyze(trace)
+        if estimate.v_safe > model.v_high - margin:
+            rejected.append("+".join(sorted(config_id)))
+            continue
+        candidate = ConfigRecommendation(
+            config=config_id,
+            v_safe=estimate.v_safe,
+            capacitance=buffer.total_capacitance,
+            rejected=(),
+        )
+        if best is None or candidate.capacitance < best.capacitance:
+            best = candidate
+    if best is None:
+        raise ScheduleError(
+            f"no configuration can run this task safely "
+            f"(rejected: {rejected})"
+        )
+    return ConfigRecommendation(
+        config=best.config, v_safe=best.v_safe,
+        capacitance=best.capacitance, rejected=tuple(rejected),
+    )

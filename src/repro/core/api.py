@@ -1,0 +1,227 @@
+"""The Culpeo API (paper Table I) and the shared runtime machinery.
+
+Table I groups the interface by function::
+
+    Profile                Calculate            Access
+    -------                ---------            ------
+    profile_start()        compute_vsafe(id)    get_vsafe(id)
+    profile_end(id)                             get_vdrop(id)
+    rebound_end(id)
+
+Both Culpeo-R implementations (ISR and µArch) expose exactly these calls;
+they differ only in *how* the three profile voltages are captured. The
+shared behaviour — profile storage, the Culpeo-R math, the V_high / -1
+defaults, buffer-configuration tagging — lives in
+:class:`CulpeoRuntimeBase` here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Optional
+
+from repro.core.model import VsafeEstimate
+from repro.core.runtime import CulpeoRCalculator
+from repro.core.tables import (
+    DEFAULT_BUFFER,
+    ProfileRecord,
+    ProfileTable,
+    VsafeTable,
+)
+from repro.errors import ProfileError
+from repro.loads.trace import CurrentTrace
+from repro.sim.engine import PowerSystemSimulator, SimulationResult
+
+
+class CulpeoInterface(abc.ABC):
+    """Abstract Table I interface: profile, calculate, access."""
+
+    # -- Profile group ---------------------------------------------------
+
+    @abc.abstractmethod
+    def profile_start(self) -> None:
+        """Begin profiling the code that runs next."""
+
+    @abc.abstractmethod
+    def profile_end(self, task_id: Hashable) -> None:
+        """End task profiling; begin tracking the post-task rebound."""
+
+    @abc.abstractmethod
+    def rebound_end(self, task_id: Hashable) -> None:
+        """Stop rebound tracking and commit the task's profile record."""
+
+    # -- Calculate group ---------------------------------------------------
+
+    @abc.abstractmethod
+    def compute_vsafe(self, task_id: Hashable) -> None:
+        """Compute and store V_safe/V_delta from the task's profile.
+
+        A no-op when the profile table has no entry for the task (paper
+        §V-B).
+        """
+
+    # -- Access group --------------------------------------------------------
+
+    @abc.abstractmethod
+    def get_vsafe(self, task_id: Hashable) -> float:
+        """Stored V_safe, or V_high when none exists."""
+
+    @abc.abstractmethod
+    def get_vdrop(self, task_id: Hashable) -> float:
+        """Stored V_delta, or -1 when none exists."""
+
+
+class CulpeoRuntimeBase(CulpeoInterface):
+    """Shared Culpeo-R machinery: tables, math, and the profiling driver.
+
+    Subclasses implement the four capture hooks (start/stop sampling,
+    rebound tracking, and the three observed voltages); everything above
+    that — storage, computation, defaults, buffer tagging — is common.
+    """
+
+    #: Idle period between rebound checks (the ISR variant's 50 ms sleep).
+    REBOUND_CHECK_PERIOD = 0.050
+    #: Rebound is complete when a check gains less than this many volts.
+    REBOUND_EPSILON = 1e-3
+
+    def __init__(self, engine: PowerSystemSimulator,
+                 calculator: CulpeoRCalculator) -> None:
+        self.engine = engine
+        self.calculator = calculator
+        self.profiles = ProfileTable()
+        self.results = VsafeTable(v_high=calculator.v_high)
+        self.buffer_config: Hashable = DEFAULT_BUFFER
+        self._profiling = False
+        self._rebounding = False
+
+    # -- capture hooks for subclasses ------------------------------------
+
+    @abc.abstractmethod
+    def _begin_capture(self) -> None:
+        """Arm minimum-tracking hardware and record V_start."""
+
+    @abc.abstractmethod
+    def _end_capture(self) -> None:
+        """Stop minimum tracking; arm maximum (rebound) tracking."""
+
+    @abc.abstractmethod
+    def _finish_rebound(self) -> None:
+        """Disarm all tracking hardware."""
+
+    @abc.abstractmethod
+    def _observed(self) -> ProfileRecord:
+        """The three captured voltages as a record (buffer tag applied)."""
+
+    @abc.abstractmethod
+    def _rebound_progress(self) -> float:
+        """Best rebounded voltage observed so far."""
+
+    # -- Table I implementation ----------------------------------------------
+
+    def set_buffer_config(self, config: Hashable) -> None:
+        """Tag subsequent profiles and queries with a buffer configuration
+        (reconfigurable-energy-store support, paper §V-B)."""
+        self.buffer_config = config
+
+    def profile_start(self) -> None:
+        if self._profiling:
+            raise ProfileError("profile_start() while already profiling")
+        self._profiling = True
+        self._rebounding = False
+        self._begin_capture()
+
+    def profile_end(self, task_id: Hashable) -> None:
+        if not self._profiling:
+            raise ProfileError("profile_end() without profile_start()")
+        self._profiling = False
+        self._rebounding = True
+        self._pending_task = task_id
+        self._end_capture()
+
+    #: Readings this far below V_off during a (non-browned-out) profile
+    #: are physically impossible and mark the profile as corrupt.
+    PLAUSIBILITY_MARGIN = 0.05
+
+    def _plausible(self, record) -> bool:
+        """Sanity-check a profile record against physics.
+
+        Software only runs while the terminal voltage is at or above
+        ``V_off``; a profile whose readings sit far below that (dropped
+        ADC samples, a dead reference) is measurement garbage, and using
+        it would produce an arbitrary V_safe. Such profiles are discarded
+        so queries fall back to the safe defaults.
+        """
+        floor = self.calculator.v_off - self.PLAUSIBILITY_MARGIN
+        return record.v_start >= floor and record.v_min >= floor
+
+    def rebound_end(self, task_id: Hashable) -> None:
+        if not self._rebounding:
+            raise ProfileError("rebound_end() without profile_end()")
+        if task_id != self._pending_task:
+            raise ProfileError(
+                f"rebound_end({task_id!r}) does not match "
+                f"profile_end({self._pending_task!r})"
+            )
+        self._rebounding = False
+        self._finish_rebound()
+        record = self._observed()
+        if not self._plausible(record):
+            self.profiles.invalidate(task_id, self.buffer_config)
+            self.results.invalidate(task_id, self.buffer_config)
+            return
+        self.profiles.store(task_id, record)
+
+    def compute_vsafe(self, task_id: Hashable) -> None:
+        record = self.profiles.lookup(task_id, self.buffer_config)
+        if record is None:
+            return  # unpopulated entry: no-op per the paper
+        estimate = self.calculator.estimate(
+            record.v_start, record.v_min, record.v_final
+        )
+        self.results.store(task_id, estimate, self.buffer_config)
+
+    def get_vsafe(self, task_id: Hashable) -> float:
+        return self.results.get_vsafe(task_id, self.buffer_config)
+
+    def get_vdrop(self, task_id: Hashable) -> float:
+        return self.results.get_vdrop(task_id, self.buffer_config)
+
+    def get_estimate(self, task_id: Hashable) -> Optional[VsafeEstimate]:
+        """Full estimate record (reproduction-side convenience)."""
+        return self.results.lookup(task_id, self.buffer_config)
+
+    # -- profiling driver -------------------------------------------------------
+
+    def profile_task(self, trace: CurrentTrace, task_id: Hashable, *,
+                     harvesting: bool = True,
+                     max_rebound_time: float = 2.0) -> SimulationResult:
+        """Run one task under profiling and commit its record.
+
+        Drives the engine through the full Table I choreography: start
+        profiling, execute the trace, end profiling, idle in 50 ms hops
+        until the rebound stalls (or ``max_rebound_time`` passes), then
+        close out the record and compute V_safe.
+        """
+        self.profile_start()
+        result = self.engine.run_trace(trace, harvesting=harvesting)
+        self.profile_end(task_id)
+        waited = 0.0
+        last = self._rebound_progress()
+        while waited < max_rebound_time:
+            self.engine.idle(self.REBOUND_CHECK_PERIOD, harvesting=harvesting)
+            waited += self.REBOUND_CHECK_PERIOD
+            now = self._rebound_progress()
+            if now <= last + self.REBOUND_EPSILON:
+                break
+            last = now
+        self.rebound_end(task_id)
+        if result.browned_out:
+            # The profiled run itself died: its voltages describe a partial
+            # execution and would poison the estimate. Drop them; the
+            # tables fall back to the safe defaults (V_high / -1) until a
+            # successful profile lands.
+            self.profiles.invalidate(task_id, self.buffer_config)
+            self.results.invalidate(task_id, self.buffer_config)
+            return result
+        self.compute_vsafe(task_id)
+        return result

@@ -1,0 +1,140 @@
+"""Fixed-point Culpeo-R arithmetic (the on-device implementation).
+
+The paper shapes its runtime math around a low-power MCU's abilities:
+Equation 2c's exact solution "requires multiple cubic root operations that
+are expensive for the low power microcontrollers that Culpeo targets", so
+Equation 3 collapses the efficiency integral into one square root — and on
+an MSP430 even that runs in integer arithmetic. This module is that
+firmware: a Q16.16 fixed-point evaluation of Equations 1c and 3 using only
+integer add/multiply/shift and an integer Newton square root.
+
+:class:`FixedPointCulpeoR` mirrors :class:`~repro.core.runtime.
+CulpeoRCalculator` exactly; the test suite proves the integer results land
+within a couple of millivolts of the float math (and always on the
+conservative side, because every rounding in the pipeline rounds the
+requirement up). This is also where the float calculator's default
+``guard_band`` earns its keep: it covers exactly this class of rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TaskDemand, VsafeEstimate
+
+#: Q16.16: sixteen fractional bits, ~15 µV of resolution per LSB.
+FRAC_BITS = 16
+ONE = 1 << FRAC_BITS
+
+
+def to_fixed(value: float) -> int:
+    """Convert volts (or a ratio) to Q16.16, rounding up (conservative)."""
+    if value < 0:
+        raise ValueError(f"fixed-point domain is non-negative, got {value}")
+    scaled = value * ONE
+    result = int(scaled)
+    if scaled > result:
+        result += 1
+    return result
+
+
+def from_fixed(value: int) -> float:
+    """Q16.16 back to float."""
+    return value / ONE
+
+
+def fx_mul(a: int, b: int) -> int:
+    """Q16.16 multiply, rounding up."""
+    product = a * b
+    return -((-product) >> FRAC_BITS) if product < 0 else \
+        (product + ONE - 1) >> FRAC_BITS
+
+
+def fx_div(a: int, b: int) -> int:
+    """Q16.16 divide, rounding up."""
+    if b == 0:
+        raise ZeroDivisionError("fixed-point divide by zero")
+    numerator = a << FRAC_BITS
+    return (numerator + b - 1) // b
+
+
+def fx_sqrt(x: int) -> int:
+    """Integer Newton square root of a Q16.16 value, rounded up.
+
+    ``sqrt(x / 2^16) * 2^16 = sqrt(x * 2^16)`` — one widening shift, then
+    a pure-integer Newton iteration (what the MSP430 build ships).
+    """
+    if x < 0:
+        raise ValueError(f"fx_sqrt of negative value: {x}")
+    if x == 0:
+        return 0
+    n = x << FRAC_BITS
+    guess = 1 << ((n.bit_length() + 1) // 2)
+    while True:
+        better = (guess + n // guess) // 2
+        if better >= guess:
+            break
+        guess = better
+    # Round up so the voltage requirement never rounds unsafe.
+    return guess if guess * guess >= n else guess + 1
+
+
+@dataclass(frozen=True)
+class FixedPointCulpeoR:
+    """Integer-only Culpeo-R: Equations 1c and 3 in Q16.16.
+
+    Efficiency is the same linear model, evaluated in fixed point with
+    precomputed constants (the firmware bakes ``eta(V_off)`` and the line
+    coefficients in at compile time).
+    """
+
+    eta_slope: float
+    eta_intercept: float
+    v_off: float
+    v_high: float
+    guard_band: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.v_off <= 0 or self.v_high <= self.v_off:
+            raise ValueError("need 0 < v_off < v_high")
+        if self.eta_slope < 0:
+            raise ValueError("eta slope must be non-negative")
+
+    def _eta_fx(self, v_fx: int) -> int:
+        """Linear efficiency at a Q16.16 voltage, clamped to (0, 1]."""
+        slope = to_fixed(self.eta_slope)
+        intercept = to_fixed(self.eta_intercept)
+        eta = fx_mul(slope, v_fx) + intercept
+        return max(1, min(eta, ONE))
+
+    def estimate(self, v_start: float, v_min: float,
+                 v_final: float) -> VsafeEstimate:
+        """Fixed-point version of ``CulpeoRCalculator.estimate``."""
+        v_final = min(v_final, v_start)
+        v_min = min(v_min, v_final)
+        vs = to_fixed(v_start)
+        vm = to_fixed(max(v_min, 1e-6))
+        vf = to_fixed(v_final)
+        voff = to_fixed(self.v_off)
+
+        # Equation 1c: scale the observed rebound to its worst case.
+        delta_obs = max(0, vf - vm)
+        numer = fx_mul(vm, self._eta_fx(vm))
+        denom = fx_mul(voff, self._eta_fx(voff))
+        delta_safe = fx_mul(delta_obs, fx_div(numer, denom))
+
+        # Equation 3: the energy-only requirement.
+        ratio = fx_div(self._eta_fx(vs), self._eta_fx(voff))
+        drop_v2 = fx_mul(ratio,
+                         max(0, fx_mul(vs, vs) - fx_mul(vf, vf)))
+        v_e = fx_sqrt(drop_v2 + fx_mul(voff, voff))
+
+        v_safe_fx = v_e + delta_safe + to_fixed(self.guard_band)
+        v_safe = min(self.v_high, from_fixed(v_safe_fx))
+        return VsafeEstimate(
+            v_safe=v_safe,
+            v_delta=from_fixed(delta_safe),
+            demand=TaskDemand(energy_v2=from_fixed(drop_v2),
+                              v_delta=from_fixed(delta_safe)),
+            method="culpeo-r-fixedpoint",
+        )

@@ -1,0 +1,103 @@
+"""Culpeo-R-ISR: interrupt-driven profiling on the MCU's own ADC (paper §V-C).
+
+A 1 ms hardware timer triggers an ISR that reads the on-chip 12-bit ADC and
+updates the minimum observed voltage while the task runs. The sampling is
+not free: the MSP430's ADC burns ~180 µW, which both loads the power system
+during profiling (the model charges it as burden current on the rail —
+Culpeo-R deliberately folds its own sampling cost into the task's profile)
+and steals CPU time on an in-order core.
+
+After ``profile_end`` the MCU sleeps, waking every 50 ms to sample the
+rebounding voltage and update a maximum; the scheduler calls
+``rebound_end`` once the voltage stops climbing, and the max becomes
+``V_final``.
+
+The 1 ms sample period is the variant's known weakness: a 1 ms load pulse
+can fall entirely between samples, so the recorded V_min misses the true
+minimum and the resulting V_safe is aggressive — visible in the paper's
+Figure 10 for the 50 mA / 1 ms loads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.api import CulpeoRuntimeBase
+from repro.core.runtime import CulpeoRCalculator
+from repro.core.tables import ProfileRecord
+from repro.errors import ProfileError
+from repro.sim.adc import Adc, SamplingObserver
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.mcu import McuModel, msp430fr5994
+
+
+class CulpeoIsrRuntime(CulpeoRuntimeBase):
+    """Timer-ISR implementation of the Culpeo-R interface."""
+
+    def __init__(self, engine: PowerSystemSimulator,
+                 calculator: CulpeoRCalculator, *,
+                 mcu: Optional[McuModel] = None,
+                 sample_period: float = 1e-3,
+                 rebound_period: float = 0.050,
+                 adc_bits: int = 12,
+                 adc_vref: float = 2.56) -> None:
+        super().__init__(engine, calculator)
+        self.mcu = mcu or msp430fr5994()
+        self.sample_period = sample_period
+        self.rebound_period = rebound_period
+        self._adc = Adc(bits=adc_bits, v_ref=adc_vref)
+        self._sampler = SamplingObserver(
+            self._adc, sample_period, burden_current=self.mcu.adc_current
+        )
+        engine.attach(self._sampler)
+        self._v_start: Optional[float] = None
+        self._v_min: Optional[float] = None
+        self._v_final: Optional[float] = None
+
+    # -- capture hooks ------------------------------------------------------
+
+    def _begin_capture(self) -> None:
+        self._sampler.reset()
+        self._sampler.sample_period = self.sample_period
+        # profile_start reads the ADC synchronously to record V_start
+        # before enabling the timer (paper §V-C). The reading takes the
+        # quantisation bin's ceiling: conservative for the energy estimate.
+        self._v_start = self._adc.measure(
+            self.engine.system.buffer.terminal_voltage
+        ) + self._adc.lsb
+        self._sampler.enable(self.engine.time)
+
+    def _end_capture(self) -> None:
+        v_min = self._sampler.v_min
+        # If the task outran the 1 ms timer entirely, the only sample the
+        # ISR ever took is V_start itself.
+        self._v_min = v_min if v_min is not None else self._v_start
+        # Switch to slow max-tracking for the rebound; the MCU sleeps
+        # between samples, so the rail burden is only the sleep current.
+        self._sampler.reset()
+        self._sampler.sample_period = self.rebound_period
+        self._sampler._burden_when_on = self.mcu.sleep_current
+        self._sampler.enable(self.engine.time)
+
+    def _finish_rebound(self) -> None:
+        v_max = self._sampler.v_max
+        self._v_final = v_max if v_max is not None else self._v_min
+        self._sampler.disable()
+        self._sampler._burden_when_on = self.mcu.adc_current
+
+    def _rebound_progress(self) -> float:
+        v_max = self._sampler.v_max
+        if v_max is not None:
+            return v_max
+        return self._v_min if self._v_min is not None else 0.0
+
+    def _observed(self) -> ProfileRecord:
+        if self._v_start is None or self._v_min is None or self._v_final is None:
+            raise ProfileError("profiling sequence incomplete")
+        v_final = min(self._v_final, self._v_start)
+        return ProfileRecord(
+            v_start=self._v_start,
+            v_min=min(self._v_min, v_final),
+            v_final=v_final,
+            buffer_config=self.buffer_config,
+        )

@@ -1,0 +1,164 @@
+"""The Culpeo voltage-aware charge model (paper §IV).
+
+A task makes two distinct demands on the energy buffer:
+
+* an **energy demand** — the buffer's open-circuit voltage falls as charge
+  is consumed. Expressed here in volts-squared (``energy_v2 = 2 E / C``),
+  the natural unit for composing capacitor energy drops: a task that needs
+  ``w`` V² must start at ``sqrt(v_end**2 + w)`` to end at ``v_end``.
+* a **voltage demand** — while the task's current flows, ESR depresses the
+  terminal voltage by ``V_delta`` below where the open-circuit voltage
+  will settle. The drop rebounds when the load stops, so it consumes no
+  energy, but crossing ``V_off`` during the drop kills the device anyway.
+
+:class:`TaskDemand` carries both quantities; every Culpeo implementation
+(PG, ISR, µArch) reduces a task to one. The composition rules below then
+answer the questions schedulers ask: the minimum safe start voltage for a
+single task (:func:`vsafe_single`), for a sequence (:func:`vsafe_multi`),
+and whether a sequence is feasible from a given voltage
+(:func:`sequence_feasible`, the paper's Theorem 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TaskDemand:
+    """A task's demand on the buffer, in the charge model's units.
+
+    ``energy_v2``
+        Drop in squared open-circuit voltage the task's consumed energy
+        causes: ``2 * E_in / C`` volts².
+    ``v_delta``
+        Worst-case ESR-induced terminal-voltage drop, referred to the
+        power-off threshold (i.e. the drop the task would exhibit if its
+        high-current portion ran right at ``V_off``), in volts.
+    """
+
+    energy_v2: float
+    v_delta: float
+
+    def __post_init__(self) -> None:
+        if self.energy_v2 < 0:
+            raise ValueError(f"energy_v2 must be >= 0, got {self.energy_v2}")
+        if self.v_delta < 0:
+            raise ValueError(f"v_delta must be >= 0, got {self.v_delta}")
+
+
+@dataclass(frozen=True)
+class VsafeEstimate:
+    """A computed safe starting voltage and its provenance."""
+
+    v_safe: float
+    v_delta: float
+    demand: TaskDemand
+    method: str
+
+    def __post_init__(self) -> None:
+        if self.v_safe < 0:
+            raise ValueError(f"v_safe must be >= 0, got {self.v_safe}")
+
+
+def penalty(v_off: float, v_delta: float, vsafe_next: float) -> float:
+    """The paper's per-task corrective term (§IV-A).
+
+    A task needs extra headroom only when the voltage requirement of what
+    follows it (``vsafe_next``) is not already high enough to absorb this
+    task's ESR drop without crossing ``V_off``::
+
+        penalty = V_off + V_delta - vsafe_next   if positive, else 0
+    """
+    if v_off <= 0:
+        raise ValueError(f"v_off must be positive, got {v_off}")
+    if v_delta < 0:
+        raise ValueError(f"v_delta must be >= 0, got {v_delta}")
+    return max(0.0, v_off + v_delta - vsafe_next)
+
+
+def vsafe_single(demand: TaskDemand, v_off: float) -> float:
+    """Minimum safe starting voltage for one task.
+
+    The task must end no lower than ``V_off`` *and* must survive its own
+    ESR drop; the binding constraint is the larger of the two, and the
+    energy demand stacks on top of it in volts-squared space — exactly
+    lines 10-11 of the paper's Algorithm 1 applied once.
+    """
+    floor = max(v_off, v_off + demand.v_delta)
+    return math.sqrt(floor * floor + demand.energy_v2)
+
+
+def vsafe_multi(demands: Sequence[TaskDemand], v_off: float) -> float:
+    """Minimum safe starting voltage for a task sequence.
+
+    Works backwards from the end of the sequence (where the requirement is
+    ``V_off``), at each task raising the floor to whichever is higher —
+    the next task's requirement or this task's ESR-drop survival level —
+    then adding this task's energy in V² space. Starting the sequence at
+    the returned voltage guarantees the terminal voltage never crosses
+    ``V_off`` during any task (the paper's correctness argument, §IV-A).
+    """
+    if v_off <= 0:
+        raise ValueError(f"v_off must be positive, got {v_off}")
+    v_next = v_off
+    for demand in reversed(list(demands)):
+        floor = max(v_next, v_off + demand.v_delta)
+        v_next = math.sqrt(floor * floor + demand.energy_v2)
+    return v_next
+
+
+def vsafe_multi_additive(demands: Sequence[TaskDemand], v_off: float,
+                         capacitance: Optional[float] = None) -> float:
+    """The paper's closed-form additive formulation of V_safe_multi (§IV-A).
+
+    ``V_safe_multi = sum_i V(E_i) + sum_i penalty_i + V_off``
+
+    where ``V(E_i)`` is the voltage increment covering task *i*'s energy
+    when stacked from ``V_off`` upward. The additive form linearizes the
+    quadratic capacitor energy relation, so it is more conservative than
+    :func:`vsafe_multi` (voltage increments taken low on the curve cover
+    more energy when applied higher up); the paper uses it for exposition
+    and its correctness proof sketch. Provided for analysis and tests.
+    """
+    if v_off <= 0:
+        raise ValueError(f"v_off must be positive, got {v_off}")
+    demands = list(demands)
+    # Per-task V(E): increment over V_off covering the task energy alone.
+    v_of_e = [math.sqrt(v_off * v_off + d.energy_v2) - v_off for d in demands]
+    # Penalties are defined against the successor's requirement, computed
+    # backwards with the same additive recurrence.
+    penalties = [0.0] * len(demands)
+    v_next = v_off
+    for i in range(len(demands) - 1, -1, -1):
+        penalties[i] = penalty(v_off, demands[i].v_delta, v_next)
+        v_next = v_of_e[i] + penalties[i] + v_next
+    return v_off + sum(v_of_e) + sum(penalties)
+
+
+def sequence_feasible(demands: Sequence[TaskDemand], v_start: float,
+                      v_off: float) -> bool:
+    """Theorem 1: may this sequence start at ``v_start`` without failing?
+
+    True iff ``v_start`` is at least the sequence's V_safe_multi — which
+    implies both clauses of the paper's feasibility test: the voltage stays
+    at or above the requirement before every task, and energy never runs
+    out (ending voltage stays at or above ``V_off``).
+    """
+    if v_start < 0:
+        raise ValueError(f"v_start must be >= 0, got {v_start}")
+    return v_start >= vsafe_multi(demands, v_off)
+
+
+def energy_only_feasible(demands: Sequence[TaskDemand], v_start: float,
+                         v_off: float) -> bool:
+    """The broken test prior schedulers use: energy alone, no ESR terms.
+
+    Equivalent to Theorem 1 with every ``v_delta`` forced to zero. Included
+    so experiments can demonstrate exactly which schedules it wrongly
+    admits.
+    """
+    stripped = [TaskDemand(d.energy_v2, 0.0) for d in demands]
+    return sequence_feasible(stripped, v_start, v_off)

@@ -1,0 +1,80 @@
+"""V_safe table serialization.
+
+Culpeo-PG's output is a deployment artifact: per-task V_safe/V_delta
+values the developer bakes into the firmware image ("a programmer may
+include these values in a program to be read at runtime", §V-A). This
+module round-trips a :class:`~repro.core.tables.VsafeTable` — including
+buffer-configuration tags and the underlying task demands — through JSON,
+so an offline analysis run can hand a ready table to a deployment, and a
+deployment can snapshot its learned tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.tables import VsafeTable
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro.vsafe-table"
+_VERSION = 1
+
+
+def table_to_json(table: VsafeTable) -> str:
+    """Serialize every stored estimate, keyed by (task, buffer config).
+
+    Task ids and buffer tags are stored as strings; non-string hashables
+    round-trip as their ``str()`` form, which is what firmware images do
+    anyway.
+    """
+    entries = []
+    for (task_id, config), estimate in sorted(
+            table._estimates.items(), key=lambda kv: (str(kv[0][0]),
+                                                      str(kv[0][1]))):
+        entries.append({
+            "task": str(task_id),
+            "buffer_config": str(config),
+            "v_safe": estimate.v_safe,
+            "v_delta": estimate.v_delta,
+            "energy_v2": estimate.demand.energy_v2,
+            "method": estimate.method,
+        })
+    return json.dumps({
+        "format": _FORMAT,
+        "version": _VERSION,
+        "v_high": table.v_high,
+        "entries": entries,
+    }, indent=2)
+
+
+def table_from_json(text: str) -> VsafeTable:
+    """Inverse of :func:`table_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError("not a repro V_safe table document")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported version: {payload.get('version')!r}")
+    table = VsafeTable(v_high=float(payload["v_high"]))
+    for entry in payload["entries"]:
+        estimate = VsafeEstimate(
+            v_safe=float(entry["v_safe"]),
+            v_delta=float(entry["v_delta"]),
+            demand=TaskDemand(energy_v2=float(entry["energy_v2"]),
+                              v_delta=float(entry["v_delta"])),
+            method=str(entry["method"]),
+        )
+        table.store(entry["task"], estimate,
+                    buffer_config=entry["buffer_config"])
+    return table
+
+
+def save_table(table: VsafeTable, path: PathLike) -> None:
+    Path(path).write_text(table_to_json(table), encoding="utf-8")
+
+
+def load_table(path: PathLike) -> VsafeTable:
+    return table_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,173 @@
+"""Culpeo-PG's offline profiling front-end (paper §V-A).
+
+Culpeo-PG and Culpeo-R expose the *same* Table I API; what differs is the
+machinery behind ``profile_start``/``profile_end``. For PG, profiling
+happens before deployment on continuous power: the developer runs each
+task while a bench current-measurement instrument (an STM32 power-shield
+class device, 125 kHz in the paper's prototype) captures its worst-case
+current trace, and ``compute_vsafe`` runs Algorithm 1 offline.
+
+This module simulates that bench: a :class:`CurrentProbe` turns the
+"true" load current into what the instrument records (finite sample rate,
+finite resolution, input-referred noise), and :class:`CulpeoPgProfiler`
+wraps probe + analysis behind :class:`~repro.core.api.CulpeoInterface`,
+including the envelope-over-runs worst-casing the paper describes
+("profiling to cover a wide range of operating points").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.api import CulpeoInterface
+from repro.core.model import VsafeEstimate
+from repro.core.profile_guided import CulpeoPG
+from repro.core.tables import VsafeTable
+from repro.errors import ProfileError
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystemModel
+
+
+class CurrentProbe:
+    """Bench current-measurement instrument model.
+
+    Captures a load's current profile at a finite sample rate with a
+    finite-resolution front end. Quantisation rounds *up* to the next code
+    (instrument ranges are configured so clipping cannot occur, and
+    rounding up keeps captured profiles conservative).
+    """
+
+    def __init__(self, sample_rate: float = 125e3,
+                 full_scale: float = 0.2, bits: int = 16,
+                 noise_sigma: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        if full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {full_scale}")
+        if not 1 <= bits <= 24:
+            raise ValueError(f"bits must be in [1, 24], got {bits}")
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.sample_rate = sample_rate
+        self.full_scale = full_scale
+        self.bits = bits
+        self.noise_sigma = noise_sigma
+        self._rng = rng or np.random.default_rng(0)
+
+    @property
+    def lsb(self) -> float:
+        return self.full_scale / (1 << self.bits)
+
+    def capture(self, true_load: CurrentTrace) -> CurrentTrace:
+        """Record one run of the task on the bench supply."""
+        samples = true_load.sampled(self.sample_rate)
+        if self.noise_sigma > 0:
+            samples = samples + self._rng.normal(
+                0.0, self.noise_sigma, size=samples.shape)
+        codes = np.ceil(np.clip(samples, 0.0, self.full_scale) / self.lsb)
+        return CurrentTrace.from_samples(codes * self.lsb,
+                                         dt=1.0 / self.sample_rate)
+
+
+def envelope_trace(captures: List[CurrentTrace]) -> CurrentTrace:
+    """Pointwise worst case over several captured runs of the same task.
+
+    Runs may differ in length ("knob" values change task duration); the
+    envelope is as long as the longest run and at least as high as every
+    run at every instant — the worst-case trace Algorithm 1 should see.
+    """
+    if not captures:
+        raise ValueError("need at least one capture")
+    if len(captures) == 1:
+        return captures[0]
+    dt = min(d for capture in captures
+             for _, d in capture.segments())
+    dt = max(dt, 1e-6)
+    rate = 1.0 / dt
+    length = max(int(round(capture.duration * rate)) for capture in captures)
+    stack = np.zeros((len(captures), length))
+    for i, capture in enumerate(captures):
+        samples = capture.sampled(rate)
+        stack[i, :len(samples)] = samples
+    return CurrentTrace.from_samples(stack.max(axis=0), dt=dt)
+
+
+class CulpeoPgProfiler(CulpeoInterface):
+    """Table I front-end for compile-time, bench-profiled analysis.
+
+    ``profile_start`` arms the probe; each ``record_run`` captures one
+    bench run of the task (call several times across operating points);
+    ``profile_end`` stores the envelope; ``compute_vsafe`` runs
+    Algorithm 1 on it. ``rebound_end`` is a no-op — the bench supply is
+    continuous, there is no rebound to wait out.
+    """
+
+    def __init__(self, model: PowerSystemModel,
+                 probe: Optional[CurrentProbe] = None,
+                 **pg_kwargs) -> None:
+        self.model = model
+        self.probe = probe or CurrentProbe()
+        # The probe already captures a worst-case envelope over runs, so
+        # the analysis does not inflate currents a second time unless the
+        # caller overrides.
+        pg_kwargs.setdefault("envelope_margin", 0.0)
+        self.analysis = CulpeoPG(model, **pg_kwargs)
+        self.results = VsafeTable(v_high=model.v_high)
+        self.captured: Dict[Hashable, CurrentTrace] = {}
+        self._recording: Optional[List[CurrentTrace]] = None
+
+    # -- Table I -----------------------------------------------------------
+
+    def profile_start(self) -> None:
+        if self._recording is not None:
+            raise ProfileError("profile_start() while already profiling")
+        self._recording = []
+
+    def record_run(self, true_load: CurrentTrace) -> None:
+        """Capture one bench run of the task under profile."""
+        if self._recording is None:
+            raise ProfileError("record_run() without profile_start()")
+        self._recording.append(self.probe.capture(true_load))
+
+    def profile_end(self, task_id: Hashable) -> None:
+        if self._recording is None:
+            raise ProfileError("profile_end() without profile_start()")
+        if not self._recording:
+            raise ProfileError("profile_end() with no recorded runs")
+        self.captured[task_id] = envelope_trace(self._recording)
+        self._recording = None
+
+    def rebound_end(self, task_id: Hashable) -> None:
+        """No-op on continuous power; present for API symmetry."""
+
+    def compute_vsafe(self, task_id: Hashable) -> None:
+        trace = self.captured.get(task_id)
+        if trace is None:
+            return  # unpopulated entry: no-op, like Culpeo-R
+        self.results.store(task_id, self.analysis.analyze(trace))
+
+    def get_vsafe(self, task_id: Hashable) -> float:
+        return self.results.get_vsafe(task_id)
+
+    def get_vdrop(self, task_id: Hashable) -> float:
+        return self.results.get_vdrop(task_id)
+
+    def get_estimate(self, task_id: Hashable) -> Optional[VsafeEstimate]:
+        return self.results.lookup(task_id)
+
+    # -- convenience ---------------------------------------------------------
+
+    def profile_task(self, runs: List[CurrentTrace],
+                     task_id: Hashable) -> VsafeEstimate:
+        """Full choreography over a set of bench runs."""
+        self.profile_start()
+        for run in runs:
+            self.record_run(run)
+        self.profile_end(task_id)
+        self.compute_vsafe(task_id)
+        estimate = self.get_estimate(task_id)
+        assert estimate is not None
+        return estimate

@@ -1,0 +1,86 @@
+"""Re-profiling policy for changing environmental conditions (paper §V-B).
+
+Culpeo-R's estimates embed the harvesting conditions that held while the
+profile ran (the math assumes "harvested power is roughly constant during
+the event execution"), so a profile taken under strong sun mispredicts
+under clouds. The paper pairs Culpeo-R with schedulers that monitor charge
+rate and re-profile when incoming power shifts: "a change in incoming power
+that exceeds a threshold can be used to trigger re-profiling and
+re-collection of V_safe and V_delta."
+
+:class:`ReprofilingMonitor` implements that policy: feed it incoming-power
+observations; when the relative change since the last accepted baseline
+exceeds the threshold, it invalidates the runtime's tables (per buffer
+configuration) and reports that a re-profile is due.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.core.api import CulpeoRuntimeBase
+
+
+class ReprofilingMonitor:
+    """Invalidates stale Culpeo-R state when harvestable power shifts."""
+
+    def __init__(self, runtime: CulpeoRuntimeBase,
+                 threshold: float = 0.25,
+                 floor_power: float = 1e-6) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if floor_power <= 0:
+            raise ValueError(f"floor_power must be positive, got {floor_power}")
+        self.runtime = runtime
+        self.threshold = threshold
+        self.floor_power = floor_power
+        self._baseline: Optional[float] = None
+        self.invalidation_count = 0
+
+    @property
+    def baseline_power(self) -> Optional[float]:
+        """Incoming power the current profiles were taken under."""
+        return self._baseline
+
+    def record_profile_conditions(self, power: float) -> None:
+        """Anchor the baseline to the conditions of a fresh profile pass."""
+        if power < 0:
+            raise ValueError(f"power must be non-negative, got {power}")
+        self._baseline = power
+
+    def relative_change(self, power: float) -> float:
+        """Relative change of ``power`` versus the baseline."""
+        if self._baseline is None:
+            return 0.0
+        reference = max(self._baseline, self.floor_power)
+        return abs(power - self._baseline) / reference
+
+    def observe_power(self, power: float) -> bool:
+        """Report a new incoming-power reading.
+
+        Returns True — and invalidates every estimate for the runtime's
+        current buffer configuration — when the change since the baseline
+        exceeds the threshold. The first observation just sets the
+        baseline.
+        """
+        if power < 0:
+            raise ValueError(f"power must be non-negative, got {power}")
+        if self._baseline is None:
+            self._baseline = power
+            return False
+        if self.relative_change(power) <= self.threshold:
+            return False
+        self._invalidate_current_config()
+        self._baseline = power
+        self.invalidation_count += 1
+        return True
+
+    def _invalidate_current_config(self) -> None:
+        config: Hashable = self.runtime.buffer_config
+        stale: List[Hashable] = [
+            task_id for (task_id, cfg) in self.runtime.profiles._records
+            if cfg == config
+        ]
+        for task_id in stale:
+            self.runtime.profiles.invalidate(task_id, config)
+            self.runtime.results.invalidate(task_id, config)

@@ -1,0 +1,128 @@
+"""Culpeo-R: the on-device V_safe calculation (paper §IV-D).
+
+Culpeo-R knows *nothing* about the capacitor — not its capacitance, not its
+ESR. It observes three voltages while a task executes once from an
+arbitrary starting level:
+
+* ``V_start`` — terminal voltage when the task begins,
+* ``V_min``   — minimum terminal voltage during the task,
+* ``V_final`` — terminal voltage after the post-task rebound completes,
+
+plus a compile-time linear model of the output booster's efficiency. From
+these it derives:
+
+* the worst-case ESR drop referred to ``V_off`` (Equation 1c) — the
+  observed rebound ``V_delta = V_final - V_min`` scaled by how much worse
+  the booster's current draw gets at ``V_off`` than at the observed
+  ``V_min``; and
+* the energy requirement (Equation 3) — the observed squared-voltage drop
+  scaled by the efficiency ratio, a closed form chosen because solving the
+  exact efficiency integral needs cubic roots the paper deems too
+  expensive for a low-power MCU.
+
+``V_safe = V_safe_E + V_delta_safe`` (the paper's final definition), which
+is slightly conservative: the energy term alone lands the task exactly at
+``V_off``, and the additive drop term buys headroom for the ESR excursion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.power.booster import EfficiencyModel
+
+
+def vdelta_safe(v_delta_observed: float, v_min: float, v_off: float,
+                efficiency: EfficiencyModel) -> float:
+    """Equation 1c: scale an observed ESR drop to its worst case at V_off.
+
+    ``V_delta_safe = V_delta * (V_min * eta(V_min)) / (V_off * eta(V_off))``
+
+    Rooted in Ohm's law through the converter: the booster draws
+    ``I_in = P_out / (V_cap * eta(V_cap))``, so the same load pulls more
+    current — and a deeper ESR drop — the lower the capacitor sits.
+    """
+    if v_delta_observed < 0:
+        raise ValueError(
+            f"v_delta_observed must be >= 0, got {v_delta_observed}"
+        )
+    if v_min <= 0 or v_off <= 0:
+        raise ValueError("v_min and v_off must be positive")
+    scale = (v_min * efficiency.efficiency(v_min)) / (
+        v_off * efficiency.efficiency(v_off)
+    )
+    return v_delta_observed * scale
+
+
+def vsafe_energy(v_start: float, v_final: float, v_off: float,
+                 efficiency: EfficiencyModel) -> float:
+    """Equation 3: the energy-only safe starting voltage.
+
+    ``V_safe_E**2 = (eta(V_start) / eta(V_off)) * (V_start**2 - V_final**2)
+    + V_off**2``
+
+    The efficiency ratio converts the drop observed high on the curve
+    (where conversion was efficient) into the larger drop the same
+    delivered energy will cost when starting near ``V_off``.
+    """
+    if v_start <= 0 or v_off <= 0:
+        raise ValueError("v_start and v_off must be positive")
+    if v_final > v_start:
+        raise ValueError(
+            f"v_final ({v_final}) cannot exceed v_start ({v_start})"
+        )
+    ratio = efficiency.efficiency(v_start) / efficiency.efficiency(v_off)
+    drop_v2 = ratio * (v_start * v_start - v_final * v_final)
+    return math.sqrt(drop_v2 + v_off * v_off)
+
+
+@dataclass(frozen=True)
+class CulpeoRCalculator:
+    """Bundles the Culpeo-R math with the device's compile-time constants.
+
+    ``guard_band`` is the implementation's rounding margin: the on-device
+    code runs in fixed point and rounds every intermediate up, and the
+    profile voltages carry one sample period of timing jitter. The default
+    15 mV (~1.6% of the Capybara operating range) absorbs both, keeping
+    estimates on the safe side of the 20 mV band the paper measured as
+    "failures some of the time" (§VI-A).
+    """
+
+    efficiency: EfficiencyModel
+    v_off: float
+    v_high: float
+    guard_band: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.v_off <= 0 or self.v_high <= self.v_off:
+            raise ValueError("need 0 < v_off < v_high")
+        if self.guard_band < 0:
+            raise ValueError(f"guard_band must be >= 0, got {self.guard_band}")
+
+    def estimate(self, v_start: float, v_min: float,
+                 v_final: float) -> VsafeEstimate:
+        """Turn one profiling observation into a V_safe estimate."""
+        if not v_min <= v_final <= v_start + 1e-9:
+            # Quantisation can report v_final a hair above v_start; clamp.
+            v_final = min(v_final, v_start)
+            if v_min > v_final:
+                v_min = v_final
+        v_delta_obs = max(0.0, v_final - v_min)
+        v_dsafe = vdelta_safe(v_delta_obs, max(v_min, 1e-6), self.v_off,
+                              self.efficiency)
+        v_e = vsafe_energy(v_start, v_final, self.v_off, self.efficiency)
+        v_safe = min(self.v_high, v_e + v_dsafe + self.guard_band)
+        ratio = (self.efficiency.efficiency(v_start)
+                 / self.efficiency.efficiency(self.v_off))
+        demand = TaskDemand(
+            energy_v2=ratio * (v_start * v_start - v_final * v_final),
+            v_delta=v_dsafe,
+        )
+        return VsafeEstimate(
+            v_safe=v_safe,
+            v_delta=v_dsafe,
+            demand=demand,
+            method="culpeo-r",
+        )

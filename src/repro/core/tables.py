@@ -1,0 +1,107 @@
+"""In-memory profile and V_safe tables (paper §V-B).
+
+Culpeo-R stores per-task measurements in a profile table indexed by task
+identifier, computes V_safe/V_delta into a results table, and serves ``get``
+queries from it. Devices with reconfigurable energy buffers tag every entry
+with a buffer-configuration identifier, and queries must name the
+configuration they ask about.
+
+Per the paper: a ``get`` against a task with no valid entry returns
+``V_high`` for V_safe (the most conservative possible answer — wait for a
+full buffer) and ``-1`` for V_delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.model import VsafeEstimate
+
+#: Buffer-configuration tag used when the device has a fixed buffer.
+DEFAULT_BUFFER = "default"
+
+Key = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One task profiling observation: the three voltages Culpeo-R keeps."""
+
+    v_start: float
+    v_min: float
+    v_final: float
+    buffer_config: Hashable = DEFAULT_BUFFER
+
+    def __post_init__(self) -> None:
+        if self.v_start < 0 or self.v_min < 0 or self.v_final < 0:
+            raise ValueError("profile voltages must be non-negative")
+
+
+class ProfileTable:
+    """Per-task measurement storage, tagged by buffer configuration."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Key, ProfileRecord] = {}
+
+    def store(self, task_id: Hashable, record: ProfileRecord) -> None:
+        self._records[(task_id, record.buffer_config)] = record
+
+    def lookup(self, task_id: Hashable,
+               buffer_config: Hashable = DEFAULT_BUFFER) -> Optional[ProfileRecord]:
+        return self._records.get((task_id, buffer_config))
+
+    def invalidate(self, task_id: Hashable,
+                   buffer_config: Hashable = DEFAULT_BUFFER) -> None:
+        """Drop one task's profile (e.g. after incoming power changed)."""
+        self._records.pop((task_id, buffer_config), None)
+
+    def clear(self) -> None:
+        """Drop everything — a full re-profile is coming."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._records
+
+
+class VsafeTable:
+    """Computed V_safe/V_delta results, with the paper's default answers."""
+
+    def __init__(self, v_high: float) -> None:
+        if v_high <= 0:
+            raise ValueError(f"v_high must be positive, got {v_high}")
+        self.v_high = v_high
+        self._estimates: Dict[Key, VsafeEstimate] = {}
+
+    def store(self, task_id: Hashable, estimate: VsafeEstimate,
+              buffer_config: Hashable = DEFAULT_BUFFER) -> None:
+        self._estimates[(task_id, buffer_config)] = estimate
+
+    def lookup(self, task_id: Hashable,
+               buffer_config: Hashable = DEFAULT_BUFFER) -> Optional[VsafeEstimate]:
+        return self._estimates.get((task_id, buffer_config))
+
+    def get_vsafe(self, task_id: Hashable,
+                  buffer_config: Hashable = DEFAULT_BUFFER) -> float:
+        """V_safe for a task, or ``V_high`` if never computed (paper §V-B)."""
+        entry = self.lookup(task_id, buffer_config)
+        return entry.v_safe if entry is not None else self.v_high
+
+    def get_vdrop(self, task_id: Hashable,
+                  buffer_config: Hashable = DEFAULT_BUFFER) -> float:
+        """V_delta for a task, or ``-1`` if never computed (paper §V-B)."""
+        entry = self.lookup(task_id, buffer_config)
+        return entry.v_delta if entry is not None else -1.0
+
+    def invalidate(self, task_id: Hashable,
+                   buffer_config: Hashable = DEFAULT_BUFFER) -> None:
+        self._estimates.pop((task_id, buffer_config), None)
+
+    def clear(self) -> None:
+        self._estimates.clear()
+
+    def __len__(self) -> int:
+        return len(self._estimates)

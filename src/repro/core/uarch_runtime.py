@@ -1,0 +1,88 @@
+"""Culpeo-R-µArch: profiling via the dedicated peripheral block (paper §V-D).
+
+The runtime drives the Table II command interface of the
+:class:`~repro.sim.uarch.CulpeoUArchBlock`: ``configure(on)`` and a live
+``read`` capture V_start, ``prepare(min)`` + ``sample(min)`` arm hardware
+minimum tracking for the task, and after ``profile_end`` the block flips to
+maximum tracking for the rebound — all without involving the CPU, and at
+100 kHz instead of the ISR's 1 kHz, so even millisecond pulses cannot hide
+between samples.
+
+The trade-off is precision: the block's 8-bit ADC quantises in 10 mV steps
+(over a 2.56 V range), so its V_min reads slightly low and its V_safe
+estimates come out a touch more conservative than the ISR variant's —
+matching the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.api import CulpeoRuntimeBase
+from repro.core.runtime import CulpeoRCalculator
+from repro.core.tables import ProfileRecord
+from repro.errors import ProfileError
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.uarch import CaptureMode, CulpeoUArchBlock
+
+
+class CulpeoUArchRuntime(CulpeoRuntimeBase):
+    """Culpeo-R implementation backed by the microarchitectural block."""
+
+    def __init__(self, engine: PowerSystemSimulator,
+                 calculator: CulpeoRCalculator, *,
+                 block: Optional[CulpeoUArchBlock] = None) -> None:
+        super().__init__(engine, calculator)
+        self.block = block or CulpeoUArchBlock()
+        engine.attach(self.block)
+        self._v_start: Optional[float] = None
+        self._v_min: Optional[float] = None
+        self._v_final: Optional[float] = None
+
+    # -- capture hooks ------------------------------------------------------
+
+    def _begin_capture(self) -> None:
+        now = self.engine.time
+        self.block.configure(True, now)
+        # Take one live conversion for V_start (the core "reads the current
+        # ADC value", §V-D), then arm minimum tracking.
+        self.block.convert_now(
+            now, self.engine.system.buffer.terminal_voltage
+        )
+        # Conservative translation: an ADC code means the voltage sits
+        # somewhere in [code, code+1) LSBs, and for V_start the safe reading
+        # is the bin ceiling (assume we started with the most energy the
+        # code can represent, so the estimate covers the full bin).
+        self._v_start = self.block.read_voltage() + self.block.adc.lsb
+        self.block.prepare(CaptureMode.MIN)
+        self.block.sample(CaptureMode.MIN)
+
+    def _end_capture(self) -> None:
+        self._v_min = self.block.read_voltage()
+        self.block.prepare(CaptureMode.MAX)
+        self.block.sample(CaptureMode.MAX)
+        # Seed the max register with the present voltage so rebound
+        # progress is visible from the first read.
+        self.block.convert_now(
+            self.engine.time, self.engine.system.buffer.terminal_voltage
+        )
+
+    def _finish_rebound(self) -> None:
+        self._v_final = self.block.read_voltage()
+        self.block.configure(False)
+
+    def _rebound_progress(self) -> float:
+        if self.block.next_event_time() is None:
+            return self._v_final if self._v_final is not None else 0.0
+        return self.block.read_voltage()
+
+    def _observed(self) -> ProfileRecord:
+        if self._v_start is None or self._v_min is None or self._v_final is None:
+            raise ProfileError("profiling sequence incomplete")
+        v_final = min(self._v_final, self._v_start)
+        return ProfileRecord(
+            v_start=self._v_start,
+            v_min=min(self._v_min, v_final),
+            v_final=v_final,
+            buffer_config=self.buffer_config,
+        )

@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PowerSystemError(ReproError):
+    """A power-system model was configured or driven inconsistently."""
+
+
+class BrownOutError(ReproError):
+    """Raised when a simulated execution crossed the power-off threshold.
+
+    Callers that treat brown-out as an expected outcome (the whole point of
+    the paper is that it happens) should catch this or use APIs that report
+    it as data rather than raising.
+    """
+
+    def __init__(self, message: str, time: float, voltage: float) -> None:
+        super().__init__(message)
+        self.time = time
+        self.voltage = voltage
+
+
+class ProfileError(ReproError):
+    """A task profile was missing, malformed, or used out of order."""
+
+
+class ScheduleError(ReproError):
+    """A scheduler was asked to do something infeasible or inconsistent."""

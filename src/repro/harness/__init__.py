@@ -1,0 +1,39 @@
+"""Experiment harness: ground truth, experiment runners, and reporting.
+
+``ground_truth`` reimplements the paper's bench procedure — a brute-force
+binary search for the true V_safe of a load on a given power system — and
+the per-figure experiment runners in ``experiments`` regenerate every table
+and figure of the paper's evaluation (see DESIGN.md for the index).
+"""
+
+from repro.harness.ground_truth import (
+    GroundTruth,
+    attempt_load,
+    find_true_vsafe,
+)
+from repro.harness.report import TextTable, format_percent
+from repro.harness.export import result_to_csv, rows_to_csv, save_result_csv
+from repro.harness.probabilistic import (
+    CompletionEstimate,
+    UncertaintyModel,
+    completion_probability,
+    probability_curve,
+)
+from repro.harness import ablations, experiments
+
+__all__ = [
+    "GroundTruth",
+    "attempt_load",
+    "find_true_vsafe",
+    "TextTable",
+    "format_percent",
+    "rows_to_csv",
+    "result_to_csv",
+    "save_result_csv",
+    "UncertaintyModel",
+    "CompletionEstimate",
+    "completion_probability",
+    "probability_curve",
+    "experiments",
+    "ablations",
+]

@@ -1,0 +1,701 @@
+"""One experiment runner per figure/table in the paper's evaluation.
+
+Each ``fig*``/``table*`` function runs the corresponding experiment against
+the simulated Capybara-class power system and returns a result object whose
+``render()`` produces the rows/series the paper reports. The benchmark
+suite under ``benchmarks/`` wraps these runners one-to-one; EXPERIMENTS.md
+records paper-versus-measured for each.
+
+Error-sign conventions follow the paper (see DESIGN.md §7):
+
+* Figure 6 reports ``(true - predicted)`` as % of the operating range —
+  positive means the prediction is too low and the task fails.
+* Figure 10 reports ``(predicted - true)`` — estimates below -2% are
+  unsafe; 0 to +10% is safe and performant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps import (
+    noise_monitoring_app,
+    periodic_sensing_app,
+    responsive_reporting_app,
+    run_app,
+)
+from repro.apps.spec import AppSpec
+from repro.core.model import TaskDemand, vsafe_multi
+from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.harness.report import TextTable, format_percent
+from repro.loads.peripherals import (
+    ble_listen,
+    ble_radio,
+    lora_packet,
+    real_peripheral_suite,
+)
+from repro.loads.synthetic import (
+    SyntheticLoad,
+    fig6_load_matrix,
+    fig10_load_matrix,
+)
+from repro.loads.trace import CurrentTrace
+from repro.power.capacitor import IdealCapacitor
+from repro.power.catalog import (
+    CapacitorTechnology,
+    reference_catalog,
+    survey_by_technology,
+)
+from repro.power.system import PowerSystem, capybara_power_system
+from repro.sched.estimators import (
+    CatnapEstimator,
+    EnergyDirectEstimator,
+    EnergyVEstimator,
+    standard_estimators,
+)
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.recorder import TraceRecorder
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b — ESR drop and rebound decomposition
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EsrDropDemo:
+    """Decomposition of a load's voltage drop into energy and ESR parts."""
+
+    v_before: float
+    v_min: float
+    v_final: float
+    times: np.ndarray
+    voltages: np.ndarray
+
+    @property
+    def total_drop(self) -> float:
+        return self.v_before - self.v_min
+
+    @property
+    def energy_drop(self) -> float:
+        """Drop that persists after rebound — consumed energy."""
+        return self.v_before - self.v_final
+
+    @property
+    def missed_drop(self) -> float:
+        """The part an energy-only system never sees (paper Fig 1b)."""
+        return self.v_final - self.v_min
+
+    def render(self) -> str:
+        table = TextTable(["quantity", "volts"],
+                          title="Figure 1b — ESR drop decomposition "
+                                "(50 mA / 100 ms on the 45 mF bank)")
+        table.add_row(["V before", f"{self.v_before:.3f}"])
+        table.add_row(["V min (during load)", f"{self.v_min:.3f}"])
+        table.add_row(["V final (after rebound)", f"{self.v_final:.3f}"])
+        table.add_row(["total drop", f"{self.total_drop:.3f}"])
+        table.add_row(["drop due to consumed energy", f"{self.energy_drop:.3f}"])
+        table.add_row(["missed (ESR) drop", f"{self.missed_drop:.3f}"])
+        return table.render()
+
+
+def fig1b_esr_drop(v_start: float = 2.4,
+                   system: Optional[PowerSystem] = None) -> EsrDropDemo:
+    """Reproduce Figure 1b: a real-trace-style drop/rebound decomposition."""
+    system = (system or capybara_power_system()).copy()
+    system.rest_at(v_start)
+    recorder = TraceRecorder(sample_period=2e-3)
+    recorder.start(0.0)
+    sim = PowerSystemSimulator(system, observers=[recorder])
+    load = CurrentTrace.constant(0.050, 0.100)
+    result = sim.run_trace(load, harvesting=False, settle_after=1.0)
+    return EsrDropDemo(
+        v_before=result.v_start,
+        v_min=result.v_min,
+        v_final=result.v_final,
+        times=recorder.times,
+        voltages=recorder.voltages,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — volume vs ESR across capacitor technologies
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CapacitorSurvey:
+    """45 mF bank survey: per-technology point clouds and best designs."""
+
+    points: Dict[CapacitorTechnology, List[Tuple[float, float]]]
+    best: Dict[CapacitorTechnology, dict]
+
+    def render(self) -> str:
+        table = TextTable(
+            ["technology", "banks", "min volume (mm^3)", "ESR there (ohm)",
+             "parts", "leakage (A)"],
+            title="Figure 3 — 45 mF banks by capacitor technology",
+        )
+        for tech, info in self.best.items():
+            table.add_row([
+                tech.value, len(self.points[tech]),
+                f"{info['volume_mm3']:.3g}", f"{info['esr']:.3g}",
+                info["part_count"], f"{info['leakage']:.2g}",
+            ])
+        return table.render()
+
+
+def fig3_capacitor_survey(parts_per_technology: int = 500,
+                          seed: int = 2022) -> CapacitorSurvey:
+    """Reproduce Figure 3's survey from the synthetic part catalog."""
+    catalog = reference_catalog(parts_per_technology, seed=seed)
+    grouped = survey_by_technology(catalog)
+    points: Dict[CapacitorTechnology, List[Tuple[float, float]]] = {}
+    best: Dict[CapacitorTechnology, dict] = {}
+    for tech, banks in grouped.items():
+        points[tech] = [(b.volume_mm3, b.esr) for b in banks]
+        if banks:
+            smallest = min(banks, key=lambda b: b.volume_mm3)
+            best[tech] = dict(volume_mm3=smallest.volume_mm3,
+                              esr=smallest.esr,
+                              part_count=smallest.part_count,
+                              leakage=smallest.leakage_current)
+    return CapacitorSurvey(points=points, best=best)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — power-off with energy remaining
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PowerOffDemo:
+    """A high-ESR buffer powering off mid-transmission with energy left."""
+
+    browned_out: bool
+    v_at_poweroff: float
+    stored_energy_at_poweroff: float
+    usable_energy_at_start: float
+    fraction_remaining: float
+
+    def render(self) -> str:
+        table = TextTable(["quantity", "value"],
+                          title="Figure 4 — ESR drop powers off the device "
+                                "with stored energy remaining (10 ohm ESR, "
+                                "50 mA LoRa-class load)")
+        table.add_row(["browned out", self.browned_out])
+        table.add_row(["terminal V at power-off", f"{self.v_at_poweroff:.3f}"])
+        table.add_row(["stored energy at power-off (mJ)",
+                       f"{self.stored_energy_at_poweroff * 1e3:.2f}"])
+        table.add_row(["usable energy at start (mJ)",
+                       f"{self.usable_energy_at_start * 1e3:.2f}"])
+        table.add_row(["fraction of usable energy stranded",
+                       f"{self.fraction_remaining:.0%}"])
+        return table.render()
+
+
+def fig4_poweroff_demo(esr: float = 10.0, v_start: float = 2.12,
+                       capacitance: float = 45e-3) -> PowerOffDemo:
+    """Reproduce Figure 4: the paper's 10 ohm / 50 mA motivating scenario."""
+    system = capybara_power_system()
+    buffer = IdealCapacitor(capacitance=capacitance, esr=esr, voltage=v_start)
+    system.buffer = buffer
+    system.rest_at(v_start)
+    sim = PowerSystemSimulator(system)
+    v_off = system.monitor.v_off
+    usable_start = 0.5 * capacitance * (v_start ** 2 - v_off ** 2)
+    result = sim.run_trace(lora_packet().trace, harvesting=False)
+    oc = buffer.open_circuit_voltage
+    stranded = 0.5 * capacitance * max(0.0, oc ** 2 - v_off ** 2)
+    return PowerOffDemo(
+        browned_out=result.browned_out,
+        v_at_poweroff=result.v_min,
+        stored_energy_at_poweroff=stranded,
+        usable_energy_at_start=usable_start,
+        fraction_remaining=stranded / usable_start if usable_start else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — CatNap's feasible schedule fails under ESR
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleFailureDemo:
+    """Energy-only feasibility admits a schedule that browns out."""
+
+    catnap_gate: float
+    culpeo_gate: float
+    v_at_radio: float
+    catnap_admits: bool
+    radio_completed: bool
+    culpeo_admits: bool
+
+    def render(self) -> str:
+        table = TextTable(["check", "value"],
+                          title="Figure 5 — sense-then-radio on one "
+                                "discharge: CatNap admits it, ESR kills it")
+        table.add_row(["voltage before radio", f"{self.v_at_radio:.3f}"])
+        table.add_row(["CatNap (energy-only) gate", f"{self.catnap_gate:.3f}"])
+        table.add_row(["CatNap admits radio?", self.catnap_admits])
+        table.add_row(["radio actually completed?", self.radio_completed])
+        table.add_row(["Culpeo (Theorem 1) gate", f"{self.culpeo_gate:.3f}"])
+        table.add_row(["Culpeo admits radio?", self.culpeo_admits])
+        return table.render()
+
+
+def fig5_catnap_schedule() -> ScheduleFailureDemo:
+    """Reproduce Figure 5's scenario: back-to-back sense + radio.
+
+    ``sense`` is a long, low-current task and ``radio`` a high-current
+    burst (BLE + listen). CatNap's energy estimates admit running the radio
+    immediately after the sense on the same discharge; simulating the pair
+    shows the radio browning out, while the Theorem 1 gate (with Culpeo's
+    V_delta terms) correctly requires a recharge first.
+    """
+    system = capybara_power_system()
+    model = system.characterize()
+    sense = CurrentTrace.constant(0.003, 0.800)
+    radio = ble_radio().trace.concat(ble_listen(2.0).trace)
+
+    catnap = CatnapEstimator.measured(model)
+    sense_est = catnap.estimate(system, sense)
+    radio_est = catnap.estimate(system, radio)
+    catnap_gate = vsafe_multi(
+        [TaskDemand(radio_est.demand.energy_v2, 0.0)], model.v_off
+    )
+
+    culpeo_isr = standard_estimators(system, model)[2]
+    radio_culpeo = culpeo_isr.estimate(system, radio)
+    culpeo_gate = radio_culpeo.v_safe
+
+    # Start the discharge where CatNap's own plan says the pair just fits.
+    v_start = vsafe_multi(
+        [TaskDemand(sense_est.demand.energy_v2, 0.0),
+         TaskDemand(radio_est.demand.energy_v2, 0.0)],
+        model.v_off,
+    ) + 0.005
+    trial = system.copy()
+    trial.rest_at(v_start)
+    sim = PowerSystemSimulator(trial)
+    sim.run_trace(sense, harvesting=False, settle_after=0.01)
+    v_at_radio = trial.buffer.terminal_voltage
+    radio_run = sim.run_trace(radio, harvesting=False)
+    return ScheduleFailureDemo(
+        catnap_gate=catnap_gate,
+        culpeo_gate=culpeo_gate,
+        v_at_radio=v_at_radio,
+        catnap_admits=v_at_radio >= catnap_gate,
+        radio_completed=radio_run.completed,
+        culpeo_admits=v_at_radio >= culpeo_gate,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — energy-only estimator error on pulse+compute loads
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EstimatorErrorResult:
+    """Per-load, per-estimator V_safe error (Figure 6 sign convention)."""
+
+    rows: List[dict] = field(default_factory=list)
+
+    def errors_for(self, estimator: str) -> List[float]:
+        return [r["errors"][estimator] for r in self.rows]
+
+    def render(self) -> str:
+        estimators = list(self.rows[0]["errors"]) if self.rows else []
+        table = TextTable(
+            ["load", "true V_safe"] + estimators,
+            title="Figure 6 — (true - predicted) V_safe as % of operating "
+                  "range; positive means the task fails",
+        )
+        for row in self.rows:
+            table.add_row(
+                [row["load"], f"{row['true']:.3f}"]
+                + [format_percent(row["errors"][e]) for e in estimators]
+            )
+        return table.render()
+
+
+def fig6_energy_estimator_error(
+        loads: Optional[Sequence[SyntheticLoad]] = None,
+        system: Optional[PowerSystem] = None) -> EstimatorErrorResult:
+    """Reproduce Figure 6: Energy-Direct and both CatNap reads all fail."""
+    system = system or capybara_power_system()
+    model = system.characterize()
+    estimators = [
+        EnergyDirectEstimator(model),
+        CatnapEstimator.slow(model),
+        CatnapEstimator.measured(model),
+    ]
+    result = EstimatorErrorResult()
+    op_range = system.operating_range
+    for load in loads if loads is not None else fig6_load_matrix():
+        truth = find_true_vsafe(system, load.trace)
+        errors = {}
+        for est in estimators:
+            predicted = est.estimate(system, load.trace).v_safe
+            errors[est.name] = op_range.as_percent_of_range(
+                truth.v_safe - predicted
+            )
+        result.rows.append(dict(load=load.label, true=truth.v_safe,
+                                errors=errors))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table III — load profile inventory
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadInventory:
+    """The evaluated loads and their electrical envelopes."""
+
+    rows: List[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = TextTable(
+            ["load", "type", "peak (mA)", "largest pulse (ms)",
+             "duration (ms)", "energy @2.55V (mJ)"],
+            title="Table III — load profiles used in the evaluation",
+        )
+        for row in self.rows:
+            table.add_row([
+                row["name"], row["type"], f"{row['peak'] * 1e3:.3g}",
+                f"{row['pulse'] * 1e3:.3g}", f"{row['duration'] * 1e3:.4g}",
+                f"{row['energy'] * 1e3:.3g}",
+            ])
+        return table.render()
+
+
+def table3_load_profiles() -> LoadInventory:
+    """Reproduce Table III: every load's parameters and current profile."""
+    inventory = LoadInventory()
+    for load in fig10_load_matrix():
+        inventory.rows.append(dict(
+            name=load.label, type=load.shape,
+            peak=load.trace.peak_current,
+            pulse=load.trace.largest_pulse_width(),
+            duration=load.trace.duration,
+            energy=load.trace.energy_at(2.55),
+        ))
+    for peripheral in real_peripheral_suite():
+        inventory.rows.append(dict(
+            name=peripheral.name, type="peripheral",
+            peak=peripheral.trace.peak_current,
+            pulse=peripheral.trace.largest_pulse_width(),
+            duration=peripheral.trace.duration,
+            energy=peripheral.trace.energy_at(2.55),
+        ))
+    return inventory
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — V_safe for a single task vs V_safe_multi for a sequence
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VsafeMultiDemo:
+    """Single-task and task-sequence safe-voltage validation (Figure 8)."""
+
+    task_names: List[str]
+    single_vsafes: List[float]
+    vsafe_multi: float
+    sequence_from_multi_vmin: float
+    sequence_from_multi_ok: bool
+    naive_start: float
+    sequence_from_naive_ok: bool
+    v_off: float
+
+    def render(self) -> str:
+        table = TextTable(["quantity", "value"],
+                          title="Figure 8 — a V_safe per task is not "
+                                "enough: sequences need V_safe_multi")
+        for name, v in zip(self.task_names, self.single_vsafes):
+            table.add_row([f"V_safe({name})", f"{v:.3f}"])
+        table.add_row(["max single V_safe (naive start)",
+                       f"{self.naive_start:.3f}"])
+        table.add_row(["sequence from naive start completes?",
+                       self.sequence_from_naive_ok])
+        table.add_row(["V_safe_multi (composed)", f"{self.vsafe_multi:.3f}"])
+        table.add_row(["sequence from V_safe_multi completes?",
+                       self.sequence_from_multi_ok])
+        table.add_row(["V_min across sequence from V_safe_multi",
+                       f"{self.sequence_from_multi_vmin:.3f}"])
+        return table.render()
+
+
+def fig8_vsafe_multi(system: Optional[PowerSystem] = None) -> VsafeMultiDemo:
+    """Reproduce Figure 8's scenario: sense -> encrypt -> send+listen.
+
+    Profiles each task with Culpeo-R-ISR, composes the sequence
+    requirement with the paper's V_safe_multi rule, then validates both
+    claims on the simulator: starting the whole sequence at the *largest
+    single-task* V_safe fails (each V_safe only covers its own task),
+    while starting at V_safe_multi completes every task with the terminal
+    voltage never crossing V_off.
+    """
+    from repro.core.model import vsafe_multi as compose
+    from repro.loads.peripherals import encrypt_block, imu_read
+
+    system = system or capybara_power_system()
+    model = system.characterize()
+    tasks = [
+        ("sense", imu_read(32, odr_hz=104.0).trace),
+        ("encrypt", encrypt_block(192).trace),
+        ("send+listen", ble_radio().trace.concat(ble_listen(2.0).trace)),
+    ]
+    estimator = standard_estimators(system, model)[2]  # Culpeo-R-ISR
+    estimates = [estimator.estimate(system, trace) for _, trace in tasks]
+    demands = [e.demand for e in estimates]
+    composed = compose(demands, model.v_off)
+
+    def run_sequence(v_start: float):
+        trial = system.copy()
+        trial.rest_at(v_start)
+        sim = PowerSystemSimulator(trial)
+        v_min = v_start
+        for _, trace in tasks:
+            result = sim.run_trace(trace, harvesting=False)
+            v_min = min(v_min, result.v_min)
+            if result.browned_out:
+                return False, v_min
+        return True, v_min
+
+    naive = max(e.v_safe for e in estimates)
+    naive_ok, _ = run_sequence(naive)
+    multi_ok, multi_vmin = run_sequence(min(composed, model.v_high))
+    return VsafeMultiDemo(
+        task_names=[name for name, _ in tasks],
+        single_vsafes=[e.v_safe for e in estimates],
+        vsafe_multi=composed,
+        sequence_from_multi_vmin=multi_vmin,
+        sequence_from_multi_ok=multi_ok,
+        naive_start=naive,
+        sequence_from_naive_ok=naive_ok,
+        v_off=model.v_off,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — V_safe accuracy of CatNap vs the three Culpeo variants
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VsafeAccuracyResult:
+    """Per-load, per-method error (Figure 10 sign convention)."""
+
+    rows: List[dict] = field(default_factory=list)
+    unsafe_threshold: float = -2.0
+
+    def errors_for(self, method: str) -> List[float]:
+        return [r["errors"][method] for r in self.rows]
+
+    def unsafe_count(self, method: str) -> int:
+        return sum(1 for e in self.errors_for(method)
+                   if e < self.unsafe_threshold)
+
+    def render(self) -> str:
+        methods = list(self.rows[0]["errors"]) if self.rows else []
+        table = TextTable(
+            ["load", "shape", "true V_safe"] + methods,
+            title="Figure 10 — (predicted - true) V_safe as % of operating "
+                  "range; below -2% is unsafe, 0..10% is ideal",
+        )
+        for row in self.rows:
+            table.add_row(
+                [row["load"], row["shape"], f"{row['true']:.3f}"]
+                + [format_percent(row["errors"][m]) for m in methods]
+            )
+        return table.render()
+
+
+def fig10_vsafe_accuracy(
+        loads: Optional[Sequence[SyntheticLoad]] = None,
+        system: Optional[PowerSystem] = None) -> VsafeAccuracyResult:
+    """Reproduce Figure 10 over the 18-load synthetic matrix."""
+    system = system or capybara_power_system()
+    model = system.characterize()
+    estimators = standard_estimators(system, model)
+    result = VsafeAccuracyResult()
+    op_range = system.operating_range
+    for load in loads if loads is not None else fig10_load_matrix():
+        truth = find_true_vsafe(system, load.trace)
+        errors = {}
+        for est in estimators:
+            predicted = est.estimate(system, load.trace).v_safe
+            errors[est.name] = op_range.as_percent_of_range(
+                predicted - truth.v_safe
+            )
+        result.rows.append(dict(load=load.label, shape=load.shape,
+                                true=truth.v_safe, errors=errors))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — real peripherals: V_safe tops, V_min tips
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PeripheralResult:
+    """Per-peripheral, per-method start voltage and resulting minimum."""
+
+    rows: List[dict] = field(default_factory=list)
+    v_off: float = 1.6
+
+    def safe(self, method: str, peripheral: str) -> bool:
+        for row in self.rows:
+            if row["method"] == method and row["peripheral"] == peripheral:
+                return row["v_min"] >= self.v_off
+        raise KeyError(f"{method}/{peripheral} not in results")
+
+    def render(self) -> str:
+        table = TextTable(
+            ["peripheral", "method", "V_safe (arrow top)",
+             "V_min (arrow tip)", "outcome"],
+            title=f"Figure 11 — peripheral runs from each method's V_safe "
+                  f"(V_off = {self.v_off:.2f} V)",
+        )
+        for row in self.rows:
+            outcome = "ok" if row["v_min"] >= self.v_off else "POWER-OFF"
+            table.add_row([row["peripheral"], row["method"],
+                           f"{row['v_safe']:.3f}", f"{row['v_min']:.3f}",
+                           outcome])
+        return table.render()
+
+
+def fig11_peripherals(system: Optional[PowerSystem] = None) -> PeripheralResult:
+    """Reproduce Figure 11 on the gesture / BLE / MNIST profiles."""
+    system = system or capybara_power_system()
+    model = system.characterize()
+    estimators = [EnergyVEstimator(model), CatnapEstimator.measured(model)]
+    estimators += standard_estimators(system, model)[1:3]  # PG + ISR ("Culpeo R")
+    result = PeripheralResult(v_off=model.v_off)
+    for peripheral in real_peripheral_suite():
+        for est in estimators:
+            predicted = est.estimate(system, peripheral.trace).v_safe
+            run = attempt_load(system, peripheral.trace, predicted,
+                               settle_after=0.0)
+            result.rows.append(dict(
+                peripheral=peripheral.name, method=est.name,
+                v_safe=predicted, v_min=run.v_min,
+            ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12 & 13 — application event capture
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EventCaptureResult:
+    """Capture percentages per application series (Figure 12)."""
+
+    rows: List[dict] = field(default_factory=list)
+
+    def capture(self, series: str, policy: str) -> float:
+        for row in self.rows:
+            if row["series"] == series and row["policy"] == policy:
+                return row["captured"]
+        raise KeyError(f"{series}/{policy} not in results")
+
+    def render(self) -> str:
+        table = TextTable(
+            ["series", "CatNap", "Culpeo"],
+            title="Figure 12 — % events captured over three 5-minute trials",
+        )
+        series = []
+        for row in self.rows:
+            if row["series"] not in series:
+                series.append(row["series"])
+        for s in series:
+            table.add_row([
+                s,
+                f"{self.capture(s, 'catnap'):.0f}%",
+                f"{self.capture(s, 'culpeo'):.0f}%",
+            ])
+        return table.render()
+
+
+#: The Figure 12 series: (label, app factory, chain filter).
+FIG12_SERIES: Tuple[Tuple[str, object, Optional[str]], ...] = (
+    ("Periodic Sensing", periodic_sensing_app, "PS"),
+    ("Responsive Reporting", responsive_reporting_app, "RR"),
+    ("Noise Monitor Mic", noise_monitoring_app, "NMR-mic"),
+    ("Noise Monitor BLE", noise_monitoring_app, "NMR-BLE"),
+)
+
+
+def fig12_event_capture(trials: int = 3,
+                        base_seed: int = 2022) -> EventCaptureResult:
+    """Reproduce Figure 12: CatNap versus Culpeo on all three apps."""
+    result = EventCaptureResult()
+    app_results: Dict[str, Dict[str, object]] = {}
+    for label, factory, chain in FIG12_SERIES:
+        spec: AppSpec = factory()
+        if spec.name not in app_results:
+            app_results[spec.name] = {
+                kind: run_app(spec, kind, trials=trials, base_seed=base_seed)
+                for kind in ("catnap", "culpeo")
+            }
+        for kind in ("catnap", "culpeo"):
+            run = app_results[spec.name][kind]
+            result.rows.append(dict(
+                series=label, policy=kind,
+                captured=run.capture_percent(chain),
+            ))
+    return result
+
+
+@dataclass
+class EventRateResult:
+    """Capture percentages across event-rate settings (Figure 13)."""
+
+    rows: List[dict] = field(default_factory=list)
+
+    def capture(self, app: str, policy: str, rate: str) -> float:
+        for row in self.rows:
+            if (row["app"], row["policy"], row["rate"]) == (app, policy, rate):
+                return row["captured"]
+        raise KeyError(f"{app}/{policy}/{rate} not in results")
+
+    def render(self) -> str:
+        table = TextTable(
+            ["app", "policy", "slow", "achievable", "too fast"],
+            title="Figure 13 — % events captured vs event rate",
+        )
+        for app in ("PS", "RR"):
+            for policy in ("catnap", "culpeo"):
+                table.add_row([
+                    app, policy,
+                    f"{self.capture(app, policy, 'slow'):.0f}%",
+                    f"{self.capture(app, policy, 'achievable'):.0f}%",
+                    f"{self.capture(app, policy, 'too fast'):.0f}%",
+                ])
+        return table.render()
+
+
+#: Figure 13 rate settings (seconds): slow, achievable, too fast.
+FIG13_RATES = {
+    "PS": (6.0, 4.5, 3.0),
+    "RR": (60.0, 45.0, 30.0),
+}
+
+
+def fig13_event_rates(trials: int = 3,
+                      base_seed: int = 2022) -> EventRateResult:
+    """Reproduce Figure 13: event-rate sensitivity for PS and RR."""
+    factories = {"PS": periodic_sensing_app, "RR": responsive_reporting_app}
+    result = EventRateResult()
+    for app, rates in FIG13_RATES.items():
+        for label, rate in zip(("slow", "achievable", "too fast"), rates):
+            spec = factories[app](rate)
+            for kind in ("catnap", "culpeo"):
+                run = run_app(spec, kind, trials=trials, base_seed=base_seed)
+                result.rows.append(dict(
+                    app=app, policy=kind, rate=label,
+                    captured=run.capture_percent(),
+                ))
+    return result

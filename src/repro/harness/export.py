@@ -1,0 +1,73 @@
+"""Export experiment results to CSV.
+
+Every experiment result in this harness is either a flat list of row
+dictionaries (``.rows``) or a small record with scalar fields; this module
+turns both into CSV for external plotting. Nested dictionaries (like the
+per-method ``errors`` maps of Figures 6 and 10) are flattened into
+``parent.child`` columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _flatten(row: Mapping[str, Any]) -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in row.items():
+        if isinstance(value, Mapping):
+            for sub_key, sub_value in value.items():
+                flat[f"{key}.{sub_key}"] = sub_value
+        elif isinstance(value, (list, tuple)):
+            flat[key] = ";".join(str(v) for v in value)
+        else:
+            flat[key] = value
+    return flat
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render row dictionaries as CSV, flattening nested maps."""
+    if not rows:
+        return ""
+    flat_rows = [_flatten(row) for row in rows]
+    columns: List[str] = []
+    for row in flat_rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in flat_rows:
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def result_to_csv(result: Any) -> str:
+    """CSV for any harness result object.
+
+    Objects carrying a ``rows`` list export those rows; anything else
+    exports its public scalar attributes as a single row.
+    """
+    rows = getattr(result, "rows", None)
+    if isinstance(rows, list) and rows and isinstance(rows[0], Mapping):
+        return rows_to_csv(rows)
+    record = {
+        name: value for name, value in vars(result).items()
+        if not name.startswith("_")
+        and isinstance(value, (int, float, str, bool))
+    }
+    if not record:
+        raise ValueError(
+            f"{type(result).__name__} has no exportable rows or scalars"
+        )
+    return rows_to_csv([record])
+
+
+def save_result_csv(result: Any, path: PathLike) -> None:
+    Path(path).write_text(result_to_csv(result), encoding="utf-8")

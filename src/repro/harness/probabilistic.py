@@ -1,0 +1,143 @@
+"""Probabilistic resource reasoning (paper §IX, future work).
+
+The paper closes by arguing that compile-time termination checkers — which
+bound a task's *completion probability* from probabilistic energy models —
+must also treat voltage as a resource: "a task could with all likelihood
+have enough energy to run and still fail".
+
+This module provides that analysis by Monte-Carlo over manufacturing and
+environmental uncertainty: capacitance tolerance, ESR spread (including
+aging), and starting voltage. For each sampled world it simulates the task
+and records completion, yielding:
+
+* an *energy-only* completion probability (the checker the paper critiques:
+  a world counts as success if stored energy covers the task's draw), and
+* the *true* completion probability (terminal voltage never crosses V_off).
+
+The gap between the two is the paper's point, made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.loads.trace import CurrentTrace
+from repro.power.capacitor import TwoBranchSupercap
+from repro.power.system import PowerSystem, capybara_power_system
+from repro.sim.engine import PowerSystemSimulator
+
+
+@dataclass(frozen=True)
+class UncertaintyModel:
+    """Distributions over the quantities a datasheet cannot pin down.
+
+    ``capacitance_sigma`` and ``esr_sigma`` are relative (lognormal-ish via
+    truncated normal scaling); ``esr_aging_max`` spreads parts uniformly
+    between fresh and end-of-life ESR growth; ``v_start_sigma`` is absolute
+    volts of starting-voltage measurement error.
+    """
+
+    capacitance_sigma: float = 0.05
+    esr_sigma: float = 0.10
+    esr_aging_max: float = 1.0
+    v_start_sigma: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("capacitance_sigma", "esr_sigma", "esr_aging_max",
+                     "v_start_sigma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class CompletionEstimate:
+    """Monte-Carlo completion probabilities for one (task, V_start)."""
+
+    v_start: float
+    trials: int
+    true_success: int
+    energy_only_success: int
+
+    @property
+    def completion_probability(self) -> float:
+        return self.true_success / self.trials
+
+    @property
+    def energy_only_probability(self) -> float:
+        return self.energy_only_success / self.trials
+
+    @property
+    def optimism_gap(self) -> float:
+        """How much an energy-only checker overstates the probability."""
+        return self.energy_only_probability - self.completion_probability
+
+
+def _perturbed_system(base: PowerSystem, uncertainty: UncertaintyModel,
+                      rng: np.random.Generator) -> PowerSystem:
+    system = base.copy()
+    buffer = system.buffer
+    if not isinstance(buffer, TwoBranchSupercap):
+        raise TypeError("probabilistic analysis expects a TwoBranchSupercap")
+    c_scale = max(0.5, 1.0 + rng.normal(0.0, uncertainty.capacitance_sigma))
+    r_scale = max(0.2, 1.0 + rng.normal(0.0, uncertainty.esr_sigma))
+    r_scale *= 1.0 + rng.uniform(0.0, uncertainty.esr_aging_max)
+    system.buffer = TwoBranchSupercap(
+        c_main=buffer.c_main * c_scale,
+        r_esr=buffer.r_esr * r_scale,
+        c_redist=buffer.c_redist * c_scale,
+        r_redist=buffer.r_redist * r_scale,
+        c_decoupling=buffer.c_decoupling,
+        leakage_current=buffer.leakage_current,
+    )
+    return system
+
+
+def completion_probability(trace: CurrentTrace, v_start: float, *,
+                           system: Optional[PowerSystem] = None,
+                           uncertainty: Optional[UncertaintyModel] = None,
+                           trials: int = 200,
+                           seed: int = 2022) -> CompletionEstimate:
+    """Estimate P(task completes | started at ``v_start``) by Monte-Carlo.
+
+    Each trial draws a buffer from the uncertainty model, rests it at a
+    perturbed ``v_start``, and simulates the task with no incoming power
+    (the worst case a guarantee must cover). The energy-only column counts
+    a trial as a success whenever the drawn buffer *stores* enough energy
+    above V_off, regardless of what the voltage did — the quantity
+    energy-model termination checkers bound.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if v_start <= 0:
+        raise ValueError(f"v_start must be positive, got {v_start}")
+    base = system or capybara_power_system()
+    uncertainty = uncertainty or UncertaintyModel()
+    rng = np.random.default_rng(seed)
+    v_off = base.monitor.v_off
+    eta_floor = base.output_booster.efficiency(v_off)
+    e_task = trace.energy_at(base.v_out) / eta_floor
+
+    estimate = CompletionEstimate(v_start=v_start, trials=trials,
+                                  true_success=0, energy_only_success=0)
+    for _ in range(trials):
+        world = _perturbed_system(base, uncertainty, rng)
+        start = max(v_off, v_start + rng.normal(0.0,
+                                                uncertainty.v_start_sigma))
+        world.rest_at(start)
+        capacitance = world.buffer.total_capacitance
+        e_usable = 0.5 * capacitance * (start ** 2 - v_off ** 2)
+        if e_usable >= e_task:
+            estimate.energy_only_success += 1
+        result = PowerSystemSimulator(world).run_trace(
+            trace, harvesting=False)
+        if result.completed:
+            estimate.true_success += 1
+    return estimate
+
+
+def probability_curve(trace: CurrentTrace, v_grid, **kwargs):
+    """Completion probability across a grid of starting voltages."""
+    return [completion_probability(trace, v, **kwargs) for v in v_grid]

@@ -1,0 +1,51 @@
+"""Plain-text tables for experiment output.
+
+Every experiment runner prints its figure/table as rows a reader can check
+against the paper. No plotting dependencies — the benches run headless.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a percentage with an explicit sign, e.g. ``+3.2%``."""
+    return f"{value:+.{digits}f}%"
+
+
+class TextTable:
+    """Minimal column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [str(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

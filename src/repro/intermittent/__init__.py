@@ -1,0 +1,30 @@
+"""Task-based intermittent execution substrate.
+
+The paper's domain (§I-§II): intermittent programs are divided into atomic
+tasks that must each complete on a single charge; a power failure mid-task
+discards the task's work and re-executes it from the beginning after the
+platform recharges. Executing a task from too low a voltage therefore
+doesn't just fail once — it "imposes the cost of powering off, recharging,
+restarting, and re-execution, but risks prolonged non-termination".
+
+This subpackage provides the substrate those claims live on: programs as
+sequences of atomic tasks with non-volatile progress, and an executor with
+the two launch policies the paper contrasts — *opportunistic* (run whenever
+the output booster is up, prior work's default) and *gated* (wait for a
+per-task safe voltage, what Culpeo enables).
+"""
+
+from repro.intermittent.program import AtomicTask, Program
+from repro.intermittent.executor import (
+    ExecutionReport,
+    IntermittentExecutor,
+    NonTermination,
+)
+
+__all__ = [
+    "AtomicTask",
+    "Program",
+    "IntermittentExecutor",
+    "ExecutionReport",
+    "NonTermination",
+]

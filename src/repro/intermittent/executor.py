@@ -1,0 +1,145 @@
+"""Intermittent program executor.
+
+Runs a :class:`~repro.intermittent.program.Program` against a simulated
+power system under one of two launch policies:
+
+* **opportunistic** — run the next task the moment the output booster is
+  up (prior systems' behaviour, paper §I): cheap when loads are light,
+  but a high-ESR task launched right at ``V_high - epsilon`` can brown
+  out, recharge, relaunch from the same voltage, and fail forever.
+* **gated** — consult a gate function (typically a Culpeo interface's
+  ``get_vsafe``) and wait for the buffer to reach it before launching.
+
+The executor detects *non-termination*: a task that keeps failing from the
+platform's best achievable voltage can never commit, and the report says
+so instead of spinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.intermittent.program import AtomicTask, Program
+from repro.sim.engine import PowerSystemSimulator
+
+#: A launch gate: task -> minimum start voltage (None = opportunistic).
+GateFn = Callable[[AtomicTask], float]
+
+
+class NonTermination(Exception):
+    """A task can never complete on this platform."""
+
+    def __init__(self, task: AtomicTask, attempts: int, message: str) -> None:
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+
+
+@dataclass
+class ExecutionReport:
+    """What one intermittent execution did and what it cost."""
+
+    finished: bool
+    tasks_committed: int
+    elapsed: float
+    reexecutions: Dict[str, int] = field(default_factory=dict)
+    wasted_energy: float = 0.0
+    charge_time: float = 0.0
+    stuck_on: Optional[str] = None
+
+    @property
+    def total_reexecutions(self) -> int:
+        return sum(self.reexecutions.values())
+
+
+class IntermittentExecutor:
+    """Drives a program through charge/discharge cycles to completion."""
+
+    #: Consecutive from-best-voltage failures that prove non-termination.
+    STUCK_LIMIT = 3
+
+    def __init__(self, engine: PowerSystemSimulator,
+                 gate: Optional[GateFn] = None) -> None:
+        self.engine = engine
+        self.gate = gate
+
+    def _recharge(self, report: ExecutionReport, deadline: float) -> bool:
+        """Recharge to V_high; False if power ran out or time is up."""
+        start = self.engine.time
+        budget = max(0.0, deadline - start)
+        elapsed = self.engine.charge_until(
+            self.engine.system.monitor.v_high, max_time=budget)
+        report.charge_time += self.engine.time - start
+        return elapsed is not None
+
+    def _wait_for_gate(self, level: float, deadline: float) -> bool:
+        stall = 0
+        while self.engine.system.buffer.terminal_voltage < level:
+            if self.engine.time >= deadline:
+                return False
+            before = self.engine.system.buffer.terminal_voltage
+            self.engine.idle(min(0.1, deadline - self.engine.time))
+            if self.engine.system.buffer.terminal_voltage <= before + 1e-9:
+                stall += 1
+                if stall > 3:
+                    return False
+            else:
+                stall = 0
+        return True
+
+    def run(self, program: Program, *, until: float = 3600.0,
+            raise_on_stuck: bool = False) -> ExecutionReport:
+        """Execute until the program commits its last task (or give up).
+
+        ``until`` bounds simulated time. With ``raise_on_stuck`` the
+        executor raises :class:`NonTermination` when a task proves
+        unrunnable; otherwise the report's ``stuck_on`` names it.
+        """
+        if until <= 0:
+            raise ValueError(f"until must be positive, got {until}")
+        report = ExecutionReport(finished=False, tasks_committed=0,
+                                 elapsed=0.0)
+        start_time = self.engine.time
+        deadline = start_time + until
+        consecutive_best_failures = 0
+        v_high = self.engine.system.monitor.v_high
+
+        while not program.finished and self.engine.time < deadline:
+            if not self.engine.system.monitor.output_enabled:
+                if not self._recharge(report, deadline):
+                    break
+                continue
+            task = program.current
+            if self.gate is not None:
+                level = min(self.gate(task), v_high)
+                if not self._wait_for_gate(level, deadline):
+                    break
+            v_start = self.engine.system.buffer.terminal_voltage
+            result = self.engine.run_trace(task.trace, harvesting=True)
+            if result.completed:
+                program.commit()
+                report.tasks_committed += 1
+                consecutive_best_failures = 0
+                continue
+            # Failed attempt: work lost, energy wasted.
+            report.reexecutions[task.name] = \
+                report.reexecutions.get(task.name, 0) + 1
+            report.wasted_energy += result.energy_from_buffer
+            if v_start >= v_high - 0.01:
+                consecutive_best_failures += 1
+                if consecutive_best_failures >= self.STUCK_LIMIT:
+                    report.stuck_on = task.name
+                    if raise_on_stuck:
+                        raise NonTermination(
+                            task, consecutive_best_failures,
+                            f"task {task.name!r} fails even from a full "
+                            f"buffer ({v_high:.2f} V); it can never commit",
+                        )
+                    break
+            else:
+                consecutive_best_failures = 0
+
+        report.finished = program.finished
+        report.elapsed = self.engine.time - start_time
+        return report

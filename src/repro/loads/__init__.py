@@ -1,0 +1,68 @@
+"""Load current profiles: trace representation, synthetic loads, peripherals.
+
+A Culpeo "task" is, electrically, a current-versus-time profile drawn from
+the output booster's regulated rail. This subpackage provides the trace
+type plus generators for everything the paper's Table III evaluates:
+parameterised synthetic loads (uniform pulses and pulse-plus-compute-tail
+shapes) and models of the real peripherals (gesture sensor, BLE radio,
+MNIST compute accelerator) and the application sensors (IMU, microphone,
+photoresistor).
+"""
+
+from repro.loads.trace import CurrentTrace
+from repro.loads.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+)
+from repro.loads.synthetic import (
+    PULSE_CURRENTS,
+    PULSE_WIDTHS,
+    SyntheticLoad,
+    fig6_load_matrix,
+    fig10_load_matrix,
+    pulse_with_compute_tail,
+    uniform_load,
+)
+from repro.loads.peripherals import (
+    PeripheralLoad,
+    ble_listen,
+    ble_radio,
+    encrypt_block,
+    fft_compute,
+    gesture_recognition,
+    imu_read,
+    lora_packet,
+    microphone_read,
+    mnist_inference,
+    photoresistor_read,
+    real_peripheral_suite,
+)
+
+__all__ = [
+    "CurrentTrace",
+    "save_trace_json",
+    "load_trace_json",
+    "save_trace_csv",
+    "load_trace_csv",
+    "SyntheticLoad",
+    "uniform_load",
+    "pulse_with_compute_tail",
+    "PULSE_CURRENTS",
+    "PULSE_WIDTHS",
+    "fig6_load_matrix",
+    "fig10_load_matrix",
+    "PeripheralLoad",
+    "gesture_recognition",
+    "ble_radio",
+    "ble_listen",
+    "mnist_inference",
+    "imu_read",
+    "microphone_read",
+    "photoresistor_read",
+    "fft_compute",
+    "encrypt_block",
+    "lora_packet",
+    "real_peripheral_suite",
+]

@@ -1,0 +1,107 @@
+"""Trace serialization.
+
+Real deployments capture current traces with bench instruments (the paper
+profiles at 125 kHz with an STM32 power shield) and voltage traces with a
+logic analyzer; both arrive as sampled CSV. This module round-trips
+:class:`~repro.loads.trace.CurrentTrace` objects through CSV (sampled,
+instrument-style) and JSON (exact segments, library-native) so profiles
+can be captured once and shared.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.loads.trace import CurrentTrace
+
+PathLike = Union[str, Path]
+
+
+def trace_to_json(trace: CurrentTrace) -> str:
+    """Exact segment-level serialization."""
+    payload = {
+        "format": "repro.current-trace",
+        "version": 1,
+        "segments": [[current, duration]
+                     for current, duration in trace.segments()],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def trace_from_json(text: str) -> CurrentTrace:
+    """Inverse of :func:`trace_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro.current-trace":
+        raise ValueError("not a repro current-trace document")
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported version: {payload.get('version')!r}")
+    return CurrentTrace((c, d) for c, d in payload["segments"])
+
+
+def save_trace_json(trace: CurrentTrace, path: PathLike) -> None:
+    Path(path).write_text(trace_to_json(trace), encoding="utf-8")
+
+
+def load_trace_json(path: PathLike) -> CurrentTrace:
+    return trace_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def trace_to_csv(trace: CurrentTrace, sample_rate: float = 125e3) -> str:
+    """Instrument-style export: ``time_s,current_a`` rows at a fixed rate.
+
+    The default 125 kHz matches the paper's profiling prototype. Sampling
+    is lossy for segments shorter than a sample period; use JSON for exact
+    round-trips.
+    """
+    samples = trace.sampled(sample_rate)
+    dt = 1.0 / sample_rate
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time_s", "current_a"])
+    for i, current in enumerate(samples):
+        writer.writerow([f"{i * dt:.9f}", f"{current:.9g}"])
+    return out.getvalue()
+
+
+def trace_from_csv(text: str) -> CurrentTrace:
+    """Parse ``time_s,current_a`` rows back into a trace.
+
+    Sample spacing is inferred from the time column; rows must be evenly
+    spaced and time-sorted, as instrument exports are.
+    """
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header is None or [h.strip() for h in header[:2]] != \
+            ["time_s", "current_a"]:
+        raise ValueError("expected a 'time_s,current_a' CSV header")
+    times = []
+    currents = []
+    for row in reader:
+        if not row:
+            continue
+        times.append(float(row[0]))
+        currents.append(float(row[1]))
+    if len(times) < 1:
+        raise ValueError("CSV contains no samples")
+    if len(times) == 1:
+        return CurrentTrace.from_samples(currents, dt=1e-6)
+    dt = times[1] - times[0]
+    if dt <= 0:
+        raise ValueError("time column must be strictly increasing")
+    for a, b in zip(times, times[1:]):
+        if abs((b - a) - dt) > 1e-9 + 1e-6 * dt:
+            raise ValueError("samples must be evenly spaced")
+    return CurrentTrace.from_samples(currents, dt=dt)
+
+
+def save_trace_csv(trace: CurrentTrace, path: PathLike,
+                   sample_rate: float = 125e3) -> None:
+    Path(path).write_text(trace_to_csv(trace, sample_rate), encoding="utf-8")
+
+
+def load_trace_csv(path: PathLike) -> CurrentTrace:
+    return trace_from_csv(Path(path).read_text(encoding="utf-8"))

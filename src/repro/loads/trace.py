@@ -1,0 +1,199 @@
+"""Current-trace representation.
+
+A :class:`CurrentTrace` is a piecewise-constant current-versus-time profile:
+the current a task draws from the output booster's regulated ``v_out`` rail.
+Piecewise-constant is both what bench current probes effectively record at a
+fixed sample rate and what lets the simulator take long exact steps inside
+each constant segment.
+
+Traces support the operations the rest of the system needs: concatenation
+(task sequences), scaling (what-if analysis), resampling to a profiler's
+sample rate (Culpeo-PG captures at 125 kHz), energy/charge integrals, and
+the "largest pulse width" query Culpeo-PG uses to pick an operating point on
+the ESR-versus-frequency curve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+class CurrentTrace:
+    """Piecewise-constant load current profile.
+
+    Segments are ``(current_amperes, duration_seconds)`` runs; adjacent
+    segments with equal current are merged on construction so segment
+    iteration is canonical.
+    """
+
+    __slots__ = ("_currents", "_durations")
+
+    def __init__(self, segments: Iterable[Tuple[float, float]]) -> None:
+        currents: List[float] = []
+        durations: List[float] = []
+        for current, duration in segments:
+            if duration < 0:
+                raise ValueError(f"segment duration must be >= 0, got {duration}")
+            if current < 0:
+                raise ValueError(f"segment current must be >= 0, got {current}")
+            if duration == 0:
+                continue
+            if currents and currents[-1] == current:
+                durations[-1] += duration
+            else:
+                currents.append(float(current))
+                durations.append(float(duration))
+        if not currents:
+            raise ValueError("a trace needs at least one non-empty segment")
+        self._currents = np.asarray(currents)
+        self._durations = np.asarray(durations)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, current: float, duration: float) -> "CurrentTrace":
+        """A single constant-current segment."""
+        return cls([(current, duration)])
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], dt: float) -> "CurrentTrace":
+        """Build a trace from equally spaced current samples."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        return cls((float(s), dt) for s in samples)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def currents(self) -> np.ndarray:
+        """Per-segment currents (amperes); do not mutate."""
+        return self._currents
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-segment durations (seconds); do not mutate."""
+        return self._durations
+
+    @property
+    def duration(self) -> float:
+        """Total trace duration in seconds."""
+        return float(self._durations.sum())
+
+    @property
+    def peak_current(self) -> float:
+        """Maximum instantaneous current in the trace."""
+        return float(self._currents.max())
+
+    @property
+    def mean_current(self) -> float:
+        """Time-averaged current over the trace."""
+        return self.charge / self.duration
+
+    @property
+    def charge(self) -> float:
+        """Total charge delivered at the load rail, in coulombs."""
+        return float(np.dot(self._currents, self._durations))
+
+    def energy_at(self, v_out: float) -> float:
+        """Energy delivered to the load when powered at ``v_out`` volts."""
+        if v_out <= 0:
+            raise ValueError(f"v_out must be positive, got {v_out}")
+        return self.charge * v_out
+
+    # -- iteration & queries -------------------------------------------------
+
+    def segments(self) -> Iterator[Tuple[float, float]]:
+        """Yield ``(current, duration)`` runs in time order."""
+        for current, duration in zip(self._currents, self._durations):
+            yield float(current), float(duration)
+
+    def current_at(self, t: float) -> float:
+        """Instantaneous current at time ``t`` (0 beyond the trace end)."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        elapsed = 0.0
+        for current, duration in self.segments():
+            elapsed += duration
+            if t < elapsed:
+                return current
+        return 0.0
+
+    def largest_pulse_width(self, threshold_fraction: float = 0.5) -> float:
+        """Width of the widest high-current pulse in the trace.
+
+        A "pulse" is a maximal run of segments whose current is at least
+        ``threshold_fraction`` of the trace's peak. This is the query
+        Culpeo-PG uses to pick an ESR value: "the width of the largest
+        current pulse, excluding high frequency noise" (paper §IV-B).
+        """
+        if not 0 < threshold_fraction <= 1:
+            raise ValueError(
+                f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+            )
+        cutoff = self.peak_current * threshold_fraction
+        best = 0.0
+        run = 0.0
+        for current, duration in self.segments():
+            if current >= cutoff and current > 0:
+                run += duration
+                best = max(best, run)
+            else:
+                run = 0.0
+        return best
+
+    # -- transformations -----------------------------------------------------
+
+    def concat(self, other: "CurrentTrace") -> "CurrentTrace":
+        """This trace immediately followed by ``other``."""
+        return CurrentTrace(list(self.segments()) + list(other.segments()))
+
+    def scaled(self, current_factor: float = 1.0,
+               time_factor: float = 1.0) -> "CurrentTrace":
+        """A copy with currents and/or durations scaled."""
+        if current_factor < 0 or time_factor <= 0:
+            raise ValueError("factors must be positive (current may be zero)")
+        return CurrentTrace(
+            (c * current_factor, d * time_factor) for c, d in self.segments()
+        )
+
+    def with_tail(self, current: float, duration: float) -> "CurrentTrace":
+        """This trace followed by a constant tail segment."""
+        return self.concat(CurrentTrace.constant(current, duration))
+
+    def sampled(self, sample_rate: float) -> np.ndarray:
+        """Resample to equally spaced values at ``sample_rate`` hertz.
+
+        This is how a profiling instrument (or Culpeo-PG's 125 kHz capture)
+        sees the trace; each sample reports the current at the sample
+        instant.
+        """
+        if sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        n = max(1, int(round(self.duration * sample_rate)))
+        dt = 1.0 / sample_rate
+        edges = np.concatenate([[0.0], np.cumsum(self._durations)])
+        times = (np.arange(n) + 0.5) * dt
+        idx = np.clip(np.searchsorted(edges, times, side="right") - 1,
+                      0, len(self._currents) - 1)
+        return self._currents[idx].copy()
+
+    # -- dunder --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._currents)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CurrentTrace):
+            return NotImplemented
+        return (np.array_equal(self._currents, other._currents)
+                and np.array_equal(self._durations, other._durations))
+
+    def __hash__(self) -> int:
+        return hash((self._currents.tobytes(), self._durations.tobytes()))
+
+    def __repr__(self) -> str:
+        return (f"CurrentTrace({len(self)} segments, "
+                f"{self.duration * 1e3:.3g} ms, "
+                f"peak {self.peak_current * 1e3:.3g} mA)")

@@ -1,0 +1,75 @@
+"""Energy-harvesting power-system models.
+
+This subpackage models the supply side of an energy-harvesting device
+(paper Figure 2): the energy buffer (a supercapacitor bank with equivalent
+series resistance), the input and output boost converters, the hysteretic
+voltage monitor, and the energy harvester. It also contains the capacitor
+technology survey behind the paper's Figure 3 and the ESR-versus-frequency
+profiling procedure that Culpeo-PG consumes.
+"""
+
+from repro.power.capacitor import (
+    EnergyBuffer,
+    IdealCapacitor,
+    TwoBranchSupercap,
+)
+from repro.power.bank import CapacitorBank, bank_of
+from repro.power.catalog import (
+    CapacitorPart,
+    CapacitorTechnology,
+    build_bank_survey,
+    reference_catalog,
+)
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.esr_profile import EsrFrequencyCurve, measure_esr_curve
+from repro.power.harvester import (
+    CallableHarvester,
+    ConstantPowerHarvester,
+    Harvester,
+    NullHarvester,
+    SolarHarvester,
+)
+from repro.power.monitor import VoltageMonitor
+from repro.power.reconfigurable import (
+    ReconfigurableBuffer,
+    capybara_bank_set,
+)
+from repro.power.system import (
+    PowerSystem,
+    PowerSystemModel,
+    capybara_power_system,
+)
+
+__all__ = [
+    "EnergyBuffer",
+    "IdealCapacitor",
+    "TwoBranchSupercap",
+    "CapacitorBank",
+    "bank_of",
+    "CapacitorPart",
+    "CapacitorTechnology",
+    "build_bank_survey",
+    "reference_catalog",
+    "LinearEfficiency",
+    "CurvedEfficiency",
+    "InputBooster",
+    "OutputBooster",
+    "EsrFrequencyCurve",
+    "measure_esr_curve",
+    "Harvester",
+    "ConstantPowerHarvester",
+    "SolarHarvester",
+    "NullHarvester",
+    "CallableHarvester",
+    "VoltageMonitor",
+    "ReconfigurableBuffer",
+    "capybara_bank_set",
+    "PowerSystem",
+    "PowerSystemModel",
+    "capybara_power_system",
+]

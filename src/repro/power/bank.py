@@ -1,0 +1,102 @@
+"""Capacitor-bank composition algebra.
+
+An energy buffer is usually a *bank* of identical parts rather than a single
+capacitor (the paper's 45 mF bank is six Seiko CPX supercapacitors). This
+module computes the aggregate electrical properties of series/parallel
+arrangements, which both the Figure 3 survey and the reconfigurable-buffer
+support in Culpeo-R rely on.
+
+For ``n_parallel`` strings of ``n_series`` identical parts each:
+
+* capacitance scales by ``n_parallel / n_series``
+* ESR scales by ``n_series / n_parallel``
+* leakage current scales by ``n_parallel``
+* volume and part count scale by ``n_parallel * n_series``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.capacitor import TwoBranchSupercap
+
+
+@dataclass(frozen=True)
+class CapacitorBank:
+    """Aggregate electrical description of a bank of identical parts.
+
+    Attributes mirror what a power-system designer reads off a bill of
+    materials: total capacitance and ESR seen at the terminals, total
+    leakage, total volume, and how many physical parts the bank needs.
+    """
+
+    capacitance: float
+    esr: float
+    leakage_current: float
+    volume_mm3: float
+    part_count: int
+    max_voltage: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {self.capacitance}")
+        if self.esr < 0:
+            raise ValueError(f"esr must be non-negative, got {self.esr}")
+        if self.part_count < 1:
+            raise ValueError(f"part_count must be >= 1, got {self.part_count}")
+
+    def as_buffer(self, redist_fraction: float = 0.10,
+                  redist_resistance_ratio: float = 5.0,
+                  c_decoupling: float = 0.0) -> TwoBranchSupercap:
+        """Instantiate a simulatable :class:`TwoBranchSupercap` for this bank.
+
+        ``redist_fraction`` of the total capacitance is placed in the slow
+        charge-redistribution branch, whose resistance is
+        ``redist_resistance_ratio`` times the bank ESR. Fractions of zero
+        produce a buffer with no redistribution branch.
+        """
+        if not 0.0 <= redist_fraction < 1.0:
+            raise ValueError(
+                f"redist_fraction must be in [0, 1), got {redist_fraction}"
+            )
+        c_redist = self.capacitance * redist_fraction
+        c_main = self.capacitance - c_redist
+        return TwoBranchSupercap(
+            c_main=c_main,
+            r_esr=self.esr,
+            c_redist=c_redist,
+            r_redist=self.esr * redist_resistance_ratio,
+            c_decoupling=c_decoupling,
+            leakage_current=self.leakage_current,
+        )
+
+
+def bank_of(part_capacitance: float, part_esr: float, *,
+            part_leakage: float = 0.0, part_volume_mm3: float = 0.0,
+            part_max_voltage: float = 2.7, n_parallel: int = 1,
+            n_series: int = 1) -> CapacitorBank:
+    """Build a :class:`CapacitorBank` from one part and an arrangement."""
+    if n_parallel < 1 or n_series < 1:
+        raise ValueError("n_parallel and n_series must be >= 1")
+    if part_capacitance <= 0:
+        raise ValueError(
+            f"part_capacitance must be positive, got {part_capacitance}"
+        )
+    return CapacitorBank(
+        capacitance=part_capacitance * n_parallel / n_series,
+        esr=part_esr * n_series / n_parallel,
+        leakage_current=part_leakage * n_parallel,
+        volume_mm3=part_volume_mm3 * n_parallel * n_series,
+        part_count=n_parallel * n_series,
+        max_voltage=part_max_voltage * n_series,
+    )
+
+
+def parts_for_target(part_capacitance: float, target_capacitance: float) -> int:
+    """Parallel part count needed to reach at least ``target_capacitance``."""
+    if part_capacitance <= 0 or target_capacitance <= 0:
+        raise ValueError("capacitances must be positive")
+    count = int(target_capacitance / part_capacitance)
+    if count * part_capacitance < target_capacitance:
+        count += 1
+    return count

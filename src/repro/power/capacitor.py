@@ -1,0 +1,368 @@
+"""Energy-buffer models with equivalent series resistance.
+
+The paper's central observation is that a capacitor's *terminal* voltage —
+the quantity the voltage monitor, the ADC, and the brown-out comparator all
+see — differs from its *open-circuit* voltage by an amount proportional to
+the current being drawn (Ohm's law across the ESR). Energy-only charge
+management reasons about the open-circuit voltage; the device lives or dies
+by the terminal voltage.
+
+Two models are provided:
+
+* :class:`IdealCapacitor` — one capacitance in series with one resistance.
+  The terminal voltage rebounds instantaneously when load is removed. This
+  is the textbook model Culpeo-PG assumes (paper §IV-B).
+* :class:`TwoBranchSupercap` — the simulated "truth". A main branch
+  (C_main in series with R_esr), a charge-redistribution branch (C_redist
+  via R_redist), and decoupling capacitance C_dec directly across the
+  terminals. Real supercapacitors rebound over milliseconds because charge
+  must flow back through internal resistance; the decoupling and
+  redistribution branches reproduce that finite rebound, which is what
+  separates a fast post-task voltage read (Catnap-Measured) from a delayed
+  one (Catnap-Slow) in the paper's Figure 6.
+
+Sign convention: ``i_load`` is positive when current flows *out of* the
+buffer terminals (discharging) and negative when charging.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class EnergyBuffer(Protocol):
+    """Interface every energy-buffer model implements."""
+
+    @property
+    def terminal_voltage(self) -> float:
+        """Voltage observable at the buffer terminals right now."""
+        ...
+
+    @property
+    def open_circuit_voltage(self) -> float:
+        """Charge-weighted internal voltage (what energy reasoning sees)."""
+        ...
+
+    @property
+    def stored_energy(self) -> float:
+        """Total energy currently stored, in joules."""
+        ...
+
+    @property
+    def total_capacitance(self) -> float:
+        """Sum of all internal capacitances, in farads."""
+        ...
+
+    def step(self, i_load: float, dt: float) -> float:
+        """Advance the buffer by ``dt`` seconds under terminal current
+        ``i_load`` and return the new terminal voltage."""
+        ...
+
+    def reset(self, voltage: float) -> None:
+        """Force the buffer to rest (all internal nodes equal) at ``voltage``."""
+        ...
+
+    def settle(self) -> None:
+        """Equilibrate internal nodes instantaneously, conserving charge."""
+        ...
+
+    def copy(self) -> "EnergyBuffer":
+        """Independent deep copy of the buffer and its state."""
+        ...
+
+
+class IdealCapacitor:
+    """A single capacitance in series with a single ESR.
+
+    The terminal voltage is ``v_oc - i_load * esr`` at every instant, so the
+    ESR drop appears and disappears with the load — no rebound dynamics.
+    """
+
+    def __init__(self, capacitance: float, esr: float = 0.0,
+                 leakage_current: float = 0.0, voltage: float = 0.0) -> None:
+        if capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {capacitance}")
+        if esr < 0:
+            raise ValueError(f"esr must be non-negative, got {esr}")
+        if leakage_current < 0:
+            raise ValueError(
+                f"leakage_current must be non-negative, got {leakage_current}"
+            )
+        self.capacitance = capacitance
+        self.esr = esr
+        self.leakage_current = leakage_current
+        self._v = float(voltage)
+        self._i_last = 0.0
+
+    @property
+    def max_stable_dt(self) -> float:
+        """No internal nodes: any step size is stable."""
+        return math.inf
+
+    @property
+    def terminal_voltage(self) -> float:
+        return max(0.0, self._v - self._i_last * self.esr)
+
+    @property
+    def open_circuit_voltage(self) -> float:
+        return self._v
+
+    @property
+    def stored_energy(self) -> float:
+        return 0.5 * self.capacitance * self._v * self._v
+
+    @property
+    def total_capacitance(self) -> float:
+        return self.capacitance
+
+    def step(self, i_load: float, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        drain = i_load + (self.leakage_current if self._v > 0 else 0.0)
+        self._v = max(0.0, self._v - drain * dt / self.capacitance)
+        self._i_last = i_load
+        return self.terminal_voltage
+
+    def reset(self, voltage: float) -> None:
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        self._v = float(voltage)
+        self._i_last = 0.0
+
+    def settle(self) -> None:
+        self._i_last = 0.0
+
+    def copy(self) -> "IdealCapacitor":
+        clone = IdealCapacitor(self.capacitance, self.esr,
+                               self.leakage_current, self._v)
+        clone._i_last = self._i_last
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"IdealCapacitor(C={self.capacitance:.4g} F, "
+                f"ESR={self.esr:.3g} ohm, V={self._v:.3f} V)")
+
+
+class TwoBranchSupercap:
+    """Supercapacitor bank with finite rebound dynamics.
+
+    Circuit (all across the same terminal pair)::
+
+        terminals ──┬── C_dec
+                    ├── R_esr ──── C_main
+                    └── R_redist ─ C_redist
+
+    The terminal node relaxes toward the conductance-weighted branch voltage
+    with time constant ``C_dec / (1/R_esr + 1/R_redist)``; that relaxation is
+    the millisecond-scale rebound the paper's Figure 1(b) shows. The step
+    integrator treats the branch voltages as slow variables and solves the
+    terminal node exactly over each step (exponential integrator), so the
+    model is stable for any ``dt``.
+    """
+
+    def __init__(self, c_main: float, r_esr: float,
+                 c_redist: float = 0.0, r_redist: float = math.inf,
+                 c_decoupling: float = 0.0, leakage_current: float = 0.0,
+                 voltage: float = 0.0) -> None:
+        if c_main <= 0:
+            raise ValueError(f"c_main must be positive, got {c_main}")
+        if r_esr <= 0:
+            raise ValueError(f"r_esr must be positive, got {r_esr}")
+        if c_redist < 0:
+            raise ValueError(f"c_redist must be non-negative, got {c_redist}")
+        if c_redist > 0 and r_redist <= 0:
+            raise ValueError("r_redist must be positive when c_redist > 0")
+        if c_decoupling < 0:
+            raise ValueError(
+                f"c_decoupling must be non-negative, got {c_decoupling}"
+            )
+        if leakage_current < 0:
+            raise ValueError(
+                f"leakage_current must be non-negative, got {leakage_current}"
+            )
+        self.c_main = c_main
+        self.r_esr = r_esr
+        self.c_redist = c_redist
+        self.r_redist = r_redist
+        self.c_decoupling = c_decoupling
+        self.leakage_current = leakage_current
+        self._v_main = float(voltage)
+        self._v_redist = float(voltage)
+        self._v_term = float(voltage)
+
+    @property
+    def _has_redist(self) -> bool:
+        return self.c_redist > 0 and math.isfinite(self.r_redist)
+
+    @property
+    def max_stable_dt(self) -> float:
+        """Largest step for which the branch update is numerically stable.
+
+        The terminal node is solved exactly, but the branch voltages are
+        held constant within a step; the step must therefore stay well
+        below each branch's own R*C time constant or the explicit update
+        oscillates (visible with very low ESR).
+        """
+        limit = self.r_esr * self.c_main
+        if self._has_redist:
+            limit = min(limit, self.r_redist * self.c_redist)
+        return 0.25 * limit
+
+    @property
+    def _conductance(self) -> float:
+        g = 1.0 / self.r_esr
+        if self._has_redist:
+            g += 1.0 / self.r_redist
+        return g
+
+    @property
+    def terminal_voltage(self) -> float:
+        return self._v_term
+
+    @property
+    def open_circuit_voltage(self) -> float:
+        """Charge-weighted rest voltage if the buffer settled right now."""
+        charge = self.c_main * self._v_main + self.c_decoupling * self._v_term
+        cap = self.c_main + self.c_decoupling
+        if self._has_redist:
+            charge += self.c_redist * self._v_redist
+            cap += self.c_redist
+        return charge / cap
+
+    @property
+    def stored_energy(self) -> float:
+        energy = 0.5 * self.c_main * self._v_main ** 2
+        energy += 0.5 * self.c_decoupling * self._v_term ** 2
+        if self._has_redist:
+            energy += 0.5 * self.c_redist * self._v_redist ** 2
+        return energy
+
+    @property
+    def total_capacitance(self) -> float:
+        cap = self.c_main + self.c_decoupling
+        if self._has_redist:
+            cap += self.c_redist
+        return cap
+
+    def _target_terminal(self, i_load: float) -> float:
+        """Terminal voltage the node relaxes toward under ``i_load``."""
+        num = self._v_main / self.r_esr - i_load
+        if self._has_redist:
+            num += self._v_redist / self.r_redist
+        return num / self._conductance
+
+    def step(self, i_load: float, dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        g = self._conductance
+        v_star = self._target_terminal(i_load)
+        if self.c_decoupling > 0:
+            tau = self.c_decoupling / g
+            ratio = dt / tau
+            alpha = math.exp(-ratio)
+            # Time-averaged terminal voltage across the step, used so branch
+            # charge bookkeeping stays consistent with the exponential path.
+            v_avg = v_star + (self._v_term - v_star) * (1.0 - alpha) / ratio
+            v_term_new = v_star + (self._v_term - v_star) * alpha
+        else:
+            v_avg = v_star
+            v_term_new = v_star
+
+        i_main = (self._v_main - v_avg) / self.r_esr
+        leak = self.leakage_current if self._v_main > 0 else 0.0
+        self._v_main = max(0.0, self._v_main - (i_main + leak) * dt / self.c_main)
+        if self._has_redist:
+            i_redist = (self._v_redist - v_avg) / self.r_redist
+            self._v_redist = max(
+                0.0, self._v_redist - i_redist * dt / self.c_redist
+            )
+        self._v_term = max(0.0, v_term_new)
+        return self._v_term
+
+    def reset(self, voltage: float) -> None:
+        if voltage < 0:
+            raise ValueError(f"voltage must be non-negative, got {voltage}")
+        self._v_main = float(voltage)
+        self._v_redist = float(voltage)
+        self._v_term = float(voltage)
+
+    def settle(self) -> None:
+        v_eq = self.open_circuit_voltage
+        self._v_main = v_eq
+        self._v_redist = v_eq
+        self._v_term = v_eq
+
+    def copy(self) -> "TwoBranchSupercap":
+        clone = TwoBranchSupercap(
+            self.c_main, self.r_esr, self.c_redist, self.r_redist,
+            self.c_decoupling, self.leakage_current,
+        )
+        clone._v_main = self._v_main
+        clone._v_redist = self._v_redist
+        clone._v_term = self._v_term
+        return clone
+
+    def aged(self, capacitance_factor: float = 0.8,
+             esr_factor: float = 2.0) -> "TwoBranchSupercap":
+        """A copy of this buffer after end-of-life aging.
+
+        Supercapacitor datasheets define end-of-life as capacitance fallen
+        to ~80% of nominal and ESR doubled (paper §IV-C); the defaults
+        produce exactly that part.
+        """
+        if capacitance_factor <= 0 or esr_factor <= 0:
+            raise ValueError("aging factors must be positive")
+        clone = TwoBranchSupercap(
+            self.c_main * capacitance_factor,
+            self.r_esr * esr_factor,
+            self.c_redist * capacitance_factor,
+            self.r_redist * esr_factor if self._has_redist else self.r_redist,
+            self.c_decoupling,
+            self.leakage_current,
+        )
+        clone.reset(self.open_circuit_voltage)
+        return clone
+
+    def at_temperature(self, celsius: float,
+                       esr_tempco: float = 0.025,
+                       cap_tempco: float = 0.001) -> "TwoBranchSupercap":
+        """A copy of this buffer at an operating temperature.
+
+        Supercapacitor ESR depends strongly on temperature — electrolyte
+        ion mobility falls as it cools, so ESR roughly triples between
+        room temperature and -20 C while capacitance sags a few percent
+        (the temperature axis of the characterization the paper notes
+        industry performs but never ships to software, §II-D). The model:
+        ``ESR *= exp(esr_tempco * (25 - T))`` and
+        ``C *= 1 - cap_tempco * (25 - T)``, both referenced to 25 C.
+        """
+        if esr_tempco < 0 or cap_tempco < 0:
+            raise ValueError("temperature coefficients must be >= 0")
+        delta = 25.0 - celsius
+        esr_factor = math.exp(esr_tempco * delta)
+        cap_factor = max(0.5, 1.0 - cap_tempco * delta)
+        clone = TwoBranchSupercap(
+            self.c_main * cap_factor,
+            self.r_esr * esr_factor,
+            self.c_redist * cap_factor,
+            self.r_redist * esr_factor if self._has_redist else self.r_redist,
+            self.c_decoupling,
+            self.leakage_current,
+        )
+        clone.reset(self.open_circuit_voltage)
+        return clone
+
+    def with_decoupling(self, c_decoupling: float) -> "TwoBranchSupercap":
+        """A copy with a different amount of decoupling capacitance."""
+        clone = TwoBranchSupercap(
+            self.c_main, self.r_esr, self.c_redist, self.r_redist,
+            c_decoupling, self.leakage_current,
+        )
+        clone.reset(self.open_circuit_voltage)
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"TwoBranchSupercap(C={self.total_capacitance * 1e3:.3g} mF, "
+                f"ESR={self.r_esr:.3g} ohm, Vterm={self._v_term:.3f} V)")

@@ -1,0 +1,77 @@
+"""Energy-harvester models.
+
+The paper's bench simulates harvested solar energy with a 2.2 V source in
+series with a potentiometer, i.e. a weak, roughly constant power input; its
+scheduler experiments use "constant, weak harvestable power, matched to a
+solar harvester". These models provide that and a couple of time-varying
+profiles for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Harvester(Protocol):
+    """Environmental energy source: power available at a given time."""
+
+    def power_at(self, t: float) -> float:
+        ...
+
+
+class NullHarvester:
+    """No incoming power — the worst case Culpeo-PG assumes (paper §IV-B)."""
+
+    def power_at(self, t: float) -> float:
+        return 0.0
+
+
+class ConstantPowerHarvester:
+    """Steady harvestable power, e.g. indoor solar through a regulator."""
+
+    def __init__(self, power: float) -> None:
+        if power < 0:
+            raise ValueError(f"power must be non-negative, got {power}")
+        self.power = power
+
+    def power_at(self, t: float) -> float:
+        return self.power
+
+
+class SolarHarvester:
+    """Diurnal-style harvest: a raised sinusoid clipped at zero.
+
+    ``power_at(t) = peak * max(0, sin(2*pi*t/period + phase))`` — a simple
+    stand-in for outdoor light variation, used by robustness tests that
+    exercise Culpeo-R re-profiling when incoming power changes.
+    """
+
+    def __init__(self, peak: float, period: float = 120.0,
+                 phase: float = 0.0) -> None:
+        if peak < 0:
+            raise ValueError(f"peak must be non-negative, got {peak}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.peak = peak
+        self.period = period
+        self.phase = phase
+
+    def power_at(self, t: float) -> float:
+        return self.peak * max(0.0, math.sin(2.0 * math.pi * t / self.period
+                                             + self.phase))
+
+
+class CallableHarvester:
+    """Adapter turning any ``f(t) -> watts`` callable into a harvester."""
+
+    def __init__(self, fn: Callable[[float], float]) -> None:
+        self._fn = fn
+
+    def power_at(self, t: float) -> float:
+        power = self._fn(t)
+        if power < 0:
+            raise ValueError(f"harvester callable returned negative power "
+                             f"{power} at t={t}")
+        return power

@@ -1,0 +1,64 @@
+"""Hysteretic voltage monitor.
+
+The monitor (BU4924-class on Capybara) gates the output booster: software
+runs only while the buffer terminal voltage is between ``v_off`` and
+``v_high``. Crucially, the hysteresis is *full-range*: once the terminal
+voltage dips below ``v_off`` the device powers off and stays off until the
+buffer has recharged all the way to ``v_high`` (paper §II-A). That long,
+mandatory recharge is what converts one ESR-induced brown-out into a string
+of missed application deadlines in the paper's Figures 12-13.
+"""
+
+from __future__ import annotations
+
+from repro.units import OperatingRange
+
+
+class VoltageMonitor:
+    """Tracks whether the output booster is enabled, with V_high/V_off hysteresis."""
+
+    def __init__(self, v_high: float, v_off: float,
+                 start_enabled: bool = False) -> None:
+        self.range = OperatingRange(v_off=v_off, v_high=v_high)
+        self._enabled = start_enabled
+
+    @property
+    def v_high(self) -> float:
+        return self.range.v_high
+
+    @property
+    def v_off(self) -> float:
+        return self.range.v_off
+
+    @property
+    def output_enabled(self) -> bool:
+        """Whether the output booster (and thus software) is currently on."""
+        return self._enabled
+
+    def observe(self, v_terminal: float) -> bool:
+        """Update monitor state from a terminal-voltage sample.
+
+        Returns the (possibly new) enabled state. Observation order matters
+        only at the exact thresholds; the monitor enables at
+        ``v >= v_high`` and disables at ``v < v_off``.
+        """
+        if self._enabled:
+            if v_terminal < self.v_off:
+                self._enabled = False
+        else:
+            if v_terminal >= self.v_high:
+                self._enabled = True
+        return self._enabled
+
+    def force_enabled(self, enabled: bool) -> None:
+        """Override monitor state — used by test harnesses that isolate the
+        power system from the load side (paper §VI-A)."""
+        self._enabled = bool(enabled)
+
+    def copy(self) -> "VoltageMonitor":
+        return VoltageMonitor(self.v_high, self.v_off, self._enabled)
+
+    def __repr__(self) -> str:
+        state = "on" if self._enabled else "off"
+        return (f"VoltageMonitor(v_high={self.v_high:.2f} V, "
+                f"v_off={self.v_off:.2f} V, output={state})")

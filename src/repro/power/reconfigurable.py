@@ -1,0 +1,208 @@
+"""Reconfigurable energy storage (paper §V-B; Capybara, Morphy).
+
+Platforms like Capybara expose several physical capacitor banks that
+software can switch onto the supply rail: a small configuration recharges
+quickly (reactive tasks), a large one stores more energy and has lower
+aggregate ESR (heavy tasks). Culpeo supports such devices by tagging every
+profile and V_safe entry with a buffer-configuration identifier; this
+module supplies the buffer those tags describe.
+
+Electrical model (per the paper): the active configuration behaves as a
+single supercapacitor — the parallel combination of its banks — in series
+with a small switch resistance ("a capacitor in series with a variable
+resistor, capturing the effect of low resistance connections between
+individual banks and the shared capacitor voltage rail"). Banks that are
+switched out hold their own charge; reconnecting redistributes charge
+instantly and conservatively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import PowerSystemError
+from repro.power.bank import CapacitorBank
+from repro.power.capacitor import TwoBranchSupercap
+
+
+class ReconfigurableBuffer:
+    """An energy buffer made of switchable capacitor banks.
+
+    Implements the :class:`~repro.power.capacitor.EnergyBuffer` protocol,
+    so it drops into a :class:`~repro.power.system.PowerSystem` anywhere a
+    fixed buffer does. ``config_id`` is a hashable tag (a frozen set of
+    bank names) suitable for Culpeo's per-configuration tables.
+    """
+
+    def __init__(self, banks: Mapping[str, CapacitorBank],
+                 initial_config: Iterable[str],
+                 switch_resistance: float = 0.05,
+                 voltage: float = 0.0,
+                 redist_fraction: float = 0.10,
+                 c_decoupling: float = 100e-6) -> None:
+        if not banks:
+            raise PowerSystemError("a reconfigurable buffer needs banks")
+        if switch_resistance < 0:
+            raise PowerSystemError(
+                f"switch_resistance must be >= 0, got {switch_resistance}"
+            )
+        self._banks: Dict[str, CapacitorBank] = dict(banks)
+        self.switch_resistance = switch_resistance
+        self.redist_fraction = redist_fraction
+        self.c_decoupling = c_decoupling
+        # Per-bank rest voltage while disconnected.
+        self._idle_voltage: Dict[str, float] = {
+            name: float(voltage) for name in self._banks
+        }
+        self._active: FrozenSet[str] = frozenset()
+        self._group: TwoBranchSupercap = None  # type: ignore[assignment]
+        self.configure(initial_config)
+
+    # -- configuration ----------------------------------------------------
+
+    @property
+    def config_id(self) -> FrozenSet[str]:
+        """Hashable tag for the active configuration (Culpeo table key)."""
+        return self._active
+
+    @property
+    def bank_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._banks))
+
+    def bank(self, name: str) -> CapacitorBank:
+        return self._banks[name]
+
+    def _build_group(self, names: FrozenSet[str],
+                     voltage: float) -> TwoBranchSupercap:
+        capacitance = sum(self._banks[n].capacitance for n in names)
+        # Parallel ESR combination of the active banks.
+        conductance = sum(1.0 / self._banks[n].esr for n in names
+                          if self._banks[n].esr > 0)
+        if conductance > 0:
+            esr = 1.0 / conductance
+        else:
+            esr = 1e-3  # all-ideal banks: a floor keeps the model sane
+        esr += self.switch_resistance
+        leakage = sum(self._banks[n].leakage_current for n in names)
+        c_redist = capacitance * self.redist_fraction
+        group = TwoBranchSupercap(
+            c_main=capacitance - c_redist,
+            r_esr=esr,
+            c_redist=c_redist,
+            r_redist=esr * 5.0,
+            c_decoupling=self.c_decoupling,
+            leakage_current=leakage,
+        )
+        group.reset(voltage)
+        return group
+
+    def configure(self, names: Iterable[str]) -> FrozenSet[str]:
+        """Switch the rail to the given bank set, conserving charge.
+
+        Connecting banks at different voltages redistributes their charge
+        instantly (the switch resistance is far below the bank ESR); the
+        rest voltage after the switch is the capacitance-weighted mean.
+        Returns the new ``config_id``.
+        """
+        new_active = frozenset(names)
+        if not new_active:
+            raise PowerSystemError("a configuration needs at least one bank")
+        unknown = new_active - set(self._banks)
+        if unknown:
+            raise PowerSystemError(f"unknown banks: {sorted(unknown)}")
+        # Park the currently active banks at the group's rest voltage.
+        if self._active:
+            rest = self._group.open_circuit_voltage
+            for name in self._active:
+                self._idle_voltage[name] = rest
+        # Charge-weighted merge of the newly active banks.
+        charge = sum(self._banks[n].capacitance * self._idle_voltage[n]
+                     for n in new_active)
+        capacitance = sum(self._banks[n].capacitance for n in new_active)
+        voltage = charge / capacitance
+        self._active = new_active
+        self._group = self._build_group(new_active, voltage)
+        return self._active
+
+    # -- EnergyBuffer protocol ----------------------------------------------
+
+    @property
+    def terminal_voltage(self) -> float:
+        return self._group.terminal_voltage
+
+    @property
+    def open_circuit_voltage(self) -> float:
+        return self._group.open_circuit_voltage
+
+    @property
+    def stored_energy(self) -> float:
+        """Energy in the active group plus the parked banks."""
+        parked = sum(
+            0.5 * self._banks[n].capacitance * self._idle_voltage[n] ** 2
+            for n in self._banks if n not in self._active
+        )
+        return self._group.stored_energy + parked
+
+    @property
+    def total_capacitance(self) -> float:
+        """Capacitance currently on the rail (the active group)."""
+        return self._group.total_capacitance
+
+    @property
+    def r_esr(self) -> float:
+        """Effective series resistance of the active configuration."""
+        return self._group.r_esr
+
+    @property
+    def max_stable_dt(self) -> float:
+        return self._group.max_stable_dt
+
+    @property
+    def _conductance(self) -> float:  # engine transient-tau hook
+        return self._group._conductance  # noqa: SLF001
+
+    def step(self, i_load: float, dt: float) -> float:
+        return self._group.step(i_load, dt)
+
+    def reset(self, voltage: float) -> None:
+        """Rest the active group (not the parked banks) at ``voltage``."""
+        self._group.reset(voltage)
+
+    def settle(self) -> None:
+        self._group.settle()
+
+    def copy(self) -> "ReconfigurableBuffer":
+        clone = ReconfigurableBuffer.__new__(ReconfigurableBuffer)
+        clone._banks = dict(self._banks)
+        clone.switch_resistance = self.switch_resistance
+        clone.redist_fraction = self.redist_fraction
+        clone.c_decoupling = self.c_decoupling
+        clone._idle_voltage = dict(self._idle_voltage)
+        clone._active = self._active
+        clone._group = self._group.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        active = "+".join(sorted(self._active))
+        return (f"ReconfigurableBuffer([{active}], "
+                f"C={self.total_capacitance * 1e3:.3g} mF, "
+                f"ESR={self.r_esr:.3g} ohm)")
+
+
+def capybara_bank_set(small: float = 7.5e-3, large: float = 37.5e-3,
+                      part_esr: float = 20.0) -> Dict[str, CapacitorBank]:
+    """A Capybara-flavoured two-bank set: one small, fast-recharging bank
+    and one large reserve bank, built from the same dense supercap parts."""
+    def bank(total: float) -> CapacitorBank:
+        parts = max(1, round(total / 7.5e-3))
+        return CapacitorBank(
+            capacitance=7.5e-3 * parts,
+            esr=part_esr / parts,
+            leakage_current=3e-9 * parts,
+            volume_mm3=9.0 * parts,
+            part_count=parts,
+            max_voltage=2.7,
+        )
+
+    return {"small": bank(small), "large": bank(large)}

@@ -1,0 +1,182 @@
+"""The assembled power system (paper Figure 2) and its design-time model.
+
+Two distinct objects live here, and keeping them distinct is the point of
+the reproduction:
+
+* :class:`PowerSystem` — the simulated *plant*: the real (two-branch)
+  buffer, the real (curved-efficiency) boosters, the monitor. Ground truth
+  comes from integrating this.
+* :class:`PowerSystemModel` — the *knowledge* a charge-management system has
+  about the plant: datasheet capacitance (conservative), a measured
+  ESR-versus-frequency curve, and a linearized efficiency model. Culpeo-PG
+  and Culpeo-R consume this, never the plant itself.
+
+The :func:`capybara_power_system` factory builds the configuration used
+throughout the paper's evaluation: V_off = 1.6 V, V_high = 2.56 V,
+V_out = 2.55 V, and a 45 mF (datasheet) supercapacitor bank of six dense
+Seiko CPX-class parts with about 4 ohms of effective DC ESR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.capacitor import EnergyBuffer, TwoBranchSupercap
+from repro.power.esr_profile import EsrFrequencyCurve, measure_esr_curve
+from repro.power.harvester import Harvester, NullHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.units import OperatingRange
+
+
+@dataclass
+class PowerSystem:
+    """Supply side of an energy-harvesting device: buffer, boosters, monitor."""
+
+    buffer: EnergyBuffer
+    output_booster: OutputBooster
+    input_booster: InputBooster
+    monitor: VoltageMonitor
+    harvester: Harvester = field(default_factory=NullHarvester)
+    name: str = "power-system"
+    datasheet_capacitance: Optional[float] = None
+
+    @property
+    def operating_range(self) -> OperatingRange:
+        return self.monitor.range
+
+    @property
+    def v_out(self) -> float:
+        return self.output_booster.v_out
+
+    def rest_at(self, voltage: float) -> None:
+        """Put the buffer at rest at ``voltage`` and sync the monitor."""
+        self.buffer.reset(voltage)
+        self.monitor.force_enabled(voltage >= self.monitor.v_off)
+
+    def copy(self) -> "PowerSystem":
+        """Independent copy sharing the (immutable) converter models."""
+        return PowerSystem(
+            buffer=self.buffer.copy(),
+            output_booster=self.output_booster,
+            input_booster=self.input_booster,
+            monitor=self.monitor.copy(),
+            harvester=self.harvester,
+            name=self.name,
+            datasheet_capacitance=self.datasheet_capacitance,
+        )
+
+    def with_harvester(self, harvester: Harvester) -> "PowerSystem":
+        """Copy of this system driven by a different harvester."""
+        clone = self.copy()
+        clone.harvester = harvester
+        return clone
+
+    def characterize(self, linearize_at: Optional[tuple] = None,
+                     **esr_kwargs) -> "PowerSystemModel":
+        """Derive the design-time model a Culpeo implementation consumes.
+
+        Profiles the assembled system's ESR-versus-frequency curve by
+        simulated measurement (paper §IV-B) and linearizes the output
+        booster's efficiency between the bottom and top of the operating
+        range (or the ``linearize_at`` pair if given).
+        """
+        v_lo, v_hi = linearize_at or (self.monitor.v_off, self.monitor.v_high)
+        datasheet_c = self.datasheet_capacitance or self.buffer.total_capacitance
+        return PowerSystemModel(
+            capacitance=datasheet_c,
+            esr_curve=measure_esr_curve(self.buffer, **esr_kwargs),
+            efficiency=LinearEfficiency.fit(
+                self.output_booster.efficiency_model, v_lo, v_hi
+            ),
+            v_off=self.monitor.v_off,
+            v_high=self.monitor.v_high,
+            v_out=self.output_booster.v_out,
+        )
+
+
+@dataclass(frozen=True)
+class PowerSystemModel:
+    """What a charge-management system *knows* about the power system.
+
+    This is the ``PowSys P`` input of the paper's Algorithm 1: datasheet
+    capacitance, a measured ESR-versus-frequency curve, a linear efficiency
+    model, and the designer-set voltage rails.
+    """
+
+    capacitance: float
+    esr_curve: EsrFrequencyCurve
+    efficiency: LinearEfficiency
+    v_off: float
+    v_high: float
+    v_out: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {self.capacitance}")
+        if self.v_high <= self.v_off:
+            raise ValueError("v_high must exceed v_off")
+
+    @property
+    def operating_range(self) -> OperatingRange:
+        return OperatingRange(v_off=self.v_off, v_high=self.v_high)
+
+    def eta(self, v: float) -> float:
+        """Linearized converter efficiency at buffer voltage ``v``."""
+        return self.efficiency.efficiency(v)
+
+
+def capybara_power_system(
+    datasheet_capacitance: float = 45e-3,
+    capacitance_tolerance: float = 0.06,
+    dc_esr: float = 4.0,
+    c_decoupling: float = 100e-6,
+    leakage_current: float = 20e-9,
+    v_high: float = 2.56,
+    v_off: float = 1.6,
+    v_out: float = 2.55,
+    harvester: Optional[Harvester] = None,
+    redist_fraction: float = 0.10,
+) -> PowerSystem:
+    """Build the Capybara-class power system used in the paper's evaluation.
+
+    The *true* total capacitance exceeds the datasheet value by
+    ``capacitance_tolerance`` (datasheet values are "generally conservative",
+    paper §IV-B). ``redist_fraction`` of the true capacitance goes into the
+    slow charge-redistribution branch that gives the bank its finite
+    millisecond-scale rebound.
+    """
+    if not 0 <= redist_fraction < 1:
+        raise ValueError(f"redist_fraction must be in [0, 1), got {redist_fraction}")
+    true_capacitance = datasheet_capacitance * (1.0 + capacitance_tolerance)
+    c_redist = true_capacitance * redist_fraction
+    c_main = true_capacitance - c_redist - c_decoupling
+    if c_main <= 0:
+        raise ValueError("decoupling + redistribution exceed total capacitance")
+    buffer = TwoBranchSupercap(
+        c_main=c_main,
+        r_esr=dc_esr,
+        c_redist=c_redist,
+        r_redist=dc_esr * 5.0,
+        c_decoupling=c_decoupling,
+        leakage_current=leakage_current,
+    )
+    true_eta = CurvedEfficiency()
+    return PowerSystem(
+        buffer=buffer,
+        output_booster=OutputBooster(v_out=v_out, efficiency_model=true_eta,
+                                     min_input_voltage=0.5,
+                                     power_derating=0.6),
+        input_booster=InputBooster(efficiency_model=LinearEfficiency(
+            slope=0.0, intercept=0.80), v_max=v_high),
+        monitor=VoltageMonitor(v_high=v_high, v_off=v_off),
+        harvester=harvester or NullHarvester(),
+        name="capybara",
+        datasheet_capacitance=datasheet_capacitance,
+    )

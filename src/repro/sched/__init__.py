@@ -1,0 +1,64 @@
+"""Schedulers and the V_safe estimators they gate tasks with.
+
+``estimators`` holds the energy-only baselines the paper shows to be
+broken (Energy-Direct, Energy-V, CatNap's voltage-as-energy variants) plus
+adapters that present Culpeo-PG and Culpeo-R through the same interface.
+``policy`` turns per-task estimates into scheduler gate voltages;
+``scheduler`` is the event-driven CatNap-style runtime that the paper's
+three applications run on, with either an energy-only or a Culpeo policy
+plugged in.
+"""
+
+from repro.sched.task import Priority, Task, TaskChain
+from repro.sched.estimators import (
+    CatnapEstimator,
+    CulpeoPgEstimator,
+    CulpeoREstimator,
+    EnergyDirectEstimator,
+    EnergyVEstimator,
+    VsafeEstimator,
+)
+from repro.sched.feasibility import (
+    chain_gate_voltage,
+    energy_only_gate,
+)
+from repro.sched.policy import CatnapPolicy, CulpeoPolicy, SchedulerPolicy
+from repro.sched.adaptive import AdaptiveCulpeoScheduler
+from repro.sched.planner import (
+    FeasibilityPlanner,
+    PeriodicTask,
+    Plan,
+    simulate_plan,
+)
+from repro.sched.scheduler import (
+    EventOutcome,
+    EventRecord,
+    IntermittentScheduler,
+    ScheduleResult,
+)
+
+__all__ = [
+    "Priority",
+    "Task",
+    "TaskChain",
+    "VsafeEstimator",
+    "EnergyDirectEstimator",
+    "EnergyVEstimator",
+    "CatnapEstimator",
+    "CulpeoPgEstimator",
+    "CulpeoREstimator",
+    "chain_gate_voltage",
+    "energy_only_gate",
+    "SchedulerPolicy",
+    "CatnapPolicy",
+    "CulpeoPolicy",
+    "AdaptiveCulpeoScheduler",
+    "FeasibilityPlanner",
+    "PeriodicTask",
+    "Plan",
+    "simulate_plan",
+    "IntermittentScheduler",
+    "ScheduleResult",
+    "EventRecord",
+    "EventOutcome",
+]

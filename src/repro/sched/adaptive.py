@@ -1,0 +1,110 @@
+"""Adaptive scheduling: re-profile when harvestable power changes (§V-B).
+
+Culpeo-R's estimates are only as good as the conditions they were profiled
+under. A profile taken while a strong harvester back-fills the buffer
+understates the task's net demand — the measured ``V_final`` rides up on
+incoming power — so when the light fades, the stale gate admits tasks that
+now brown out. The paper's remedy: "a change in incoming power that
+exceeds a threshold can be used to trigger re-profiling and re-collection
+of V_safe and V_delta".
+
+:class:`AdaptiveCulpeoScheduler` wires that policy into the event-driven
+scheduler: between events it watches the harvester through a
+:class:`~repro.core.reprofile.ReprofilingMonitor`; when the monitor trips,
+it re-profiles every task *in simulation time* (profiling runs consume
+real buffer energy and real seconds) and recompiles the policy gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.reprofile import ReprofilingMonitor
+from repro.core.runtime import CulpeoRCalculator
+from repro.sched.policy import SchedulerPolicy
+from repro.sched.scheduler import IntermittentScheduler, ScheduleResult
+from repro.sched.task import Task, TaskChain
+from repro.sim.engine import PowerSystemSimulator
+
+
+class AdaptiveCulpeoScheduler(IntermittentScheduler):
+    """Event-driven scheduler with in-deployment re-profiling.
+
+    The runtime profiles on the *live* system: each (re-)profiling pass
+    runs every unique task once from whatever charge is available,
+    spending simulated time and energy — adaptation is not free, and the
+    results report how often it happened.
+    """
+
+    def __init__(self, engine: PowerSystemSimulator,
+                 chains: Sequence[TaskChain],
+                 background: Optional[Task] = None,
+                 reprofile_threshold: float = 0.25,
+                 background_margin: float = 0.01) -> None:
+        system = engine.system
+        model = system.characterize()
+        calculator = CulpeoRCalculator(efficiency=model.efficiency,
+                                       v_off=model.v_off,
+                                       v_high=model.v_high)
+        self.runtime = CulpeoIsrRuntime(engine, calculator)
+        self.monitor = ReprofilingMonitor(self.runtime,
+                                          threshold=reprofile_threshold)
+        self.chains = list(chains)
+        self.background_margin = background_margin
+        self.reprofile_count = 0
+        policy = SchedulerPolicy(
+            name="culpeo-adaptive",
+            v_off=model.v_off,
+            v_high=model.v_high,
+            esr_aware=True,
+            background_margin=background_margin,
+        )
+        super().__init__(engine, policy, background=background)
+        self._profile_all()
+
+    # -- profiling ---------------------------------------------------------
+
+    def _unique_tasks(self) -> List[Task]:
+        tasks: Dict[str, Task] = {}
+        for chain in self.chains:
+            for task in chain.tasks:
+                tasks.setdefault(task.name, task)
+        if self.background is not None:
+            tasks.setdefault(self.background.name, self.background)
+        return list(tasks.values())
+
+    def _profile_all(self) -> None:
+        """(Re-)profile every task on the live system, then recompile."""
+        v_high = self.engine.system.monitor.v_high
+        for task in self._unique_tasks():
+            # Top up first so profiles start from a known, repeatable level
+            # (the paper's "Culpeo-R may choose a known V_start").
+            self.engine.charge_until(v_high, max_time=120.0)
+            self.runtime.profile_task(task.trace, task.name)
+            self.policy.estimates[task.name] = \
+                self.runtime.get_estimate(task.name) or \
+                self.policy.estimates.get(task.name)
+        self.policy.compile_chains(self.chains)
+        self.monitor.record_profile_conditions(
+            self.engine.system.harvester.power_at(self.engine.time))
+        self.reprofile_count += 1
+
+    # -- scheduler hook ------------------------------------------------------
+
+    def _wait_for(self, gate: float, deadline: float) -> bool:
+        self._maybe_reprofile()
+        return super()._wait_for(gate, deadline)
+
+    def _run_background_slice(self, result: ScheduleResult) -> None:
+        self._maybe_reprofile()
+        super()._run_background_slice(result)
+
+    def _idle_step(self, step: float) -> None:
+        self._maybe_reprofile()
+        super()._idle_step(step)
+
+    def _maybe_reprofile(self) -> None:
+        power = self.engine.system.harvester.power_at(self.engine.time)
+        if self.monitor.observe_power(power):
+            self._profile_all()

@@ -1,0 +1,232 @@
+"""V_safe estimators: the broken energy-only baselines and Culpeo adapters.
+
+Every estimator answers the same question — "from what buffer voltage is
+this task safe to start?" — through the same interface, so schedulers and
+experiments can swap them freely:
+
+* :class:`EnergyDirectEstimator` — converts a directly measured task energy
+  into a voltage via ``E = C V^2 / 2``. Oracular about energy, blind to ESR.
+* :class:`EnergyVEstimator` — the end-to-end voltage-as-energy
+  approximation: profile the task, read the *fully rebounded* final
+  voltage, treat the squared-voltage drop as the requirement. Tracks
+  Energy-Direct closely (paper Figure 11).
+* :class:`CatnapEstimator` — CatNap's published approach: read the
+  capacitor voltage a fixed, short delay after the task completes. The
+  delay determines how much of the not-yet-rebounded ESR drop leaks into
+  the energy estimate: the published implementation measures quickly
+  (``Catnap-Measured``), accidentally capturing part of the drop; a 2 ms
+  delay (``Catnap-Slow``) misses nearly all of it (paper Figure 6).
+* :class:`CulpeoPgEstimator` / :class:`CulpeoREstimator` — the paper's
+  systems behind the common interface.
+
+Baseline estimators profile a *copy* of the power system from rest at
+``V_high`` with harvesting disabled, mirroring the paper's bench procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.profile_guided import CulpeoPG
+from repro.core.runtime import CulpeoRCalculator
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.uarch_runtime import CulpeoUArchRuntime
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystem, PowerSystemModel
+from repro.sim.engine import PowerSystemSimulator
+
+
+@runtime_checkable
+class VsafeEstimator(Protocol):
+    """Common interface: a name and an estimate for a task trace."""
+
+    @property
+    def name(self) -> str:
+        ...
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        ...
+
+
+def _profile_run(system: PowerSystem, trace: CurrentTrace,
+                 settle_after: float) -> "tuple[float, float, float]":
+    """Run the trace once from a rested full buffer; return
+    (v_start, v_end_after_settle, v_min)."""
+    trial = system.copy()
+    trial.rest_at(system.monitor.v_high)
+    sim = PowerSystemSimulator(trial)
+    v_start = trial.buffer.terminal_voltage
+    result = sim.run_trace(trace, harvesting=False, settle_after=settle_after,
+                           stop_on_brownout=False)
+    return v_start, trial.buffer.terminal_voltage, result.v_min
+
+
+class EnergyDirectEstimator:
+    """Oracular task energy, converted to voltage with the datasheet C.
+
+    ``V_safe = sqrt(V_off^2 + 2 * E_in / C)`` where ``E_in`` is the task's
+    rail energy lifted through the booster's (voltage-only) efficiency
+    model at the bottom of the range — everything an energy-centric system
+    could possibly know, and still wrong, because no energy term contains
+    the ESR drop.
+    """
+
+    name = "Energy-Direct"
+
+    def __init__(self, model: PowerSystemModel) -> None:
+        self.model = model
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        model = self.model
+        e_out = trace.energy_at(model.v_out)
+        e_in = e_out / model.eta(model.v_off)
+        energy_v2 = 2.0 * e_in / model.capacitance
+        v_safe = (model.v_off ** 2 + energy_v2) ** 0.5
+        return VsafeEstimate(
+            v_safe=min(v_safe, model.v_high),
+            v_delta=0.0,
+            demand=TaskDemand(energy_v2=energy_v2, v_delta=0.0),
+            method=self.name,
+        )
+
+
+class EnergyVEstimator:
+    """End-to-end voltage drop as energy: profile, wait out the rebound.
+
+    ``V_safe = sqrt(V_off^2 + V_start^2 - V_final^2)`` with ``V_final``
+    read after the buffer has fully settled. The rebound has erased the
+    ESR drop, so the estimate is purely energetic.
+    """
+
+    name = "Energy-V"
+
+    def __init__(self, model: PowerSystemModel,
+                 settle_time: float = 2.0) -> None:
+        self.model = model
+        self.settle_time = settle_time
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        v_start, v_final, _ = _profile_run(system, trace, self.settle_time)
+        energy_v2 = max(0.0, v_start ** 2 - v_final ** 2)
+        v_safe = (self.model.v_off ** 2 + energy_v2) ** 0.5
+        return VsafeEstimate(
+            v_safe=min(v_safe, self.model.v_high),
+            v_delta=0.0,
+            demand=TaskDemand(energy_v2=energy_v2, v_delta=0.0),
+            method=self.name,
+        )
+
+
+class CatnapEstimator:
+    """CatNap's voltage-as-energy estimate with a measurement delay.
+
+    The capacitor voltage is read ``measure_delay`` seconds after the task
+    ends. A fast read lands before the ESR rebound completes, silently
+    folding part of the drop into the "energy" estimate (conservative for
+    uniform loads, an overestimate for the largest drops); a slow read
+    captures the rebounded level and misses the drop entirely. Either way
+    the estimate contains no explicit voltage requirement — the flaw the
+    paper corrects.
+    """
+
+    def __init__(self, model: PowerSystemModel, *,
+                 measure_delay: float = 0.0002,
+                 label: str = "Catnap") -> None:
+        if measure_delay < 0:
+            raise ValueError(f"measure_delay must be >= 0, got {measure_delay}")
+        self.model = model
+        self.measure_delay = measure_delay
+        self._label = label
+
+    @classmethod
+    def measured(cls, model: PowerSystemModel) -> "CatnapEstimator":
+        """The published implementation: a prompt post-task read."""
+        return cls(model, measure_delay=0.0002, label="Catnap-Measured")
+
+    @classmethod
+    def slow(cls, model: PowerSystemModel) -> "CatnapEstimator":
+        """A 2 ms delayed read (paper Figure 6's Catnap-Slow)."""
+        return cls(model, measure_delay=0.002, label="Catnap-Slow")
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        v_start, v_end, _ = _profile_run(system, trace, self.measure_delay)
+        energy_v2 = max(0.0, v_start ** 2 - v_end ** 2)
+        v_safe = (self.model.v_off ** 2 + energy_v2) ** 0.5
+        return VsafeEstimate(
+            v_safe=min(v_safe, self.model.v_high),
+            v_delta=0.0,
+            demand=TaskDemand(energy_v2=energy_v2, v_delta=0.0),
+            method=self.name,
+        )
+
+
+class CulpeoPgEstimator:
+    """Culpeo-PG behind the common estimator interface."""
+
+    name = "Culpeo-PG"
+
+    def __init__(self, model: PowerSystemModel, **pg_kwargs) -> None:
+        self._pg = CulpeoPG(model, **pg_kwargs)
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        return self._pg.analyze(trace)
+
+
+class CulpeoREstimator:
+    """Culpeo-R (ISR or µArch variant) behind the common interface.
+
+    Each estimate runs one profiling pass on a copy of the system from a
+    full buffer — the paper's "profile once before the application starts"
+    regime.
+    """
+
+    def __init__(self, calculator: CulpeoRCalculator,
+                 variant: str = "isr") -> None:
+        if variant not in ("isr", "uarch"):
+            raise ValueError(f"variant must be 'isr' or 'uarch', got {variant!r}")
+        self.calculator = calculator
+        self.variant = variant
+
+    @property
+    def name(self) -> str:
+        return "Culpeo-ISR" if self.variant == "isr" else "Culpeo-uArch"
+
+    def estimate(self, system: PowerSystem,
+                 trace: CurrentTrace) -> VsafeEstimate:
+        trial = system.copy()
+        trial.rest_at(system.monitor.v_high)
+        engine = PowerSystemSimulator(trial)
+        runtime: "CulpeoIsrRuntime | CulpeoUArchRuntime"
+        if self.variant == "isr":
+            runtime = CulpeoIsrRuntime(engine, self.calculator)
+        else:
+            runtime = CulpeoUArchRuntime(engine, self.calculator)
+        runtime.profile_task(trace, "probe", harvesting=False)
+        estimate = runtime.get_estimate("probe")
+        if estimate is None:  # pragma: no cover — profile_task always stores
+            raise RuntimeError("profiling failed to produce an estimate")
+        return estimate
+
+
+def standard_estimators(system: PowerSystem,
+                        model: Optional[PowerSystemModel] = None) -> list:
+    """The estimator line-up of the paper's Figures 10 and 11."""
+    model = model or system.characterize()
+    calc = CulpeoRCalculator(efficiency=model.efficiency,
+                             v_off=model.v_off, v_high=model.v_high)
+    return [
+        CatnapEstimator.measured(model),
+        CulpeoPgEstimator(model),
+        CulpeoREstimator(calc, "isr"),
+        CulpeoREstimator(calc, "uarch"),
+    ]

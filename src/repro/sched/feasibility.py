@@ -1,0 +1,29 @@
+"""Chain-level feasibility gates (paper §VII-B).
+
+CatNap's feasibility test asks only that the capacitor always holds energy:
+``forall t >= 0: e_cap(t) > 0``. Theorem 1 adds the missing clause — the
+voltage before each task must be at least that task's V_safe. These helpers
+compute the gate voltage a scheduler should require before launching a
+chain (or a chain suffix), under each regime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.model import TaskDemand, vsafe_multi
+
+
+def chain_gate_voltage(demands: Sequence[TaskDemand], v_off: float) -> float:
+    """Theorem 1 gate: V_safe_multi of the chain (ESR-aware)."""
+    return vsafe_multi(demands, v_off)
+
+
+def energy_only_gate(demands: Sequence[TaskDemand], v_off: float) -> float:
+    """CatNap's gate: the same composition with every V_delta zeroed.
+
+    This is the voltage that satisfies ``e_cap(t) > 0`` for the chain and
+    nothing more — the test the paper proves insufficient.
+    """
+    stripped = [TaskDemand(d.energy_v2, 0.0) for d in demands]
+    return vsafe_multi(stripped, v_off)

@@ -1,0 +1,233 @@
+"""Feasibility planning for periodic tasks (CatNap's scheduling core).
+
+CatNap adapts RTOS feasibility scheduling to intermittent power: given
+periodic tasks with energy estimates and a charging-rate model, it lays
+out task launches and recharge intervals so "there is always energy to run
+the tasks at the appropriate time" — the test the paper writes as
+``forall t: e_cap(t) > 0`` and then proves insufficient (§II-D, §VII-B).
+
+:class:`FeasibilityPlanner` implements that planner over one hyperperiod,
+under either admission rule:
+
+* ``esr_aware=False`` — CatNap: a job may start once the buffer covers its
+  *energy*;
+* ``esr_aware=True`` — Theorem 1: a job may start once the buffer reaches
+  the chain's composed V_safe (energy *and* ESR terms).
+
+Both produce a :class:`Plan` — a timeline of launches and recharges with a
+feasibility verdict — and :func:`simulate_plan` executes a plan against
+the real (simulated) power system, which is where energy-only "feasible"
+plans go to die, exactly as in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.model import TaskDemand, vsafe_single
+from repro.errors import ScheduleError
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystem
+from repro.sim.engine import PowerSystemSimulator
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic job: its load, demand estimate, and release period."""
+
+    name: str
+    trace: CurrentTrace
+    demand: TaskDemand
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.trace.duration > self.period:
+            raise ValueError(
+                f"task {self.name!r} runs longer than its period"
+            )
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One scheduled launch: when, what, and from what predicted voltage."""
+
+    start: float
+    task: str
+    release: float
+    deadline: float
+    v_predicted: float
+    recharge_before: float
+
+    @property
+    def lateness(self) -> float:
+        end_by = self.start
+        return max(0.0, end_by - self.deadline)
+
+
+@dataclass
+class Plan:
+    """A hyperperiod timeline plus its feasibility verdict."""
+
+    esr_aware: bool
+    jobs: List[PlannedJob] = field(default_factory=list)
+    feasible: bool = True
+    rejection: Optional[str] = None
+    total_recharge_time: float = 0.0
+
+    def render(self) -> str:
+        from repro.harness.report import TextTable
+        rule = "Theorem 1" if self.esr_aware else "energy-only"
+        table = TextTable(
+            ["t (s)", "job", "recharge before (s)", "predicted V"],
+            title=f"Plan ({rule}) — feasible: {self.feasible}"
+                  + (f" [{self.rejection}]" if self.rejection else ""),
+        )
+        for job in self.jobs:
+            table.add_row([f"{job.start:.2f}", job.task,
+                           f"{job.recharge_before:.2f}",
+                           f"{job.v_predicted:.3f}"])
+        return table.render()
+
+
+class FeasibilityPlanner:
+    """Plans one hyperperiod of periodic jobs with recharge insertion.
+
+    The planner's world model is deliberately CatNap's: an ideal
+    capacitor of the datasheet capacitance charged at a constant
+    *effective* power (``charge_power`` is what actually lands in the
+    buffer, after the input booster), accruing during execution as well as
+    idle time. Jobs are served earliest-deadline-first (deadline = next
+    release); before each launch the buffer must reach the admission
+    gate, waiting on recharge if needed. A job whose gate cannot be met
+    by its deadline makes the plan infeasible.
+
+    With the income side modeled accurately, the one thing separating an
+    energy-only plan from its execution on the real power system is the
+    thing CatNap cannot see: the ESR drop.
+    """
+
+    def __init__(self, capacitance: float, charge_power: float,
+                 v_off: float, v_high: float) -> None:
+        if capacitance <= 0 or charge_power <= 0:
+            raise ValueError("capacitance and charge_power must be positive")
+        if not 0 < v_off < v_high:
+            raise ValueError("need 0 < v_off < v_high")
+        self.capacitance = capacitance
+        self.charge_power = charge_power
+        self.v_off = v_off
+        self.v_high = v_high
+
+    def _gate(self, task: PeriodicTask, esr_aware: bool) -> float:
+        demand = task.demand if esr_aware else \
+            TaskDemand(task.demand.energy_v2, 0.0)
+        return min(vsafe_single(demand, self.v_off), self.v_high)
+
+    def _charge_time(self, v_from: float, v_to: float) -> float:
+        if v_to <= v_from:
+            return 0.0
+        energy = 0.5 * self.capacitance * (v_to ** 2 - v_from ** 2)
+        return energy / self.charge_power
+
+    def _charge_to_time(self, v_from: float, duration: float) -> float:
+        v_sq = v_from ** 2 + 2.0 * self.charge_power * duration \
+            / self.capacitance
+        return min(self.v_high, math.sqrt(v_sq))
+
+    def plan(self, tasks: Sequence[PeriodicTask], horizon: float,
+             *, esr_aware: bool, v_start: Optional[float] = None) -> Plan:
+        """Lay out all releases in ``[0, horizon)`` with recharges."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        releases = []
+        for task in tasks:
+            t = 0.0
+            while t < horizon:
+                # Implicit deadline: the next release of the same task.
+                releases.append((t, t + task.period, task))
+                t += task.period
+        releases.sort(key=lambda r: (r[1], r[0]))  # EDF
+
+        plan = Plan(esr_aware=esr_aware)
+        now = 0.0
+        voltage = self.v_high if v_start is None else v_start
+        for release, deadline, task in releases:
+            if now < release:
+                voltage = self._charge_to_time(voltage, release - now)
+                now = release
+            gate = self._gate(task, esr_aware)
+            recharge = self._charge_time(voltage, gate)
+            if now + recharge + task.trace.duration > deadline:
+                plan.feasible = False
+                plan.rejection = (
+                    f"{task.name} released at {release:.2f} cannot reach "
+                    f"{gate:.3f} V by its deadline"
+                )
+                break
+            if recharge > 0:
+                voltage = gate
+                now += recharge
+                plan.total_recharge_time += recharge
+            plan.jobs.append(PlannedJob(
+                start=now, task=task.name, release=release,
+                deadline=deadline, v_predicted=voltage,
+                recharge_before=recharge,
+            ))
+            # Pay the task's energy; harvesting continues while it runs.
+            duration = task.trace.duration
+            income_v2 = 2.0 * self.charge_power * duration / self.capacitance
+            v_sq = max(0.0, voltage ** 2 - task.demand.energy_v2 + income_v2)
+            voltage = min(self.v_high, math.sqrt(v_sq))
+            now += duration
+        return plan
+
+
+@dataclass
+class PlanExecution:
+    """What actually happened when a plan met the real power system."""
+
+    completed_jobs: int
+    failed_job: Optional[str] = None
+    browned_out: bool = False
+
+    @property
+    def all_completed(self) -> bool:
+        return not self.browned_out
+
+
+def simulate_plan(plan: Plan, tasks: Sequence[PeriodicTask],
+                  system: PowerSystem, charge_power: float,
+                  v_start: Optional[float] = None) -> PlanExecution:
+    """Execute a plan's timeline against the simulated power system.
+
+    The device follows the planner's timetable exactly: it idles (and
+    charges) until each job's planned start, then launches. This is how a
+    plan that was "feasible" on paper reveals its ESR blindness.
+
+    ``charge_power`` is the planner's *effective* buffer income; the
+    harvester is sized so that, after the system's input booster, the
+    buffer receives the same power the planner assumed.
+    """
+    if not plan.feasible:
+        raise ScheduleError("cannot execute an infeasible plan")
+    from repro.power.harvester import ConstantPowerHarvester
+
+    by_name = {task.name: task for task in tasks}
+    eta_in = system.input_booster.efficiency_model.efficiency(2.0)
+    trial = system.with_harvester(
+        ConstantPowerHarvester(charge_power / eta_in))
+    trial.rest_at(system.monitor.v_high if v_start is None else v_start)
+    engine = PowerSystemSimulator(trial)
+    completed = 0
+    for job in plan.jobs:
+        if engine.time < job.start:
+            engine.idle(job.start - engine.time)
+        result = engine.run_trace(by_name[job.task].trace, harvesting=True)
+        if result.browned_out:
+            return PlanExecution(completed_jobs=completed,
+                                 failed_job=job.task, browned_out=True)
+        completed += 1
+    return PlanExecution(completed_jobs=completed)

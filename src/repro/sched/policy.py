@@ -1,0 +1,136 @@
+"""Scheduler policies: how per-task estimates become gate voltages.
+
+A policy owns, for each task, a V_safe estimate from some estimator, and
+derives:
+
+* ``gate(chain, index)`` — the voltage required before launching task
+  ``index`` of a chain, computed as the composed requirement of the
+  remaining chain suffix (CatNap's "energy bucket", Culpeo's
+  V_safe_multi);
+* ``background_threshold`` — the lowest voltage at which low-priority work
+  may run. CatNap reserves only the *energy* of the costliest chain, so
+  background work legally discharges the buffer to a level from which the
+  chain's ESR drop is fatal; Culpeo reserves the chain's full V_safe_multi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystem
+from repro.sched.estimators import VsafeEstimator
+from repro.sched.feasibility import chain_gate_voltage, energy_only_gate
+from repro.sched.task import Task, TaskChain
+
+
+@dataclass
+class SchedulerPolicy:
+    """Gate voltages derived from per-task estimates.
+
+    ``esr_aware`` selects the composition rule: True composes suffix gates
+    with the full Theorem 1 test (V_delta terms included); False uses
+    CatNap's energy-only composition, even if the underlying estimates
+    happened to contain drop information.
+    """
+
+    name: str
+    v_off: float
+    v_high: float
+    esr_aware: bool
+    estimates: Dict[str, VsafeEstimate] = field(default_factory=dict)
+    background_margin: float = 0.01
+    _suffix_gates: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    background_threshold: float = 0.0
+
+    def demand(self, task_name: str) -> TaskDemand:
+        try:
+            return self.estimates[task_name].demand
+        except KeyError:
+            raise KeyError(f"no estimate recorded for task {task_name!r}")
+
+    def task_vsafe(self, task_name: str) -> float:
+        """The single-task gate for ``task_name``."""
+        return self.estimates[task_name].v_safe
+
+    def compile_chains(self, chains: Sequence[TaskChain]) -> None:
+        """Precompute suffix gates and the background threshold."""
+        self._suffix_gates.clear()
+        worst_chain_gate = self.v_off
+        for chain in chains:
+            demands = [self.demand(t.name) for t in chain.tasks]
+            for idx in range(len(demands)):
+                suffix = demands[idx:]
+                if self.esr_aware:
+                    gate = chain_gate_voltage(suffix, self.v_off)
+                else:
+                    gate = energy_only_gate(suffix, self.v_off)
+                # The first task's own single-task estimate also binds —
+                # for ESR-aware estimates it already contains the drop.
+                gate = max(gate, self.estimates[chain.tasks[idx].name].v_safe)
+                self._suffix_gates[(chain.name, idx)] = min(gate, self.v_high)
+            worst_chain_gate = max(worst_chain_gate,
+                                   self._suffix_gates[(chain.name, 0)])
+        self.background_threshold = min(
+            self.v_high, worst_chain_gate + self.background_margin
+        )
+
+    def gate(self, chain_name: str, task_index: int) -> float:
+        """Required voltage before task ``task_index`` of ``chain_name``."""
+        try:
+            return self._suffix_gates[(chain_name, task_index)]
+        except KeyError:
+            raise KeyError(
+                f"no compiled gate for {chain_name!r}[{task_index}]; "
+                "call compile_chains() first"
+            )
+
+
+def _build_policy(name: str, system: PowerSystem,
+                  estimator: VsafeEstimator,
+                  chains: Sequence[TaskChain],
+                  background_tasks: Sequence[Task],
+                  esr_aware: bool,
+                  background_margin: float) -> SchedulerPolicy:
+    policy = SchedulerPolicy(
+        name=name,
+        v_off=system.monitor.v_off,
+        v_high=system.monitor.v_high,
+        esr_aware=esr_aware,
+        background_margin=background_margin,
+    )
+    tasks: List[Task] = [t for chain in chains for t in chain.tasks]
+    tasks += list(background_tasks)
+    for task in tasks:
+        if task.name not in policy.estimates:
+            policy.estimates[task.name] = estimator.estimate(system, task.trace)
+    policy.compile_chains(chains)
+    return policy
+
+
+class CatnapPolicy:
+    """Factory for the energy-only baseline policy (paper's CatNap)."""
+
+    @staticmethod
+    def build(system: PowerSystem, estimator: VsafeEstimator,
+              chains: Sequence[TaskChain],
+              background_tasks: Sequence[Task] = (),
+              background_margin: float = 0.01) -> SchedulerPolicy:
+        return _build_policy("catnap", system, estimator, chains,
+                             background_tasks, esr_aware=False,
+                             background_margin=background_margin)
+
+
+class CulpeoPolicy:
+    """Factory for the Culpeo-integrated policy (paper §VI-B)."""
+
+    @staticmethod
+    def build(system: PowerSystem, estimator: VsafeEstimator,
+              chains: Sequence[TaskChain],
+              background_tasks: Sequence[Task] = (),
+              background_margin: float = 0.01) -> SchedulerPolicy:
+        return _build_policy("culpeo", system, estimator, chains,
+                             background_tasks, esr_aware=True,
+                             background_margin=background_margin)

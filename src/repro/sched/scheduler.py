@@ -1,0 +1,292 @@
+"""The event-driven intermittent scheduler (paper §VI-B).
+
+A CatNap-style runtime for reactive applications on harvested energy:
+
+* **Events** arrive (periodically or by interrupt) and each triggers a
+  chain of high-priority atomic tasks that must complete by a deadline.
+* Before each task the scheduler compares the buffer voltage against the
+  policy's gate; if low, it waits for recharge (the whole point of charge
+  management is knowing how long to wait — and when waiting is wrong).
+* A **background** low-priority task runs in slices whenever no event is
+  pending and the voltage sits above the policy's background threshold.
+* A brown-out (terminal voltage under ``V_off`` mid-task) kills the
+  device: the event is lost, and the platform recharges all the way to
+  ``V_high`` before software runs again — during which further arrivals
+  can expire unseen.
+
+The scheduler is policy-agnostic: plug in an energy-only policy to get the
+paper's failing CatNap, or a Culpeo policy to get the corrected system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sched.policy import SchedulerPolicy
+from repro.sched.task import Task, TaskChain
+from repro.sim.engine import PowerSystemSimulator
+
+
+class EventOutcome(enum.Enum):
+    """How an event ended."""
+
+    CAPTURED = "captured"
+    LOST_DEADLINE_WAITING = "deadline passed while waiting for charge"
+    LOST_BROWNOUT = "task browned out"
+    LOST_DEVICE_OFF = "device was off (recharging) past the deadline"
+    LOST_LATE = "chain finished after its deadline (post-reboot retry)"
+
+
+@dataclass
+class EventRecord:
+    """One event's life: arrival, deadline, and what became of it."""
+
+    chain_name: str
+    arrival: float
+    deadline: float
+    outcome: Optional[EventOutcome] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def captured(self) -> bool:
+        return self.outcome is EventOutcome.CAPTURED
+
+
+@dataclass
+class ScheduleResult:
+    """Aggregate outcome of one scheduler run."""
+
+    policy_name: str
+    duration: float
+    events: List[EventRecord] = field(default_factory=list)
+    brownout_count: int = 0
+    time_off: float = 0.0
+    background_time: float = 0.0
+
+    def capture_fraction(self, chain_name: Optional[str] = None) -> float:
+        """Fraction of events captured, optionally for one chain."""
+        relevant = [e for e in self.events
+                    if chain_name is None or e.chain_name == chain_name]
+        if not relevant:
+            return 1.0
+        return sum(1 for e in relevant if e.captured) / len(relevant)
+
+    def losses_by_reason(self) -> dict:
+        reasons: dict = {}
+        for event in self.events:
+            if not event.captured and event.outcome is not None:
+                reasons[event.outcome] = reasons.get(event.outcome, 0) + 1
+        return reasons
+
+    def response_times(self, chain_name: Optional[str] = None) -> List[float]:
+        """Arrival-to-completion latency of every captured event."""
+        return [
+            e.completion_time - e.arrival for e in self.events
+            if e.captured and e.completion_time is not None
+            and (chain_name is None or e.chain_name == chain_name)
+        ]
+
+    def response_percentile(self, q: float,
+                            chain_name: Optional[str] = None) -> float:
+        """The ``q``-th percentile response time (q in [0, 100]).
+
+        Raises ``ValueError`` when no events were captured — a percentile
+        of nothing is a bug in the caller, not a zero.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        times = sorted(self.response_times(chain_name))
+        if not times:
+            raise ValueError("no captured events to take a percentile of")
+        index = min(len(times) - 1, int(round(q / 100.0 * (len(times) - 1))))
+        return times[index]
+
+
+class IntermittentScheduler:
+    """Runs an event stream against a power system under a policy."""
+
+    #: Idle step while waiting for charge or for the next arrival.
+    WAIT_STEP = 0.050
+    #: Duration of one background task slice.
+    BACKGROUND_SLICE = 0.100
+
+    def __init__(self, engine: PowerSystemSimulator, policy: SchedulerPolicy,
+                 background: Optional[Task] = None,
+                 retry_after_reboot: bool = False) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.background = background
+        # The paper's CatNap behaviour on RR: after a mid-chain brown-out
+        # "the system transmits the sensed data on the next reboot, after
+        # the deadline has passed" — the chain resumes late, burning more
+        # energy for an event that is already lost. Off by default.
+        self.retry_after_reboot = retry_after_reboot
+        self._resume: List[Tuple[EventRecord, TaskChain, int]] = []
+        self._bg_slice_trace = None
+        if background is not None:
+            # Pre-repeat the background trace to fill one slice so a slice
+            # is a single engine call regardless of the trace's grain.
+            repeats = max(1, int(self.BACKGROUND_SLICE
+                                 / background.trace.duration))
+            trace = background.trace
+            for _ in range(repeats - 1):
+                trace = trace.concat(background.trace)
+            self._bg_slice_trace = trace
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _voltage(self) -> float:
+        return self.engine.system.buffer.terminal_voltage
+
+    def _device_on(self) -> bool:
+        return self.engine.system.monitor.output_enabled
+
+    def _recover_from_off(self, result: ScheduleResult,
+                          until: float) -> None:
+        """Recharge to V_high after a brown-out (platform semantics)."""
+        start = self.engine.time
+        budget = max(0.0, until - start)
+        self.engine.charge_until(self.engine.system.monitor.v_high,
+                                 max_time=budget)
+        result.time_off += self.engine.time - start
+
+    def _wait_for(self, gate: float, deadline: float) -> bool:
+        """Idle until the voltage reaches ``gate``. False if the deadline
+        (or a no-progress stall) hits first."""
+        stall = 0
+        while self._voltage() < gate:
+            if self.engine.time >= deadline:
+                return False
+            before = self._voltage()
+            self.engine.idle(min(self.WAIT_STEP, deadline - self.engine.time))
+            if self._voltage() <= before + 1e-9:
+                stall += 1
+                if stall > 3:
+                    return False  # no incoming power; waiting is hopeless
+            else:
+                stall = 0
+        return True
+
+    def _run_chain(self, chain: TaskChain, record: EventRecord,
+                   result: ScheduleResult, start_index: int = 0,
+                   wait_deadline: Optional[float] = None,
+                   is_retry: bool = False) -> None:
+        wait_until = record.deadline if wait_deadline is None else wait_deadline
+        for index in range(start_index, len(chain.tasks)):
+            task = chain.tasks[index]
+            gate = self.policy.gate(chain.name, index)
+            if not self._wait_for(gate, wait_until):
+                record.outcome = EventOutcome.LOST_DEADLINE_WAITING
+                return
+            run = self.engine.run_trace(task.trace, harvesting=True)
+            if run.browned_out:
+                result.brownout_count += 1
+                if self.retry_after_reboot and not is_retry:
+                    # Chain progress up to the failed task persists; the
+                    # remainder re-runs after the reboot (usually late).
+                    self._resume.append((record, chain, index))
+                else:
+                    record.outcome = EventOutcome.LOST_BROWNOUT
+                return
+        if self.engine.time <= record.deadline:
+            record.outcome = EventOutcome.CAPTURED
+            record.completion_time = self.engine.time
+        else:
+            record.outcome = EventOutcome.LOST_LATE
+            record.completion_time = self.engine.time
+
+    def _idle_step(self, step: float) -> None:
+        """One idle hop with nothing to do; subclasses may interpose
+        (e.g. to watch the harvester for re-profiling triggers)."""
+        self.engine.idle(step)
+
+    def _run_background_slice(self, result: ScheduleResult) -> None:
+        assert self._bg_slice_trace is not None
+        run = self.engine.run_trace(self._bg_slice_trace, harvesting=True)
+        result.background_time += self.engine.time - run.start_time
+        if run.browned_out:
+            result.brownout_count += 1
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, arrivals: Sequence[Tuple[float, TaskChain]],
+            duration: float) -> ScheduleResult:
+        """Process ``arrivals`` (time-sorted ``(time, chain)``) for
+        ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        arrivals = sorted(arrivals, key=lambda a: a[0])
+        result = ScheduleResult(policy_name=self.policy.name,
+                                duration=duration)
+        records = [
+            EventRecord(chain_name=chain.name, arrival=t,
+                        deadline=t + chain.deadline)
+            for t, chain in arrivals if t < duration
+        ]
+        result.events = records
+        queue: List[Tuple[EventRecord, TaskChain]] = [
+            (rec, chain) for rec, (t, chain) in zip(records, arrivals)
+            if t < duration
+        ]
+        next_idx = 0
+        pending: List[Tuple[EventRecord, TaskChain]] = []
+        self._resume: List[Tuple[EventRecord, TaskChain, int]] = []
+        end = duration
+
+        while self.engine.time < end:
+            # Reboot path: recharge fully before anything else.
+            if not self._device_on():
+                self._recover_from_off(result, end)
+                if not self._device_on():
+                    break  # couldn't recover within the trial
+            # Post-reboot retries run before new work (the chain's earlier
+            # tasks already committed; finish the job even if it is late).
+            while self._resume and self._device_on():
+                rec, chain, index = self._resume.pop(0)
+                grace = self.engine.time + chain.deadline
+                self._run_chain(chain, rec, result, start_index=index,
+                                wait_deadline=min(grace, end),
+                                is_retry=True)
+                if rec.outcome is None and not self._device_on():
+                    rec.outcome = EventOutcome.LOST_BROWNOUT
+                    break
+            # Admit arrivals; expire what died while we were busy/off.
+            while next_idx < len(queue) and \
+                    queue[next_idx][0].arrival <= self.engine.time:
+                pending.append(queue[next_idx])
+                next_idx += 1
+            still_pending = []
+            for rec, chain in pending:
+                if rec.outcome is None and self.engine.time > rec.deadline:
+                    rec.outcome = (EventOutcome.LOST_DEVICE_OFF
+                                   if result.time_off > 0 else
+                                   EventOutcome.LOST_DEADLINE_WAITING)
+                else:
+                    still_pending.append((rec, chain))
+            pending = still_pending
+
+            if pending:
+                rec, chain = pending.pop(0)
+                self._run_chain(chain, rec, result)
+                continue
+
+            # Nothing pending: background work or plain idle.
+            horizon = end
+            if next_idx < len(queue):
+                horizon = min(horizon, queue[next_idx][0].arrival)
+            if (self.background is not None
+                    and self._voltage() >= self.policy.background_threshold):
+                self._run_background_slice(result)
+            else:
+                step = min(self.WAIT_STEP, max(1e-3, horizon - self.engine.time))
+                self._idle_step(step)
+
+        # Events that never got a verdict (sim ended first) count as lost
+        # only if their deadline passed inside the trial window.
+        for rec in records:
+            if rec.outcome is None and rec.deadline <= end:
+                rec.outcome = EventOutcome.LOST_DEADLINE_WAITING
+        result.events = [r for r in records if r.outcome is not None]
+        return result

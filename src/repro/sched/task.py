@@ -1,0 +1,72 @@
+"""Task model for intermittent scheduling.
+
+A :class:`Task` is an atomic unit of work — it must run to completion on a
+single charge (peripherals and radios cannot resume mid-operation), and it
+is characterised electrically by its current trace. High-priority tasks are
+triggered by events and carry deadlines via their chain; the low-priority
+background task runs opportunistically when energy is spare.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.loads.trace import CurrentTrace
+
+
+class Priority(enum.Enum):
+    """CatNap's two-level priority scheme (paper §VI-B)."""
+
+    HIGH = "high"
+    LOW = "low"
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic software task with its electrical load profile."""
+
+    name: str
+    trace: CurrentTrace
+    priority: Priority = Priority.HIGH
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task needs a non-empty name")
+
+    @property
+    def duration(self) -> float:
+        return self.trace.duration
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TaskChain:
+    """The ordered high-priority tasks an event triggers, plus its deadline.
+
+    The paper's Responsive Reporting app, for instance, chains
+    sense -> encrypt -> send, all of which must finish within 3 seconds of
+    the interrupt or the event is lost.
+    """
+
+    name: str
+    tasks: Sequence[Task] = field(default_factory=tuple)
+    deadline: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a chain needs at least one task")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+
+    @property
+    def total_duration(self) -> float:
+        """Execution time of the whole chain, excluding recharge waits."""
+        return sum(t.duration for t in self.tasks)
+
+    def task_names(self) -> List[str]:
+        return [t.name for t in self.tasks]

@@ -1,0 +1,30 @@
+"""Discrete-time device simulation.
+
+Integrates the power system (buffer + boosters + monitor + harvester) under
+arbitrary load traces with brown-out semantics, and provides the measurement
+hardware models: quantising ADCs and the Culpeo microarchitectural peripheral
+block of the paper's Table II / Figure 9.
+"""
+
+from repro.sim.engine import (
+    EngineObserver,
+    PowerSystemSimulator,
+    SimulationResult,
+)
+from repro.sim.adc import Adc, SamplingObserver
+from repro.sim.mcu import McuModel, msp430fr5994
+from repro.sim.recorder import TraceRecorder
+from repro.sim.uarch import CaptureMode, CulpeoUArchBlock
+
+__all__ = [
+    "PowerSystemSimulator",
+    "SimulationResult",
+    "EngineObserver",
+    "Adc",
+    "SamplingObserver",
+    "McuModel",
+    "msp430fr5994",
+    "TraceRecorder",
+    "CulpeoUArchBlock",
+    "CaptureMode",
+]

@@ -1,0 +1,305 @@
+"""Power-system integration engine.
+
+The engine advances a :class:`repro.power.PowerSystem` through time under a
+load described by a :class:`repro.loads.CurrentTrace`. Within each constant-
+current trace segment it takes adaptive sub-steps: bounded by the terminal
+node's relaxation time constant while load flows (so ESR transients resolve
+accurately) and by a voltage-change budget while idle (so multi-second
+recharges stay cheap). Observers — ADC samplers, the Culpeo µArch block,
+trace recorders — are scheduled exactly: a step never jumps past an
+observer's next sample time.
+
+Brown-out semantics follow the paper's platform: the monitor disables the
+output booster the moment the *terminal* voltage crosses ``V_off``; load
+execution stops (the task has failed) and the system must recharge to
+``V_high`` before software can run again.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystem
+
+
+@runtime_checkable
+class EngineObserver(Protocol):
+    """Measurement hardware attached to the capacitor terminal.
+
+    ``burden_current`` is the extra load (amperes at the regulated rail)
+    the observer imposes while enabled — e.g. an MCU ADC burning 180 µW
+    during Culpeo-R-ISR profiling. ``next_event_time`` returns the absolute
+    simulation time of the observer's next required sample, or ``None``
+    when it needs none; the engine guarantees ``on_sample`` is called at
+    that exact time with the terminal voltage.
+    """
+
+    @property
+    def burden_current(self) -> float:
+        ...
+
+    def next_event_time(self) -> Optional[float]:
+        ...
+
+    def on_sample(self, t: float, v_terminal: float) -> None:
+        ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of driving one load trace (plus optional settle window)."""
+
+    completed: bool
+    browned_out: bool
+    v_start: float
+    v_min: float
+    v_final: float
+    start_time: float
+    end_time: float
+    brown_out_time: Optional[float] = None
+    energy_from_buffer: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def esr_rebound(self) -> float:
+        """Observed rebound: final voltage minus the in-task minimum.
+
+        This is the paper's V_delta (Figure 8): the part of the voltage
+        drop that ESR, not consumed energy, accounts for.
+        """
+        return self.v_final - self.v_min
+
+
+class PowerSystemSimulator:
+    """Drives a power system through load traces and idle recharge."""
+
+    #: Default voltage-change budget per step while idle (volts).
+    IDLE_DV = 0.002
+    #: Default voltage-change budget per step under load (volts).
+    LOAD_DV = 0.001
+    #: Hard ceiling on idle step size (seconds).
+    MAX_IDLE_DT = 0.050
+    #: Hard floor on step size (seconds).
+    MIN_DT = 1e-6
+
+    def __init__(self, system: PowerSystem,
+                 observers: Optional[List[EngineObserver]] = None) -> None:
+        self.system = system
+        self.observers: List[EngineObserver] = list(observers or [])
+        self.time = 0.0
+        self._v_min_seen = system.buffer.terminal_voltage
+        self._energy_out = 0.0
+
+    # -- observer plumbing -------------------------------------------------
+
+    def attach(self, observer: EngineObserver) -> None:
+        """Attach measurement hardware to the capacitor terminal."""
+        if observer not in self.observers:
+            self.observers.append(observer)
+
+    def detach(self, observer: EngineObserver) -> None:
+        self.observers.remove(observer)
+
+    def _burden(self) -> float:
+        return sum(o.burden_current for o in self.observers)
+
+    def _next_observer_time(self) -> Optional[float]:
+        times = [t for t in (o.next_event_time() for o in self.observers)
+                 if t is not None]
+        return min(times) if times else None
+
+    def _notify(self) -> None:
+        v = self.system.buffer.terminal_voltage
+        for obs in self.observers:
+            due = obs.next_event_time()
+            while due is not None and due <= self.time + 1e-12:
+                obs.on_sample(self.time, v)
+                nxt = obs.next_event_time()
+                if nxt is not None and due is not None and nxt <= due:
+                    break  # observer did not advance; avoid spinning
+                due = nxt
+
+    # -- core stepping -------------------------------------------------------
+
+    def _transient_tau(self) -> float:
+        """Terminal-node relaxation time constant, if the buffer has one."""
+        buffer = self.system.buffer
+        c_dec = getattr(buffer, "c_decoupling", 0.0)
+        if c_dec <= 0:
+            return 0.0
+        return c_dec / buffer._conductance  # noqa: SLF001 — sim-internal
+
+    def _choose_dt(self, i_terminal: float, remaining: float,
+                   in_transient: bool, loaded: bool) -> float:
+        buffer = self.system.buffer
+        dv = self.LOAD_DV if loaded else self.IDLE_DV
+        if abs(i_terminal) > 1e-12:
+            dt = dv * buffer.total_capacitance / abs(i_terminal)
+        else:
+            dt = self.MAX_IDLE_DT
+        if in_transient:
+            # Resolve the terminal node's ESR transient right after a load
+            # change; once the node has relaxed, the exponential integrator
+            # is exact for constant current and big steps are safe.
+            tau = self._transient_tau()
+            if tau > 0:
+                dt = min(dt, tau / 4.0)
+        stable = getattr(buffer, "max_stable_dt", math.inf)
+        dt = min(dt, stable, self.MAX_IDLE_DT, remaining)
+        next_obs = self._next_observer_time()
+        if next_obs is not None and next_obs > self.time:
+            dt = min(dt, next_obs - self.time)
+        return max(dt, min(self.MIN_DT, remaining))
+
+    def _advance(self, i_out: float, duration: float, harvesting: bool,
+                 stop_below: Optional[float]) -> Optional[float]:
+        """Advance ``duration`` seconds at constant load current ``i_out``.
+
+        Returns the absolute time of a brown-out if the terminal voltage
+        crossed ``stop_below`` (and stops there), else ``None``.
+        ``i_out`` is defined at the regulated rail; observer burden is added
+        to it. The buffer sees the booster's input current minus any
+        harvester charge current.
+        """
+        system = self.system
+        start = self.time
+        end = self.time + duration
+        loaded = i_out > 0 or self._burden() > 0
+        transient_window = 6.0 * self._transient_tau() if loaded else 0.0
+        while self.time < end - 1e-12:
+            v = system.buffer.terminal_voltage
+            total_out = i_out + self._burden()
+            if system.monitor.output_enabled and total_out > 0:
+                i_in = system.output_booster.input_current(total_out, v)
+            else:
+                i_in = 0.0
+            if harvesting:
+                p_h = system.harvester.power_at(self.time)
+                i_chg = system.input_booster.charge_current(p_h, v)
+            else:
+                i_chg = 0.0
+            i_net = i_in - i_chg
+            in_transient = loaded and (self.time - start) < transient_window
+            dt = self._choose_dt(i_net, end - self.time, in_transient, loaded)
+            v_new = system.buffer.step(i_net, dt)
+            self.time += dt
+            self._energy_out += i_in * max(v, v_new) * dt
+            system.monitor.observe(v_new)
+            self._v_min_seen = min(self._v_min_seen, v_new)
+            self._notify()
+            if stop_below is not None and v_new < stop_below:
+                return self.time
+        return None
+
+    # -- public API ----------------------------------------------------------
+
+    def run_trace(self, trace: CurrentTrace, *, harvesting: bool = True,
+                  settle_after: float = 0.0,
+                  stop_on_brownout: bool = True) -> SimulationResult:
+        """Execute one load trace starting now.
+
+        The load runs segment by segment; if the monitor cuts the output
+        (terminal voltage below ``V_off``) and ``stop_on_brownout`` is set,
+        execution aborts there — the paper's semantics for a failed task.
+        ``settle_after`` seconds of zero-load simulation follow a completed
+        trace so the caller can observe the rebounded final voltage.
+        """
+        system = self.system
+        v_start = system.buffer.terminal_voltage
+        start_time = self.time
+        self._v_min_seen = v_start
+        self._energy_out = 0.0
+        browned_out = False
+        brown_time: Optional[float] = None
+        stop_level = system.monitor.v_off if stop_on_brownout else None
+
+        if not system.monitor.output_enabled:
+            return SimulationResult(
+                completed=False, browned_out=True, v_start=v_start,
+                v_min=v_start, v_final=v_start, start_time=start_time,
+                end_time=self.time, brown_out_time=self.time,
+                notes=["output booster disabled at task start"],
+            )
+
+        for current, seg_duration in trace.segments():
+            hit = self._advance(current, seg_duration, harvesting, stop_level)
+            if hit is not None:
+                browned_out = True
+                brown_time = hit
+                break
+
+        completed = not browned_out
+        if settle_after > 0:
+            self._advance(0.0, settle_after, harvesting, None)
+        return SimulationResult(
+            completed=completed,
+            browned_out=browned_out,
+            v_start=v_start,
+            v_min=self._v_min_seen,
+            v_final=system.buffer.terminal_voltage,
+            start_time=start_time,
+            end_time=self.time,
+            brown_out_time=brown_time,
+            energy_from_buffer=self._energy_out,
+        )
+
+    def idle(self, duration: float, *, harvesting: bool = True) -> float:
+        """Advance with no load (recharging if harvesting). Returns V_term."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        self._v_min_seen = self.system.buffer.terminal_voltage
+        self._energy_out = 0.0
+        if duration > 0:
+            self._advance(0.0, duration, harvesting, None)
+        return self.system.buffer.terminal_voltage
+
+    def charge_until(self, v_target: float, *, max_time: float = 3600.0,
+                     harvesting: bool = True) -> Optional[float]:
+        """Recharge until the terminal voltage reaches ``v_target``.
+
+        Returns the elapsed recharge time, or ``None`` if ``max_time``
+        passed first (e.g. no incoming power).
+        """
+        if v_target <= 0:
+            raise ValueError(f"v_target must be positive, got {v_target}")
+        self._v_min_seen = self.system.buffer.terminal_voltage
+        self._energy_out = 0.0
+        start = self.time
+        deadline = start + max_time
+        while self.system.buffer.terminal_voltage < v_target:
+            if self.time >= deadline:
+                return None
+            chunk = min(0.25, deadline - self.time)
+            v_before = self.system.buffer.terminal_voltage
+            self._advance(0.0, chunk, harvesting, None)
+            if self.system.buffer.terminal_voltage <= v_before + 1e-9:
+                if not harvesting or self.system.harvester.power_at(self.time) <= 0:
+                    return None  # nothing coming in; avoid spinning to deadline
+        self.system.monitor.observe(self.system.buffer.terminal_voltage)
+        return self.time - start
+
+    def discharge_to(self, v_target: float, *, bleed_current: float = 0.010,
+                     max_time: float = 600.0) -> None:
+        """Bleed the buffer down to ``v_target`` with a resistive load.
+
+        Mirrors the paper's test harness, which discharges the capacitor to
+        a chosen start voltage before applying a load profile. The bleed is
+        applied at the buffer terminals (bypassing the booster) and the
+        buffer is allowed to settle afterwards so it starts the next trace
+        at rest.
+        """
+        if v_target <= 0:
+            raise ValueError(f"v_target must be positive, got {v_target}")
+        buffer = self.system.buffer
+        deadline = self.time + max_time
+        while buffer.open_circuit_voltage > v_target and self.time < deadline:
+            buffer.step(bleed_current, 0.001)
+            self.time += 0.001
+        buffer.settle()
+        # Nudge exactly onto the target so searches are reproducible.
+        if abs(buffer.terminal_voltage - v_target) < 0.01:
+            buffer.reset(v_target)
+        self.system.monitor.observe(buffer.terminal_voltage)

@@ -1,0 +1,90 @@
+"""Fault injection for robustness testing.
+
+Real deployments see failure modes the happy path never exercises: ADCs
+whose readings stick or drop out, and supply glitches that kill the device
+outside any task. These injectors plug into the same seams as the healthy
+models — :class:`FaultyAdc` substitutes anywhere an
+:class:`~repro.sim.adc.Adc` goes; :class:`SupplyGlitch` is an engine
+observer — so the test suite can check the property that matters: bad
+inputs must degrade toward *conservative* behaviour (higher V_safe, more
+waiting), never toward silent unsafety.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.sim.adc import Adc
+
+
+class FaultyAdc(Adc):
+    """An ADC with injectable conversion faults.
+
+    ``stuck_code``
+        When set, every conversion after ``stuck_after`` successful ones
+        returns this code (a latched comparator / broken SAR bit).
+    ``dropout_rate``
+        Probability that any conversion returns 0 (supply dip during
+        conversion, lost sample on a shared bus). Seeded via ``rng``.
+    """
+
+    def __init__(self, bits: int, v_ref: float = 2.56, *,
+                 stuck_code: Optional[int] = None,
+                 stuck_after: int = 0,
+                 dropout_rate: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(bits=bits, v_ref=v_ref)
+        max_code = (1 << bits) - 1
+        if stuck_code is not None and not 0 <= stuck_code <= max_code:
+            raise ValueError(f"stuck_code out of range: {stuck_code}")
+        if not 0.0 <= dropout_rate <= 1.0:
+            raise ValueError(f"dropout_rate must be in [0,1], got {dropout_rate}")
+        if stuck_after < 0:
+            raise ValueError(f"stuck_after must be >= 0, got {stuck_after}")
+        self.stuck_code = stuck_code
+        self.stuck_after = stuck_after
+        self.dropout_rate = dropout_rate
+        self._fault_rng = rng or np.random.default_rng(0)
+        self._conversions = 0
+
+    def convert(self, voltage: float) -> int:
+        self._conversions += 1
+        if (self.stuck_code is not None
+                and self._conversions > self.stuck_after):
+            return self.stuck_code
+        if (self.dropout_rate > 0
+                and self._fault_rng.random() < self.dropout_rate):
+            return 0
+        return super().convert(voltage)
+
+
+class SupplyGlitch:
+    """Engine observer that kills the supply at scheduled instants.
+
+    At each glitch time the voltage monitor is forced off — the platform
+    behaves exactly as after a real brown-out: software stops and the
+    device must recharge to ``V_high`` before anything runs again.
+    """
+
+    def __init__(self, monitor, glitch_times: Iterable[float]) -> None:
+        self.monitor = monitor
+        self._times: List[float] = sorted(glitch_times)
+        if any(t < 0 for t in self._times):
+            raise ValueError("glitch times must be non-negative")
+        self.fired: List[float] = []
+
+    @property
+    def burden_current(self) -> float:
+        return 0.0
+
+    def next_event_time(self) -> Optional[float]:
+        return self._times[0] if self._times else None
+
+    def on_sample(self, t: float, v_terminal: float) -> None:
+        if not self._times:
+            return
+        self._times.pop(0)
+        self.monitor.force_enabled(False)
+        self.fired.append(t)

@@ -1,0 +1,70 @@
+"""Voltage trace recording.
+
+A :class:`TraceRecorder` is an engine observer that samples the terminal
+voltage on a fixed period, like the Saleae-based measurement harness the
+paper uses to collect time-series traces. It exists for examples, figures,
+and debugging; the charge-model code never reads it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class TraceRecorder:
+    """Records (time, terminal voltage) samples at a fixed period."""
+
+    def __init__(self, sample_period: float = 1e-3) -> None:
+        if sample_period <= 0:
+            raise ValueError(f"sample_period must be positive, got {sample_period}")
+        self.sample_period = sample_period
+        self._times: List[float] = []
+        self._volts: List[float] = []
+        self._next_t: Optional[float] = None
+        self._enabled = True
+
+    def start(self, now: float = 0.0) -> None:
+        self._enabled = True
+        self._next_t = now
+
+    def stop(self) -> None:
+        self._enabled = False
+        self._next_t = None
+
+    def clear(self) -> None:
+        self._times.clear()
+        self._volts.clear()
+
+    # -- EngineObserver interface ---------------------------------------------
+
+    @property
+    def burden_current(self) -> float:
+        return 0.0  # bench instrument: high-impedance probe
+
+    def next_event_time(self) -> Optional[float]:
+        return self._next_t if self._enabled else None
+
+    def on_sample(self, t: float, v_terminal: float) -> None:
+        if not self._enabled:
+            return
+        self._times.append(t)
+        self._volts.append(v_terminal)
+        self._next_t = t + self.sample_period
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def voltages(self) -> np.ndarray:
+        return np.asarray(self._volts)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.times, self.voltages
+
+    def __len__(self) -> int:
+        return len(self._times)

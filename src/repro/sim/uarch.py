@@ -1,0 +1,152 @@
+"""The Culpeo microarchitectural peripheral block (paper Figure 9, Table II).
+
+The block is an 8-bit ADC, an 8-bit digital comparator, and a single
+min/max capture register, clocked independently of the CPU (100 kHz in the
+paper's prototype). Software drives it through four memory-mapped commands:
+
+===============  ==========================================================
+``configure``    enable or disable the block (and its ADC)
+``prepare``      preload the capture register: 0xFF for min, 0x00 for max
+``sample``       start repeated sampling, keeping the min or max
+``read``         read the capture register
+===============  ==========================================================
+
+Because the comparator updates the register in hardware, the CPU is free
+during the task; it only issues commands at task boundaries. The block's
+140 nW ADC imposes essentially no burden on the power system — that is the
+design's whole advantage over ISR-based sampling.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ProfileError
+from repro.sim.adc import Adc
+
+
+class CaptureMode(enum.Enum):
+    """What the comparator keeps in the capture register."""
+
+    MIN = "min"
+    MAX = "max"
+
+
+class CulpeoUArchBlock:
+    """Simulated Culpeo peripheral block, attachable to the engine.
+
+    The command interface mirrors Table II exactly; driver-level misuse
+    (sampling while disabled, sampling without preparing the register)
+    raises :class:`ProfileError`, which is the software-visible contract a
+    real memory-mapped block would enforce by producing garbage.
+    """
+
+    def __init__(self, clock_hz: float = 100e3, bits: int = 8,
+                 v_ref: float = 2.56, burden_current: float = 56e-9) -> None:
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        self.adc = Adc(bits=bits, v_ref=v_ref)
+        self.clock_period = 1.0 / clock_hz
+        self._burden_when_on = burden_current
+        self._enabled = False
+        self._mode: Optional[CaptureMode] = None
+        self._prepared = False
+        self._sampling = False
+        self._register = 0
+        self._live_code = 0
+        self._next_t: Optional[float] = None
+
+    # -- Table II command interface ------------------------------------------
+
+    def configure(self, on: bool, now: float = 0.0) -> None:
+        """Enable or disable the block (``configure([on/off])``).
+
+        The block's clock free-runs relative to software, so the first
+        clocked conversion lands half a clock period after enabling (the
+        expected phase of an unsynchronised clock).
+        """
+        self._enabled = bool(on)
+        if on:
+            self._next_t = now + 0.5 * self.clock_period
+        else:
+            self._sampling = False
+            self._prepared = False
+            self._next_t = None
+
+    def convert_now(self, t: float, v_terminal: float) -> int:
+        """One software-triggered conversion, off the clocked schedule.
+
+        Drivers use this for the synchronous V_start read in
+        ``profile_start``; it updates the live code (and the capture
+        register if sampling) without disturbing the clock phase.
+        """
+        if not self._enabled:
+            raise ProfileError("convert_now() issued while block disabled")
+        scheduled = self._next_t
+        self.on_sample(t, v_terminal)
+        self._next_t = scheduled
+        return self._live_code
+
+    def prepare(self, mode: CaptureMode) -> None:
+        """Preload the capture register (``prepare([min/max])``).
+
+        Table II specifies 0xFF for minimum and 0x00 for maximum on the
+        8-bit block; the general rule is all-ones / all-zeros at the
+        block's width, which is what design-space sweeps over other ADC
+        resolutions need.
+        """
+        if not self._enabled:
+            raise ProfileError("prepare() issued while block disabled")
+        self._mode = mode
+        all_ones = (1 << self.adc.bits) - 1
+        self._register = all_ones if mode is CaptureMode.MIN else 0
+        self._prepared = True
+        self._sampling = False
+
+    def sample(self, mode: CaptureMode) -> None:
+        """Start repeated capture sampling (``sample([min/max])``)."""
+        if not self._enabled:
+            raise ProfileError("sample() issued while block disabled")
+        if not self._prepared or self._mode is not mode:
+            raise ProfileError(
+                f"sample({mode.value}) without matching prepare({mode.value})"
+            )
+        self._sampling = True
+
+    def read(self) -> int:
+        """Read the capture register (``read()``)."""
+        if not self._enabled:
+            raise ProfileError("read() issued while block disabled")
+        if self._sampling:
+            return self._register
+        # When not capturing, read() reports the live ADC code — used by
+        # profile_start to record V_start.
+        return self._live_code
+
+    def read_voltage(self) -> float:
+        """Capture-register contents translated to volts."""
+        return self.adc.code_to_voltage(self.read())
+
+    # -- EngineObserver interface ---------------------------------------------
+
+    @property
+    def burden_current(self) -> float:
+        return self._burden_when_on if self._enabled else 0.0
+
+    def next_event_time(self) -> Optional[float]:
+        return self._next_t if self._enabled else None
+
+    def on_sample(self, t: float, v_terminal: float) -> None:
+        if not self._enabled:
+            return
+        code = self.adc.convert(v_terminal)
+        self._live_code = code
+        if self._sampling and self._mode is not None:
+            if self._mode is CaptureMode.MIN:
+                if code < self._register:
+                    self._register = code
+            else:
+                if code > self._register:
+                    self._register = code
+        self._next_t = t + self.clock_period

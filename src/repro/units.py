@@ -1,0 +1,86 @@
+"""Unit conventions and small shared value types.
+
+Every quantity in this package is in base SI units: volts, amperes, farads,
+ohms, seconds, watts, joules. Helper constructors are provided for the
+sub-unit magnitudes that dominate the energy-harvesting domain so call sites
+read like the paper ("a 45 mF bank", "a 50 mA pulse").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def milli(value: float) -> float:
+    """Scale a value expressed in milli-units to base SI units."""
+    return value * 1e-3
+
+
+def micro(value: float) -> float:
+    """Scale a value expressed in micro-units to base SI units."""
+    return value * 1e-6
+
+
+def nano(value: float) -> float:
+    """Scale a value expressed in nano-units to base SI units."""
+    return value * 1e-9
+
+
+def capacitor_energy(capacitance: float, voltage: float) -> float:
+    """Energy stored in an ideal capacitor: ``E = C * V**2 / 2``."""
+    if capacitance < 0:
+        raise ValueError(f"capacitance must be non-negative, got {capacitance}")
+    return 0.5 * capacitance * voltage * voltage
+
+
+def voltage_for_energy(capacitance: float, energy: float) -> float:
+    """Voltage an ideal capacitor must hold to store ``energy`` joules."""
+    if capacitance <= 0:
+        raise ValueError(f"capacitance must be positive, got {capacitance}")
+    if energy < 0:
+        raise ValueError(f"energy must be non-negative, got {energy}")
+    return math.sqrt(2.0 * energy / capacitance)
+
+
+@dataclass(frozen=True)
+class OperatingRange:
+    """The usable voltage window of an energy buffer.
+
+    Software executes only while the buffer's terminal voltage sits between
+    ``v_off`` (the output booster's cut-off) and ``v_high`` (the monitor's
+    full-charge threshold). The paper reports V_safe prediction errors as a
+    percentage of this window, so the range owns that conversion.
+    """
+
+    v_off: float
+    v_high: float
+
+    def __post_init__(self) -> None:
+        if self.v_off <= 0:
+            raise ValueError(f"v_off must be positive, got {self.v_off}")
+        if self.v_high <= self.v_off:
+            raise ValueError(
+                f"v_high ({self.v_high}) must exceed v_off ({self.v_off})"
+            )
+
+    @property
+    def span(self) -> float:
+        """Width of the operating window in volts."""
+        return self.v_high - self.v_off
+
+    def contains(self, voltage: float) -> bool:
+        """Whether ``voltage`` lies inside the operating window (inclusive)."""
+        return self.v_off <= voltage <= self.v_high
+
+    def clamp(self, voltage: float) -> float:
+        """Clamp ``voltage`` into the operating window."""
+        return min(self.v_high, max(self.v_off, voltage))
+
+    def fraction(self, voltage: float) -> float:
+        """Position of ``voltage`` in the window (0 at v_off, 1 at v_high)."""
+        return (voltage - self.v_off) / self.span
+
+    def as_percent_of_range(self, delta_volts: float) -> float:
+        """Express a voltage difference as a percentage of the window."""
+        return 100.0 * delta_volts / self.span

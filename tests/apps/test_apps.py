@@ -1,0 +1,67 @@
+"""The three paper applications: structure and parameters."""
+
+import pytest
+
+from repro.apps.noise_monitoring import noise_monitoring_app
+from repro.apps.periodic_sensing import periodic_sensing_app, ps_power_system
+from repro.apps.responsive_reporting import responsive_reporting_app
+
+
+class TestPeriodicSensing:
+    def test_small_buffer(self):
+        system = ps_power_system()
+        # 15 mF datasheet bank with ~3x the ESR of the 45 mF bank.
+        assert system.datasheet_capacitance == pytest.approx(15e-3)
+        assert system.buffer.r_esr == pytest.approx(10.0)
+
+    def test_chain_structure(self):
+        spec = periodic_sensing_app()
+        assert len(spec.chains) == 1
+        chain_spec = spec.chains[0]
+        assert chain_spec.arrival == ("periodic", 4.5)
+        assert chain_spec.chain.deadline == pytest.approx(4.5)
+        assert chain_spec.chain.task_names() == ["ps-imu"]
+        assert spec.background is not None
+
+    def test_custom_period_sets_deadline(self):
+        spec = periodic_sensing_app(period=6.0)
+        assert spec.chains[0].arrival == ("periodic", 6.0)
+        assert spec.chains[0].chain.deadline == pytest.approx(6.0)
+
+
+class TestResponsiveReporting:
+    def test_chain_structure(self):
+        spec = responsive_reporting_app()
+        chain = spec.chains[0].chain
+        assert chain.task_names() == ["rr-sense", "rr-encrypt", "rr-send"]
+        assert chain.deadline == pytest.approx(3.0)
+        assert spec.chains[0].arrival == ("poisson", 45.0)
+
+    def test_send_includes_listen(self):
+        spec = responsive_reporting_app()
+        send = spec.chains[0].chain.tasks[2]
+        assert send.duration > 2.0  # radio + 2 s listen
+
+
+class TestNoiseMonitoring:
+    def test_two_chains(self):
+        spec = noise_monitoring_app()
+        names = [c.chain.name for c in spec.chains]
+        assert names == ["NMR-mic", "NMR-BLE"]
+
+    def test_mic_chain(self):
+        spec = noise_monitoring_app()
+        mic = spec.chains[0]
+        assert mic.arrival == ("periodic", 7.0)
+        # 256 samples at 12 kHz is ~21 ms of capture.
+        assert mic.chain.total_duration == pytest.approx(0.022, abs=0.005)
+
+    def test_report_chain(self):
+        spec = noise_monitoring_app()
+        report = spec.chains[1]
+        assert report.arrival == ("poisson", 30.0)
+        assert report.chain.deadline == pytest.approx(15.0)
+
+    def test_background_is_fft(self):
+        spec = noise_monitoring_app()
+        assert spec.background.name == "nmr-fft"

@@ -1,0 +1,59 @@
+"""Arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.events import periodic_arrivals, poisson_arrivals
+
+
+class TestPeriodic:
+    def test_spacing(self):
+        times = periodic_arrivals(4.5, 20.0)
+        assert times == [0.0, 4.5, 9.0, 13.5, 18.0]
+
+    def test_first_offset(self):
+        times = periodic_arrivals(5.0, 20.0, first=2.0)
+        assert times[0] == 2.0
+        assert all(b - a == pytest.approx(5.0)
+                   for a, b in zip(times, times[1:]))
+
+    def test_excludes_duration_boundary(self):
+        assert 20.0 not in periodic_arrivals(5.0, 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_arrivals(0.0, 10.0)
+        with pytest.raises(ValueError):
+            periodic_arrivals(1.0, 0.0)
+        with pytest.raises(ValueError):
+            periodic_arrivals(1.0, 10.0, first=-1.0)
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        a = poisson_arrivals(30.0, 300.0, np.random.default_rng(1))
+        b = poisson_arrivals(30.0, 300.0, np.random.default_rng(1))
+        assert a == b
+
+    def test_mean_interval_roughly_respected(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(10.0, 100000.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_all_within_duration(self):
+        rng = np.random.default_rng(2)
+        times = poisson_arrivals(5.0, 60.0, rng)
+        assert all(0.0 < t < 60.0 for t in times)
+
+    def test_sorted(self):
+        rng = np.random.default_rng(3)
+        times = poisson_arrivals(5.0, 200.0, rng)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0, rng)

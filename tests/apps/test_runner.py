@@ -1,0 +1,62 @@
+"""Application trial runner (kept small: one short trial per test)."""
+
+import pytest
+
+from repro.apps.periodic_sensing import periodic_sensing_app
+from repro.apps.runner import AppTrialResult, build_policy, run_app, run_trial
+
+
+@pytest.fixture(scope="module")
+def short_ps():
+    spec = periodic_sensing_app()
+    # 60-second trials keep the suite fast while exercising several events.
+    return type(spec)(
+        name=spec.name, system_factory=spec.system_factory,
+        harvest_power=spec.harvest_power, chains=spec.chains,
+        background=spec.background, trial_duration=60.0,
+        description=spec.description,
+    )
+
+
+class TestBuildPolicy:
+    def test_kinds(self, short_ps):
+        catnap = build_policy(short_ps, "catnap")
+        culpeo = build_policy(short_ps, "culpeo")
+        assert catnap.name == "catnap"
+        assert culpeo.name == "culpeo"
+        assert culpeo.gate("PS", 0) > catnap.gate("PS", 0)
+
+    def test_unknown_kind(self, short_ps):
+        with pytest.raises(ValueError):
+            build_policy(short_ps, "edf")
+
+
+class TestRunTrial:
+    def test_trial_is_deterministic_given_seed(self, short_ps):
+        policy = build_policy(short_ps, "culpeo")
+        a = run_trial(short_ps, policy, seed=5)
+        b = run_trial(short_ps, policy, seed=5)
+        assert a.capture_fraction() == b.capture_fraction()
+        assert len(a.events) == len(b.events)
+
+    def test_culpeo_captures_everything(self, short_ps):
+        policy = build_policy(short_ps, "culpeo")
+        result = run_trial(short_ps, policy, seed=1)
+        assert result.capture_fraction() == 1.0
+        assert result.brownout_count == 0
+
+
+class TestRunApp:
+    def test_aggregates_trials(self, short_ps):
+        result = run_app(short_ps, "culpeo", trials=2)
+        assert isinstance(result, AppTrialResult)
+        assert len(result.trials) == 2
+        assert result.capture_percent("PS") == pytest.approx(100.0)
+        assert "PS" in result.chain_names()
+
+    def test_trials_validation(self, short_ps):
+        with pytest.raises(ValueError):
+            run_app(short_ps, "culpeo", trials=0)
+
+    def test_empty_result_percent(self):
+        assert AppTrialResult("a", "b").capture_percent() == 0.0

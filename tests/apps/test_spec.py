@@ -1,0 +1,76 @@
+"""Application specifications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spec import AppSpec, ChainSpec
+from repro.loads.trace import CurrentTrace
+from repro.power.system import capybara_power_system
+from repro.sched.task import Task, TaskChain
+
+
+def make_chain_spec(kind="periodic", interval=5.0):
+    task = Task("t", CurrentTrace.constant(0.01, 0.01))
+    chain = TaskChain("c", [task], deadline=interval)
+    return ChainSpec(chain=chain, arrival=(kind, interval))
+
+
+class TestChainSpec:
+    def test_periodic_generation_staggers_first(self):
+        spec = make_chain_spec("periodic", 5.0)
+        times = spec.generate_arrivals(20.0, np.random.default_rng(0))
+        assert times[0] == pytest.approx(5.0)
+
+    def test_poisson_generation(self):
+        spec = make_chain_spec("poisson", 5.0)
+        times = spec.generate_arrivals(100.0, np.random.default_rng(0))
+        assert times
+        assert times == sorted(times)
+
+    def test_with_interval(self):
+        spec = make_chain_spec("periodic", 5.0)
+        faster = spec.with_interval(2.0)
+        assert faster.arrival == ("periodic", 2.0)
+        assert faster.chain is spec.chain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_chain_spec("uniform", 5.0)
+        with pytest.raises(ValueError):
+            make_chain_spec("periodic", 0.0)
+
+
+class TestAppSpec:
+    def test_with_intervals(self):
+        spec = AppSpec(
+            name="x", system_factory=capybara_power_system,
+            harvest_power=1e-3,
+            chains=[make_chain_spec(), make_chain_spec("poisson", 30.0)],
+        )
+        swept = spec.with_intervals([2.0, 10.0])
+        assert swept.chains[0].arrival[1] == 2.0
+        assert swept.chains[1].arrival[1] == 10.0
+        assert swept.name == spec.name
+
+    def test_with_intervals_length_checked(self):
+        spec = AppSpec(name="x", system_factory=capybara_power_system,
+                       harvest_power=1e-3, chains=[make_chain_spec()])
+        with pytest.raises(ValueError):
+            spec.with_intervals([1.0, 2.0])
+
+    def test_task_chains(self):
+        spec = AppSpec(name="x", system_factory=capybara_power_system,
+                       harvest_power=1e-3, chains=[make_chain_spec()])
+        assert [c.name for c in spec.task_chains()] == ["c"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec(name="x", system_factory=capybara_power_system,
+                    harvest_power=-1.0, chains=[make_chain_spec()])
+        with pytest.raises(ValueError):
+            AppSpec(name="x", system_factory=capybara_power_system,
+                    harvest_power=1e-3, chains=[])
+        with pytest.raises(ValueError):
+            AppSpec(name="x", system_factory=capybara_power_system,
+                    harvest_power=1e-3, chains=[make_chain_spec()],
+                    trial_duration=0.0)

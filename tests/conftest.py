@@ -1,0 +1,32 @@
+"""Shared fixtures: one Capybara-class system and its derived models.
+
+The system fixture is function-scoped (tests mutate buffer state); the
+characterization is session-scoped because profiling the ESR curve costs a
+few hundred simulation steps and its result is deterministic.
+"""
+
+import pytest
+
+from repro.core.runtime import CulpeoRCalculator
+from repro.power.system import capybara_power_system
+
+
+@pytest.fixture
+def system():
+    """A fresh Capybara-class power system, buffer at rest at V_high."""
+    ps = capybara_power_system()
+    ps.rest_at(ps.monitor.v_high)
+    return ps
+
+
+@pytest.fixture(scope="session")
+def model():
+    """The characterized power-system model (datasheet + measured curve)."""
+    return capybara_power_system().characterize()
+
+
+@pytest.fixture(scope="session")
+def calculator(model):
+    """A Culpeo-R calculator bound to the standard model."""
+    return CulpeoRCalculator(efficiency=model.efficiency,
+                             v_off=model.v_off, v_high=model.v_high)

@@ -1,0 +1,153 @@
+"""Development-time task analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_tasks,
+    plan_discharge_groups,
+    recommend_configuration,
+    suggest_split,
+)
+from repro.core.profile_guided import CulpeoPG
+from repro.errors import ScheduleError
+from repro.loads.peripherals import lora_packet
+from repro.loads.trace import CurrentTrace
+from repro.power.reconfigurable import ReconfigurableBuffer, capybara_bank_set
+from repro.power.system import capybara_power_system
+
+
+@pytest.fixture(scope="module")
+def pg(model):
+    return CulpeoPG(model)
+
+
+@pytest.fixture
+def greedy_trace():
+    """Long sampling plus two radio packets: infeasible as one task."""
+    sampling = CurrentTrace.constant(0.004, 4.0)
+    packet = lora_packet().trace
+    return sampling.concat(packet).concat(packet)
+
+
+class TestAnalyzeTasks:
+    def test_reports_feasibility(self, pg, greedy_trace):
+        reports = analyze_tasks(pg, {
+            "small": CurrentTrace.constant(0.005, 0.010),
+            "greedy": greedy_trace,
+        })
+        assert reports["small"].feasible
+        assert not reports["greedy"].feasible
+        assert reports["small"].headroom > 0 > reports["greedy"].headroom
+
+    def test_margin_tightens(self, pg):
+        trace = CurrentTrace.constant(0.010, 2.0)
+        loose = analyze_tasks(pg, {"t": trace}, margin=0.0)["t"]
+        tight = analyze_tasks(pg, {"t": trace}, margin=0.3)["t"]
+        assert loose.headroom > tight.headroom
+
+    def test_str(self, pg):
+        report = analyze_tasks(pg, {"t": CurrentTrace.constant(0.005, 0.01)})
+        assert "V_safe" in str(report["t"])
+
+    def test_validation(self, pg):
+        with pytest.raises(ValueError):
+            analyze_tasks(pg, {}, margin=-1.0)
+
+
+class TestSuggestSplit:
+    def test_feasible_task_stays_whole(self, pg):
+        trace = CurrentTrace.constant(0.005, 0.010)
+        assert suggest_split(pg, trace) == [trace]
+
+    def test_infeasible_task_splits(self, pg, greedy_trace):
+        pieces = suggest_split(pg, greedy_trace)
+        assert len(pieces) >= 2
+        # Every piece fits on a single discharge...
+        for piece in pieces:
+            assert pg.analyze(piece).v_safe <= pg.model.v_high - 0.02
+        # ...and the pieces reassemble the original trace exactly.
+        total = pieces[0]
+        for piece in pieces[1:]:
+            total = total.concat(piece)
+        assert total == greedy_trace
+
+    def test_atomic_segment_too_big_raises(self, pg):
+        impossible = CurrentTrace.constant(0.050, 3.0)
+        with pytest.raises(ScheduleError):
+            suggest_split(pg, impossible)
+
+
+class TestPlanDischargeGroups:
+    def test_small_tasks_share_a_discharge(self, pg):
+        tiny = CurrentTrace.constant(0.003, 0.010)
+        groups = plan_discharge_groups(
+            pg, [("a", tiny), ("b", tiny), ("c", tiny)])
+        assert groups == [["a", "b", "c"]]
+
+    def test_heavy_tasks_get_recharge_points(self, pg):
+        # Each fits alone (~2.2 V) but no two fit on one discharge.
+        heavy = CurrentTrace.constant(0.010, 1.5)
+        groups = plan_discharge_groups(
+            pg, [("a", heavy), ("b", heavy), ("c", heavy)])
+        assert len(groups) == 3
+
+    def test_order_preserved(self, pg):
+        small = CurrentTrace.constant(0.003, 0.010)
+        heavy = CurrentTrace.constant(0.010, 1.5)
+        groups = plan_discharge_groups(
+            pg, [("s1", small), ("h", heavy), ("h2", heavy),
+                 ("s2", small)])
+        flattened = [name for group in groups for name in group]
+        assert flattened == ["s1", "h", "h2", "s2"]
+        assert len(groups) >= 2
+
+    def test_single_infeasible_task_raises(self, pg):
+        with pytest.raises(ScheduleError):
+            plan_discharge_groups(
+                pg, [("monster", CurrentTrace.constant(0.050, 3.0))])
+
+
+class TestRecommendConfiguration:
+    @pytest.fixture
+    def reconfigurable_system(self):
+        system = capybara_power_system()
+        system.buffer = ReconfigurableBuffer(
+            capybara_bank_set(), initial_config=("small", "large"))
+        system.datasheet_capacitance = None
+        return system
+
+    def test_small_config_suffices_for_light_load(self,
+                                                  reconfigurable_system):
+        light = CurrentTrace.constant(0.003, 0.050)
+        rec = recommend_configuration(
+            reconfigurable_system, light,
+            [("small",), ("large",), ("small", "large")])
+        assert rec.config == frozenset({"small"})
+
+    def test_heavy_load_needs_bigger_config(self, reconfigurable_system):
+        heavy = CurrentTrace.constant(0.020, 1.2)
+        rec = recommend_configuration(
+            reconfigurable_system, heavy,
+            [("small",), ("large",), ("small", "large")])
+        assert rec.config != frozenset({"small"})
+        assert "small" in rec.rejected
+
+    def test_no_safe_config_raises(self, reconfigurable_system):
+        monster = CurrentTrace.constant(0.050, 5.0)
+        with pytest.raises(ScheduleError):
+            recommend_configuration(
+                reconfigurable_system, monster,
+                [("small",), ("small", "large")])
+
+    def test_requires_reconfigurable_buffer(self):
+        system = capybara_power_system()
+        with pytest.raises(ScheduleError):
+            recommend_configuration(system,
+                                    CurrentTrace.constant(0.003, 0.01),
+                                    [("small",)])
+
+    def test_str(self, reconfigurable_system):
+        rec = recommend_configuration(
+            reconfigurable_system, CurrentTrace.constant(0.003, 0.050),
+            [("small",)])
+        assert "V_safe" in str(rec)

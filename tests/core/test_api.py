@@ -1,0 +1,89 @@
+"""Table I API: call ordering, defaults, and the profiling driver.
+
+Exercises the shared runtime machinery through the ISR implementation
+(the µArch variant shares the base class; its specifics are covered in
+test_uarch_runtime.py).
+"""
+
+import pytest
+
+from repro.core.api import CulpeoInterface
+from repro.core.isr import CulpeoIsrRuntime
+from repro.errors import ProfileError
+from repro.loads.synthetic import uniform_load
+from repro.sim.engine import PowerSystemSimulator
+
+
+@pytest.fixture
+def runtime(system, calculator):
+    engine = PowerSystemSimulator(system)
+    return CulpeoIsrRuntime(engine, calculator)
+
+
+class TestCallOrdering:
+    def test_is_a_culpeo_interface(self, runtime):
+        assert isinstance(runtime, CulpeoInterface)
+
+    def test_double_profile_start_rejected(self, runtime):
+        runtime.profile_start()
+        with pytest.raises(ProfileError):
+            runtime.profile_start()
+
+    def test_profile_end_requires_start(self, runtime):
+        with pytest.raises(ProfileError):
+            runtime.profile_end("t")
+
+    def test_rebound_end_requires_profile_end(self, runtime):
+        with pytest.raises(ProfileError):
+            runtime.rebound_end("t")
+
+    def test_rebound_end_id_must_match(self, runtime):
+        runtime.profile_start()
+        runtime.profile_end("a")
+        with pytest.raises(ProfileError):
+            runtime.rebound_end("b")
+
+    def test_full_sequence(self, runtime):
+        runtime.profile_start()
+        runtime.engine.run_trace(uniform_load(0.010, 0.010).trace,
+                                 harvesting=False)
+        runtime.profile_end("t")
+        runtime.engine.idle(0.2, harvesting=False)
+        runtime.rebound_end("t")
+        assert runtime.profiles.lookup("t") is not None
+
+
+class TestComputeAndAccess:
+    def test_compute_without_profile_is_noop(self, runtime):
+        runtime.compute_vsafe("never")
+        assert runtime.get_vsafe("never") == pytest.approx(
+            runtime.calculator.v_high)
+        assert runtime.get_vdrop("never") == -1.0
+
+    def test_profile_task_populates_tables(self, runtime):
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "t",
+                             harvesting=False)
+        assert runtime.get_vsafe("t") < runtime.calculator.v_high
+        assert runtime.get_vdrop("t") >= 0.0
+        assert runtime.get_estimate("t") is not None
+
+    def test_buffer_config_scopes_queries(self, runtime):
+        runtime.set_buffer_config("bank-A")
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "t",
+                             harvesting=False)
+        vsafe_a = runtime.get_vsafe("t")
+        runtime.set_buffer_config("bank-B")
+        assert runtime.get_vsafe("t") == pytest.approx(
+            runtime.calculator.v_high)
+        runtime.set_buffer_config("bank-A")
+        assert runtime.get_vsafe("t") == pytest.approx(vsafe_a)
+
+    def test_reprofile_overwrites(self, runtime):
+        trace = uniform_load(0.010, 0.010).trace
+        runtime.profile_task(trace, "t", harvesting=False)
+        first = runtime.get_vsafe("t")
+        # Re-profile a heavier variant under the same id.
+        runtime.engine.system.rest_at(runtime.calculator.v_high)
+        runtime.profile_task(uniform_load(0.050, 0.010).trace, "t",
+                             harvesting=False)
+        assert runtime.get_vsafe("t") > first

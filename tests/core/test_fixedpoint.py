@@ -1,0 +1,145 @@
+"""Fixed-point Culpeo-R arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixedpoint import (
+    ONE,
+    FixedPointCulpeoR,
+    from_fixed,
+    fx_div,
+    fx_mul,
+    fx_sqrt,
+    to_fixed,
+)
+from repro.core.runtime import CulpeoRCalculator
+from repro.power.booster import LinearEfficiency
+
+SLOPE, INTERCEPT = 0.052, 0.754
+V_OFF, V_HIGH = 1.6, 2.56
+
+
+class TestPrimitives:
+    def test_to_from_roundtrip(self):
+        for v in (0.0, 1.6, 2.56, 0.000015):
+            assert from_fixed(to_fixed(v)) == pytest.approx(v, abs=2 / ONE)
+
+    def test_to_fixed_rounds_up(self):
+        # One third is inexact in binary: the fixed value must not be low.
+        assert from_fixed(to_fixed(1 / 3)) >= 1 / 3
+
+    def test_to_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_fixed(-1.0)
+
+    def test_mul(self):
+        assert from_fixed(fx_mul(to_fixed(1.5), to_fixed(2.0))) == \
+            pytest.approx(3.0, abs=1e-4)
+
+    def test_div(self):
+        assert from_fixed(fx_div(to_fixed(3.0), to_fixed(2.0))) == \
+            pytest.approx(1.5, abs=1e-4)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            fx_div(ONE, 0)
+
+    def test_sqrt_exact_values(self):
+        assert fx_sqrt(to_fixed(4.0)) == pytest.approx(to_fixed(2.0), abs=2)
+        assert fx_sqrt(0) == 0
+
+    def test_sqrt_rounds_up(self):
+        for v in (2.0, 2.56, 3.1415, 6.5536):
+            fx = fx_sqrt(to_fixed(v))
+            assert from_fixed(fx) >= math.sqrt(v) - 1e-9
+
+    def test_sqrt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fx_sqrt(-1)
+
+    @given(v=st.floats(min_value=1e-4, max_value=16.0))
+    @settings(max_examples=100)
+    def test_sqrt_accuracy_property(self, v):
+        # Below ~1 LSB the conservative round-up dominates (sqrt of one
+        # LSB is 2^-8), so the accuracy claim starts above the floor.
+        result = from_fixed(fx_sqrt(to_fixed(v)))
+        assert result == pytest.approx(math.sqrt(v), abs=5e-4)
+        assert result >= math.sqrt(v) - 1e-9
+
+
+class TestAgainstFloatImplementation:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        eta = LinearEfficiency(slope=SLOPE, intercept=INTERCEPT)
+        float_calc = CulpeoRCalculator(efficiency=eta, v_off=V_OFF,
+                                       v_high=V_HIGH, guard_band=0.0)
+        fixed_calc = FixedPointCulpeoR(eta_slope=SLOPE,
+                                       eta_intercept=INTERCEPT,
+                                       v_off=V_OFF, v_high=V_HIGH,
+                                       guard_band=0.0)
+        return float_calc, fixed_calc
+
+    @pytest.mark.parametrize("profile", [
+        (2.56, 2.30, 2.50),
+        (2.56, 2.47, 2.55),
+        (2.20, 1.95, 2.15),
+        (2.56, 1.70, 2.40),
+    ])
+    def test_matches_float_within_millivolts(self, pair, profile):
+        float_calc, fixed_calc = pair
+        f = float_calc.estimate(*profile).v_safe
+        x = fixed_calc.estimate(*profile).v_safe
+        assert x == pytest.approx(f, abs=0.003)
+
+    @pytest.mark.parametrize("profile", [
+        (2.56, 2.30, 2.50),
+        (2.20, 1.95, 2.15),
+    ])
+    def test_never_less_conservative_than_float(self, pair, profile):
+        float_calc, fixed_calc = pair
+        f = float_calc.estimate(*profile).v_safe
+        x = fixed_calc.estimate(*profile).v_safe
+        # Every fixed-point rounding rounds the requirement up.
+        assert x >= f - 1e-9
+
+    @given(
+        v_start=st.floats(min_value=1.9, max_value=2.56),
+        drop=st.floats(min_value=0.0, max_value=0.4),
+        rebound=st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=80)
+    def test_agreement_property(self, pair, v_start, drop, rebound):
+        float_calc, fixed_calc = pair
+        v_final = max(1.6, v_start - drop)
+        v_min = max(1.0, v_final - rebound)
+        f = float_calc.estimate(v_start, v_min, v_final).v_safe
+        x = fixed_calc.estimate(v_start, v_min, v_final).v_safe
+        assert x == pytest.approx(f, abs=0.004)
+        assert x >= f - 1e-9
+
+    def test_guard_band_applied(self):
+        bare = FixedPointCulpeoR(eta_slope=SLOPE, eta_intercept=INTERCEPT,
+                                 v_off=V_OFF, v_high=V_HIGH)
+        guarded = FixedPointCulpeoR(eta_slope=SLOPE,
+                                    eta_intercept=INTERCEPT,
+                                    v_off=V_OFF, v_high=V_HIGH,
+                                    guard_band=0.02)
+        b = bare.estimate(2.56, 2.30, 2.50).v_safe
+        g = guarded.estimate(2.56, 2.30, 2.50).v_safe
+        assert g == pytest.approx(b + 0.02, abs=1e-4)
+
+    def test_capped_at_v_high(self):
+        calc = FixedPointCulpeoR(eta_slope=SLOPE, eta_intercept=INTERCEPT,
+                                 v_off=V_OFF, v_high=V_HIGH)
+        assert calc.estimate(2.56, 1.62, 1.65).v_safe <= V_HIGH
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointCulpeoR(eta_slope=-1.0, eta_intercept=0.8,
+                              v_off=V_OFF, v_high=V_HIGH)
+        with pytest.raises(ValueError):
+            FixedPointCulpeoR(eta_slope=0.05, eta_intercept=0.8,
+                              v_off=2.0, v_high=1.0)

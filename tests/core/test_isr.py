@@ -1,0 +1,82 @@
+"""Culpeo-R-ISR: timer-driven ADC profiling."""
+
+import pytest
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.sim.engine import PowerSystemSimulator
+
+
+def make_runtime(system, calculator, **kwargs):
+    engine = PowerSystemSimulator(system)
+    return CulpeoIsrRuntime(engine, calculator, **kwargs)
+
+
+class TestProfiling:
+    def test_profile_records_three_voltages(self, system, calculator):
+        runtime = make_runtime(system, calculator)
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "t",
+                             harvesting=False)
+        record = runtime.profiles.lookup("t")
+        assert record.v_min <= record.v_final <= record.v_start
+
+    def test_vmin_captures_esr_drop_for_10ms_pulse(self, system, calculator):
+        runtime = make_runtime(system, calculator)
+        runtime.profile_task(uniform_load(0.050, 0.010).trace, "t",
+                             harvesting=False)
+        record = runtime.profiles.lookup("t")
+        # The 1 kHz ISR lands ~10 samples inside a 10 ms pulse; the drop
+        # at 50 mA is several hundred millivolts.
+        assert record.v_final - record.v_min > 0.15
+
+    def test_1ms_pulse_min_is_missed(self, system, calculator):
+        """The variant's documented weakness (paper Figure 10)."""
+        runtime = make_runtime(system, calculator)
+        runtime.profile_task(uniform_load(0.050, 0.001).trace, "t",
+                             harvesting=False)
+        record = runtime.profiles.lookup("t")
+        # The 1 kHz timer's expected sample lands mid-pulse, before the
+        # drop fully develops; the full drop at this start voltage is
+        # ~0.23 V and the ISR reads meaningfully less.
+        assert record.v_final - record.v_min < 0.19
+
+    def test_sampling_burden_charged_to_system(self, system, calculator):
+        # Profile with an artificially huge ADC burden; the estimate must
+        # grow because Culpeo-R folds its own cost into the task.
+        light = make_runtime(system.copy(), calculator)
+        light.profile_task(uniform_load(0.010, 0.100).trace, "t",
+                           harvesting=False)
+        from repro.sim.mcu import McuModel
+        hungry = make_runtime(
+            system.copy(),
+            calculator,
+            mcu=McuModel(name="hog", active_current=1.7e-3,
+                         sleep_current=1e-6, adc_current=5e-3),
+        )
+        hungry.engine.system.rest_at(calculator.v_high)
+        hungry.profile_task(uniform_load(0.010, 0.100).trace, "t",
+                            harvesting=False)
+        assert hungry.get_vsafe("t") > light.get_vsafe("t")
+
+
+class TestVsafeQuality:
+    @pytest.mark.parametrize("load", [
+        uniform_load(0.010, 0.100),
+        uniform_load(0.050, 0.010),
+        pulse_with_compute_tail(0.025, 0.010),
+    ])
+    def test_estimates_are_safe(self, system, calculator, load):
+        runtime = make_runtime(system.copy(), calculator)
+        runtime.profile_task(load.trace, "t", harvesting=False)
+        v_safe = runtime.get_vsafe("t")
+        run = attempt_load(system, load.trace, v_safe)
+        assert run.completed, f"ISR V_safe {v_safe:.3f} browned out"
+
+    def test_estimates_are_tight(self, system, calculator):
+        load = uniform_load(0.025, 0.010)
+        runtime = make_runtime(system.copy(), calculator)
+        runtime.profile_task(load.trace, "t", harvesting=False)
+        truth = find_true_vsafe(system, load.trace)
+        # Within 10% of the operating range above truth (paper Fig 10).
+        assert runtime.get_vsafe("t") - truth.v_safe < 0.096

@@ -1,0 +1,179 @@
+"""The voltage-aware charge model: composition rules and Theorem 1."""
+
+import math
+
+import pytest
+
+from repro.core.model import (
+    TaskDemand,
+    VsafeEstimate,
+    energy_only_feasible,
+    penalty,
+    sequence_feasible,
+    vsafe_multi,
+    vsafe_multi_additive,
+    vsafe_single,
+)
+
+V_OFF = 1.6
+
+
+class TestTaskDemand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskDemand(energy_v2=-0.1, v_delta=0.0)
+        with pytest.raises(ValueError):
+            TaskDemand(energy_v2=0.1, v_delta=-0.1)
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            VsafeEstimate(v_safe=-1.0, v_delta=0.0,
+                          demand=TaskDemand(0.0, 0.0), method="x")
+
+
+class TestPenalty:
+    def test_zero_when_successor_absorbs_drop(self):
+        # Successor requirement already above V_off + V_delta.
+        assert penalty(V_OFF, v_delta=0.1, vsafe_next=1.8) == 0.0
+
+    def test_positive_when_drop_would_cross_threshold(self):
+        assert penalty(V_OFF, v_delta=0.3, vsafe_next=1.7) == \
+            pytest.approx(0.2)
+
+    def test_exact_boundary(self):
+        assert penalty(V_OFF, v_delta=0.1, vsafe_next=1.7) == \
+            pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            penalty(0.0, 0.1, 1.7)
+        with pytest.raises(ValueError):
+            penalty(V_OFF, -0.1, 1.7)
+
+
+class TestVsafeSingle:
+    def test_energy_only_task(self):
+        demand = TaskDemand(energy_v2=0.5, v_delta=0.0)
+        assert vsafe_single(demand, V_OFF) == \
+            pytest.approx(math.sqrt(V_OFF ** 2 + 0.5))
+
+    def test_drop_only_task(self):
+        demand = TaskDemand(energy_v2=0.0, v_delta=0.3)
+        assert vsafe_single(demand, V_OFF) == pytest.approx(1.9)
+
+    def test_both_demands(self):
+        demand = TaskDemand(energy_v2=0.2, v_delta=0.3)
+        assert vsafe_single(demand, V_OFF) == \
+            pytest.approx(math.sqrt(1.9 ** 2 + 0.2))
+
+    def test_null_task(self):
+        assert vsafe_single(TaskDemand(0.0, 0.0), V_OFF) == \
+            pytest.approx(V_OFF)
+
+
+class TestVsafeMulti:
+    def test_empty_sequence_is_v_off(self):
+        assert vsafe_multi([], V_OFF) == pytest.approx(V_OFF)
+
+    def test_single_task_matches_vsafe_single(self):
+        demand = TaskDemand(energy_v2=0.3, v_delta=0.2)
+        assert vsafe_multi([demand], V_OFF) == \
+            pytest.approx(vsafe_single(demand, V_OFF))
+
+    def test_energy_composes_in_v2_space(self):
+        a = TaskDemand(energy_v2=0.2, v_delta=0.0)
+        b = TaskDemand(energy_v2=0.3, v_delta=0.0)
+        combined = vsafe_multi([a, b], V_OFF)
+        assert combined == pytest.approx(math.sqrt(V_OFF ** 2 + 0.5))
+
+    def test_order_matters_with_drops(self):
+        heavy_drop = TaskDemand(energy_v2=0.05, v_delta=0.4)
+        energy = TaskDemand(energy_v2=0.5, v_delta=0.0)
+        drop_first = vsafe_multi([heavy_drop, energy], V_OFF)
+        drop_last = vsafe_multi([energy, heavy_drop], V_OFF)
+        # Running the high-drop task first is cheaper: the successor's
+        # requirement absorbs the drop ("the rebound repays the penalty").
+        assert drop_first < drop_last
+
+    def test_rebound_repays_penalty(self):
+        # If the successor's requirement alone exceeds V_off + V_delta,
+        # adding the drop task costs only its energy.
+        drop_task = TaskDemand(energy_v2=0.0, v_delta=0.1)
+        big_next = TaskDemand(energy_v2=1.0, v_delta=0.0)
+        with_drop = vsafe_multi([drop_task, big_next], V_OFF)
+        without = vsafe_multi([big_next], V_OFF)
+        assert with_drop == pytest.approx(without)
+
+    def test_monotone_in_every_component(self):
+        base = [TaskDemand(0.2, 0.1), TaskDemand(0.1, 0.3)]
+        v0 = vsafe_multi(base, V_OFF)
+        more_energy = [TaskDemand(0.3, 0.1), TaskDemand(0.1, 0.3)]
+        more_drop = [TaskDemand(0.2, 0.1), TaskDemand(0.1, 0.4)]
+        assert vsafe_multi(more_energy, V_OFF) > v0
+        assert vsafe_multi(more_drop, V_OFF) > v0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vsafe_multi([], 0.0)
+
+
+class TestAdditiveFormulation:
+    def test_additive_at_least_as_conservative(self):
+        demands = [TaskDemand(0.2, 0.1), TaskDemand(0.3, 0.25),
+                   TaskDemand(0.05, 0.0)]
+        additive = vsafe_multi_additive(demands, V_OFF)
+        exact = vsafe_multi(demands, V_OFF)
+        assert additive >= exact - 1e-12
+
+    def test_single_energy_task_matches(self):
+        demands = [TaskDemand(0.4, 0.0)]
+        assert vsafe_multi_additive(demands, V_OFF) == \
+            pytest.approx(vsafe_multi(demands, V_OFF))
+
+    def test_empty(self):
+        assert vsafe_multi_additive([], V_OFF) == pytest.approx(V_OFF)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vsafe_multi_additive([], -1.0)
+
+
+class TestTheorem1:
+    def test_feasible_at_exact_vsafe(self):
+        demands = [TaskDemand(0.2, 0.1), TaskDemand(0.1, 0.2)]
+        gate = vsafe_multi(demands, V_OFF)
+        assert sequence_feasible(demands, gate, V_OFF)
+        assert not sequence_feasible(demands, gate - 1e-6, V_OFF)
+
+    def test_energy_only_test_admits_more(self):
+        demands = [TaskDemand(0.2, 0.3)]
+        gate_energy = math.sqrt(V_OFF ** 2 + 0.2)
+        assert energy_only_feasible(demands, gate_energy, V_OFF)
+        assert not sequence_feasible(demands, gate_energy, V_OFF)
+
+    def test_energy_only_equals_theorem1_without_drops(self):
+        demands = [TaskDemand(0.2, 0.0), TaskDemand(0.1, 0.0)]
+        for v in (1.7, 1.75, 1.8):
+            assert energy_only_feasible(demands, v, V_OFF) == \
+                sequence_feasible(demands, v, V_OFF)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequence_feasible([], -1.0, V_OFF)
+
+
+class TestCorrectnessProofSketch:
+    """The paper's inductive argument: starting at V_safe_multi, the
+    voltage before every task suffix is at least that suffix's V_safe."""
+
+    def test_suffix_invariant(self):
+        demands = [TaskDemand(0.15, 0.2), TaskDemand(0.3, 0.05),
+                   TaskDemand(0.02, 0.35)]
+        v = vsafe_multi(demands, V_OFF)
+        for i, demand in enumerate(demands):
+            suffix_req = vsafe_multi(demands[i:], V_OFF)
+            assert v >= suffix_req - 1e-12
+            # Voltage after consuming this task's energy (ideal model):
+            v = math.sqrt(max(0.0, v * v - demand.energy_v2))
+            # It must still clear the ESR floor of the task just run.
+            assert v >= V_OFF - 1e-12

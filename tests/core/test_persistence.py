@@ -1,0 +1,76 @@
+"""V_safe table serialization."""
+
+import pytest
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.persistence import (
+    load_table,
+    save_table,
+    table_from_json,
+    table_to_json,
+)
+from repro.core.pg_profiler import CulpeoPgProfiler
+from repro.core.tables import VsafeTable
+from repro.loads.peripherals import ble_radio, gesture_recognition
+
+
+def make_table():
+    table = VsafeTable(v_high=2.56)
+    table.store("radio", VsafeEstimate(
+        v_safe=1.71, v_delta=0.12,
+        demand=TaskDemand(0.16, 0.12), method="culpeo-pg"))
+    table.store("sense", VsafeEstimate(
+        v_safe=1.85, v_delta=0.04,
+        demand=TaskDemand(0.73, 0.04), method="culpeo-pg"),
+        buffer_config="small")
+    return table
+
+
+class TestRoundTrip:
+    def test_values_preserved(self):
+        table = make_table()
+        rebuilt = table_from_json(table_to_json(table))
+        assert rebuilt.v_high == pytest.approx(2.56)
+        assert rebuilt.get_vsafe("radio") == pytest.approx(1.71)
+        assert rebuilt.get_vdrop("radio") == pytest.approx(0.12)
+        assert rebuilt.get_vsafe("sense", "small") == pytest.approx(1.85)
+
+    def test_demands_preserved(self):
+        rebuilt = table_from_json(table_to_json(make_table()))
+        entry = rebuilt.lookup("sense", "small")
+        assert entry.demand.energy_v2 == pytest.approx(0.73)
+        assert entry.method == "culpeo-pg"
+
+    def test_missing_entries_still_default(self):
+        rebuilt = table_from_json(table_to_json(make_table()))
+        assert rebuilt.get_vsafe("ghost") == pytest.approx(2.56)
+        assert rebuilt.get_vdrop("ghost") == -1.0
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        save_table(make_table(), path)
+        rebuilt = load_table(path)
+        assert rebuilt.get_vsafe("radio") == pytest.approx(1.71)
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            table_from_json('{"format": "nope"}')
+        with pytest.raises(ValueError):
+            table_from_json('{"format": "repro.vsafe-table", "version": 9}')
+
+
+class TestDeploymentFlow:
+    def test_pg_analysis_ships_as_artifact(self, model, tmp_path):
+        """The §V-A workflow: analyze offline, bake the table in."""
+        profiler = CulpeoPgProfiler(model)
+        profiler.profile_task([gesture_recognition().trace], "gesture")
+        profiler.profile_task([ble_radio().trace], "ble")
+        path = tmp_path / "firmware_vsafe.json"
+        save_table(profiler.results, path)
+
+        onboard = load_table(path)
+        for task in ("gesture", "ble"):
+            assert onboard.get_vsafe(task) == pytest.approx(
+                profiler.get_vsafe(task))
+            assert onboard.get_vdrop(task) == pytest.approx(
+                profiler.get_vdrop(task))

@@ -1,0 +1,116 @@
+"""Culpeo-PG's bench profiling front-end."""
+
+import pytest
+
+from repro.core.pg_profiler import CulpeoPgProfiler, CurrentProbe, envelope_trace
+from repro.core.profile_guided import CulpeoPG
+from repro.errors import ProfileError
+from repro.loads.peripherals import ble_radio
+from repro.loads.synthetic import uniform_load
+from repro.loads.trace import CurrentTrace
+
+
+class TestCurrentProbe:
+    def test_capture_preserves_charge(self):
+        probe = CurrentProbe()
+        trace = ble_radio().trace
+        captured = probe.capture(trace)
+        assert captured.charge == pytest.approx(trace.charge, rel=0.01)
+
+    def test_quantisation_rounds_up(self):
+        probe = CurrentProbe(bits=8, full_scale=0.2)
+        captured = probe.capture(CurrentTrace.constant(0.0101, 0.001))
+        assert captured.peak_current >= 0.0101
+
+    def test_slow_probe_blurs_short_pulses(self):
+        fast = CurrentProbe(sample_rate=125e3)
+        slow = CurrentProbe(sample_rate=1e3)
+        trace = uniform_load(0.050, 0.0005).trace.with_tail(0.001, 0.010)
+        assert len(fast.capture(trace)) >= len(slow.capture(trace))
+
+    def test_noise_is_seeded(self):
+        import numpy as np
+        a = CurrentProbe(noise_sigma=1e-4, rng=np.random.default_rng(3))
+        b = CurrentProbe(noise_sigma=1e-4, rng=np.random.default_rng(3))
+        trace = uniform_load(0.010, 0.010).trace
+        assert a.capture(trace) == b.capture(trace)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sample_rate=0.0), dict(full_scale=0.0), dict(bits=0),
+        dict(noise_sigma=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CurrentProbe(**kwargs)
+
+
+class TestEnvelopeTrace:
+    def test_single_capture_passthrough(self):
+        trace = uniform_load(0.010, 0.010).trace
+        assert envelope_trace([trace]) is trace
+
+    def test_envelope_dominates_every_run(self):
+        a = CurrentTrace([(0.010, 0.005), (0.002, 0.005)])
+        b = CurrentTrace([(0.005, 0.005), (0.008, 0.005)])
+        env = envelope_trace([a, b])
+        for t in (0.002, 0.007):
+            assert env.current_at(t) >= a.current_at(t) - 1e-9
+            assert env.current_at(t) >= b.current_at(t) - 1e-9
+
+    def test_envelope_length_is_longest_run(self):
+        short = CurrentTrace.constant(0.010, 0.005)
+        long = CurrentTrace.constant(0.008, 0.015)
+        env = envelope_trace([short, long])
+        assert env.duration == pytest.approx(0.015, rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            envelope_trace([])
+
+
+class TestCulpeoPgProfiler:
+    @pytest.fixture
+    def profiler(self, model):
+        return CulpeoPgProfiler(model)
+
+    def test_table1_choreography(self, profiler):
+        profiler.profile_start()
+        profiler.record_run(ble_radio().trace)
+        profiler.profile_end("radio")
+        profiler.rebound_end("radio")  # no-op, API symmetry
+        profiler.compute_vsafe("radio")
+        assert profiler.get_vsafe("radio") < profiler.model.v_high
+        assert profiler.get_vdrop("radio") > 0
+
+    def test_defaults_before_profiling(self, profiler):
+        assert profiler.get_vsafe("ghost") == pytest.approx(
+            profiler.model.v_high)
+        assert profiler.get_vdrop("ghost") == -1.0
+        profiler.compute_vsafe("ghost")  # no-op
+
+    def test_worst_case_over_runs(self, profiler):
+        light = uniform_load(0.010, 0.010).trace
+        heavy = uniform_load(0.025, 0.010).trace
+        single = CulpeoPgProfiler(profiler.model)
+        single.profile_task([light], "t")
+        multi = CulpeoPgProfiler(profiler.model)
+        multi.profile_task([light, heavy], "t")
+        assert multi.get_vsafe("t") > single.get_vsafe("t")
+
+    def test_matches_direct_analysis_closely(self, profiler, model):
+        trace = uniform_load(0.025, 0.010).trace
+        profiler.profile_task([trace], "t")
+        direct = CulpeoPG(model, envelope_margin=0.0).analyze(trace)
+        assert profiler.get_vsafe("t") == pytest.approx(direct.v_safe,
+                                                        abs=0.01)
+
+    def test_call_ordering_enforced(self, profiler):
+        with pytest.raises(ProfileError):
+            profiler.record_run(ble_radio().trace)
+        with pytest.raises(ProfileError):
+            profiler.profile_end("t")
+        profiler.profile_start()
+        with pytest.raises(ProfileError):
+            profiler.profile_start()
+        with pytest.raises(ProfileError):
+            profiler.profile_end("t")  # no runs recorded

@@ -1,0 +1,96 @@
+"""Culpeo-PG: Algorithm 1 over current traces."""
+
+import pytest
+
+from repro.core.profile_guided import CulpeoPG
+from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.loads.trace import CurrentTrace
+
+
+@pytest.fixture(scope="module")
+def pg(model):
+    return CulpeoPG(model)
+
+
+class TestVsafeBasics:
+    def test_result_above_v_off(self, pg):
+        est = pg.analyze(CurrentTrace.constant(0.001, 0.001))
+        assert est.v_safe > pg.model.v_off
+
+    def test_higher_current_needs_higher_vsafe(self, pg):
+        low = pg.analyze(uniform_load(0.005, 0.010).trace)
+        high = pg.analyze(uniform_load(0.050, 0.010).trace)
+        assert high.v_safe > low.v_safe
+
+    def test_longer_pulse_needs_higher_vsafe(self, pg):
+        short = pg.analyze(uniform_load(0.010, 0.010).trace)
+        long = pg.analyze(uniform_load(0.010, 0.100).trace)
+        assert long.v_safe > short.v_safe
+
+    def test_vdelta_scales_with_current(self, pg):
+        low = pg.analyze(uniform_load(0.005, 0.010).trace)
+        high = pg.analyze(uniform_load(0.050, 0.010).trace)
+        assert high.v_delta > 5 * low.v_delta
+
+    def test_demand_populated(self, pg):
+        est = pg.analyze(uniform_load(0.010, 0.010).trace)
+        assert est.demand.energy_v2 > 0
+        assert est.demand.v_delta == pytest.approx(est.v_delta)
+        assert est.method == "culpeo-pg"
+
+
+class TestEsrSelection:
+    def test_selects_from_curve_by_pulse_width(self, pg, model):
+        trace = uniform_load(0.010, 0.010).trace
+        expected = model.esr_curve.esr_for_pulse_width(0.010)
+        assert pg.select_esr(trace) == pytest.approx(expected)
+
+    def test_short_pulse_selects_lower_esr(self, pg):
+        short = pg.select_esr(uniform_load(0.010, 0.001).trace)
+        long = pg.select_esr(uniform_load(0.010, 0.100).trace)
+        assert short < long
+
+    def test_esr_override(self, pg):
+        trace = uniform_load(0.025, 0.010).trace
+        base = pg.analyze(trace)
+        doubled = pg.analyze(trace, esr=2 * pg.select_esr(trace))
+        assert doubled.v_safe > base.v_safe
+        with pytest.raises(ValueError):
+            pg.analyze(trace, esr=-1.0)
+
+
+class TestAgainstGroundTruth:
+    """PG must be near-accurate on low loads and drift unsafe on the
+    highest-power loads (the paper's efficiency-compounding failure)."""
+
+    def test_accurate_for_low_loads(self, pg, system):
+        load = uniform_load(0.010, 0.010)
+        truth = find_true_vsafe(system, load.trace)
+        error = pg.analyze(load.trace).v_safe - truth.v_safe
+        assert abs(error) < 0.02  # within ~2% of the range
+
+    def test_unsafe_for_high_power_loads(self, pg, system):
+        load = uniform_load(0.050, 0.010)
+        truth = find_true_vsafe(system, load.trace)
+        assert pg.analyze(load.trace).v_safe < truth.v_safe
+
+    def test_run_from_pg_vsafe_for_moderate_load(self, pg, system):
+        load = pulse_with_compute_tail(0.010, 0.010)
+        est = pg.analyze(load.trace)
+        result = attempt_load(system, load.trace, est.v_safe + 0.01)
+        assert result.completed
+
+
+class TestStepRecording:
+    def test_records_when_asked(self, model):
+        pg = CulpeoPG(model, record_steps=True)
+        pg.analyze(uniform_load(0.010, 0.005).trace)
+        assert pg.last_steps
+        # Requirements grow monotonically toward the trace start.
+        reqs = [s.v_required for s in pg.last_steps]
+        assert reqs == sorted(reqs)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            CulpeoPG(model, step_limit=0.0)

@@ -1,0 +1,100 @@
+"""Re-profiling on harvest-power change."""
+
+import pytest
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.reprofile import ReprofilingMonitor
+from repro.loads.synthetic import uniform_load
+from repro.sim.engine import PowerSystemSimulator
+
+
+@pytest.fixture
+def runtime(system, calculator):
+    return CulpeoIsrRuntime(PowerSystemSimulator(system), calculator)
+
+
+@pytest.fixture
+def profiled_runtime(runtime):
+    runtime.profile_task(uniform_load(0.025, 0.010).trace, "radio",
+                         harvesting=False)
+    return runtime
+
+
+class TestReprofilingMonitor:
+    def test_first_observation_sets_baseline(self, profiled_runtime):
+        monitor = ReprofilingMonitor(profiled_runtime)
+        assert not monitor.observe_power(2.0e-3)
+        assert monitor.baseline_power == pytest.approx(2.0e-3)
+
+    def test_small_change_keeps_profiles(self, profiled_runtime):
+        monitor = ReprofilingMonitor(profiled_runtime, threshold=0.25)
+        monitor.observe_power(2.0e-3)
+        assert not monitor.observe_power(2.2e-3)
+        assert profiled_runtime.get_vdrop("radio") >= 0.0
+
+    def test_large_change_invalidates(self, profiled_runtime):
+        monitor = ReprofilingMonitor(profiled_runtime, threshold=0.25)
+        monitor.observe_power(2.0e-3)
+        assert monitor.observe_power(4.0e-3)
+        # Tables fall back to the paper's defaults until re-profiled.
+        assert profiled_runtime.get_vsafe("radio") == pytest.approx(
+            profiled_runtime.calculator.v_high)
+        assert profiled_runtime.get_vdrop("radio") == -1.0
+        assert monitor.invalidation_count == 1
+        assert monitor.baseline_power == pytest.approx(4.0e-3)
+
+    def test_only_current_buffer_config_invalidated(self, runtime):
+        runtime.set_buffer_config("big")
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "radio",
+                             harvesting=False)
+        big_vsafe = runtime.get_vsafe("radio")
+        runtime.set_buffer_config("small")
+        runtime.engine.system.rest_at(runtime.calculator.v_high)
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "radio",
+                             harvesting=False)
+        monitor = ReprofilingMonitor(runtime)
+        monitor.observe_power(2.0e-3)
+        monitor.observe_power(8.0e-3)     # invalidates "small" only
+        assert runtime.get_vsafe("radio") == pytest.approx(
+            runtime.calculator.v_high)
+        runtime.set_buffer_config("big")
+        assert runtime.get_vsafe("radio") == pytest.approx(big_vsafe)
+
+    def test_reprofile_restores(self, profiled_runtime):
+        monitor = ReprofilingMonitor(profiled_runtime)
+        monitor.observe_power(2.0e-3)
+        monitor.observe_power(6.0e-3)
+        profiled_runtime.engine.system.rest_at(
+            profiled_runtime.calculator.v_high)
+        profiled_runtime.profile_task(uniform_load(0.025, 0.010).trace,
+                                      "radio", harvesting=False)
+        assert profiled_runtime.get_vsafe("radio") < \
+            profiled_runtime.calculator.v_high
+
+    def test_relative_change_math(self, profiled_runtime):
+        monitor = ReprofilingMonitor(profiled_runtime)
+        monitor.record_profile_conditions(4.0e-3)
+        assert monitor.relative_change(5.0e-3) == pytest.approx(0.25)
+        assert monitor.relative_change(4.0e-3) == 0.0
+
+    def test_validation(self, profiled_runtime):
+        with pytest.raises(ValueError):
+            ReprofilingMonitor(profiled_runtime, threshold=0.0)
+        monitor = ReprofilingMonitor(profiled_runtime)
+        with pytest.raises(ValueError):
+            monitor.observe_power(-1.0)
+        with pytest.raises(ValueError):
+            monitor.record_profile_conditions(-1.0)
+
+
+class TestInterruptedProfile:
+    def test_browned_out_profile_is_discarded(self, system, calculator):
+        """A profile run that dies must not poison the tables."""
+        system.rest_at(1.7)  # far too low for this load
+        runtime = CulpeoIsrRuntime(PowerSystemSimulator(system), calculator)
+        result = runtime.profile_task(uniform_load(0.050, 0.100).trace,
+                                      "heavy", harvesting=False)
+        assert result.browned_out
+        assert runtime.profiles.lookup("heavy") is None
+        assert runtime.get_vsafe("heavy") == pytest.approx(calculator.v_high)
+        assert runtime.get_vdrop("heavy") == -1.0

@@ -1,0 +1,110 @@
+"""Culpeo-R math: Equations 1a-1c and 3."""
+
+import math
+
+import pytest
+
+from repro.core.runtime import CulpeoRCalculator, vdelta_safe, vsafe_energy
+from repro.power.booster import LinearEfficiency
+
+ETA = LinearEfficiency(slope=0.052, intercept=0.754)
+V_OFF = 1.6
+V_HIGH = 2.56
+
+
+class TestVdeltaSafe:
+    def test_scales_drop_up_toward_v_off(self):
+        # A drop observed at a high V_min grows when referred to V_off.
+        scaled = vdelta_safe(0.2, v_min=2.3, v_off=V_OFF, efficiency=ETA)
+        assert scaled > 0.2
+
+    def test_identity_at_v_off(self):
+        scaled = vdelta_safe(0.2, v_min=V_OFF, v_off=V_OFF, efficiency=ETA)
+        assert scaled == pytest.approx(0.2)
+
+    def test_exact_ratio(self):
+        v_min = 2.0
+        expected = 0.1 * (v_min * ETA.efficiency(v_min)) / (
+            V_OFF * ETA.efficiency(V_OFF))
+        assert vdelta_safe(0.1, v_min, V_OFF, ETA) == pytest.approx(expected)
+
+    def test_zero_drop(self):
+        assert vdelta_safe(0.0, 2.0, V_OFF, ETA) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vdelta_safe(-0.1, 2.0, V_OFF, ETA)
+        with pytest.raises(ValueError):
+            vdelta_safe(0.1, 0.0, V_OFF, ETA)
+
+
+class TestVsafeEnergy:
+    def test_no_drop_means_v_off(self):
+        assert vsafe_energy(2.5, 2.5, V_OFF, ETA) == pytest.approx(V_OFF)
+
+    def test_matches_closed_form(self):
+        v_start, v_final = 2.56, 2.40
+        ratio = ETA.efficiency(v_start) / ETA.efficiency(V_OFF)
+        expected = math.sqrt(ratio * (v_start ** 2 - v_final ** 2)
+                             + V_OFF ** 2)
+        assert vsafe_energy(v_start, v_final, V_OFF, ETA) == \
+            pytest.approx(expected)
+
+    def test_efficiency_ratio_inflates_requirement(self):
+        # The same measured V^2 drop demands more when starting at V_off
+        # (lower efficiency there), so the ratio must exceed 1.
+        naive = math.sqrt(2.56 ** 2 - 2.40 ** 2 + V_OFF ** 2)
+        assert vsafe_energy(2.56, 2.40, V_OFF, ETA) > naive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vsafe_energy(0.0, 0.0, V_OFF, ETA)
+        with pytest.raises(ValueError):
+            vsafe_energy(2.0, 2.2, V_OFF, ETA)
+
+
+class TestCulpeoRCalculator:
+    @pytest.fixture
+    def calc(self):
+        return CulpeoRCalculator(efficiency=ETA, v_off=V_OFF, v_high=V_HIGH,
+                                 guard_band=0.0)
+
+    def test_estimate_is_sum_of_terms(self, calc):
+        v_start, v_min, v_final = 2.56, 2.30, 2.50
+        est = calc.estimate(v_start, v_min, v_final)
+        expected = (vsafe_energy(v_start, v_final, V_OFF, ETA)
+                    + vdelta_safe(v_final - v_min, v_min, V_OFF, ETA))
+        assert est.v_safe == pytest.approx(expected)
+        assert est.method == "culpeo-r"
+
+    def test_guard_band_adds_margin(self):
+        guarded = CulpeoRCalculator(efficiency=ETA, v_off=V_OFF,
+                                    v_high=V_HIGH, guard_band=0.02)
+        bare = CulpeoRCalculator(efficiency=ETA, v_off=V_OFF,
+                                 v_high=V_HIGH, guard_band=0.0)
+        g = guarded.estimate(2.56, 2.30, 2.50).v_safe
+        b = bare.estimate(2.56, 2.30, 2.50).v_safe
+        assert g == pytest.approx(b + 0.02)
+
+    def test_capped_at_v_high(self, calc):
+        est = calc.estimate(2.56, 1.62, 1.65)
+        assert est.v_safe <= V_HIGH
+
+    def test_quantisation_artifacts_clamped(self, calc):
+        # v_final a hair above v_start (possible with ADC bins) is clamped.
+        est = calc.estimate(2.50, 2.49, 2.5001)
+        assert est.v_safe >= V_OFF
+
+    def test_demand_fields(self, calc):
+        est = calc.estimate(2.56, 2.30, 2.50)
+        assert est.demand.energy_v2 > 0
+        assert est.demand.v_delta == pytest.approx(est.v_delta)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CulpeoRCalculator(efficiency=ETA, v_off=0.0, v_high=V_HIGH)
+        with pytest.raises(ValueError):
+            CulpeoRCalculator(efficiency=ETA, v_off=2.0, v_high=1.0)
+        with pytest.raises(ValueError):
+            CulpeoRCalculator(efficiency=ETA, v_off=V_OFF, v_high=V_HIGH,
+                              guard_band=-0.01)

@@ -1,0 +1,96 @@
+"""Profile and V_safe tables with buffer-configuration tagging."""
+
+import pytest
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.tables import (
+    DEFAULT_BUFFER,
+    ProfileRecord,
+    ProfileTable,
+    VsafeTable,
+)
+
+
+def make_estimate(v_safe=1.9, v_delta=0.2):
+    return VsafeEstimate(v_safe=v_safe, v_delta=v_delta,
+                         demand=TaskDemand(0.1, v_delta), method="test")
+
+
+class TestProfileTable:
+    def test_store_and_lookup(self):
+        table = ProfileTable()
+        record = ProfileRecord(v_start=2.5, v_min=2.2, v_final=2.45)
+        table.store("radio", record)
+        assert table.lookup("radio") is record
+        assert len(table) == 1
+
+    def test_lookup_missing_returns_none(self):
+        assert ProfileTable().lookup("ghost") is None
+
+    def test_buffer_config_isolation(self):
+        table = ProfileTable()
+        a = ProfileRecord(2.5, 2.2, 2.45, buffer_config="bank-A")
+        b = ProfileRecord(2.4, 2.0, 2.35, buffer_config="bank-B")
+        table.store("radio", a)
+        table.store("radio", b)
+        assert table.lookup("radio", "bank-A") is a
+        assert table.lookup("radio", "bank-B") is b
+        assert table.lookup("radio") is None  # default config not written
+
+    def test_invalidate(self):
+        table = ProfileTable()
+        table.store("t", ProfileRecord(2.5, 2.2, 2.45))
+        table.invalidate("t")
+        assert table.lookup("t") is None
+        table.invalidate("t")  # idempotent
+
+    def test_clear(self):
+        table = ProfileTable()
+        table.store("a", ProfileRecord(2.5, 2.2, 2.45))
+        table.store("b", ProfileRecord(2.5, 2.2, 2.45))
+        table.clear()
+        assert len(table) == 0
+
+    def test_contains(self):
+        table = ProfileTable()
+        table.store("a", ProfileRecord(2.5, 2.2, 2.45))
+        assert ("a", DEFAULT_BUFFER) in table
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            ProfileRecord(v_start=-1.0, v_min=0.0, v_final=0.0)
+
+
+class TestVsafeTable:
+    def test_defaults_match_paper(self):
+        table = VsafeTable(v_high=2.56)
+        assert table.get_vsafe("never-profiled") == pytest.approx(2.56)
+        assert table.get_vdrop("never-profiled") == -1.0
+
+    def test_store_and_get(self):
+        table = VsafeTable(v_high=2.56)
+        table.store("radio", make_estimate(1.9, 0.25))
+        assert table.get_vsafe("radio") == pytest.approx(1.9)
+        assert table.get_vdrop("radio") == pytest.approx(0.25)
+
+    def test_buffer_config_tagging(self):
+        table = VsafeTable(v_high=2.56)
+        table.store("radio", make_estimate(1.9), buffer_config="big")
+        assert table.get_vsafe("radio", "big") == pytest.approx(1.9)
+        assert table.get_vsafe("radio", "small") == pytest.approx(2.56)
+
+    def test_invalidate_restores_defaults(self):
+        table = VsafeTable(v_high=2.56)
+        table.store("radio", make_estimate())
+        table.invalidate("radio")
+        assert table.get_vdrop("radio") == -1.0
+
+    def test_clear(self):
+        table = VsafeTable(v_high=2.56)
+        table.store("a", make_estimate())
+        table.clear()
+        assert len(table) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VsafeTable(v_high=0.0)

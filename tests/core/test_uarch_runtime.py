@@ -1,0 +1,77 @@
+"""Culpeo-R-µArch: profiling through the peripheral block."""
+
+import pytest
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.uarch_runtime import CulpeoUArchRuntime
+from repro.harness.ground_truth import attempt_load
+from repro.loads.synthetic import uniform_load
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.uarch import CulpeoUArchBlock
+
+
+def make_runtime(system, calculator, **kwargs):
+    engine = PowerSystemSimulator(system)
+    return CulpeoUArchRuntime(engine, calculator, **kwargs)
+
+
+class TestProfiling:
+    def test_profile_records_quantised_voltages(self, system, calculator):
+        runtime = make_runtime(system, calculator)
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "t",
+                             harvesting=False)
+        record = runtime.profiles.lookup("t")
+        assert record.v_min <= record.v_final <= record.v_start
+        # 8-bit quantisation: v_min sits on a 10 mV grid.
+        assert (record.v_min / 0.010) == pytest.approx(
+            round(record.v_min / 0.010), abs=1e-6)
+
+    def test_catches_1ms_pulse_min(self, system, calculator):
+        """100 kHz sampling sees what the 1 kHz ISR misses."""
+        isr = CulpeoIsrRuntime(PowerSystemSimulator(system.copy()),
+                               calculator)
+        isr.engine.system.rest_at(calculator.v_high)
+        isr.profile_task(uniform_load(0.050, 0.001).trace, "t",
+                         harvesting=False)
+        uarch = make_runtime(system.copy(), calculator)
+        uarch.engine.system.rest_at(calculator.v_high)
+        uarch.profile_task(uniform_load(0.050, 0.001).trace, "t",
+                           harvesting=False)
+        drop_isr = (isr.profiles.lookup("t").v_final
+                    - isr.profiles.lookup("t").v_min)
+        drop_uarch = (uarch.profiles.lookup("t").v_final
+                      - uarch.profiles.lookup("t").v_min)
+        assert drop_uarch > drop_isr
+
+    def test_more_conservative_than_isr(self, system, calculator):
+        load = uniform_load(0.025, 0.010)
+        isr = CulpeoIsrRuntime(PowerSystemSimulator(system.copy()),
+                               calculator)
+        isr.engine.system.rest_at(calculator.v_high)
+        isr.profile_task(load.trace, "t", harvesting=False)
+        uarch = make_runtime(system.copy(), calculator)
+        uarch.engine.system.rest_at(calculator.v_high)
+        uarch.profile_task(load.trace, "t", harvesting=False)
+        assert uarch.get_vsafe("t") >= isr.get_vsafe("t")
+
+    def test_estimates_are_safe_even_for_1ms(self, system, calculator):
+        load = uniform_load(0.050, 0.001)
+        runtime = make_runtime(system.copy(), calculator)
+        runtime.profile_task(load.trace, "t", harvesting=False)
+        run = attempt_load(system, load.trace, runtime.get_vsafe("t"))
+        assert run.completed
+
+    def test_custom_block(self, system, calculator):
+        block = CulpeoUArchBlock(clock_hz=10e3)
+        runtime = make_runtime(system, calculator, block=block)
+        assert runtime.block is block
+        runtime.profile_task(uniform_load(0.010, 0.010).trace, "t",
+                             harvesting=False)
+        assert runtime.get_vsafe("t") < calculator.v_high
+
+    def test_block_disabled_after_rebound_end(self, system, calculator):
+        runtime = make_runtime(system, calculator)
+        runtime.profile_task(uniform_load(0.010, 0.010).trace, "t",
+                             harvesting=False)
+        assert runtime.block.next_event_time() is None
+        assert runtime.block.burden_current == 0.0

@@ -1,0 +1,183 @@
+"""Experiment runners: each figure's qualitative claims must reproduce.
+
+These tests run reduced-size versions of the experiments (fewer loads,
+shorter trials) so the suite stays fast; the full-size runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.power.catalog import CapacitorTechnology
+
+
+class TestFig1b:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return exp.fig1b_esr_drop()
+
+    def test_missed_drop_is_substantial(self, demo):
+        # The paper's trace shows the ESR share exceeding the energy share.
+        assert demo.missed_drop > demo.energy_drop
+
+    def test_decomposition_sums(self, demo):
+        assert demo.total_drop == pytest.approx(
+            demo.energy_drop + demo.missed_drop)
+
+    def test_trace_recorded(self, demo):
+        assert len(demo.times) > 100
+
+    def test_render(self, demo):
+        text = demo.render()
+        assert "missed" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        return exp.fig3_capacitor_survey(parts_per_technology=150)
+
+    def test_supercap_is_smallest(self, survey):
+        supercap = survey.best[CapacitorTechnology.SUPERCAPACITOR]
+        for tech, info in survey.best.items():
+            if tech is not CapacitorTechnology.SUPERCAPACITOR:
+                assert supercap["volume_mm3"] < info["volume_mm3"]
+
+    def test_supercap_esr_is_highest_among_smallest(self, survey):
+        supercap = survey.best[CapacitorTechnology.SUPERCAPACITOR]
+        ceramic = survey.best[CapacitorTechnology.CERAMIC]
+        assert supercap["esr"] > ceramic["esr"]
+
+    def test_render(self, survey):
+        assert "supercapacitor" in survey.render()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return exp.fig4_poweroff_demo()
+
+    def test_device_browns_out(self, demo):
+        assert demo.browned_out
+
+    def test_most_energy_stranded(self, demo):
+        # The paper's point: the device dies with "plenty" left.
+        assert demo.fraction_remaining > 0.8
+
+    def test_render(self, demo):
+        assert "power-off" in demo.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return exp.fig5_catnap_schedule()
+
+    def test_catnap_admits_the_doomed_radio(self, demo):
+        assert demo.catnap_admits
+
+    def test_radio_fails(self, demo):
+        assert not demo.radio_completed
+
+    def test_culpeo_rejects(self, demo):
+        assert not demo.culpeo_admits
+        assert demo.culpeo_gate > demo.catnap_gate
+
+    def test_render(self, demo):
+        assert "radio" in demo.render()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        loads = [pulse_with_compute_tail(0.010, 0.010),
+                 pulse_with_compute_tail(0.050, 0.010)]
+        return exp.fig6_energy_estimator_error(loads=loads)
+
+    def test_every_estimator_fails_on_pulse_loads(self, result):
+        for estimator in ("Energy-Direct", "Catnap-Slow", "Catnap-Measured"):
+            for error in result.errors_for(estimator):
+                assert error > 0, f"{estimator} unexpectedly safe"
+
+    def test_error_grows_with_current(self, result):
+        for estimator in ("Energy-Direct", "Catnap-Measured"):
+            errors = result.errors_for(estimator)
+            assert errors[1] > errors[0]
+
+    def test_render(self, result):
+        assert "Figure 6" in result.render()
+
+
+class TestTable3:
+    def test_inventory_covers_synthetics_and_peripherals(self):
+        inv = exp.table3_load_profiles()
+        names = [r["name"] for r in inv.rows]
+        assert "50mA 10ms" in names
+        assert "Gesture" in names and "BLE" in names and "MNIST" in names
+        assert len(inv.rows) == 21  # 18 synthetic + 3 peripherals
+
+    def test_render(self):
+        assert "Table III" in exp.table3_load_profiles().render()
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        loads = [uniform_load(0.025, 0.010),
+                 pulse_with_compute_tail(0.050, 0.010),
+                 uniform_load(0.050, 0.001)]
+        return exp.fig10_vsafe_accuracy(loads=loads)
+
+    def test_catnap_unsafe_on_pulse_load(self, result):
+        row = next(r for r in result.rows
+                   if r["shape"] == "pulse+compute")
+        assert row["errors"]["Catnap-Measured"] < result.unsafe_threshold
+
+    def test_culpeo_variants_safe_on_10ms_loads(self, result):
+        for row in result.rows:
+            if "1ms" in row["load"]:
+                continue
+            assert row["errors"]["Culpeo-ISR"] > result.unsafe_threshold
+            assert row["errors"]["Culpeo-uArch"] > result.unsafe_threshold
+
+    def test_isr_aggressive_on_1ms_pulse(self, result):
+        row = next(r for r in result.rows if r["load"] == "50mA 1ms")
+        assert row["errors"]["Culpeo-ISR"] < \
+            row["errors"]["Culpeo-uArch"]
+
+    def test_estimates_performant(self, result):
+        for row in result.rows:
+            for method in ("Culpeo-ISR", "Culpeo-uArch"):
+                assert row["errors"][method] < 10.0
+
+    def test_unsafe_count_helper(self, result):
+        assert result.unsafe_count("Catnap-Measured") >= 1
+        assert result.unsafe_count("Culpeo-uArch") == 0
+
+    def test_render(self, result):
+        assert "Figure 10" in result.render()
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.fig11_peripherals()
+
+    @pytest.mark.parametrize("peripheral", ["Gesture", "BLE", "MNIST"])
+    def test_culpeo_safe_everywhere(self, result, peripheral):
+        assert result.safe("Culpeo-PG", peripheral)
+        assert result.safe("Culpeo-ISR", peripheral)
+
+    def test_energy_v_unsafe_on_bursty_peripherals(self, result):
+        assert not result.safe("Energy-V", "Gesture")
+        assert not result.safe("Energy-V", "BLE")
+
+    def test_catnap_unsafe_somewhere(self, result):
+        unsafe = [p for p in ("Gesture", "BLE", "MNIST")
+                  if not result.safe("Catnap-Measured", p)]
+        assert unsafe
+
+    def test_render(self, result):
+        text = result.render()
+        assert "POWER-OFF" in text and "ok" in text

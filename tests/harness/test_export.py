@@ -1,0 +1,75 @@
+"""CSV export of experiment results."""
+
+import pytest
+
+from repro.harness.export import result_to_csv, rows_to_csv, save_result_csv
+
+
+class TestRowsToCsv:
+    def test_simple_rows(self):
+        text = rows_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert lines[2] == "2,y"
+
+    def test_nested_maps_flattened(self):
+        text = rows_to_csv([
+            {"load": "50mA", "errors": {"Catnap": -17.4, "PG": -1.1}},
+        ])
+        header = text.splitlines()[0]
+        assert "errors.Catnap" in header
+        assert "errors.PG" in header
+
+    def test_ragged_rows_union_columns(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        header = text.splitlines()[0]
+        assert header == "a,b"
+
+    def test_sequences_joined(self):
+        text = rows_to_csv([{"tags": ["x", "y"]}])
+        assert "x;y" in text
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestResultToCsv:
+    def test_rows_based_result(self):
+        from repro.harness.experiments import table3_load_profiles
+        text = result_to_csv(table3_load_profiles())
+        assert text.splitlines()[0].startswith("name,")
+        assert "Gesture" in text
+
+    def test_errors_result(self):
+        from repro.harness.experiments import fig6_energy_estimator_error
+        from repro.loads.synthetic import pulse_with_compute_tail
+        result = fig6_energy_estimator_error(
+            loads=[pulse_with_compute_tail(0.010, 0.010)])
+        text = result_to_csv(result)
+        assert "errors.Energy-Direct" in text.splitlines()[0]
+
+    def test_scalar_result(self):
+        from repro.harness.experiments import fig4_poweroff_demo
+        text = result_to_csv(fig4_poweroff_demo())
+        assert "browned_out" in text.splitlines()[0]
+
+    def test_unexportable_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ValueError):
+            result_to_csv(Opaque())
+
+    def test_save(self, tmp_path):
+        from repro.harness.experiments import table3_load_profiles
+        path = tmp_path / "table3.csv"
+        save_result_csv(table3_load_profiles(), path)
+        assert path.read_text().startswith("name,")
+
+
+class TestCliCsvFlag:
+    def test_run_with_csv(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["run", "table3", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "table3.csv").exists()

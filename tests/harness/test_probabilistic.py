@@ -1,0 +1,66 @@
+"""Monte-Carlo completion-probability analysis (paper §IX)."""
+
+import pytest
+
+from repro.harness.probabilistic import (
+    CompletionEstimate,
+    UncertaintyModel,
+    completion_probability,
+    probability_curve,
+)
+from repro.loads.synthetic import uniform_load
+
+LOAD = uniform_load(0.025, 0.010).trace
+TRIALS = 60  # small but stable with the fixed seed
+
+
+class TestCompletionProbability:
+    def test_high_start_voltage_is_certain(self):
+        est = completion_probability(LOAD, 2.5, trials=TRIALS)
+        assert est.completion_probability == pytest.approx(1.0)
+
+    def test_low_start_voltage_is_hopeless(self):
+        est = completion_probability(LOAD, 1.62, trials=TRIALS)
+        assert est.completion_probability < 0.1
+
+    def test_energy_only_is_optimistic_in_the_gap(self):
+        # Around the true V_safe (~1.78 V nominal), ESR makes most worlds
+        # fail while energy accounting says nearly all succeed.
+        est = completion_probability(LOAD, 1.72, trials=TRIALS)
+        assert est.optimism_gap > 0.3
+        assert est.energy_only_probability > est.completion_probability
+
+    def test_probability_monotone_in_voltage(self):
+        curve = probability_curve(LOAD, [1.65, 1.85, 2.10], trials=TRIALS)
+        probs = [e.completion_probability for e in curve]
+        assert probs == sorted(probs)
+
+    def test_deterministic_given_seed(self):
+        a = completion_probability(LOAD, 1.8, trials=TRIALS, seed=7)
+        b = completion_probability(LOAD, 1.8, trials=TRIALS, seed=7)
+        assert a.true_success == b.true_success
+        assert a.energy_only_success == b.energy_only_success
+
+    def test_zero_uncertainty_is_deterministic_physics(self):
+        certain = UncertaintyModel(capacitance_sigma=0.0, esr_sigma=0.0,
+                                   esr_aging_max=0.0, v_start_sigma=0.0)
+        est = completion_probability(LOAD, 2.2, trials=10,
+                                     uncertainty=certain)
+        assert est.completion_probability in (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            completion_probability(LOAD, 1.8, trials=0)
+        with pytest.raises(ValueError):
+            completion_probability(LOAD, 0.0)
+        with pytest.raises(ValueError):
+            UncertaintyModel(capacitance_sigma=-0.1)
+
+
+class TestCompletionEstimate:
+    def test_derived_fields(self):
+        est = CompletionEstimate(v_start=1.8, trials=100,
+                                 true_success=40, energy_only_success=90)
+        assert est.completion_probability == pytest.approx(0.40)
+        assert est.energy_only_probability == pytest.approx(0.90)
+        assert est.optimism_gap == pytest.approx(0.50)

@@ -1,0 +1,47 @@
+"""Text-table reporting."""
+
+import pytest
+
+from repro.harness.report import TextTable, format_percent
+
+
+class TestFormatPercent:
+    def test_signs(self):
+        assert format_percent(3.24) == "+3.2%"
+        assert format_percent(-12.5) == "-12.5%"
+        assert format_percent(0.0) == "+0.0%"
+
+    def test_digits(self):
+        assert format_percent(3.14159, digits=3) == "+3.142%"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 2345])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        # All data rows are padded to equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_no_title(self):
+        table = TextTable(["x"])
+        table.add_row([1])
+        assert table.render().splitlines()[0].startswith("x")
+
+    def test_row_width_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_str(self):
+        table = TextTable(["a"])
+        table.add_row(["x"])
+        assert str(table) == table.render()

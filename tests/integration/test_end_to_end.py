@@ -1,0 +1,120 @@
+"""End-to-end integration: the paper's headline claims, in miniature.
+
+These tests wire the full stack together — power system, simulator,
+profiling runtimes, estimators, scheduler, applications — and check the
+paper's central results hold end to end. Heavier full-size runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.apps.spec import AppSpec
+from repro.apps.periodic_sensing import periodic_sensing_app
+from repro.apps.runner import run_app
+from repro.core import CulpeoPG, CulpeoRCalculator
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.uarch_runtime import CulpeoUArchRuntime
+from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.loads.peripherals import ble_listen, ble_radio
+from repro.loads.synthetic import pulse_with_compute_tail
+from repro.power.system import capybara_power_system
+from repro.sched.estimators import CatnapEstimator
+from repro.sim.engine import PowerSystemSimulator
+
+
+@pytest.fixture(scope="module")
+def stack():
+    system = capybara_power_system()
+    model = system.characterize()
+    calc = CulpeoRCalculator(efficiency=model.efficiency,
+                             v_off=model.v_off, v_high=model.v_high)
+    return system, model, calc
+
+
+class TestHeadlineClaim:
+    """Energy-only gating fails; Culpeo gating works — same task, same
+    buffer, different answers."""
+
+    @pytest.fixture(scope="class")
+    def radio_task(self):
+        return ble_radio().trace.concat(ble_listen(1.0).trace)
+
+    def test_catnap_vsafe_browns_out(self, stack, radio_task):
+        system, model, _ = stack
+        catnap_v = CatnapEstimator.measured(model).estimate(
+            system, radio_task).v_safe
+        run = attempt_load(system, radio_task, catnap_v)
+        assert run.browned_out
+
+    def test_culpeo_vsafe_completes_all_variants(self, stack, radio_task):
+        system, model, calc = stack
+        estimates = {"pg": CulpeoPG(model).analyze(radio_task).v_safe}
+        for name, cls in (("isr", CulpeoIsrRuntime),
+                          ("uarch", CulpeoUArchRuntime)):
+            trial = system.copy()
+            trial.rest_at(model.v_high)
+            runtime = cls(PowerSystemSimulator(trial), calc)
+            runtime.profile_task(radio_task, "radio", harvesting=False)
+            estimates[name] = runtime.get_vsafe("radio")
+        for name, v_safe in estimates.items():
+            run = attempt_load(system, radio_task, v_safe)
+            assert run.completed, f"{name} estimate {v_safe:.3f} failed"
+
+    def test_culpeo_estimates_are_tight(self, stack, radio_task):
+        system, model, calc = stack
+        truth = find_true_vsafe(system, radio_task)
+        trial = system.copy()
+        trial.rest_at(model.v_high)
+        runtime = CulpeoIsrRuntime(PowerSystemSimulator(trial), calc)
+        runtime.profile_task(radio_task, "radio", harvesting=False)
+        slack = runtime.get_vsafe("radio") - truth.v_safe
+        assert slack < 0.1 * system.operating_range.span
+
+
+class TestAgingRobustness:
+    """Culpeo-R re-profiling tracks an aged buffer; a stale Culpeo-PG
+    analysis goes unsafe (paper §IV-C)."""
+
+    @pytest.fixture(scope="class")
+    def aged_system(self):
+        system = capybara_power_system()
+        system.buffer = system.buffer.aged(capacitance_factor=0.8,
+                                           esr_factor=2.0)
+        system.rest_at(system.monitor.v_high)
+        return system
+
+    @pytest.fixture(scope="class")
+    def load(self):
+        return pulse_with_compute_tail(0.025, 0.010).trace
+
+    def test_stale_pg_is_unsafe_on_aged_buffer(self, stack, aged_system,
+                                               load):
+        _, model, _ = stack  # characterized when the part was new
+        stale = CulpeoPG(model).analyze(load).v_safe
+        truth = find_true_vsafe(aged_system, load)
+        assert stale < truth.v_safe
+
+    def test_reprofiled_culpeo_r_stays_safe(self, aged_system, load, stack):
+        _, model, calc = stack
+        trial = aged_system.copy()
+        trial.rest_at(model.v_high)
+        runtime = CulpeoIsrRuntime(PowerSystemSimulator(trial), calc)
+        runtime.profile_task(load, "t", harvesting=False)
+        run = attempt_load(aged_system, load, runtime.get_vsafe("t"))
+        assert run.completed
+
+
+class TestApplicationEndToEnd:
+    def test_culpeo_beats_catnap_on_ps(self):
+        spec = periodic_sensing_app()
+        short = AppSpec(
+            name=spec.name, system_factory=spec.system_factory,
+            harvest_power=spec.harvest_power, chains=spec.chains,
+            background=spec.background, trial_duration=120.0,
+        )
+        catnap = run_app(short, "catnap", trials=1)
+        culpeo = run_app(short, "culpeo", trials=1)
+        assert culpeo.capture_percent("PS") == pytest.approx(100.0)
+        assert catnap.capture_percent("PS") < 80.0
+        assert catnap.total_brownouts() > 0
+        assert culpeo.total_brownouts() == 0

@@ -1,0 +1,113 @@
+"""Intermittent executor: re-execution, gating, non-termination."""
+
+import pytest
+
+from repro.core.profile_guided import CulpeoPG
+from repro.intermittent.executor import IntermittentExecutor, NonTermination
+from repro.intermittent.program import AtomicTask, Program
+from repro.loads.peripherals import ble_listen, ble_radio
+from repro.loads.trace import CurrentTrace
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.system import capybara_power_system
+from repro.sim.engine import PowerSystemSimulator
+
+
+def make_engine(harvest=3e-3, v_start=None):
+    system = capybara_power_system(
+        harvester=ConstantPowerHarvester(harvest))
+    system.rest_at(v_start if v_start is not None
+                   else system.monitor.v_high)
+    return PowerSystemSimulator(system)
+
+
+def radio_task(name="radio"):
+    return AtomicTask(name, ble_radio().trace.concat(ble_listen(1.0).trace))
+
+
+def light_task(name="light"):
+    return AtomicTask(name, CurrentTrace.constant(0.002, 0.050))
+
+
+class TestHappyPath:
+    def test_light_program_runs_straight_through(self):
+        engine = make_engine()
+        program = Program([light_task(f"t{i}") for i in range(5)])
+        report = IntermittentExecutor(engine).run(program, until=60.0)
+        assert report.finished
+        assert report.tasks_committed == 5
+        assert report.total_reexecutions == 0
+
+    def test_heavy_program_recharges_between_tasks(self):
+        engine = make_engine()
+        program = Program([radio_task("r1"), radio_task("r2"),
+                           radio_task("r3")])
+        model = engine.system.characterize()
+        pg = CulpeoPG(model)
+        gates = {t.name: pg.analyze(t.trace).v_safe for t in program}
+        executor = IntermittentExecutor(engine,
+                                        gate=lambda t: gates[t.name])
+        report = executor.run(program, until=600.0)
+        assert report.finished
+        assert report.total_reexecutions == 0
+        assert report.wasted_energy == 0.0
+
+
+class TestReexecutionWaste:
+    def test_opportunistic_launch_from_low_voltage_wastes_energy(self):
+        # Start just above the booster floor: the opportunistic executor
+        # fires the radio immediately and browns out; the gated one waits.
+        engine = make_engine(harvest=4e-3, v_start=2.56)
+        engine.discharge_to(1.66)
+        engine.system.monitor.force_enabled(True)
+        program = Program([radio_task()])
+        report = IntermittentExecutor(engine).run(program, until=400.0)
+        assert report.reexecutions.get("radio", 0) >= 1
+        assert report.wasted_energy > 0
+        assert report.finished  # eventually succeeds from V_high
+
+    def test_gated_launch_avoids_the_waste(self):
+        engine = make_engine(harvest=4e-3, v_start=2.56)
+        engine.discharge_to(1.66)
+        engine.system.monitor.force_enabled(True)
+        model = engine.system.characterize()
+        pg = CulpeoPG(model)
+        program = Program([radio_task()])
+        executor = IntermittentExecutor(
+            engine, gate=lambda t: pg.analyze(t.trace).v_safe)
+        report = executor.run(program, until=400.0)
+        assert report.finished
+        assert report.total_reexecutions == 0
+
+
+class TestNonTermination:
+    def test_impossible_task_detected(self):
+        engine = make_engine(harvest=10e-3)
+        monster = AtomicTask("monster", CurrentTrace.constant(0.050, 3.0))
+        program = Program([monster])
+        report = IntermittentExecutor(engine).run(program, until=1200.0)
+        assert not report.finished
+        assert report.stuck_on == "monster"
+
+    def test_raise_on_stuck(self):
+        engine = make_engine(harvest=10e-3)
+        monster = AtomicTask("monster", CurrentTrace.constant(0.050, 3.0))
+        with pytest.raises(NonTermination) as excinfo:
+            IntermittentExecutor(engine).run(
+                Program([monster]), until=1200.0, raise_on_stuck=True)
+        assert excinfo.value.task.name == "monster"
+
+    def test_progress_survives_detection(self):
+        engine = make_engine(harvest=10e-3)
+        program = Program([
+            light_task("ok"),
+            AtomicTask("monster", CurrentTrace.constant(0.050, 3.0)),
+        ])
+        report = IntermittentExecutor(engine).run(program, until=1200.0)
+        assert report.tasks_committed == 1
+        assert program.pc == 1  # non-volatile progress preserved
+
+    def test_validation(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            IntermittentExecutor(engine).run(Program([light_task()]),
+                                             until=0.0)

@@ -1,0 +1,63 @@
+"""Program structure and non-volatile progress."""
+
+import pytest
+
+from repro.intermittent.program import AtomicTask, Program
+from repro.loads.trace import CurrentTrace
+
+
+def make_task(name="t", current=0.005, duration=0.01):
+    return AtomicTask(name, CurrentTrace.constant(current, duration))
+
+
+class TestAtomicTask:
+    def test_duration(self):
+        assert make_task(duration=0.5).duration == pytest.approx(0.5)
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            AtomicTask("", CurrentTrace.constant(0.01, 0.01))
+
+    def test_str(self):
+        assert str(make_task("send")) == "send"
+
+
+class TestProgram:
+    def test_progress_lifecycle(self):
+        program = Program([make_task("a"), make_task("b")])
+        assert not program.finished
+        assert program.current.name == "a"
+        program.commit()
+        assert program.current.name == "b"
+        program.commit()
+        assert program.finished
+
+    def test_commit_past_end_raises(self):
+        program = Program([make_task("a")])
+        program.commit()
+        with pytest.raises(IndexError):
+            program.commit()
+        with pytest.raises(IndexError):
+            program.current
+
+    def test_reset(self):
+        program = Program([make_task("a"), make_task("b")])
+        program.commit()
+        program.reset()
+        assert program.pc == 0
+
+    def test_remaining(self):
+        program = Program([make_task("a"), make_task("b"), make_task("c")])
+        program.commit()
+        assert [t.name for t in program.remaining()] == ["b", "c"]
+
+    def test_iteration_and_len(self):
+        program = Program([make_task("a"), make_task("b")])
+        assert len(program) == 2
+        assert [t.name for t in program] == ["a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Program([])
+        with pytest.raises(ValueError):
+            Program([make_task()], pc=5)

@@ -1,0 +1,77 @@
+"""Trace serialization round-trips."""
+
+import pytest
+
+from repro.loads.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+)
+from repro.loads.peripherals import ble_radio
+from repro.loads.trace import CurrentTrace
+
+
+@pytest.fixture
+def trace():
+    return CurrentTrace([(0.025, 0.010), (0.0015, 0.100)])
+
+
+class TestJsonRoundTrip:
+    def test_exact(self, trace):
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_peripheral_trace(self):
+        trace = ble_radio().trace
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace_json(trace, path)
+        assert load_trace_json(path) == trace
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            trace_from_json('{"format": "something-else"}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError):
+            trace_from_json(
+                '{"format": "repro.current-trace", "version": 99}')
+
+
+class TestCsvRoundTrip:
+    def test_charge_preserved(self, trace):
+        rebuilt = trace_from_csv(trace_to_csv(trace, sample_rate=125e3))
+        assert rebuilt.charge == pytest.approx(trace.charge, rel=1e-3)
+        assert rebuilt.duration == pytest.approx(trace.duration, rel=1e-3)
+
+    def test_header_written(self, trace):
+        assert trace_to_csv(trace).startswith("time_s,current_a")
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        rebuilt = load_trace_csv(path)
+        assert rebuilt.peak_current == pytest.approx(trace.peak_current)
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("a,b\n1,2\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("time_s,current_a\n")
+
+    def test_rejects_uneven_spacing(self):
+        text = "time_s,current_a\n0.0,0.01\n0.001,0.01\n0.005,0.01\n"
+        with pytest.raises(ValueError):
+            trace_from_csv(text)
+
+    def test_single_sample(self):
+        rebuilt = trace_from_csv("time_s,current_a\n0.0,0.02\n")
+        assert rebuilt.peak_current == pytest.approx(0.02)

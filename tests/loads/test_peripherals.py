@@ -1,0 +1,127 @@
+"""Peripheral load models: envelopes must match the paper's Table III."""
+
+import pytest
+
+from repro.loads.peripherals import (
+    ble_listen,
+    ble_radio,
+    encrypt_block,
+    fft_compute,
+    gesture_recognition,
+    imu_read,
+    light_sampling_loop,
+    lora_packet,
+    microphone_read,
+    mnist_inference,
+    photoresistor_read,
+    real_peripheral_suite,
+)
+
+
+class TestTableIIIEnvelopes:
+    def test_gesture_envelope(self):
+        load = gesture_recognition()
+        assert load.trace.peak_current == pytest.approx(0.025)
+        assert load.trace.largest_pulse_width() == pytest.approx(0.0035)
+
+    def test_ble_envelope(self):
+        load = ble_radio()
+        assert load.trace.peak_current == pytest.approx(0.013)
+        # Total radio event spans ~17 ms.
+        assert load.trace.duration == pytest.approx(0.017, abs=0.005)
+
+    def test_mnist_envelope(self):
+        load = mnist_inference()
+        assert load.trace.peak_current == pytest.approx(0.005, abs=0.0005)
+        assert load.trace.duration == pytest.approx(1.1, abs=0.05)
+
+    def test_lora_envelope(self):
+        load = lora_packet()
+        assert load.trace.peak_current == pytest.approx(0.050)
+        assert load.trace.largest_pulse_width() == pytest.approx(0.100)
+
+    def test_suite_contents(self):
+        names = [p.name for p in real_peripheral_suite()]
+        assert names == ["Gesture", "BLE", "MNIST"]
+
+
+class TestSensorLoads:
+    def test_imu_scales_with_sample_count(self):
+        short = imu_read(16)
+        long = imu_read(64)
+        assert long.trace.duration > short.trace.duration
+
+    def test_imu_ends_with_low_current_tail(self):
+        trace = imu_read(32).trace
+        *_, (last_current, last_duration) = trace.segments()
+        assert last_current < 0.001
+
+    def test_imu_validation(self):
+        with pytest.raises(ValueError):
+            imu_read(0)
+        with pytest.raises(ValueError):
+            imu_read(32, odr_hz=0.0)
+
+    def test_microphone_duration_matches_samples(self):
+        load = microphone_read(256, 12000.0)
+        assert load.trace.duration == pytest.approx(256 / 12000.0 + 0.0005)
+
+    def test_microphone_validation(self):
+        with pytest.raises(ValueError):
+            microphone_read(0)
+
+    def test_photoresistor_is_tiny(self):
+        load = photoresistor_read()
+        assert load.trace.energy_at(2.55) < 1e-5
+
+    def test_light_loop_is_sustained(self):
+        load = light_sampling_loop(0.050)
+        assert load.trace.duration == pytest.approx(0.050)
+        assert load.trace.peak_current == pytest.approx(0.0025)
+
+    def test_light_loop_validation(self):
+        with pytest.raises(ValueError):
+            light_sampling_loop(0.0)
+
+
+class TestSoftwareLoads:
+    def test_fft_scales_superlinearly(self):
+        small = fft_compute(64)
+        big = fft_compute(1024)
+        assert big.trace.duration > 16 * small.trace.duration / 2
+
+    def test_fft_validation(self):
+        with pytest.raises(ValueError):
+            fft_compute(1)
+
+    def test_encrypt_scales_with_bytes(self):
+        assert encrypt_block(320).trace.duration > \
+            encrypt_block(160).trace.duration
+
+    def test_encrypt_validation(self):
+        with pytest.raises(ValueError):
+            encrypt_block(0)
+
+
+class TestBleListen:
+    def test_duration_respected(self):
+        load = ble_listen(2.0)
+        assert load.trace.duration == pytest.approx(2.0, abs=0.01)
+
+    def test_duty_cycled(self):
+        load = ble_listen(1.0)
+        # Mean current far below the RX peak.
+        assert load.trace.mean_current < 0.002
+        assert load.trace.peak_current == pytest.approx(0.005)
+
+    def test_short_listen(self):
+        load = ble_listen(0.050)
+        assert load.trace.duration == pytest.approx(0.050, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ble_listen(0.0)
+
+    def test_lora_validation(self):
+        with pytest.raises(ValueError):
+            lora_packet(0.0)

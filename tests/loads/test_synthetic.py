@@ -1,0 +1,81 @@
+"""Table III synthetic load generators."""
+
+import pytest
+
+from repro.loads.synthetic import (
+    COMPUTE_CURRENT,
+    COMPUTE_DURATION,
+    PULSE_CURRENTS,
+    PULSE_WIDTHS,
+    fig6_load_matrix,
+    fig10_load_matrix,
+    pulse_with_compute_tail,
+    uniform_load,
+)
+
+
+class TestUniformLoad:
+    def test_shape(self):
+        load = uniform_load(0.050, 0.010)
+        assert load.shape == "uniform"
+        assert load.trace.duration == pytest.approx(0.010)
+        assert load.trace.peak_current == pytest.approx(0.050)
+
+    def test_label(self):
+        assert uniform_load(0.050, 0.010).label == "50mA 10ms"
+        assert uniform_load(0.005, 0.100).label == "5mA 100ms"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_load(0.0, 0.01)
+        with pytest.raises(ValueError):
+            uniform_load(0.05, 0.0)
+
+
+class TestPulseWithComputeTail:
+    def test_shape(self):
+        load = pulse_with_compute_tail(0.050, 0.010)
+        assert load.shape == "pulse+compute"
+        assert load.trace.duration == pytest.approx(0.010 + COMPUTE_DURATION)
+        assert load.trace.current_at(0.05) == pytest.approx(COMPUTE_CURRENT)
+
+    def test_custom_tail(self):
+        load = pulse_with_compute_tail(0.050, 0.010,
+                                       i_compute=0.002, t_compute=0.050)
+        assert load.trace.duration == pytest.approx(0.060)
+
+    def test_zero_tail_duration(self):
+        load = pulse_with_compute_tail(0.050, 0.010, t_compute=0.0)
+        assert load.trace.duration == pytest.approx(0.010)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pulse_with_compute_tail(0.05, 0.01, i_compute=-1e-3)
+
+
+class TestLoadMatrices:
+    def test_fig10_has_nine_of_each_shape(self):
+        loads = fig10_load_matrix()
+        uniform = [l for l in loads if l.shape == "uniform"]
+        pulse = [l for l in loads if l.shape == "pulse+compute"]
+        assert len(uniform) == 9
+        assert len(pulse) == 9
+
+    def test_fig10_omits_high_energy_and_low_signal_points(self):
+        labels = {l.label for l in fig10_load_matrix()}
+        assert "50mA 100ms" not in labels
+        assert "25mA 100ms" not in labels
+        assert "5mA 1ms" not in labels
+        assert "50mA 10ms" in labels
+
+    def test_fig6_is_pulse_only(self):
+        loads = fig6_load_matrix()
+        assert len(loads) == 6
+        assert all(l.shape == "pulse+compute" for l in loads)
+
+    def test_parameter_grids_match_paper(self):
+        assert PULSE_CURRENTS == (0.005, 0.010, 0.025, 0.050)
+        assert PULSE_WIDTHS == (0.001, 0.010, 0.100)
+
+    def test_str(self):
+        assert str(uniform_load(0.025, 0.001)) == "25mA 1ms"

@@ -1,0 +1,152 @@
+"""CurrentTrace representation and queries."""
+
+import numpy as np
+import pytest
+
+from repro.loads.trace import CurrentTrace
+
+
+class TestConstruction:
+    def test_constant(self):
+        t = CurrentTrace.constant(0.010, 0.5)
+        assert t.duration == pytest.approx(0.5)
+        assert t.peak_current == pytest.approx(0.010)
+        assert len(t) == 1
+
+    def test_merges_equal_adjacent_segments(self):
+        t = CurrentTrace([(0.01, 0.1), (0.01, 0.2), (0.02, 0.1)])
+        assert len(t) == 2
+        assert t.duration == pytest.approx(0.4)
+
+    def test_drops_zero_duration_segments(self):
+        t = CurrentTrace([(0.01, 0.1), (0.05, 0.0), (0.02, 0.1)])
+        assert len(t) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentTrace([])
+        with pytest.raises(ValueError):
+            CurrentTrace([(0.01, 0.0)])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentTrace([(-0.01, 0.1)])
+        with pytest.raises(ValueError):
+            CurrentTrace([(0.01, -0.1)])
+
+    def test_from_samples(self):
+        t = CurrentTrace.from_samples([0.01, 0.01, 0.02], dt=0.001)
+        assert t.duration == pytest.approx(0.003)
+        assert len(t) == 2  # first two merge
+
+    def test_from_samples_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.from_samples([0.01], dt=0.0)
+
+
+class TestIntegrals:
+    def test_charge(self):
+        t = CurrentTrace([(0.010, 0.5), (0.020, 0.25)])
+        assert t.charge == pytest.approx(0.010 * 0.5 + 0.020 * 0.25)
+
+    def test_energy_at_rail(self):
+        t = CurrentTrace.constant(0.010, 1.0)
+        assert t.energy_at(2.55) == pytest.approx(0.0255)
+
+    def test_energy_rejects_bad_rail(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.constant(0.01, 1.0).energy_at(0.0)
+
+    def test_mean_current(self):
+        t = CurrentTrace([(0.010, 0.5), (0.030, 0.5)])
+        assert t.mean_current == pytest.approx(0.020)
+
+
+class TestQueries:
+    def test_current_at(self):
+        t = CurrentTrace([(0.010, 0.1), (0.050, 0.1)])
+        assert t.current_at(0.05) == pytest.approx(0.010)
+        assert t.current_at(0.15) == pytest.approx(0.050)
+        assert t.current_at(1.0) == 0.0
+
+    def test_current_at_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.constant(0.01, 1.0).current_at(-1.0)
+
+    def test_largest_pulse_width_simple(self):
+        t = CurrentTrace([(0.050, 0.010), (0.0015, 0.100)])
+        assert t.largest_pulse_width() == pytest.approx(0.010)
+
+    def test_largest_pulse_width_merges_near_peak_runs(self):
+        t = CurrentTrace([(0.050, 0.005), (0.045, 0.005), (0.001, 0.1)])
+        assert t.largest_pulse_width() == pytest.approx(0.010)
+
+    def test_largest_pulse_width_ignores_low_noise(self):
+        t = CurrentTrace([(0.050, 0.002), (0.001, 0.001), (0.050, 0.003)])
+        assert t.largest_pulse_width() == pytest.approx(0.003)
+
+    def test_largest_pulse_width_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.constant(0.01, 1.0).largest_pulse_width(0.0)
+
+    def test_segments_iteration(self):
+        t = CurrentTrace([(0.01, 0.1), (0.02, 0.2)])
+        assert list(t.segments()) == [(0.01, 0.1), (0.02, 0.2)]
+
+
+class TestTransformations:
+    def test_concat(self):
+        a = CurrentTrace.constant(0.01, 0.1)
+        b = CurrentTrace.constant(0.02, 0.2)
+        c = a.concat(b)
+        assert c.duration == pytest.approx(0.3)
+        assert c.charge == pytest.approx(a.charge + b.charge)
+
+    def test_concat_merges_boundary(self):
+        a = CurrentTrace.constant(0.01, 0.1)
+        assert len(a.concat(a)) == 1
+
+    def test_scaled(self):
+        t = CurrentTrace.constant(0.01, 0.1).scaled(current_factor=2.0,
+                                                    time_factor=0.5)
+        assert t.peak_current == pytest.approx(0.02)
+        assert t.duration == pytest.approx(0.05)
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.constant(0.01, 0.1).scaled(time_factor=0.0)
+
+    def test_with_tail(self):
+        t = CurrentTrace.constant(0.05, 0.01).with_tail(0.0015, 0.1)
+        assert t.duration == pytest.approx(0.11)
+        assert t.current_at(0.05) == pytest.approx(0.0015)
+
+    def test_sampled_reconstructs_charge(self):
+        t = CurrentTrace([(0.050, 0.010), (0.0015, 0.100)])
+        samples = t.sampled(125e3)
+        charge = samples.sum() / 125e3
+        assert charge == pytest.approx(t.charge, rel=1e-3)
+
+    def test_sampled_length(self):
+        t = CurrentTrace.constant(0.01, 0.010)
+        assert len(t.sampled(1000.0)) == 10
+
+    def test_sampled_validation(self):
+        with pytest.raises(ValueError):
+            CurrentTrace.constant(0.01, 0.1).sampled(0.0)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = CurrentTrace([(0.01, 0.1), (0.02, 0.2)])
+        b = CurrentTrace([(0.01, 0.1), (0.02, 0.2)])
+        c = CurrentTrace([(0.01, 0.1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_other_type(self):
+        assert CurrentTrace.constant(0.01, 0.1) != "trace"
+
+    def test_repr(self):
+        assert "segments" in repr(CurrentTrace.constant(0.01, 0.1))

@@ -1,0 +1,85 @@
+"""Capacitor-bank composition algebra."""
+
+import pytest
+
+from repro.power.bank import CapacitorBank, bank_of, parts_for_target
+from repro.power.capacitor import TwoBranchSupercap
+
+
+class TestBankOf:
+    def test_parallel_scaling(self):
+        bank = bank_of(7.5e-3, 20.0, part_leakage=3e-9,
+                       part_volume_mm3=5.0, n_parallel=6)
+        assert bank.capacitance == pytest.approx(45e-3)
+        assert bank.esr == pytest.approx(20.0 / 6)
+        assert bank.leakage_current == pytest.approx(18e-9)
+        assert bank.volume_mm3 == pytest.approx(30.0)
+        assert bank.part_count == 6
+
+    def test_series_scaling(self):
+        bank = bank_of(10e-3, 2.0, part_max_voltage=2.7, n_series=2)
+        assert bank.capacitance == pytest.approx(5e-3)
+        assert bank.esr == pytest.approx(4.0)
+        assert bank.max_voltage == pytest.approx(5.4)
+
+    def test_series_parallel_combined(self):
+        bank = bank_of(10e-3, 2.0, n_parallel=4, n_series=2)
+        assert bank.capacitance == pytest.approx(20e-3)
+        assert bank.esr == pytest.approx(1.0)
+        assert bank.part_count == 8
+
+    def test_rejects_bad_arrangement(self):
+        with pytest.raises(ValueError):
+            bank_of(1e-3, 1.0, n_parallel=0)
+        with pytest.raises(ValueError):
+            bank_of(1e-3, 1.0, n_series=0)
+        with pytest.raises(ValueError):
+            bank_of(0.0, 1.0)
+
+
+class TestCapacitorBank:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacitorBank(capacitance=0.0, esr=1.0, leakage_current=0.0,
+                          volume_mm3=1.0, part_count=1, max_voltage=2.7)
+        with pytest.raises(ValueError):
+            CapacitorBank(capacitance=1e-3, esr=-1.0, leakage_current=0.0,
+                          volume_mm3=1.0, part_count=1, max_voltage=2.7)
+        with pytest.raises(ValueError):
+            CapacitorBank(capacitance=1e-3, esr=1.0, leakage_current=0.0,
+                          volume_mm3=1.0, part_count=0, max_voltage=2.7)
+
+    def test_as_buffer_splits_redistribution(self):
+        bank = bank_of(7.5e-3, 20.0, n_parallel=6)
+        buffer = bank.as_buffer(redist_fraction=0.10)
+        assert isinstance(buffer, TwoBranchSupercap)
+        assert buffer.total_capacitance == pytest.approx(45e-3)
+        assert buffer.c_redist == pytest.approx(4.5e-3)
+        assert buffer.r_esr == pytest.approx(bank.esr)
+
+    def test_as_buffer_zero_redist(self):
+        bank = bank_of(7.5e-3, 20.0, n_parallel=6)
+        buffer = bank.as_buffer(redist_fraction=0.0)
+        assert buffer.c_redist == 0.0
+
+    def test_as_buffer_rejects_bad_fraction(self):
+        bank = bank_of(7.5e-3, 20.0, n_parallel=6)
+        with pytest.raises(ValueError):
+            bank.as_buffer(redist_fraction=1.0)
+
+
+class TestPartsForTarget:
+    def test_exact_fit(self):
+        assert parts_for_target(15e-3, 45e-3) == 3
+
+    def test_rounds_up(self):
+        assert parts_for_target(10e-3, 45e-3) == 5
+
+    def test_single_part_suffices(self):
+        assert parts_for_target(50e-3, 45e-3) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parts_for_target(0.0, 1.0)
+        with pytest.raises(ValueError):
+            parts_for_target(1.0, 0.0)

@@ -1,0 +1,140 @@
+"""Boost-converter and efficiency models."""
+
+import pytest
+
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+
+
+class TestLinearEfficiency:
+    def test_line(self):
+        eta = LinearEfficiency(slope=0.05, intercept=0.75)
+        assert eta.efficiency(2.0) == pytest.approx(0.85)
+
+    def test_clipping(self):
+        eta = LinearEfficiency(slope=0.5, intercept=0.0,
+                               floor=0.2, ceiling=0.9)
+        assert eta.efficiency(0.0) == 0.2
+        assert eta.efficiency(10.0) == 0.9
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            LinearEfficiency(slope=-0.01, intercept=0.9)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            LinearEfficiency(slope=0.0, intercept=0.8, floor=0.9, ceiling=0.5)
+
+    def test_fit_matches_endpoints(self):
+        curve = CurvedEfficiency()
+        line = LinearEfficiency.fit(curve, 1.6, 2.56)
+        assert line.efficiency(1.6) == pytest.approx(curve.efficiency(1.6),
+                                                     abs=1e-9)
+        assert line.efficiency(2.56) == pytest.approx(curve.efficiency(2.56),
+                                                      abs=1e-9)
+
+    def test_fit_rejects_degenerate_span(self):
+        with pytest.raises(ValueError):
+            LinearEfficiency.fit(CurvedEfficiency(), 2.0, 2.0)
+
+
+class TestCurvedEfficiency:
+    def test_increases_with_voltage_over_operating_range(self):
+        eta = CurvedEfficiency()
+        values = [eta.efficiency(v) for v in (1.6, 1.9, 2.2, 2.56)]
+        assert values == sorted(values)
+
+    def test_clipped_to_bounds(self):
+        eta = CurvedEfficiency(floor=0.5, ceiling=0.9)
+        assert 0.5 <= eta.efficiency(0.0) <= 0.9
+        assert 0.5 <= eta.efficiency(10.0) <= 0.9
+
+    def test_deviates_from_its_linearization_mid_range(self):
+        # The curvature is what makes Culpeo-PG's model drift; it must be
+        # measurably nonzero between the fit endpoints.
+        curve = CurvedEfficiency()
+        line = LinearEfficiency.fit(curve, 1.6, 2.56)
+        mid_gap = abs(curve.efficiency(2.0) - line.efficiency(2.0))
+        assert mid_gap > 0.001
+
+
+class TestOutputBooster:
+    @pytest.fixture
+    def booster(self):
+        return OutputBooster(v_out=2.55,
+                             efficiency_model=CurvedEfficiency(),
+                             power_derating=0.6)
+
+    def test_input_power_exceeds_output(self, booster):
+        assert booster.input_power(0.1, 2.0) > 0.1
+
+    def test_zero_power_draws_nothing(self, booster):
+        assert booster.input_power(0.0, 2.0) == 0.0
+        assert booster.input_current(0.0, 2.0) == 0.0
+
+    def test_current_grows_as_voltage_falls(self, booster):
+        high = booster.input_current(0.050, 2.5)
+        low = booster.input_current(0.050, 1.7)
+        assert low > high
+
+    def test_power_derating_reduces_efficiency(self, booster):
+        assert booster.efficiency(2.0, p_out=0.13) < booster.efficiency(2.0)
+
+    def test_derating_floor(self):
+        booster = OutputBooster(2.55, CurvedEfficiency(), power_derating=10.0)
+        assert booster.efficiency(2.0, p_out=1.0) == pytest.approx(0.30)
+
+    def test_operational_region(self, booster):
+        assert booster.operational(1.0)
+        assert not booster.operational(0.4)
+
+    def test_rejects_negative_power(self, booster):
+        with pytest.raises(ValueError):
+            booster.input_power(-0.1, 2.0)
+        with pytest.raises(ValueError):
+            booster.input_current(-0.1, 2.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            OutputBooster(0.0, CurvedEfficiency())
+        with pytest.raises(ValueError):
+            OutputBooster(2.5, CurvedEfficiency(), min_input_voltage=-1.0)
+        with pytest.raises(ValueError):
+            OutputBooster(2.5, CurvedEfficiency(), power_derating=-0.1)
+
+
+class TestInputBooster:
+    @pytest.fixture
+    def booster(self):
+        return InputBooster(LinearEfficiency(slope=0.0, intercept=0.8),
+                            v_max=2.56)
+
+    def test_charge_current_positive_below_vmax(self, booster):
+        assert booster.charge_current(0.010, 2.0) > 0
+
+    def test_regulates_off_at_vmax(self, booster):
+        assert booster.charge_current(0.010, 2.56) == 0.0
+        assert booster.charge_current(0.010, 2.6) == 0.0
+
+    def test_zero_harvest(self, booster):
+        assert booster.charge_current(0.0, 2.0) == 0.0
+
+    def test_efficiency_applied(self, booster):
+        # 10 mW at 80% into 2.0 V: I = 8 mW / 2 V = 4 mA.
+        assert booster.charge_current(0.010, 2.0) == pytest.approx(0.004)
+
+    def test_low_voltage_guard(self, booster):
+        # Near-zero buffer voltage must not blow up the current.
+        assert booster.charge_current(0.010, 0.01) <= 0.010 * 0.8 / 0.1 + 1e-9
+
+    def test_rejects_negative_harvest(self, booster):
+        with pytest.raises(ValueError):
+            booster.charge_current(-1e-3, 2.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            InputBooster(LinearEfficiency(slope=0.0, intercept=0.8), v_max=0.0)

@@ -1,0 +1,109 @@
+"""Synthetic capacitor catalog and the Figure 3 bank survey."""
+
+import pytest
+
+from repro.power.catalog import (
+    CapacitorTechnology,
+    build_bank_survey,
+    reference_catalog,
+    survey_by_technology,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return reference_catalog(parts_per_technology=200, seed=7)
+
+
+class TestReferenceCatalog:
+    def test_counts_per_technology(self, catalog):
+        for tech in CapacitorTechnology:
+            parts = [p for p in catalog if p.technology is tech]
+            assert len(parts) == 200
+
+    def test_deterministic_given_seed(self):
+        a = reference_catalog(50, seed=3)
+        b = reference_catalog(50, seed=3)
+        assert [(p.part_number, p.capacitance) for p in a] == \
+               [(p.part_number, p.capacitance) for p in b]
+
+    def test_different_seeds_differ(self):
+        a = reference_catalog(50, seed=3)
+        b = reference_catalog(50, seed=4)
+        assert [p.capacitance for p in a] != [p.capacitance for p in b]
+
+    def test_capacitance_in_search_window(self, catalog):
+        for part in catalog:
+            assert 1e-6 * 0.9 <= part.capacitance <= 45e-3 * 1.1
+
+    def test_ceramic_esr_is_flat_and_low(self, catalog):
+        ceramics = [p for p in catalog
+                    if p.technology is CapacitorTechnology.CERAMIC]
+        assert all(p.esr < 0.1 for p in ceramics)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            reference_catalog(0)
+
+
+class TestBankSurvey:
+    def test_every_bank_meets_target(self, catalog):
+        banks = build_bank_survey(catalog, target_capacitance=45e-3)
+        assert banks
+        for bank in banks:
+            assert bank.capacitance >= 45e-3 - 1e-9
+
+    def test_part_cap_is_enforced(self, catalog):
+        banks = build_bank_survey(catalog, max_parts=10)
+        for bank in banks:
+            assert bank.part_count <= 10
+
+    def test_series_strings_when_voltage_insufficient(self, catalog):
+        banks = build_bank_survey(catalog, min_bank_voltage=5.0)
+        supercap_like = [b for b in banks if b.max_voltage >= 5.0]
+        assert supercap_like  # series stacking achieved the rating
+
+    def test_rejects_nonpositive_target(self, catalog):
+        with pytest.raises(ValueError):
+            build_bank_survey(catalog, target_capacitance=0.0)
+
+
+class TestFigure3Shape:
+    """The qualitative claims of the paper's Figure 3 must hold."""
+
+    @pytest.fixture(scope="class")
+    def grouped(self):
+        catalog = reference_catalog(parts_per_technology=300, seed=2022)
+        return survey_by_technology(catalog)
+
+    def _smallest(self, banks):
+        return min(banks, key=lambda b: b.volume_mm3)
+
+    def test_supercaps_enable_smallest_bank(self, grouped):
+        supercap = self._smallest(grouped[CapacitorTechnology.SUPERCAPACITOR])
+        for tech in (CapacitorTechnology.CERAMIC,
+                     CapacitorTechnology.TANTALUM,
+                     CapacitorTechnology.ELECTROLYTIC):
+            assert supercap.volume_mm3 < \
+                self._smallest(grouped[tech]).volume_mm3
+
+    def test_supercaps_pay_in_esr(self, grouped):
+        supercap = self._smallest(grouped[CapacitorTechnology.SUPERCAPACITOR])
+        ceramic = self._smallest(grouped[CapacitorTechnology.CERAMIC])
+        assert supercap.esr > 100 * ceramic.esr
+
+    def test_ceramics_need_impractical_part_counts(self, grouped):
+        ceramic = self._smallest(grouped[CapacitorTechnology.CERAMIC])
+        assert ceramic.part_count > 500
+
+    def test_small_tantalum_leaks_milliamps(self, grouped):
+        tantalum = self._smallest(grouped[CapacitorTechnology.TANTALUM])
+        assert tantalum.leakage_current > 1e-3
+
+    def test_supercap_leakage_is_nanoamps(self, grouped):
+        supercap = self._smallest(grouped[CapacitorTechnology.SUPERCAPACITOR])
+        assert supercap.leakage_current < 1e-6
+
+    def test_supercap_part_count_practical(self, grouped):
+        supercap = self._smallest(grouped[CapacitorTechnology.SUPERCAPACITOR])
+        assert supercap.part_count <= 10

@@ -1,0 +1,90 @@
+"""ESR-versus-frequency profiling."""
+
+import pytest
+
+from repro.power.capacitor import IdealCapacitor, TwoBranchSupercap
+from repro.power.esr_profile import (
+    EsrFrequencyCurve,
+    measure_esr_curve,
+    measure_pulse_esr,
+)
+
+
+@pytest.fixture
+def supercap():
+    return TwoBranchSupercap(c_main=0.040, r_esr=4.0, c_redist=0.004,
+                             r_redist=20.0, c_decoupling=100e-6, voltage=2.2)
+
+
+class TestMeasurePulseEsr:
+    def test_ideal_capacitor_measures_its_esr(self):
+        cap = IdealCapacitor(capacitance=0.045, esr=4.0, voltage=2.2)
+        measured = measure_pulse_esr(cap, pulse_width=0.050)
+        assert measured == pytest.approx(4.0, rel=0.02)
+
+    def test_short_pulses_see_less_esr(self, supercap):
+        short = measure_pulse_esr(supercap, pulse_width=0.0005)
+        long = measure_pulse_esr(supercap, pulse_width=0.050)
+        assert short < long
+
+    def test_long_pulse_approaches_parallel_dc_resistance(self, supercap):
+        # 4 ohm || 20 ohm = 3.33 ohm.
+        measured = measure_pulse_esr(supercap, pulse_width=0.200)
+        assert measured == pytest.approx(3.33, rel=0.1)
+
+    def test_nondestructive(self, supercap):
+        v_before = supercap.terminal_voltage
+        measure_pulse_esr(supercap, pulse_width=0.010)
+        assert supercap.terminal_voltage == pytest.approx(v_before)
+
+    def test_validation(self, supercap):
+        with pytest.raises(ValueError):
+            measure_pulse_esr(supercap, pulse_width=0.0)
+        with pytest.raises(ValueError):
+            measure_pulse_esr(supercap, pulse_width=0.01, test_current=0.0)
+
+
+class TestMeasureEsrCurve:
+    def test_curve_is_monotone_for_this_buffer(self, supercap):
+        curve = measure_esr_curve(supercap)
+        assert list(curve.esr_values) == sorted(curve.esr_values)
+
+    def test_unsorted_widths_are_sorted(self, supercap):
+        curve = measure_esr_curve(supercap, pulse_widths=[0.1, 0.001, 0.01])
+        assert list(curve.pulse_widths) == [0.001, 0.01, 0.1]
+
+
+class TestEsrFrequencyCurve:
+    @pytest.fixture
+    def curve(self):
+        return EsrFrequencyCurve(pulse_widths=(0.001, 0.010, 0.100),
+                                 esr_values=(2.0, 3.0, 4.0))
+
+    def test_exact_points(self, curve):
+        assert curve.esr_for_pulse_width(0.010) == pytest.approx(3.0)
+
+    def test_log_interpolation(self, curve):
+        # Geometric midpoint of 1 ms and 10 ms.
+        mid = curve.esr_for_pulse_width(0.00316)
+        assert mid == pytest.approx(2.5, abs=0.01)
+
+    def test_clamps_outside_span(self, curve):
+        assert curve.esr_for_pulse_width(1e-5) == pytest.approx(2.0)
+        assert curve.esr_for_pulse_width(10.0) == pytest.approx(4.0)
+
+    def test_dc_esr(self, curve):
+        assert curve.dc_esr == pytest.approx(4.0)
+
+    def test_rejects_nonpositive_width_query(self, curve):
+        with pytest.raises(ValueError):
+            curve.esr_for_pulse_width(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EsrFrequencyCurve(pulse_widths=(0.01,), esr_values=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            EsrFrequencyCurve(pulse_widths=(), esr_values=())
+        with pytest.raises(ValueError):
+            EsrFrequencyCurve(pulse_widths=(0.01, 0.001), esr_values=(1, 2))
+        with pytest.raises(ValueError):
+            EsrFrequencyCurve(pulse_widths=(0.0, 0.01), esr_values=(1, 2))

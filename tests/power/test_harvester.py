@@ -1,0 +1,61 @@
+"""Harvester models."""
+
+import math
+
+import pytest
+
+from repro.power.harvester import (
+    CallableHarvester,
+    ConstantPowerHarvester,
+    NullHarvester,
+    SolarHarvester,
+)
+
+
+class TestNullHarvester:
+    def test_always_zero(self):
+        h = NullHarvester()
+        assert h.power_at(0.0) == 0.0
+        assert h.power_at(1e6) == 0.0
+
+
+class TestConstantPowerHarvester:
+    def test_constant(self):
+        h = ConstantPowerHarvester(2.4e-3)
+        assert h.power_at(0.0) == pytest.approx(2.4e-3)
+        assert h.power_at(1000.0) == pytest.approx(2.4e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantPowerHarvester(-1e-3)
+
+
+class TestSolarHarvester:
+    def test_peaks_at_quarter_period(self):
+        h = SolarHarvester(peak=10e-3, period=100.0)
+        assert h.power_at(25.0) == pytest.approx(10e-3)
+
+    def test_clips_negative_half_cycle(self):
+        h = SolarHarvester(peak=10e-3, period=100.0)
+        assert h.power_at(75.0) == 0.0
+
+    def test_phase_shift(self):
+        h = SolarHarvester(peak=10e-3, period=100.0, phase=math.pi / 2)
+        assert h.power_at(0.0) == pytest.approx(10e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarHarvester(peak=-1.0)
+        with pytest.raises(ValueError):
+            SolarHarvester(peak=1.0, period=0.0)
+
+
+class TestCallableHarvester:
+    def test_delegates(self):
+        h = CallableHarvester(lambda t: 1e-3 * t)
+        assert h.power_at(2.0) == pytest.approx(2e-3)
+
+    def test_rejects_negative_result(self):
+        h = CallableHarvester(lambda t: -1.0)
+        with pytest.raises(ValueError):
+            h.power_at(0.0)

@@ -1,0 +1,63 @@
+"""Hysteretic voltage monitor."""
+
+import pytest
+
+from repro.power.monitor import VoltageMonitor
+
+
+@pytest.fixture
+def monitor():
+    return VoltageMonitor(v_high=2.56, v_off=1.6)
+
+
+class TestVoltageMonitor:
+    def test_starts_disabled(self, monitor):
+        assert not monitor.output_enabled
+
+    def test_enables_only_at_v_high(self, monitor):
+        monitor.observe(2.0)
+        assert not monitor.output_enabled
+        monitor.observe(2.559)
+        assert not monitor.output_enabled
+        monitor.observe(2.56)
+        assert monitor.output_enabled
+
+    def test_disables_below_v_off(self, monitor):
+        monitor.observe(2.56)
+        monitor.observe(1.6)
+        assert monitor.output_enabled        # exactly at V_off is still on
+        monitor.observe(1.599)
+        assert not monitor.output_enabled
+
+    def test_full_range_hysteresis(self, monitor):
+        """After a brown-out, mid-range voltages must NOT re-enable."""
+        monitor.observe(2.56)
+        monitor.observe(1.5)
+        assert not monitor.output_enabled
+        monitor.observe(2.0)                 # partway recharged
+        assert not monitor.output_enabled
+        monitor.observe(2.56)
+        assert monitor.output_enabled
+
+    def test_force_enabled(self, monitor):
+        monitor.force_enabled(True)
+        assert monitor.output_enabled
+        monitor.force_enabled(False)
+        assert not monitor.output_enabled
+
+    def test_copy_carries_state(self, monitor):
+        monitor.observe(2.56)
+        clone = monitor.copy()
+        assert clone.output_enabled
+        clone.observe(1.0)
+        assert monitor.output_enabled        # original untouched
+
+    def test_range_properties(self, monitor):
+        assert monitor.v_high == 2.56
+        assert monitor.v_off == 1.6
+        assert monitor.range.span == pytest.approx(0.96)
+
+    def test_repr(self, monitor):
+        assert "off" in repr(monitor)
+        monitor.observe(2.56)
+        assert "on" in repr(monitor)

@@ -1,0 +1,129 @@
+"""Reconfigurable energy storage."""
+
+import pytest
+
+from repro.errors import PowerSystemError
+from repro.loads.trace import CurrentTrace
+from repro.power.reconfigurable import ReconfigurableBuffer, capybara_bank_set
+from repro.power.system import capybara_power_system
+from repro.sim.engine import PowerSystemSimulator
+
+
+@pytest.fixture
+def buffer():
+    return ReconfigurableBuffer(capybara_bank_set(),
+                                initial_config=("small",), voltage=2.2)
+
+
+class TestConfiguration:
+    def test_config_id_is_hashable_tag(self, buffer):
+        assert buffer.config_id == frozenset({"small"})
+        {buffer.config_id: "usable as dict key"}
+
+    def test_capacitance_tracks_active_banks(self, buffer):
+        small_c = buffer.total_capacitance
+        buffer.configure(("small", "large"))
+        assert buffer.total_capacitance > 4 * small_c
+
+    def test_esr_drops_with_more_banks(self, buffer):
+        small_esr = buffer.r_esr
+        buffer.configure(("small", "large"))
+        assert buffer.r_esr < small_esr
+
+    def test_switch_resistance_included(self):
+        with_switch = ReconfigurableBuffer(
+            capybara_bank_set(), ("small",), switch_resistance=0.5,
+            voltage=2.2)
+        without = ReconfigurableBuffer(
+            capybara_bank_set(), ("small",), switch_resistance=0.0,
+            voltage=2.2)
+        assert with_switch.r_esr == pytest.approx(without.r_esr + 0.5)
+
+    def test_unknown_bank_rejected(self, buffer):
+        with pytest.raises(PowerSystemError):
+            buffer.configure(("ghost",))
+
+    def test_empty_config_rejected(self, buffer):
+        with pytest.raises(PowerSystemError):
+            buffer.configure(())
+
+    def test_needs_banks(self):
+        with pytest.raises(PowerSystemError):
+            ReconfigurableBuffer({}, initial_config=())
+
+
+class TestChargeConservation:
+    def test_reconnect_redistributes_charge(self, buffer):
+        # Drain the small bank partway, then bring in the full large one.
+        for _ in range(100):
+            buffer.step(0.020, 0.001)  # 2 mC: ~0.26 V off the small bank
+        buffer.settle()
+        v_small = buffer.open_circuit_voltage
+        assert 1.8 < v_small < 2.1
+        buffer.configure(("small", "large"))
+        merged = buffer.open_circuit_voltage
+        # Weighted mean must land between the drained and full voltages.
+        assert v_small < merged < 2.2
+
+    def test_total_energy_conserved_across_reconfigure(self, buffer):
+        for _ in range(100):
+            buffer.step(0.020, 0.001)
+        buffer.settle()
+        e_before = buffer.stored_energy
+        buffer.configure(("small", "large"))
+        # Instant redistribution loses a little energy to the switch
+        # (charge conservation, not energy conservation), never gains.
+        assert buffer.stored_energy <= e_before + 1e-9
+        assert buffer.stored_energy > 0.95 * e_before
+
+    def test_parked_bank_holds_voltage(self, buffer):
+        buffer.configure(("small", "large"))
+        buffer.reset(2.3)
+        buffer.configure(("small",))
+        for _ in range(100):
+            buffer.step(0.020, 0.01)
+        buffer.configure(("large",))
+        # The large bank was parked at 2.3 V while small drained.
+        assert buffer.open_circuit_voltage == pytest.approx(2.3, abs=0.01)
+
+
+class TestEnergyBufferProtocol:
+    def test_drops_into_power_system(self, buffer):
+        system = capybara_power_system()
+        system.buffer = buffer
+        system.rest_at(2.3)
+        sim = PowerSystemSimulator(system)
+        result = sim.run_trace(CurrentTrace.constant(0.010, 0.050),
+                               harvesting=False)
+        assert result.completed
+        assert result.v_min < 2.3
+
+    def test_small_config_droops_more(self):
+        def run(config):
+            system = capybara_power_system()
+            system.buffer = ReconfigurableBuffer(
+                capybara_bank_set(), config, voltage=2.3)
+            system.rest_at(2.3)
+            sim = PowerSystemSimulator(system)
+            return sim.run_trace(CurrentTrace.constant(0.025, 0.020),
+                                 harvesting=False).v_min
+
+        assert run(("small",)) < run(("small", "large"))
+
+    def test_copy_is_independent(self, buffer):
+        clone = buffer.copy()
+        buffer.step(0.050, 0.1)
+        assert clone.open_circuit_voltage == pytest.approx(2.2, abs=1e-6)
+        clone.configure(("small", "large"))
+        assert buffer.config_id == frozenset({"small"})
+
+    def test_repr(self, buffer):
+        assert "small" in repr(buffer)
+
+
+class TestBankSet:
+    def test_capybara_set_shapes(self):
+        banks = capybara_bank_set()
+        assert banks["small"].capacitance == pytest.approx(7.5e-3)
+        assert banks["large"].capacitance == pytest.approx(37.5e-3)
+        assert banks["large"].esr < banks["small"].esr

@@ -1,0 +1,97 @@
+"""Property-based tests on the energy-buffer physics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.capacitor import IdealCapacitor, TwoBranchSupercap
+
+voltages = st.floats(min_value=0.5, max_value=3.0)
+currents = st.floats(min_value=0.0, max_value=0.2)
+small_dts = st.floats(min_value=1e-6, max_value=1e-2)
+
+
+def make_supercap(voltage):
+    return TwoBranchSupercap(c_main=0.040, r_esr=4.0, c_redist=0.004,
+                             r_redist=20.0, c_decoupling=100e-6,
+                             voltage=voltage)
+
+
+class TestIdealCapacitorProperties:
+    @given(v=voltages, i=currents, dt=small_dts)
+    def test_discharge_never_increases_open_circuit_voltage(self, v, i, dt):
+        cap = IdealCapacitor(capacitance=0.045, esr=4.0, voltage=v)
+        cap.step(i, dt)
+        assert cap.open_circuit_voltage <= v + 1e-12
+
+    @given(v=voltages, i=currents)
+    def test_terminal_drop_matches_ohms_law(self, v, i):
+        cap = IdealCapacitor(capacitance=0.045, esr=4.0, voltage=v)
+        cap.step(i, 1e-9)  # negligible charge movement
+        expected = max(0.0, v - i * 4.0)
+        assert math.isclose(cap.terminal_voltage, expected,
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(v=voltages)
+    def test_energy_consistent_with_voltage(self, v):
+        cap = IdealCapacitor(capacitance=0.045, voltage=v)
+        assert math.isclose(cap.stored_energy, 0.5 * 0.045 * v * v,
+                            rel_tol=1e-12)
+
+
+class TestSupercapProperties:
+    @given(v=voltages, i=currents, dt=small_dts)
+    @settings(max_examples=60)
+    def test_terminal_voltage_stays_nonnegative(self, v, i, dt):
+        cap = make_supercap(v)
+        for _ in range(5):
+            assert cap.step(i, dt) >= 0.0
+
+    @given(v=voltages, i=st.floats(min_value=1e-4, max_value=0.2),
+           dt=small_dts)
+    @settings(max_examples=60)
+    def test_loaded_terminal_below_rest(self, v, i, dt):
+        cap = make_supercap(v)
+        cap.step(i, dt)
+        assert cap.terminal_voltage < v
+
+    @given(v=voltages, i=currents, dt=small_dts, steps=st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_energy_never_created(self, v, i, dt, steps):
+        cap = make_supercap(v)
+        e0 = cap.stored_energy
+        for _ in range(steps):
+            cap.step(i, dt)
+        assert cap.stored_energy <= e0 + 1e-12
+
+    @given(v=voltages)
+    def test_settle_preserves_charge(self, v):
+        cap = make_supercap(v)
+        cap.step(0.05, 0.005)
+        q_before = (cap.c_main * cap._v_main + cap.c_redist * cap._v_redist
+                    + cap.c_decoupling * cap._v_term)
+        cap.settle()
+        q_after = (cap.c_main + cap.c_redist + cap.c_decoupling) * \
+            cap.terminal_voltage
+        assert math.isclose(q_before, q_after, rel_tol=1e-9)
+
+    @given(v=voltages, i=st.floats(min_value=1e-3, max_value=0.1))
+    @settings(max_examples=40)
+    def test_rebound_monotone_after_load_removal(self, v, i):
+        cap = make_supercap(v)
+        for _ in range(20):
+            cap.step(i, 1e-3)
+        last = cap.terminal_voltage
+        for _ in range(50):
+            now = cap.step(0.0, 1e-3)
+            assert now >= last - 1e-12
+            last = now
+
+    @given(v=voltages, factor_c=st.floats(0.5, 1.0),
+           factor_r=st.floats(1.0, 3.0))
+    @settings(max_examples=40)
+    def test_aging_preserves_rest_voltage(self, v, factor_c, factor_r):
+        cap = make_supercap(v)
+        aged = cap.aged(factor_c, factor_r)
+        assert math.isclose(aged.open_circuit_voltage, v, rel_tol=1e-9)

@@ -1,0 +1,76 @@
+"""Property-based tests on the simulation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loads.trace import CurrentTrace
+from repro.power.system import capybara_power_system
+from repro.sim.engine import PowerSystemSimulator
+
+start_voltages = st.floats(min_value=1.7, max_value=2.56)
+currents = st.floats(min_value=1e-4, max_value=0.06)
+widths = st.floats(min_value=1e-3, max_value=0.2)
+
+
+def run(v_start, current, width, **kwargs):
+    system = capybara_power_system()
+    system.rest_at(v_start)
+    sim = PowerSystemSimulator(system)
+    trace = CurrentTrace.constant(current, width)
+    return sim.run_trace(trace, harvesting=False, **kwargs), sim
+
+
+class TestEngineProperties:
+    @given(v=start_voltages, i=currents, w=widths)
+    @settings(max_examples=40, deadline=None)
+    def test_vmin_never_exceeds_vstart(self, v, i, w):
+        result, _ = run(v, i, w)
+        assert result.v_min <= result.v_start + 1e-9
+        assert result.v_final <= result.v_start + 1e-9
+
+    @given(v=start_voltages, i=currents, w=widths)
+    @settings(max_examples=40, deadline=None)
+    def test_completed_runs_never_crossed_voff(self, v, i, w):
+        result, _ = run(v, i, w)
+        if result.completed:
+            assert result.v_min >= 1.6 - 1e-9
+        else:
+            assert result.browned_out
+            assert result.brown_out_time is not None
+
+    @given(v=start_voltages, i=currents, w=widths)
+    @settings(max_examples=30, deadline=None)
+    def test_completion_monotone_in_start_voltage(self, v, i, w):
+        low, _ = run(v, i, w)
+        high, _ = run(2.56, i, w)
+        # If it completes from v, it must complete from a full buffer.
+        if low.completed:
+            assert high.completed
+
+    @given(v=start_voltages, i=currents, w=widths)
+    @settings(max_examples=30, deadline=None)
+    def test_buffer_energy_covers_delivered_energy(self, v, i, w):
+        result, sim = run(v, i, w)
+        if result.completed:
+            delivered = CurrentTrace.constant(i, w).energy_at(
+                sim.system.v_out)
+            # Conversion is lossy: the buffer gave at least what the load
+            # received.
+            assert result.energy_from_buffer >= delivered * 0.99
+
+    @given(v=start_voltages, i=currents, w=widths)
+    @settings(max_examples=30, deadline=None)
+    def test_time_advances_exactly_for_completed_runs(self, v, i, w):
+        result, sim = run(v, i, w)
+        if result.completed:
+            assert abs(sim.time - w) < 1e-6
+
+    @given(v=start_voltages, duration=st.floats(0.01, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_idle_without_harvest_holds_charge(self, v, duration):
+        system = capybara_power_system()
+        system.rest_at(v)
+        sim = PowerSystemSimulator(system)
+        sim.idle(duration, harvesting=False)
+        # Only the 20 nA leakage may move the needle.
+        assert abs(system.buffer.terminal_voltage - v) < 1e-3

@@ -1,0 +1,80 @@
+"""Property-based tests on the V_safe charge model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    TaskDemand,
+    energy_only_feasible,
+    sequence_feasible,
+    vsafe_multi,
+    vsafe_multi_additive,
+    vsafe_single,
+)
+
+V_OFF = 1.6
+
+demand_st = st.builds(
+    TaskDemand,
+    energy_v2=st.floats(min_value=0.0, max_value=1.0),
+    v_delta=st.floats(min_value=0.0, max_value=0.5),
+)
+sequence_st = st.lists(demand_st, min_size=0, max_size=6)
+
+
+class TestVsafeProperties:
+    @given(demand=demand_st)
+    def test_single_at_least_v_off_plus_drop(self, demand):
+        v = vsafe_single(demand, V_OFF)
+        assert v >= V_OFF + demand.v_delta - 1e-12
+
+    @given(demands=sequence_st)
+    def test_multi_at_least_v_off(self, demands):
+        assert vsafe_multi(demands, V_OFF) >= V_OFF - 1e-12
+
+    @given(demands=sequence_st)
+    def test_multi_at_least_any_single(self, demands):
+        """A sequence cannot require less than its own first task."""
+        if demands:
+            assert vsafe_multi(demands, V_OFF) >= \
+                vsafe_single(demands[0], V_OFF) - 1e-9
+
+    @given(demands=sequence_st, extra=demand_st)
+    def test_appending_a_task_never_lowers_requirement(self, demands, extra):
+        base = vsafe_multi(demands, V_OFF)
+        assert vsafe_multi(demands + [extra], V_OFF) >= base - 1e-12
+
+    @given(demands=sequence_st)
+    def test_additive_dominates_exact(self, demands):
+        assert vsafe_multi_additive(demands, V_OFF) >= \
+            vsafe_multi(demands, V_OFF) - 1e-9
+
+    @given(demands=sequence_st)
+    def test_energy_covered(self, demands):
+        """Starting at V_safe_multi leaves at least V_off after paying
+        every task's energy in an ideal capacitor."""
+        v = vsafe_multi(demands, V_OFF)
+        total_v2 = sum(d.energy_v2 for d in demands)
+        v_end_sq = v * v - total_v2
+        assert v_end_sq >= V_OFF ** 2 - 1e-9
+
+    @given(demands=sequence_st)
+    @settings(max_examples=60)
+    def test_suffix_invariant(self, demands):
+        """After each task's ideal energy drop, the remaining voltage
+        still satisfies the remaining suffix's requirement."""
+        v = vsafe_multi(demands, V_OFF)
+        for i, demand in enumerate(demands):
+            assert v >= vsafe_multi(demands[i:], V_OFF) - 1e-9
+            v = math.sqrt(max(0.0, v * v - demand.energy_v2))
+
+    @given(demands=sequence_st, v=st.floats(min_value=1.6, max_value=3.0))
+    def test_theorem1_stricter_than_energy_only(self, demands, v):
+        if sequence_feasible(demands, v, V_OFF):
+            assert energy_only_feasible(demands, v, V_OFF)
+
+    @given(demands=sequence_st)
+    def test_deterministic(self, demands):
+        assert vsafe_multi(demands, V_OFF) == vsafe_multi(demands, V_OFF)

@@ -1,0 +1,72 @@
+"""Property-based tests on the CurrentTrace algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loads.trace import CurrentTrace
+
+segment_st = st.tuples(
+    st.floats(min_value=0.0, max_value=0.1),    # current
+    st.floats(min_value=1e-3, max_value=0.5),   # duration
+)
+segments_st = st.lists(segment_st, min_size=1, max_size=10)
+
+
+class TestTraceProperties:
+    @given(segments=segments_st)
+    def test_duration_is_sum_of_inputs(self, segments):
+        trace = CurrentTrace(segments)
+        assert math.isclose(trace.duration,
+                            sum(d for _, d in segments), rel_tol=1e-9)
+
+    @given(segments=segments_st)
+    def test_charge_is_sum_of_products(self, segments):
+        trace = CurrentTrace(segments)
+        assert math.isclose(trace.charge,
+                            sum(c * d for c, d in segments),
+                            rel_tol=1e-9, abs_tol=1e-15)
+
+    @given(segments=segments_st)
+    def test_peak_bounds_mean(self, segments):
+        trace = CurrentTrace(segments)
+        assert trace.mean_current <= trace.peak_current + 1e-15
+
+    @given(a=segments_st, b=segments_st)
+    def test_concat_adds_charge_and_duration(self, a, b):
+        ta, tb = CurrentTrace(a), CurrentTrace(b)
+        combined = ta.concat(tb)
+        assert math.isclose(combined.duration, ta.duration + tb.duration,
+                            rel_tol=1e-9)
+        assert math.isclose(combined.charge, ta.charge + tb.charge,
+                            rel_tol=1e-9, abs_tol=1e-15)
+
+    @given(segments=segments_st,
+           k=st.floats(min_value=0.1, max_value=10.0))
+    def test_current_scaling_scales_charge_linearly(self, segments, k):
+        trace = CurrentTrace(segments)
+        assert math.isclose(trace.scaled(current_factor=k).charge,
+                            k * trace.charge, rel_tol=1e-9, abs_tol=1e-15)
+
+    @given(segments=segments_st)
+    @settings(max_examples=50)
+    def test_sampling_preserves_charge(self, segments):
+        trace = CurrentTrace(segments)
+        rate = max(1000.0, 20.0 / min(d for _, d in trace.segments()))
+        samples = trace.sampled(rate)
+        charge = samples.sum() / rate
+        assert math.isclose(charge, trace.charge,
+                            rel_tol=0.05, abs_tol=1e-9)
+
+    @given(segments=segments_st)
+    def test_largest_pulse_at_most_duration(self, segments):
+        trace = CurrentTrace(segments)
+        assert trace.largest_pulse_width() <= trace.duration + 1e-12
+
+    @given(segments=segments_st)
+    def test_canonical_equality_roundtrip(self, segments):
+        trace = CurrentTrace(segments)
+        rebuilt = CurrentTrace(trace.segments())
+        assert trace == rebuilt
+        assert hash(trace) == hash(rebuilt)

@@ -1,0 +1,102 @@
+"""V_safe estimators: the broken baselines and the Culpeo adapters."""
+
+import pytest
+
+from repro.harness.ground_truth import find_true_vsafe
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.sched.estimators import (
+    CatnapEstimator,
+    CulpeoPgEstimator,
+    CulpeoREstimator,
+    EnergyDirectEstimator,
+    EnergyVEstimator,
+    standard_estimators,
+)
+
+
+class TestEnergyDirect:
+    def test_scales_with_energy(self, system, model):
+        est = EnergyDirectEstimator(model)
+        small = est.estimate(system, uniform_load(0.005, 0.010).trace)
+        large = est.estimate(system, uniform_load(0.005, 0.100).trace)
+        assert large.v_safe > small.v_safe
+
+    def test_no_drop_term(self, system, model):
+        est = EnergyDirectEstimator(model)
+        result = est.estimate(system, uniform_load(0.050, 0.010).trace)
+        assert result.v_delta == 0.0
+        assert result.demand.v_delta == 0.0
+
+    def test_unsafe_for_high_current(self, system, model):
+        est = EnergyDirectEstimator(model)
+        load = uniform_load(0.050, 0.010)
+        truth = find_true_vsafe(system, load.trace)
+        assert est.estimate(system, load.trace).v_safe < truth.v_safe - 0.1
+
+
+class TestEnergyV:
+    def test_tracks_energy_direct(self, system, model):
+        load = uniform_load(0.010, 0.100)
+        ev = EnergyVEstimator(model).estimate(system, load.trace)
+        ed = EnergyDirectEstimator(model).estimate(system, load.trace)
+        # The paper notes Energy-V "closely tracks" direct measurement.
+        assert ev.v_safe == pytest.approx(ed.v_safe, abs=0.05)
+
+    def test_misses_esr_entirely(self, system, model):
+        load = uniform_load(0.050, 0.010)
+        truth = find_true_vsafe(system, load.trace)
+        ev = EnergyVEstimator(model).estimate(system, load.trace)
+        assert ev.v_safe < truth.v_safe - 0.2
+
+
+class TestCatnap:
+    def test_named_variants(self, model):
+        assert CatnapEstimator.measured(model).name == "Catnap-Measured"
+        assert CatnapEstimator.slow(model).name == "Catnap-Slow"
+
+    def test_fast_read_more_conservative_than_slow(self, system, model):
+        # On a uniform load, a prompt read catches pre-rebound voltage.
+        load = uniform_load(0.050, 0.010)
+        fast = CatnapEstimator.measured(model).estimate(system, load.trace)
+        slow = CatnapEstimator.slow(model).estimate(system, load.trace)
+        assert fast.v_safe > slow.v_safe
+
+    def test_compute_tail_hides_the_pulse_drop(self, system, model):
+        # With a 100 ms tail, both reads land long after the pulse
+        # rebounded: they converge and both miss the ESR requirement.
+        load = pulse_with_compute_tail(0.050, 0.010)
+        fast = CatnapEstimator.measured(model).estimate(system, load.trace)
+        slow = CatnapEstimator.slow(model).estimate(system, load.trace)
+        assert fast.v_safe == pytest.approx(slow.v_safe, abs=0.03)
+        truth = find_true_vsafe(system, load.trace)
+        assert fast.v_safe < truth.v_safe - 0.15
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            CatnapEstimator(model, measure_delay=-1.0)
+
+
+class TestCulpeoAdapters:
+    def test_pg_adapter(self, system, model):
+        est = CulpeoPgEstimator(model)
+        result = est.estimate(system, uniform_load(0.010, 0.010).trace)
+        assert result.method == "culpeo-pg"
+        assert est.name == "Culpeo-PG"
+
+    def test_r_adapter_variants(self, system, calculator):
+        isr = CulpeoREstimator(calculator, "isr")
+        uarch = CulpeoREstimator(calculator, "uarch")
+        assert isr.name == "Culpeo-ISR"
+        assert uarch.name == "Culpeo-uArch"
+        load = uniform_load(0.025, 0.010)
+        assert isr.estimate(system, load.trace).v_safe > 1.6
+        assert uarch.estimate(system, load.trace).v_safe > 1.6
+
+    def test_r_adapter_rejects_unknown_variant(self, calculator):
+        with pytest.raises(ValueError):
+            CulpeoREstimator(calculator, "fpga")
+
+    def test_standard_lineup(self, system, model):
+        names = [e.name for e in standard_estimators(system, model)]
+        assert names == ["Catnap-Measured", "Culpeo-PG", "Culpeo-ISR",
+                         "Culpeo-uArch"]

@@ -1,0 +1,31 @@
+"""Chain gate helpers."""
+
+import math
+
+import pytest
+
+from repro.core.model import TaskDemand
+from repro.sched.feasibility import chain_gate_voltage, energy_only_gate
+
+V_OFF = 1.6
+
+
+class TestGates:
+    def test_energy_only_ignores_drops(self):
+        demands = [TaskDemand(0.2, 0.5)]
+        assert energy_only_gate(demands, V_OFF) == \
+            pytest.approx(math.sqrt(V_OFF ** 2 + 0.2))
+
+    def test_chain_gate_includes_drops(self):
+        demands = [TaskDemand(0.2, 0.5)]
+        assert chain_gate_voltage(demands, V_OFF) > \
+            energy_only_gate(demands, V_OFF)
+
+    def test_gates_equal_without_drops(self):
+        demands = [TaskDemand(0.2, 0.0), TaskDemand(0.1, 0.0)]
+        assert chain_gate_voltage(demands, V_OFF) == \
+            pytest.approx(energy_only_gate(demands, V_OFF))
+
+    def test_empty_chain(self):
+        assert chain_gate_voltage([], V_OFF) == pytest.approx(V_OFF)
+        assert energy_only_gate([], V_OFF) == pytest.approx(V_OFF)

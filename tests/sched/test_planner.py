@@ -1,0 +1,143 @@
+"""Feasibility planner: plans, verdicts, and execution against reality."""
+
+import pytest
+
+from repro.core.model import TaskDemand
+from repro.errors import ScheduleError
+from repro.loads.peripherals import ble_listen, ble_radio
+from repro.loads.trace import CurrentTrace
+from repro.power.system import capybara_power_system
+from repro.sched.estimators import CatnapEstimator, standard_estimators
+from repro.sched.planner import (
+    FeasibilityPlanner,
+    PeriodicTask,
+    simulate_plan,
+)
+
+CHARGE_POWER = 4e-3
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """The Figure 5 cast: a cheap periodic sense and a hungry radio."""
+    system = capybara_power_system()
+    model = system.characterize()
+    sense_trace = CurrentTrace.constant(0.003, 0.400)
+    radio_trace = ble_radio().trace.concat(ble_listen(2.0).trace)
+
+    catnap = CatnapEstimator.measured(model)
+    culpeo = standard_estimators(system, model)[2]  # Culpeo-R-ISR
+
+    def task(name, trace, period, estimator):
+        return PeriodicTask(name=name, trace=trace, period=period,
+                            demand=estimator.estimate(system, trace).demand)
+
+    planner = FeasibilityPlanner(
+        capacitance=model.capacitance, charge_power=CHARGE_POWER,
+        v_off=model.v_off, v_high=model.v_high)
+    return dict(system=system, planner=planner,
+                catnap_tasks=[task("sense", sense_trace, 3.0, catnap),
+                              task("radio", radio_trace, 6.5, catnap)],
+                culpeo_tasks=[task("sense", sense_trace, 3.0, culpeo),
+                              task("radio", radio_trace, 6.5, culpeo)])
+
+
+class TestPlanConstruction:
+    def test_plan_covers_all_releases(self, scenario):
+        plan = scenario["planner"].plan(scenario["catnap_tasks"], 13.0,
+                                        esr_aware=False)
+        assert plan.feasible
+        names = [job.task for job in plan.jobs]
+        assert names.count("sense") == 5   # releases at 0,3,6,9,12
+        assert names.count("radio") == 2   # releases at 0,6.5
+
+    def test_jobs_start_after_release(self, scenario):
+        plan = scenario["planner"].plan(scenario["catnap_tasks"], 13.0,
+                                        esr_aware=False)
+        for job in plan.jobs:
+            assert job.start >= job.release - 1e-9
+            assert job.start <= job.deadline
+
+    def test_esr_aware_plans_more_recharge(self, scenario):
+        energy_plan = scenario["planner"].plan(
+            scenario["catnap_tasks"], 13.0, esr_aware=False,
+            v_start=1.75)
+        culpeo_plan = scenario["planner"].plan(
+            scenario["culpeo_tasks"], 13.0, esr_aware=True,
+            v_start=1.75)
+        assert culpeo_plan.total_recharge_time >= \
+            energy_plan.total_recharge_time
+
+    def test_impossible_rate_is_rejected(self, scenario):
+        greedy = PeriodicTask(
+            name="greedy", trace=CurrentTrace.constant(0.010, 0.5),
+            demand=TaskDemand(energy_v2=3.0, v_delta=0.0), period=1.0)
+        plan = scenario["planner"].plan([greedy], 5.0, esr_aware=False)
+        assert not plan.feasible
+        assert "greedy" in plan.rejection
+
+    def test_render(self, scenario):
+        plan = scenario["planner"].plan(scenario["catnap_tasks"], 13.0,
+                                        esr_aware=False)
+        assert "energy-only" in plan.render()
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            scenario["planner"].plan(scenario["catnap_tasks"], 0.0,
+                                     esr_aware=False)
+        with pytest.raises(ValueError):
+            FeasibilityPlanner(capacitance=0.0, charge_power=1e-3,
+                               v_off=1.6, v_high=2.56)
+        with pytest.raises(ValueError):
+            PeriodicTask(name="x", trace=CurrentTrace.constant(0.01, 2.0),
+                         demand=TaskDemand(0.1, 0.0), period=1.0)
+
+
+class TestPlanAgainstReality:
+    """The Figure 5 punchline, at planner scale."""
+
+    def test_energy_only_plan_is_admitted_then_dies(self, scenario):
+        """A slow energy deficit drains the buffer toward CatNap's gate;
+        its planner still calls the schedule feasible, but executing the
+        timetable browns out on the radio — while the Theorem 1 plan at
+        the same rate and power completes every job (Figure 5)."""
+        weak = FeasibilityPlanner(
+            capacitance=scenario["planner"].capacitance,
+            charge_power=2.0e-3,
+            v_off=scenario["planner"].v_off,
+            v_high=scenario["planner"].v_high)
+        plan = weak.plan(scenario["catnap_tasks"], 45.0,
+                         esr_aware=False, v_start=1.70)
+        assert plan.feasible
+        execution = simulate_plan(plan, scenario["catnap_tasks"],
+                                  scenario["system"], 2.0e-3,
+                                  v_start=1.70)
+        assert execution.browned_out
+        assert execution.failed_job == "radio"
+        # The Theorem 1 plan holds every radio launch at its composed
+        # V_safe and survives the identical conditions.
+        honest = weak.plan(scenario["culpeo_tasks"], 45.0,
+                           esr_aware=True, v_start=1.70)
+        assert honest.feasible
+        honest_exec = simulate_plan(honest, scenario["culpeo_tasks"],
+                                    scenario["system"], 2.0e-3,
+                                    v_start=1.70)
+        assert honest_exec.all_completed
+
+    def test_theorem1_plan_survives_execution(self, scenario):
+        plan = scenario["planner"].plan(scenario["culpeo_tasks"], 13.0,
+                                        esr_aware=True, v_start=1.75)
+        assert plan.feasible
+        execution = simulate_plan(plan, scenario["culpeo_tasks"],
+                                  scenario["system"], CHARGE_POWER,
+                                  v_start=1.75)
+        assert execution.all_completed
+        assert execution.completed_jobs == len(plan.jobs)
+
+    def test_infeasible_plan_refuses_execution(self, scenario):
+        greedy = PeriodicTask(
+            name="greedy", trace=CurrentTrace.constant(0.010, 0.5),
+            demand=TaskDemand(energy_v2=3.0, v_delta=0.0), period=1.0)
+        plan = scenario["planner"].plan([greedy], 5.0, esr_aware=False)
+        with pytest.raises(ScheduleError):
+            simulate_plan(plan, [greedy], scenario["system"], CHARGE_POWER)

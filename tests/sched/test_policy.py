@@ -1,0 +1,76 @@
+"""Scheduler policies: gates and background thresholds."""
+
+import pytest
+
+from repro.loads.peripherals import ble_listen, ble_radio, light_sampling_loop
+from repro.loads.trace import CurrentTrace
+from repro.sched.estimators import CatnapEstimator, CulpeoREstimator
+from repro.sched.policy import CatnapPolicy, CulpeoPolicy
+from repro.sched.task import Priority, Task, TaskChain
+
+
+@pytest.fixture
+def chains():
+    sense = Task("sense", CurrentTrace.constant(0.003, 0.3))
+    send = Task("send",
+                ble_radio().trace.concat(ble_listen(0.5).trace))
+    return [TaskChain("report", [sense, send], deadline=3.0)]
+
+
+@pytest.fixture
+def background():
+    return Task("light", light_sampling_loop().trace, Priority.LOW)
+
+
+@pytest.fixture
+def catnap_policy(system, model, chains, background):
+    return CatnapPolicy.build(system, CatnapEstimator.measured(model),
+                              chains, [background])
+
+
+@pytest.fixture
+def culpeo_policy(system, calculator, chains, background):
+    return CulpeoPolicy.build(system, CulpeoREstimator(calculator, "isr"),
+                              chains, [background])
+
+
+class TestPolicyBuild:
+    def test_every_task_estimated(self, catnap_policy):
+        for name in ("sense", "send", "light"):
+            assert name in catnap_policy.estimates
+
+    def test_gates_compiled_per_suffix(self, catnap_policy):
+        g0 = catnap_policy.gate("report", 0)
+        g1 = catnap_policy.gate("report", 1)
+        assert g0 > g1 > catnap_policy.v_off
+
+    def test_unknown_gate_raises(self, catnap_policy):
+        with pytest.raises(KeyError):
+            catnap_policy.gate("ghost", 0)
+        with pytest.raises(KeyError):
+            catnap_policy.gate("report", 9)
+
+    def test_unknown_demand_raises(self, catnap_policy):
+        with pytest.raises(KeyError):
+            catnap_policy.demand("ghost")
+
+
+class TestEsrAwareness:
+    def test_culpeo_gates_exceed_catnap(self, catnap_policy, culpeo_policy):
+        assert culpeo_policy.gate("report", 0) > \
+            catnap_policy.gate("report", 0)
+
+    def test_culpeo_background_threshold_reserves_more(
+            self, catnap_policy, culpeo_policy):
+        assert culpeo_policy.background_threshold > \
+            catnap_policy.background_threshold
+
+    def test_background_threshold_covers_worst_chain(self, culpeo_policy):
+        assert culpeo_policy.background_threshold >= \
+            culpeo_policy.gate("report", 0)
+
+    def test_gates_capped_at_v_high(self, culpeo_policy):
+        assert culpeo_policy.gate("report", 0) <= culpeo_policy.v_high
+
+    def test_task_vsafe_accessor(self, culpeo_policy):
+        assert culpeo_policy.task_vsafe("send") > culpeo_policy.v_off

@@ -1,0 +1,209 @@
+"""The event-driven intermittent scheduler."""
+
+import pytest
+
+from repro.loads.trace import CurrentTrace
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.system import capybara_power_system
+from repro.sched.estimators import CatnapEstimator, CulpeoREstimator
+from repro.sched.policy import CatnapPolicy, CulpeoPolicy
+from repro.sched.scheduler import (
+    EventOutcome,
+    IntermittentScheduler,
+    ScheduleResult,
+)
+from repro.sched.task import Priority, Task, TaskChain
+from repro.sim.engine import PowerSystemSimulator
+
+
+def powered_system(harvest=3e-3):
+    system = capybara_power_system(
+        harvester=ConstantPowerHarvester(harvest))
+    system.rest_at(system.monitor.v_high)
+    return system
+
+
+def easy_chain(deadline=5.0):
+    task = Task("blink", CurrentTrace.constant(0.002, 0.010))
+    return TaskChain("easy", [task], deadline=deadline)
+
+
+def heavy_chain(deadline=5.0):
+    task = Task("burst", CurrentTrace.constant(0.050, 0.100))
+    return TaskChain("heavy", [task], deadline=deadline)
+
+
+def build_sched(system, chains, kind="culpeo", background=None):
+    model = system.characterize()
+    bg = [background] if background else []
+    if kind == "culpeo":
+        from repro.core.runtime import CulpeoRCalculator
+        calc = CulpeoRCalculator(efficiency=model.efficiency,
+                                 v_off=model.v_off, v_high=model.v_high)
+        policy = CulpeoPolicy.build(system, CulpeoREstimator(calc, "isr"),
+                                    chains, bg)
+    else:
+        policy = CatnapPolicy.build(system, CatnapEstimator.measured(model),
+                                    chains, bg)
+    engine = PowerSystemSimulator(system)
+    return IntermittentScheduler(engine, policy, background=background)
+
+
+class TestBasicOperation:
+    def test_captures_easy_periodic_events(self):
+        system = powered_system()
+        chain = easy_chain()
+        sched = build_sched(system, [chain])
+        arrivals = [(t, chain) for t in (1.0, 3.0, 5.0)]
+        result = sched.run(arrivals, duration=10.0)
+        assert result.capture_fraction() == 1.0
+        assert result.brownout_count == 0
+
+    def test_events_after_duration_ignored(self):
+        system = powered_system()
+        chain = easy_chain()
+        sched = build_sched(system, [chain])
+        result = sched.run([(1.0, chain), (99.0, chain)], duration=10.0)
+        assert len(result.events) == 1
+
+    def test_empty_arrivals(self):
+        system = powered_system()
+        sched = build_sched(system, [easy_chain()])
+        result = sched.run([], duration=2.0)
+        assert result.capture_fraction() == 1.0
+        assert result.events == []
+
+    def test_duration_validation(self):
+        system = powered_system()
+        sched = build_sched(system, [easy_chain()])
+        with pytest.raises(ValueError):
+            sched.run([], duration=0.0)
+
+
+class TestGating:
+    def test_waits_for_charge_before_heavy_task(self):
+        system = powered_system(harvest=5e-3)
+        system.rest_at(1.75)  # below the heavy chain's gate
+        chain = heavy_chain(deadline=60.0)
+        sched = build_sched(system, [chain])
+        result = sched.run([(0.5, chain)], duration=90.0)
+        assert result.capture_fraction() == 1.0
+        event = result.events[0]
+        # Completion must come after a recharge wait, not instantly.
+        assert event.completion_time > 1.0
+
+    def test_deadline_expires_while_waiting(self):
+        system = powered_system(harvest=1e-4)  # nearly no power
+        system.rest_at(1.75)
+        chain = heavy_chain(deadline=2.0)
+        sched = build_sched(system, [chain])
+        result = sched.run([(0.5, chain)], duration=20.0)
+        assert result.capture_fraction() == 0.0
+        assert result.events[0].outcome is \
+            EventOutcome.LOST_DEADLINE_WAITING
+
+
+class TestBrownout:
+    def test_energy_only_policy_browns_out_on_heavy_chain(self):
+        system = powered_system(harvest=3e-3)
+        chain = heavy_chain(deadline=30.0)
+        sched = build_sched(system, [chain], kind="catnap")
+        # Drain near the (too-low) catnap gate first, then the event hits.
+        sched.engine.system.rest_at(sched.policy.gate("heavy", 0) + 0.01)
+        result = sched.run([(0.1, chain)], duration=30.0)
+        assert result.brownout_count >= 1
+        assert result.events[0].outcome is EventOutcome.LOST_BROWNOUT
+
+    def test_device_off_window_expires_events(self):
+        system = powered_system(harvest=2e-3)
+        chain = heavy_chain(deadline=3.0)
+        sched = build_sched(system, [chain], kind="catnap")
+        sched.engine.system.rest_at(sched.policy.gate("heavy", 0) + 0.01)
+        # First event browns out; the recharge to V_high takes ~40 s, so
+        # the second event expires while the device is off.
+        result = sched.run([(0.1, chain), (5.0, chain)], duration=60.0)
+        outcomes = [e.outcome for e in result.events]
+        assert outcomes[0] is EventOutcome.LOST_BROWNOUT
+        assert outcomes[1] in (EventOutcome.LOST_DEVICE_OFF,
+                               EventOutcome.LOST_DEADLINE_WAITING)
+        assert result.time_off > 1.0
+
+
+class TestBackground:
+    def test_background_runs_only_above_threshold(self):
+        system = powered_system(harvest=2e-3)
+        chain = easy_chain()
+        background = Task("bg", CurrentTrace.constant(0.0025, 0.050),
+                          Priority.LOW)
+        sched = build_sched(system, [chain], background=background)
+        result = sched.run([], duration=20.0)
+        assert result.background_time > 0
+        # Voltage must not have been dragged below the reserve threshold
+        # by more than one slice's worth of drain.
+        assert sched.engine.system.buffer.terminal_voltage >= \
+            sched.policy.background_threshold - 0.05
+
+    def test_no_background_configured(self):
+        system = powered_system()
+        sched = build_sched(system, [easy_chain()])
+        result = sched.run([], duration=5.0)
+        assert result.background_time == 0.0
+
+
+class TestScheduleResult:
+    def test_capture_fraction_by_chain(self):
+        result = ScheduleResult(policy_name="x", duration=10.0)
+        from repro.sched.scheduler import EventRecord
+        result.events = [
+            EventRecord("a", 0.0, 1.0, EventOutcome.CAPTURED),
+            EventRecord("a", 2.0, 3.0, EventOutcome.LOST_BROWNOUT),
+            EventRecord("b", 0.0, 1.0, EventOutcome.CAPTURED),
+        ]
+        assert result.capture_fraction("a") == pytest.approx(0.5)
+        assert result.capture_fraction("b") == pytest.approx(1.0)
+        assert result.capture_fraction() == pytest.approx(2 / 3)
+
+    def test_losses_by_reason(self):
+        result = ScheduleResult(policy_name="x", duration=10.0)
+        from repro.sched.scheduler import EventRecord
+        result.events = [
+            EventRecord("a", 0.0, 1.0, EventOutcome.LOST_BROWNOUT),
+            EventRecord("a", 2.0, 3.0, EventOutcome.LOST_BROWNOUT),
+            EventRecord("a", 4.0, 5.0, EventOutcome.CAPTURED),
+        ]
+        reasons = result.losses_by_reason()
+        assert reasons[EventOutcome.LOST_BROWNOUT] == 2
+
+    def _latency_result(self):
+        from repro.sched.scheduler import EventRecord
+        result = ScheduleResult(policy_name="x", duration=10.0)
+        result.events = [
+            EventRecord("a", 0.0, 9.0, EventOutcome.CAPTURED,
+                        completion_time=0.5),
+            EventRecord("a", 2.0, 9.0, EventOutcome.CAPTURED,
+                        completion_time=4.0),
+            EventRecord("b", 3.0, 9.0, EventOutcome.CAPTURED,
+                        completion_time=3.1),
+            EventRecord("a", 5.0, 6.0, EventOutcome.LOST_BROWNOUT),
+        ]
+        return result
+
+    def test_response_times(self):
+        result = self._latency_result()
+        assert sorted(result.response_times()) == \
+            pytest.approx([0.1, 0.5, 2.0])
+        assert result.response_times("b") == pytest.approx([0.1])
+
+    def test_response_percentile(self):
+        result = self._latency_result()
+        assert result.response_percentile(0) == pytest.approx(0.1)
+        assert result.response_percentile(100) == pytest.approx(2.0)
+        assert result.response_percentile(50) == pytest.approx(0.5)
+
+    def test_response_percentile_validation(self):
+        result = self._latency_result()
+        with pytest.raises(ValueError):
+            result.response_percentile(101)
+        empty = ScheduleResult(policy_name="x", duration=1.0)
+        with pytest.raises(ValueError):
+            empty.response_percentile(50)

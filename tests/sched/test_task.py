@@ -1,0 +1,56 @@
+"""Task and TaskChain models."""
+
+import pytest
+
+from repro.loads.trace import CurrentTrace
+from repro.sched.task import Priority, Task, TaskChain
+
+
+def make_task(name="t", current=0.01, duration=0.01,
+              priority=Priority.HIGH):
+    return Task(name, CurrentTrace.constant(current, duration), priority)
+
+
+class TestTask:
+    def test_duration_from_trace(self):
+        assert make_task(duration=0.25).duration == pytest.approx(0.25)
+
+    def test_default_priority_high(self):
+        task = Task("x", CurrentTrace.constant(0.01, 0.01))
+        assert task.priority is Priority.HIGH
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Task("", CurrentTrace.constant(0.01, 0.01))
+
+    def test_str(self):
+        assert str(make_task("radio")) == "radio"
+
+
+class TestTaskChain:
+    def test_total_duration(self):
+        chain = TaskChain("c", [make_task("a", duration=0.1),
+                                make_task("b", duration=0.2)],
+                          deadline=1.0)
+        assert chain.total_duration == pytest.approx(0.3)
+
+    def test_task_names(self):
+        chain = TaskChain("c", [make_task("a"), make_task("b")],
+                          deadline=1.0)
+        assert chain.task_names() == ["a", "b"]
+
+    def test_tasks_frozen_as_tuple(self):
+        tasks = [make_task("a")]
+        chain = TaskChain("c", tasks, deadline=1.0)
+        tasks.append(make_task("b"))
+        assert len(chain.tasks) == 1
+
+    def test_default_deadline_infinite(self):
+        chain = TaskChain("c", [make_task()])
+        assert chain.deadline == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskChain("c", [], deadline=1.0)
+        with pytest.raises(ValueError):
+            TaskChain("c", [make_task()], deadline=0.0)

@@ -1,0 +1,102 @@
+"""ADC and sampling-observer models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.adc import Adc, SamplingObserver
+
+
+class TestAdc:
+    def test_lsb_sizes(self):
+        assert Adc(bits=8, v_ref=2.56).lsb == pytest.approx(0.010)
+        assert Adc(bits=12, v_ref=2.56).lsb == pytest.approx(0.000625)
+
+    def test_convert_floors_into_bin(self):
+        adc = Adc(bits=8, v_ref=2.56)
+        assert adc.convert(2.005) == 200
+        assert adc.code_to_voltage(200) == pytest.approx(2.000)
+
+    def test_measure_error_bounded_by_lsb(self):
+        adc = Adc(bits=8, v_ref=2.56)
+        for v in np.linspace(0.0, 2.55, 50):
+            measured = adc.measure(v)
+            assert 0.0 <= v - measured < adc.lsb + 1e-12
+
+    def test_clamps_out_of_range(self):
+        adc = Adc(bits=8, v_ref=2.56)
+        assert adc.convert(-1.0) == 0
+        assert adc.convert(5.0) == 255
+
+    def test_noise_is_seeded(self):
+        a = Adc(bits=12, noise_sigma=0.002,
+                rng=np.random.default_rng(1))
+        b = Adc(bits=12, noise_sigma=0.002,
+                rng=np.random.default_rng(1))
+        assert [a.convert(2.0) for _ in range(5)] == \
+            [b.convert(2.0) for _ in range(5)]
+
+    def test_code_to_voltage_validation(self):
+        adc = Adc(bits=8)
+        with pytest.raises(ValueError):
+            adc.code_to_voltage(256)
+        with pytest.raises(ValueError):
+            adc.code_to_voltage(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(bits=0), dict(bits=25), dict(bits=8, v_ref=0.0),
+        dict(bits=8, noise_sigma=-0.1),
+    ])
+    def test_construction_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Adc(**kwargs)
+
+
+class TestSamplingObserver:
+    @pytest.fixture
+    def sampler(self):
+        return SamplingObserver(Adc(bits=12), sample_period=0.001,
+                                burden_current=72e-6)
+
+    def test_disabled_by_default(self, sampler):
+        assert not sampler.enabled
+        assert sampler.next_event_time() is None
+        assert sampler.burden_current == 0.0
+
+    def test_burden_only_while_enabled(self, sampler):
+        sampler.enable(0.0)
+        assert sampler.burden_current == pytest.approx(72e-6)
+        sampler.disable()
+        assert sampler.burden_current == 0.0
+
+    def test_tracks_min_max_first_last(self, sampler):
+        sampler.enable(0.0)
+        for t, v in [(0.0, 2.5), (0.001, 2.3), (0.002, 2.1), (0.003, 2.4)]:
+            sampler.on_sample(t, v)
+        assert sampler.v_first == pytest.approx(2.5, abs=0.001)
+        assert sampler.v_last == pytest.approx(2.4, abs=0.001)
+        assert sampler.v_min == pytest.approx(2.1, abs=0.001)
+        assert sampler.v_max == pytest.approx(2.5, abs=0.001)
+        assert sampler.sample_count == 4
+
+    def test_schedule_advances(self, sampler):
+        sampler.enable(0.0)
+        sampler.on_sample(0.0, 2.0)
+        assert sampler.next_event_time() == pytest.approx(0.001)
+
+    def test_reset_clears_stats(self, sampler):
+        sampler.enable(0.0)
+        sampler.on_sample(0.0, 2.0)
+        sampler.reset()
+        assert sampler.v_min is None
+        assert sampler.sample_count == 0
+
+    def test_ignores_samples_when_disabled(self, sampler):
+        sampler.on_sample(0.0, 2.0)
+        assert sampler.sample_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingObserver(Adc(bits=8), sample_period=0.0)
+        with pytest.raises(ValueError):
+            SamplingObserver(Adc(bits=8), sample_period=0.001,
+                             burden_current=-1e-6)

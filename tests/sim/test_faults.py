@@ -1,0 +1,101 @@
+"""Fault injection: faulty ADCs and supply glitches."""
+
+import numpy as np
+import pytest
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.loads.synthetic import uniform_load
+from repro.loads.trace import CurrentTrace
+from repro.sim.adc import SamplingObserver
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.faults import FaultyAdc, SupplyGlitch
+
+
+class TestFaultyAdc:
+    def test_healthy_until_stuck_threshold(self):
+        adc = FaultyAdc(bits=12, stuck_code=100, stuck_after=2)
+        first = adc.convert(2.0)
+        second = adc.convert(2.0)
+        assert first == second != 100
+        assert adc.convert(2.0) == 100
+        assert adc.convert(1.5) == 100
+
+    def test_dropout_is_seeded(self):
+        a = FaultyAdc(bits=12, dropout_rate=0.5,
+                      rng=np.random.default_rng(4))
+        b = FaultyAdc(bits=12, dropout_rate=0.5,
+                      rng=np.random.default_rng(4))
+        assert [a.convert(2.0) for _ in range(20)] == \
+            [b.convert(2.0) for _ in range(20)]
+
+    def test_dropout_produces_zeros(self):
+        adc = FaultyAdc(bits=12, dropout_rate=1.0)
+        assert adc.convert(2.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultyAdc(bits=8, stuck_code=300)
+        with pytest.raises(ValueError):
+            FaultyAdc(bits=8, dropout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultyAdc(bits=8, stuck_after=-1)
+
+
+class TestAdcFaultsFailSafe:
+    """Garbage readings must push V_safe toward conservative, or at least
+    keep it bounded — never crash the runtime."""
+
+    def _profile_with_adc(self, system, calculator, adc):
+        runtime = CulpeoIsrRuntime(PowerSystemSimulator(system), calculator)
+        runtime._adc = adc
+        runtime._sampler = SamplingObserver(adc, runtime.sample_period,
+                                            burden_current=72e-6)
+        runtime.engine.observers = [runtime._sampler]
+        runtime.profile_task(uniform_load(0.025, 0.010).trace, "t",
+                             harvesting=False)
+        return runtime.get_vsafe("t")
+
+    def test_dropout_reads_fail_safe_to_v_high(self, system, calculator):
+        # Readings of 0 V while software runs are physically impossible;
+        # the runtime discards the corrupt profile and queries fall back
+        # to the safe default (wait for a full buffer).
+        adc = FaultyAdc(bits=12, dropout_rate=1.0)
+        v_safe = self._profile_with_adc(system, calculator, adc)
+        assert v_safe == pytest.approx(calculator.v_high)
+
+    def test_occasional_dropout_also_discarded(self, system, calculator):
+        # Even one dropped sample poisons V_min; the plausibility check
+        # catches it.
+        adc = FaultyAdc(bits=12, dropout_rate=0.2)
+        v_safe = self._profile_with_adc(system, calculator, adc)
+        assert v_safe == pytest.approx(calculator.v_high)
+
+    def test_stuck_adc_keeps_estimate_bounded(self, system, calculator):
+        adc = FaultyAdc(bits=12, stuck_code=3500, stuck_after=1)
+        v_safe = self._profile_with_adc(system, calculator, adc)
+        assert calculator.v_off <= v_safe <= calculator.v_high
+
+
+class TestSupplyGlitch:
+    def test_glitch_kills_device_mid_run(self, system):
+        glitch = SupplyGlitch(system.monitor, [0.020])
+        engine = PowerSystemSimulator(system, observers=[glitch])
+        result = engine.run_trace(CurrentTrace.constant(0.002, 0.100),
+                                  harvesting=False)
+        # The monitor went down at 20 ms; the engine stops driving load
+        # (booster off) and the run reports the glitch time.
+        assert glitch.fired == [pytest.approx(0.020)]
+        assert not system.monitor.output_enabled
+        assert result.completed  # voltage never crossed V_off...
+        assert result.v_min > 1.6
+
+    def test_multiple_glitches_fire_in_order(self, system):
+        glitch = SupplyGlitch(system.monitor, [0.050, 0.010, 0.030])
+        engine = PowerSystemSimulator(system, observers=[glitch])
+        engine.idle(0.100, harvesting=False)
+        assert glitch.fired == [pytest.approx(0.010), pytest.approx(0.030),
+                                pytest.approx(0.050)]
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            SupplyGlitch(system.monitor, [-1.0])

@@ -1,0 +1,33 @@
+"""MCU power model."""
+
+import pytest
+
+from repro.sim.mcu import McuModel, msp430fr5994
+
+
+class TestMsp430:
+    def test_adc_power_matches_paper(self):
+        mcu = msp430fr5994()
+        # The paper quotes ~180 uW for the on-chip ADC.
+        assert mcu.adc_power == pytest.approx(180e-6, rel=0.05)
+
+    def test_adc_fraction_near_paper_figure(self):
+        mcu = msp430fr5994()
+        # Paper: ISR sampling costs ~4.2% of total MCU power.
+        assert mcu.adc_fraction_of_active() == pytest.approx(0.042, abs=0.01)
+
+    def test_sleep_far_below_active(self):
+        mcu = msp430fr5994()
+        assert mcu.sleep_current < mcu.active_current / 100
+
+
+class TestMcuModel:
+    def test_zero_active_fraction(self):
+        mcu = McuModel(name="x", active_current=0.0, sleep_current=0.0,
+                       adc_current=0.0)
+        assert mcu.adc_fraction_of_active() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            McuModel(name="x", active_current=-1.0, sleep_current=0.0,
+                     adc_current=0.0)

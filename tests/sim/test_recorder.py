@@ -1,0 +1,46 @@
+"""TraceRecorder observer."""
+
+import pytest
+
+from repro.loads.trace import CurrentTrace
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.recorder import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_at_period(self, system):
+        recorder = TraceRecorder(sample_period=0.010)
+        recorder.start(0.0)
+        engine = PowerSystemSimulator(system, observers=[recorder])
+        engine.run_trace(CurrentTrace.constant(0.005, 0.100),
+                         harvesting=False)
+        assert len(recorder) == pytest.approx(11, abs=1)
+        times, volts = recorder.as_arrays()
+        assert len(times) == len(volts)
+        assert (volts > 0).all()
+
+    def test_stop_freezes(self, system):
+        recorder = TraceRecorder(sample_period=0.010)
+        recorder.start(0.0)
+        engine = PowerSystemSimulator(system, observers=[recorder])
+        engine.run_trace(CurrentTrace.constant(0.005, 0.050),
+                         harvesting=False)
+        n = len(recorder)
+        recorder.stop()
+        engine.run_trace(CurrentTrace.constant(0.005, 0.050),
+                         harvesting=False)
+        assert len(recorder) == n
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.start(0.0)
+        recorder.on_sample(0.0, 2.0)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_no_burden(self):
+        assert TraceRecorder().burden_current == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_period=0.0)

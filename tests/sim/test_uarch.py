@@ -1,0 +1,106 @@
+"""The Culpeo µArch peripheral block (Table II command interface)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.sim.uarch import CaptureMode, CulpeoUArchBlock
+
+
+@pytest.fixture
+def block():
+    return CulpeoUArchBlock()
+
+
+class TestCommandInterface:
+    def test_disabled_block_rejects_commands(self, block):
+        with pytest.raises(ProfileError):
+            block.prepare(CaptureMode.MIN)
+        with pytest.raises(ProfileError):
+            block.sample(CaptureMode.MIN)
+        with pytest.raises(ProfileError):
+            block.read()
+
+    def test_sample_requires_matching_prepare(self, block):
+        block.configure(True, 0.0)
+        with pytest.raises(ProfileError):
+            block.sample(CaptureMode.MIN)
+        block.prepare(CaptureMode.MIN)
+        with pytest.raises(ProfileError):
+            block.sample(CaptureMode.MAX)
+
+    def test_prepare_preloads_register(self, block):
+        block.configure(True, 0.0)
+        block.prepare(CaptureMode.MIN)
+        block.sample(CaptureMode.MIN)
+        assert block.read() == 0xFF
+        block.prepare(CaptureMode.MAX)
+        block.sample(CaptureMode.MAX)
+        assert block.read() == 0x00
+
+    def test_live_read_before_sampling(self, block):
+        block.configure(True, 0.0)
+        block.on_sample(0.0, 2.0)
+        assert block.read_voltage() == pytest.approx(2.0, abs=0.011)
+
+    def test_configure_off_stops_sampling(self, block):
+        block.configure(True, 0.0)
+        # First clocked conversion lands half a clock period in.
+        assert block.next_event_time() == pytest.approx(0.5e-5)
+        block.configure(False)
+        assert block.next_event_time() is None
+
+    def test_convert_now_keeps_clock_phase(self, block):
+        block.configure(True, 0.0)
+        scheduled = block.next_event_time()
+        block.convert_now(0.0, 2.0)
+        assert block.next_event_time() == pytest.approx(scheduled)
+        assert block.read_voltage() == pytest.approx(2.0, abs=0.011)
+
+
+class TestMinMaxCapture:
+    def test_min_capture(self, block):
+        block.configure(True, 0.0)
+        block.prepare(CaptureMode.MIN)
+        block.sample(CaptureMode.MIN)
+        for i, v in enumerate([2.5, 2.1, 1.9, 2.3]):
+            block.on_sample(i * 1e-5, v)
+        assert block.read_voltage() == pytest.approx(1.9, abs=0.011)
+
+    def test_max_capture(self, block):
+        block.configure(True, 0.0)
+        block.prepare(CaptureMode.MAX)
+        block.sample(CaptureMode.MAX)
+        for i, v in enumerate([1.9, 2.2, 2.4, 2.0]):
+            block.on_sample(i * 1e-5, v)
+        assert block.read_voltage() == pytest.approx(2.4, abs=0.011)
+
+    def test_register_is_monotone_under_mode(self, block):
+        block.configure(True, 0.0)
+        block.prepare(CaptureMode.MIN)
+        block.sample(CaptureMode.MIN)
+        block.on_sample(0.0, 1.8)
+        captured = block.read()
+        block.on_sample(1e-5, 2.5)   # higher sample must not overwrite
+        assert block.read() == captured
+
+    def test_clock_schedule(self, block):
+        block.configure(True, 0.0)
+        block.on_sample(0.0, 2.0)
+        assert block.next_event_time() == pytest.approx(1e-5)
+
+    def test_quantisation_is_8_bit(self, block):
+        assert block.adc.bits == 8
+        assert block.adc.lsb == pytest.approx(0.010)
+
+
+class TestBurden:
+    def test_negligible_burden_when_on(self, block):
+        block.configure(True, 0.0)
+        assert block.burden_current < 1e-6
+
+    def test_zero_burden_when_off(self, block):
+        assert block.burden_current == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CulpeoUArchBlock(clock_hz=0.0)

@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_current, _parse_duration, main
+
+
+class TestParsers:
+    def test_current_units(self):
+        assert _parse_current("25mA") == pytest.approx(0.025)
+        assert _parse_current("0.05A") == pytest.approx(0.05)
+        assert _parse_current("0.01") == pytest.approx(0.01)
+
+    def test_duration_units(self):
+        assert _parse_duration("10ms") == pytest.approx(0.010)
+        assert _parse_duration("1.5s") == pytest.approx(1.5)
+        assert _parse_duration("0.2") == pytest.approx(0.2)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig10", "fig12", "ablation-esr"):
+            assert name in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        assert "power-off" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_vsafe_table(self, capsys):
+        assert main(["vsafe", "25mA", "10ms", "--shape", "pulse"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out
+        assert "Culpeo-ISR" in out
+
+    def test_vsafe_infeasible_load(self, capsys):
+        code = main(["vsafe", "50mA", "5s"])
+        assert code == 1
+        assert "cannot complete" in capsys.readouterr().out
+
+    def test_registry_covers_every_figure(self):
+        for fig in ("fig1b", "fig3", "fig4", "fig5", "fig6", "table3",
+                    "fig10", "fig11", "fig12", "fig13"):
+            assert fig in EXPERIMENTS

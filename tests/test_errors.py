@@ -1,0 +1,31 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BrownOutError,
+    PowerSystemError,
+    ProfileError,
+    ReproError,
+    ScheduleError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        PowerSystemError, ProfileError, ScheduleError, BrownOutError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ProfileError("bad ordering")
+
+
+class TestBrownOutError:
+    def test_carries_context(self):
+        err = BrownOutError("died mid-send", time=12.5, voltage=1.58)
+        assert err.time == 12.5
+        assert err.voltage == 1.58
+        assert "mid-send" in str(err)

@@ -1,0 +1,40 @@
+"""Public API surface: every exported name must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.power",
+    "repro.loads",
+    "repro.sim",
+    "repro.core",
+    "repro.sched",
+    "repro.apps",
+    "repro.harness",
+    "repro.intermittent",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+def test_version():
+    import repro
+    assert repro.__version__
+
+
+def test_quickstart_docstring_imports_work():
+    """The imports promised in the package docstring must exist."""
+    from repro.core import CulpeoPG, CulpeoRCalculator  # noqa: F401
+    from repro.harness import attempt_load, find_true_vsafe  # noqa: F401
+    from repro.loads import ble_listen, ble_radio  # noqa: F401
+    from repro.power import capybara_power_system  # noqa: F401
+    from repro.sched import CatnapEstimator, CulpeoREstimator  # noqa: F401
