@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Performance benchmark suite: fast kernel, V_safe cache, parallel harness.
+
+Measures the three layers this repo's performance work stacks up, each
+against the reference implementation *in the same process and run*:
+
+* ``kernel``   — one long many-segment trace simulated by the reference
+  stepper versus the fast kernel (identical results, see
+  ``tests/properties/test_property_fastpath.py``);
+* ``analysis`` — a 100-task ``analyze_tasks`` batch with a cold versus warm
+  :class:`~repro.core.vsafe_cache.VsafeCache`;
+* ``sweep``    — the Figure 13 event-rate sweep: reference stepper, fast
+  kernel, and fast kernel + process-pool fan-out.
+
+Results land in a JSON file (``BENCH_PR1.json`` by default; see README
+§Performance for how to read it). ``--quick`` shrinks the workloads for CI
+smoke runs — the speedups still show, the absolute times just get noisier.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out FILE] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.analysis import analyze_tasks
+from repro.core.profile_guided import CulpeoPG
+from repro.core.vsafe_cache import VsafeCache
+from repro.harness.experiments import fig13_event_rates
+from repro.harness.parallel import default_jobs
+from repro.loads.synthetic import uniform_load
+from repro.loads.trace import CurrentTrace
+from repro.power.system import capybara_power_system
+from repro.sim.engine import PowerSystemSimulator, set_default_fast
+
+
+def _bench(fn, repeats: int = 1) -> float:
+    """Best-of-N wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _many_segment_trace(n_segments: int) -> CurrentTrace:
+    """A long bursty trace with ``n_segments`` distinct segments."""
+    segments = []
+    for i in range(n_segments // 2):
+        # Alternating sleep/burst; vary the burst so segments never merge.
+        segments.append((0.0, 2e-3))
+        segments.append((0.004 + 0.0005 * (i % 7), 1e-3))
+    return CurrentTrace(segments)
+
+
+def bench_kernel(n_segments: int, repeats: int) -> dict:
+    """(a) single many-segment trace: reference stepper vs fast kernel."""
+    trace = _many_segment_trace(n_segments)
+
+    def run(fast: bool):
+        system = capybara_power_system()
+        system.rest_at(2.4)
+        return PowerSystemSimulator(system, fast=fast).run_trace(
+            trace, harvesting=True)
+
+    ref = run(False)
+    fast = run(True)
+    assert (fast.v_min, fast.v_final, fast.browned_out) == \
+        (ref.v_min, ref.v_final, ref.browned_out), "kernel mismatch"
+
+    t_ref = _bench(lambda: run(False), repeats)
+    t_fast = _bench(lambda: run(True), repeats)
+    return dict(
+        segments=len(trace),
+        duration_s=trace.duration,
+        reference_s=t_ref,
+        fast_s=t_fast,
+        speedup=t_ref / t_fast,
+    )
+
+
+def bench_analysis(n_tasks: int, repeats: int) -> dict:
+    """(b) analyze_tasks over ``n_tasks`` tasks: cold vs warm cache."""
+    model = capybara_power_system().characterize()
+    # A realistic task mix: many tasks, few distinct load shapes — the
+    # redundancy the cache exists to exploit.
+    shapes = [uniform_load(0.005 + 0.002 * i, 0.005 + 0.001 * i).trace
+              for i in range(10)]
+    tasks = {f"task{i:03d}": shapes[i % len(shapes)]
+             for i in range(n_tasks)}
+
+    def run(cache: VsafeCache):
+        return analyze_tasks(CulpeoPG(model, cache=cache), tasks)
+
+    cold_cache = VsafeCache(enabled=False)
+    t_cold = _bench(lambda: run(cold_cache), repeats)
+
+    warm_cache = VsafeCache()
+    run(warm_cache)                    # populate
+    t_warm = _bench(lambda: run(warm_cache), repeats)
+    stats = warm_cache.stats
+    return dict(
+        tasks=n_tasks,
+        distinct_traces=len(shapes),
+        cold_s=t_cold,
+        warm_s=t_warm,
+        speedup=t_cold / t_warm,
+        hits=stats.hits,
+        misses=stats.misses,
+        hit_rate=stats.hit_rate,
+    )
+
+
+def bench_sweep(trials: int, repeats: int) -> dict:
+    """(c) fig13 event-rate sweep: reference vs fast vs fast+parallel."""
+    jobs = default_jobs()
+
+    def run(fast: bool, jobs_: int = 1):
+        previous = set_default_fast(fast)
+        try:
+            return fig13_event_rates(trials=trials, jobs=jobs_)
+        finally:
+            set_default_fast(previous)
+
+    ref = run(False)
+    fast = run(True)
+    assert fast.rows == ref.rows, "fast sweep diverged from reference"
+
+    t_ref = _bench(lambda: run(False), repeats)
+    t_fast = _bench(lambda: run(True), repeats)
+    t_par = _bench(lambda: run(True, jobs), repeats)
+    return dict(
+        trials=trials,
+        jobs=jobs,
+        reference_s=t_ref,
+        fast_s=t_fast,
+        fast_parallel_s=t_par,
+        speedup_fast=t_ref / t_fast,
+        speedup_fast_parallel=t_ref / t_par,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR1.json",
+                        help="output JSON path (default BENCH_PR1.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken workloads for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_segments, n_tasks, trials, repeats = 1000, 20, 1, 1
+    else:
+        n_segments, n_tasks, trials, repeats = 10_000, 100, 1, 2
+
+    print("kernel: single many-segment trace ...", flush=True)
+    kernel = bench_kernel(n_segments, repeats)
+    print(f"  reference {kernel['reference_s']:.3f}s  "
+          f"fast {kernel['fast_s']:.3f}s  ({kernel['speedup']:.1f}x)")
+
+    print("analysis: analyze_tasks cold vs warm cache ...", flush=True)
+    analysis = bench_analysis(n_tasks, repeats)
+    print(f"  cold {analysis['cold_s']:.3f}s  warm {analysis['warm_s']:.3f}s"
+          f"  ({analysis['speedup']:.1f}x, "
+          f"hit rate {analysis['hit_rate']:.0%})")
+
+    print("sweep: fig13 event-rate sweep ...", flush=True)
+    sweep = bench_sweep(trials, repeats)
+    print(f"  reference {sweep['reference_s']:.3f}s  "
+          f"fast {sweep['fast_s']:.3f}s ({sweep['speedup_fast']:.1f}x)  "
+          f"fast+parallel(jobs={sweep['jobs']}) "
+          f"{sweep['fast_parallel_s']:.3f}s "
+          f"({sweep['speedup_fast_parallel']:.1f}x)")
+
+    payload = dict(
+        benchmark="BENCH_PR1",
+        quick=args.quick,
+        python=platform.python_version(),
+        machine=platform.machine(),
+        cpus=default_jobs(),
+        kernel=kernel,
+        analysis=analysis,
+        sweep=sweep,
+    )
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ load safe?" — with ground truth and every estimator side by side.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -81,8 +82,13 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    jobs = getattr(args, "jobs", 1) or 1
     for name in names:
-        result = EXPERIMENTS[name]()
+        runner = EXPERIMENTS[name]
+        kwargs = {}
+        if jobs > 1 and "jobs" in inspect.signature(runner).parameters:
+            kwargs["jobs"] = jobs
+        result = runner(**kwargs)
         print(result.render())
         print()
         if args.csv is not None:
@@ -149,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment ids (or 'all')")
     p_run.add_argument("--csv", metavar="DIR", default=None,
                        help="also write each experiment's data to DIR/<id>.csv")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for experiments that support "
+                            "parallel fan-out (default 1 = serial; results "
+                            "are identical either way)")
     p_run.set_defaults(fn=cmd_run)
 
     p_vsafe = sub.add_parser("vsafe",

@@ -36,6 +36,12 @@ from repro.core.reprofile import ReprofilingMonitor
 from repro.core.fixedpoint import FixedPointCulpeoR
 from repro.core.pg_profiler import CulpeoPgProfiler, CurrentProbe
 from repro.core.persistence import load_table, save_table
+from repro.core.vsafe_cache import (
+    CacheStats,
+    VsafeCache,
+    cache_stats,
+    default_cache,
+)
 from repro.core.analysis import (
     ConfigRecommendation,
     TaskReport,
@@ -69,6 +75,10 @@ __all__ = [
     "CurrentProbe",
     "save_table",
     "load_table",
+    "VsafeCache",
+    "CacheStats",
+    "cache_stats",
+    "default_cache",
     "TaskReport",
     "ConfigRecommendation",
     "analyze_tasks",

@@ -38,6 +38,15 @@ def to_fixed(value: float) -> int:
     return result
 
 
+def to_fixed_down(value: float) -> int:
+    """Q16.16 conversion rounding down — for operands that *reduce* the
+    requirement (a subtracted voltage, a denominator), so the final
+    estimate still errs on the safe side."""
+    if value < 0:
+        raise ValueError(f"fixed-point domain is non-negative, got {value}")
+    return int(value * ONE)
+
+
 def from_fixed(value: int) -> float:
     """Q16.16 back to float."""
     return value / ONE
@@ -48,6 +57,11 @@ def fx_mul(a: int, b: int) -> int:
     product = a * b
     return -((-product) >> FRAC_BITS) if product < 0 else \
         (product + ONE - 1) >> FRAC_BITS
+
+
+def fx_mul_down(a: int, b: int) -> int:
+    """Q16.16 multiply, rounding down (for requirement-reducing terms)."""
+    return (a * b) >> FRAC_BITS
 
 
 def fx_div(a: int, b: int) -> int:
@@ -107,27 +121,48 @@ class FixedPointCulpeoR:
         eta = fx_mul(slope, v_fx) + intercept
         return max(1, min(eta, ONE))
 
+    def _eta_fx_down(self, v_fx: int) -> int:
+        """Efficiency rounded down — used where a *larger* eta would make
+        the estimate less conservative (denominators of the Eq. 1c/3
+        ratios)."""
+        slope = to_fixed_down(self.eta_slope)
+        intercept = to_fixed_down(self.eta_intercept)
+        eta = fx_mul_down(slope, v_fx) + intercept
+        return max(1, min(eta, ONE))
+
     def estimate(self, v_start: float, v_min: float,
                  v_final: float) -> VsafeEstimate:
-        """Fixed-point version of ``CulpeoRCalculator.estimate``."""
+        """Fixed-point version of ``CulpeoRCalculator.estimate``.
+
+        Every conversion and operation rounds in the direction that can
+        only *raise* the final requirement: quantities that add to the
+        estimate (V_start, the rebound, the ratios' numerators) round up,
+        quantities that subtract from it (V_final in the energy drop, the
+        ratios' denominators) round down. The result is guaranteed no less
+        conservative than the float math, at a worst-case cost of a few
+        LSBs (~tens of µV).
+        """
         v_final = min(v_final, v_start)
         v_min = min(v_min, v_final)
         vs = to_fixed(v_start)
-        vm = to_fixed(max(v_min, 1e-6))
-        vf = to_fixed(v_final)
-        voff = to_fixed(self.v_off)
+        vm_up = to_fixed(max(v_min, 1e-6))
+        vm_dn = to_fixed_down(max(v_min, 1e-6))
+        vf_up = to_fixed(v_final)
+        vf_dn = to_fixed_down(v_final)
+        voff_up = to_fixed(self.v_off)
+        voff_dn = to_fixed_down(self.v_off)
 
         # Equation 1c: scale the observed rebound to its worst case.
-        delta_obs = max(0, vf - vm)
-        numer = fx_mul(vm, self._eta_fx(vm))
-        denom = fx_mul(voff, self._eta_fx(voff))
+        delta_obs = max(0, vf_up - vm_dn)
+        numer = fx_mul(vm_up, self._eta_fx(vm_up))
+        denom = max(1, fx_mul_down(voff_dn, self._eta_fx_down(voff_dn)))
         delta_safe = fx_mul(delta_obs, fx_div(numer, denom))
 
         # Equation 3: the energy-only requirement.
-        ratio = fx_div(self._eta_fx(vs), self._eta_fx(voff))
+        ratio = fx_div(self._eta_fx(vs), self._eta_fx_down(voff_dn))
         drop_v2 = fx_mul(ratio,
-                         max(0, fx_mul(vs, vs) - fx_mul(vf, vf)))
-        v_e = fx_sqrt(drop_v2 + fx_mul(voff, voff))
+                         max(0, fx_mul(vs, vs) - fx_mul_down(vf_dn, vf_dn)))
+        v_e = fx_sqrt(drop_v2 + fx_mul(voff_up, voff_up))
 
         v_safe_fx = v_e + delta_safe + to_fixed(self.guard_band)
         v_safe = min(self.v_high, from_fixed(v_safe_fx))

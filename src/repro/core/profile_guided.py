@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.vsafe_cache import VsafeCache, default_cache
 from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystemModel
 
@@ -58,7 +59,9 @@ class CulpeoPG:
 
     def __init__(self, model: PowerSystemModel, *, step_limit: float = 1e-3,
                  envelope_margin: float = 0.08,
-                 record_steps: bool = False) -> None:
+                 record_steps: bool = False,
+                 cache: Optional[VsafeCache] = None,
+                 use_cache: bool = True) -> None:
         if step_limit <= 0:
             raise ValueError(f"step_limit must be positive, got {step_limit}")
         if envelope_margin < 0:
@@ -70,6 +73,16 @@ class CulpeoPG:
         self.envelope_margin = envelope_margin
         self.record_steps = record_steps
         self.last_steps: list = []
+        #: Result memoization. Keys combine the model's config_key with the
+        #: trace fingerprint and the chosen ESR, so a re-characterized
+        #: (aged, derated, reconfigured) model can never hit a stale entry.
+        self.cache = cache if cache is not None else default_cache()
+        self.use_cache = use_cache
+        self._model_key = model.config_key()
+
+    def _cache_key(self, trace: CurrentTrace, resistance: float) -> tuple:
+        return ("culpeo-pg", self._model_key, self.step_limit,
+                self.envelope_margin, resistance, trace.fingerprint())
 
     def select_esr(self, trace: CurrentTrace) -> float:
         """ESR operating point for this trace (paper §IV-B).
@@ -93,6 +106,14 @@ class CulpeoPG:
         resistance = self.select_esr(trace) if esr is None else esr
         if resistance < 0:
             raise ValueError(f"esr must be >= 0, got {resistance}")
+        # Memoized fast exit. record_steps bypasses the cache: a hit would
+        # skip the walk that fills the last_steps side channel.
+        caching = self.use_cache and not self.record_steps
+        if caching:
+            key = self._cache_key(trace, resistance)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         capacitance = model.capacitance
         v_out = model.v_out
         v_off = model.v_off
@@ -141,9 +162,12 @@ class CulpeoPG:
                     ))
 
         demand = TaskDemand(energy_v2=energy_v2_total, v_delta=v_delta_worst)
-        return VsafeEstimate(
+        estimate = VsafeEstimate(
             v_safe=v_required,
             v_delta=v_delta_worst,
             demand=demand,
             method="culpeo-pg",
         )
+        if caching:
+            self.cache.put(key, estimate)
+        return estimate

@@ -11,6 +11,7 @@ from repro.harness.ground_truth import (
     attempt_load,
     find_true_vsafe,
 )
+from repro.harness.parallel import default_jobs, parallel_map
 from repro.harness.report import TextTable, format_percent
 from repro.harness.export import result_to_csv, rows_to_csv, save_result_csv
 from repro.harness.probabilistic import (
@@ -27,6 +28,8 @@ __all__ = [
     "find_true_vsafe",
     "TextTable",
     "format_percent",
+    "parallel_map",
+    "default_jobs",
     "rows_to_csv",
     "result_to_csv",
     "save_result_csv",

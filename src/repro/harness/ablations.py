@@ -22,6 +22,7 @@ from repro.core.runtime import CulpeoRCalculator
 from repro.core.isr import CulpeoIsrRuntime
 from repro.core.uarch_runtime import CulpeoUArchRuntime
 from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.harness.parallel import parallel_map
 from repro.harness.report import TextTable, format_percent
 from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
 from repro.loads.trace import CurrentTrace
@@ -206,22 +207,35 @@ class EsrSweep:
         return table.render()
 
 
+def _esr_point(args):
+    """One ESR sweep point — deterministic, so safe to run in any process."""
+    esr, trace = args
+    system = capybara_power_system(dc_esr=esr)
+    model = system.characterize()
+    truth = find_true_vsafe(system, trace)
+    energy_v = EnergyDirectEstimator(model).estimate(system, trace).v_safe
+    run = attempt_load(system, trace, energy_v)
+    return dict(
+        esr=esr, true=truth.v_safe, energy=energy_v,
+        shortfall=truth.v_safe - energy_v, safe=run.completed,
+    )
+
+
 def ablation_esr_sweep(
         esr_values: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 4.0, 8.0),
-        trace: Optional[CurrentTrace] = None) -> EsrSweep:
-    """Sweep the bank's DC ESR and locate the energy-only crossover."""
+        trace: Optional[CurrentTrace] = None,
+        jobs: int = 1) -> EsrSweep:
+    """Sweep the bank's DC ESR and locate the energy-only crossover.
+
+    Sweep points are independent; ``jobs > 1`` fans them over a process
+    pool with results (and the crossover) identical to the serial run.
+    """
     trace = trace or pulse_with_compute_tail(0.025, 0.010).trace
     sweep = EsrSweep()
-    for esr in esr_values:
-        system = capybara_power_system(dc_esr=esr)
-        model = system.characterize()
-        truth = find_true_vsafe(system, trace)
-        energy_v = EnergyDirectEstimator(model).estimate(system, trace).v_safe
-        run = attempt_load(system, trace, energy_v)
-        sweep.rows.append(dict(
-            esr=esr, true=truth.v_safe, energy=energy_v,
-            shortfall=truth.v_safe - energy_v, safe=run.completed,
-        ))
-        if sweep.crossover_esr is None and not run.completed:
-            sweep.crossover_esr = esr
+    sweep.rows = parallel_map(_esr_point,
+                              [(esr, trace) for esr in esr_values],
+                              jobs=jobs)
+    for row in sweep.rows:
+        if sweep.crossover_esr is None and not row["safe"]:
+            sweep.crossover_esr = row["esr"]
     return sweep

@@ -30,6 +30,7 @@ from repro.apps import (
 from repro.apps.spec import AppSpec
 from repro.core.model import TaskDemand, vsafe_multi
 from repro.harness.ground_truth import attempt_load, find_true_vsafe
+from repro.harness.parallel import parallel_map
 from repro.harness.report import TextTable, format_percent
 from repro.loads.peripherals import (
     ble_listen,
@@ -628,20 +629,50 @@ FIG12_SERIES: Tuple[Tuple[str, object, Optional[str]], ...] = (
 )
 
 
-def fig12_event_capture(trials: int = 3,
-                        base_seed: int = 2022) -> EventCaptureResult:
-    """Reproduce Figure 12: CatNap versus Culpeo on all three apps."""
-    result = EventCaptureResult()
-    app_results: Dict[str, Dict[str, object]] = {}
+def _run_app_unit(args):
+    """One (app, policy) evaluation — the unit of harness parallelism.
+
+    ``run_app`` already seeds each trial as ``base_seed + i``, so a unit's
+    result is independent of which process runs it; module-level factories
+    pickle by reference.
+    """
+    factory, rate, kind, trials, base_seed = args
+    spec = factory() if rate is None else factory(rate)
+    return run_app(spec, kind, trials=trials, base_seed=base_seed)
+
+
+def fig12_event_capture(trials: int = 3, base_seed: int = 2022,
+                        jobs: int = 1) -> EventCaptureResult:
+    """Reproduce Figure 12: CatNap versus Culpeo on all three apps.
+
+    ``jobs > 1`` spreads the (app, policy) grid over a process pool;
+    results are bit-identical to the serial run.
+    """
+    series_info = []        # (label, spec name, chain) in series order
+    unique: List[Tuple[str, object]] = []   # (spec name, factory), deduped
     for label, factory, chain in FIG12_SERIES:
         spec: AppSpec = factory()
-        if spec.name not in app_results:
-            app_results[spec.name] = {
-                kind: run_app(spec, kind, trials=trials, base_seed=base_seed)
-                for kind in ("catnap", "culpeo")
-            }
+        series_info.append((label, spec.name, chain))
+        if all(name != spec.name for name, _ in unique):
+            unique.append((spec.name, factory))
+
+    units = [(factory, None, kind, trials, base_seed)
+             for _, factory in unique
+             for kind in ("catnap", "culpeo")]
+    runs = parallel_map(_run_app_unit, units, jobs=jobs)
+
+    app_results: Dict[str, Dict[str, object]] = {}
+    index = 0
+    for name, _ in unique:
+        app_results[name] = {}
         for kind in ("catnap", "culpeo"):
-            run = app_results[spec.name][kind]
+            app_results[name][kind] = runs[index]
+            index += 1
+
+    result = EventCaptureResult()
+    for label, name, chain in series_info:
+        for kind in ("catnap", "culpeo"):
+            run = app_results[name][kind]
             result.rows.append(dict(
                 series=label, policy=kind,
                 captured=run.capture_percent(chain),
@@ -684,18 +715,26 @@ FIG13_RATES = {
 }
 
 
-def fig13_event_rates(trials: int = 3,
-                      base_seed: int = 2022) -> EventRateResult:
-    """Reproduce Figure 13: event-rate sensitivity for PS and RR."""
+def fig13_event_rates(trials: int = 3, base_seed: int = 2022,
+                      jobs: int = 1) -> EventRateResult:
+    """Reproduce Figure 13: event-rate sensitivity for PS and RR.
+
+    ``jobs > 1`` spreads the (app, rate, policy) sweep over a process
+    pool; results are bit-identical to the serial run.
+    """
     factories = {"PS": periodic_sensing_app, "RR": responsive_reporting_app}
-    result = EventRateResult()
+    units = []
+    meta = []   # (app, rate label, policy) per unit, in serial order
     for app, rates in FIG13_RATES.items():
         for label, rate in zip(("slow", "achievable", "too fast"), rates):
-            spec = factories[app](rate)
             for kind in ("catnap", "culpeo"):
-                run = run_app(spec, kind, trials=trials, base_seed=base_seed)
-                result.rows.append(dict(
-                    app=app, policy=kind, rate=label,
-                    captured=run.capture_percent(),
-                ))
+                units.append((factories[app], rate, kind, trials, base_seed))
+                meta.append((app, label, kind))
+    runs = parallel_map(_run_app_unit, units, jobs=jobs)
+    result = EventRateResult()
+    for (app, label, kind), run in zip(meta, runs):
+        result.rows.append(dict(
+            app=app, policy=kind, rate=label,
+            captured=run.capture_percent(),
+        ))
     return result

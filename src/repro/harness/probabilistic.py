@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.harness.parallel import parallel_map
 from repro.loads.trace import CurrentTrace
 from repro.power.capacitor import TwoBranchSupercap
 from repro.power.system import PowerSystem, capybara_power_system
@@ -95,11 +96,30 @@ def _perturbed_system(base: PowerSystem, uncertainty: UncertaintyModel,
     return system
 
 
+def _completion_trial(args):
+    """One Monte-Carlo world: returns ``(energy_ok, completed)``.
+
+    Module-level (picklable) and seeded from ``(seed, index)`` so the draw
+    is a function of the trial alone — the same world materializes whether
+    the trial runs serially, in any worker process, or in any order.
+    """
+    trace, base, uncertainty, v_start, e_task, v_off, seed, index = args
+    rng = np.random.default_rng((seed, index))
+    world = _perturbed_system(base, uncertainty, rng)
+    start = max(v_off, v_start + rng.normal(0.0, uncertainty.v_start_sigma))
+    world.rest_at(start)
+    capacitance = world.buffer.total_capacitance
+    e_usable = 0.5 * capacitance * (start ** 2 - v_off ** 2)
+    result = PowerSystemSimulator(world).run_trace(trace, harvesting=False)
+    return e_usable >= e_task, result.completed
+
+
 def completion_probability(trace: CurrentTrace, v_start: float, *,
                            system: Optional[PowerSystem] = None,
                            uncertainty: Optional[UncertaintyModel] = None,
                            trials: int = 200,
-                           seed: int = 2022) -> CompletionEstimate:
+                           seed: int = 2022,
+                           jobs: int = 1) -> CompletionEstimate:
     """Estimate P(task completes | started at ``v_start``) by Monte-Carlo.
 
     Each trial draws a buffer from the uncertainty model, rests it at a
@@ -108,6 +128,9 @@ def completion_probability(trace: CurrentTrace, v_start: float, *,
     a trial as a success whenever the drawn buffer *stores* enough energy
     above V_off, regardless of what the voltage did — the quantity
     energy-model termination checkers bound.
+
+    Trials are independent (trial ``i`` is seeded with ``(seed, i)``), so
+    ``jobs > 1`` fans them over a process pool with bit-identical counts.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -115,25 +138,20 @@ def completion_probability(trace: CurrentTrace, v_start: float, *,
         raise ValueError(f"v_start must be positive, got {v_start}")
     base = system or capybara_power_system()
     uncertainty = uncertainty or UncertaintyModel()
-    rng = np.random.default_rng(seed)
     v_off = base.monitor.v_off
     eta_floor = base.output_booster.efficiency(v_off)
     e_task = trace.energy_at(base.v_out) / eta_floor
 
+    work = [(trace, base, uncertainty, v_start, e_task, v_off, seed, i)
+            for i in range(trials)]
+    outcomes = parallel_map(_completion_trial, work, jobs=jobs,
+                            chunksize=max(1, trials // (8 * max(1, jobs))))
     estimate = CompletionEstimate(v_start=v_start, trials=trials,
                                   true_success=0, energy_only_success=0)
-    for _ in range(trials):
-        world = _perturbed_system(base, uncertainty, rng)
-        start = max(v_off, v_start + rng.normal(0.0,
-                                                uncertainty.v_start_sigma))
-        world.rest_at(start)
-        capacitance = world.buffer.total_capacitance
-        e_usable = 0.5 * capacitance * (start ** 2 - v_off ** 2)
-        if e_usable >= e_task:
+    for energy_ok, completed in outcomes:
+        if energy_ok:
             estimate.energy_only_success += 1
-        result = PowerSystemSimulator(world).run_trace(
-            trace, harvesting=False)
-        if result.completed:
+        if completed:
             estimate.true_success += 1
     return estimate
 

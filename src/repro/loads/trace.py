@@ -15,6 +15,7 @@ the ESR-versus-frequency curve.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +29,7 @@ class CurrentTrace:
     iteration is canonical.
     """
 
-    __slots__ = ("_currents", "_durations")
+    __slots__ = ("_currents", "_durations", "_fingerprint")
 
     def __init__(self, segments: Iterable[Tuple[float, float]]) -> None:
         currents: List[float] = []
@@ -49,6 +50,7 @@ class CurrentTrace:
             raise ValueError("a trace needs at least one non-empty segment")
         self._currents = np.asarray(currents)
         self._durations = np.asarray(durations)
+        self._fingerprint: "str | None" = None
 
     # -- constructors ------------------------------------------------------
 
@@ -95,6 +97,24 @@ class CurrentTrace:
     def charge(self) -> float:
         """Total charge delivered at the load rail, in coulombs."""
         return float(np.dot(self._currents, self._durations))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical segment arrays.
+
+        Two traces fingerprint identically exactly when they compare equal:
+        the digest covers the merged ``(current, duration)`` runs, so it is
+        independent of how the trace was constructed. Used as the trace
+        component of :class:`~repro.core.vsafe_cache.VsafeCache` keys and
+        computed lazily once per instance (segments are immutable).
+        """
+        cached = self._fingerprint
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self._currents.tobytes())
+            digest.update(self._durations.tobytes())
+            cached = digest.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     def energy_at(self, v_out: float) -> float:
         """Energy delivered to the load when powered at ``v_out`` volts."""
@@ -187,13 +207,16 @@ class CurrentTrace:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CurrentTrace):
             return NotImplemented
+        if self._fingerprint is not None and other._fingerprint is not None:
+            return self._fingerprint == other._fingerprint
         return (np.array_equal(self._currents, other._currents)
                 and np.array_equal(self._durations, other._durations))
 
     def __hash__(self) -> int:
-        return hash((self._currents.tobytes(), self._durations.tobytes()))
+        return hash(self.fingerprint())
 
     def __repr__(self) -> str:
         return (f"CurrentTrace({len(self)} segments, "
                 f"{self.duration * 1e3:.3g} ms, "
-                f"peak {self.peak_current * 1e3:.3g} mA)")
+                f"peak {self.peak_current * 1e3:.3g} mA, "
+                f"{self.charge * 1e3:.4g} mC)")

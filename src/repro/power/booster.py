@@ -150,6 +150,11 @@ class OutputBooster:
         """Whether the converter can run at all from ``v_in``."""
         return v_in >= self.min_input_voltage
 
+    def config_key(self) -> tuple:
+        """Hashable identity of the converter's electrical parameters."""
+        return ("out-booster", self.v_out, self.min_input_voltage,
+                self.power_derating, efficiency_model_key(self.efficiency_model))
+
     def input_power(self, p_out: float, v_in: float) -> float:
         """Power drawn from the buffer to deliver ``p_out`` to the load."""
         if p_out < 0:
@@ -174,6 +179,22 @@ class OutputBooster:
         return self.input_power(i_out * self.v_out, v_in) / v_in
 
 
+def efficiency_model_key(model: EfficiencyModel) -> tuple:
+    """Hashable identity for an efficiency model.
+
+    The provided models are frozen dataclasses, hashable by field values,
+    so structurally equal models key identically even across copies. An
+    unhashable custom model falls back to object identity — correct (never
+    a false hit) but it won't share cache entries across distinct
+    instances.
+    """
+    try:
+        hash(model)
+    except TypeError:
+        return ("eta-id", id(model))
+    return ("eta", type(model).__name__, model)
+
+
 class InputBooster:
     """Regulates the harvester into the buffer, topping out at ``v_max``."""
 
@@ -196,3 +217,8 @@ class InputBooster:
             return 0.0
         eta = self.efficiency_model.efficiency(max(v_cap, 0.1))
         return p_harvest * eta / max(v_cap, 0.1)
+
+    def config_key(self) -> tuple:
+        """Hashable identity of the converter's electrical parameters."""
+        return ("in-booster", self.v_max,
+                efficiency_model_key(self.efficiency_model))

@@ -72,6 +72,13 @@ class EnergyBuffer(Protocol):
         """Independent deep copy of the buffer and its state."""
         ...
 
+    def config_key(self) -> tuple:
+        """Hashable key identifying the buffer's *configuration* (not its
+        charge state). Two buffers with equal keys are electrically
+        interchangeable, so analysis results computed against one are valid
+        for the other — the contract V_safe caching relies on."""
+        ...
+
 
 class IdealCapacitor:
     """A single capacitance in series with a single ESR.
@@ -139,6 +146,10 @@ class IdealCapacitor:
                                self.leakage_current, self._v)
         clone._i_last = self._i_last
         return clone
+
+    def config_key(self) -> tuple:
+        """State-independent electrical identity (see EnergyBuffer)."""
+        return ("ideal", self.capacitance, self.esr, self.leakage_current)
 
     def __repr__(self) -> str:
         return (f"IdealCapacitor(C={self.capacitance:.4g} F, "
@@ -303,6 +314,17 @@ class TwoBranchSupercap:
         clone._v_redist = self._v_redist
         clone._v_term = self._v_term
         return clone
+
+    def config_key(self) -> tuple:
+        """State-independent electrical identity (see EnergyBuffer).
+
+        Aging (:meth:`aged`), temperature derating (:meth:`at_temperature`)
+        and decoupling changes all alter these parameters, so every derived
+        buffer produces a fresh key — cached V_safe results keyed on the
+        old part can never leak onto the derated one.
+        """
+        return ("two-branch", self.c_main, self.r_esr, self.c_redist,
+                self.r_redist, self.c_decoupling, self.leakage_current)
 
     def aged(self, capacitance_factor: float = 0.8,
              esr_factor: float = 2.0) -> "TwoBranchSupercap":

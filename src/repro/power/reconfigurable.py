@@ -172,6 +172,16 @@ class ReconfigurableBuffer:
     def settle(self) -> None:
         self._group.settle()
 
+    def config_key(self) -> tuple:
+        """State-independent electrical identity of the *active* group.
+
+        Includes the bank-set tag, so switching configurations (the
+        reconfiguration events Culpeo tags tables with) changes the key and
+        invalidates any V_safe results cached against the previous one.
+        """
+        return ("reconfig", tuple(sorted(self._active)),
+                self.switch_resistance, self._group.config_key())
+
     def copy(self) -> "ReconfigurableBuffer":
         clone = ReconfigurableBuffer.__new__(ReconfigurableBuffer)
         clone._banks = dict(self._banks)

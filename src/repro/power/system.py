@@ -30,7 +30,11 @@ from repro.power.booster import (
 )
 from repro.power.capacitor import EnergyBuffer, TwoBranchSupercap
 from repro.power.esr_profile import EsrFrequencyCurve, measure_esr_curve
-from repro.power.harvester import Harvester, NullHarvester
+from repro.power.harvester import (
+    ConstantPowerHarvester,
+    Harvester,
+    NullHarvester,
+)
 from repro.power.monitor import VoltageMonitor
 from repro.units import OperatingRange
 
@@ -59,6 +63,30 @@ class PowerSystem:
         """Put the buffer at rest at ``voltage`` and sync the monitor."""
         self.buffer.reset(voltage)
         self.monitor.force_enabled(voltage >= self.monitor.v_off)
+
+    def config_key(self) -> tuple:
+        """Hashable identity of the plant's electrical configuration.
+
+        Covers everything that determines a worst-case (no-harvest)
+        simulation outcome from a rested buffer: buffer parameters, both
+        converters, and the monitor rails — but not charge state or the
+        harvester, which profiling runs disable. Copies share keys; any
+        reconfiguration, aging or temperature derating changes the buffer's
+        own key and therefore this one.
+        """
+        harvester = self.harvester
+        if isinstance(harvester, NullHarvester):
+            harvester_key: tuple = ("null",)
+        elif isinstance(harvester, ConstantPowerHarvester):
+            harvester_key = ("const", harvester.power)
+        else:
+            harvester_key = ("harv-id", id(harvester))
+        return ("power-system",
+                self.buffer.config_key(),
+                self.output_booster.config_key(),
+                self.input_booster.config_key(),
+                self.monitor.v_off, self.monitor.v_high,
+                harvester_key)
 
     def copy(self) -> "PowerSystem":
         """Independent copy sharing the (immutable) converter models."""
@@ -126,6 +154,18 @@ class PowerSystemModel:
     @property
     def operating_range(self) -> OperatingRange:
         return OperatingRange(v_off=self.v_off, v_high=self.v_high)
+
+    def config_key(self) -> tuple:
+        """Hashable identity of the model's knowledge.
+
+        Every field feeds the key (the ESR curve and efficiency line are
+        frozen dataclasses of floats/tuples), so two characterizations of
+        electrically identical systems key the same while a re-measured
+        curve — e.g. after aging — produces a fresh key.
+        """
+        return ("ps-model", self.capacitance,
+                self.esr_curve.pulse_widths, self.esr_curve.esr_values,
+                self.efficiency, self.v_off, self.v_high, self.v_out)
 
     def eta(self, v: float) -> float:
         """Linearized converter efficiency at buffer voltage ``v``."""

@@ -50,6 +50,19 @@ class VsafeEstimator(Protocol):
         ...
 
 
+def estimator_cache_key(estimator: object) -> Optional[tuple]:
+    """Hashable identity of an estimator's configuration, or ``None``.
+
+    Estimates from every estimator here are pure functions of (estimator
+    configuration, system configuration, trace) — profiling runs start from
+    a rested copy at V_high — which is what lets the scheduler's policy
+    compiler memoize them in the VsafeCache. Estimators without a
+    ``cache_key()`` opt out and are simply recomputed.
+    """
+    method = getattr(estimator, "cache_key", None)
+    return method() if callable(method) else None
+
+
 def _profile_run(system: PowerSystem, trace: CurrentTrace,
                  settle_after: float) -> "tuple[float, float, float]":
     """Run the trace once from a rested full buffer; return
@@ -77,6 +90,9 @@ class EnergyDirectEstimator:
 
     def __init__(self, model: PowerSystemModel) -> None:
         self.model = model
+
+    def cache_key(self) -> tuple:
+        return ("energy-direct", self.model.config_key())
 
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:
@@ -107,6 +123,9 @@ class EnergyVEstimator:
                  settle_time: float = 2.0) -> None:
         self.model = model
         self.settle_time = settle_time
+
+    def cache_key(self) -> tuple:
+        return ("energy-v", self.settle_time, self.model.config_key())
 
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:
@@ -156,6 +175,9 @@ class CatnapEstimator:
     def name(self) -> str:
         return self._label
 
+    def cache_key(self) -> tuple:
+        return ("catnap", self.measure_delay, self.model.config_key())
+
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:
         v_start, v_end, _ = _profile_run(system, trace, self.measure_delay)
@@ -176,6 +198,11 @@ class CulpeoPgEstimator:
 
     def __init__(self, model: PowerSystemModel, **pg_kwargs) -> None:
         self._pg = CulpeoPG(model, **pg_kwargs)
+
+    def cache_key(self) -> tuple:
+        pg = self._pg
+        return ("culpeo-pg-est", pg.step_limit, pg.envelope_margin,
+                pg.model.config_key())
 
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:
@@ -200,6 +227,12 @@ class CulpeoREstimator:
     @property
     def name(self) -> str:
         return "Culpeo-ISR" if self.variant == "isr" else "Culpeo-uArch"
+
+    def cache_key(self) -> tuple:
+        calc = self.calculator
+        from repro.power.booster import efficiency_model_key
+        return ("culpeo-r", self.variant, calc.v_off, calc.v_high,
+                calc.guard_band, efficiency_model_key(calc.efficiency))
 
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:

@@ -19,11 +19,31 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.model import TaskDemand, VsafeEstimate
+from repro.core.vsafe_cache import default_cache
 from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystem
-from repro.sched.estimators import VsafeEstimator
+from repro.sched.estimators import VsafeEstimator, estimator_cache_key
 from repro.sched.feasibility import chain_gate_voltage, energy_only_gate
 from repro.sched.task import Task, TaskChain
+
+
+def cached_estimate(estimator: VsafeEstimator, system: PowerSystem,
+                    trace: CurrentTrace) -> VsafeEstimate:
+    """``estimator.estimate`` memoized through the shared VsafeCache.
+
+    Profiling-based estimators simulate a full task run per call; policy
+    compilation and feasibility checks ask for the same (estimator, system,
+    trace) triple over and over — across trials, event-rate settings and
+    ablation points. Estimators that expose no ``cache_key()`` (or systems
+    with no ``config_key()``) are computed directly.
+    """
+    est_key = estimator_cache_key(estimator)
+    system_key_fn = getattr(system, "config_key", None)
+    if est_key is None or system_key_fn is None:
+        return estimator.estimate(system, trace)
+    key = ("estimate", est_key, system_key_fn(), trace.fingerprint())
+    return default_cache().get_or_compute(
+        key, lambda: estimator.estimate(system, trace))
 
 
 @dataclass
@@ -105,7 +125,8 @@ def _build_policy(name: str, system: PowerSystem,
     tasks += list(background_tasks)
     for task in tasks:
         if task.name not in policy.estimates:
-            policy.estimates[task.name] = estimator.estimate(system, task.trace)
+            policy.estimates[task.name] = cached_estimate(
+                estimator, system, task.trace)
     policy.compile_chains(chains)
     return policy
 

@@ -10,6 +10,7 @@ from repro.sim.engine import (
     EngineObserver,
     PowerSystemSimulator,
     SimulationResult,
+    set_default_fast,
 )
 from repro.sim.adc import Adc, SamplingObserver
 from repro.sim.mcu import McuModel, msp430fr5994
@@ -20,6 +21,7 @@ __all__ = [
     "PowerSystemSimulator",
     "SimulationResult",
     "EngineObserver",
+    "set_default_fast",
     "Adc",
     "SamplingObserver",
     "McuModel",

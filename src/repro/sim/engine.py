@@ -23,6 +23,21 @@ from typing import List, Optional, Protocol, runtime_checkable
 
 from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystem
+from repro.sim.fastpath import advance_segments, supported as _fast_supported
+
+#: Process-wide default for ``PowerSystemSimulator(fast=...)``. The fast
+#: kernel is bit-exact with the reference loop, so it is on by default;
+#: benchmarks and equivalence tests flip it off via :func:`set_default_fast`.
+DEFAULT_FAST = True
+
+
+def set_default_fast(value: bool) -> bool:
+    """Set the process-wide default for the fast kernel; returns the old
+    value (so callers can restore it)."""
+    global DEFAULT_FAST
+    old = DEFAULT_FAST
+    DEFAULT_FAST = bool(value)
+    return old
 
 
 @runtime_checkable
@@ -86,12 +101,20 @@ class PowerSystemSimulator:
     MIN_DT = 1e-6
 
     def __init__(self, system: PowerSystem,
-                 observers: Optional[List[EngineObserver]] = None) -> None:
+                 observers: Optional[List[EngineObserver]] = None,
+                 fast: Optional[bool] = None) -> None:
         self.system = system
         self.observers: List[EngineObserver] = list(observers or [])
         self.time = 0.0
+        self.fast = DEFAULT_FAST if fast is None else bool(fast)
         self._v_min_seen = system.buffer.terminal_voltage
         self._energy_out = 0.0
+        # Cached observer schedule: per-observer next due time plus their
+        # minimum, refreshed at each _advance entry and, within a window,
+        # only for observers that actually fired.
+        self._obs_due: List[Optional[float]] = []
+        self._next_due: Optional[float] = None
+        self._due_valid = False
 
     # -- observer plumbing -------------------------------------------------
 
@@ -99,28 +122,56 @@ class PowerSystemSimulator:
         """Attach measurement hardware to the capacitor terminal."""
         if observer not in self.observers:
             self.observers.append(observer)
+            self._due_valid = False
 
     def detach(self, observer: EngineObserver) -> None:
         self.observers.remove(observer)
+        self._due_valid = False
 
     def _burden(self) -> float:
         return sum(o.burden_current for o in self.observers)
 
+    def _refresh_observer_due(self) -> None:
+        """Re-query every observer's next due time and cache the minimum."""
+        self._obs_due = [o.next_event_time() for o in self.observers]
+        nxt: Optional[float] = None
+        for due in self._obs_due:
+            if due is not None and (nxt is None or due < nxt):
+                nxt = due
+        self._next_due = nxt
+        self._due_valid = True
+
     def _next_observer_time(self) -> Optional[float]:
-        times = [t for t in (o.next_event_time() for o in self.observers)
-                 if t is not None]
-        return min(times) if times else None
+        if not self._due_valid:
+            self._refresh_observer_due()
+        return self._next_due
 
     def _notify(self) -> None:
+        if not self._due_valid:
+            self._refresh_observer_due()
+        next_due = self._next_due
+        if next_due is None or next_due > self.time + 1e-12:
+            return  # nothing due: skip querying every observer
         v = self.system.buffer.terminal_voltage
-        for obs in self.observers:
-            due = obs.next_event_time()
+        due_list = self._obs_due
+        for idx, obs in enumerate(self.observers):
+            due = due_list[idx]
+            if due is None or due > self.time + 1e-12:
+                continue
             while due is not None and due <= self.time + 1e-12:
                 obs.on_sample(self.time, v)
                 nxt = obs.next_event_time()
-                if nxt is not None and due is not None and nxt <= due:
+                if nxt is not None and nxt <= due:
+                    due = nxt
                     break  # observer did not advance; avoid spinning
                 due = nxt
+            due_list[idx] = due
+        # Only fired observers were re-queried; recompute the cached min.
+        next_due = None
+        for due in due_list:
+            if due is not None and (next_due is None or due < next_due):
+                next_due = due
+        self._next_due = next_due
 
     # -- core stepping -------------------------------------------------------
 
@@ -154,6 +205,12 @@ class PowerSystemSimulator:
             dt = min(dt, next_obs - self.time)
         return max(dt, min(self.MIN_DT, remaining))
 
+    def _use_fast(self) -> bool:
+        """Whether the inlined kernel can (and should) run in place of the
+        reference loop: opted in, no observers, stock component types."""
+        return (self.fast and not self.observers
+                and _fast_supported(self.system))
+
     def _advance(self, i_out: float, duration: float, harvesting: bool,
                  stop_below: Optional[float]) -> Optional[float]:
         """Advance ``duration`` seconds at constant load current ``i_out``.
@@ -164,12 +221,29 @@ class PowerSystemSimulator:
         to it. The buffer sees the booster's input current minus any
         harvester charge current.
         """
+        if self._use_fast():
+            return advance_segments(self, ((i_out, duration),), harvesting,
+                                    stop_below)
+        return self._advance_reference(i_out, duration, harvesting,
+                                       stop_below)
+
+    def _advance_reference(self, i_out: float, duration: float,
+                           harvesting: bool,
+                           stop_below: Optional[float]) -> Optional[float]:
+        """The general stepping loop (see :mod:`repro.sim.fastpath` for the
+        observer-free specialization, which replays this arithmetic
+        exactly)."""
         system = self.system
         start = self.time
-        end = self.time + duration
+        self._refresh_observer_due()  # observers may have been rescheduled
         loaded = i_out > 0 or self._burden() > 0
         transient_window = 6.0 * self._transient_tau() if loaded else 0.0
-        while self.time < end - 1e-12:
+        # Absolute time is recomputed from the window start each iteration
+        # (start + elapsed, with elapsed accumulated segment-relative), so
+        # float error from repeated `time += dt` cannot compound across
+        # long simulations.
+        elapsed = 0.0
+        while elapsed < duration - 1e-12:
             v = system.buffer.terminal_voltage
             total_out = i_out + self._burden()
             if system.monitor.output_enabled and total_out > 0:
@@ -182,10 +256,12 @@ class PowerSystemSimulator:
             else:
                 i_chg = 0.0
             i_net = i_in - i_chg
-            in_transient = loaded and (self.time - start) < transient_window
-            dt = self._choose_dt(i_net, end - self.time, in_transient, loaded)
+            in_transient = loaded and elapsed < transient_window
+            dt = self._choose_dt(i_net, duration - elapsed, in_transient,
+                                 loaded)
             v_new = system.buffer.step(i_net, dt)
-            self.time += dt
+            elapsed += dt
+            self.time = start + elapsed
             self._energy_out += i_in * max(v, v_new) * dt
             system.monitor.observe(v_new)
             self._v_min_seen = min(self._v_min_seen, v_new)
@@ -224,12 +300,22 @@ class PowerSystemSimulator:
                 notes=["output booster disabled at task start"],
             )
 
-        for current, seg_duration in trace.segments():
-            hit = self._advance(current, seg_duration, harvesting, stop_level)
+        if self._use_fast():
+            # Whole-trace kernel call: component state is hoisted once for
+            # the entire trace, not once per segment.
+            hit = advance_segments(self, trace.segments(), harvesting,
+                                   stop_level)
             if hit is not None:
                 browned_out = True
                 brown_time = hit
-                break
+        else:
+            for current, seg_duration in trace.segments():
+                hit = self._advance(current, seg_duration, harvesting,
+                                    stop_level)
+                if hit is not None:
+                    browned_out = True
+                    brown_time = hit
+                    break
 
         completed = not browned_out
         if settle_after > 0:

@@ -1,0 +1,332 @@
+"""Specialized stepping kernel for observer-free simulations.
+
+The reference loop in :mod:`repro.sim.engine` pays for its generality:
+every sub-step makes ~15 method calls (terminal-voltage property, booster
+current, harvester, monitor, buffer step, observer scheduling) and dozens
+of attribute lookups through small objects. For the common hot case — no
+observers attached, stock component types — none of that dynamism is
+needed, and this module replays the *identical* arithmetic with every
+quantity hoisted into local variables and every component inlined.
+
+Identical means identical: the kernel performs the same floating-point
+operations in the same order as the reference path, so its results are
+bit-for-bit equal, not merely close. That is what lets
+``PowerSystemSimulator(fast=True)`` be the default — any simulation the
+kernel supports produces the exact trajectory the reference loop would
+have, only several times faster. Configurations the kernel does not
+recognize (custom buffer/booster/monitor subclasses, attached observers)
+simply fall back to the reference loop.
+
+The kernel advances *whole traces* per call (`advance_segments`), so the
+hoisting cost is paid once per ``run_trace`` rather than once per segment
+— significant for traces with thousands of short segments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.capacitor import IdealCapacitor, TwoBranchSupercap
+from repro.power.harvester import ConstantPowerHarvester, NullHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.power.reconfigurable import ReconfigurableBuffer
+
+
+def _resolve_buffer(buffer):
+    """The concrete capacitor model the kernel will step, or ``None``.
+
+    A :class:`ReconfigurableBuffer` delegates all stepping to its active
+    group (a ``TwoBranchSupercap``), so the kernel operates on the group
+    directly. Exact type checks, not isinstance: a subclass may override
+    behavior the kernel has inlined away.
+    """
+    if type(buffer) is ReconfigurableBuffer:
+        buffer = buffer._group  # noqa: SLF001 — sim-internal
+    if type(buffer) in (IdealCapacitor, TwoBranchSupercap):
+        return buffer
+    return None
+
+
+def supported(system) -> bool:
+    """Whether the kernel reproduces this system exactly."""
+    return (_resolve_buffer(system.buffer) is not None
+            and type(system.output_booster) is OutputBooster
+            and type(system.input_booster) is InputBooster
+            and type(system.monitor) is VoltageMonitor)
+
+
+def _eta_callable(model):
+    """A plain function replicating ``model.efficiency`` exactly.
+
+    The two stock efficiency models are inlined as closures over their
+    (frozen) parameters; anything else falls back to the bound method,
+    which is still correct, just slower.
+    """
+    kind = type(model)
+    if kind is LinearEfficiency:
+        slope = model.slope
+        intercept = model.intercept
+        floor = model.floor
+        ceiling = model.ceiling
+
+        def linear(v_in):
+            return min(ceiling, max(floor, slope * v_in + intercept))
+
+        return linear
+    if kind is CurvedEfficiency:
+        base = model.base
+        slope = model.slope
+        curvature = model.curvature
+        v_ref = model.v_ref
+        floor = model.floor
+        ceiling = model.ceiling
+
+        def curved(v_in):
+            dv = v_in - v_ref
+            eta = base + slope * dv - curvature * dv * dv
+            return min(ceiling, max(floor, eta))
+
+        return curved
+    return model.efficiency
+
+
+def advance_segments(sim, segments: Iterable[Tuple[float, float]],
+                     harvesting: bool,
+                     stop_below: Optional[float]) -> Optional[float]:
+    """Advance ``sim`` through ``(current, duration)`` segments.
+
+    Mirrors a sequence of ``PowerSystemSimulator._advance`` calls exactly
+    (same recurrence, same rounding), mutating the simulator, buffer and
+    monitor state in place. Returns the absolute brown-out time if the
+    terminal voltage crossed ``stop_below`` (stopping there, mid-trace),
+    else ``None``. The caller must have verified :func:`supported` and
+    that no observers are attached.
+    """
+    system = sim.system
+    buffer = _resolve_buffer(system.buffer)
+
+    # -- hoist engine constants and component parameters -------------------
+    min_dt = sim.MIN_DT
+    max_idle_dt = sim.MAX_IDLE_DT
+    idle_dv = sim.IDLE_DV
+    load_dv = sim.LOAD_DV
+    exp = math.exp
+
+    out = system.output_booster
+    v_out = out.v_out
+    min_vin = out.min_input_voltage
+    derating = out.power_derating
+    eta_out = _eta_callable(out.efficiency_model)
+
+    inp = system.input_booster
+    v_max_in = inp.v_max
+    eta_in = _eta_callable(inp.efficiency_model)
+
+    monitor = system.monitor
+    v_off_mon = monitor.v_off
+    v_high_mon = monitor.v_high
+    enabled = monitor.output_enabled
+
+    harvester = system.harvester
+    if not harvesting or type(harvester) is NullHarvester:
+        harvest_mode = 0
+        p_h_const = 0.0
+        power_at = None
+    elif type(harvester) is ConstantPowerHarvester:
+        harvest_mode = 1
+        p_h_const = harvester.power
+        power_at = None
+    else:
+        harvest_mode = 2
+        p_h_const = 0.0
+        power_at = harvester.power_at
+
+    is_ideal = type(buffer) is IdealCapacitor
+    if is_ideal:
+        cap = buffer.capacitance
+        esr = buffer.esr
+        leak = buffer.leakage_current
+        v_oc = buffer._v          # noqa: SLF001
+        i_last = buffer._i_last   # noqa: SLF001
+        total_c = cap
+        stable = math.inf
+        tau = 0.0
+        # unused two-branch locals (keep the interpreter happy)
+        c_main = r_esr = c_red = r_red = c_dec = g = 0.0
+        has_red = False
+        v_main = v_red = v_term = 0.0
+    else:
+        c_main = buffer.c_main
+        r_esr = buffer.r_esr
+        c_red = buffer.c_redist
+        r_red = buffer.r_redist
+        c_dec = buffer.c_decoupling
+        leak = buffer.leakage_current
+        has_red = c_red > 0 and math.isfinite(r_red)
+        # _conductance, total_capacitance, max_stable_dt, _transient_tau —
+        # same expressions, same evaluation order as the properties.
+        g = 1.0 / r_esr
+        if has_red:
+            g += 1.0 / r_red
+        total_c = c_main + c_dec
+        if has_red:
+            total_c += c_red
+        stable = r_esr * c_main
+        if has_red:
+            stable = min(stable, r_red * c_red)
+        stable = 0.25 * stable
+        tau = c_dec / g if c_dec > 0 else 0.0
+        v_main = buffer._v_main      # noqa: SLF001
+        v_red = buffer._v_redist     # noqa: SLF001
+        v_term = buffer._v_term      # noqa: SLF001
+        cap = esr = 0.0
+        v_oc = i_last = 0.0
+    tau_quarter = tau / 4.0
+
+    time_abs = sim.time
+    v_min_seen = sim._v_min_seen   # noqa: SLF001
+    energy = sim._energy_out       # noqa: SLF001
+    stopping = stop_below is not None
+    stop_level = stop_below if stopping else 0.0
+    brown_time: Optional[float] = None
+
+    # -- main loop: one reference _advance per segment ----------------------
+    for i_out, seg_duration in segments:
+        start = time_abs
+        loaded = i_out > 0
+        transient_window = 6.0 * tau if loaded else 0.0
+        dv_budget = load_dv if loaded else idle_dv
+        p_out = i_out * v_out
+        drawing = enabled and loaded
+        elapsed = 0.0
+        while elapsed < seg_duration - 1e-12:
+            # terminal voltage (buffer property, inlined)
+            if is_ideal:
+                v = v_oc - i_last * esr
+                if v < 0.0:
+                    v = 0.0
+            else:
+                v = v_term
+
+            # output booster draw (OutputBooster.input_current, inlined)
+            if drawing:
+                v_in = v if v > min_vin else min_vin
+                eta = eta_out(v_in)
+                if p_out > 0.0 and derating > 0.0:
+                    eta -= derating * p_out
+                    if eta < 0.30:
+                        eta = 0.30
+                i_in = p_out / eta / v_in
+            else:
+                i_in = 0.0
+
+            # input booster charge (InputBooster.charge_current, inlined)
+            if harvest_mode == 0:
+                i_chg = 0.0
+            else:
+                p_h = p_h_const if harvest_mode == 1 else power_at(time_abs)
+                if p_h == 0.0 or v >= v_max_in:
+                    i_chg = 0.0
+                else:
+                    v_clamp = v if v > 0.1 else 0.1
+                    i_chg = p_h * eta_in(v_clamp) / v_clamp
+
+            i_net = i_in - i_chg
+            remaining = seg_duration - elapsed
+
+            # step-size choice (_choose_dt, inlined; no observer clamp)
+            i_abs = i_net if i_net >= 0.0 else -i_net
+            if i_abs > 1e-12:
+                dt = dv_budget * total_c / i_abs
+            else:
+                dt = max_idle_dt
+            if elapsed < transient_window and tau_quarter < dt:
+                dt = tau_quarter
+            if stable < dt:
+                dt = stable
+            if max_idle_dt < dt:
+                dt = max_idle_dt
+            if remaining < dt:
+                dt = remaining
+            dt_floor = min_dt if min_dt < remaining else remaining
+            if dt < dt_floor:
+                dt = dt_floor
+
+            # buffer step (IdealCapacitor.step / TwoBranchSupercap.step)
+            if is_ideal:
+                drain = i_net + (leak if v_oc > 0.0 else 0.0)
+                v_oc -= drain * dt / cap
+                if v_oc < 0.0:
+                    v_oc = 0.0
+                i_last = i_net
+                v_new = v_oc - i_last * esr
+                if v_new < 0.0:
+                    v_new = 0.0
+            else:
+                num = v_main / r_esr - i_net
+                if has_red:
+                    num += v_red / r_red
+                v_star = num / g
+                if c_dec > 0.0:
+                    ratio = dt / tau
+                    alpha = exp(-ratio)
+                    diff = v_term - v_star
+                    v_avg = v_star + diff * (1.0 - alpha) / ratio
+                    v_term = v_star + diff * alpha
+                else:
+                    v_avg = v_star
+                    v_term = v_star
+                i_main = (v_main - v_avg) / r_esr
+                drain = i_main + (leak if v_main > 0.0 else 0.0)
+                v_main -= drain * dt / c_main
+                if v_main < 0.0:
+                    v_main = 0.0
+                if has_red:
+                    v_red -= (v_red - v_avg) / r_red * dt / c_red
+                    if v_red < 0.0:
+                        v_red = 0.0
+                if v_term < 0.0:
+                    v_term = 0.0
+                v_new = v_term
+
+            elapsed += dt
+            time_abs = start + elapsed
+            energy += i_in * (v if v > v_new else v_new) * dt
+
+            # monitor hysteresis (VoltageMonitor.observe, inlined)
+            if enabled:
+                if v_new < v_off_mon:
+                    enabled = False
+                    drawing = False
+            elif v_new >= v_high_mon:
+                enabled = True
+                drawing = loaded
+
+            if v_new < v_min_seen:
+                v_min_seen = v_new
+            if stopping and v_new < stop_level:
+                brown_time = time_abs
+                break
+        if brown_time is not None:
+            break
+
+    # -- write state back ----------------------------------------------------
+    sim.time = time_abs
+    sim._v_min_seen = v_min_seen   # noqa: SLF001
+    sim._energy_out = energy       # noqa: SLF001
+    monitor.force_enabled(enabled)
+    if is_ideal:
+        buffer._v = v_oc           # noqa: SLF001
+        buffer._i_last = i_last    # noqa: SLF001
+    else:
+        buffer._v_main = v_main    # noqa: SLF001
+        buffer._v_redist = v_red   # noqa: SLF001
+        buffer._v_term = v_term    # noqa: SLF001
+    return brown_time

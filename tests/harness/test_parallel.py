@@ -1,0 +1,62 @@
+"""Parallel harness: process-pool fan-out must match serial bit-for-bit."""
+
+import pytest
+
+from repro.harness.ablations import ablation_esr_sweep
+from repro.harness.parallel import default_jobs, parallel_map
+from repro.harness.probabilistic import completion_probability
+from repro.loads.synthetic import pulse_with_compute_tail
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_preserves_order_pooled(self):
+        items = list(range(16))
+        assert parallel_map(_square, items, jobs=2) == \
+            [x * x for x in items]
+
+    def test_accepts_generators(self):
+        assert parallel_map(_square, (x for x in (2, 4)), jobs=2) == [4, 16]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestParallelExperiments:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return pulse_with_compute_tail(0.025, 0.010).trace
+
+    def test_completion_probability_matches_serial(self, trace):
+        serial = completion_probability(trace, 2.2, trials=12, seed=5,
+                                        jobs=1)
+        pooled = completion_probability(trace, 2.2, trials=12, seed=5,
+                                        jobs=2)
+        assert pooled.true_success == serial.true_success
+        assert pooled.energy_only_success == serial.energy_only_success
+
+    def test_completion_probability_trials_independent(self, trace):
+        """Per-trial (seed, index) streams: a prefix of a longer run is the
+        shorter run — trial outcomes do not depend on how many follow."""
+        short = completion_probability(trace, 2.2, trials=6, seed=5)
+        longer = completion_probability(trace, 2.2, trials=12, seed=5)
+        assert longer.trials == 12
+        assert longer.true_success >= 0
+        # Different seeds draw different worlds (sanity, not bitwise).
+        other = completion_probability(trace, 2.2, trials=6, seed=6)
+        assert (short.v_start, short.trials) == (other.v_start, other.trials)
+
+    def test_esr_sweep_matches_serial(self):
+        serial = ablation_esr_sweep(esr_values=(0.5, 4.0), jobs=1)
+        pooled = ablation_esr_sweep(esr_values=(0.5, 4.0), jobs=2)
+        assert pooled.rows == serial.rows
+        assert pooled.crossover_esr == serial.crossover_esr

@@ -1,0 +1,85 @@
+"""Property-based equivalence: the fast kernel versus the reference loop.
+
+``PowerSystemSimulator(fast=True)`` must be indistinguishable from the
+reference stepper on every simulation it accelerates — the kernel replays
+the identical recurrence, so the results should agree to well inside the
+1e-6 V / 1e-6 s budget (in practice bit-for-bit).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loads.trace import CurrentTrace
+from repro.power.capacitor import IdealCapacitor
+from repro.power.system import capybara_power_system
+from repro.sim.engine import PowerSystemSimulator
+
+V_TOL = 1e-6
+T_TOL = 1e-6
+
+segment_lists = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=0.06),
+              st.floats(min_value=1e-3, max_value=0.1)),
+    min_size=1, max_size=8,
+)
+start_voltages = st.floats(min_value=1.7, max_value=2.56)
+esr_values = st.floats(min_value=0.1, max_value=8.0)
+buffer_kinds = st.sampled_from(("two-branch", "decoupled", "ideal"))
+
+
+def build_system(kind, esr, v_start):
+    system = capybara_power_system(dc_esr=esr)
+    if kind == "ideal":
+        system.buffer = IdealCapacitor(capacitance=45e-3, esr=esr,
+                                       voltage=v_start)
+    elif kind == "decoupled":
+        system.buffer = system.buffer.with_decoupling(800e-6)
+    system.rest_at(v_start)
+    return system
+
+
+def run_both(kind, esr, v_start, segs, harvesting, settle):
+    trace = CurrentTrace(segs)
+    results = []
+    for fast in (False, True):
+        system = build_system(kind, esr, v_start)
+        sim = PowerSystemSimulator(system, fast=fast)
+        result = sim.run_trace(trace, harvesting=harvesting,
+                               settle_after=settle)
+        results.append((result, sim.time, system.buffer.terminal_voltage))
+    return results
+
+
+class TestFastPathEquivalence:
+    @given(kind=buffer_kinds, esr=esr_values, v=start_voltages,
+           segs=segment_lists, harvesting=st.booleans(),
+           settle=st.sampled_from((0.0, 0.05)))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_matches_reference(self, kind, esr, v, segs, harvesting,
+                                    settle):
+        (ref, ref_time, ref_v), (fast, fast_time, fast_v) = run_both(
+            kind, esr, v, segs, harvesting, settle)
+        assert abs(fast.v_min - ref.v_min) <= V_TOL
+        assert abs(fast.v_final - ref.v_final) <= V_TOL
+        assert fast.browned_out == ref.browned_out
+        if ref.brown_out_time is None:
+            assert fast.brown_out_time is None
+        else:
+            assert abs(fast.brown_out_time - ref.brown_out_time) <= T_TOL
+        assert abs(fast_time - ref_time) <= T_TOL
+        assert abs(fast_v - ref_v) <= V_TOL
+
+    @given(kind=buffer_kinds, esr=esr_values, v=start_voltages,
+           segs=segment_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_fast_matches_reference_bit_exact(self, kind, esr, v, segs):
+        """The kernel replays the same float ops — equality, not tolerance."""
+        (ref, ref_time, ref_v), (fast, fast_time, fast_v) = run_both(
+            kind, esr, v, segs, harvesting=False, settle=0.0)
+        assert fast.v_min == ref.v_min
+        assert fast.v_final == ref.v_final
+        assert fast.browned_out == ref.browned_out
+        assert fast.brown_out_time == ref.brown_out_time
+        assert fast.energy_from_buffer == ref.energy_from_buffer
+        assert fast_time == ref_time
+        assert fast_v == ref_v
