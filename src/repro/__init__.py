@@ -22,6 +22,10 @@ MICRO 2022). It provides:
   Sensing, Responsive Reporting, Noise Monitoring & Reporting).
 * ``repro.harness`` — ground-truth V_safe search and one experiment runner
   per figure/table in the paper's evaluation.
+* ``repro.verify``  — randomized soundness verification: a differential
+  oracle for the §VI-A V_safe contract, metamorphic invariants of the
+  charge model, failing-case shrinking, and replayable JSON repro cases
+  (``python -m repro verify``).
 
 Quickstart::
 

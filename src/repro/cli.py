@@ -6,10 +6,14 @@ Usage::
     python -m repro run fig10                 # one experiment, table to stdout
     python -m repro run all                   # the full evaluation
     python -m repro vsafe 25mA 10ms --shape pulse   # ad-hoc V_safe check
+    python -m repro verify --trials 200 --jobs 4    # soundness gate
+    python -m repro verify --replay case.json       # re-run a repro case
 
 ``run`` executes the same runners the benchmark suite wraps; ``vsafe``
 answers the day-to-day developer question — "from what voltage is this
-load safe?" — with ground truth and every estimator side by side.
+load safe?" — with ground truth and every estimator side by side;
+``verify`` stress-tests the estimators' soundness contract on randomized
+systems and exits non-zero on any conviction.
 """
 
 from __future__ import annotations
@@ -139,6 +143,51 @@ def cmd_vsafe(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import load_case, run_verification
+    from repro.verify.runner import KNOWN_ESTIMATORS
+
+    if args.replay is not None:
+        case = load_case(args.replay)
+        result = case.replay()
+        print(f"replaying {args.replay}: estimator {case.estimator}, "
+              f"{len(case.segments)} segment(s)")
+        print(f"verdict: {result.verdict.value}  "
+              f"estimate={result.v_safe_estimate:.4f} V  "
+              f"truth={result.v_safe_true:.4f} V  "
+              f"margin={result.margin:+.4f} V")
+        return 0 if result.verdict.value == "SOUND" else 1
+
+    estimators = tuple(args.estimators.split(",")) if args.estimators \
+        else None
+    if estimators:
+        unknown = [e for e in estimators if e not in KNOWN_ESTIMATORS]
+        if unknown:
+            print(f"unknown estimator(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"choose from: {', '.join(KNOWN_ESTIMATORS)}",
+                  file=sys.stderr)
+            return 2
+    kwargs = {}
+    if estimators:
+        kwargs["estimators"] = estimators
+    report = run_verification(
+        args.trials, seed=args.seed, jobs=args.jobs,
+        tolerance=args.tolerance, conservative_margin=args.margin,
+        failures_dir=args.failures_dir, **kwargs,
+    )
+    print(report.render())
+    if args.report is not None:
+        import json
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +222,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_vsafe.add_argument("--esr", type=float, default=4.0,
                          help="DC ESR in ohms (default 4)")
     p_vsafe.set_defaults(fn=cmd_vsafe)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="randomized soundness verification of the V_safe estimators")
+    p_verify.add_argument("--trials", type=int, default=200, metavar="N",
+                          help="randomized trials to run (default 200)")
+    p_verify.add_argument("--seed", type=int, default=0,
+                          help="base seed for the per-trial streams "
+                               "(default 0)")
+    p_verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (default 1 = serial; the "
+                               "report is bit-identical either way)")
+    p_verify.add_argument("--estimators", default=None, metavar="A,B",
+                          help="comma-separated estimator names to verify "
+                               "(default: the stock Culpeo set)")
+    p_verify.add_argument("--tolerance", type=float, default=0.002,
+                          help="ground-truth binary-search tolerance in "
+                               "volts (default 0.002)")
+    p_verify.add_argument("--margin", type=float, default=0.25,
+                          help="conservatism threshold as a fraction of the "
+                               "operating range (default 0.25)")
+    p_verify.add_argument("--report", metavar="FILE", default=None,
+                          help="also write the structured report as JSON")
+    p_verify.add_argument("--failures-dir", metavar="DIR",
+                          default="verify-failures",
+                          help="directory for shrunk repro cases "
+                               "(default verify-failures/; created only "
+                               "on failure)")
+    p_verify.add_argument("--replay", metavar="CASE.json", default=None,
+                          help="re-run one persisted repro case and exit")
+    p_verify.set_defaults(fn=cmd_verify)
     return parser
 
 

@@ -7,6 +7,7 @@ and figure of the paper's evaluation (see DESIGN.md for the index).
 """
 
 from repro.harness.ground_truth import (
+    PAPER_TOLERANCE,
     GroundTruth,
     attempt_load,
     find_true_vsafe,
@@ -23,6 +24,7 @@ from repro.harness.probabilistic import (
 from repro.harness import ablations, experiments
 
 __all__ = [
+    "PAPER_TOLERANCE",
     "GroundTruth",
     "attempt_load",
     "find_true_vsafe",

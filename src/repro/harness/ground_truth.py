@@ -7,6 +7,16 @@ minimum voltage during the run lands within 5 mV of V_off. We reproduce the
 procedure against the simulated power system: every trial starts from a
 *rested* buffer at the candidate voltage with harvesting disabled — the
 worst case the V_safe contract must cover.
+
+The convergence tolerance is a parameter (the paper uses 5 mV; the default
+here is tighter because simulation repeats are free), and the result
+distinguishes three outcomes callers previously could not tell apart:
+
+* **converged** — the bracket closed to within ``tolerance``;
+* **iteration-capped** — ``max_iterations`` ran out first (``feasible`` but
+  not ``converged``; ``v_safe`` is still a certified-complete voltage);
+* **infeasible** — the load cannot complete even from ``V_high``, so no
+  V_safe exists on this power system at all.
 """
 
 from __future__ import annotations
@@ -18,6 +28,9 @@ from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystem
 from repro.sim.engine import PowerSystemSimulator, SimulationResult
 
+#: Convergence tolerance of the paper's bench procedure (5 mV, §VI-A).
+PAPER_TOLERANCE = 0.005
+
 
 @dataclass(frozen=True)
 class GroundTruth:
@@ -27,6 +40,8 @@ class GroundTruth:
     v_min_at_vsafe: float
     iterations: int
     feasible: bool
+    converged: bool = True
+    tolerance: float = 0.002
 
     def margin_above_off(self, v_off: float) -> float:
         """How close the certified run's minimum sits to the threshold."""
@@ -55,21 +70,31 @@ def find_true_vsafe(system: PowerSystem, trace: CurrentTrace, *,
     Search brackets: the load must fail from ``V_off`` (trivially — the
     booster cuts out immediately on any draw) and is checked from
     ``V_high``; if it cannot complete even from a full buffer the load is
-    infeasible on this power system and the result says so.
+    infeasible on this power system and the result says so (``feasible``
+    False, ``converged`` False, ``v_safe`` NaN, ``iterations`` counting the
+    one attempt actually made).
 
     The returned ``v_safe`` is the *upper* end of the final bracket, i.e. a
     voltage from which the run was actually observed to complete; the true
-    boundary lies within ``tolerance`` below it.
+    boundary lies within ``tolerance`` below it. ``converged`` reports
+    whether the bracket actually closed to ``tolerance`` or the iteration
+    cap stopped the search first — callers previously could not tell a
+    converged-at-floor result from an exhausted one.
     """
     if tolerance <= 0:
         raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if max_iterations < 1:
+        raise ValueError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
     v_off = system.monitor.v_off
     v_high = system.monitor.v_high
 
     top = attempt_load(system, trace, v_high)
     if not top.completed:
         return GroundTruth(v_safe=float("nan"), v_min_at_vsafe=top.v_min,
-                           iterations=1, feasible=False)
+                           iterations=1, feasible=False, converged=False,
+                           tolerance=tolerance)
 
     lo, hi = v_off, v_high
     hi_vmin = top.v_min
@@ -84,4 +109,6 @@ def find_true_vsafe(system: PowerSystem, trace: CurrentTrace, *,
         else:
             lo = mid
     return GroundTruth(v_safe=hi, v_min_at_vsafe=hi_vmin,
-                       iterations=iterations, feasible=True)
+                       iterations=iterations, feasible=True,
+                       converged=hi - lo <= tolerance,
+                       tolerance=tolerance)

@@ -1,0 +1,68 @@
+"""Soundness verification subsystem for the V_safe analysis stack.
+
+``repro.verify`` answers one question with machinery instead of trust: *do
+the estimators actually keep the promise the paper makes for them?* It
+combines
+
+* seeded random generation of power systems and load traces
+  (:mod:`repro.verify.generators`),
+* a differential oracle that convicts by simulated brown-out, not by
+  numeric comparison alone (:mod:`repro.verify.oracle`),
+* metamorphic invariants that need no ground truth at all
+  (:mod:`repro.verify.metamorphic`),
+* a deterministic failing-case shrinker (:mod:`repro.verify.shrink`) and
+  JSON repro-case persistence (:mod:`repro.verify.cases`), and
+* a parallel, bit-reproducible runner (:mod:`repro.verify.runner`)
+  surfaced as ``repro verify`` on the command line.
+"""
+
+from repro.verify.cases import ReproCase, load_case, save_case
+from repro.verify.generators import (
+    SystemSpec,
+    random_system_spec,
+    random_trace,
+    trace_from_segments,
+    trace_segments,
+    trial_rng,
+)
+from repro.verify.metamorphic import InvariantResult, check_all
+from repro.verify.oracle import OracleResult, Verdict, differential_check
+from repro.verify.runner import (
+    BASELINE_ESTIMATORS,
+    KNOWN_ESTIMATORS,
+    STOCK_ESTIMATORS,
+    TrialConfig,
+    TrialOutcome,
+    VerificationReport,
+    build_estimator,
+    run_trial,
+    run_verification,
+)
+from repro.verify.shrink import shrink_trace
+
+__all__ = [
+    "BASELINE_ESTIMATORS",
+    "InvariantResult",
+    "KNOWN_ESTIMATORS",
+    "OracleResult",
+    "ReproCase",
+    "STOCK_ESTIMATORS",
+    "SystemSpec",
+    "TrialConfig",
+    "TrialOutcome",
+    "Verdict",
+    "VerificationReport",
+    "build_estimator",
+    "check_all",
+    "differential_check",
+    "load_case",
+    "random_system_spec",
+    "random_trace",
+    "run_trial",
+    "run_verification",
+    "save_case",
+    "shrink_trace",
+    "trace_from_segments",
+    "trace_segments",
+    "trial_rng",
+]

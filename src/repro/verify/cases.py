@@ -1,0 +1,119 @@
+"""Persisted repro cases: JSON files a failing trial leaves behind.
+
+Every UNSOUND verdict (after shrinking) becomes one self-contained JSON
+document: the system recipe, the minimized trace, the estimator, and the
+oracle parameters that convicted it. ``repro verify --replay case.json``
+rebuilds exactly that trial and re-runs the differential check, so a bug
+found by a 200-trial randomized sweep reduces to a one-command regression
+test that can be checked into the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.loads.trace import CurrentTrace
+from repro.verify.generators import (
+    SystemSpec,
+    trace_from_segments,
+    trace_segments,
+)
+from repro.verify.oracle import OracleResult, differential_check
+
+PathLike = Union[str, Path]
+
+FORMAT = "repro.verify-case"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """A minimized, replayable failing configuration."""
+
+    estimator: str
+    system: SystemSpec
+    segments: list
+    tolerance: float
+    conservative_margin: float
+    seed: Optional[int] = None
+    index: Optional[int] = None
+    #: The verdict details recorded when the case was found.
+    original: dict = field(default_factory=dict)
+
+    @property
+    def trace(self) -> CurrentTrace:
+        return trace_from_segments(self.segments)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "version": VERSION,
+            "estimator": self.estimator,
+            "system": self.system.to_dict(),
+            "segments": self.segments,
+            "tolerance": self.tolerance,
+            "conservative_margin": self.conservative_margin,
+            "seed": self.seed,
+            "index": self.index,
+            "original": self.original,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproCase":
+        if data.get("format") != FORMAT:
+            raise ValueError("not a repro verify-case document")
+        if data.get("version") != VERSION:
+            raise ValueError(f"unsupported version: {data.get('version')!r}")
+        return cls(
+            estimator=data["estimator"],
+            system=SystemSpec.from_dict(data["system"]),
+            segments=[[float(c), float(d)] for c, d in data["segments"]],
+            tolerance=float(data["tolerance"]),
+            conservative_margin=float(data["conservative_margin"]),
+            seed=data.get("seed"),
+            index=data.get("index"),
+            original=data.get("original", {}),
+        )
+
+    @classmethod
+    def build(cls, estimator_name: str, system: SystemSpec,
+              trace: CurrentTrace, *, tolerance: float,
+              conservative_margin: float, seed: Optional[int] = None,
+              index: Optional[int] = None,
+              result: Optional[OracleResult] = None) -> "ReproCase":
+        return cls(
+            estimator=estimator_name,
+            system=system,
+            segments=trace_segments(trace),
+            tolerance=tolerance,
+            conservative_margin=conservative_margin,
+            seed=seed,
+            index=index,
+            original=result.to_dict() if result is not None else {},
+        )
+
+    def replay(self) -> OracleResult:
+        """Re-run the differential check this case records."""
+        from repro.verify.runner import build_estimator  # cycle-free at call
+
+        system = self.system.build()
+        estimator = build_estimator(self.estimator, system)
+        return differential_check(
+            system, self.trace, estimator,
+            tolerance=self.tolerance,
+            conservative_margin=self.conservative_margin,
+        )
+
+
+def save_case(case: ReproCase, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(case.to_dict(), indent=2),
+                          encoding="utf-8")
+
+
+def load_case(path: PathLike) -> ReproCase:
+    return ReproCase.from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

@@ -1,0 +1,213 @@
+"""Metamorphic invariants over the V_safe analysis stack.
+
+Differential testing needs ground truth; metamorphic testing needs only a
+*relation between two runs*. These invariants are theorems of the charge
+model — each follows from the physics the paper formalizes — so a violation
+is a bug regardless of what ground truth says:
+
+* **esr-monotone** — V_safe is non-decreasing in ESR. Equation (1c) scales
+  the ESR drop term linearly with resistance; more resistance can never
+  make a start voltage that was unsafe become safe.
+* **current-monotone** — V_safe is non-decreasing in a uniform load-current
+  scale: both the energy term and the ``I·R`` drop grow with current.
+* **capacitance-antitone** — V_safe is non-increasing in capacitance: the
+  same energy spans fewer volts-squared on a larger buffer
+  (``energy_v2 = 2E/C``) and the ESR term is unaffected.
+* **multi-vs-single** — ``V_safe_multi`` of a task sequence is at least
+  every constituent task's single V_safe (the backward recurrence of
+  §IV-A only ever raises the floor).
+* **fastpath-equivalence** — the PR 1 fast kernel must remain *bit-for-bit*
+  equal to the reference stepper on every generated configuration.
+* **cache-consistency** — a VsafeCache hit must be bit-for-bit equal to
+  the recompute it replaced, and to the same analysis run with caching
+  disabled.
+
+The first three are checked on Culpeo-PG (Algorithm 1 is a pure function
+of model × trace, so the metamorphic transformation is exact: scale the
+measured ESR curve, the trace currents, or the datasheet capacitance and
+nothing else moves). The last two guard PR 1's performance layer under
+adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+from repro.core.model import vsafe_multi, vsafe_single
+from repro.core.profile_guided import CulpeoPG
+from repro.core.vsafe_cache import VsafeCache
+from repro.loads.trace import CurrentTrace
+from repro.power.esr_profile import EsrFrequencyCurve
+from repro.power.system import PowerSystem, PowerSystemModel
+from repro.sim.engine import PowerSystemSimulator
+
+#: Slack for comparisons that are mathematically >=; Algorithm 1 is pure
+#: float arithmetic, so only representation-level noise is forgiven.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one metamorphic check."""
+
+    invariant: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"invariant": self.invariant, "passed": self.passed,
+                "detail": self.detail}
+
+
+def _scaled_esr_model(model: PowerSystemModel,
+                      factor: float) -> PowerSystemModel:
+    curve = EsrFrequencyCurve(
+        model.esr_curve.pulse_widths,
+        tuple(v * factor for v in model.esr_curve.esr_values),
+    )
+    return replace(model, esr_curve=curve)
+
+
+def check_esr_monotone(model: PowerSystemModel, trace: CurrentTrace,
+                       factor: float = 1.5) -> InvariantResult:
+    """Scaling every point of the ESR curve up must not lower V_safe."""
+    base = CulpeoPG(model, use_cache=False).analyze(trace).v_safe
+    worse = CulpeoPG(_scaled_esr_model(model, factor),
+                     use_cache=False).analyze(trace).v_safe
+    ok = worse >= base - _EPS
+    return InvariantResult(
+        "esr-monotone", ok,
+        "" if ok else f"esr x{factor:g}: v_safe fell {base:.6f} -> {worse:.6f}",
+    )
+
+
+def check_current_monotone(model: PowerSystemModel, trace: CurrentTrace,
+                           factor: float = 1.3) -> InvariantResult:
+    """Scaling the load current up must not lower V_safe."""
+    pg = CulpeoPG(model, use_cache=False)
+    base = pg.analyze(trace).v_safe
+    heavier = pg.analyze(trace.scaled(current_factor=factor)).v_safe
+    ok = heavier >= base - _EPS
+    return InvariantResult(
+        "current-monotone", ok,
+        "" if ok else
+        f"current x{factor:g}: v_safe fell {base:.6f} -> {heavier:.6f}",
+    )
+
+
+def check_capacitance_antitone(model: PowerSystemModel, trace: CurrentTrace,
+                               factor: float = 1.5) -> InvariantResult:
+    """Growing the buffer must not raise V_safe."""
+    base = CulpeoPG(model, use_cache=False).analyze(trace).v_safe
+    bigger = CulpeoPG(replace(model, capacitance=model.capacitance * factor),
+                      use_cache=False).analyze(trace).v_safe
+    ok = bigger <= base + _EPS
+    return InvariantResult(
+        "capacitance-antitone", ok,
+        "" if ok else
+        f"capacitance x{factor:g}: v_safe rose {base:.6f} -> {bigger:.6f}",
+    )
+
+
+def check_multi_vs_single(model: PowerSystemModel,
+                          trace: CurrentTrace) -> InvariantResult:
+    """``V_safe_multi`` of a sequence covers each constituent task.
+
+    The trace is split at its midpoint segment into a two-task sequence;
+    the sequence requirement must dominate both halves' single-task
+    requirements (§IV-A: the backward recurrence never lowers the floor).
+    """
+    segments = list(trace.segments())
+    if len(segments) < 2:
+        # A single segment has no non-trivial split; degenerate pass.
+        return InvariantResult("multi-vs-single", True, "single-segment trace")
+    cut = len(segments) // 2
+    first = CurrentTrace(segments[:cut])
+    second = CurrentTrace(segments[cut:])
+    pg = CulpeoPG(model, use_cache=False)
+    d1 = pg.analyze(first).demand
+    d2 = pg.analyze(second).demand
+    combined = vsafe_multi([d1, d2], model.v_off)
+    singles = max(vsafe_single(d1, model.v_off),
+                  vsafe_single(d2, model.v_off))
+    ok = combined >= singles - _EPS
+    return InvariantResult(
+        "multi-vs-single", ok,
+        "" if ok else
+        f"vsafe_multi {combined:.6f} < max constituent {singles:.6f}",
+    )
+
+
+def check_fastpath_equivalence(system: PowerSystem,
+                               trace: CurrentTrace) -> InvariantResult:
+    """Fast kernel and reference stepper must agree bit-for-bit.
+
+    Runs the trace from a rested full buffer (harvesting off, a short
+    settle window so the rebound path is exercised too) through both
+    steppers and compares every numeric field of the results exactly —
+    ``==``, not ``approx``.
+    """
+    results = []
+    for fast in (True, False):
+        trial = system.copy()
+        trial.rest_at(system.monitor.v_high)
+        sim = PowerSystemSimulator(trial, fast=fast)
+        res = sim.run_trace(trace, harvesting=False, settle_after=0.002)
+        results.append((res, trial.buffer.terminal_voltage, sim.time))
+    (fast_res, fast_v, fast_t), (ref_res, ref_v, ref_t) = results
+    mismatches = []
+    for field_name in ("completed", "browned_out", "v_start", "v_min",
+                       "v_final", "end_time", "brown_out_time",
+                       "energy_from_buffer"):
+        a = getattr(fast_res, field_name)
+        b = getattr(ref_res, field_name)
+        if a != b:
+            mismatches.append(f"{field_name}: fast={a!r} ref={b!r}")
+    if fast_v != ref_v:
+        mismatches.append(f"terminal_voltage: fast={fast_v!r} ref={ref_v!r}")
+    if fast_t != ref_t:
+        mismatches.append(f"time: fast={fast_t!r} ref={ref_t!r}")
+    return InvariantResult("fastpath-equivalence", not mismatches,
+                           "; ".join(mismatches))
+
+
+def check_cache_consistency(model: PowerSystemModel,
+                            trace: CurrentTrace) -> InvariantResult:
+    """Cache hit == recompute == cache disabled, bit-for-bit."""
+    cache = VsafeCache(maxsize=16)
+    pg = CulpeoPG(model, cache=cache)
+    miss = pg.analyze(trace)
+    hit = pg.analyze(trace)
+    uncached = CulpeoPG(model, use_cache=False).analyze(trace)
+    mismatches = []
+    for label, other in (("hit", hit), ("uncached", uncached)):
+        if (other.v_safe != miss.v_safe or other.v_delta != miss.v_delta
+                or other.demand.energy_v2 != miss.demand.energy_v2
+                or other.demand.v_delta != miss.demand.v_delta):
+            mismatches.append(
+                f"{label}: v_safe {other.v_safe!r} vs {miss.v_safe!r}"
+            )
+    if cache.stats.hits < 1:
+        mismatches.append("second analyze never hit the cache")
+    return InvariantResult("cache-consistency", not mismatches,
+                           "; ".join(mismatches))
+
+
+def check_all(system: PowerSystem, model: PowerSystemModel,
+              trace: CurrentTrace,
+              rng: "np.random.Generator") -> List[InvariantResult]:
+    """Run every metamorphic invariant with randomized scale factors."""
+    esr_factor = float(rng.uniform(1.1, 3.0))
+    current_factor = float(rng.uniform(1.05, 2.0))
+    cap_factor = float(rng.uniform(1.1, 3.0))
+    return [
+        check_esr_monotone(model, trace, esr_factor),
+        check_current_monotone(model, trace, current_factor),
+        check_capacitance_antitone(model, trace, cap_factor),
+        check_multi_vs_single(model, trace),
+        check_fastpath_equivalence(system, trace),
+        check_cache_consistency(model, trace),
+    ]

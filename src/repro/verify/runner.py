@@ -1,0 +1,353 @@
+"""Verification runner: randomized trials, fan-out, and the report.
+
+One *trial* is: generate a power system and a load trace from the per-trial
+``(seed, index)`` stream, binary-search ground truth once, judge every
+configured estimator with the differential oracle, and run the metamorphic
+invariant suite. UNSOUND verdicts are shrunk in the worker (the expensive
+part parallelizes with the trials) and persisted by the parent as JSON
+repro cases.
+
+Trials fan out over :func:`repro.harness.parallel.parallel_map`, and the
+whole report is a pure function of ``(trials, seed, oracle parameters)`` —
+worker count changes wall-clock time, never a byte of the output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runtime import CulpeoRCalculator
+from repro.harness.ground_truth import find_true_vsafe
+from repro.harness.parallel import parallel_map
+from repro.harness.report import TextTable
+from repro.loads.trace import CurrentTrace
+from repro.power.system import PowerSystem, PowerSystemModel
+from repro.sched.estimators import (
+    CatnapEstimator,
+    CulpeoPgEstimator,
+    CulpeoREstimator,
+    EnergyDirectEstimator,
+    EnergyVEstimator,
+)
+from repro.verify import metamorphic
+from repro.verify.cases import ReproCase, save_case
+from repro.verify.generators import (
+    SystemSpec,
+    random_system_spec,
+    random_trace,
+    trial_rng,
+)
+from repro.verify.oracle import OracleResult, Verdict, differential_check
+from repro.verify.shrink import shrink_trace
+
+#: The estimators the paper claims sound — what `repro verify` gates on.
+STOCK_ESTIMATORS: Tuple[str, ...] = ("culpeo-pg", "culpeo-isr",
+                                     "culpeo-uarch")
+
+#: The energy-only baselines the paper proves unsound — available behind
+#: ``--estimators`` so the harness can demonstrate it catches them.
+BASELINE_ESTIMATORS: Tuple[str, ...] = ("energy-direct", "energy-v",
+                                        "catnap-measured", "catnap-slow")
+
+KNOWN_ESTIMATORS: Tuple[str, ...] = STOCK_ESTIMATORS + BASELINE_ESTIMATORS
+
+
+def build_estimator(name: str, system: PowerSystem,
+                    model: Optional[PowerSystemModel] = None):
+    """Instantiate an estimator by its registry name, bound to ``system``."""
+    if name not in KNOWN_ESTIMATORS:
+        raise ValueError(
+            f"unknown estimator {name!r}; choose from {KNOWN_ESTIMATORS}"
+        )
+    model = model or system.characterize()
+    if name == "culpeo-pg":
+        return CulpeoPgEstimator(model)
+    if name in ("culpeo-isr", "culpeo-uarch"):
+        calc = CulpeoRCalculator(efficiency=model.efficiency,
+                                 v_off=model.v_off, v_high=model.v_high)
+        return CulpeoREstimator(calc, name.split("-", 1)[1])
+    if name == "energy-direct":
+        return EnergyDirectEstimator(model)
+    if name == "energy-v":
+        return EnergyVEstimator(model)
+    if name == "catnap-measured":
+        return CatnapEstimator.measured(model)
+    return CatnapEstimator.slow(model)
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Everything a worker needs to run one trial (picklable)."""
+
+    seed: int
+    estimators: Tuple[str, ...] = STOCK_ESTIMATORS
+    tolerance: float = 0.002
+    conservative_margin: float = 0.25
+    metamorphic: bool = True
+    shrink: bool = True
+    shrink_budget: int = 120
+
+
+@dataclass
+class TrialOutcome:
+    """Plain-data result of one trial (picklable, aggregation-ready)."""
+
+    index: int
+    feasible: bool
+    oracle: List[dict] = field(default_factory=list)
+    invariants: List[dict] = field(default_factory=list)
+    cases: List[dict] = field(default_factory=list)
+
+
+def _unsound_on(system: PowerSystem, estimator, trace: CurrentTrace, *,
+                tolerance: float, conservative_margin: float) -> bool:
+    """The shrinker's predicate: does this trace still convict?
+
+    It must be *exactly* the oracle's conviction rule — a cheaper proxy
+    (brown-out alone) can shrink a case past the conviction boundary and
+    leave behind a repro file that replays SOUND.
+    """
+    result = differential_check(
+        system, trace, estimator,
+        tolerance=tolerance, conservative_margin=conservative_margin,
+    )
+    return result.verdict is Verdict.UNSOUND
+
+
+def run_trial(args: "Tuple[int, TrialConfig]") -> TrialOutcome:
+    """Execute one randomized trial end to end (module-level: picklable)."""
+    index, cfg = args
+    rng = trial_rng(cfg.seed, index)
+    spec = random_system_spec(rng)
+    trace = random_trace(rng, spec)
+    system = spec.build()
+    model = system.characterize()
+
+    truth = find_true_vsafe(system, trace, tolerance=cfg.tolerance)
+    outcome = TrialOutcome(index=index, feasible=truth.feasible)
+
+    for name in cfg.estimators:
+        estimator = build_estimator(name, system, model)
+        result = differential_check(
+            system, trace, estimator, truth,
+            tolerance=cfg.tolerance,
+            conservative_margin=cfg.conservative_margin,
+        )
+        outcome.oracle.append({**result.to_dict(), "estimator_key": name})
+        if result.verdict is Verdict.UNSOUND and cfg.shrink:
+            shrunk = shrink_trace(
+                trace,
+                lambda t: _unsound_on(
+                    system, estimator, t, tolerance=cfg.tolerance,
+                    conservative_margin=cfg.conservative_margin,
+                ),
+                max_evaluations=cfg.shrink_budget,
+            )
+            case = ReproCase.build(
+                name, spec, shrunk,
+                tolerance=cfg.tolerance,
+                conservative_margin=cfg.conservative_margin,
+                seed=cfg.seed, index=index, result=result,
+            )
+            outcome.cases.append(case.to_dict())
+
+    if cfg.metamorphic and truth.feasible:
+        for inv in metamorphic.check_all(system, model, trace, rng):
+            outcome.invariants.append(inv.to_dict())
+    return outcome
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated verdicts of one verification run.
+
+    The report is pure data — no timestamps, no worker counts — so two
+    runs over the same ``(trials, seed, parameters)`` serialize to
+    identical JSON regardless of parallelism.
+    """
+
+    trials: int
+    seed: int
+    estimators: Tuple[str, ...]
+    tolerance: float
+    conservative_margin: float
+    counts: Dict[str, int]
+    per_estimator: Dict[str, dict]
+    invariants: Dict[str, dict]
+    worst: Dict[str, dict]
+    failures: List[str]
+    violations: List[dict]
+
+    @property
+    def unsound(self) -> int:
+        return self.counts.get(Verdict.UNSOUND.value, 0)
+
+    @property
+    def violated(self) -> int:
+        return len(self.violations)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unsound and no invariant violated."""
+        return self.unsound == 0 and self.violated == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.verify-report",
+            "version": 1,
+            "config": {
+                "trials": self.trials,
+                "seed": self.seed,
+                "estimators": list(self.estimators),
+                "tolerance": self.tolerance,
+                "conservative_margin": self.conservative_margin,
+            },
+            "counts": self.counts,
+            "per_estimator": self.per_estimator,
+            "invariants": self.invariants,
+            "worst": self.worst,
+            "failures": self.failures,
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        table = TextTable(
+            ["estimator", "sound", "unsound", "conservative", "infeasible",
+             "worst margin (V)", "mean margin (V)"],
+            title=(f"verification: {self.trials} trials, seed {self.seed}, "
+                   f"estimators {', '.join(self.estimators)}"),
+        )
+        for name in self.estimators:
+            stats = self.per_estimator[name]
+            worst = stats["worst_margin"]
+            mean = stats["mean_margin"]
+            table.add_row([
+                name,
+                stats["counts"].get("SOUND", 0),
+                stats["counts"].get("UNSOUND", 0),
+                stats["counts"].get("OVERLY_CONSERVATIVE", 0),
+                stats["counts"].get("INFEASIBLE", 0),
+                "—" if worst is None else f"{worst:+.4f}",
+                "—" if mean is None else f"{mean:+.4f}",
+            ])
+        lines = [table.render()]
+        checks = sum(v["checks"] for v in self.invariants.values())
+        lines.append(
+            f"metamorphic: {checks} checks, {self.violated} violations"
+        )
+        if self.violations:
+            for violation in self.violations[:10]:
+                lines.append(f"  VIOLATION trial {violation['index']} "
+                             f"{violation['invariant']}: "
+                             f"{violation['detail']}")
+        if self.failures:
+            lines.append(f"failing cases ({len(self.failures)}):")
+            for path in self.failures:
+                lines.append(f"  {path}")
+        lines.append("verdict: " + ("OK" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
+                     estimators: Sequence[str] = STOCK_ESTIMATORS,
+                     tolerance: float = 0.002,
+                     conservative_margin: float = 0.25,
+                     metamorphic_checks: bool = True,
+                     shrink: bool = True,
+                     shrink_budget: int = 120,
+                     failures_dir: Optional[str] = None
+                     ) -> VerificationReport:
+    """Run ``trials`` randomized soundness trials and aggregate a report.
+
+    ``failures_dir`` receives one JSON repro case per UNSOUND verdict
+    (created on demand; untouched when the run is clean). Results are
+    bit-identical for any ``jobs``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    names = tuple(estimators)
+    for name in names:
+        if name not in KNOWN_ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {name!r}; choose from {KNOWN_ESTIMATORS}"
+            )
+    cfg = TrialConfig(seed=seed, estimators=names, tolerance=tolerance,
+                      conservative_margin=conservative_margin,
+                      metamorphic=metamorphic_checks, shrink=shrink,
+                      shrink_budget=shrink_budget)
+    outcomes = parallel_map(run_trial, [(i, cfg) for i in range(trials)],
+                            jobs=jobs)
+
+    counts: Dict[str, int] = {v.value: 0 for v in Verdict}
+    per_estimator: Dict[str, dict] = {
+        name: {"counts": {v.value: 0 for v in Verdict},
+               "margins": []} for name in names
+    }
+    invariant_stats: Dict[str, dict] = {}
+    violations: List[dict] = []
+    failures: List[str] = []
+    worst_overall: Optional[dict] = None
+    most_conservative: Optional[dict] = None
+
+    for outcome in outcomes:
+        for entry in outcome.oracle:
+            verdict = entry["verdict"]
+            counts[verdict] += 1
+            stats = per_estimator[entry["estimator_key"]]
+            stats["counts"][verdict] += 1
+            margin = entry["margin"]
+            if not math.isnan(margin):
+                stats["margins"].append(margin)
+                record = {"index": outcome.index,
+                          "estimator": entry["estimator_key"],
+                          "margin": margin, "verdict": verdict}
+                if worst_overall is None or margin < worst_overall["margin"]:
+                    worst_overall = record
+                if (most_conservative is None
+                        or margin > most_conservative["margin"]):
+                    most_conservative = record
+        for entry in outcome.invariants:
+            stats = invariant_stats.setdefault(
+                entry["invariant"], {"checks": 0, "violations": 0}
+            )
+            stats["checks"] += 1
+            if not entry["passed"]:
+                stats["violations"] += 1
+                violations.append({"index": outcome.index,
+                                   "invariant": entry["invariant"],
+                                   "detail": entry["detail"]})
+        if outcome.cases and failures_dir is not None:
+            directory = Path(failures_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            for case_dict in outcome.cases:
+                case = ReproCase.from_dict(case_dict)
+                path = directory / (
+                    f"case-{outcome.index:06d}-{case.estimator}.json"
+                )
+                save_case(case, path)
+                failures.append(str(path))
+        elif outcome.cases:
+            failures.extend(
+                f"<unpersisted case: trial {outcome.index} "
+                f"{c['estimator']}>" for c in outcome.cases
+            )
+
+    for name in names:
+        stats = per_estimator[name]
+        margins = stats.pop("margins")
+        stats["worst_margin"] = min(margins) if margins else None
+        stats["mean_margin"] = (sum(margins) / len(margins)
+                                if margins else None)
+
+    return VerificationReport(
+        trials=trials, seed=seed, estimators=names, tolerance=tolerance,
+        conservative_margin=conservative_margin, counts=counts,
+        per_estimator=per_estimator, invariants=invariant_stats,
+        worst={"least_margin": worst_overall,
+               "most_conservative": most_conservative},
+        failures=failures, violations=violations,
+    )

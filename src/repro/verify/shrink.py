@@ -1,0 +1,94 @@
+"""Failing-case minimization.
+
+A randomized trial that convicts an estimator usually carries far more
+trace than the bug needs — peripheral mixes are dozens of segments, burst
+trains carry idle filler. The shrinker reduces a failing case to something
+a human can read before it is persisted:
+
+1. **Segment removal** (ddmin-style): repeatedly try deleting contiguous
+   chunks of segments, halving the chunk size each round, keeping any
+   deletion that still fails.
+2. **Magnitude reduction**: per surviving segment, try shrinking the
+   current and then the duration toward zero through a fixed ladder of
+   factors, keeping each reduction that still fails.
+
+Everything is deterministic (fixed ladders, fixed iteration order) and
+bounded by ``max_evaluations`` predicate calls, so shrinking inside a
+worker process cannot hang a verification run and re-shrinking the same
+case always yields the same minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.loads.trace import CurrentTrace
+
+#: Factors tried (in order) when shrinking a segment's current/duration.
+_MAGNITUDE_LADDER = (0.125, 0.25, 0.5, 0.75, 0.9)
+
+
+class _Budget:
+    """Counts predicate evaluations and signals exhaustion."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def check(self, predicate, segments) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        try:
+            return bool(predicate(CurrentTrace(segments)))
+        except ValueError:
+            # An all-zero candidate cannot even build a trace; not a repro.
+            return False
+
+
+def shrink_trace(trace: CurrentTrace,
+                 still_fails: Callable[[CurrentTrace], bool], *,
+                 max_evaluations: int = 200) -> CurrentTrace:
+    """Minimize ``trace`` while ``still_fails`` stays true.
+
+    ``still_fails`` must be true for ``trace`` itself (the caller found a
+    failure); the returned trace is guaranteed to satisfy it too. At most
+    ``max_evaluations`` predicate calls are spent.
+    """
+    if max_evaluations < 1:
+        raise ValueError(
+            f"max_evaluations must be >= 1, got {max_evaluations}"
+        )
+    segments: List[Tuple[float, float]] = list(trace.segments())
+    budget = _Budget(max_evaluations)
+
+    # Phase 1: chunked segment deletion, halving chunk size.
+    chunk = max(1, len(segments) // 2)
+    while chunk >= 1 and not budget.spent():
+        i = 0
+        while i < len(segments) and len(segments) > 1 and not budget.spent():
+            candidate = segments[:i] + segments[i + chunk:]
+            if candidate and budget.check(still_fails, candidate):
+                segments = candidate
+                # Re-test the same index: the next chunk slid into place.
+            else:
+                i += chunk
+        chunk //= 2
+
+    # Phase 2: magnitude reduction, currents first, then durations.
+    for attr in (0, 1):  # 0 = current, 1 = duration
+        for i in range(len(segments)):
+            for factor in _MAGNITUDE_LADDER:
+                if budget.spent():
+                    break
+                seg = list(segments[i])
+                seg[attr] *= factor
+                candidate = segments[:i] + [tuple(seg)] + segments[i + 1:]
+                if budget.check(still_fails, candidate):
+                    segments = candidate
+                    break  # smallest factor that still fails wins
+
+    return CurrentTrace(segments)

@@ -165,6 +165,67 @@ class TestStructuralInvalidation:
         assert a.fingerprint() != b.fingerprint()
 
 
+class TestDeratingRestoreRoundTrip:
+    """Mutate the configuration, then restore it: the original entries must
+    still be live — invalidation is structural (key-based), not a flush."""
+
+    def test_restore_after_aging_hits_original_entry(self, system, trace):
+        cache = VsafeCache()
+        fresh_model = system.characterize()
+        baseline = CulpeoPG(fresh_model, cache=cache).analyze(trace)
+
+        aged_system = system.copy()
+        aged_system.buffer = aged_system.buffer.aged()
+        aged = CulpeoPG(aged_system.characterize(),
+                        cache=cache).analyze(trace)
+        assert aged.v_safe > baseline.v_safe    # recomputed, not stale
+
+        # Re-characterizing the untouched system reproduces the original
+        # key, so the very first analysis on the "restored" part is a hit.
+        hits_before = cache.stats.hits
+        restored_model = system.characterize()
+        assert restored_model.config_key() == fresh_model.config_key()
+        restored = CulpeoPG(restored_model, cache=cache).analyze(trace)
+        assert cache.stats.hits == hits_before + 1
+        assert restored == baseline
+
+    def test_restore_after_temperature_excursion_hits(self, system, trace):
+        cache = VsafeCache()
+        warm_model = system.characterize()
+        baseline = CulpeoPG(warm_model, cache=cache).analyze(trace)
+
+        cold_system = system.copy()
+        cold_system.buffer = cold_system.buffer.at_temperature(-20.0)
+        CulpeoPG(cold_system.characterize(), cache=cache).analyze(trace)
+        assert len(cache) == 2                  # both configs resident
+
+        hits_before = cache.stats.hits
+        back_warm = CulpeoPG(system.characterize(),
+                             cache=cache).analyze(trace)
+        assert cache.stats.hits == hits_before + 1
+        assert back_warm == baseline
+
+    def test_aging_misses_at_scheduler_level(self, system, trace):
+        """``cached_estimate`` keys on ``system.config_key()`` too: an aged
+        plant must recompute even through the estimator-level cache."""
+        model = system.characterize()
+        estimator = CatnapEstimator.measured(model)
+        default_cache().invalidate()
+        default_cache().reset_stats()
+        fresh = cached_estimate(estimator, system, trace)
+        aged_system = system.copy()
+        aged_system.buffer = aged_system.buffer.aged()
+        assert aged_system.config_key() != system.config_key()
+        aged = cached_estimate(estimator, aged_system, trace)
+        assert cache_stats().hits == 0
+        # Restoring the original plant (a fresh copy keys identically)
+        # hits the entry computed before the excursion.
+        restored = cached_estimate(estimator, system.copy(), trace)
+        assert cache_stats().hits == 1
+        assert restored == fresh
+        assert aged != fresh
+
+
 class TestSchedulerCachedEstimate:
     def test_cached_estimate_hits_shared_cache(self, system, trace):
         model = system.characterize()

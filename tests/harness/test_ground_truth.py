@@ -56,6 +56,30 @@ class TestFindTrueVsafe:
             find_true_vsafe(system, uniform_load(0.01, 0.01).trace,
                             tolerance=0.0)
 
+    def test_converged_flag_distinguishes_outcomes(self, system):
+        """converged separates "bracket closed" from "iterations ran out"
+        from "infeasible" — three states callers previously couldn't
+        tell apart."""
+        trace = uniform_load(0.025, 0.010).trace
+        closed = find_true_vsafe(system, trace, tolerance=0.002)
+        assert closed.feasible and closed.converged
+
+        capped = find_true_vsafe(system, trace, tolerance=1e-6,
+                                 max_iterations=2)
+        assert capped.feasible and not capped.converged
+        # Even uncapped, the certified voltage still completes.
+        assert attempt_load(system, trace, capped.v_safe).completed
+
+        infeasible = find_true_vsafe(system, CurrentTrace.constant(0.05, 3.0))
+        assert not infeasible.feasible and not infeasible.converged
+
+    def test_tighter_tolerance_narrows_certification(self, system):
+        trace = uniform_load(0.050, 0.010).trace
+        coarse = find_true_vsafe(system, trace, tolerance=0.02)
+        fine = find_true_vsafe(system, trace, tolerance=0.001)
+        assert fine.v_safe <= coarse.v_safe + 1e-12
+        assert fine.iterations > coarse.iterations
+
     def test_monotone_in_load(self, system):
         small = find_true_vsafe(system, uniform_load(0.010, 0.010).trace)
         big = find_true_vsafe(system, uniform_load(0.050, 0.010).trace)

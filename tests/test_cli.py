@@ -47,3 +47,43 @@ class TestCommands:
         for fig in ("fig1b", "fig3", "fig4", "fig5", "fig6", "table3",
                     "fig10", "fig11", "fig12", "fig13"):
             assert fig in EXPERIMENTS
+
+
+class TestVerifyCommand:
+    """End-to-end `repro verify`: the soundness gate as a user runs it."""
+
+    def test_stock_estimators_pass(self, capsys, tmp_path):
+        report_file = tmp_path / "report.json"
+        code = main(["verify", "--trials", "4", "--seed", "0",
+                     "--report", str(report_file),
+                     "--failures-dir", str(tmp_path / "failures")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert report_file.exists()
+        import json
+        payload = json.loads(report_file.read_text())
+        assert payload["format"] == "repro.verify-report"
+        assert payload["config"]["trials"] == 4
+        assert payload["counts"]["UNSOUND"] == 0
+        assert payload["ok"] is True
+        assert not (tmp_path / "failures").exists()   # created only on failure
+
+    def test_unsound_estimator_convicts_and_persists_case(self, capsys,
+                                                          tmp_path):
+        failures = tmp_path / "failures"
+        code = main(["verify", "--trials", "4", "--seed", "0",
+                     "--estimators", "energy-direct",
+                     "--failures-dir", str(failures)])
+        assert code == 1
+        cases = sorted(failures.glob("case-*.json"))
+        assert cases                      # shrunk repro persisted
+        capsys.readouterr()
+        replay_code = main(["verify", "--replay", str(cases[0])])
+        assert replay_code == 1           # the case replays UNSOUND
+        assert "UNSOUND" in capsys.readouterr().out
+
+    def test_unknown_estimator_rejected(self, capsys):
+        assert main(["verify", "--trials", "1",
+                     "--estimators", "no-such-estimator"]) == 2
+        assert "unknown estimator" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Metamorphic invariants hold on the reference system — and the checks
+actually detect violations when handed a broken relation."""
+
+import numpy as np
+import pytest
+
+from repro.loads.synthetic import pulse_with_compute_tail, uniform_load
+from repro.verify.metamorphic import (
+    check_all,
+    check_cache_consistency,
+    check_capacitance_antitone,
+    check_current_monotone,
+    check_esr_monotone,
+    check_fastpath_equivalence,
+    check_multi_vs_single,
+)
+
+
+@pytest.fixture()
+def trace():
+    return pulse_with_compute_tail(0.025, 0.010).trace
+
+
+class TestInvariantsHoldOnReference:
+    def test_esr_monotone(self, model, trace):
+        assert check_esr_monotone(model, trace).passed
+
+    def test_current_monotone(self, model, trace):
+        assert check_current_monotone(model, trace).passed
+
+    def test_capacitance_antitone(self, model, trace):
+        assert check_capacitance_antitone(model, trace).passed
+
+    def test_multi_vs_single(self, model, trace):
+        assert check_multi_vs_single(model, trace).passed
+
+    def test_multi_vs_single_degenerate_single_segment(self, model):
+        result = check_multi_vs_single(model,
+                                       uniform_load(0.010, 0.010).trace)
+        assert result.passed
+        assert "single-segment" in result.detail
+
+    def test_fastpath_equivalence(self, system, trace):
+        assert check_fastpath_equivalence(system, trace).passed
+
+    def test_cache_consistency(self, model, trace):
+        assert check_cache_consistency(model, trace).passed
+
+    def test_check_all_runs_full_suite(self, system, model, trace):
+        results = check_all(system, model, trace,
+                            np.random.default_rng(0))
+        assert len(results) == 6
+        assert all(r.passed for r in results)
+        assert len({r.invariant for r in results}) == 6
+
+    def test_check_all_deterministic_under_seed(self, system, model, trace):
+        a = check_all(system, model, trace, np.random.default_rng(5))
+        b = check_all(system, model, trace, np.random.default_rng(5))
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+    def test_results_serialize(self, model, trace):
+        data = check_esr_monotone(model, trace).to_dict()
+        assert data == {"invariant": "esr-monotone", "passed": True,
+                        "detail": ""}

@@ -1,0 +1,55 @@
+"""Shrinker: minimization, determinism, and the evaluation budget."""
+
+import pytest
+
+from repro.loads.trace import CurrentTrace
+from repro.verify.shrink import shrink_trace
+
+
+def _total_charge(trace):
+    return sum(c * d for c, d in trace.segments())
+
+
+class TestShrinkTrace:
+    def test_result_still_fails(self):
+        trace = CurrentTrace([(0.030, 0.010)] + [(0.001, 0.005)] * 9)
+        still_fails = lambda t: max(c for c, _ in t.segments()) >= 0.025
+        shrunk = shrink_trace(trace, still_fails)
+        assert still_fails(shrunk)
+
+    def test_removes_irrelevant_segments(self):
+        """Only the hot pulse matters to the predicate; the filler goes."""
+        trace = CurrentTrace([(0.001, 0.005)] * 8 + [(0.030, 0.010)]
+                             + [(0.001, 0.005)] * 8)
+        shrunk = shrink_trace(
+            trace, lambda t: max(c for c, _ in t.segments()) >= 0.025)
+        assert len(list(shrunk.segments())) == 1
+
+    def test_reduces_magnitudes(self):
+        trace = CurrentTrace([(0.040, 0.020)])
+        shrunk = shrink_trace(trace, lambda t: _total_charge(t) >= 1e-5)
+        assert _total_charge(shrunk) < _total_charge(trace)
+        assert _total_charge(shrunk) >= 1e-5
+
+    def test_deterministic(self):
+        trace = CurrentTrace([(0.002 * (i % 5 + 1), 0.003) for i in range(12)])
+        still_fails = lambda t: _total_charge(t) >= 5e-5
+        first = shrink_trace(trace, still_fails)
+        second = shrink_trace(trace, still_fails)
+        assert list(first.segments()) == list(second.segments())
+
+    def test_respects_evaluation_budget(self):
+        calls = []
+
+        def still_fails(t):
+            calls.append(1)
+            return True
+
+        trace = CurrentTrace([(0.010, 0.010)] * 16)
+        shrink_trace(trace, still_fails, max_evaluations=7)
+        assert len(calls) <= 7
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            shrink_trace(CurrentTrace([(0.01, 0.01)]), lambda t: True,
+                         max_evaluations=0)
