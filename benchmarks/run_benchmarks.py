@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -51,19 +52,24 @@ def _bench(fn, repeats: int = 1) -> float:
     return best
 
 
-def _many_segment_trace(n_segments: int) -> CurrentTrace:
-    """A long bursty trace with ``n_segments`` distinct segments."""
+def _many_segment_trace(n_segments: int, seed: int = 0) -> CurrentTrace:
+    """A long bursty trace with ``n_segments`` distinct segments.
+
+    The burst pattern is a pure function of ``seed``, so a checked-in
+    bench JSON names everything needed to regenerate its workload.
+    """
     segments = []
     for i in range(n_segments // 2):
-        # Alternating sleep/burst; vary the burst so segments never merge.
+        # Alternating sleep/burst; vary the burst (seed-dependently) so
+        # segments never merge.
         segments.append((0.0, 2e-3))
-        segments.append((0.004 + 0.0005 * (i % 7), 1e-3))
+        segments.append((0.004 + 0.0005 * ((i + seed) % 7), 1e-3))
     return CurrentTrace(segments)
 
 
-def bench_kernel(n_segments: int, repeats: int) -> dict:
+def bench_kernel(n_segments: int, repeats: int, seed: int = 0) -> dict:
     """(a) single many-segment trace: reference stepper vs fast kernel."""
-    trace = _many_segment_trace(n_segments)
+    trace = _many_segment_trace(n_segments, seed)
 
     def run(fast: bool):
         system = capybara_power_system()
@@ -119,14 +125,15 @@ def bench_analysis(n_tasks: int, repeats: int) -> dict:
     )
 
 
-def bench_sweep(trials: int, repeats: int) -> dict:
+def bench_sweep(trials: int, repeats: int, seed: int = 0) -> dict:
     """(c) fig13 event-rate sweep: reference vs fast vs fast+parallel."""
     jobs = default_jobs()
 
     def run(fast: bool, jobs_: int = 1):
         previous = set_default_fast(fast)
         try:
-            return fig13_event_rates(trials=trials, jobs=jobs_)
+            return fig13_event_rates(trials=trials, jobs=jobs_,
+                                     base_seed=2022 + seed)
         finally:
             set_default_fast(previous)
 
@@ -154,6 +161,10 @@ def main(argv=None) -> int:
                         help="output JSON path (default BENCH_PR1.json)")
     parser.add_argument("--quick", action="store_true",
                         help="shrunken workloads for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (burst pattern, arrival "
+                             "streams); recorded in the JSON so checked-in "
+                             "results are regenerable (default 0)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -162,7 +173,7 @@ def main(argv=None) -> int:
         n_segments, n_tasks, trials, repeats = 10_000, 100, 1, 2
 
     print("kernel: single many-segment trace ...", flush=True)
-    kernel = bench_kernel(n_segments, repeats)
+    kernel = bench_kernel(n_segments, repeats, args.seed)
     print(f"  reference {kernel['reference_s']:.3f}s  "
           f"fast {kernel['fast_s']:.3f}s  ({kernel['speedup']:.1f}x)")
 
@@ -173,7 +184,7 @@ def main(argv=None) -> int:
           f"hit rate {analysis['hit_rate']:.0%})")
 
     print("sweep: fig13 event-rate sweep ...", flush=True)
-    sweep = bench_sweep(trials, repeats)
+    sweep = bench_sweep(trials, repeats, args.seed)
     print(f"  reference {sweep['reference_s']:.3f}s  "
           f"fast {sweep['fast_s']:.3f}s ({sweep['speedup_fast']:.1f}x)  "
           f"fast+parallel(jobs={sweep['jobs']}) "
@@ -183,9 +194,13 @@ def main(argv=None) -> int:
     payload = dict(
         benchmark="BENCH_PR1",
         quick=args.quick,
+        seed=args.seed,
         python=platform.python_version(),
         machine=platform.machine(),
-        cpus=default_jobs(),
+        # The CPUs actually present on the measuring machine — reported
+        # directly, not via a worker-count heuristic, so the sweep's
+        # parallel numbers can be judged in context.
+        cpus=os.cpu_count() or 1,
         kernel=kernel,
         analysis=analysis,
         sweep=sweep,

@@ -8,12 +8,16 @@ Usage::
     python -m repro vsafe 25mA 10ms --shape pulse   # ad-hoc V_safe check
     python -m repro verify --trials 200 --jobs 4    # soundness gate
     python -m repro verify --replay case.json       # re-run a repro case
+    python -m repro trace ps --trials 1             # traced app run
+    python -m repro stats obs-out/metrics.json      # render the snapshot
 
 ``run`` executes the same runners the benchmark suite wraps; ``vsafe``
 answers the day-to-day developer question — "from what voltage is this
 load safe?" — with ground truth and every estimator side by side;
 ``verify`` stress-tests the estimators' soundness contract on randomized
-systems and exits non-zero on any conviction.
+systems and exits non-zero on any conviction; ``trace`` re-runs an app or
+experiment with the observability layer on, leaving a JSONL trace and a
+metrics snapshot behind; ``stats`` renders such a snapshot.
 """
 
 from __future__ import annotations
@@ -188,6 +192,88 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: App aliases accepted by ``repro trace`` (the paper's three applications).
+TRACE_APPS: Dict[str, str] = {
+    "ps": "periodic_sensing_app",
+    "rr": "responsive_reporting_app",
+    "nmr": "noise_monitoring_app",
+}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import apps, obs
+
+    target = args.target
+    if target not in TRACE_APPS and target not in EXPERIMENTS:
+        choices = ", ".join(list(TRACE_APPS) + list(EXPERIMENTS))
+        print(f"unknown trace target {target!r}", file=sys.stderr)
+        print(f"choose from: {choices}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.jsonl"
+    metrics_path = out_dir / "metrics.json"
+
+    tracer = obs.Tracer(trace_path)
+    with obs.observe(tracer=tracer, profile=args.profile) as state:
+        if target in TRACE_APPS:
+            spec = getattr(apps, TRACE_APPS[target])()
+            # One run_app per trial, recompiling the policy each time —
+            # each trial models a fresh deployment, and repeat compiles are
+            # exactly where the process-wide VsafeCache earns its hits.
+            result = apps.AppTrialResult(app_name=spec.name,
+                                         policy_name=args.policy)
+            for i in range(max(1, args.trials)):
+                single = apps.run_app(spec, args.policy, trials=1,
+                                      base_seed=args.seed + i)
+                result.policy_name = single.policy_name
+                result.trials.extend(single.trials)
+            headline = (f"{spec.name} under {result.policy_name}: "
+                        f"{result.capture_percent():.1f}% events captured, "
+                        f"{result.total_brownouts()} brown-outs")
+        else:
+            result = EXPERIMENTS[target]()
+            headline = f"experiment {target} complete"
+        events = state.tracer.drain()
+        snapshot = state.metrics.snapshot()
+
+    import json as _json
+    metrics_path.write_text(_json.dumps(snapshot, indent=2) + "\n",
+                            encoding="utf-8")
+    print(headline)
+    print()
+    print(obs.render_trace_summary(events))
+    print()
+    print(obs.render_snapshot(snapshot, title="metrics"))
+    print(f"\nwrote {trace_path} and {metrics_path}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro import obs
+
+    path = Path(args.metrics)
+    if not path.exists():
+        print(f"no metrics snapshot at {path} — run `repro trace` first "
+              f"(or point at a metrics.json)", file=sys.stderr)
+        return 2
+    snapshot = _json.loads(path.read_text(encoding="utf-8"))
+    if snapshot.get("format") != "repro.obs-metrics":
+        print(f"{path} is not a repro.obs metrics snapshot", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(snapshot, indent=2))
+    else:
+        print(obs.render_snapshot(snapshot, title=f"metrics: {path}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--replay", metavar="CASE.json", default=None,
                           help="re-run one persisted repro case and exit")
     p_verify.set_defaults(fn=cmd_verify)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run an app or experiment with tracing on; write JSONL + "
+             "metrics")
+    p_trace.add_argument("target",
+                         help="app alias (ps, rr, nmr) or experiment id")
+    p_trace.add_argument("--policy", choices=("culpeo", "catnap"),
+                         default="culpeo",
+                         help="scheduling policy for app targets "
+                              "(default culpeo)")
+    p_trace.add_argument("--trials", type=int, default=2, metavar="N",
+                         help="app trials to run, one policy compile each "
+                              "(default 2 — the second compile exercises "
+                              "the V_safe cache)")
+    p_trace.add_argument("--seed", type=int, default=2022,
+                         help="base arrival seed for app targets "
+                              "(default 2022, the paper's)")
+    p_trace.add_argument("--out", metavar="DIR", default="obs-out",
+                         help="output directory for trace.jsonl and "
+                              "metrics.json (default obs-out/)")
+    p_trace.add_argument("--profile", action="store_true",
+                         help="also record wall-clock profiling samples "
+                              "(non-deterministic fields)")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a metrics snapshot written by `repro trace`")
+    p_stats.add_argument("metrics", nargs="?", default="obs-out/metrics.json",
+                         help="snapshot path (default obs-out/metrics.json)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="dump the raw snapshot JSON instead of tables")
+    p_stats.set_defaults(fn=cmd_stats)
     return parser
 
 

@@ -26,6 +26,7 @@ from repro.core.api import CulpeoRuntimeBase
 from repro.core.runtime import CulpeoRCalculator
 from repro.core.tables import ProfileRecord
 from repro.errors import ProfileError
+from repro.obs import current as _obs_current
 from repro.sim.adc import Adc, SamplingObserver
 from repro.sim.engine import PowerSystemSimulator
 from repro.sim.mcu import McuModel, msp430fr5994
@@ -67,7 +68,22 @@ class CulpeoIsrRuntime(CulpeoRuntimeBase):
         ) + self._adc.lsb
         self._sampler.enable(self.engine.time)
 
+    def _observe_batch(self, phase: str) -> None:
+        """Report one finished ISR sampling batch — the software analogue
+        of reading out the Culpeo-R capture registers."""
+        obs = _obs_current()
+        if obs is None:
+            return
+        sampler = self._sampler
+        obs.metrics.counter("isr.batches").inc()
+        obs.metrics.counter("isr.samples").inc(sampler.sample_count)
+        obs.emit("isr.samples", phase=phase,
+                 count=sampler.sample_count,
+                 period_s=sampler.sample_period,
+                 v_min=sampler.v_min, v_max=sampler.v_max)
+
     def _end_capture(self) -> None:
+        self._observe_batch("profile")
         v_min = self._sampler.v_min
         # If the task outran the 1 ms timer entirely, the only sample the
         # ISR ever took is V_start itself.
@@ -80,6 +96,7 @@ class CulpeoIsrRuntime(CulpeoRuntimeBase):
         self._sampler.enable(self.engine.time)
 
     def _finish_rebound(self) -> None:
+        self._observe_batch("rebound")
         v_max = self._sampler.v_max
         self._v_final = v_max if v_max is not None else self._v_min
         self._sampler.disable()

@@ -28,9 +28,22 @@ hit/miss counters.
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
+
+from repro.obs import current as _obs_current
+
+
+def _key_digest(key: Hashable) -> str:
+    """A short, process-independent digest of a cache key for trace events.
+
+    ``hash()`` is salted per process (strings), so a CRC of the repr is
+    used instead — stable across workers, which keeps merged traces
+    deterministic.
+    """
+    return format(zlib.crc32(repr(key).encode("utf-8")), "08x")
 
 
 @dataclass
@@ -84,6 +97,10 @@ class VsafeCache:
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` (counts the lookup)."""
         if not self.enabled:
+            # Counts toward this object's own stats (the cold-cache
+            # benchmark reads them) but not the process-wide telemetry: a
+            # disabled cache is a no-caching baseline, and its forced
+            # misses would drown out the live cache's hit/miss signal.
             with self._lock:
                 self._misses += 1
             return None
@@ -92,10 +109,25 @@ class VsafeCache:
                 value = self._data[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return value
+                hit = False
+                value = None
+            else:
+                self._data.move_to_end(key)
+                self._hits += 1
+                hit = True
+        self._observe_lookup(key, hit=hit)
+        return value
+
+    @staticmethod
+    def _observe_lookup(key: Hashable, hit: bool) -> None:
+        """Report one lookup to the observability layer (no-op when off)."""
+        obs = _obs_current()
+        if obs is None:
+            return
+        obs.metrics.counter("cache.hits" if hit else "cache.misses").inc()
+        if obs.tracer is not None:
+            obs.tracer.emit("cache.hit" if hit else "cache.miss",
+                            key=_key_digest(key))
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value``, evicting the least recently used on overflow."""

@@ -21,10 +21,35 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import obs as _obs
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _ObservedCall:
+    """Wraps a work function so a worker process reports its telemetry.
+
+    When the parent has observability enabled, each worker call runs under
+    a fresh local registry (and an in-memory tracer if the parent traces);
+    the call returns ``(result, payload)`` and the parent folds the payload
+    back in **submission order**, so the merged metrics and replayed events
+    are identical to a serial run. Must be module-level: picklable.
+    """
+
+    def __init__(self, fn: Callable[[T], R], config: dict) -> None:
+        self.fn = fn
+        self.config = config
+
+    def __call__(self, item: T) -> "Tuple[R, dict]":
+        tracer = _obs.Tracer() if self.config.get("trace") else None
+        with _obs.observe(tracer=tracer,
+                          profile=self.config.get("profile", False)) as state:
+            result = self.fn(item)
+            payload = _obs.worker_events_and_snapshot(state)
+        return result, payload
 
 
 def default_jobs() -> int:
@@ -46,5 +71,16 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     if jobs is None or jobs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
     workers = min(jobs, len(work))
+    observed = _obs.current()
+    if observed is not None:
+        wrapped = _ObservedCall(fn, observed.spawn_config())
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(wrapped, work,
+                                  chunksize=max(1, chunksize)))
+        results: List[R] = []
+        for result, payload in pairs:
+            _obs.absorb_worker_output(observed, payload)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, work, chunksize=max(1, chunksize)))

@@ -1,0 +1,194 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+Three pieces, one switch:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-local counters,
+  gauges and fixed-bucket histograms that merge deterministically across
+  worker processes (:mod:`repro.obs.metrics`);
+* :class:`~repro.obs.tracer.Tracer` — span-based structured events
+  written as JSONL (:mod:`repro.obs.tracer`);
+* profiling hooks — wall-clock timing of simulation batches and
+  estimator calls, opt-in via ``profile=True`` because wall time is the
+  one non-deterministic field.
+
+The switch is module state: :func:`enable` installs an
+:class:`Observability` instance, :func:`current` returns it (or ``None``),
+:func:`disable` removes it. **Instrumented code must stay off the hot
+path when disabled**: every site checks ``obs.current() is None`` once
+per *batch* of work (a whole ``run_trace``, a cache lookup, a verify
+trial) and never inside a stepping loop — which is how the fast kernel's
+speedup survives instrumentation (see the guard in
+``sim/engine.py``/``sim/fastpath.py``: the inner loops are untouched).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observe(trace_path="trace.jsonl") as ob:
+        run_app(periodic_sensing_app(), "culpeo", trials=1)
+    print(obs.render_snapshot(ob.metrics.snapshot()))
+
+Worker processes spawned by :func:`repro.harness.parallel.parallel_map`
+inherit the parent's enablement automatically: each worker runs with a
+fresh registry and in-memory tracer, and the parent merges the returned
+snapshots and replays the events in submission order — the merged result
+is identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    VOLTAGE_BUCKETS_V,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.obs.tracer import (
+    Tracer,
+    dumps_events,
+    load_trace,
+    render_trace_summary,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "LATENCY_BUCKETS_S",
+    "VOLTAGE_BUCKETS_V",
+    "enable",
+    "disable",
+    "current",
+    "observe",
+    "timed",
+    "render_snapshot",
+    "render_trace_summary",
+    "load_trace",
+    "dumps_events",
+]
+
+
+class Observability:
+    """One enabled observability context: registry + tracer + profile flag.
+
+    ``tracer`` may be ``None`` (metrics only). ``profile`` additionally
+    turns on wall-clock hooks — histograms of per-batch simulation time
+    and per-estimator latency, plus ``prof.*`` trace events.
+    """
+
+    __slots__ = ("metrics", "tracer", "profile")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profile: bool = False) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.profile = profile
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Emit a trace event if a tracer is attached (no-op otherwise)."""
+        if self.tracer is not None:
+            self.tracer.emit(name, **fields)
+
+    def spawn_config(self) -> dict:
+        """How a worker process should re-enable observability locally."""
+        return {"trace": self.tracer is not None, "profile": self.profile}
+
+
+_state: Optional[Observability] = None
+
+
+def current() -> Optional[Observability]:
+    """The enabled :class:`Observability`, or ``None`` — the single check
+    every instrumentation site performs."""
+    return _state
+
+
+def enable(*, metrics: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None,
+           trace_path: Union[None, str, Path] = None,
+           profile: bool = False) -> Observability:
+    """Install (and return) a process-wide observability context.
+
+    ``trace_path`` is shorthand for ``tracer=Tracer(trace_path)``. Calling
+    :func:`enable` while enabled replaces the previous context.
+    """
+    global _state
+    if tracer is None and trace_path is not None:
+        tracer = Tracer(trace_path)
+    _state = Observability(metrics=metrics, tracer=tracer, profile=profile)
+    return _state
+
+
+def disable() -> Optional[Observability]:
+    """Remove the context; returns what was installed (caller may flush)."""
+    global _state
+    state, _state = _state, None
+    return state
+
+
+@contextmanager
+def observe(*, metrics: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None,
+            trace_path: Union[None, str, Path] = None,
+            profile: bool = False) -> Iterator[Observability]:
+    """Enable observability for a block, restoring the prior state after.
+
+    The tracer (if file-backed) is closed on exit, so the JSONL file is
+    complete when the block ends.
+    """
+    global _state
+    previous = _state
+    state = enable(metrics=metrics, tracer=tracer, trace_path=trace_path,
+                   profile=profile)
+    try:
+        yield state
+    finally:
+        _state = previous
+        if state.tracer is not None:
+            state.tracer.close()
+
+
+@contextmanager
+def timed(name: str, **fields: Any) -> Iterator[None]:
+    """Profile a block: a latency histogram sample plus a ``prof.<name>``
+    event, only when profiling is enabled. Near-zero cost otherwise."""
+    obs = _state
+    if obs is None or not obs.profile:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - start
+        obs.metrics.histogram(f"prof.{name}_wall_s",
+                              LATENCY_BUCKETS_S).observe(wall)
+        obs.emit(f"prof.{name}", wall_s=wall, **fields)
+
+
+def worker_events_and_snapshot(state: Observability) -> dict:
+    """Package a worker's observability output for the trip back to the
+    parent (used by :mod:`repro.harness.parallel`)."""
+    events: List[Dict[str, Any]] = []
+    if state.tracer is not None:
+        events = state.tracer.drain()
+    return {"metrics": state.metrics.snapshot(), "events": events}
+
+
+def absorb_worker_output(parent: Observability, payload: dict) -> None:
+    """Merge one worker's metrics/events into the parent context."""
+    parent.metrics.merge_snapshot(payload["metrics"])
+    if parent.tracer is not None and payload["events"]:
+        parent.tracer.replay(payload["events"])

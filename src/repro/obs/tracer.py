@@ -1,0 +1,182 @@
+"""Span-based structured tracing with JSONL output.
+
+The tracer is the event half of the observability layer: instrumented code
+emits named events (``emit``) and wraps logical units of work in spans
+(``span``), and every event becomes one JSON object on one line — a format
+CI artifacts, ``grep`` and pandas all read natively.
+
+Events carry *simulation-domain* fields (simulated time, voltages,
+verdicts) rather than wall-clock timestamps, so a trace is a deterministic
+function of the workload: two runs of the same seeded experiment produce
+byte-identical traces, serial or parallel. Wall-clock durations appear
+only when profiling is enabled (``Observability(profile=True)``), in
+dedicated ``wall_s`` fields.
+
+Event vocabulary (see README §Observability for the full schema):
+
+=====================  ==================================================
+``task.begin/end``     one engine ``run_trace`` span: V_start, V_min,
+                       V_final, brown-out flag — the Culpeo-R capture set
+``power.brownout``     terminal voltage crossed V_off mid-task
+``cache.hit/miss``     a VsafeCache lookup resolved
+``sched.event``        one scheduler event's life: outcome, latency
+``verify.verdict``     one differential-oracle verdict
+``isr.samples``        one ISR capture batch: count, V_min/V_max
+``prof.*``             wall-clock profiling samples (opt-in)
+=====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+
+
+class Tracer:
+    """Collects structured events, optionally streaming them to JSONL.
+
+    With no sink the tracer buffers events in memory (``events``); with a
+    ``sink`` path or file object every event is also written as one JSON
+    line. ``drain()`` hands the buffered events over (and clears the
+    buffer) — the parallel harness uses it to replay worker events in the
+    parent's trace in submission order.
+    """
+
+    def __init__(self, sink: Union[None, str, Path, TextIO] = None,
+                 buffered: bool = True) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.buffered = buffered
+        self._seq = 0
+        self._span_depth = 0
+        self._owns_sink = False
+        self._sink: Optional[TextIO] = None
+        if isinstance(sink, (str, Path)):
+            self._sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        elif sink is not None:
+            self._sink = sink
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, name: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the event dictionary."""
+        event: Dict[str, Any] = {"seq": self._seq, "event": name}
+        self._seq += 1
+        event.update(fields)
+        if self.buffered:
+            self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, sort_keys=False) + "\n")
+        return event
+
+    def begin(self, name: str, **fields: Any) -> int:
+        """Open a span: emits ``<name>.begin`` and returns the span id."""
+        span_id = self._seq
+        self._span_depth += 1
+        self.emit(f"{name}.begin", span=span_id, **fields)
+        return span_id
+
+    def end(self, name: str, span_id: int, **fields: Any) -> None:
+        """Close a span opened by :meth:`begin`."""
+        self._span_depth -= 1
+        self.emit(f"{name}.end", span=span_id, **fields)
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Dict[str, Any]]:
+        """A ``<name>.begin`` / ``<name>.end`` event pair around a block.
+
+        Yields a mutable dictionary; whatever the block puts there lands on
+        the ``end`` event — the idiom for results known only at the end
+        (V_min, verdicts, wall time).
+        """
+        span_id = self.begin(name, **fields)
+        results: Dict[str, Any] = {}
+        try:
+            yield results
+        finally:
+            self.end(name, span_id, **results)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Hand over (and clear) the buffered events."""
+        events, self.events = self.events, []
+        return events
+
+    def replay(self, events: List[Dict[str, Any]]) -> None:
+        """Re-emit events captured elsewhere (worker processes), renumbering
+        their sequence ids — and the span ids that reference them — into
+        this tracer's stream. After replay the merged trace is
+        indistinguishable from one recorded serially."""
+        span_map: Dict[Any, int] = {}
+        for event in events:
+            fields = {k: v for k, v in event.items()
+                      if k not in ("seq", "event")}
+            old_span = fields.get("span")
+            if old_span is not None:
+                # A span id is the seq of its ``.begin`` event, so the
+                # begin defines the mapping and the end looks it up.
+                if event["event"].endswith(".begin"):
+                    span_map[old_span] = self._seq
+                fields["span"] = span_map.get(old_span, old_span)
+            self.emit(event["event"], **fields)
+
+    def counts_by_event(self) -> Dict[str, int]:
+        """Buffered-event histogram, useful for summaries and tests."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event["event"]] = counts.get(event["event"], 0) + 1
+        return counts
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into a list of event dictionaries."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def render_trace_summary(events: List[Dict[str, Any]]) -> str:
+    """A one-table digest of a trace: events by type, with counts."""
+    from repro.harness.report import TextTable
+
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event["event"]] = counts.get(event["event"], 0) + 1
+    table = TextTable(["event", "count"],
+                      title=f"trace: {len(events)} events")
+    for name in sorted(counts):
+        table.add_row([name, counts[name]])
+    return table.render()
+
+
+def dumps_events(events: List[Dict[str, Any]]) -> str:
+    """Serialize events as JSONL (one object per line)."""
+    out = io.StringIO()
+    for event in events:
+        out.write(json.dumps(event, sort_keys=False) + "\n")
+    return out.getvalue()

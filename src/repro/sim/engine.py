@@ -18,10 +18,13 @@ execution stops (the task has failed) and the system must recharge to
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, runtime_checkable
 
 from repro.loads.trace import CurrentTrace
+from repro.obs import VOLTAGE_BUCKETS_V
+from repro.obs import current as _obs_current
 from repro.power.system import PowerSystem
 from repro.sim.fastpath import advance_segments, supported as _fast_supported
 
@@ -233,6 +236,9 @@ class PowerSystemSimulator:
         """The general stepping loop (see :mod:`repro.sim.fastpath` for the
         observer-free specialization, which replays this arithmetic
         exactly)."""
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter("sim.reference.calls").inc()
         system = self.system
         start = self.time
         self._refresh_observer_due()  # observers may have been rescheduled
@@ -282,7 +288,62 @@ class PowerSystemSimulator:
         execution aborts there — the paper's semantics for a failed task.
         ``settle_after`` seconds of zero-load simulation follow a completed
         trace so the caller can observe the rebounded final voltage.
+
+        Observability (``repro.obs``) hooks in here, at trace granularity:
+        one ``task`` span, one ``V_min`` sample and the brown-out event per
+        call. The stepping loops below stay untouched, so the disabled
+        cost is this single ``None`` check.
         """
+        obs = _obs_current()
+        if obs is None:
+            return self._run_trace_impl(trace, harvesting, settle_after,
+                                        stop_on_brownout)
+        return self._run_trace_observed(obs, trace, harvesting, settle_after,
+                                        stop_on_brownout)
+
+    def _run_trace_observed(self, obs, trace: CurrentTrace,
+                            harvesting: bool, settle_after: float,
+                            stop_on_brownout: bool) -> SimulationResult:
+        """The instrumented wrapper around :meth:`_run_trace_impl`."""
+        tracer = obs.tracer
+        wall_start = _time.perf_counter() if obs.profile else 0.0
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "task", t_sim=self.time,
+                v_start=self.system.buffer.terminal_voltage,
+                segments=len(trace), duration_s=trace.duration,
+            )
+        result = self._run_trace_impl(trace, harvesting, settle_after,
+                                      stop_on_brownout)
+        metrics = obs.metrics
+        metrics.counter("sim.traces").inc()
+        metrics.histogram("sim.v_min_v", VOLTAGE_BUCKETS_V).observe(
+            result.v_min)
+        if result.browned_out:
+            metrics.counter("sim.brownouts").inc()
+        end_fields = dict(
+            t_sim=self.time, completed=result.completed,
+            browned_out=result.browned_out, v_min=result.v_min,
+            v_final=result.v_final,
+        )
+        if obs.profile:
+            wall = _time.perf_counter() - wall_start
+            metrics.histogram("prof.run_trace_wall_s").observe(wall)
+            end_fields["wall_s"] = wall
+        if tracer is not None:
+            if result.browned_out:
+                tracer.emit("power.brownout",
+                            t_sim=result.brown_out_time,
+                            v_off=self.system.monitor.v_off)
+            tracer.emit("power.v_min", t_sim=result.end_time,
+                        v=result.v_min)
+            tracer.end("task", span, **end_fields)
+        return result
+
+    def _run_trace_impl(self, trace: CurrentTrace, harvesting: bool,
+                        settle_after: float,
+                        stop_on_brownout: bool) -> SimulationResult:
         system = self.system
         v_start = system.buffer.terminal_voltage
         start_time = self.time

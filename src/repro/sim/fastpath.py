@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional, Tuple
 
+from repro.obs import current as _obs_current
 from repro.power.booster import (
     CurvedEfficiency,
     InputBooster,
@@ -111,6 +112,14 @@ def advance_segments(sim, segments: Iterable[Tuple[float, float]],
     """
     system = sim.system
     buffer = _resolve_buffer(system.buffer)
+
+    # Observability: count kernel entries at batch granularity, before the
+    # hoisting block — the stepping loop below must stay untouched. The
+    # disabled cost is one global read per whole-trace (or idle-chunk)
+    # call, invisible next to the thousands of steps each call runs.
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("sim.fastpath.calls").inc()
 
     # -- hoist engine constants and component parameters -------------------
     min_dt = sim.MIN_DT

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.runtime import CulpeoRCalculator
 from repro.harness.ground_truth import find_true_vsafe
 from repro.harness.parallel import parallel_map
+from repro.obs import current as _obs_current
 from repro.harness.report import TextTable
 from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystem, PowerSystemModel
@@ -293,10 +294,27 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
     worst_overall: Optional[dict] = None
     most_conservative: Optional[dict] = None
 
+    # Verdict telemetry is emitted parent-side from the aggregated
+    # outcomes, so the event stream is identical for any ``jobs``.
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("verify.trials").inc(len(outcomes))
+
     for outcome in outcomes:
         for entry in outcome.oracle:
             verdict = entry["verdict"]
             counts[verdict] += 1
+            if obs is not None:
+                obs.metrics.counter(f"verify.verdict.{verdict}").inc()
+                entry_margin = entry["margin"]
+                obs.emit(
+                    "verify.verdict",
+                    trial=outcome.index,
+                    estimator=entry["estimator_key"],
+                    verdict=verdict,
+                    margin=(None if math.isnan(entry_margin)
+                            else entry_margin),
+                )
             stats = per_estimator[entry["estimator_key"]]
             stats["counts"][verdict] += 1
             margin = entry["margin"]
@@ -315,8 +333,15 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
                 entry["invariant"], {"checks": 0, "violations": 0}
             )
             stats["checks"] += 1
+            if obs is not None:
+                obs.metrics.counter("verify.invariant_checks").inc()
             if not entry["passed"]:
                 stats["violations"] += 1
+                if obs is not None:
+                    obs.metrics.counter("verify.invariant_violations").inc()
+                    obs.emit("verify.violation", trial=outcome.index,
+                             invariant=entry["invariant"],
+                             detail=entry["detail"])
                 violations.append({"index": outcome.index,
                                    "invariant": entry["invariant"],
                                    "detail": entry["detail"]})

@@ -33,6 +33,22 @@ class TestRowsToCsv:
     def test_empty(self):
         assert rows_to_csv([]) == ""
 
+    def test_missing_cells_render_empty(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        lines = text.strip().splitlines()
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+    def test_nested_and_sequence_in_one_row(self):
+        text = rows_to_csv([{"m": {"x": 1}, "tags": ("p", "q"), "n": 3}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "m.x,tags,n"
+        assert lines[1] == "1,p;q,3"
+
+    def test_column_order_follows_first_appearance(self):
+        text = rows_to_csv([{"b": 1, "a": 2}, {"c": 3}])
+        assert text.splitlines()[0] == "b,a,c"
+
 
 class TestResultToCsv:
     def test_rows_based_result(self):
@@ -61,11 +77,31 @@ class TestResultToCsv:
         with pytest.raises(ValueError):
             result_to_csv(Opaque())
 
+    def test_scalar_fallback_skips_private_and_compound_fields(self):
+        class Result:
+            def __init__(self):
+                self.name = "demo"
+                self.value = 1.5
+                self.rows = []          # empty rows: fall back to scalars
+                self._secret = "hidden"
+                self.nested = {"not": "exported"}
+
+        text = result_to_csv(Result())
+        header = text.splitlines()[0]
+        assert "name" in header and "value" in header
+        assert "_secret" not in header and "nested" not in header
+
     def test_save(self, tmp_path):
         from repro.harness.experiments import table3_load_profiles
         path = tmp_path / "table3.csv"
         save_result_csv(table3_load_profiles(), path)
         assert path.read_text().startswith("name,")
+
+    def test_save_accepts_str_path(self, tmp_path):
+        from repro.harness.experiments import fig4_poweroff_demo
+        path = str(tmp_path / "fig4.csv")
+        save_result_csv(fig4_poweroff_demo(), path)
+        assert "browned_out" in open(path).read()
 
 
 class TestCliCsvFlag:

@@ -45,3 +45,29 @@ class TestTextTable:
         table = TextTable(["a"])
         table.add_row(["x"])
         assert str(table) == table.render()
+
+    def test_rows_render_in_insertion_order(self):
+        table = TextTable(["k"])
+        for key in ("c", "a", "b"):
+            table.add_row([key])
+        body = table.render().splitlines()[2:]
+        assert [line.strip() for line in body] == ["c", "a", "b"]
+
+    def test_non_string_cells_coerced(self):
+        table = TextTable(["value"])
+        table.add_row([2.5])
+        table.add_row([None])
+        text = table.render()
+        assert "2.5" in text and "None" in text
+
+    def test_separator_matches_column_widths(self):
+        table = TextTable(["ab", "c"])
+        table.add_row(["x" * 7, "y"])
+        header, sep = table.render().splitlines()[:2]
+        assert len(sep) == len(header)
+        assert set(sep) <= {"-", " "}
+
+    def test_empty_table_renders_header_only(self):
+        table = TextTable(["a", "b"], title="t")
+        lines = table.render().splitlines()
+        assert len(lines) == 3              # title, header, separator

@@ -1,0 +1,197 @@
+"""Metrics registry: instruments, snapshots, deterministic merging."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    VOLTAGE_BUCKETS_V,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.25)
+        assert gauge.value == 2.25
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+
+    def test_inclusive_upper_bounds(self):
+        histogram = Histogram("h", [1.0, 2.0])
+        histogram.observe(1.0)       # lands in the first bucket, not second
+        histogram.observe(1.5)
+        histogram.observe(9.0)       # overflow
+        assert histogram._counts == [1, 1, 1]
+
+    def test_exact_aggregates(self):
+        histogram = Histogram("h", [10.0])
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+        assert histogram.mean == 2.0
+
+    def test_quantile_returns_bucket_bound(self):
+        histogram = Histogram("h", [1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_uses_exact_max(self):
+        histogram = Histogram("h", [1.0])
+        histogram.observe(7.5)
+        assert histogram.quantile(0.99) == 7.5
+
+    def test_quantile_validates_and_handles_empty(self):
+        histogram = Histogram("h", [1.0])
+        assert histogram.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("h", [1.0]).mean == 0.0
+
+
+class TestDefaultBuckets:
+    @pytest.mark.parametrize("buckets",
+                             [LATENCY_BUCKETS_S, VOLTAGE_BUCKETS_V])
+    def test_strictly_increasing(self, buckets):
+        assert list(buckets) == sorted(set(buckets))
+
+    def test_voltage_envelope(self):
+        assert VOLTAGE_BUCKETS_V[0] == pytest.approx(0.05)
+        assert VOLTAGE_BUCKETS_V[-1] == pytest.approx(5.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            registry.histogram("h", [1.0, 3.0])
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h", [1.0]).observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["format"] == "repro.obs-metrics"
+        assert snapshot["version"] == 1
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # must serialize without custom encoders
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", [1.0])
+        payload = registry.snapshot()["histograms"]["h"]
+        assert payload["min"] is None and payload["max"] is None
+
+
+def _observe_all(registry, samples):
+    for value in samples:
+        registry.counter("events").inc()
+        registry.gauge("last").set(value)
+        registry.histogram("values", [1.0, 2.0, 4.0]).observe(value)
+
+
+class TestMerge:
+    def test_split_merge_equals_serial(self):
+        """The property the parallel harness relies on: any partition of
+        the observation stream merges back to the identical snapshot."""
+        samples = [0.5, 1.0, 1.5, 2.5, 3.0, 4.0, 9.0]
+        serial = MetricsRegistry()
+        _observe_all(serial, samples)
+
+        merged = MetricsRegistry()
+        for lo, hi in ((0, 2), (2, 5), (5, len(samples))):
+            part = MetricsRegistry()
+            _observe_all(part, samples[lo:hi])
+            merged.merge(part)
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_merge_snapshot_round_trips_through_json(self):
+        source = MetricsRegistry()
+        _observe_all(source, [0.5, 2.0])
+        target = MetricsRegistry()
+        target.merge_snapshot(json.loads(json.dumps(source.snapshot())))
+        assert target.snapshot() == source.snapshot()
+
+    def test_counters_add_and_gauges_take_incoming(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("g").set(1.0)
+        b = MetricsRegistry()
+        b.counter("n").inc(4)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.counter("n").value == 7
+        assert a.gauge("g").value == 2.0
+
+    def test_merge_preserves_extremes(self):
+        a = MetricsRegistry()
+        a.histogram("h", [10.0]).observe(5.0)
+        b = MetricsRegistry()
+        b.histogram("h", [10.0]).observe(1.0)
+        b.histogram("h", [10.0]).observe(8.0)
+        a.merge(b)
+        histogram = a.histogram("h", [10.0])
+        assert histogram._min == 1.0 and histogram._max == 8.0
+        assert histogram.count == 3
+
+
+class TestRenderSnapshot:
+    def test_renders_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.traces").inc(4)
+        registry.gauge("v.last").set(2.4)
+        registry.histogram("lat", [1.0]).observe(0.5)
+        text = render_snapshot(registry.snapshot(), title="demo")
+        assert "demo" in text
+        assert "sim.traces" in text and "counter" in text
+        assert "v.last" in text and "gauge" in text
+        assert "lat" in text and "p99" in text
+
+    def test_empty_snapshot(self):
+        assert render_snapshot(MetricsRegistry().snapshot()) == \
+            "(no metrics recorded)"

@@ -1,0 +1,123 @@
+"""Span tracer: event emission, JSONL round-trips, worker replay."""
+
+import json
+
+from repro.obs.tracer import (
+    Tracer,
+    dumps_events,
+    load_trace,
+    render_trace_summary,
+)
+
+
+class TestEmit:
+    def test_sequential_seq_numbers(self):
+        tracer = Tracer()
+        first = tracer.emit("a", x=1)
+        second = tracer.emit("b")
+        assert (first["seq"], second["seq"]) == (0, 1)
+        assert first["event"] == "a" and first["x"] == 1
+        assert tracer.events == [first, second]
+
+    def test_spans_pair_begin_and_end(self):
+        tracer = Tracer()
+        span_id = tracer.begin("task", t_sim=0.0)
+        tracer.end("task", span_id, v_min=2.1)
+        begin, end = tracer.events
+        assert begin["event"] == "task.begin"
+        assert end["event"] == "task.end"
+        assert begin["span"] == end["span"] == span_id
+
+    def test_span_contextmanager_forwards_results(self):
+        tracer = Tracer()
+        with tracer.span("task", task="blink") as results:
+            results["v_min"] = 2.05
+        end = tracer.events[-1]
+        assert end["event"] == "task.end" and end["v_min"] == 2.05
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("task"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.events[-1]["event"] == "task.end"
+
+
+class TestPlumbing:
+    def test_drain_hands_over_and_clears(self):
+        tracer = Tracer()
+        tracer.emit("a")
+        events = tracer.drain()
+        assert [e["event"] for e in events] == ["a"]
+        assert tracer.events == []
+
+    def test_replay_renumbers_worker_events(self):
+        worker = Tracer()
+        worker.emit("w.one", value=1)
+        worker.emit("w.two", value=2)
+        parent = Tracer()
+        parent.emit("parent.first")
+        parent.replay(worker.drain())
+        assert [e["seq"] for e in parent.events] == [0, 1, 2]
+        assert [e["event"] for e in parent.events] == \
+            ["parent.first", "w.one", "w.two"]
+        assert parent.events[1]["value"] == 1
+
+    def test_replay_renumbers_span_ids(self):
+        """A replayed trace must be indistinguishable from a serial one,
+        which means worker-local span ids get remapped too."""
+        worker = Tracer()
+        with worker.span("task") as results:
+            results["v_min"] = 2.0
+        parent = Tracer()
+        parent.emit("padding")          # shifts all seq numbers by one
+        parent.replay(worker.drain())
+        begin, end = parent.events[1], parent.events[2]
+        assert begin["span"] == begin["seq"] == 1
+        assert end["span"] == 1
+
+    def test_counts_by_event(self):
+        tracer = Tracer()
+        tracer.emit("a")
+        tracer.emit("a")
+        tracer.emit("b")
+        assert tracer.counts_by_event() == {"a": 2, "b": 1}
+
+
+class TestJsonl:
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("task.begin", t_sim=0.0)
+            tracer.emit("task.end", v_min=2.1)
+        events = load_trace(path)
+        assert [e["event"] for e in events] == ["task.begin", "task.end"]
+        assert events == tracer.events  # buffering stays on with a sink
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("a", nested={"k": [1, 2]})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["nested"]["k"] == [1, 2]
+
+    def test_dumps_events_matches_file_format(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("a", x=1)
+            tracer.emit("b")
+        assert dumps_events(tracer.events) == path.read_text()
+
+
+class TestSummary:
+    def test_render_counts_by_type(self):
+        tracer = Tracer()
+        tracer.emit("cache.hit")
+        tracer.emit("cache.hit")
+        tracer.emit("cache.miss")
+        text = render_trace_summary(tracer.events)
+        assert "3 events" in text
+        assert "cache.hit" in text and "cache.miss" in text

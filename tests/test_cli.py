@@ -49,6 +49,76 @@ class TestCommands:
             assert fig in EXPERIMENTS
 
 
+class TestTraceCommand:
+    """`repro trace` / `repro stats`: the observability CLI surface."""
+
+    def test_trace_experiment_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        assert main(["trace", "fig4", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out          # event summary table
+        assert (out_dir / "trace.jsonl").exists()
+        assert (out_dir / "metrics.json").exists()
+        import json
+        events = [json.loads(line) for line
+                  in (out_dir / "trace.jsonl").read_text().splitlines()]
+        names = {e["event"] for e in events}
+        assert {"task.begin", "task.end"} <= names
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        assert metrics["format"] == "repro.obs-metrics"
+        assert metrics["counters"]["sim.traces"] >= 1
+
+    def test_trace_app_emits_cache_and_vmin_events(self, capsys, tmp_path):
+        # Start cold: the process-wide cache may be warm from earlier
+        # tests, and this test needs trial 1 to miss and trial 2 to hit.
+        from repro.core.vsafe_cache import default_cache
+        default_cache().invalidate()
+        out_dir = tmp_path / "obs"
+        assert main(["trace", "ps", "--trials", "2",
+                     "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        import json
+        events = [json.loads(line) for line
+                  in (out_dir / "trace.jsonl").read_text().splitlines()]
+        names = {e["event"] for e in events}
+        # The acceptance triad: task spans, V_min captures, cache traffic.
+        assert {"task.begin", "task.end", "power.v_min",
+                "cache.hit", "cache.miss"} <= names
+
+    def test_trace_unknown_target(self, capsys, tmp_path):
+        assert main(["trace", "no-such-thing",
+                     "--out", str(tmp_path)]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_stats_renders_trace_metrics(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        main(["trace", "fig4", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["stats", str(out_dir / "metrics.json")]) == 0
+        out = capsys.readouterr().out
+        assert "sim.traces" in out and "counter" in out
+
+    def test_stats_json_round_trip(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        main(["trace", "fig4", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["stats", str(out_dir / "metrics.json"),
+                     "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.obs-metrics"
+
+    def test_stats_missing_file(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err
+
+    def test_stats_rejects_foreign_json(self, capsys, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text('{"benchmark": "BENCH_PR1"}')
+        assert main(["stats", str(bad)]) == 2
+        assert "not a repro.obs metrics snapshot" in capsys.readouterr().err
+
+
 class TestVerifyCommand:
     """End-to-end `repro verify`: the soundness gate as a user runs it."""
 

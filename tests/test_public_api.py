@@ -14,6 +14,8 @@ PACKAGES = [
     "repro.apps",
     "repro.harness",
     "repro.intermittent",
+    "repro.obs",
+    "repro.verify",
 ]
 
 
