@@ -8,6 +8,8 @@ Usage::
     python -m repro vsafe 25mA 10ms --shape pulse   # ad-hoc V_safe check
     python -m repro verify --trials 200 --jobs 4    # soundness gate
     python -m repro verify --replay case.json       # re-run a repro case
+    python -m repro chaos --trials 50 --seed 1      # fault campaign
+    python -m repro chaos --replay chaos-case.json  # re-run a chaos case
     python -m repro trace ps --trials 1             # traced app run
     python -m repro stats obs-out/metrics.json      # render the snapshot
 
@@ -15,9 +17,12 @@ Usage::
 answers the day-to-day developer question — "from what voltage is this
 load safe?" — with ground truth and every estimator side by side;
 ``verify`` stress-tests the estimators' soundness contract on randomized
-systems and exits non-zero on any conviction; ``trace`` re-runs an app or
-experiment with the observability layer on, leaving a JSONL trace and a
-metrics snapshot behind; ``stats`` renders such a snapshot.
+systems and exits non-zero on any conviction; ``chaos`` runs seeded fault
+injection campaigns (harvester storms, ESR aging, ADC faults, timer
+jitter) against the hardened runtime and exits non-zero if any gated task
+browns out or livelocks; ``trace`` re-runs an app or experiment with the
+observability layer on, leaving a JSONL trace and a metrics snapshot
+behind; ``stats`` renders such a snapshot.
 """
 
 from __future__ import annotations
@@ -192,6 +197,74 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import (
+        CHAOS_APPS,
+        INJECTORS,
+        load_chaos_case,
+        run_campaign,
+    )
+
+    if args.replay is not None:
+        case = load_chaos_case(args.replay)
+        outcome = case.replay()
+        print(f"replaying {args.replay}: trial {case.index}, app {case.app}, "
+              f"estimator {case.estimator}, "
+              f"injector {case.injector['injector']}")
+        print(f"outcome: {outcome.outcome}  "
+              f"(recorded: {case.original.get('outcome', '?')})")
+        for key in ("tasks_committed", "brownouts", "backoffs", "stuck_on"):
+            print(f"  {key}: {outcome.details.get(key)}")
+        return 1 if outcome.unsafe else 0
+
+    injectors = None
+    if args.injectors:
+        names = args.injectors.split(",")
+        unknown = [n for n in names if n not in INJECTORS]
+        if unknown:
+            print(f"unknown injector(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"choose from: {', '.join(sorted(INJECTORS))}",
+                  file=sys.stderr)
+            return 2
+        injectors = [INJECTORS[n]().to_dict() for n in names]
+    apps = None
+    if args.apps:
+        names = args.apps.split(",")
+        unknown = [n for n in names if n not in CHAOS_APPS]
+        if unknown:
+            print(f"unknown app(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"choose from: {', '.join(CHAOS_APPS)}", file=sys.stderr)
+            return 2
+        apps = names
+    kwargs = {}
+    if args.estimators:
+        kwargs["estimators"] = tuple(args.estimators.split(","))
+    try:
+        report = run_campaign(
+            args.trials, seed=args.seed, jobs=args.jobs,
+            injectors=injectors, apps=apps, horizon=args.horizon,
+            cases_dir=args.cases_dir, **kwargs,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report is not None:
+        import json
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    if args.expect_unsafe:
+        # Demonstration mode: the campaign *should* break the estimator
+        # under test (e.g. an energy baseline under ESR drift).
+        return 0 if not report.ok else 1
+    return 0 if report.ok else 1
+
+
 #: App aliases accepted by ``repro trace`` (the paper's three applications).
 TRACE_APPS: Dict[str, str] = {
     "ps": "periodic_sensing_app",
@@ -339,6 +412,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--replay", metavar="CASE.json", default=None,
                           help="re-run one persisted repro case and exit")
     p_verify.set_defaults(fn=cmd_verify)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection campaigns against the hardened "
+             "runtime")
+    p_chaos.add_argument("--trials", type=int, default=50, metavar="N",
+                         help="campaign trials to run (default 50)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="base seed for the per-trial streams "
+                              "(default 0)")
+    p_chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1 = serial; the "
+                              "report is bit-identical either way)")
+    p_chaos.add_argument("--estimators", default=None, metavar="A,B",
+                         help="comma-separated estimator names to gate "
+                              "with (default: the measuring Culpeo-R "
+                              "variants)")
+    p_chaos.add_argument("--injectors", default=None, metavar="A,B",
+                         help="comma-separated fault injector names "
+                              "(default: every registered injector)")
+    p_chaos.add_argument("--apps", default=None, metavar="A,B",
+                         help="comma-separated campaign app names "
+                              "(default: all)")
+    p_chaos.add_argument("--horizon", type=float, default=90.0,
+                         help="simulated seconds per trial (default 90)")
+    p_chaos.add_argument("--report", metavar="FILE", default=None,
+                         help="also write the structured report as JSON")
+    p_chaos.add_argument("--cases-dir", metavar="DIR", default="chaos-cases",
+                         help="directory for replayable unsafe-trial cases "
+                              "(default chaos-cases/; created only when a "
+                              "trial is unsafe)")
+    p_chaos.add_argument("--replay", metavar="CASE.json", default=None,
+                         help="re-run one persisted chaos case and exit")
+    p_chaos.add_argument("--expect-unsafe", action="store_true",
+                         help="invert the exit status: succeed only if the "
+                              "campaign found unsafe trials (for baseline "
+                              "demonstrations)")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_trace = sub.add_parser(
         "trace",

@@ -30,6 +30,7 @@ from repro.core.tables import (
 )
 from repro.errors import ProfileError
 from repro.loads.trace import CurrentTrace
+from repro.obs import current as _obs_current
 from repro.sim.engine import PowerSystemSimulator, SimulationResult
 
 
@@ -93,6 +94,10 @@ class CulpeoRuntimeBase(CulpeoInterface):
         self.buffer_config: Hashable = DEFAULT_BUFFER
         self._profiling = False
         self._rebounding = False
+        #: Captures discarded because the hardware reported distrust
+        #: (rejected samples, impossible register contents) — each one
+        #: degraded a query to the conservative V_high / -1 defaults.
+        self.untrusted_captures = 0
 
     # -- capture hooks for subclasses ------------------------------------
 
@@ -154,6 +159,28 @@ class CulpeoRuntimeBase(CulpeoInterface):
         floor = self.calculator.v_off - self.PLAUSIBILITY_MARGIN
         return record.v_start >= floor and record.v_min >= floor
 
+    def _capture_trusted(self) -> bool:
+        """Whether the capture hardware vouches for the last sequence.
+
+        Subclasses override this to report measurement distrust — rejected
+        (physically impossible) samples, capture registers in impossible
+        states. An untrusted capture is discarded exactly like an
+        implausible one: the tables fall back to V_high / -1, so the
+        scheduler degrades to conservative full-recharge gating instead of
+        trusting garbage.
+        """
+        return True
+
+    def _discard_capture(self, task_id: Hashable, reason: str) -> None:
+        self.untrusted_captures += 1
+        self.profiles.invalidate(task_id, self.buffer_config)
+        self.results.invalidate(task_id, self.buffer_config)
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter("culpeo.untrusted_captures").inc()
+            obs.emit("culpeo.capture_discarded", task=str(task_id),
+                     reason=reason)
+
     def rebound_end(self, task_id: Hashable) -> None:
         if not self._rebounding:
             raise ProfileError("rebound_end() without profile_end()")
@@ -164,10 +191,12 @@ class CulpeoRuntimeBase(CulpeoInterface):
             )
         self._rebounding = False
         self._finish_rebound()
+        if not self._capture_trusted():
+            self._discard_capture(task_id, "untrusted")
+            return
         record = self._observed()
         if not self._plausible(record):
-            self.profiles.invalidate(task_id, self.buffer_config)
-            self.results.invalidate(task_id, self.buffer_config)
+            self._discard_capture(task_id, "implausible")
             return
         self.profiles.store(task_id, record)
 

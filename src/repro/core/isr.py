@@ -27,13 +27,22 @@ from repro.core.runtime import CulpeoRCalculator
 from repro.core.tables import ProfileRecord
 from repro.errors import ProfileError
 from repro.obs import current as _obs_current
-from repro.sim.adc import Adc, SamplingObserver
+from repro.sim.adc import Adc, FilteringSamplingObserver
 from repro.sim.engine import PowerSystemSimulator
 from repro.sim.mcu import McuModel, msp430fr5994
 
 
 class CulpeoIsrRuntime(CulpeoRuntimeBase):
-    """Timer-ISR implementation of the Culpeo-R interface."""
+    """Timer-ISR implementation of the Culpeo-R interface.
+
+    The ISR samples through a :class:`FilteringSamplingObserver`:
+    physically impossible readings (below ``V_off`` minus the plausibility
+    margin — dropped conversions, a dead reference) are rejected at the
+    sampler, and the rebound maximum is median-filtered so a single noise
+    spike cannot inflate ``V_final``. Any rejected sample in either phase
+    marks the whole capture untrusted: the base runtime discards it and
+    queries fall back to the conservative V_high default.
+    """
 
     def __init__(self, engine: PowerSystemSimulator,
                  calculator: CulpeoRCalculator, *,
@@ -47,18 +56,21 @@ class CulpeoIsrRuntime(CulpeoRuntimeBase):
         self.sample_period = sample_period
         self.rebound_period = rebound_period
         self._adc = Adc(bits=adc_bits, v_ref=adc_vref)
-        self._sampler = SamplingObserver(
-            self._adc, sample_period, burden_current=self.mcu.adc_current
+        self._sampler = FilteringSamplingObserver(
+            self._adc, sample_period, burden_current=self.mcu.adc_current,
+            plausibility_floor=calculator.v_off - self.PLAUSIBILITY_MARGIN,
         )
         engine.attach(self._sampler)
         self._v_start: Optional[float] = None
         self._v_min: Optional[float] = None
         self._v_final: Optional[float] = None
+        self._capture_rejects = 0
 
     # -- capture hooks ------------------------------------------------------
 
     def _begin_capture(self) -> None:
         self._sampler.reset()
+        self._capture_rejects = 0
         self._sampler.sample_period = self.sample_period
         # profile_start reads the ADC synchronously to record V_start
         # before enabling the timer (paper §V-C). The reading takes the
@@ -77,13 +89,18 @@ class CulpeoIsrRuntime(CulpeoRuntimeBase):
         sampler = self._sampler
         obs.metrics.counter("isr.batches").inc()
         obs.metrics.counter("isr.samples").inc(sampler.sample_count)
+        rejected = getattr(sampler, "rejected_count", 0)
+        if rejected:
+            obs.metrics.counter("isr.rejected_samples").inc(rejected)
         obs.emit("isr.samples", phase=phase,
                  count=sampler.sample_count,
                  period_s=sampler.sample_period,
-                 v_min=sampler.v_min, v_max=sampler.v_max)
+                 v_min=sampler.v_min, v_max=sampler.v_max,
+                 rejected=rejected)
 
     def _end_capture(self) -> None:
         self._observe_batch("profile")
+        self._capture_rejects += getattr(self._sampler, "rejected_count", 0)
         v_min = self._sampler.v_min
         # If the task outran the 1 ms timer entirely, the only sample the
         # ISR ever took is V_start itself.
@@ -97,10 +114,21 @@ class CulpeoIsrRuntime(CulpeoRuntimeBase):
 
     def _finish_rebound(self) -> None:
         self._observe_batch("rebound")
+        self._capture_rejects += getattr(self._sampler, "rejected_count", 0)
         v_max = self._sampler.v_max
         self._v_final = v_max if v_max is not None else self._v_min
         self._sampler.disable()
         self._sampler._burden_when_on = self.mcu.adc_current
+
+    def _capture_trusted(self) -> bool:
+        """A capture with any rejected sample is distrusted wholesale.
+
+        A rejected (impossible) reading means the converter was lying at
+        that instant — and if it lied below the floor, nothing says its
+        other readings were honest. The conservative response is to drop
+        the profile and gate on V_high until a clean capture lands.
+        """
+        return self._capture_rejects == 0
 
     def _rebound_progress(self) -> float:
         v_max = self._sampler.v_max

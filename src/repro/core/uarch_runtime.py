@@ -71,6 +71,20 @@ class CulpeoUArchRuntime(CulpeoRuntimeBase):
         self._v_final = self.block.read_voltage()
         self.block.configure(False)
 
+    def _capture_trusted(self) -> bool:
+        """Reject captures whose registers are in an impossible state.
+
+        The rebound maximum is sampled *after* the in-task minimum, over a
+        strictly higher voltage (the buffer recovers once the load stops),
+        so a MAX register reading below the MIN register — beyond one
+        quantisation step — can only mean the converter glitched between
+        the phases. Quantities the hardware cannot produce are discarded
+        rather than clamped into a plausible-looking profile.
+        """
+        if self._v_min is None or self._v_final is None:
+            return True
+        return self._v_final >= self._v_min - self.block.adc.lsb
+
     def _rebound_progress(self) -> float:
         if self.block.next_event_time() is None:
             return self._v_final if self._v_final is not None else 0.0

@@ -47,45 +47,119 @@ class ExecutionReport:
     wasted_energy: float = 0.0
     charge_time: float = 0.0
     stuck_on: Optional[str] = None
+    #: Per-task count of failed attempts that ended in a brown-out (a
+    #: subset of ``reexecutions`` — gated systems should keep this at 0).
+    brownouts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_reexecutions(self) -> int:
         return sum(self.reexecutions.values())
 
+    @property
+    def total_brownouts(self) -> int:
+        return sum(self.brownouts.values())
+
 
 class IntermittentExecutor:
-    """Drives a program through charge/discharge cycles to completion."""
+    """Drives a program through charge/discharge cycles to completion.
+
+    Waiting logic distinguishes two reasons the voltage stops rising:
+
+    * the harvester *is* delivering power but the system sits at an
+      equilibrium below the target — waiting longer cannot help, so the
+      executor gives up after ``stall_tolerance`` flat observations;
+    * the harvester is delivering *nothing* right now — overcast seconds,
+      an occluded RF source. That is the normal texture of harvested
+      energy, not a verdict, so the executor rides out up to
+      ``dropout_grace`` seconds of outage before concluding the source
+      is gone.
+    """
 
     #: Consecutive from-best-voltage failures that prove non-termination.
     STUCK_LIMIT = 3
 
     def __init__(self, engine: PowerSystemSimulator,
-                 gate: Optional[GateFn] = None) -> None:
+                 gate: Optional[GateFn] = None, *,
+                 stuck_limit: Optional[int] = None,
+                 stall_tolerance: int = 3,
+                 dropout_grace: float = 5.0) -> None:
+        if stuck_limit is not None and stuck_limit < 1:
+            raise ValueError(f"stuck_limit must be >= 1, got {stuck_limit}")
+        if stall_tolerance < 1:
+            raise ValueError(
+                f"stall_tolerance must be >= 1, got {stall_tolerance}")
+        if dropout_grace < 0:
+            raise ValueError(
+                f"dropout_grace must be >= 0, got {dropout_grace}")
         self.engine = engine
         self.gate = gate
+        self.stuck_limit = self.STUCK_LIMIT if stuck_limit is None \
+            else stuck_limit
+        self.stall_tolerance = stall_tolerance
+        self.dropout_grace = dropout_grace
+
+    def _harvest_now(self) -> float:
+        return self.engine.system.harvester.power_at(self.engine.time)
 
     def _recharge(self, report: ExecutionReport, deadline: float) -> bool:
-        """Recharge to V_high; False if power ran out or time is up."""
+        """Recharge to V_high; False if power ran out or time is up.
+
+        ``charge_until`` gives up the moment the harvester delivers
+        nothing, but a dropout window is temporary by definition — keep
+        retrying through outages (each bounded by ``dropout_grace``)
+        until the charge completes or the deadline passes.
+        """
         start = self.engine.time
-        budget = max(0.0, deadline - start)
-        elapsed = self.engine.charge_until(
-            self.engine.system.monitor.v_high, max_time=budget)
+        v_high = self.engine.system.monitor.v_high
+        charged = False
+        while self.engine.time < deadline:
+            budget = deadline - self.engine.time
+            if self.engine.charge_until(v_high, max_time=budget) is not None:
+                charged = True
+                break
+            if self.engine.time >= deadline:
+                break
+            # The harvester went dark mid-charge. Idle through the outage
+            # (bounded) and retry; a source that stays dark past the grace
+            # window is treated as gone.
+            waited = 0.0
+            while (waited < self.dropout_grace
+                   and self.engine.time < deadline
+                   and self._harvest_now() <= 0.0):
+                step = min(0.1, deadline - self.engine.time)
+                self.engine.idle(step)
+                waited += step
+            if self._harvest_now() <= 0.0:
+                break
         report.charge_time += self.engine.time - start
-        return elapsed is not None
+        return charged
 
     def _wait_for_gate(self, level: float, deadline: float) -> bool:
         stall = 0
+        outage = 0.0
         while self.engine.system.buffer.terminal_voltage < level:
             if self.engine.time >= deadline:
                 return False
             before = self.engine.system.buffer.terminal_voltage
-            self.engine.idle(min(0.1, deadline - self.engine.time))
+            step = min(0.1, deadline - self.engine.time)
+            self.engine.idle(step)
             if self.engine.system.buffer.terminal_voltage <= before + 1e-9:
-                stall += 1
-                if stall > 3:
-                    return False
+                if self._harvest_now() > 0.0:
+                    # Power is arriving yet the voltage is flat: the system
+                    # is at an equilibrium below the gate and more waiting
+                    # cannot raise it.
+                    stall += 1
+                    if stall > self.stall_tolerance:
+                        return False
+                else:
+                    # Harvester dropout — normal for ambient sources. Ride
+                    # it out up to the grace window before giving up.
+                    outage += step
+                    if outage > self.dropout_grace:
+                        return False
             else:
                 stall = 0
+                outage = 0.0
         return True
 
     def run(self, program: Program, *, until: float = 3600.0,
@@ -121,14 +195,23 @@ class IntermittentExecutor:
                 program.commit()
                 report.tasks_committed += 1
                 consecutive_best_failures = 0
+                on_success = getattr(self.gate, "on_success", None)
+                if on_success is not None:
+                    on_success(task)
                 continue
             # Failed attempt: work lost, energy wasted.
             report.reexecutions[task.name] = \
                 report.reexecutions.get(task.name, 0) + 1
             report.wasted_energy += result.energy_from_buffer
+            if result.browned_out:
+                report.brownouts[task.name] = \
+                    report.brownouts.get(task.name, 0) + 1
+                on_brownout = getattr(self.gate, "on_brownout", None)
+                if on_brownout is not None:
+                    on_brownout(task)
             if v_start >= v_high - 0.01:
                 consecutive_best_failures += 1
-                if consecutive_best_failures >= self.STUCK_LIMIT:
+                if consecutive_best_failures >= self.stuck_limit:
                     report.stuck_on = task.name
                     if raise_on_stuck:
                         raise NonTermination(

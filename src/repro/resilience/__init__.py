@@ -1,0 +1,63 @@
+"""Resilience subsystem: composable fault injection and chaos campaigns.
+
+The paper's safety claim — the V_safe gate never admits a task that browns
+out (§V-B, §VII) — is only worth reproducing if it survives the ways real
+deployments go wrong: harvesters that cut out in storms, supercapacitors
+whose ESR doubles with age, ADCs that stick, drop samples or pick up
+noise, timers that jitter. This package turns those failure modes into a
+registry of seeded, schedulable :mod:`injectors <repro.resilience.injectors>`
+that plug into the simulator's existing seams, and a
+:mod:`campaign <repro.resilience.campaign>` engine (``repro chaos``) that
+runs seeded fault campaigns across applications and estimators, classifies
+every trial, and persists replayable cases for anything unsafe.
+"""
+
+from repro.resilience.campaign import (
+    CHAOS_APPS,
+    CHAOS_STOCK,
+    CampaignConfig,
+    ChaosReport,
+    ChaosTrialOutcome,
+    default_injector_dicts,
+    run_campaign,
+    run_chaos_trial,
+)
+from repro.resilience.cases import ChaosCase, load_chaos_case, save_chaos_case
+from repro.resilience.injectors import (
+    INJECTORS,
+    AdcDropoutFault,
+    AdcNoiseFault,
+    AdcStuckFault,
+    CapacitanceDegradation,
+    EsrAgingDrift,
+    FaultInjector,
+    HarvesterDropoutStorm,
+    IsrTimerJitter,
+    NoFault,
+    injector_from_dict,
+)
+
+__all__ = [
+    "CHAOS_APPS",
+    "CHAOS_STOCK",
+    "CampaignConfig",
+    "ChaosCase",
+    "ChaosReport",
+    "ChaosTrialOutcome",
+    "FaultInjector",
+    "INJECTORS",
+    "NoFault",
+    "HarvesterDropoutStorm",
+    "EsrAgingDrift",
+    "CapacitanceDegradation",
+    "AdcDropoutFault",
+    "AdcStuckFault",
+    "AdcNoiseFault",
+    "IsrTimerJitter",
+    "default_injector_dicts",
+    "injector_from_dict",
+    "load_chaos_case",
+    "run_campaign",
+    "run_chaos_trial",
+    "save_chaos_case",
+]

@@ -1,0 +1,495 @@
+"""Seeded chaos campaigns: apps x estimators x fault models, classified.
+
+One campaign *trial* is: derive the trial RNG from ``(seed, index)``, build
+a randomized Capybara-class plant, apply one fault injector (environment
+faults reshape the plant; measurement faults corrupt the profiling
+runtime through the estimator's ``runtime_hook`` seam), gate one small
+application's tasks with the estimator under test, and drive it to
+completion with the hardened :class:`IntermittentExecutor`. The outcome is
+classified:
+
+``completed``
+    Every task committed, no brown-outs, no degradation engaged.
+``degraded_but_safe``
+    No gated task browned out, but the system visibly degraded — V_high
+    fallback gates, adaptive derating, or the horizon expired while
+    riding out harvester outages. This is the *designed* failure mode.
+``brown_out``
+    A gated task crossed V_off mid-run: the safety property the paper
+    claims (§V-B, §VII) was violated for this estimator + fault.
+``livelock``
+    The executor proved a task unrunnable (stuck from a full buffer).
+
+Trials fan out over :func:`repro.harness.parallel.parallel_map` exactly
+like ``repro verify``: the report is a pure function of
+``(trials, seed, parameters)``, byte-identical for any ``--jobs``.
+
+Why the default stock set is the two Culpeo-R variants and not Culpeo-PG:
+PG computes from the *datasheet* capacitance, and the capacitance
+degradation fault exists precisely to break that assumption — PG shares
+the baselines' blind spot there by design (the paper positions Culpeo-R's
+measurements as the remedy, §V). The energy-only baselines stay available
+behind ``--estimators`` so campaigns can demonstrate the failure they are
+supposed to demonstrate — see the nightly ESR-drift job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.parallel import parallel_map
+from repro.harness.report import TextTable
+from repro.intermittent.executor import ExecutionReport, IntermittentExecutor
+from repro.intermittent.program import AtomicTask, Program
+from repro.loads.trace import CurrentTrace
+from repro.obs import current as _obs_current
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.system import capybara_power_system
+from repro.resilience.cases import ChaosCase, save_chaos_case
+from repro.resilience.injectors import (
+    INJECTORS,
+    FaultInjector,
+    injector_from_dict,
+)
+from repro.verify.generators import trial_rng
+
+#: Estimators a chaos campaign gates on by default. Culpeo-PG is excluded
+#: on purpose (datasheet-capacitance trust — see the module docstring);
+#: it and the energy baselines remain selectable via ``--estimators``.
+CHAOS_STOCK: Tuple[str, ...] = ("culpeo-isr", "culpeo-uarch")
+
+
+#: Duty cycles per campaign app. The program must drain the buffer from
+#: V_high all the way down to the launch gates — otherwise every task
+#: launches from far above its gate and the gate's (possibly missing) ESR
+#: margin is never exercised. Eighteen ~6 mJ tasks (~140 mJ lifted through
+#: the booster) overwhelm what a <48 mF bank holds above a ~1.7 V gate.
+CYCLES = 6
+
+
+def _cycled(tasks) -> Program:
+    return Program([AtomicTask(t.name, t.trace)
+                    for _ in range(CYCLES) for t in tasks])
+
+
+def _sense_store() -> Program:
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
+        AtomicTask("store", CurrentTrace([(0.006, 0.40)])),
+    ])
+
+
+def _sense_tx() -> Program:
+    radio = CurrentTrace([
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06),
+    ])
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
+        AtomicTask("radio", radio),
+    ])
+
+
+def _crypto_tx() -> Program:
+    radio = CurrentTrace([
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06),
+    ])
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("encrypt", CurrentTrace([(0.009, 0.27)])),
+        AtomicTask("radio", radio),
+    ])
+
+
+#: Campaign applications: small task programs in the shape of the paper's
+#: apps (§VI-B) but sized for the chaos regime — every task's rail energy
+#: is a few millijoules (large enough that a flat stuck-ADC capture lands
+#: below the physics floor and gets rejected) and peak currents stay
+#: modest (so the worst aged plant can still run every task from V_high —
+#: an infeasible task would read as a livelock and say nothing about
+#: estimator safety).
+CHAOS_APPS: Dict[str, Callable[[], Program]] = {
+    "sense-store": _sense_store,
+    "sense-tx": _sense_tx,
+    "crypto-tx": _crypto_tx,
+}
+
+
+def default_injector_dicts() -> Tuple[dict, ...]:
+    """Every registered injector with default parameters, as plain data."""
+    return tuple(INJECTORS[name]().to_dict() for name in sorted(INJECTORS))
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a worker needs to run one chaos trial (picklable)."""
+
+    seed: int
+    estimators: Tuple[str, ...] = CHAOS_STOCK
+    injectors: Tuple[dict, ...] = ()
+    apps: Tuple[str, ...] = tuple(CHAOS_APPS)
+    horizon: float = 90.0
+    stall_tolerance: int = 6
+    dropout_grace: float = 5.0
+    stuck_limit: int = 3
+
+    def combos(self) -> List[Tuple[str, str, dict]]:
+        """The (app, estimator, injector) grid trials cycle through."""
+        injectors = self.injectors or default_injector_dicts()
+        return list(product(self.apps, self.estimators, injectors))
+
+
+@dataclass
+class ChaosTrialOutcome:
+    """Plain-data result of one chaos trial (picklable)."""
+
+    index: int
+    app: str
+    estimator: str
+    injector: dict
+    outcome: str
+    details: dict = field(default_factory=dict)
+
+    @property
+    def unsafe(self) -> bool:
+        return self.outcome in ("brown_out", "livelock")
+
+
+class AdaptiveGate:
+    """Per-task launch gate with brown-out backoff.
+
+    Wraps the estimator's per-task V_safe values in the executor's gate
+    protocol: callable for the launch level, plus ``on_brownout`` /
+    ``on_success`` feedback hooks. A brown-out past the gate doubles the
+    task's derate (starting at ``initial``); each commit halves it — the
+    executor-side mirror of the adaptive scheduler's chain derating.
+    """
+
+    def __init__(self, base: Dict[str, float], v_high: float, *,
+                 initial: float = 0.02, maximum: float = 0.5) -> None:
+        self.base = base
+        self.v_high = v_high
+        self.initial = initial
+        self.maximum = maximum
+        self.derate: Dict[str, float] = {}
+        self.backoffs = 0
+
+    def __call__(self, task: AtomicTask) -> float:
+        level = self.base[task.name] + self.derate.get(task.name, 0.0)
+        return min(self.v_high, level)
+
+    def on_brownout(self, task: AtomicTask) -> None:
+        current = self.derate.get(task.name, 0.0)
+        self.derate[task.name] = (self.initial if current <= 0.0
+                                  else min(self.maximum, current * 2.0))
+        self.backoffs += 1
+
+    def on_success(self, task: AtomicTask) -> None:
+        current = self.derate.get(task.name, 0.0)
+        if current > 0.0:
+            halved = current / 2.0
+            if halved < 1e-3:
+                self.derate.pop(task.name, None)
+            else:
+                self.derate[task.name] = halved
+
+
+def _classify(report: ExecutionReport, gate: AdaptiveGate,
+              fallback_tasks: Sequence[str]) -> str:
+    if report.stuck_on is not None:
+        return "livelock"
+    if report.total_brownouts > 0:
+        return "brown_out"
+    if report.finished and gate.backoffs == 0 and not fallback_tasks:
+        return "completed"
+    return "degraded_but_safe"
+
+
+def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
+                  injector_dict: dict, *, horizon: float,
+                  stall_tolerance: int, dropout_grace: float,
+                  stuck_limit: int) -> ChaosTrialOutcome:
+    """Run one fully resolved chaos trial (shared by campaign and replay)."""
+    from repro.sim.engine import PowerSystemSimulator
+    from repro.verify.runner import build_estimator
+
+    rng = trial_rng(seed, index)
+    injector: FaultInjector = injector_from_dict(injector_dict)
+
+    # Randomized Capybara-class plant. The capacitance stays under 50 mF
+    # so every app task's energy floor clears the stuck-ADC detection
+    # threshold with margin (see CHAOS_APPS).
+    system = capybara_power_system(
+        datasheet_capacitance=float(rng.uniform(30e-3, 45e-3)),
+        dc_esr=float(rng.uniform(2.0, 5.0)),
+        harvester=ConstantPowerHarvester(float(rng.uniform(2e-3, 6e-3))),
+    )
+    system = injector.apply_to_system(system, rng)
+    v_high = system.monitor.v_high
+    system.rest_at(v_high)
+    # The model is characterized *after* environment faults: the ESR curve
+    # is a live measurement (re-profiling sees the aged part), but the
+    # datasheet capacitance field is stale by construction — exactly the
+    # knowledge gap the capacitance fault exploits.
+    model = system.characterize()
+
+    hook: Optional[Callable] = None
+    if estimator_name in ("culpeo-isr", "culpeo-uarch"):
+        def _corrupt(runtime, _rng=rng, _inj=injector):
+            _inj.apply_to_runtime(runtime, _rng)
+        hook = _corrupt
+    estimator = build_estimator(estimator_name, system, model,
+                                runtime_hook=hook)
+
+    program = CHAOS_APPS[app]()
+    gates: Dict[str, float] = {}
+    fallback_tasks: List[str] = []
+    for task in program:
+        if task.name in gates:
+            continue
+        estimate = estimator.estimate(system, task.trace)
+        gates[task.name] = estimate.v_safe
+        if "fallback" in estimate.method:
+            fallback_tasks.append(task.name)
+
+    gate = AdaptiveGate(gates, v_high)
+    engine = PowerSystemSimulator(system)
+    executor = IntermittentExecutor(
+        engine, gate, stuck_limit=stuck_limit,
+        stall_tolerance=stall_tolerance, dropout_grace=dropout_grace)
+    report = executor.run(program, until=horizon)
+
+    outcome = _classify(report, gate, fallback_tasks)
+    return ChaosTrialOutcome(
+        index=index, app=app, estimator=estimator_name,
+        injector=injector_dict, outcome=outcome,
+        details={
+            "finished": report.finished,
+            "tasks_committed": report.tasks_committed,
+            "elapsed": report.elapsed,
+            "charge_time": report.charge_time,
+            "wasted_energy": report.wasted_energy,
+            "reexecutions": report.total_reexecutions,
+            "brownouts": report.total_brownouts,
+            "stuck_on": report.stuck_on,
+            "backoffs": gate.backoffs,
+            "fallback_tasks": fallback_tasks,
+            "gates": gates,
+        },
+    )
+
+
+def run_chaos_trial(args: "Tuple[int, CampaignConfig]") -> ChaosTrialOutcome:
+    """Execute one campaign trial (module-level: picklable for fan-out)."""
+    index, cfg = args
+    combos = cfg.combos()
+    app, estimator_name, injector_dict = combos[index % len(combos)]
+    return _run_resolved(
+        cfg.seed, index, app, estimator_name, injector_dict,
+        horizon=cfg.horizon, stall_tolerance=cfg.stall_tolerance,
+        dropout_grace=cfg.dropout_grace, stuck_limit=cfg.stuck_limit,
+    )
+
+
+OUTCOMES: Tuple[str, ...] = ("completed", "degraded_but_safe", "brown_out",
+                             "livelock")
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated outcomes of one chaos campaign.
+
+    Pure data — no timestamps, no worker counts — so identical
+    ``(trials, seed, parameters)`` runs serialize to identical JSON
+    regardless of parallelism.
+    """
+
+    trials: int
+    seed: int
+    estimators: Tuple[str, ...]
+    injectors: Tuple[dict, ...]
+    apps: Tuple[str, ...]
+    horizon: float
+    counts: Dict[str, int]
+    per_estimator: Dict[str, Dict[str, int]]
+    per_injector: Dict[str, Dict[str, int]]
+    unsafe: List[dict]
+    cases: List[str]
+
+    @property
+    def unsafe_count(self) -> int:
+        return len(self.unsafe)
+
+    @property
+    def ok(self) -> bool:
+        """True when no trial browned out past its gate or livelocked."""
+        return self.unsafe_count == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.chaos-report",
+            "version": 1,
+            "config": {
+                "trials": self.trials,
+                "seed": self.seed,
+                "estimators": list(self.estimators),
+                "injectors": list(self.injectors),
+                "apps": list(self.apps),
+                "horizon": self.horizon,
+            },
+            "counts": self.counts,
+            "per_estimator": self.per_estimator,
+            "per_injector": self.per_injector,
+            "unsafe": self.unsafe,
+            "cases": self.cases,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        columns = ["injector"] + list(OUTCOMES)
+        table = TextTable(
+            columns,
+            title=(f"chaos campaign: {self.trials} trials, seed {self.seed}, "
+                   f"estimators {', '.join(self.estimators)}"),
+        )
+        for name in sorted(self.per_injector):
+            stats = self.per_injector[name]
+            table.add_row([name] + [stats.get(o, 0) for o in OUTCOMES])
+        lines = [table.render()]
+        estimator_table = TextTable(["estimator"] + list(OUTCOMES))
+        for name in self.estimators:
+            stats = self.per_estimator[name]
+            estimator_table.add_row(
+                [name] + [stats.get(o, 0) for o in OUTCOMES])
+        lines.append(estimator_table.render())
+        if self.unsafe:
+            lines.append(f"unsafe trials ({self.unsafe_count}):")
+            for entry in self.unsafe[:10]:
+                lines.append(
+                    f"  trial {entry['index']} {entry['app']} / "
+                    f"{entry['estimator']} / {entry['injector']}: "
+                    f"{entry['outcome']}"
+                )
+        if self.cases:
+            lines.append(f"chaos cases ({len(self.cases)}):")
+            for path in self.cases:
+                lines.append(f"  {path}")
+        lines.append("verdict: " + ("OK" if self.ok else "UNSAFE"))
+        return "\n".join(lines)
+
+
+def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
+                 estimators: Sequence[str] = CHAOS_STOCK,
+                 injectors: Optional[Sequence[dict]] = None,
+                 apps: Optional[Sequence[str]] = None,
+                 horizon: float = 90.0,
+                 stall_tolerance: int = 6,
+                 dropout_grace: float = 5.0,
+                 stuck_limit: int = 3,
+                 cases_dir: Optional[str] = None) -> ChaosReport:
+    """Run ``trials`` seeded chaos trials and aggregate a report.
+
+    ``cases_dir`` receives one JSON chaos case per unsafe trial (created
+    on demand; untouched when the campaign is clean). Results are
+    bit-identical for any ``jobs``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    from repro.verify.runner import KNOWN_ESTIMATORS
+    names = tuple(estimators)
+    for name in names:
+        if name not in KNOWN_ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {name!r}; choose from {KNOWN_ESTIMATORS}"
+            )
+    app_names = tuple(apps) if apps is not None else tuple(CHAOS_APPS)
+    for name in app_names:
+        if name not in CHAOS_APPS:
+            raise ValueError(
+                f"unknown app {name!r}; choose from {tuple(CHAOS_APPS)}"
+            )
+    injector_dicts = (tuple(injectors) if injectors is not None
+                      else default_injector_dicts())
+    for data in injector_dicts:
+        injector_from_dict(data)  # validate early, in the parent
+    cfg = CampaignConfig(
+        seed=seed, estimators=names, injectors=injector_dicts,
+        apps=app_names, horizon=horizon, stall_tolerance=stall_tolerance,
+        dropout_grace=dropout_grace, stuck_limit=stuck_limit,
+    )
+    outcomes = parallel_map(run_chaos_trial,
+                            [(i, cfg) for i in range(trials)], jobs=jobs)
+
+    counts: Dict[str, int] = {o: 0 for o in OUTCOMES}
+    per_estimator: Dict[str, Dict[str, int]] = {
+        name: {o: 0 for o in OUTCOMES} for name in names
+    }
+    per_injector: Dict[str, Dict[str, int]] = {
+        data["injector"]: {o: 0 for o in OUTCOMES} for data in injector_dicts
+    }
+    unsafe: List[dict] = []
+    case_paths: List[str] = []
+
+    # Telemetry is emitted parent-side from the aggregated outcomes, so
+    # the event stream is identical for any ``jobs``.
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("chaos.trials").inc(len(outcomes))
+
+    for outcome in outcomes:
+        counts[outcome.outcome] += 1
+        per_estimator[outcome.estimator][outcome.outcome] += 1
+        per_injector[outcome.injector["injector"]][outcome.outcome] += 1
+        if obs is not None:
+            obs.metrics.counter(f"chaos.outcome.{outcome.outcome}").inc()
+            obs.emit(
+                "chaos.trial",
+                trial=outcome.index,
+                app=outcome.app,
+                estimator=outcome.estimator,
+                injector=outcome.injector["injector"],
+                outcome=outcome.outcome,
+                brownouts=outcome.details.get("brownouts", 0),
+                backoffs=outcome.details.get("backoffs", 0),
+            )
+        if outcome.unsafe:
+            entry = {
+                "index": outcome.index,
+                "app": outcome.app,
+                "estimator": outcome.estimator,
+                "injector": outcome.injector["injector"],
+                "outcome": outcome.outcome,
+                "details": outcome.details,
+            }
+            unsafe.append(entry)
+            if cases_dir is not None:
+                directory = Path(cases_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                case = ChaosCase(
+                    seed=seed, index=outcome.index, app=outcome.app,
+                    estimator=outcome.estimator, injector=outcome.injector,
+                    horizon=horizon, stall_tolerance=stall_tolerance,
+                    dropout_grace=dropout_grace, stuck_limit=stuck_limit,
+                    original={"outcome": outcome.outcome,
+                              "details": outcome.details},
+                )
+                path = directory / (
+                    f"chaos-{outcome.index:06d}-{outcome.estimator}.json"
+                )
+                save_chaos_case(case, path)
+                case_paths.append(str(path))
+
+    return ChaosReport(
+        trials=trials, seed=seed, estimators=names,
+        injectors=injector_dicts, apps=app_names, horizon=horizon,
+        counts=counts, per_estimator=per_estimator,
+        per_injector=per_injector, unsafe=unsafe, cases=case_paths,
+    )

@@ -1,0 +1,95 @@
+"""Persisted chaos cases: replayable records of unsafe campaign trials.
+
+Every unsafe trial (a brown-out past the gate, or a livelock) becomes one
+self-contained JSON document holding the *resolved* trial inputs — seed,
+index, app, estimator, injector recipe, executor parameters. Because a
+campaign trial is a pure function of those inputs,
+``repro chaos --replay case.json`` re-runs exactly the trial that failed
+and reports whether it still misbehaves — the same workflow
+``repro verify`` established for soundness counterexamples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+FORMAT = "repro.chaos-case"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One replayable unsafe campaign trial."""
+
+    seed: int
+    index: int
+    app: str
+    estimator: str
+    injector: dict
+    horizon: float
+    stall_tolerance: int
+    dropout_grace: float
+    stuck_limit: int
+    #: Outcome details recorded when the case was found.
+    original: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "version": VERSION,
+            "seed": self.seed,
+            "index": self.index,
+            "app": self.app,
+            "estimator": self.estimator,
+            "injector": self.injector,
+            "horizon": self.horizon,
+            "stall_tolerance": self.stall_tolerance,
+            "dropout_grace": self.dropout_grace,
+            "stuck_limit": self.stuck_limit,
+            "original": self.original,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosCase":
+        if data.get("format") != FORMAT:
+            raise ValueError("not a repro chaos-case document")
+        if data.get("version") != VERSION:
+            raise ValueError(f"unsupported version: {data.get('version')!r}")
+        return cls(
+            seed=int(data["seed"]),
+            index=int(data["index"]),
+            app=data["app"],
+            estimator=data["estimator"],
+            injector=dict(data["injector"]),
+            horizon=float(data["horizon"]),
+            stall_tolerance=int(data["stall_tolerance"]),
+            dropout_grace=float(data["dropout_grace"]),
+            stuck_limit=int(data["stuck_limit"]),
+            original=data.get("original", {}),
+        )
+
+    def replay(self):
+        """Re-run the recorded trial; returns a ChaosTrialOutcome."""
+        from repro.resilience.campaign import _run_resolved  # cycle-free
+
+        return _run_resolved(
+            self.seed, self.index, self.app, self.estimator, self.injector,
+            horizon=self.horizon, stall_tolerance=self.stall_tolerance,
+            dropout_grace=self.dropout_grace, stuck_limit=self.stuck_limit,
+        )
+
+
+def save_chaos_case(case: ChaosCase, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(case.to_dict(), indent=2),
+                          encoding="utf-8")
+
+
+def load_chaos_case(path: PathLike) -> ChaosCase:
+    return ChaosCase.from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

@@ -1,0 +1,380 @@
+"""Composable, seeded fault injectors over the simulator's existing seams.
+
+Every injector is a small recipe object: plain-data parameters (JSON
+round-trippable, so campaigns and repro cases can persist it) plus two
+application hooks that mirror where real hardware fails:
+
+* :meth:`FaultInjector.apply_to_system` — *environment* faults. Receives
+  the plant before anything profiles or runs on it and returns a faulted
+  plant: the harvester wrapped in a dropout storm, the supercapacitor
+  replaced by its aged twin. Design-time knowledge (the stale datasheet
+  capacitance field) deliberately survives, because that is exactly the
+  stale knowledge a deployed device has.
+* :meth:`FaultInjector.apply_to_runtime` — *measurement* faults. Receives
+  a freshly built Culpeo-R runtime (via the estimator's ``runtime_hook``
+  seam) and corrupts its conversion path: a
+  :class:`~repro.sim.faults.FaultyAdc` swapped into the sampler, Gaussian
+  input noise, timer jitter on the ISR.
+
+All randomness is drawn from the ``rng`` handed to the hook — the trial's
+own seeded stream — so a campaign trial is a pure function of
+``(seed, index)`` and any ADC fault schedule differs between trials
+instead of silently repeating (the bug the old implicit
+``default_rng(0)`` default buried).
+
+The registry maps names to classes; :func:`injector_from_dict` rebuilds
+any injector from its ``to_dict`` form, which is how campaign configs and
+chaos cases ship them across process and file boundaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.power.harvester import Harvester
+from repro.power.system import PowerSystem
+from repro.sim.adc import Adc
+from repro.sim.faults import FaultyAdc
+
+#: Registered injector classes by name.
+INJECTORS: Dict[str, Type["FaultInjector"]] = {}
+
+
+def register(cls: Type["FaultInjector"]) -> Type["FaultInjector"]:
+    """Class decorator adding an injector to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    if cls.name in INJECTORS:
+        raise ValueError(f"duplicate injector name: {cls.name!r}")
+    INJECTORS[cls.name] = cls
+    return cls
+
+
+def injector_from_dict(data: dict) -> "FaultInjector":
+    """Rebuild an injector from its ``to_dict`` form."""
+    name = data.get("injector")
+    if name not in INJECTORS:
+        raise ValueError(
+            f"unknown injector {name!r}; choose from {sorted(INJECTORS)}"
+        )
+    return INJECTORS[name](**data.get("params", {}))
+
+
+def _derive_seed(rng: np.random.Generator) -> int:
+    """One fault-schedule seed drawn from the trial's stream."""
+    return int(rng.integers(0, 2 ** 31))
+
+
+class FaultInjector:
+    """Base injector: a named, parameterized, seedable fault recipe.
+
+    Subclasses override one or both hooks. The defaults are identity —
+    an environment fault leaves runtimes alone and vice versa — so the
+    campaign can apply every injector through both hooks unconditionally.
+    """
+
+    name: str = ""
+
+    def params(self) -> dict:
+        """Plain-JSON parameters (inverse of ``__init__`` kwargs)."""
+        return {}
+
+    def to_dict(self) -> dict:
+        return {"injector": self.name, "params": self.params()}
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        """Return the (possibly replaced) plant with the fault applied."""
+        return system
+
+    def apply_to_runtime(self, runtime, rng: np.random.Generator) -> None:
+        """Corrupt a Culpeo-R runtime's measurement path in place."""
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging nicety
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+
+@register
+class NoFault(FaultInjector):
+    """Healthy control arm: every campaign should include one."""
+
+    name = "none"
+
+
+class DropoutStormHarvester:
+    """A harvester gated by a precomputed on/off window schedule.
+
+    Windows are drawn once (seeded) at construction — alternating
+    exponentially distributed up/down durations out to ``horizon`` — so
+    ``power_at`` is a pure function of time: deterministic across
+    processes, replayable from the same seed, and compatible with the
+    fast simulation kernel (which calls ``power_at`` per step).
+    """
+
+    def __init__(self, inner: Harvester, rng: np.random.Generator, *,
+                 mean_up: float, mean_down: float, horizon: float) -> None:
+        self.inner = inner
+        # Boundary times where the supply toggles; even intervals
+        # (starting at t=0) are "up", odd are "down".
+        boundaries: List[float] = []
+        t = 0.0
+        up = True
+        while t < horizon:
+            t += float(rng.exponential(mean_up if up else mean_down))
+            boundaries.append(t)
+            up = not up
+        self._boundaries = boundaries
+
+    def power_at(self, t: float) -> float:
+        interval = bisect.bisect_right(self._boundaries, t)
+        if interval % 2 == 1:
+            return 0.0  # inside a dropout window
+        return self.inner.power_at(t)
+
+
+@register
+class HarvesterDropoutStorm(FaultInjector):
+    """Environment: the ambient source cuts out in random bursts.
+
+    Models passing shade, occluded RF, a flickering indoor light — the
+    supply is fine on average but delivers nothing for seconds at a
+    time. Tests the waiting logic (executor dropout grace) rather than
+    the estimates themselves.
+    """
+
+    name = "harvester-dropout-storm"
+
+    def __init__(self, mean_up: float = 6.0, mean_down: float = 1.5,
+                 horizon: float = 600.0) -> None:
+        if mean_up <= 0 or mean_down <= 0:
+            raise ValueError("storm window means must be positive")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.mean_up = mean_up
+        self.mean_down = mean_down
+        self.horizon = horizon
+
+    def params(self) -> dict:
+        return {"mean_up": self.mean_up, "mean_down": self.mean_down,
+                "horizon": self.horizon}
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        storm = DropoutStormHarvester(
+            system.harvester, rng, mean_up=self.mean_up,
+            mean_down=self.mean_down, horizon=self.horizon)
+        return system.with_harvester(storm)
+
+
+@register
+class EsrAgingDrift(FaultInjector):
+    """Environment: the supercapacitor's ESR has drifted up with age.
+
+    Datasheets call ESR doubled the end of life (paper §IV-C); deployed
+    devices sail past that. The aged buffer replaces the plant's; the
+    software's design-time knowledge is *not* told — which is the whole
+    test: measurement-based estimators re-observe the larger drops, while
+    energy-only baselines (no V_delta term at all) gate exactly as before
+    and walk into the enlarged ESR drop.
+    """
+
+    name = "esr-aging"
+
+    def __init__(self, factor_min: float = 2.0,
+                 factor_max: float = 3.0) -> None:
+        if not 1.0 <= factor_min <= factor_max:
+            raise ValueError("need 1 <= factor_min <= factor_max")
+        self.factor_min = factor_min
+        self.factor_max = factor_max
+
+    def params(self) -> dict:
+        return {"factor_min": self.factor_min, "factor_max": self.factor_max}
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        factor = float(rng.uniform(self.factor_min, self.factor_max))
+        system.buffer = system.buffer.aged(capacitance_factor=1.0,
+                                           esr_factor=factor)
+        return system
+
+
+@register
+class CapacitanceDegradation(FaultInjector):
+    """Environment: the bank holds a fraction of its datasheet charge.
+
+    Aged cells, cold electrolyte, a cracked part in the bank. As with ESR
+    aging, the plant changes and the ``datasheet_capacitance`` the
+    model-based estimators consume stays stale — Culpeo-R variants, which
+    trust measured voltages over the datasheet, must shrug this off.
+    """
+
+    name = "capacitance-degradation"
+
+    def __init__(self, factor_min: float = 0.5,
+                 factor_max: float = 0.8) -> None:
+        if not 0.0 < factor_min <= factor_max <= 1.0:
+            raise ValueError("need 0 < factor_min <= factor_max <= 1")
+        self.factor_min = factor_min
+        self.factor_max = factor_max
+
+    def params(self) -> dict:
+        return {"factor_min": self.factor_min, "factor_max": self.factor_max}
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        factor = float(rng.uniform(self.factor_min, self.factor_max))
+        system.buffer = system.buffer.aged(capacitance_factor=factor,
+                                           esr_factor=1.0)
+        return system
+
+
+def _swap_adc(runtime, adc: Adc) -> None:
+    """Install ``adc`` wherever the runtime converts voltages.
+
+    The ISR runtime owns a raw ``_adc`` (synchronous V_start reads) plus
+    the sampler's converter; the µArch runtime converts through its
+    block's ADC. Duck-typed on those seams so new runtimes only need to
+    expose the same attributes.
+    """
+    swapped = False
+    if hasattr(runtime, "_adc") and hasattr(runtime, "_sampler"):
+        runtime._adc = adc
+        runtime._sampler.adc = adc
+        swapped = True
+    elif hasattr(runtime, "block"):
+        runtime.block.adc = adc
+        swapped = True
+    if not swapped:
+        raise TypeError(
+            f"don't know where {type(runtime).__name__} keeps its ADC"
+        )
+
+
+def _reference_adc(runtime) -> Adc:
+    """The runtime's current converter (for bits/v_ref to preserve)."""
+    if hasattr(runtime, "_adc"):
+        return runtime._adc
+    if hasattr(runtime, "block"):
+        return runtime.block.adc
+    raise TypeError(
+        f"don't know where {type(runtime).__name__} keeps its ADC"
+    )
+
+
+@register
+class AdcDropoutFault(FaultInjector):
+    """Measurement: conversions randomly return code 0.
+
+    A supply dip during conversion or a lost sample on a shared bus. The
+    hardened runtimes must notice the impossible readings, distrust the
+    capture, and fall back to V_high gating — never fold a phantom 0 V
+    into V_min.
+    """
+
+    name = "adc-dropout"
+
+    def __init__(self, dropout_rate: float = 0.05) -> None:
+        if not 0.0 < dropout_rate <= 1.0:
+            raise ValueError(
+                f"dropout_rate must be in (0, 1], got {dropout_rate}")
+        self.dropout_rate = dropout_rate
+
+    def params(self) -> dict:
+        return {"dropout_rate": self.dropout_rate}
+
+    def apply_to_runtime(self, runtime, rng: np.random.Generator) -> None:
+        reference = _reference_adc(runtime)
+        _swap_adc(runtime, FaultyAdc(
+            bits=reference.bits, v_ref=reference.v_ref,
+            dropout_rate=self.dropout_rate, seed=_derive_seed(rng)))
+
+
+@register
+class AdcStuckFault(FaultInjector):
+    """Measurement: the converter latches one code for every conversion.
+
+    A latched comparator or broken SAR bit. A stuck-low ADC trips the
+    plausibility floor; a stuck mid/high ADC produces a flat capture whose
+    implied V_safe sits below the task's physics floor — both must end in
+    the conservative V_high fallback, not in a near-zero gate.
+    """
+
+    name = "adc-stuck"
+
+    def __init__(self, stuck_code: Optional[int] = None) -> None:
+        #: ``None`` draws the code from the trial stream at apply time.
+        self.stuck_code = stuck_code
+
+    def params(self) -> dict:
+        return {"stuck_code": self.stuck_code}
+
+    def apply_to_runtime(self, runtime, rng: np.random.Generator) -> None:
+        reference = _reference_adc(runtime)
+        max_code = (1 << reference.bits) - 1
+        code = self.stuck_code
+        if code is None:
+            code = int(rng.integers(0, max_code + 1))
+        _swap_adc(runtime, FaultyAdc(
+            bits=reference.bits, v_ref=reference.v_ref,
+            stuck_code=code, stuck_after=0))
+
+
+@register
+class AdcNoiseFault(FaultInjector):
+    """Measurement: Gaussian input-referred noise on every conversion.
+
+    A noisy reference or supply ripple coupling into the converter. Noise
+    biases minimum tracking *low* (extreme-value statistics), which
+    inflates the measured drop — the degradation must stay on the
+    conservative side of the guard band.
+    """
+
+    name = "adc-noise"
+
+    def __init__(self, sigma: float = 0.004) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+
+    def params(self) -> dict:
+        return {"sigma": self.sigma}
+
+    def apply_to_runtime(self, runtime, rng: np.random.Generator) -> None:
+        reference = _reference_adc(runtime)
+        _swap_adc(runtime, Adc(
+            bits=reference.bits, v_ref=reference.v_ref,
+            noise_sigma=self.sigma,
+            rng=np.random.default_rng(_derive_seed(rng))))
+
+
+@register
+class IsrTimerJitter(FaultInjector):
+    """Measurement: the 1 ms profiling timer fires with period jitter.
+
+    Cheap RC-derived timers drift a few percent with voltage and
+    temperature. Applies only where a software timer exists — the ISR
+    variant's sampler; the µArch block's 100 kHz hardware capture has no
+    such seam and is left untouched.
+    """
+
+    name = "isr-timer-jitter"
+
+    def __init__(self, fraction: float = 0.10) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1), got {fraction}")
+        self.fraction = fraction
+
+    def params(self) -> dict:
+        return {"fraction": self.fraction}
+
+    def apply_to_runtime(self, runtime, rng: np.random.Generator) -> None:
+        sampler = getattr(runtime, "_sampler", None)
+        set_jitter = getattr(sampler, "set_jitter", None)
+        if set_jitter is not None:
+            set_jitter(np.random.default_rng(_derive_seed(rng)),
+                       self.fraction)

@@ -20,10 +20,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.isr import CulpeoIsrRuntime
+from repro.core.model import TaskDemand, VsafeEstimate
 from repro.core.reprofile import ReprofilingMonitor
 from repro.core.runtime import CulpeoRCalculator
+from repro.obs import current as _obs_current
 from repro.sched.policy import SchedulerPolicy
-from repro.sched.scheduler import IntermittentScheduler, ScheduleResult
+from repro.sched.scheduler import (
+    EventOutcome,
+    EventRecord,
+    IntermittentScheduler,
+    ScheduleResult,
+)
 from repro.sched.task import Task, TaskChain
 from repro.sim.engine import PowerSystemSimulator
 
@@ -35,7 +42,29 @@ class AdaptiveCulpeoScheduler(IntermittentScheduler):
     runs every unique task once from whatever charge is available,
     spending simulated time and energy — adaptation is not free, and the
     results report how often it happened.
+
+    Two hardening behaviours guard against the model being wrong at
+    runtime:
+
+    * Tasks whose profiles the runtime discarded (untrusted captures,
+      browned-out profiling runs) and that have no prior estimate gate on
+      a conservative ``V_high`` placeholder instead of crashing policy
+      compilation — the device waits for a full buffer until a clean
+      profile lands.
+    * An observed chain brown-out means the compiled gate was too low for
+      the world as it is (aged ESR, degraded capacitance, measurement
+      bias), so the chain's gate is derated upward with exponential
+      backoff — doubled per brown-out from ``DERATE_INITIAL`` — and
+      halved again after each captured event.
     """
+
+    #: First gate raise applied after an observed chain brown-out (volts).
+    DERATE_INITIAL = 0.02
+    #: Ceiling on the accumulated derate (the gate is also capped at
+    #: ``V_high`` inside the policy).
+    DERATE_MAX = 0.5
+    #: Derates below this are dropped entirely during decay.
+    DERATE_EPSILON = 1e-3
 
     def __init__(self, engine: PowerSystemSimulator,
                  chains: Sequence[TaskChain],
@@ -53,6 +82,7 @@ class AdaptiveCulpeoScheduler(IntermittentScheduler):
         self.chains = list(chains)
         self.background_margin = background_margin
         self.reprofile_count = 0
+        self.brownout_backoffs = 0
         policy = SchedulerPolicy(
             name="culpeo-adaptive",
             v_off=model.v_off,
@@ -82,13 +112,71 @@ class AdaptiveCulpeoScheduler(IntermittentScheduler):
             # (the paper's "Culpeo-R may choose a known V_start").
             self.engine.charge_until(v_high, max_time=120.0)
             self.runtime.profile_task(task.trace, task.name)
-            self.policy.estimates[task.name] = \
-                self.runtime.get_estimate(task.name) or \
-                self.policy.estimates.get(task.name)
+            estimate = (self.runtime.get_estimate(task.name)
+                        or self.policy.estimates.get(task.name))
+            if estimate is None:
+                # The profile was discarded (untrusted capture, browned-out
+                # profiling run) and no earlier estimate exists: degrade to
+                # conservative V_high gating rather than compile a policy
+                # with a hole in it.
+                estimate = self._fallback_estimate()
+            self.policy.estimates[task.name] = estimate
         self.policy.compile_chains(self.chains)
         self.monitor.record_profile_conditions(
             self.engine.system.harvester.power_at(self.engine.time))
         self.reprofile_count += 1
+
+    def _fallback_estimate(self) -> VsafeEstimate:
+        """Conservative V_high placeholder for tasks with no trusted profile."""
+        return VsafeEstimate(
+            v_safe=self.policy.v_high,
+            v_delta=0.0,
+            demand=TaskDemand(
+                energy_v2=self.policy.v_high ** 2 - self.policy.v_off ** 2,
+                v_delta=0.0),
+            method="V_high fallback (no trusted profile)",
+        )
+
+    # -- brown-out backoff ---------------------------------------------------
+
+    def _run_chain(self, chain: TaskChain, record: EventRecord,
+                   result: ScheduleResult, start_index: int = 0,
+                   wait_deadline: Optional[float] = None,
+                   is_retry: bool = False) -> None:
+        before = result.brownout_count
+        super()._run_chain(chain, record, result, start_index=start_index,
+                           wait_deadline=wait_deadline, is_retry=is_retry)
+        if result.brownout_count > before:
+            self._raise_derate(chain.name)
+        elif record.outcome is EventOutcome.CAPTURED:
+            self._decay_derate(chain.name)
+
+    def _raise_derate(self, chain_name: str) -> None:
+        current = self.policy.derate.get(chain_name, 0.0)
+        raised = (self.DERATE_INITIAL if current <= 0.0
+                  else min(self.DERATE_MAX, current * 2.0))
+        self.policy.derate[chain_name] = raised
+        self.brownout_backoffs += 1
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter("sched.brownout_backoffs").inc()
+            obs.emit("sched.derate", chain=chain_name, derate_v=raised,
+                     direction="raise")
+
+    def _decay_derate(self, chain_name: str) -> None:
+        current = self.policy.derate.get(chain_name, 0.0)
+        if current <= 0.0:
+            return
+        halved = current / 2.0
+        if halved < self.DERATE_EPSILON:
+            self.policy.derate.pop(chain_name, None)
+            halved = 0.0
+        else:
+            self.policy.derate[chain_name] = halved
+        obs = _obs_current()
+        if obs is not None:
+            obs.emit("sched.derate", chain=chain_name, derate_v=halved,
+                     direction="decay")
 
     # -- scheduler hook ------------------------------------------------------
 

@@ -215,24 +215,74 @@ class CulpeoREstimator:
     Each estimate runs one profiling pass on a copy of the system from a
     full buffer — the paper's "profile once before the application starts"
     regime.
+
+    Two hardening seams support the resilience subsystem:
+
+    * ``runtime_hook`` — called with the freshly built runtime before
+      profiling, so fault campaigns can corrupt its ADC/timer exactly
+      where real hardware would fail. A hooked estimator opts out of the
+      V_safe cache (its results are no longer pure in the system key).
+    * ``model`` — when the design-time :class:`PowerSystemModel` is
+      available, every measured estimate is cross-checked against the
+      task's physics floor: the V_safe implied by the task's rail energy
+      through a *perfect* converter into a generously over-estimated
+      capacitance. No honest measurement can land below that floor, so
+      one that does (an ADC stuck high collapses the observed drop to
+      zero) is rejected as impossible.
+
+    When profiling yields no trusted estimate — the runtime discarded the
+    capture, or the floor check rejected it — the estimator degrades
+    gracefully to conservative ``V_high`` gating instead of raising: the
+    device waits for a full buffer, which is always safe.
     """
 
+    #: An honest capacitance cannot exceed the datasheet value by this
+    #: factor (datasheets under-promise by a few percent, not 30).
+    CAPACITANCE_HEADROOM = 1.30
+
     def __init__(self, calculator: CulpeoRCalculator,
-                 variant: str = "isr") -> None:
+                 variant: str = "isr", *,
+                 runtime_hook=None,
+                 model: Optional[PowerSystemModel] = None) -> None:
         if variant not in ("isr", "uarch"):
             raise ValueError(f"variant must be 'isr' or 'uarch', got {variant!r}")
         self.calculator = calculator
         self.variant = variant
+        self.runtime_hook = runtime_hook
+        self.model = model
 
     @property
     def name(self) -> str:
         return "Culpeo-ISR" if self.variant == "isr" else "Culpeo-uArch"
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> Optional[tuple]:
+        if self.runtime_hook is not None:
+            return None  # hooked runtimes are not pure: never cache
         calc = self.calculator
         from repro.power.booster import efficiency_model_key
-        return ("culpeo-r", self.variant, calc.v_off, calc.v_high,
-                calc.guard_band, efficiency_model_key(calc.efficiency))
+        key = ("culpeo-r", self.variant, calc.v_off, calc.v_high,
+               calc.guard_band, efficiency_model_key(calc.efficiency))
+        if self.model is not None:
+            key += (self.model.config_key(),)
+        return key
+
+    def _demand_floor(self, trace: CurrentTrace) -> float:
+        """The lowest V_safe any honest measurement could support."""
+        assert self.model is not None
+        c_max = self.model.capacitance * self.CAPACITANCE_HEADROOM
+        energy_v2 = 2.0 * trace.energy_at(self.model.v_out) / c_max
+        return (self.calculator.v_off ** 2 + energy_v2) ** 0.5
+
+    def _fallback_estimate(self) -> VsafeEstimate:
+        """Conservative V_high gating for untrusted measurements."""
+        calc = self.calculator
+        return VsafeEstimate(
+            v_safe=calc.v_high,
+            v_delta=0.0,
+            demand=TaskDemand(
+                energy_v2=calc.v_high ** 2 - calc.v_off ** 2, v_delta=0.0),
+            method=self.name + " (V_high fallback)",
+        )
 
     def estimate(self, system: PowerSystem,
                  trace: CurrentTrace) -> VsafeEstimate:
@@ -244,10 +294,16 @@ class CulpeoREstimator:
             runtime = CulpeoIsrRuntime(engine, self.calculator)
         else:
             runtime = CulpeoUArchRuntime(engine, self.calculator)
+        if self.runtime_hook is not None:
+            self.runtime_hook(runtime)
         runtime.profile_task(trace, "probe", harvesting=False)
         estimate = runtime.get_estimate("probe")
-        if estimate is None:  # pragma: no cover — profile_task always stores
-            raise RuntimeError("profiling failed to produce an estimate")
+        if (estimate is not None and self.model is not None
+                and estimate.v_safe < min(self._demand_floor(trace),
+                                          self.calculator.v_high)):
+            estimate = None  # below the physics floor: impossible reading
+        if estimate is None:
+            return self._fallback_estimate()
         return estimate
 
 

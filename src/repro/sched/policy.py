@@ -64,6 +64,11 @@ class SchedulerPolicy:
     background_margin: float = 0.01
     _suffix_gates: Dict[Tuple[str, int], float] = field(default_factory=dict)
     background_threshold: float = 0.0
+    #: Per-chain additive gate margin (volts), managed by adaptive
+    #: schedulers: raised after an observed brown-out, decayed after
+    #: successes. Always a *raise* — gates never drop below the compiled
+    #: suffix requirement.
+    derate: Dict[str, float] = field(default_factory=dict)
 
     def demand(self, task_name: str) -> TaskDemand:
         try:
@@ -98,14 +103,23 @@ class SchedulerPolicy:
         )
 
     def gate(self, chain_name: str, task_index: int) -> float:
-        """Required voltage before task ``task_index`` of ``chain_name``."""
+        """Required voltage before task ``task_index`` of ``chain_name``.
+
+        Any active derate for the chain is added on top of the compiled
+        suffix gate (capped at ``v_high`` — waiting for a full buffer is
+        the most any gate can demand).
+        """
         try:
-            return self._suffix_gates[(chain_name, task_index)]
+            base = self._suffix_gates[(chain_name, task_index)]
         except KeyError:
             raise KeyError(
                 f"no compiled gate for {chain_name!r}[{task_index}]; "
                 "call compile_chains() first"
             )
+        extra = self.derate.get(chain_name, 0.0)
+        if extra <= 0.0:
+            return base
+        return min(self.v_high, base + extra)
 
 
 def _build_policy(name: str, system: PowerSystem,

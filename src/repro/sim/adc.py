@@ -138,3 +138,84 @@ class SamplingObserver:
         self.v_max = v if self.v_max is None else max(self.v_max, v)
         self.sample_count += 1
         self._next_t = t + self.sample_period
+
+
+class FilteringSamplingObserver(SamplingObserver):
+    """A :class:`SamplingObserver` hardened against measurement faults.
+
+    Three defences sit between the raw conversion and the capture
+    statistics, each shaped so a fault degrades the estimate toward
+    *conservative* (more waiting), never toward silent unsafety:
+
+    * **Plausibility floor** — software only runs while the terminal
+      voltage sits at or above ``V_off``, so a reading far below that
+      (a dropped conversion reads 0 V, a dead reference reads garbage)
+      is physically impossible. Such samples are rejected and counted in
+      ``rejected_count`` instead of poisoning ``v_min``; the runtime
+      treats any rejection as grounds to distrust the whole capture.
+    * **Median-of-3 maximum tracking** — ``v_max`` feeds ``V_final``,
+      and a single *high* noise spike there shrinks the observed drop —
+      the one direction that makes V_safe unsafe. The maximum therefore
+      tracks the median of the last three accepted samples (the minimum
+      of the first two while the window fills, which under-reads —
+      conservative). ``v_min`` stays raw: noise can only push it *down*,
+      which raises V_safe.
+    * **Timer jitter hook** — :meth:`set_jitter` models an ISR timer
+      whose period wanders; the fault-injection layer uses it, and the
+      capture statistics above are already robust to the uneven spacing.
+    """
+
+    def __init__(self, adc: Adc, sample_period: float,
+                 burden_current: float = 0.0, *,
+                 plausibility_floor: float = 0.0) -> None:
+        if plausibility_floor < 0:
+            raise ValueError(
+                f"plausibility_floor must be >= 0, got {plausibility_floor}")
+        self.plausibility_floor = plausibility_floor
+        self._jitter_rng: Optional[np.random.Generator] = None
+        self._jitter_fraction = 0.0
+        super().__init__(adc, sample_period, burden_current)
+
+    def reset(self) -> None:
+        super().reset()
+        self.rejected_count = 0
+        self._recent: list = []
+
+    def set_jitter(self, rng: Optional[np.random.Generator],
+                   fraction: float) -> None:
+        """Perturb each sample period by ``±fraction`` (fault injection)."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"jitter fraction must be in [0, 1), got {fraction}")
+        self._jitter_rng = rng if fraction > 0 else None
+        self._jitter_fraction = fraction
+
+    def _filtered_max_candidate(self, v: float) -> float:
+        """Median of the last three accepted samples (min while filling)."""
+        self._recent.append(v)
+        if len(self._recent) > 3:
+            self._recent.pop(0)
+        if len(self._recent) < 3:
+            return min(self._recent)
+        return sorted(self._recent)[1]
+
+    def on_sample(self, t: float, v_terminal: float) -> None:
+        if not self._enabled:
+            return
+        period = self.sample_period
+        if self._jitter_rng is not None:
+            period *= 1.0 + float(
+                self._jitter_rng.uniform(-self._jitter_fraction,
+                                         self._jitter_fraction))
+        self._next_t = t + max(period, 1e-6)
+        v = self.adc.measure(v_terminal)
+        if v < self.plausibility_floor:
+            self.rejected_count += 1
+            return
+        if self.v_first is None:
+            self.v_first = v
+        self.v_last = v
+        self.v_min = v if self.v_min is None else min(self.v_min, v)
+        candidate = self._filtered_max_candidate(v)
+        self.v_max = candidate if self.v_max is None \
+            else max(self.v_max, candidate)
+        self.sample_count += 1

@@ -8,6 +8,12 @@ models — :class:`FaultyAdc` substitutes anywhere an
 observer — so the test suite can check the property that matters: bad
 inputs must degrade toward *conservative* behaviour (higher V_safe, more
 waiting), never toward silent unsafety.
+
+These two primitives are the measurement half of a larger story: the
+:mod:`repro.resilience` package wraps them (plus environment faults —
+harvester dropout storms, ESR aging, capacitance degradation) in a
+seeded, composable injector registry and a campaign engine
+(``repro chaos``) that exercises the whole runtime under them.
 """
 
 from __future__ import annotations
@@ -27,14 +33,18 @@ class FaultyAdc(Adc):
         returns this code (a latched comparator / broken SAR bit).
     ``dropout_rate``
         Probability that any conversion returns 0 (supply dip during
-        conversion, lost sample on a shared bus). Seeded via ``rng``.
+        conversion, lost sample on a shared bus). Stochastic faults need
+        an explicit ``rng`` or ``seed`` — a shared implicit default would
+        silently correlate the fault schedules of every instance in a
+        parallel campaign, collapsing N trials into one.
     """
 
     def __init__(self, bits: int, v_ref: float = 2.56, *,
                  stuck_code: Optional[int] = None,
                  stuck_after: int = 0,
                  dropout_rate: float = 0.0,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None) -> None:
         super().__init__(bits=bits, v_ref=v_ref)
         max_code = (1 << bits) - 1
         if stuck_code is not None and not 0 <= stuck_code <= max_code:
@@ -43,10 +53,19 @@ class FaultyAdc(Adc):
             raise ValueError(f"dropout_rate must be in [0,1], got {dropout_rate}")
         if stuck_after < 0:
             raise ValueError(f"stuck_after must be >= 0, got {stuck_after}")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if dropout_rate > 0 and rng is None and seed is None:
+            raise ValueError(
+                "stochastic faults (dropout_rate > 0) need an explicit "
+                "rng or seed; derive one from the trial's seed stream"
+            )
         self.stuck_code = stuck_code
         self.stuck_after = stuck_after
         self.dropout_rate = dropout_rate
-        self._fault_rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        self._fault_rng = rng
         self._conversions = 0
 
     def convert(self, voltage: float) -> int:

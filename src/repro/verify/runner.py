@@ -57,8 +57,14 @@ KNOWN_ESTIMATORS: Tuple[str, ...] = STOCK_ESTIMATORS + BASELINE_ESTIMATORS
 
 
 def build_estimator(name: str, system: PowerSystem,
-                    model: Optional[PowerSystemModel] = None):
-    """Instantiate an estimator by its registry name, bound to ``system``."""
+                    model: Optional[PowerSystemModel] = None, *,
+                    runtime_hook=None):
+    """Instantiate an estimator by its registry name, bound to ``system``.
+
+    ``runtime_hook`` (Culpeo-R variants only) is forwarded to
+    :class:`CulpeoREstimator` so fault campaigns can corrupt the
+    measurement path of the profiling runtime.
+    """
     if name not in KNOWN_ESTIMATORS:
         raise ValueError(
             f"unknown estimator {name!r}; choose from {KNOWN_ESTIMATORS}"
@@ -69,7 +75,8 @@ def build_estimator(name: str, system: PowerSystem,
     if name in ("culpeo-isr", "culpeo-uarch"):
         calc = CulpeoRCalculator(efficiency=model.efficiency,
                                  v_off=model.v_off, v_high=model.v_high)
-        return CulpeoREstimator(calc, name.split("-", 1)[1])
+        return CulpeoREstimator(calc, name.split("-", 1)[1],
+                                runtime_hook=runtime_hook, model=model)
     if name == "energy-direct":
         return EnergyDirectEstimator(model)
     if name == "energy-v":

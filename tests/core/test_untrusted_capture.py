@@ -1,0 +1,96 @@
+"""Untrusted captures degrade to V_high, never into a garbage gate."""
+
+import pytest
+
+from repro.core.isr import CulpeoIsrRuntime
+from repro.core.uarch_runtime import CulpeoUArchRuntime
+from repro.loads.synthetic import uniform_load
+from repro.sched.estimators import CulpeoREstimator
+from repro.sim.engine import PowerSystemSimulator
+from repro.sim.faults import FaultyAdc
+
+LOAD = uniform_load(0.010, 0.100)
+
+
+def make_isr(system, calculator):
+    engine = PowerSystemSimulator(system.copy())
+    return CulpeoIsrRuntime(engine, calculator)
+
+
+class TestIsrDiscard:
+    def test_dropout_poisoned_capture_is_discarded(self, system, calculator):
+        runtime = make_isr(system, calculator)
+        bad = FaultyAdc(bits=12, v_ref=2.56, dropout_rate=0.3, seed=13)
+        runtime._adc = bad
+        runtime._sampler.adc = bad
+        runtime.profile_task(LOAD.trace, "t", harvesting=False)
+        assert runtime.untrusted_captures >= 1
+        assert runtime.profiles.lookup("t") is None
+        assert runtime.get_estimate("t") is None
+        # Queries fall back to the conservative defaults (Table I).
+        assert runtime.get_vsafe("t") == pytest.approx(calculator.v_high)
+        assert runtime.get_vdrop("t") == -1
+
+    def test_clean_capture_is_kept(self, system, calculator):
+        runtime = make_isr(system, calculator)
+        runtime.profile_task(LOAD.trace, "t", harvesting=False)
+        assert runtime.untrusted_captures == 0
+        assert runtime.profiles.lookup("t") is not None
+        assert runtime.get_vsafe("t") < calculator.v_high
+
+
+class TestUarchDistrust:
+    def make_runtime(self, system, calculator):
+        engine = PowerSystemSimulator(system.copy())
+        return CulpeoUArchRuntime(engine, calculator)
+
+    def test_max_below_min_is_impossible(self, system, calculator):
+        runtime = self.make_runtime(system, calculator)
+        runtime._v_min = 2.0
+        runtime._v_final = 1.5  # rebound "maximum" below the minimum
+        assert not runtime._capture_trusted()
+
+    def test_flat_capture_stays_trusted(self, system, calculator):
+        # Equal registers are possible (a truly flat trace) — distrust
+        # only starts beyond one LSB of inversion.
+        runtime = self.make_runtime(system, calculator)
+        runtime._v_min = 2.0
+        runtime._v_final = 2.0
+        assert runtime._capture_trusted()
+
+    def test_normal_profile_is_trusted(self, system, calculator):
+        runtime = self.make_runtime(system, calculator)
+        runtime.profile_task(LOAD.trace, "t", harvesting=False)
+        assert runtime.untrusted_captures == 0
+        assert runtime.get_vsafe("t") < calculator.v_high
+
+
+class TestEstimatorFloorCheck:
+    def test_stuck_adc_estimate_rejected_by_physics_floor(self, system,
+                                                          calculator):
+        # A mid-scale stuck ADC yields a flat capture whose implied V_safe
+        # sits barely above V_off; for a multi-millijoule task that is
+        # physically impossible and the estimator must fall back.
+        model = system.characterize()
+
+        def stick_the_adc(runtime):
+            bad = FaultyAdc(bits=12, v_ref=2.56, stuck_code=3200,
+                            stuck_after=0)
+            runtime._adc = bad
+            runtime._sampler.adc = bad
+
+        estimator = CulpeoREstimator(calculator, "isr",
+                                     runtime_hook=stick_the_adc,
+                                     model=model)
+        heavy = uniform_load(0.010, 0.300)  # ~7 mJ on the rail
+        estimate = estimator.estimate(system, heavy.trace)
+        assert "fallback" in estimate.method
+        assert estimate.v_safe == pytest.approx(calculator.v_high)
+
+    def test_honest_estimate_passes_the_floor(self, system, calculator):
+        model = system.characterize()
+        estimator = CulpeoREstimator(calculator, "isr", model=model)
+        heavy = uniform_load(0.010, 0.300)
+        estimate = estimator.estimate(system, heavy.trace)
+        assert "fallback" not in estimate.method
+        assert estimate.v_safe < calculator.v_high

@@ -1,0 +1,165 @@
+"""Chaos campaign engine: determinism, classification, safety claims."""
+
+import json
+
+import pytest
+
+from repro.intermittent.executor import ExecutionReport
+from repro.intermittent.program import AtomicTask
+from repro.loads.trace import CurrentTrace
+from repro.resilience.campaign import (
+    CHAOS_APPS,
+    CHAOS_STOCK,
+    AdaptiveGate,
+    CampaignConfig,
+    _classify,
+    default_injector_dicts,
+    run_campaign,
+    run_chaos_trial,
+)
+from repro.resilience.cases import load_chaos_case
+
+ESR_ONLY = ({"injector": "esr-aging", "params": {}},)
+
+
+class TestConfig:
+    def test_default_injectors_cover_the_registry(self):
+        names = [d["injector"] for d in default_injector_dicts()]
+        assert names == sorted(names)  # stable grid order
+        assert "none" in names and "esr-aging" in names
+
+    def test_combos_cycle_apps_estimators_injectors(self):
+        cfg = CampaignConfig(seed=0, estimators=("culpeo-isr",),
+                             injectors=ESR_ONLY, apps=("sense-store",))
+        assert cfg.combos() == [("sense-store", "culpeo-isr", ESR_ONLY[0])]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_campaign(0)
+        with pytest.raises(ValueError, match="unknown estimator"):
+            run_campaign(1, estimators=("psychic",))
+        with pytest.raises(ValueError, match="unknown app"):
+            run_campaign(1, apps=("doom",))
+        with pytest.raises(ValueError, match="unknown injector"):
+            run_campaign(1, injectors=[{"injector": "gremlins"}])
+
+
+class TestAdaptiveGate:
+    def gate(self):
+        return AdaptiveGate({"t": 2.0}, v_high=2.56)
+
+    def task(self):
+        return AtomicTask("t", CurrentTrace.constant(0.002, 0.010))
+
+    def test_base_level_without_derate(self):
+        assert self.gate()(self.task()) == pytest.approx(2.0)
+
+    def test_brownout_doubles_the_derate(self):
+        gate, task = self.gate(), self.task()
+        gate.on_brownout(task)
+        assert gate(task) == pytest.approx(2.02)
+        gate.on_brownout(task)
+        assert gate(task) == pytest.approx(2.04)
+        assert gate.backoffs == 2
+
+    def test_derate_caps_at_v_high(self):
+        gate, task = self.gate(), self.task()
+        for _ in range(12):
+            gate.on_brownout(task)
+        assert gate(task) == pytest.approx(2.5)  # 2.0 + maximum 0.5
+        gate.base["t"] = 2.4
+        assert gate(task) == pytest.approx(2.56)  # clamped to V_high
+
+    def test_success_decays_and_eventually_clears(self):
+        gate, task = self.gate(), self.task()
+        gate.on_brownout(task)
+        for _ in range(8):
+            gate.on_success(task)
+        assert gate(task) == pytest.approx(2.0)
+        assert "t" not in gate.derate
+
+
+class TestClassification:
+    def report(self, **kw):
+        defaults = dict(finished=True, tasks_committed=18, elapsed=10.0)
+        defaults.update(kw)
+        return ExecutionReport(**defaults)
+
+    def test_livelock_takes_precedence(self):
+        report = self.report(finished=False, stuck_on="radio",
+                             brownouts={"radio": 2})
+        gate = AdaptiveGate({}, 2.56)
+        assert _classify(report, gate, []) == "livelock"
+
+    def test_any_brownout_is_unsafe(self):
+        report = self.report(brownouts={"radio": 1})
+        assert _classify(report, AdaptiveGate({}, 2.56), []) == "brown_out"
+
+    def test_clean_finish_is_completed(self):
+        assert _classify(self.report(), AdaptiveGate({}, 2.56),
+                         []) == "completed"
+
+    def test_fallback_gates_mean_degraded(self):
+        assert _classify(self.report(), AdaptiveGate({}, 2.56),
+                         ["sample"]) == "degraded_but_safe"
+
+    def test_horizon_expiry_without_brownout_is_degraded(self):
+        report = self.report(finished=False, tasks_committed=7)
+        assert _classify(report, AdaptiveGate({}, 2.56),
+                         []) == "degraded_but_safe"
+
+
+class TestCampaign:
+    def test_trial_is_a_pure_function_of_seed_and_index(self):
+        cfg = CampaignConfig(seed=11, estimators=("culpeo-isr",),
+                             injectors=ESR_ONLY, apps=("sense-store",))
+        a = run_chaos_trial((0, cfg))
+        b = run_chaos_trial((0, cfg))
+        assert a == b
+
+    def test_report_is_identical_serial_and_parallel(self):
+        kwargs = dict(seed=5, estimators=("culpeo-isr",),
+                      injectors=list(ESR_ONLY))
+        serial = run_campaign(6, jobs=1, **kwargs)
+        parallel = run_campaign(6, jobs=2, **kwargs)
+        assert json.dumps(serial.to_dict()) == json.dumps(parallel.to_dict())
+
+    def test_stock_estimators_survive_the_full_grid(self):
+        # One trial per (app, injector) cell for the ISR variant — the
+        # full stock x full grid sweep lives in the nightly campaign.
+        injectors = default_injector_dicts()
+        trials = len(CHAOS_APPS) * len(injectors)
+        report = run_campaign(trials, seed=2, estimators=("culpeo-isr",),
+                              injectors=injectors)
+        assert report.ok
+        assert report.counts["brown_out"] == 0
+        assert report.counts["livelock"] == 0
+        assert sum(report.counts.values()) == trials
+
+    def test_energy_baseline_browns_out_under_esr_drift(self, tmp_path):
+        cases_dir = tmp_path / "cases"
+        report = run_campaign(3, seed=3, estimators=("energy-v",),
+                              injectors=list(ESR_ONLY),
+                              cases_dir=str(cases_dir))
+        assert not report.ok
+        assert report.counts["brown_out"] >= 1
+        assert len(report.cases) == report.unsafe_count
+
+        case = load_chaos_case(report.cases[0])
+        replayed = case.replay()
+        assert replayed.outcome == case.original["outcome"]
+        assert replayed.unsafe
+
+    def test_no_cases_written_for_a_clean_campaign(self, tmp_path):
+        cases_dir = tmp_path / "cases"
+        report = run_campaign(1, seed=2, estimators=("culpeo-isr",),
+                              injectors=({"injector": "none"},),
+                              cases_dir=str(cases_dir))
+        assert report.ok
+        assert not cases_dir.exists()
+
+    def test_stock_default_excludes_profile_guided(self):
+        # Culpeo-PG trusts the datasheet capacitance; the degradation
+        # fault breaks that assumption by design, so PG is not in the
+        # default chaos set (it stays selectable explicitly).
+        assert "culpeo-pg" not in CHAOS_STOCK

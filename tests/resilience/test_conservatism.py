@@ -1,0 +1,75 @@
+"""Property: every registered fault degrades estimates *conservatively*.
+
+The hardened Culpeo-R variants may respond to a fault by estimating
+higher (more waiting) or by falling back to V_high — never by emitting a
+V_safe below the ground truth of the plant they will actually run on.
+This is the resilience analogue of ``repro.verify``'s soundness oracle:
+for each registered injector we build a faulted trial exactly the way a
+campaign does (environment faults reshape the plant before profiling;
+measurement faults corrupt the runtime through the ``runtime_hook``
+seam), then binary-search the faulted plant for the true V_safe and
+require ``estimate >= truth`` within the oracle tolerance. No injector
+may flip a stock estimator from SOUND to UNSOUND.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.ground_truth import find_true_vsafe
+from repro.loads.trace import CurrentTrace
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.system import capybara_power_system
+from repro.resilience.injectors import INJECTORS
+from repro.verify.runner import build_estimator
+
+#: Ground-truth bisection tolerance plus one 12-bit LSB of measurement
+#: quantization — the same slack the verify oracle grants.
+TOLERANCE = 0.002 + 2.56 / 4096
+
+#: A campaign-shaped task: a few millijoules, moderate current.
+TASK = CurrentTrace([(0.010, 0.24)])
+
+STOCK = ("culpeo-isr", "culpeo-uarch")
+
+
+def faulted_trial(injector_name: str, estimator_name: str, seed: int):
+    """Build (estimate, truth) for one injector exactly as a trial does."""
+    rng = np.random.default_rng(seed)
+    injector = INJECTORS[injector_name]()
+    system = capybara_power_system(
+        harvester=ConstantPowerHarvester(3e-3))
+    system = injector.apply_to_system(system, rng)
+    system.rest_at(system.monitor.v_high)
+    model = system.characterize()
+
+    def hook(runtime):
+        injector.apply_to_runtime(runtime, rng)
+
+    estimator = build_estimator(estimator_name, system, model,
+                                runtime_hook=hook)
+    estimate = estimator.estimate(system, TASK)
+    truth = find_true_vsafe(system, TASK)
+    return estimate, truth
+
+
+@pytest.mark.parametrize("estimator_name", STOCK)
+@pytest.mark.parametrize("injector_name", sorted(INJECTORS))
+def test_no_injector_makes_a_stock_estimator_unsound(injector_name,
+                                                     estimator_name):
+    estimate, truth = faulted_trial(injector_name, estimator_name, seed=17)
+    assert truth.feasible, "campaign-shaped task must stay feasible"
+    assert estimate.v_safe >= truth.v_safe - TOLERANCE, (
+        f"{estimator_name} under {injector_name}: estimated "
+        f"{estimate.v_safe:.4f} V below true {truth.v_safe:.4f} V"
+    )
+    # Degradation stays bounded: the fallback ceiling is V_high.
+    assert estimate.v_safe <= 2.56 + 1e-9
+
+
+@pytest.mark.parametrize("injector_name", ["adc-stuck", "adc-dropout"])
+def test_corrupted_captures_fall_back_to_v_high(injector_name):
+    # Faults that poison whole captures must surface as the explicit
+    # V_high fallback, not as a slightly-wrong measurement.
+    estimate, _ = faulted_trial(injector_name, "culpeo-isr", seed=23)
+    assert "fallback" in estimate.method
+    assert estimate.v_safe == pytest.approx(2.56)

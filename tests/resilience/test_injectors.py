@@ -1,0 +1,208 @@
+"""Fault injector registry: seams, seeding, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.system import capybara_power_system
+from repro.resilience.injectors import (
+    INJECTORS,
+    AdcDropoutFault,
+    AdcNoiseFault,
+    AdcStuckFault,
+    CapacitanceDegradation,
+    DropoutStormHarvester,
+    EsrAgingDrift,
+    FaultInjector,
+    HarvesterDropoutStorm,
+    IsrTimerJitter,
+    NoFault,
+    injector_from_dict,
+    register,
+)
+from repro.sim.adc import Adc
+from repro.sim.faults import FaultyAdc
+
+EXPECTED_NAMES = {
+    "none", "harvester-dropout-storm", "esr-aging",
+    "capacitance-degradation", "adc-dropout", "adc-stuck", "adc-noise",
+    "isr-timer-jitter",
+}
+
+
+def make_system():
+    return capybara_power_system(harvester=ConstantPowerHarvester(3e-3))
+
+
+class TestRegistry:
+    def test_all_expected_injectors_registered(self):
+        assert EXPECTED_NAMES <= set(INJECTORS)
+
+    def test_duplicate_registration_rejected(self):
+        class Imposter(FaultInjector):
+            name = "none"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Imposter)
+        assert INJECTORS["none"] is NoFault  # registry untouched
+
+    def test_unnamed_injector_rejected(self):
+        class Anonymous(FaultInjector):
+            pass
+
+        with pytest.raises(ValueError, match="name"):
+            register(Anonymous)
+
+    def test_unknown_name_in_dict_rejected(self):
+        with pytest.raises(ValueError, match="unknown injector"):
+            injector_from_dict({"injector": "solar-flare"})
+
+    def test_every_injector_round_trips_through_dict(self):
+        for name, cls in INJECTORS.items():
+            original = cls()
+            data = original.to_dict()
+            assert data["injector"] == name
+            rebuilt = injector_from_dict(data)
+            assert type(rebuilt) is cls
+            assert rebuilt.params() == original.params()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HarvesterDropoutStorm(mean_up=0.0)
+        with pytest.raises(ValueError):
+            EsrAgingDrift(factor_min=0.5)  # below 1: that's healing
+        with pytest.raises(ValueError):
+            CapacitanceDegradation(factor_min=0.9, factor_max=0.5)
+        with pytest.raises(ValueError):
+            AdcDropoutFault(dropout_rate=0.0)
+        with pytest.raises(ValueError):
+            AdcNoiseFault(sigma=-1.0)
+        with pytest.raises(ValueError):
+            IsrTimerJitter(fraction=1.0)
+
+
+class TestEnvironmentFaults:
+    def test_no_fault_is_identity(self):
+        system = make_system()
+        assert NoFault().apply_to_system(system,
+                                         np.random.default_rng(0)) is system
+
+    def test_dropout_storm_gates_the_inner_harvester(self):
+        storm = DropoutStormHarvester(
+            ConstantPowerHarvester(5e-3), np.random.default_rng(42),
+            mean_up=6.0, mean_down=1.5, horizon=600.0)
+        powers = {storm.power_at(t) for t in np.linspace(0.0, 600.0, 4001)}
+        assert powers == {0.0, 5e-3}  # gated, never attenuated
+        assert 0.0 in powers and 5e-3 in powers
+
+    def test_dropout_storm_is_a_pure_function_of_seed_and_time(self):
+        def build():
+            return DropoutStormHarvester(
+                ConstantPowerHarvester(5e-3), np.random.default_rng(7),
+                mean_up=6.0, mean_down=1.5, horizon=600.0)
+
+        a, b = build(), build()
+        ts = np.linspace(0.0, 600.0, 997)
+        assert [a.power_at(t) for t in ts] == [b.power_at(t) for t in ts]
+
+    def test_esr_aging_raises_esr_and_keeps_capacitance(self):
+        system = make_system()
+        before_c = system.buffer.total_capacitance
+        before_r = system.buffer.r_esr
+        EsrAgingDrift().apply_to_system(system, np.random.default_rng(1))
+        assert system.buffer.r_esr >= 2.0 * before_r
+        assert system.buffer.total_capacitance == pytest.approx(before_c)
+
+    def test_capacitance_degradation_shrinks_the_bank(self):
+        system = make_system()
+        before_c = system.buffer.c_main
+        before_r = system.buffer.r_esr
+        CapacitanceDegradation().apply_to_system(
+            system, np.random.default_rng(1))
+        assert system.buffer.c_main <= 0.8 * before_c
+        assert system.buffer.r_esr == pytest.approx(before_r)
+
+    def test_datasheet_knowledge_stays_stale_after_aging(self):
+        # The model must keep believing the datasheet — that knowledge gap
+        # is what the campaign probes.
+        system = make_system()
+        datasheet = system.datasheet_capacitance
+        CapacitanceDegradation().apply_to_system(
+            system, np.random.default_rng(2))
+        assert system.datasheet_capacitance == datasheet
+
+
+class FakeIsrRuntime:
+    """Duck-typed stand-in exposing the ISR runtime's ADC seams."""
+
+    def __init__(self):
+        self._adc = Adc(bits=12, v_ref=2.56)
+        self._sampler = type("S", (), {"adc": self._adc})()
+
+
+class FakeUarchRuntime:
+    def __init__(self):
+        self.block = type("B", (), {"adc": Adc(bits=10, v_ref=2.56)})()
+
+
+class TestMeasurementFaults:
+    def test_adc_dropout_swaps_both_isr_seams(self):
+        runtime = FakeIsrRuntime()
+        AdcDropoutFault(dropout_rate=0.25).apply_to_runtime(
+            runtime, np.random.default_rng(3))
+        assert isinstance(runtime._adc, FaultyAdc)
+        assert runtime._sampler.adc is runtime._adc
+        assert runtime._adc.bits == 12  # geometry preserved
+
+    def test_adc_stuck_swaps_the_uarch_block_adc(self):
+        runtime = FakeUarchRuntime()
+        AdcStuckFault().apply_to_runtime(runtime, np.random.default_rng(4))
+        adc = runtime.block.adc
+        assert isinstance(adc, FaultyAdc)
+        assert adc.bits == 10
+        # Stuck from the first conversion: every read is the same code.
+        reads = {adc.convert(v) for v in (1.7, 2.0, 2.4)}
+        assert len(reads) == 1
+
+    def test_adc_fault_schedule_derives_from_the_trial_stream(self):
+        # Same trial rng state -> same fault schedule; different trial ->
+        # different schedule. This is the regression for the old implicit
+        # default_rng(0) that made every campaign repeat one schedule.
+        def dropped(seed):
+            runtime = FakeIsrRuntime()
+            AdcDropoutFault(dropout_rate=0.5).apply_to_runtime(
+                runtime, np.random.default_rng(seed))
+            return [runtime._adc.convert(2.0) for _ in range(64)]
+
+        assert dropped(5) == dropped(5)
+        assert dropped(5) != dropped(6)
+
+    def test_adc_noise_installs_a_seeded_noisy_converter(self):
+        runtime = FakeIsrRuntime()
+        AdcNoiseFault(sigma=0.01).apply_to_runtime(
+            runtime, np.random.default_rng(8))
+        adc = runtime._adc
+        assert adc.noise_sigma == pytest.approx(0.01)
+        assert len({adc.convert(2.0) for _ in range(32)}) > 1
+
+    def test_timer_jitter_reaches_a_jitterable_sampler(self):
+        calls = []
+
+        class Sampler:
+            def set_jitter(self, rng, fraction):
+                calls.append((rng, fraction))
+
+        runtime = type("R", (), {"_sampler": Sampler()})()
+        IsrTimerJitter(fraction=0.2).apply_to_runtime(
+            runtime, np.random.default_rng(9))
+        assert len(calls) == 1
+        assert calls[0][1] == pytest.approx(0.2)
+
+    def test_timer_jitter_is_a_noop_without_the_seam(self):
+        IsrTimerJitter().apply_to_runtime(FakeUarchRuntime(),
+                                          np.random.default_rng(10))
+
+    def test_unknown_runtime_shape_is_an_error(self):
+        with pytest.raises(TypeError):
+            AdcStuckFault().apply_to_runtime(object(),
+                                             np.random.default_rng(11))

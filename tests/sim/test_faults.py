@@ -29,8 +29,15 @@ class TestFaultyAdc:
             [b.convert(2.0) for _ in range(20)]
 
     def test_dropout_produces_zeros(self):
-        adc = FaultyAdc(bits=12, dropout_rate=1.0)
+        adc = FaultyAdc(bits=12, dropout_rate=1.0, seed=7)
         assert adc.convert(2.5) == 0
+
+    def test_stochastic_faults_require_a_seed(self):
+        with pytest.raises(ValueError, match="rng or seed"):
+            FaultyAdc(bits=12, dropout_rate=0.5)
+        with pytest.raises(ValueError, match="not both"):
+            FaultyAdc(bits=12, dropout_rate=0.5, seed=1,
+                      rng=np.random.default_rng(1))
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -59,14 +66,14 @@ class TestAdcFaultsFailSafe:
         # Readings of 0 V while software runs are physically impossible;
         # the runtime discards the corrupt profile and queries fall back
         # to the safe default (wait for a full buffer).
-        adc = FaultyAdc(bits=12, dropout_rate=1.0)
+        adc = FaultyAdc(bits=12, dropout_rate=1.0, seed=11)
         v_safe = self._profile_with_adc(system, calculator, adc)
         assert v_safe == pytest.approx(calculator.v_high)
 
     def test_occasional_dropout_also_discarded(self, system, calculator):
         # Even one dropped sample poisons V_min; the plausibility check
         # catches it.
-        adc = FaultyAdc(bits=12, dropout_rate=0.2)
+        adc = FaultyAdc(bits=12, dropout_rate=0.2, seed=12)
         v_safe = self._profile_with_adc(system, calculator, adc)
         assert v_safe == pytest.approx(calculator.v_high)
 

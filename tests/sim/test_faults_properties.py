@@ -121,7 +121,7 @@ class TestFaultObserversDisableFastpath:
         assert not engine._use_fast()
 
     def test_faulty_sampler_disables_fast_kernel(self, system):
-        adc = FaultyAdc(bits=12, dropout_rate=0.5)
+        adc = FaultyAdc(bits=12, dropout_rate=0.5, seed=5)
         sampler = SamplingObserver(adc, 1e-3, burden_current=72e-6)
         engine = PowerSystemSimulator(system, observers=[sampler], fast=True)
         assert not engine._use_fast()

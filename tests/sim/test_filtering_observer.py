@@ -1,0 +1,98 @@
+"""Hardened sampling observer: rejection, median max-tracking, jitter."""
+
+import numpy as np
+import pytest
+
+from repro.sim.adc import Adc, FilteringSamplingObserver
+
+
+def make_sampler(**kwargs):
+    kwargs.setdefault("plausibility_floor", 1.55)
+    sampler = FilteringSamplingObserver(Adc(bits=12), 0.001, **kwargs)
+    sampler.enable(now=0.0)
+    return sampler
+
+
+class TestPlausibilityFloor:
+    def test_implausible_samples_rejected_not_folded_into_min(self):
+        sampler = make_sampler()
+        sampler.on_sample(0.001, 2.0)
+        sampler.on_sample(0.002, 0.0)   # dropped conversion reads 0 V
+        sampler.on_sample(0.003, 1.9)
+        assert sampler.rejected_count == 1
+        assert sampler.sample_count == 2
+        assert sampler.v_min >= 1.55  # the phantom 0 V never landed
+
+    def test_plausible_minimum_stays_raw(self):
+        # Filtering minima would mask true brown-out precursors; only the
+        # rebound maximum is median-filtered.
+        sampler = make_sampler()
+        for t, v in ((0.001, 2.0), (0.002, 1.62), (0.003, 2.0)):
+            sampler.on_sample(t, v)
+        assert sampler.v_min == pytest.approx(1.62, abs=1e-3)
+
+    def test_reset_clears_rejections(self):
+        sampler = make_sampler()
+        sampler.on_sample(0.001, 0.0)
+        sampler.reset()
+        assert sampler.rejected_count == 0
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            FilteringSamplingObserver(Adc(bits=12), 0.001,
+                                      plausibility_floor=-0.1)
+
+
+class TestMedianMaxTracking:
+    def test_single_high_spike_cannot_inflate_the_max(self):
+        sampler = make_sampler()
+        for i, v in enumerate([2.00, 2.01, 2.40, 2.01, 2.02]):
+            sampler.on_sample(0.001 * (i + 1), v)
+        # The lone 2.40 V spike is never the median of its window.
+        assert sampler.v_max < 2.1
+
+    def test_sustained_level_does_pass(self):
+        sampler = make_sampler()
+        for i, v in enumerate([2.00, 2.20, 2.21, 2.21, 2.22]):
+            sampler.on_sample(0.001 * (i + 1), v)
+        assert sampler.v_max == pytest.approx(2.21, abs=1e-2)
+
+    def test_window_fill_underreads(self):
+        # Before three samples exist, the tracked max is the *minimum* of
+        # what has arrived — under-reading V_final is the safe direction.
+        sampler = make_sampler()
+        sampler.on_sample(0.001, 2.2)
+        sampler.on_sample(0.002, 2.3)
+        assert sampler.v_max <= 2.2
+
+
+class TestTimerJitter:
+    def test_jitter_perturbs_the_schedule_deterministically(self):
+        def schedule(seed):
+            sampler = make_sampler()
+            sampler.set_jitter(np.random.default_rng(seed), 0.10)
+            times = []
+            t = 0.0005
+            for _ in range(16):
+                sampler.on_sample(t, 2.0)
+                t = sampler.next_event_time()
+                times.append(t)
+            return times
+
+        assert schedule(3) == schedule(3)
+        periods = np.diff([0.0005] + schedule(3))
+        assert periods.min() >= 0.0009 - 1e-9
+        assert periods.max() <= 0.0011 + 1e-9
+        assert periods.std() > 0.0  # actually jittered
+
+    def test_jitter_fraction_validation(self):
+        sampler = make_sampler()
+        with pytest.raises(ValueError):
+            sampler.set_jitter(np.random.default_rng(0), 1.0)
+
+    def test_zero_fraction_disables_jitter(self):
+        sampler = make_sampler()
+        sampler.set_jitter(np.random.default_rng(0), 0.10)
+        sampler.set_jitter(None, 0.0)
+        sampler.on_sample(0.0005, 2.0)
+        assert sampler.next_event_time() == pytest.approx(0.0015)

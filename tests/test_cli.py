@@ -157,3 +157,59 @@ class TestVerifyCommand:
         assert main(["verify", "--trials", "1",
                      "--estimators", "no-such-estimator"]) == 2
         assert "unknown estimator" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    """End-to-end `repro chaos`: fault campaigns as a user runs them."""
+
+    def test_stock_campaign_passes(self, capsys, tmp_path):
+        report_file = tmp_path / "chaos.json"
+        code = main(["chaos", "--trials", "4", "--seed", "1",
+                     "--estimators", "culpeo-isr",
+                     "--report", str(report_file),
+                     "--cases-dir", str(tmp_path / "cases")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        import json
+        payload = json.loads(report_file.read_text())
+        assert payload["format"] == "repro.chaos-report"
+        assert payload["config"]["trials"] == 4
+        assert payload["counts"]["brown_out"] == 0
+        assert payload["ok"] is True
+        assert not (tmp_path / "cases").exists()  # created only when unsafe
+
+    def test_baseline_campaign_fails_and_persists_cases(self, capsys,
+                                                        tmp_path):
+        cases = tmp_path / "cases"
+        code = main(["chaos", "--trials", "2", "--seed", "3",
+                     "--estimators", "energy-v",
+                     "--injectors", "esr-aging",
+                     "--cases-dir", str(cases)])
+        assert code == 1
+        assert "verdict: UNSAFE" in capsys.readouterr().out
+        persisted = sorted(cases.glob("chaos-*.json"))
+        assert persisted
+        replay_code = main(["chaos", "--replay", str(persisted[0])])
+        assert replay_code == 1           # the case replays unsafe
+        assert "brown_out" in capsys.readouterr().out
+
+    def test_expect_unsafe_inverts_the_exit_status(self, tmp_path):
+        args = ["chaos", "--trials", "2", "--seed", "3",
+                "--estimators", "energy-v", "--injectors", "esr-aging",
+                "--cases-dir", str(tmp_path / "cases")]
+        assert main(args + ["--expect-unsafe"]) == 0
+        clean = ["chaos", "--trials", "1", "--seed", "1",
+                 "--estimators", "culpeo-isr", "--injectors", "none",
+                 "--cases-dir", str(tmp_path / "cases2")]
+        assert main(clean + ["--expect-unsafe"]) == 1
+
+    def test_unknown_selectors_rejected(self, capsys):
+        assert main(["chaos", "--trials", "1",
+                     "--injectors", "gremlins"]) == 2
+        assert "unknown injector" in capsys.readouterr().err
+        assert main(["chaos", "--trials", "1", "--apps", "doom"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+        assert main(["chaos", "--trials", "1",
+                     "--estimators", "psychic"]) == 2
+        assert "unknown estimator" in capsys.readouterr().err
