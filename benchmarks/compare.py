@@ -3,7 +3,8 @@
 
 CI's regression gate: ``run_benchmarks.py`` writes a result file (the
 smoke run in PR CI, the full run nightly) and this script diffs it against
-``BENCH_PR1.json``. Two kinds of check per metric:
+the checked-in baseline (``BENCH.json``, falling back to the legacy
+``BENCH_PR1.json`` name). Two kinds of check per metric:
 
 * an **absolute floor** — the machine-independent claim the repo makes
   (the fast kernel beats the reference loop by >2x, the fig13 sweep by
@@ -51,6 +52,7 @@ GATED_METRICS: List[MetricSpec] = [
     MetricSpec("kernel.speedup", floor=2.0, rel_tol=0.6),
     MetricSpec("analysis.hit_rate", floor=0.5, rel_tol=0.3),
     MetricSpec("sweep.speedup_fast", floor=1.3, rel_tol=0.6),
+    MetricSpec("fleet.speedup", floor=10.0, rel_tol=0.6),
 ]
 
 #: Reported for context, never gated: absolute times are machine-bound,
@@ -61,6 +63,8 @@ REPORTED_METRICS: List[str] = [
     "analysis.speedup", "analysis.cold_s", "analysis.warm_s",
     "sweep.reference_s", "sweep.fast_s",
     "sweep.speedup_fast_parallel",
+    "fleet.scalar_s", "fleet.fleet_s",
+    "fleet.fleet_device_steps_per_s",
 ]
 
 
@@ -124,15 +128,27 @@ def render(rows: list) -> str:
     return "\n".join(lines)
 
 
+def default_baseline() -> str:
+    """The checked-in baseline: ``BENCH.json``, or the legacy
+    ``BENCH_PR1.json`` name when only that exists."""
+    root = Path(__file__).resolve().parent.parent
+    for name in ("BENCH.json", "BENCH_PR1.json"):
+        candidate = root / name
+        if candidate.exists():
+            return str(candidate)
+    return str(root / "BENCH.json")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="benchmark JSON to check")
-    parser.add_argument("--baseline",
-                        default=str(Path(__file__).resolve().parent.parent
-                                    / "BENCH_PR1.json"),
+    parser.add_argument("--baseline", default=None,
                         help="baseline JSON (default: checked-in "
-                             "BENCH_PR1.json)")
+                             "BENCH.json, or BENCH_PR1.json if only the "
+                             "legacy name exists)")
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = default_baseline()
 
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))

@@ -10,15 +10,19 @@ against the reference implementation *in the same process and run*:
 * ``analysis`` — a 100-task ``analyze_tasks`` batch with a cold versus warm
   :class:`~repro.core.vsafe_cache.VsafeCache`;
 * ``sweep``    — the Figure 13 event-rate sweep: reference stepper, fast
-  kernel, and fast kernel + process-pool fan-out.
+  kernel, and fast kernel + process-pool fan-out;
+* ``fleet``    — a 1000-device homogeneous fleet stepped by the vectorized
+  ``repro.fleet`` kernel versus the same 1000 devices run one-by-one
+  through the scalar fast kernel (equivalence enforced by
+  ``tests/fleet/test_equivalence.py``).
 
-Results land in a JSON file (``BENCH_PR1.json`` by default; see README
+Results land in a JSON file (``BENCH.json`` by default; see README
 §Performance for how to read it). ``--quick`` shrinks the workloads for CI
 smoke runs — the speedups still show, the absolute times just get noisier.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out FILE] [--quick]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output FILE] [--quick]
 """
 
 from __future__ import annotations
@@ -155,10 +159,67 @@ def bench_sweep(trials: int, repeats: int, seed: int = 0) -> dict:
     )
 
 
+def bench_fleet(devices: int, repeats: int, cycles: int = 4) -> dict:
+    """(d) N-device homogeneous fleet: vectorized kernel vs scalar loop.
+
+    Homogeneous (zero jitter) so both paths integrate the same physics
+    for every device and the comparison is pure kernel throughput; the
+    workload is the shared sense-store program with idle recharge gaps.
+    """
+    from repro.apps.programs import build_program
+    from repro.fleet.kernel import FleetState, advance
+    from repro.fleet.spec import FleetSpec
+    from repro.sim import fastpath
+
+    spec = FleetSpec(devices=devices, seed=0, esr_jitter=0.0,
+                     capacitance_jitter=0.0, harvest_jitter=0.0,
+                     eta_jitter=0.0)
+    params = spec.parameters()
+    program = build_program("sense-store", cycles=cycles)
+    segments = []
+    for task in program.tasks:
+        segments.extend(task.trace.segments())
+        segments.append((0.0, 0.3))
+
+    def run_fleet():
+        state = FleetState(params)
+        advance(state, segments, True, spec.v_off)
+        return state
+
+    def run_scalar():
+        system = params.device_system(0)
+        for _ in range(devices):
+            system.rest_at(spec.v_high)
+            sim = PowerSystemSimulator(system)
+            fastpath.advance_segments(sim, segments, True, spec.v_off)
+        return sim
+
+    state = run_fleet()
+    sim = run_scalar()
+    drift = abs(float(state.v_term[-1]) - sim.system.buffer.terminal_voltage)
+    assert drift < 1e-6, f"fleet kernel diverged from scalar: {drift}"
+
+    t_fleet = _bench(run_fleet, repeats)
+    t_scalar = _bench(run_scalar, repeats)
+    steps = state.device_steps
+    return dict(
+        devices=devices,
+        segments=len(segments),
+        device_steps=steps,
+        scalar_s=t_scalar,
+        fleet_s=t_fleet,
+        speedup=t_scalar / t_fleet,
+        fleet_device_steps_per_s=steps / t_fleet,
+        scalar_device_steps_per_s=steps / t_scalar,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR1.json",
-                        help="output JSON path (default BENCH_PR1.json)")
+    parser.add_argument("--output", "--out", dest="output",
+                        default="BENCH.json", metavar="FILE",
+                        help="output JSON path (default BENCH.json; --out "
+                             "is accepted as an alias for older scripts)")
     parser.add_argument("--quick", action="store_true",
                         help="shrunken workloads for CI smoke runs")
     parser.add_argument("--seed", type=int, default=0,
@@ -169,8 +230,10 @@ def main(argv=None) -> int:
 
     if args.quick:
         n_segments, n_tasks, trials, repeats = 1000, 20, 1, 1
+        fleet_devices, fleet_cycles = 1000, 2
     else:
         n_segments, n_tasks, trials, repeats = 10_000, 100, 1, 2
+        fleet_devices, fleet_cycles = 1000, 4
 
     print("kernel: single many-segment trace ...", flush=True)
     kernel = bench_kernel(n_segments, repeats, args.seed)
@@ -191,8 +254,14 @@ def main(argv=None) -> int:
           f"{sweep['fast_parallel_s']:.3f}s "
           f"({sweep['speedup_fast_parallel']:.1f}x)")
 
+    print("fleet: vectorized batch kernel vs scalar loop ...", flush=True)
+    fleet = bench_fleet(fleet_devices, repeats, fleet_cycles)
+    print(f"  scalar {fleet['scalar_s']:.3f}s  fleet {fleet['fleet_s']:.3f}s"
+          f"  ({fleet['speedup']:.1f}x, "
+          f"{fleet['fleet_device_steps_per_s']:.3g} device-steps/s)")
+
     payload = dict(
-        benchmark="BENCH_PR1",
+        benchmark="BENCH",
         quick=args.quick,
         seed=args.seed,
         python=platform.python_version(),
@@ -204,8 +273,9 @@ def main(argv=None) -> int:
         kernel=kernel,
         analysis=analysis,
         sweep=sweep,
+        fleet=fleet,
     )
-    out = Path(args.out)
+    out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
     return 0

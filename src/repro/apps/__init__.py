@@ -21,8 +21,11 @@ from repro.apps.periodic_sensing import periodic_sensing_app
 from repro.apps.responsive_reporting import responsive_reporting_app
 from repro.apps.noise_monitoring import noise_monitoring_app
 from repro.apps.runner import AppTrialResult, run_app, run_comparison
+from repro.apps.programs import TASK_PROGRAMS, build_program
 
 __all__ = [
+    "TASK_PROGRAMS",
+    "build_program",
     "poisson_arrivals",
     "periodic_arrivals",
     "AppSpec",

@@ -1,0 +1,83 @@
+"""Small reusable task programs shared by chaos campaigns and fleets.
+
+These are the paper-shaped applications (§VI-B: sense/compute/store,
+sense/compute/radio, sense/encrypt/radio) scaled down to single-digit
+millijoule tasks so they run on Capybara-class banks. The chaos campaign
+(:mod:`repro.resilience.campaign`) and the fleet runner
+(:mod:`repro.fleet.runner`) both gate and execute these programs; keeping
+one definition here guarantees the two subsystems agree on what
+"sense-store on this estimator" means.
+
+Each builder takes a ``cycles`` count: the task triple is unrolled that
+many times into one program. Campaigns drain the buffer from V_high down
+to the launch gates (cycles=6); fleets usually want shorter programs
+(cycles=1..2) because they pay the cost per device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.intermittent.program import AtomicTask, Program
+from repro.loads.trace import CurrentTrace
+
+
+def _cycled(tasks: Sequence[AtomicTask], cycles: int) -> Program:
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    return Program([AtomicTask(t.name, t.trace)
+                    for _ in range(cycles) for t in tasks])
+
+
+def _radio_trace() -> CurrentTrace:
+    return CurrentTrace([
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06), (0.002, 0.02),
+        (0.014, 0.06),
+    ])
+
+
+def sense_store(cycles: int = 1) -> Program:
+    """sample -> compute -> store, repeated ``cycles`` times."""
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
+        AtomicTask("store", CurrentTrace([(0.006, 0.40)])),
+    ], cycles)
+
+
+def sense_tx(cycles: int = 1) -> Program:
+    """sample -> compute -> radio burst, repeated ``cycles`` times."""
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
+        AtomicTask("radio", _radio_trace()),
+    ], cycles)
+
+
+def crypto_tx(cycles: int = 1) -> Program:
+    """sample -> encrypt -> radio burst, repeated ``cycles`` times."""
+    return _cycled([
+        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
+        AtomicTask("encrypt", CurrentTrace([(0.009, 0.27)])),
+        AtomicTask("radio", _radio_trace()),
+    ], cycles)
+
+
+#: Registry of program builders by app name, each ``(cycles) -> Program``.
+TASK_PROGRAMS: Dict[str, Callable[..., Program]] = {
+    "sense-store": sense_store,
+    "sense-tx": sense_tx,
+    "crypto-tx": crypto_tx,
+}
+
+
+def build_program(name: str, cycles: int = 1) -> Program:
+    """Build the named task program, unrolled ``cycles`` times."""
+    try:
+        builder = TASK_PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {name!r}; choose from {tuple(TASK_PROGRAMS)}"
+        ) from None
+    return builder(cycles=cycles)

@@ -10,6 +10,8 @@ Usage::
     python -m repro verify --replay case.json       # re-run a repro case
     python -m repro chaos --trials 50 --seed 1      # fault campaign
     python -m repro chaos --replay chaos-case.json  # re-run a chaos case
+    python -m repro fleet --devices 1000 --jobs 4   # vectorized fleet run
+    python -m repro fleet --devices 64 --check 8    # + differential check
     python -m repro trace ps --trials 1             # traced app run
     python -m repro stats obs-out/metrics.json      # render the snapshot
 
@@ -20,7 +22,10 @@ load safe?" — with ground truth and every estimator side by side;
 systems and exits non-zero on any conviction; ``chaos`` runs seeded fault
 injection campaigns (harvester storms, ESR aging, ADC faults, timer
 jitter) against the hardened runtime and exits non-zero if any gated task
-browns out or livelocks; ``trace`` re-runs an app or experiment with the
+browns out or livelocks; ``fleet`` expands one base plant into N seeded
+jittered devices, steps them all through a shared-firmware program on
+the vectorized kernel, and can differentially cross-check sampled
+devices against the scalar kernel; ``trace`` re-runs an app or experiment with the
 observability layer on, leaving a JSONL trace and a metrics snapshot
 behind; ``stats`` renders such a snapshot.
 """
@@ -265,6 +270,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.apps.programs import TASK_PROGRAMS
+    from repro.fleet import (
+        FleetSpec,
+        cross_check,
+        run_fleet_raw,
+        sample_indices,
+        summarize,
+    )
+    from repro.verify.runner import KNOWN_ESTIMATORS
+
+    if args.app not in TASK_PROGRAMS:
+        print(f"unknown app {args.app!r}", file=sys.stderr)
+        print(f"choose from: {', '.join(TASK_PROGRAMS)}", file=sys.stderr)
+        return 2
+    if args.estimator not in KNOWN_ESTIMATORS:
+        print(f"unknown estimator {args.estimator!r}", file=sys.stderr)
+        print(f"choose from: {', '.join(KNOWN_ESTIMATORS)}", file=sys.stderr)
+        return 2
+    try:
+        spec = FleetSpec(
+            devices=args.devices,
+            seed=args.seed,
+            harvest_power=args.harvest * 1e-3,
+            harvest_period=args.harvest_period,
+            esr_jitter=args.esr_jitter,
+            capacitance_jitter=args.cap_jitter,
+            harvest_jitter=args.harvest_jitter,
+        )
+        outcomes = run_fleet_raw(
+            spec, app=args.app, cycles=args.cycles,
+            estimator=args.estimator, horizon=args.horizon,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = summarize(outcomes)
+    print(report.render())
+
+    check_failed = False
+    if args.check > 0:
+        indices = sample_indices(spec.devices, args.check, spec.seed)
+        result = cross_check(outcomes, indices)
+        print()
+        print(result.render())
+        check_failed = not result.ok
+
+    if args.report is not None:
+        import json
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    if check_failed:
+        return 1
+    if args.fail_on_unsafe and not report.ok:
+        return 1
+    return 0
+
+
 #: App aliases accepted by ``repro trace`` (the paper's three applications).
 TRACE_APPS: Dict[str, str] = {
     "ps": "periodic_sensing_app",
@@ -450,6 +518,59 @@ def build_parser() -> argparse.ArgumentParser:
                               "campaign found unsafe trials (for baseline "
                               "demonstrations)")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="vectorized fleet simulation: N jittered devices on shared "
+             "firmware")
+    p_fleet.add_argument("--devices", type=int, default=256, metavar="N",
+                         help="fleet size (default 256)")
+    p_fleet.add_argument("--seed", type=int, default=0,
+                         help="seed for the per-device jitter expansion "
+                              "(default 0)")
+    p_fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes; devices shard into "
+                              "contiguous ranges (default 1 = serial; the "
+                              "report is byte-identical either way)")
+    p_fleet.add_argument("--app", default="sense-store",
+                         help="task program every device runs "
+                              "(default sense-store)")
+    p_fleet.add_argument("--cycles", type=int, default=2, metavar="N",
+                         help="program unroll count per device (default 2)")
+    p_fleet.add_argument("--estimator", default="culpeo-pg",
+                         help="estimator gating the shared firmware, "
+                              "computed once on the base plant "
+                              "(default culpeo-pg)")
+    p_fleet.add_argument("--horizon", type=float, default=120.0,
+                         help="simulated seconds per device (default 120)")
+    p_fleet.add_argument("--harvest", type=float, default=4.0,
+                         help="base harvest power in mW (default 4)")
+    p_fleet.add_argument("--harvest-period", type=float, default=0.0,
+                         metavar="S",
+                         help="harvest cycle period in seconds; 0 = "
+                              "constant power, >0 = solar-style sinusoid "
+                              "with per-device phase (default 0)")
+    p_fleet.add_argument("--esr-jitter", type=float, default=0.10,
+                         help="per-device ESR spread half-width "
+                              "(default 0.10)")
+    p_fleet.add_argument("--cap-jitter", type=float, default=0.05,
+                         help="per-device capacitance spread half-width "
+                              "(default 0.05)")
+    p_fleet.add_argument("--harvest-jitter", type=float, default=0.25,
+                         help="per-device harvest spread half-width "
+                              "(default 0.25)")
+    p_fleet.add_argument("--check", type=int, default=0, metavar="N",
+                         help="differential mode: re-run N sampled devices "
+                              "on the scalar fastpath kernel and compare "
+                              "within documented tolerance (exit 1 on "
+                              "mismatch)")
+    p_fleet.add_argument("--report", metavar="FILE", default=None,
+                         help="also write the structured report as JSON")
+    p_fleet.add_argument("--fail-on-unsafe", action="store_true",
+                         help="exit non-zero if any device browned out or "
+                              "livelocked (a deployment finding, not a "
+                              "harness failure — off by default)")
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_trace = sub.add_parser(
         "trace",

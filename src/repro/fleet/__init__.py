@@ -1,0 +1,61 @@
+"""Fleet-scale vectorized simulation: N jittered devices per step.
+
+The scalar stack simulates one device at a time; this package holds the
+whole deployment in numpy arrays and advances every device per vector
+operation — the regime the ROADMAP's production north star (millions of
+harvesting devices) actually runs in. Three layers:
+
+* :mod:`~repro.fleet.spec` — :class:`FleetSpec`, a seeded serializable
+  recipe expanding one base plant into per-device parameter arrays;
+* :mod:`~repro.fleet.kernel` — the batched stepping kernel, replaying
+  the scalar fastpath recurrence across the batch with masked brown-out
+  handling (documented tolerance, enforced by the equivalence suite);
+* :mod:`~repro.fleet.runner` — shared-firmware program execution over
+  the batch, aggregating the chaos campaign's four-way classification
+  into any-jobs byte-identical :class:`FleetReport`s, with a
+  :mod:`~repro.fleet.differential` mode cross-checking sampled devices
+  against the scalar kernel (``repro fleet --check N``).
+"""
+
+from repro.fleet.differential import (
+    CrossCheckResult,
+    DeviceMismatch,
+    cross_check,
+    run_device_scalar,
+    sample_indices,
+)
+from repro.fleet.kernel import (
+    T_TOL,
+    V_TOL,
+    FleetRecorder,
+    FleetState,
+    advance,
+)
+from repro.fleet.runner import (
+    FleetOutcomes,
+    FleetReport,
+    run_fleet,
+    run_fleet_raw,
+    summarize,
+)
+from repro.fleet.spec import FleetParams, FleetSpec
+
+__all__ = [
+    "FleetSpec",
+    "FleetParams",
+    "FleetState",
+    "FleetRecorder",
+    "advance",
+    "V_TOL",
+    "T_TOL",
+    "FleetOutcomes",
+    "FleetReport",
+    "run_fleet",
+    "run_fleet_raw",
+    "summarize",
+    "CrossCheckResult",
+    "DeviceMismatch",
+    "cross_check",
+    "run_device_scalar",
+    "sample_indices",
+]

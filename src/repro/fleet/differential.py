@@ -1,0 +1,204 @@
+"""Differential cross-check: sampled fleet devices vs the scalar kernel.
+
+The fleet kernel's equivalence contract (see :mod:`repro.fleet.kernel`)
+is enforced two ways: the pytest equivalence suite compares raw
+trajectories, and this module provides the *runtime* check behind
+``repro fleet --check N`` — re-run a sampled subset of devices through
+the scalar ``fastpath`` kernel with the **same** charge/execute/classify
+logic the fleet runner uses, and compare outcomes and final state.
+
+Comparisons:
+
+* outcome classification and committed-task count: exact match;
+* brown-out time, final simulated time: within :data:`~repro.fleet.kernel.T_TOL`;
+* V_min and final terminal voltage: within :data:`~repro.fleet.kernel.V_TOL`;
+* delivered energy: within :data:`E_TOL` (J).
+
+The scalar mirror builds each device with
+:meth:`FleetParams.device_system` — the identical floats the vectorized
+arrays hold — so any disagreement beyond tolerance is a kernel bug, not
+parameter drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fleet.kernel import T_TOL, V_TOL
+from repro.fleet.runner import (
+    CHARGE_CHUNK,
+    PROGRESS_EPS,
+    STALL_CHUNKS,
+    FleetOutcomes,
+)
+from repro.fleet.spec import FleetParams
+
+#: Documented fleet-vs-scalar tolerance on delivered energy (J): ulp-level
+#: per-step drift integrated over ~1e5 accumulations of ~1e-4 J terms.
+E_TOL = 1e-6
+
+
+@dataclass
+class DeviceMismatch:
+    """One sampled device whose scalar re-run disagreed with the fleet."""
+
+    device: int
+    field: str
+    fleet: object
+    scalar: object
+
+    def __str__(self) -> str:
+        return (f"device {self.device}: {self.field} fleet={self.fleet!r} "
+                f"scalar={self.scalar!r}")
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of a differential sample: which devices were compared and
+    every tolerance violation found."""
+
+    devices: List[int]
+    mismatches: List[DeviceMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        if self.ok:
+            return (f"differential check: {len(self.devices)} device(s) "
+                    f"vs scalar fastpath — OK")
+        lines = [f"differential check: {len(self.mismatches)} mismatch(es) "
+                 f"across {len(self.devices)} sampled device(s):"]
+        lines += [f"  {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def run_device_scalar(params: FleetParams, index: int, app: str,
+                      cycles: int, gates: Dict[str, float],
+                      horizon: float) -> dict:
+    """Replay fleet-runner semantics for one device on the scalar kernel.
+
+    Chunked charging, horizon/equilibrium handling and classification
+    mirror ``runner._run_shard`` branch for branch; stepping goes through
+    ``fastpath.advance_segments`` (the bit-exact scalar kernel).
+    """
+    from repro.apps.programs import build_program
+    from repro.sim import fastpath
+    from repro.sim.engine import PowerSystemSimulator
+
+    spec = params.spec
+    system = params.device_system(index)
+    sim = PowerSystemSimulator(system)
+    assert fastpath.supported(system), "fleet devices are stock systems"
+    buffer = system.buffer
+    program = build_program(app, cycles=cycles)
+    solar = spec.harvest_period > 0
+
+    outcome = "completed"
+    tasks_committed = 0
+    brown_time: Optional[float] = None
+    brown_task = ""
+    pending = True
+
+    for task in program.tasks:
+        if not pending:
+            break
+        gate_v = min(spec.v_high, gates[task.name])
+        stall = 0
+
+        while pending and buffer.terminal_voltage < gate_v:
+            if sim.time >= horizon - 1e-12:
+                outcome = "degraded_but_safe"
+                pending = False
+                break
+            v_before = buffer.terminal_voltage
+            fastpath.advance_segments(sim, ((0.0, CHARGE_CHUNK),),
+                                      True, None)
+            if buffer.terminal_voltage > v_before + PROGRESS_EPS:
+                stall = 0
+            else:
+                stall += 1
+            if not solar and stall >= STALL_CHUNKS \
+                    and buffer.terminal_voltage < gate_v:
+                outcome = "livelock"
+                pending = False
+        if not pending:
+            break
+
+        if not (sim.time < horizon - 1e-12
+                and buffer.terminal_voltage >= gate_v):
+            outcome = "degraded_but_safe"
+            break
+        browned = fastpath.advance_segments(
+            sim, list(task.trace.segments()), True, spec.v_off)
+        if browned is not None:
+            outcome = "brown_out"
+            brown_time = browned
+            brown_task = task.name
+            break
+        tasks_committed += 1
+
+    return {
+        "outcome": outcome,
+        "tasks_committed": tasks_committed,
+        "v_min": sim._v_min_seen,          # noqa: SLF001 — sim-internal
+        "final_time": sim.time,
+        "energy": sim._energy_out,         # noqa: SLF001 — sim-internal
+        "v_term": buffer.terminal_voltage,
+        "brown_time": brown_time,
+        "brown_task": brown_task,
+    }
+
+
+def sample_indices(devices: int, check: int, seed: int) -> List[int]:
+    """Deterministically sample ``check`` device indices to cross-check."""
+    if devices <= 0 or check <= 0:
+        return []
+    if check >= devices:
+        return list(range(devices))
+    rng = np.random.default_rng((seed, 0xD1FF))
+    picked = rng.choice(devices, size=check, replace=False)
+    return sorted(int(i) for i in picked)
+
+
+def cross_check(outcomes: FleetOutcomes,
+                indices: Sequence[int]) -> CrossCheckResult:
+    """Re-run ``indices`` on the scalar kernel and compare to the fleet."""
+    params = outcomes.spec.parameters()
+    result = CrossCheckResult(devices=list(indices))
+    for i in indices:
+        scalar = run_device_scalar(params, i, outcomes.app, outcomes.cycles,
+                                   outcomes.gates, outcomes.horizon)
+        fleet_outcome = outcomes.outcome_of(i)
+        if scalar["outcome"] != fleet_outcome:
+            result.mismatches.append(DeviceMismatch(
+                i, "outcome", fleet_outcome, scalar["outcome"]))
+            continue
+        if scalar["tasks_committed"] != int(outcomes.tasks_committed[i]):
+            result.mismatches.append(DeviceMismatch(
+                i, "tasks_committed", int(outcomes.tasks_committed[i]),
+                scalar["tasks_committed"]))
+        checks = (
+            ("v_min", float(outcomes.v_min[i]), scalar["v_min"], V_TOL),
+            ("final_time", float(outcomes.final_time[i]),
+             scalar["final_time"], T_TOL),
+            ("energy", float(outcomes.energy[i]), scalar["energy"], E_TOL),
+        )
+        for name, fleet_v, scalar_v, tol in checks:
+            if abs(fleet_v - scalar_v) > tol:
+                result.mismatches.append(
+                    DeviceMismatch(i, name, fleet_v, scalar_v))
+        fleet_bt = float(outcomes.brown_time[i])
+        scalar_bt = scalar["brown_time"]
+        if scalar_bt is None:
+            if not np.isnan(fleet_bt):
+                result.mismatches.append(
+                    DeviceMismatch(i, "brown_time", fleet_bt, None))
+        elif np.isnan(fleet_bt) or abs(fleet_bt - scalar_bt) > T_TOL:
+            result.mismatches.append(
+                DeviceMismatch(i, "brown_time", fleet_bt, scalar_bt))
+    return result

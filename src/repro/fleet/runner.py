@@ -1,0 +1,413 @@
+"""Fleet runner: one shared-firmware program across N jittered devices.
+
+Deployment model: every device in the fleet flashes the *same* firmware
+image, so launch gates are computed **once** from the un-jittered base
+plant (design-time estimation, exactly what a vendor would ship) and the
+per-device physics decide which devices those shared gates actually keep
+safe. Each device walks the program task by task:
+
+1. **Charge** toward the task's gate in fixed 0.25 s chunks (the same
+   chunk the scalar engine's ``charge_until`` uses). A device that makes
+   no progress for :data:`STALL_CHUNKS` consecutive chunks under
+   constant harvest sits at its harvest equilibrium below the gate — the
+   task is unrunnable, the fleet analogue of the chaos campaign's
+   *livelock*. A device still below gate when the horizon expires is
+   *degraded_but_safe* (it rode out the horizon without violating
+   anything). Under periodic (solar) harvest, equilibrium is never
+   declared — power may return — and only the horizon ends the wait.
+2. **Execute** the task with brown-out detection at V_off. Crossing
+   V_off mid-task is the paper's safety violation (*brown_out*); the
+   device is dead for the rest of the run — the fleet measures
+   first-failure, it does not model recovery-and-retry.
+
+Devices that commit every task with no fallback gates are *completed* —
+the same four-way classification the chaos campaign reports, so fleet
+and campaign numbers compose.
+
+Sharding: ``jobs > 1`` splits the device range into contiguous shards
+via :func:`repro.harness.parallel.split_ranges`; every shard expands the
+same seeded spec and slices its own devices, and results concatenate in
+device order — reports are **byte-identical for any jobs value**.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.kernel import FleetState, advance
+from repro.fleet.spec import FleetParams, FleetSpec
+from repro.harness.parallel import parallel_map, split_ranges
+from repro.harness.report import TextTable
+from repro.obs import THROUGHPUT_BUCKETS, VOLTAGE_BUCKETS_V
+from repro.obs import current as _obs_current
+from repro.resilience.campaign import OUTCOMES
+
+#: Charge-phase chunk length (s) — matches the scalar engine's
+#: ``charge_until`` stride so scalar mirrors replay identical chunks.
+CHARGE_CHUNK = 0.25
+
+#: Minimum terminal-voltage gain per chunk that counts as progress
+#: (the scalar engine's equilibrium epsilon).
+PROGRESS_EPS = 1e-9
+
+#: Consecutive no-progress chunks before a constant-harvest device is
+#: declared stuck at its equilibrium (livelock).
+STALL_CHUNKS = 2
+
+_COMPLETED, _DEGRADED, _BROWN_OUT, _LIVELOCK = range(4)
+_CODE_TO_OUTCOME = dict(enumerate(OUTCOMES))
+
+
+@dataclass
+class FleetOutcomes:
+    """Raw per-device results of one fleet run (device order, picklable).
+
+    ``outcome_codes`` index into :data:`repro.resilience.campaign.OUTCOMES`.
+    ``brown_task`` / ``brown_time`` are the first gated task that crossed
+    V_off and when ("" / NaN where the device never browned).
+    """
+
+    spec: FleetSpec
+    app: str
+    cycles: int
+    estimator: str
+    horizon: float
+    gates: Dict[str, float]
+    fallback_tasks: List[str]
+    outcome_codes: np.ndarray
+    tasks_committed: np.ndarray
+    v_min: np.ndarray
+    final_time: np.ndarray
+    energy: np.ndarray
+    brown_time: np.ndarray
+    brown_task: List[str]
+    device_steps: int
+
+    @property
+    def devices(self) -> int:
+        return int(self.outcome_codes.shape[0])
+
+    def outcome_of(self, i: int) -> str:
+        return _CODE_TO_OUTCOME[int(self.outcome_codes[i])]
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """One contiguous device range of a fleet run (picklable work item)."""
+
+    spec: FleetSpec
+    start: int
+    stop: int
+    app: str
+    cycles: int
+    horizon: float
+    gates: Tuple[Tuple[str, float], ...]
+
+
+def _run_shard(job: _ShardJob) -> dict:
+    """Simulate devices ``[start, stop)`` of the fleet (module-level:
+    picklable for process fan-out)."""
+    from repro.apps.programs import build_program
+
+    spec = job.spec
+    params = spec.parameters().slice(job.start, job.stop)
+    n = params.n
+    gates = dict(job.gates)
+    program = build_program(job.app, cycles=job.cycles)
+    state = FleetState(params)
+
+    outcome = np.full(n, _COMPLETED, dtype=np.int64)
+    tasks_committed = np.zeros(n, dtype=np.int64)
+    brown_time = np.full(n, np.nan)
+    brown_task = [""] * n
+    # Devices still walking the program (not dead, not given up).
+    pending = np.ones(n, dtype=bool)
+    solar = spec.harvest_period > 0
+
+    for task in program.tasks:
+        if not pending.any():
+            break
+        gate_v = min(spec.v_high, gates[task.name])
+        stall = np.zeros(n, dtype=np.int64)
+
+        # -- charge phase ------------------------------------------------
+        while True:
+            need = pending & (state.v_term < gate_v)
+            if not need.any():
+                break
+            expired = need & (state.time >= job.horizon - 1e-12)
+            if expired.any():
+                outcome[expired] = _DEGRADED
+                pending &= ~expired
+                need &= ~expired
+                if not need.any():
+                    break
+            v_before = state.v_term.copy()
+            advance(state, ((0.0, CHARGE_CHUNK),), True, None, active=need)
+            progressed = state.v_term > v_before + PROGRESS_EPS
+            stall = np.where(need & ~progressed, stall + 1, 0)
+            if not solar:
+                stuck = need & (stall >= STALL_CHUNKS) \
+                    & (state.v_term < gate_v)
+                if stuck.any():
+                    outcome[stuck] = _LIVELOCK
+                    pending &= ~stuck
+
+        # -- execute phase -----------------------------------------------
+        launch = pending & (state.time < job.horizon - 1e-12) \
+            & (state.v_term >= gate_v)
+        late = pending & ~launch
+        if late.any():
+            outcome[late] = _DEGRADED
+            pending &= ~late
+        if launch.any():
+            browned = advance(state, list(task.trace.segments()), True,
+                              spec.v_off, active=launch)
+            hit = launch & ~np.isnan(browned)
+            if hit.any():
+                outcome[hit] = _BROWN_OUT
+                brown_time = np.where(hit, browned, brown_time)
+                for i in np.flatnonzero(hit):
+                    brown_task[int(i)] = task.name
+                pending &= ~hit
+                launch &= ~hit
+            tasks_committed[launch] += 1
+
+    return {
+        "outcome": outcome,
+        "tasks_committed": tasks_committed,
+        "v_min": state.v_min,
+        "final_time": state.time,
+        "energy": state.energy,
+        "brown_time": brown_time,
+        "brown_task": brown_task,
+        "device_steps": state.device_steps,
+    }
+
+
+def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
+                  cycles: int = 2, estimator: str = "culpeo-pg",
+                  horizon: float = 120.0, jobs: int = 1) -> FleetOutcomes:
+    """Run the fleet and return raw per-device outcomes.
+
+    Gates come from ``estimator`` evaluated once on the un-jittered base
+    plant (shared firmware). Results are byte-identical for any ``jobs``.
+    """
+    from repro.apps.programs import build_program
+    from repro.sched.gating import program_gates
+    from repro.verify.runner import KNOWN_ESTIMATORS, build_estimator
+
+    if estimator not in KNOWN_ESTIMATORS:
+        raise ValueError(
+            f"unknown estimator {estimator!r}; choose from "
+            f"{KNOWN_ESTIMATORS}")
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+
+    program = build_program(app, cycles=cycles)  # validates the app name
+    base = spec.base_system()
+    model = base.characterize()
+    est = build_estimator(estimator, base, model)
+    gates, fallback_tasks = program_gates(est, base, program)
+
+    wall_start = _time.perf_counter()
+    shards = split_ranges(spec.devices, max(1, jobs))
+    jobs_list = [
+        _ShardJob(spec=spec, start=a, stop=b, app=app, cycles=cycles,
+                  horizon=horizon, gates=tuple(sorted(gates.items())))
+        for a, b in shards
+    ]
+    results = parallel_map(_run_shard, jobs_list, jobs=jobs)
+    wall = _time.perf_counter() - wall_start
+
+    def _cat(key: str) -> np.ndarray:
+        if not results:
+            return np.zeros(0)
+        return np.concatenate([r[key] for r in results])
+
+    outcomes = FleetOutcomes(
+        spec=spec, app=app, cycles=cycles, estimator=estimator,
+        horizon=horizon, gates=gates, fallback_tasks=fallback_tasks,
+        outcome_codes=(_cat("outcome") if results
+                       else np.zeros(0, dtype=np.int64)),
+        tasks_committed=(_cat("tasks_committed") if results
+                         else np.zeros(0, dtype=np.int64)),
+        v_min=_cat("v_min"),
+        final_time=_cat("final_time"),
+        energy=_cat("energy"),
+        brown_time=_cat("brown_time"),
+        brown_task=[t for r in results for t in r["brown_task"]],
+        device_steps=sum(r["device_steps"] for r in results),
+    )
+
+    # Telemetry is emitted parent-side from aggregated results so the
+    # metric stream matches the chaos campaign's any-jobs determinism
+    # (wall-clock throughput is the one non-deterministic observation,
+    # and it never reaches the report).
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("fleet.devices").inc(outcomes.devices)
+        obs.metrics.counter("fleet.device_steps").inc(outcomes.device_steps)
+        for code, name in _CODE_TO_OUTCOME.items():
+            count = int(np.count_nonzero(outcomes.outcome_codes == code))
+            if count:
+                obs.metrics.counter(f"fleet.outcome.{name}").inc(count)
+        obs.metrics.histogram("fleet.v_min", VOLTAGE_BUCKETS_V) \
+            .observe_many(outcomes.v_min.tolist())
+        if wall > 0:
+            obs.metrics.histogram("fleet.throughput.device_steps_per_s",
+                                  THROUGHPUT_BUCKETS) \
+                .observe(outcomes.device_steps / wall)
+        obs.emit("fleet.run", devices=outcomes.devices, app=app,
+                 estimator=estimator,
+                 device_steps=outcomes.device_steps,
+                 brown_outs=int(np.count_nonzero(
+                     outcomes.outcome_codes == _BROWN_OUT)))
+    return outcomes
+
+
+#: Cap on per-device detail rows serialized into a report.
+_REPORT_DETAIL_CAP = 50
+
+
+@dataclass
+class FleetReport:
+    """Aggregated fleet outcomes (pure data — any-jobs byte-identical)."""
+
+    spec: FleetSpec
+    app: str
+    cycles: int
+    estimator: str
+    horizon: float
+    devices: int
+    counts: Dict[str, int]
+    gates: Dict[str, float]
+    fallback_tasks: List[str]
+    device_steps: int
+    tasks_committed_total: int
+    v_min_floor: float
+    v_min_mean: float
+    sim_time_total: float
+    energy_total: float
+    brown_outs: List[dict]
+    livelocked: List[int]
+
+    @property
+    def unsafe_count(self) -> int:
+        return self.counts.get("brown_out", 0) \
+            + self.counts.get("livelock", 0)
+
+    @property
+    def ok(self) -> bool:
+        """True when no device browned out past its gate or livelocked."""
+        return self.unsafe_count == 0
+
+    @property
+    def brown_out_rate(self) -> float:
+        if self.devices == 0:
+            return 0.0
+        return self.counts.get("brown_out", 0) / self.devices
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.fleet-report",
+            "version": 1,
+            "config": {
+                "spec": self.spec.to_dict(),
+                "app": self.app,
+                "cycles": self.cycles,
+                "estimator": self.estimator,
+                "horizon": self.horizon,
+            },
+            "devices": self.devices,
+            "counts": self.counts,
+            "brown_out_rate": self.brown_out_rate,
+            "gates": self.gates,
+            "fallback_tasks": self.fallback_tasks,
+            "device_steps": self.device_steps,
+            "tasks_committed_total": self.tasks_committed_total,
+            "v_min_floor": self.v_min_floor,
+            "v_min_mean": self.v_min_mean,
+            "sim_time_total": self.sim_time_total,
+            "energy_total": self.energy_total,
+            "brown_outs": self.brown_outs,
+            "livelocked": self.livelocked,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        table = TextTable(
+            ["outcome", "devices", "share"],
+            title=(f"fleet: {self.devices} devices, seed {self.spec.seed}, "
+                   f"app {self.app} x{self.cycles}, "
+                   f"estimator {self.estimator}"),
+        )
+        for name in OUTCOMES:
+            count = self.counts.get(name, 0)
+            share = (f"{100.0 * count / self.devices:.1f}%"
+                     if self.devices else "—")
+            table.add_row([name, count, share])
+        lines = [table.render()]
+        lines.append(f"device-steps: {self.device_steps}   "
+                     f"tasks committed: {self.tasks_committed_total}")
+        lines.append(f"V_min floor: {self.v_min_floor:.3f} V   "
+                     f"mean: {self.v_min_mean:.3f} V")
+        if self.fallback_tasks:
+            lines.append("fallback gates: " + ", ".join(self.fallback_tasks))
+        if self.brown_outs:
+            lines.append(f"brown-outs ({self.counts.get('brown_out', 0)}, "
+                         f"first {len(self.brown_outs)}):")
+            for entry in self.brown_outs[:10]:
+                lines.append(f"  device {entry['device']} during "
+                             f"{entry['task']} at t={entry['time']:.3f} s")
+        lines.append("verdict: " + ("OK" if self.ok else "UNSAFE"))
+        return "\n".join(lines)
+
+
+def summarize(outcomes: FleetOutcomes) -> FleetReport:
+    """Fold raw per-device outcomes into a :class:`FleetReport`."""
+    codes = outcomes.outcome_codes
+    counts = {name: int(np.count_nonzero(codes == code))
+              for code, name in _CODE_TO_OUTCOME.items()}
+    brown_entries: List[dict] = []
+    for i in np.flatnonzero(codes == _BROWN_OUT)[:_REPORT_DETAIL_CAP]:
+        idx = int(i)
+        brown_entries.append({
+            "device": idx,
+            "task": outcomes.brown_task[idx],
+            "time": float(outcomes.brown_time[idx]),
+            "v_min": float(outcomes.v_min[idx]),
+        })
+    livelocked = [int(i) for i in
+                  np.flatnonzero(codes == _LIVELOCK)[:_REPORT_DETAIL_CAP]]
+    n = outcomes.devices
+    return FleetReport(
+        spec=outcomes.spec, app=outcomes.app, cycles=outcomes.cycles,
+        estimator=outcomes.estimator, horizon=outcomes.horizon,
+        devices=n, counts=counts,
+        gates={k: float(v) for k, v in sorted(outcomes.gates.items())},
+        fallback_tasks=list(outcomes.fallback_tasks),
+        device_steps=outcomes.device_steps,
+        tasks_committed_total=int(outcomes.tasks_committed.sum()),
+        v_min_floor=(float(outcomes.v_min.min()) if n else 0.0),
+        v_min_mean=(float(outcomes.v_min.mean()) if n else 0.0),
+        sim_time_total=float(outcomes.final_time.sum()),
+        energy_total=float(outcomes.energy.sum()),
+        brown_outs=brown_entries,
+        livelocked=livelocked,
+    )
+
+
+def run_fleet(spec: FleetSpec, *, app: str = "sense-store", cycles: int = 2,
+              estimator: str = "culpeo-pg", horizon: float = 120.0,
+              jobs: int = 1) -> FleetReport:
+    """Run the fleet and aggregate a report (see :func:`run_fleet_raw`)."""
+    return summarize(run_fleet_raw(
+        spec, app=app, cycles=cycles, estimator=estimator,
+        horizon=horizon, jobs=jobs))

@@ -1,0 +1,267 @@
+"""Fleet specifications: a base plant expanded into N jittered devices.
+
+A :class:`FleetSpec` is the serializable recipe for a whole deployment:
+one Capybara-class base configuration (the same parameter set
+:func:`repro.power.system.capybara_power_system` takes) plus per-device
+jitter half-widths modelling manufacturing spread and site-to-site
+harvest variation. :meth:`FleetSpec.parameters` expands the recipe into
+:class:`FleetParams` — flat numpy arrays, one slot per device — drawing
+every jittered quantity from a single seeded stream, so the expansion is
+a pure function of the spec and the same device index always gets the
+same physical part regardless of how the batch is later sharded.
+
+``FleetParams.device_system(i)`` rebuilds device ``i`` as an ordinary
+scalar :class:`~repro.power.system.PowerSystem` **from the same float
+values the arrays hold** — no re-derivation, no rounding differences —
+which is what makes fleet-versus-scalar differential checks meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.capacitor import TwoBranchSupercap
+from repro.power.harvester import ConstantPowerHarvester, SolarHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.power.system import PowerSystem, capybara_power_system
+
+#: Spec-expansion RNG stream id, mixed with the fleet seed. Distinct from
+#: the per-trial streams ``trial_rng`` derives so a fleet and a verify run
+#: sharing a seed never consume the same random numbers.
+_SPEC_STREAM = 0xF1EE7
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A deployment recipe: base plant + per-device jitter (serializable).
+
+    Relative jitters are half-widths of uniform factors: with
+    ``esr_jitter=0.10`` every device's ESR is ``dc_esr * U(0.9, 1.1)``.
+    ``harvest_period > 0`` switches all devices from constant-power
+    harvesting to a clipped-sinusoid (solar-style) profile with a
+    per-device phase drawn uniformly over the full cycle.
+    """
+
+    devices: int
+    seed: int = 0
+    # -- base plant (capybara_power_system defaults) ----------------------
+    datasheet_capacitance: float = 45e-3
+    capacitance_tolerance: float = 0.06
+    dc_esr: float = 4.0
+    c_decoupling: float = 100e-6
+    leakage_current: float = 20e-9
+    v_high: float = 2.56
+    v_off: float = 1.6
+    v_out: float = 2.55
+    redist_fraction: float = 0.10
+    input_efficiency: float = 0.80
+    harvest_power: float = 4e-3
+    harvest_period: float = 0.0
+    # -- per-device jitter half-widths ------------------------------------
+    esr_jitter: float = 0.10
+    capacitance_jitter: float = 0.05
+    harvest_jitter: float = 0.25
+    eta_jitter: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.devices < 0:
+            raise ValueError(f"devices must be >= 0, got {self.devices}")
+        if self.harvest_power < 0:
+            raise ValueError(
+                f"harvest_power must be >= 0, got {self.harvest_power}")
+        if not 0 <= self.redist_fraction < 1:
+            raise ValueError(
+                f"redist_fraction must be in [0, 1), "
+                f"got {self.redist_fraction}")
+        for name in ("esr_jitter", "capacitance_jitter", "harvest_jitter",
+                     "eta_jitter"):
+            value = getattr(self, name)
+            if not 0 <= value < 1:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every device is an exact copy of the base plant."""
+        return (self.esr_jitter == 0 and self.capacitance_jitter == 0
+                and self.harvest_jitter == 0 and self.eta_jitter == 0
+                and self.harvest_period == 0)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["format"] = "repro.fleet-spec"
+        data["version"] = 1
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        if data.get("format", "repro.fleet-spec") != "repro.fleet-spec":
+            raise ValueError(f"not a fleet spec: {data.get('format')!r}")
+        fields = {k: v for k, v in data.items()
+                  if k not in ("format", "version")}
+        return cls(**fields)
+
+    def base_system(self) -> PowerSystem:
+        """The un-jittered base plant (what the shared firmware is gated
+        against), rested at V_high."""
+        harvester = (ConstantPowerHarvester(self.harvest_power)
+                     if self.harvest_period <= 0
+                     else SolarHarvester(peak=self.harvest_power,
+                                         period=self.harvest_period))
+        system = capybara_power_system(
+            datasheet_capacitance=self.datasheet_capacitance,
+            capacitance_tolerance=self.capacitance_tolerance,
+            dc_esr=self.dc_esr,
+            c_decoupling=self.c_decoupling,
+            leakage_current=self.leakage_current,
+            v_high=self.v_high,
+            v_off=self.v_off,
+            v_out=self.v_out,
+            harvester=harvester,
+            redist_fraction=self.redist_fraction,
+        )
+        system.rest_at(self.v_high)
+        return system
+
+    def parameters(self) -> "FleetParams":
+        """Expand into per-device parameter arrays (seeded, deterministic).
+
+        All four jitter streams are drawn in a fixed order for the whole
+        fleet at once, so zeroing one jitter never reshuffles another and
+        a shard ``[a:b]`` of a large fleet holds exactly the devices the
+        full expansion would give those indices.
+        """
+        n = self.devices
+        rng = np.random.default_rng((self.seed, _SPEC_STREAM))
+        esr_f = 1.0 + self.esr_jitter * rng.uniform(-1.0, 1.0, n)
+        cap_f = 1.0 + self.capacitance_jitter * rng.uniform(-1.0, 1.0, n)
+        harv_f = 1.0 + self.harvest_jitter * rng.uniform(-1.0, 1.0, n)
+        eta_f = 1.0 + self.eta_jitter * rng.uniform(-1.0, 1.0, n)
+        phase = rng.uniform(0.0, 2.0 * math.pi, n)
+
+        # Elementwise mirror of capybara_power_system's derivations.
+        true_c = self.datasheet_capacitance * cap_f \
+            * (1.0 + self.capacitance_tolerance)
+        c_redist = true_c * self.redist_fraction
+        c_main = true_c - c_redist - self.c_decoupling
+        if n and c_main.min() <= 0:
+            raise ValueError(
+                "decoupling + redistribution exceed total capacitance for "
+                "at least one device — lower capacitance_jitter or "
+                "c_decoupling")
+        r_esr = self.dc_esr * esr_f
+        eta_defaults = CurvedEfficiency()
+        return FleetParams(
+            spec=self,
+            c_main=c_main,
+            r_esr=r_esr,
+            c_redist=c_redist,
+            r_redist=r_esr * 5.0,
+            c_decoupling=np.full(n, self.c_decoupling),
+            leakage=np.full(n, self.leakage_current),
+            eta_base=eta_defaults.base * eta_f,
+            p_harvest=self.harvest_power * harv_f,
+            phase=(phase if self.harvest_period > 0 else np.zeros(n)),
+        )
+
+
+@dataclass(frozen=True)
+class FleetParams:
+    """Per-device physical parameters as flat arrays (one slot/device).
+
+    Scalar knobs that the jitter model never varies (booster curve shape,
+    monitor rails, converter limits) stay on :attr:`spec`; the kernel
+    hoists them once per batch exactly like the scalar fastpath does.
+    """
+
+    spec: FleetSpec
+    c_main: np.ndarray
+    r_esr: np.ndarray
+    c_redist: np.ndarray
+    r_redist: np.ndarray
+    c_decoupling: np.ndarray
+    leakage: np.ndarray
+    eta_base: np.ndarray
+    p_harvest: np.ndarray
+    phase: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.c_main.shape[0])
+
+    def slice(self, start: int, stop: int) -> "FleetParams":
+        """Devices ``[start, stop)`` as a smaller parameter block.
+
+        Shards of a deterministic expansion: ``spec.parameters().slice(a,
+        b)`` holds exactly the devices the full expansion gives indices
+        ``a..b-1``, which is what makes process-sharded fleet runs
+        byte-identical to serial ones.
+        """
+        return FleetParams(
+            spec=self.spec,
+            c_main=self.c_main[start:stop],
+            r_esr=self.r_esr[start:stop],
+            c_redist=self.c_redist[start:stop],
+            r_redist=self.r_redist[start:stop],
+            c_decoupling=self.c_decoupling[start:stop],
+            leakage=self.leakage[start:stop],
+            eta_base=self.eta_base[start:stop],
+            p_harvest=self.p_harvest[start:stop],
+            phase=self.phase[start:stop],
+        )
+
+    def device_harvester(self, i: int):
+        spec = self.spec
+        if spec.harvest_period > 0:
+            return SolarHarvester(peak=float(self.p_harvest[i]),
+                                  period=spec.harvest_period,
+                                  phase=float(self.phase[i]))
+        return ConstantPowerHarvester(float(self.p_harvest[i]))
+
+    def device_system(self, i: int,
+                      rest_at: Optional[float] = None) -> PowerSystem:
+        """Device ``i`` as a scalar :class:`PowerSystem`.
+
+        Built directly from the array entries (not re-derived from the
+        spec), so the scalar plant and the fleet slot are the same floats
+        bit-for-bit. Rested at ``rest_at`` (default V_high).
+        """
+        spec = self.spec
+        buffer = TwoBranchSupercap(
+            c_main=float(self.c_main[i]),
+            r_esr=float(self.r_esr[i]),
+            c_redist=float(self.c_redist[i]),
+            r_redist=float(self.r_redist[i]),
+            c_decoupling=float(self.c_decoupling[i]),
+            leakage_current=float(self.leakage[i]),
+        )
+        system = PowerSystem(
+            buffer=buffer,
+            output_booster=OutputBooster(
+                v_out=spec.v_out,
+                efficiency_model=CurvedEfficiency(
+                    base=float(self.eta_base[i])),
+                min_input_voltage=0.5,
+                power_derating=0.6,
+            ),
+            input_booster=InputBooster(
+                efficiency_model=LinearEfficiency(
+                    slope=0.0, intercept=spec.input_efficiency),
+                v_max=spec.v_high,
+            ),
+            monitor=VoltageMonitor(v_high=spec.v_high, v_off=spec.v_off),
+            harvester=self.device_harvester(i),
+            name=f"fleet-device-{i}",
+            datasheet_capacitance=spec.datasheet_capacitance,
+        )
+        system.rest_at(spec.v_high if rest_at is None else rest_at)
+        return system

@@ -57,6 +57,31 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def split_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``shards`` contiguous half-open
+    ``(start, stop)`` ranges of near-equal size.
+
+    The split depends only on ``(n, shards)`` — callers that shard a
+    deterministic workload (e.g. a device batch) and concatenate results
+    in range order get output independent of worker count. Empty inputs
+    yield no ranges; remainders go to the earliest ranges so sizes differ
+    by at most one.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if n <= 0:
+        return []
+    shards = min(shards, n)
+    base, extra = divmod(n, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
                  jobs: Optional[int] = None,
                  chunksize: int = 1) -> List[R]:

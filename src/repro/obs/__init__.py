@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
+    THROUGHPUT_BUCKETS,
     VOLTAGE_BUCKETS_V,
     Counter,
     Gauge,
@@ -66,6 +67,7 @@ __all__ = [
     "Histogram",
     "Tracer",
     "LATENCY_BUCKETS_S",
+    "THROUGHPUT_BUCKETS",
     "VOLTAGE_BUCKETS_V",
     "enable",
     "disable",

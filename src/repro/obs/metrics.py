@@ -42,6 +42,13 @@ VOLTAGE_BUCKETS_V: Tuple[float, ...] = tuple(
     round(0.05 * i, 10) for i in range(1, 101)
 )
 
+#: Default boundaries for throughput histograms (items per second on a
+#: log scale, 1 to 10^9) — wide enough for device·steps/s of both the
+#: scalar stepping loop and the vectorized fleet kernel.
+THROUGHPUT_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (e / 3.0), 6) for e in range(0, 28)
+)
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -124,6 +131,27 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Fold a batch of samples in under one lock acquisition.
+
+        Equivalent to calling :meth:`observe` per value (same bucket
+        arithmetic, same exact totals) but cheap enough for array-sized
+        batches — the fleet kernel records thousands of per-device
+        voltages at once.
+        """
+        if len(values) == 0:
+            return
+        floats = [float(v) for v in values]
+        with self._lock:
+            for value in floats:
+                self._counts[bisect_left(self.buckets, value)] += 1
+                self._sum += value
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+            self._count += len(floats)
 
     @property
     def count(self) -> int:

@@ -36,15 +36,16 @@ supposed to demonstrate — see the nightly ESR-drift job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from itertools import product
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.apps.programs import TASK_PROGRAMS
 from repro.harness.parallel import parallel_map
 from repro.harness.report import TextTable
 from repro.intermittent.executor import ExecutionReport, IntermittentExecutor
 from repro.intermittent.program import AtomicTask, Program
-from repro.loads.trace import CurrentTrace
 from repro.obs import current as _obs_current
 from repro.power.harvester import ConstantPowerHarvester
 from repro.power.system import capybara_power_system
@@ -54,6 +55,7 @@ from repro.resilience.injectors import (
     FaultInjector,
     injector_from_dict,
 )
+from repro.sched.gating import program_gates
 from repro.verify.generators import trial_rng
 
 #: Estimators a chaos campaign gates on by default. Culpeo-PG is excluded
@@ -70,56 +72,16 @@ CHAOS_STOCK: Tuple[str, ...] = ("culpeo-isr", "culpeo-uarch")
 CYCLES = 6
 
 
-def _cycled(tasks) -> Program:
-    return Program([AtomicTask(t.name, t.trace)
-                    for _ in range(CYCLES) for t in tasks])
-
-
-def _sense_store() -> Program:
-    return _cycled([
-        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
-        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
-        AtomicTask("store", CurrentTrace([(0.006, 0.40)])),
-    ])
-
-
-def _sense_tx() -> Program:
-    radio = CurrentTrace([
-        (0.014, 0.06), (0.002, 0.02),
-        (0.014, 0.06), (0.002, 0.02),
-        (0.014, 0.06),
-    ])
-    return _cycled([
-        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
-        AtomicTask("compute", CurrentTrace([(0.008, 0.30)])),
-        AtomicTask("radio", radio),
-    ])
-
-
-def _crypto_tx() -> Program:
-    radio = CurrentTrace([
-        (0.014, 0.06), (0.002, 0.02),
-        (0.014, 0.06), (0.002, 0.02),
-        (0.014, 0.06),
-    ])
-    return _cycled([
-        AtomicTask("sample", CurrentTrace([(0.010, 0.24)])),
-        AtomicTask("encrypt", CurrentTrace([(0.009, 0.27)])),
-        AtomicTask("radio", radio),
-    ])
-
-
-#: Campaign applications: small task programs in the shape of the paper's
-#: apps (§VI-B) but sized for the chaos regime — every task's rail energy
-#: is a few millijoules (large enough that a flat stuck-ADC capture lands
-#: below the physics floor and gets rejected) and peak currents stay
-#: modest (so the worst aged plant can still run every task from V_high —
-#: an infeasible task would read as a livelock and say nothing about
-#: estimator safety).
+#: Campaign applications: the shared task programs from
+#: :mod:`repro.apps.programs`, unrolled to the chaos duty cycle. Sized for
+#: the chaos regime — every task's rail energy is a few millijoules (large
+#: enough that a flat stuck-ADC capture lands below the physics floor and
+#: gets rejected) and peak currents stay modest (so the worst aged plant
+#: can still run every task from V_high — an infeasible task would read as
+#: a livelock and say nothing about estimator safety).
 CHAOS_APPS: Dict[str, Callable[[], Program]] = {
-    "sense-store": _sense_store,
-    "sense-tx": _sense_tx,
-    "crypto-tx": _crypto_tx,
+    name: partial(builder, cycles=CYCLES)
+    for name, builder in TASK_PROGRAMS.items()
 }
 
 
@@ -250,15 +212,7 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
                                 runtime_hook=hook)
 
     program = CHAOS_APPS[app]()
-    gates: Dict[str, float] = {}
-    fallback_tasks: List[str] = []
-    for task in program:
-        if task.name in gates:
-            continue
-        estimate = estimator.estimate(system, task.trace)
-        gates[task.name] = estimate.v_safe
-        if "fallback" in estimate.method:
-            fallback_tasks.append(task.name)
+    gates, fallback_tasks = program_gates(estimator, system, program)
 
     gate = AdaptiveGate(gates, v_high)
     engine = PowerSystemSimulator(system)

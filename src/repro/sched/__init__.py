@@ -22,6 +22,7 @@ from repro.sched.feasibility import (
     chain_gate_voltage,
     energy_only_gate,
 )
+from repro.sched.gating import program_gates
 from repro.sched.policy import CatnapPolicy, CulpeoPolicy, SchedulerPolicy
 from repro.sched.adaptive import AdaptiveCulpeoScheduler
 from repro.sched.planner import (
@@ -49,6 +50,7 @@ __all__ = [
     "CulpeoREstimator",
     "chain_gate_voltage",
     "energy_only_gate",
+    "program_gates",
     "SchedulerPolicy",
     "CatnapPolicy",
     "CulpeoPolicy",

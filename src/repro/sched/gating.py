@@ -1,0 +1,37 @@
+"""Per-task launch gates for a program, from any V_safe estimator.
+
+Both the chaos campaign and the fleet runner gate a task program the same
+way: one V_safe estimate per *unique* task name (task repeats inside a
+program reuse the first estimate — the load is identical, and estimate
+order must not depend on how many times the task appears), and a record
+of which tasks fell back to the V_high safety net (an estimator that
+discards untrusted captures reports ``"fallback"`` in its method string).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.intermittent.program import Program
+from repro.sched.estimators import VsafeEstimator
+
+
+def program_gates(estimator: VsafeEstimator, system,
+                  program: Program) -> Tuple[Dict[str, float], List[str]]:
+    """Estimate a launch gate per unique task name in ``program``.
+
+    Returns ``(gates, fallback_tasks)``: gate voltage by task name, and
+    the names (in first-appearance order) whose estimate engaged the
+    estimator's fallback path — callers classify those runs as degraded
+    even when every task commits.
+    """
+    gates: Dict[str, float] = {}
+    fallback_tasks: List[str] = []
+    for task in program:
+        if task.name in gates:
+            continue
+        estimate = estimator.estimate(system, task.trace)
+        gates[task.name] = estimate.v_safe
+        if "fallback" in estimate.method:
+            fallback_tasks.append(task.name)
+    return gates, fallback_tasks

@@ -1,0 +1,58 @@
+"""Shared task programs: the single definition campaigns and fleets use."""
+
+import pytest
+
+from repro.apps.programs import TASK_PROGRAMS, build_program
+from repro.power.system import capybara_power_system
+from repro.sched.gating import program_gates
+from repro.verify.runner import build_estimator
+
+
+class TestBuildProgram:
+    def test_registry_names(self):
+        assert set(TASK_PROGRAMS) == {"sense-store", "sense-tx",
+                                      "crypto-tx"}
+
+    def test_cycles_unroll(self):
+        one = build_program("sense-store", cycles=1)
+        three = build_program("sense-store", cycles=3)
+        assert len(three.tasks) == 3 * len(one.tasks)
+        assert [t.name for t in three.tasks[:3]] == \
+            [t.name for t in one.tasks]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            build_program("doom")
+
+    def test_bad_cycles_rejected(self):
+        with pytest.raises(ValueError, match="cycles"):
+            build_program("sense-store", cycles=0)
+
+    def test_programs_are_fresh_instances(self):
+        a = build_program("sense-tx")
+        b = build_program("sense-tx")
+        assert a is not b
+        a.commit()
+        assert b.pc == 0
+
+
+class TestProgramGates:
+    def test_one_gate_per_unique_task(self):
+        system = capybara_power_system()
+        system.rest_at(2.56)
+        estimator = build_estimator("culpeo-pg", system)
+        program = build_program("sense-store", cycles=4)
+        gates, fallback = program_gates(estimator, system, program)
+        assert set(gates) == {"sample", "compute", "store"}
+        assert all(v > 0 for v in gates.values())
+        assert fallback == []
+
+    def test_gates_independent_of_unroll_count(self):
+        system = capybara_power_system()
+        system.rest_at(2.56)
+        estimator = build_estimator("culpeo-pg", system)
+        short, _ = program_gates(estimator, system,
+                                 build_program("crypto-tx", cycles=1))
+        long, _ = program_gates(estimator, system,
+                                build_program("crypto-tx", cycles=6))
+        assert short == long

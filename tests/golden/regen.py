@@ -1,0 +1,154 @@
+"""Regenerate the golden V_safe corpus (``vsafe_corpus.json``).
+
+The corpus pins the V_safe estimate of **every estimator** on a bank
+survey built from the deterministic synthetic part catalog
+(:func:`repro.power.catalog.reference_catalog`) — one power system per
+catalog entry, one fixed reference load, seven estimators. Any change to
+the estimator math, the catalog synthesis, the bank composition algebra,
+or the characterization path shows up as a corpus diff, reviewed like any
+other golden-file change.
+
+Regenerate (from the repository root) with::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+and commit the updated JSON together with the change that moved it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.loads.trace import CurrentTrace
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.catalog import build_bank_survey, reference_catalog
+from repro.power.harvester import ConstantPowerHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.power.system import PowerSystem
+from repro.verify.runner import KNOWN_ESTIMATORS, build_estimator
+
+#: Small but technology-complete: 3 parts per technology, the paper's
+#: catalog seed. Every part that survives the survey's part-count cap
+#: contributes one corpus entry.
+PARTS_PER_TECHNOLOGY = 3
+CATALOG_SEED = 2022
+
+#: The fixed reference load every estimator is judged on: a sense-like
+#: burst with a compute tail (amperes, seconds).
+REFERENCE_SEGMENTS = [[0.012, 0.05], [0.004, 0.10]]
+
+#: Plant parameters shared by every corpus entry (Capybara-class rails).
+V_HIGH = 2.56
+V_OFF = 1.6
+V_OUT = 2.55
+C_DECOUPLING = 100e-6
+HARVEST_POWER = 4e-3
+
+CORPUS_PATH = Path(__file__).resolve().parent / "vsafe_corpus.json"
+
+
+def _system_for_bank(bank) -> PowerSystem:
+    """A Capybara-style plant around ``bank`` (same converter/monitor
+    stack as ``capybara_power_system``, buffer swapped for the bank)."""
+    system = PowerSystem(
+        buffer=bank.as_buffer(redist_fraction=0.10,
+                              c_decoupling=C_DECOUPLING),
+        output_booster=OutputBooster(
+            v_out=V_OUT,
+            efficiency_model=CurvedEfficiency(),
+            min_input_voltage=0.5,
+            power_derating=0.6,
+        ),
+        input_booster=InputBooster(
+            efficiency_model=LinearEfficiency(slope=0.0, intercept=0.80),
+            v_max=V_HIGH,
+        ),
+        monitor=VoltageMonitor(v_high=V_HIGH, v_off=V_OFF),
+        harvester=ConstantPowerHarvester(HARVEST_POWER),
+        name="golden-bank",
+    )
+    system.rest_at(V_HIGH)
+    return system
+
+
+def build_corpus() -> dict:
+    """The corpus document, a pure function of the constants above."""
+    catalog = reference_catalog(
+        parts_per_technology=PARTS_PER_TECHNOLOGY, seed=CATALOG_SEED)
+    trace = CurrentTrace([(c, d) for c, d in REFERENCE_SEGMENTS])
+
+    entries = []
+    for part in catalog:
+        banks = build_bank_survey([part])
+        if not banks:
+            # Needs more parts than the survey cap allows; record the
+            # exclusion so corpus coverage is explicit, not silent.
+            entries.append({
+                "part_number": part.part_number,
+                "technology": part.technology.value,
+                "surveyed": False,
+            })
+            continue
+        bank = banks[0]
+        system = _system_for_bank(bank)
+        model = system.characterize()
+        vsafe = {}
+        for name in KNOWN_ESTIMATORS:
+            estimator = build_estimator(name, system, model)
+            estimate = estimator.estimate(system, trace)
+            vsafe[name] = {
+                "v_safe": estimate.v_safe,
+                "method": estimate.method,
+            }
+        entries.append({
+            "part_number": part.part_number,
+            "technology": part.technology.value,
+            "surveyed": True,
+            "bank": {
+                "capacitance": bank.capacitance,
+                "esr": bank.esr,
+                "leakage_current": bank.leakage_current,
+                "part_count": bank.part_count,
+            },
+            "vsafe": vsafe,
+        })
+
+    return {
+        "format": "repro.golden-vsafe",
+        "version": 1,
+        "catalog": {
+            "parts_per_technology": PARTS_PER_TECHNOLOGY,
+            "seed": CATALOG_SEED,
+        },
+        "load_segments": REFERENCE_SEGMENTS,
+        "plant": {
+            "v_high": V_HIGH,
+            "v_off": V_OFF,
+            "v_out": V_OUT,
+            "c_decoupling": C_DECOUPLING,
+            "harvest_power": HARVEST_POWER,
+        },
+        "estimators": list(KNOWN_ESTIMATORS),
+        "entries": entries,
+    }
+
+
+def main() -> int:
+    corpus = build_corpus()
+    CORPUS_PATH.write_text(json.dumps(corpus, indent=2) + "\n",
+                           encoding="utf-8")
+    surveyed = sum(1 for e in corpus["entries"] if e["surveyed"])
+    print(f"wrote {CORPUS_PATH} "
+          f"({surveyed}/{len(corpus['entries'])} parts surveyed, "
+          f"{len(corpus['estimators'])} estimators)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Golden-corpus check: V_safe across the catalog × every estimator.
+
+The committed ``vsafe_corpus.json`` must equal what ``regen.py`` computes
+from the current code — exactly, not approximately. An intentional change
+to estimator math regenerates the corpus (``PYTHONPATH=src python -m
+tests.golden.regen``) and commits the diff; an *unintentional* drift
+fails here.
+
+The regen module is loaded by file path (like the bench-compare tests)
+so the suite does not depend on ``tests`` being importable as a package.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SPEC = importlib.util.spec_from_file_location(
+    "golden_regen", _HERE / "regen.py")
+regen = importlib.util.module_from_spec(_SPEC)
+sys.modules["golden_regen"] = regen
+_SPEC.loader.exec_module(regen)
+
+
+def _committed() -> dict:
+    return json.loads((_HERE / "vsafe_corpus.json").read_text(
+        encoding="utf-8"))
+
+
+class TestCorpusShape:
+    def test_header_and_coverage(self):
+        corpus = _committed()
+        assert corpus["format"] == "repro.golden-vsafe"
+        assert corpus["version"] == 1
+        # Technology-complete: all four technologies appear.
+        technologies = {e["technology"] for e in corpus["entries"]}
+        assert technologies == {"electrolytic", "ceramic", "tantalum",
+                                "supercapacitor"}
+        # Every surveyed entry covers every estimator.
+        estimators = set(corpus["estimators"])
+        surveyed = [e for e in corpus["entries"] if e["surveyed"]]
+        assert surveyed, "corpus must survey at least one bank"
+        for entry in surveyed:
+            assert set(entry["vsafe"]) == estimators
+
+    def test_vsafe_values_are_physical(self):
+        corpus = _committed()
+        v_off = corpus["plant"]["v_off"]
+        for entry in corpus["entries"]:
+            if not entry["surveyed"]:
+                continue
+            for name, record in entry["vsafe"].items():
+                assert record["v_safe"] >= v_off, (entry["part_number"],
+                                                   name)
+
+
+class TestCorpusMatchesCode:
+    def test_regeneration_reproduces_committed_corpus_exactly(self):
+        fresh = regen.build_corpus()
+        committed = _committed()
+        assert fresh == committed, (
+            "golden V_safe corpus drifted — if the estimator/catalog "
+            "change is intentional, regenerate with "
+            "`PYTHONPATH=src python -m tests.golden.regen` and commit "
+            "the diff")

@@ -21,9 +21,10 @@ sys.modules["bench_compare"] = compare_mod
 _SPEC.loader.exec_module(compare_mod)
 
 
-def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0):
+def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0,
+             fleet_speedup=15.0):
     return {
-        "benchmark": "BENCH_PR1",
+        "benchmark": "BENCH",
         "quick": False,
         "python": "3.12.0",
         "cpus": 2,
@@ -34,6 +35,9 @@ def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0):
         "sweep": {"speedup_fast": sweep_speedup,
                   "speedup_fast_parallel": 3.1,
                   "reference_s": 3.6, "fast_s": 1.1},
+        "fleet": {"speedup": fleet_speedup,
+                  "scalar_s": 1.8, "fleet_s": 0.1,
+                  "fleet_device_steps_per_s": 1.1e7},
     }
 
 
@@ -121,20 +125,33 @@ class TestMain:
         assert "verdict: REGRESSION" in capsys.readouterr().out
 
     def test_default_baseline_is_checked_in_json(self, tmp_path, capsys):
-        """The checked-in BENCH_PR1.json must satisfy its own gate."""
+        """The checked-in BENCH.json must satisfy its own gate."""
         repo_root = Path(__file__).resolve().parents[2]
-        baseline = json.loads((repo_root / "BENCH_PR1.json").read_text())
+        baseline = json.loads((repo_root / "BENCH.json").read_text())
         fresh = self._write(tmp_path, "fresh.json",
                             copy.deepcopy(baseline))
         assert compare_mod.main([fresh]) == 0
         out = capsys.readouterr().out
-        assert "BENCH_PR1.json" in out
+        assert "BENCH.json" in out
+
+    def test_default_baseline_prefers_new_name(self):
+        """BENCH.json wins over the legacy BENCH_PR1.json when both exist."""
+        assert compare_mod.default_baseline().endswith("BENCH.json")
+
+    def test_legacy_baseline_still_readable(self, tmp_path, capsys):
+        """Old baselines without a fleet section still work as --baseline:
+        the fleet gate falls back to its absolute floor."""
+        repo_root = Path(__file__).resolve().parents[2]
+        legacy = str(repo_root / "BENCH_PR1.json")
+        fresh = self._write(tmp_path, "fresh.json", _payload())
+        assert compare_mod.main([fresh, "--baseline", legacy]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
 
 
 class TestGateSpecSanity:
     def test_gated_metrics_exist_in_checked_in_baseline(self):
         repo_root = Path(__file__).resolve().parents[2]
-        baseline = json.loads((repo_root / "BENCH_PR1.json").read_text())
+        baseline = json.loads((repo_root / "BENCH.json").read_text())
         for spec in compare_mod.GATED_METRICS:
             value = compare_mod.lookup(baseline, spec.path)
             assert value is not None, spec.path
@@ -144,6 +161,6 @@ class TestGateSpecSanity:
 
     def test_reported_metrics_exist_in_checked_in_baseline(self):
         repo_root = Path(__file__).resolve().parents[2]
-        baseline = json.loads((repo_root / "BENCH_PR1.json").read_text())
+        baseline = json.loads((repo_root / "BENCH.json").read_text())
         for path in compare_mod.REPORTED_METRICS:
             assert compare_mod.lookup(baseline, path) is not None, path

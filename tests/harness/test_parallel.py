@@ -60,3 +60,32 @@ class TestParallelExperiments:
         pooled = ablation_esr_sweep(esr_values=(0.5, 4.0), jobs=2)
         assert pooled.rows == serial.rows
         assert pooled.crossover_esr == serial.crossover_esr
+
+
+class TestSplitRanges:
+    """Contiguous near-equal shards — the fleet runner's device sharding."""
+
+    def test_ranges_partition_exactly(self):
+        from repro.harness.parallel import split_ranges
+        for n, shards in ((10, 3), (7, 7), (5, 8), (1000, 16)):
+            ranges = split_ranges(n, shards)
+            covered = [i for a, b in ranges for i in range(a, b)]
+            assert covered == list(range(n)), (n, shards)
+
+    def test_near_equal_sizes(self):
+        from repro.harness.parallel import split_ranges
+        sizes = [b - a for a, b in split_ranges(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)   # remainder first
+
+    def test_edge_cases(self):
+        from repro.harness.parallel import split_ranges
+        assert split_ranges(0, 4) == []
+        assert split_ranges(3, 1) == [(0, 3)]
+        assert len(split_ranges(2, 5)) == 2           # no empty shards
+        with pytest.raises(ValueError):
+            split_ranges(4, 0)
+
+    def test_deterministic(self):
+        from repro.harness.parallel import split_ranges
+        assert split_ranges(97, 6) == split_ranges(97, 6)

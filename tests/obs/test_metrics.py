@@ -195,3 +195,32 @@ class TestRenderSnapshot:
     def test_empty_snapshot(self):
         assert render_snapshot(MetricsRegistry().snapshot()) == \
             "(no metrics recorded)"
+
+
+class TestObserveMany:
+    """Batch observation — the fleet runner's V_min histogram path."""
+
+    def test_equivalent_to_repeated_observe(self):
+        from repro.obs.metrics import THROUGHPUT_BUCKETS
+        values = [0.5, 1.9, 2.2, 2.56, 3.5, 0.0]
+        one = Histogram("a", VOLTAGE_BUCKETS_V)
+        for v in values:
+            one.observe(v)
+        many = Histogram("b", VOLTAGE_BUCKETS_V)
+        many.observe_many(values)
+        assert many._counts == one._counts
+        assert many.count == one.count
+        assert many.sum == pytest.approx(one.sum)
+        assert (many._min, many._max) == (one._min, one._max)
+        assert THROUGHPUT_BUCKETS[0] == 1.0   # log-scale floor
+
+    def test_empty_batch_is_a_no_op(self):
+        h = Histogram("h", VOLTAGE_BUCKETS_V)
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_throughput_buckets_span_fleet_rates(self):
+        from repro.obs.metrics import THROUGHPUT_BUCKETS
+        assert THROUGHPUT_BUCKETS[0] <= 1.0
+        assert THROUGHPUT_BUCKETS[-1] >= 1e9
+        assert list(THROUGHPUT_BUCKETS) == sorted(THROUGHPUT_BUCKETS)

@@ -213,3 +213,60 @@ class TestChaosCommand:
         assert main(["chaos", "--trials", "1",
                      "--estimators", "psychic"]) == 2
         assert "unknown estimator" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    """End-to-end `repro fleet`: vectorized fleet simulation."""
+
+    def test_small_fleet_runs_and_reports(self, capsys, tmp_path):
+        report_file = tmp_path / "fleet.json"
+        code = main(["fleet", "--devices", "8", "--seed", "1",
+                     "--cycles", "1", "--horizon", "60",
+                     "--report", str(report_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 8 devices" in out
+        assert "completed" in out
+        import json
+        payload = json.loads(report_file.read_text())
+        assert payload["format"] == "repro.fleet-report"
+        assert payload["devices"] == 8
+        assert payload["config"]["spec"]["seed"] == 1
+
+    def test_differential_check_passes(self, capsys):
+        code = main(["fleet", "--devices", "6", "--seed", "2",
+                     "--cycles", "1", "--horizon", "60", "--check", "3"])
+        assert code == 0
+        assert "differential check" in capsys.readouterr().out
+
+    def test_jobs_flag_gives_identical_report(self, tmp_path):
+        import json
+        paths = []
+        for jobs in ("1", "3"):
+            path = tmp_path / f"fleet-j{jobs}.json"
+            assert main(["fleet", "--devices", "9", "--seed", "4",
+                         "--cycles", "1", "--horizon", "60",
+                         "--jobs", jobs, "--report", str(path)]) == 0
+            paths.append(path)
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_unknown_app_and_estimator_rejected(self, capsys):
+        assert main(["fleet", "--devices", "1", "--app", "doom"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+        assert main(["fleet", "--devices", "1",
+                     "--estimator", "psychic"]) == 2
+        assert "unknown estimator" in capsys.readouterr().err
+
+    def test_bad_spec_rejected(self, capsys):
+        assert main(["fleet", "--devices", "-3"]) == 2
+        assert "devices" in capsys.readouterr().err
+
+    def test_fail_on_unsafe_is_opt_in(self, capsys):
+        # Zero harvest livelocks every device: exit 0 by default (a
+        # deployment finding), exit 1 with --fail-on-unsafe.
+        args = ["fleet", "--devices", "2", "--seed", "0",
+                "--harvest", "0", "--harvest-jitter", "0",
+                "--cycles", "6", "--horizon", "120"]
+        assert main(args) == 0
+        assert "UNSAFE" in capsys.readouterr().out
+        assert main(args + ["--fail-on-unsafe"]) == 1
