@@ -3,8 +3,7 @@
 
 CI's regression gate: ``run_benchmarks.py`` writes a result file (the
 smoke run in PR CI, the full run nightly) and this script diffs it against
-the checked-in baseline (``BENCH.json``, falling back to the legacy
-``BENCH_PR1.json`` name). Two kinds of check per metric:
+the checked-in baseline (``BENCH.json``). Two kinds of check per metric:
 
 * an **absolute floor** — the machine-independent claim the repo makes
   (the fast kernel beats the reference loop by >2x, the fig13 sweep by
@@ -22,7 +21,7 @@ not 10% flutter.
 
 Usage::
 
-    python benchmarks/compare.py bench-smoke.json [--baseline BENCH_PR1.json]
+    python benchmarks/compare.py bench-smoke.json [--baseline BENCH.json]
 """
 
 from __future__ import annotations
@@ -53,6 +52,12 @@ GATED_METRICS: List[MetricSpec] = [
     MetricSpec("analysis.hit_rate", floor=0.5, rel_tol=0.3),
     MetricSpec("sweep.speedup_fast", floor=1.3, rel_tol=0.6),
     MetricSpec("fleet.speedup", floor=10.0, rel_tol=0.6),
+    # The segment-algebra claims (numpy backend): the event-driven core
+    # beats the scalar stepping fastpath >=10x on the duty-cycled
+    # workload, and the vectorized segalg fleet path beats the stepping
+    # fleet kernel >=5x on the jittered duty fleet.
+    MetricSpec("segalg_kernel.speedup", floor=10.0, rel_tol=0.6),
+    MetricSpec("segalg_fleet.speedup", floor=5.0, rel_tol=0.6),
 ]
 
 #: Reported for context, never gated: absolute times are machine-bound,
@@ -65,6 +70,8 @@ REPORTED_METRICS: List[str] = [
     "sweep.speedup_fast_parallel",
     "fleet.scalar_s", "fleet.fleet_s",
     "fleet.fleet_device_steps_per_s",
+    "segalg_kernel.fastpath_s", "segalg_kernel.segalg_s",
+    "segalg_fleet.stepping_s", "segalg_fleet.segalg_s",
 ]
 
 
@@ -129,13 +136,13 @@ def render(rows: list) -> str:
 
 
 def default_baseline() -> str:
-    """The checked-in baseline: ``BENCH.json``, or the legacy
-    ``BENCH_PR1.json`` name when only that exists."""
+    """The checked-in baseline, ``BENCH.json``.
+
+    The legacy ``BENCH_PR1.json`` file is kept in-tree as a historical
+    record but is no longer consulted — it predates the segalg metrics
+    this gate now requires.
+    """
     root = Path(__file__).resolve().parent.parent
-    for name in ("BENCH.json", "BENCH_PR1.json"):
-        candidate = root / name
-        if candidate.exists():
-            return str(candidate)
     return str(root / "BENCH.json")
 
 
@@ -144,8 +151,7 @@ def main(argv=None) -> int:
     parser.add_argument("fresh", help="benchmark JSON to check")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON (default: checked-in "
-                             "BENCH.json, or BENCH_PR1.json if only the "
-                             "legacy name exists)")
+                             "BENCH.json)")
     args = parser.parse_args(argv)
     if args.baseline is None:
         args.baseline = default_baseline()

@@ -14,7 +14,12 @@ against the reference implementation *in the same process and run*:
 * ``fleet``    — a 1000-device homogeneous fleet stepped by the vectorized
   ``repro.fleet`` kernel versus the same 1000 devices run one-by-one
   through the scalar fast kernel (equivalence enforced by
-  ``tests/fleet/test_equivalence.py``).
+  ``tests/fleet/test_equivalence.py``);
+* ``segalg_kernel`` — a duty-cycled harvesting workload advanced by the
+  event-driven segment-algebra core versus the scalar stepping fastpath
+  (four-way equivalence enforced by ``tests/segalg/test_fourway.py``);
+* ``segalg_fleet``  — a 1024-device jittered fleet on the same duty
+  pattern: the vectorized segalg path versus the stepping fleet kernel.
 
 Results land in a JSON file (``BENCH.json`` by default; see README
 §Performance for how to read it). ``--quick`` shrinks the workloads for CI
@@ -214,6 +219,98 @@ def bench_fleet(devices: int, repeats: int, cycles: int = 4) -> dict:
     )
 
 
+def bench_segalg_kernel(cycles: int, repeats: int) -> dict:
+    """(e) duty-cycled trace: scalar stepping fastpath vs segalg core.
+
+    The workload the event-driven core exists for: short load bursts
+    separated by long idle recharge under weak harvest. The stepping
+    kernel pays ~50 ms-capped idle steps through every gap; the algebra
+    advances each gap in closed form. Both paths see the same plant
+    (a zero-jitter Capybara-class device at 0.3 mW harvest).
+    """
+    from repro import segalg
+    from repro.fleet.spec import FleetSpec
+    from repro.sim import fastpath
+
+    spec = FleetSpec(devices=1, seed=0, harvest_power=0.0003,
+                     esr_jitter=0.0, capacitance_jitter=0.0,
+                     harvest_jitter=0.0, eta_jitter=0.0)
+    params = spec.parameters()
+    trace = CurrentTrace([(0.015, 0.005), (0.0, 0.995)] * cycles)
+
+    def run(use_segalg: bool):
+        system = params.device_system(0)
+        system.rest_at(2.2)
+        sim = PowerSystemSimulator(system, fast=True)
+        if use_segalg:
+            assert segalg.supported(system)
+            segalg.advance_segments(sim, trace, True, spec.v_off)
+        else:
+            fastpath.advance_segments(sim, trace.segments(), True,
+                                      spec.v_off)
+        return sim
+
+    step = run(False)
+    alg = run(True)
+    drift = abs(step.system.buffer.terminal_voltage
+                - alg.system.buffer.terminal_voltage)
+    assert drift < 2e-3, f"segalg diverged from stepping: {drift}"
+
+    t_step = _bench(lambda: run(False), repeats)
+    t_alg = _bench(lambda: run(True), repeats)
+    return dict(
+        backend=segalg.backend(),
+        segments=len(trace),
+        duration_s=trace.duration,
+        fastpath_s=t_step,
+        segalg_s=t_alg,
+        speedup=t_step / t_alg,
+    )
+
+
+def bench_segalg_fleet(devices: int, cycles: int, repeats: int) -> dict:
+    """(f) jittered duty-cycle fleet: stepping kernel vs segalg vector path.
+
+    Jittered (the realistic deployment), 2 s idle gaps — long enough for
+    the stepping kernel's 50 ms idle cap to dominate, short enough that
+    every cycle still exercises the load transient and event detection.
+    The fleet segalg path is numpy-only regardless of backend.
+    """
+    from repro.fleet.kernel import FleetState, advance
+    from repro.fleet.spec import FleetSpec
+    from repro.segalg.vector import advance_fleet
+
+    spec = FleetSpec(devices=devices, seed=7, harvest_power=0.0003)
+    params = spec.parameters()
+    segments = [(0.015, 0.005), (0.0, 1.995)] * cycles
+
+    def run_stepping():
+        state = FleetState(params, v_start=2.2)
+        advance(state, segments, True, spec.v_off)
+        return state
+
+    def run_segalg():
+        state = FleetState(params, v_start=2.2)
+        advance_fleet(state, segments, True, spec.v_off)
+        return state
+
+    step = run_stepping()
+    alg = run_segalg()
+    import numpy as _np
+    drift = float(_np.max(_np.abs(step.v_term - alg.v_term)))
+    assert drift < 2e-3, f"fleet segalg diverged from stepping: {drift}"
+
+    t_step = _bench(run_stepping, repeats)
+    t_alg = _bench(run_segalg, repeats)
+    return dict(
+        devices=devices,
+        segments=len(segments),
+        stepping_s=t_step,
+        segalg_s=t_alg,
+        speedup=t_step / t_alg,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", "--out", dest="output",
@@ -231,9 +328,16 @@ def main(argv=None) -> int:
     if args.quick:
         n_segments, n_tasks, trials, repeats = 1000, 20, 1, 1
         fleet_devices, fleet_cycles = 1000, 2
+        # The segalg kernel case keeps the full duty-cycle count even in
+        # quick mode: the whole point of the algebra is that the cost is
+        # per *event*, so the case is cheap regardless, while a shrunken
+        # trace lets fixed per-call setup dominate the stepping side and
+        # the measured ratio collapses below the compare.py floor.
+        sa_cycles, sa_fleet_devices, sa_fleet_cycles = 600, 256, 25
     else:
         n_segments, n_tasks, trials, repeats = 10_000, 100, 1, 2
         fleet_devices, fleet_cycles = 1000, 4
+        sa_cycles, sa_fleet_devices, sa_fleet_cycles = 600, 1024, 100
 
     print("kernel: single many-segment trace ...", flush=True)
     kernel = bench_kernel(n_segments, repeats, args.seed)
@@ -260,6 +364,21 @@ def main(argv=None) -> int:
           f"  ({fleet['speedup']:.1f}x, "
           f"{fleet['fleet_device_steps_per_s']:.3g} device-steps/s)")
 
+    print("segalg-kernel: stepping fastpath vs segment algebra ...",
+          flush=True)
+    sa_kernel = bench_segalg_kernel(sa_cycles, repeats)
+    print(f"  fastpath {sa_kernel['fastpath_s']:.3f}s  "
+          f"segalg {sa_kernel['segalg_s']:.3f}s  "
+          f"({sa_kernel['speedup']:.1f}x, backend "
+          f"{sa_kernel['backend']})")
+
+    print("segalg-fleet: stepping fleet kernel vs vector algebra ...",
+          flush=True)
+    sa_fleet = bench_segalg_fleet(sa_fleet_devices, sa_fleet_cycles, repeats)
+    print(f"  stepping {sa_fleet['stepping_s']:.3f}s  "
+          f"segalg {sa_fleet['segalg_s']:.3f}s  "
+          f"({sa_fleet['speedup']:.1f}x)")
+
     payload = dict(
         benchmark="BENCH",
         quick=args.quick,
@@ -274,6 +393,8 @@ def main(argv=None) -> int:
         analysis=analysis,
         sweep=sweep,
         fleet=fleet,
+        segalg_kernel=sa_kernel,
+        segalg_fleet=sa_fleet,
     )
     out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -302,7 +302,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         outcomes = run_fleet_raw(
             spec, app=args.app, cycles=args.cycles,
             estimator=args.estimator, horizon=args.horizon,
-            jobs=args.jobs,
+            jobs=args.jobs, engine=args.engine,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -559,6 +559,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--harvest-jitter", type=float, default=0.25,
                          help="per-device harvest spread half-width "
                               "(default 0.25)")
+    p_fleet.add_argument("--engine", default="stepping",
+                         choices=["stepping", "segalg"],
+                         help="simulation engine: the stepping kernel "
+                              "(default, bit-compatible with the scalar "
+                              "fastpath) or the event-driven segment-"
+                              "algebra core (faster; method tolerances)")
     p_fleet.add_argument("--check", type=int, default=0, metavar="N",
                          help="differential mode: re-run N sampled devices "
                               "on the scalar fastpath kernel and compare "

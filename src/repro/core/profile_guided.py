@@ -27,6 +27,7 @@ from repro.core.model import TaskDemand, VsafeEstimate
 from repro.core.vsafe_cache import VsafeCache, default_cache
 from repro.loads.trace import CurrentTrace
 from repro.power.system import PowerSystemModel
+from repro.segalg.program import canonical_fingerprint
 
 
 @dataclass(frozen=True)
@@ -81,8 +82,14 @@ class CulpeoPG:
         self._model_key = model.config_key()
 
     def _cache_key(self, trace: CurrentTrace, resistance: float) -> tuple:
+        # The canonical segment-program fingerprint identifies what any
+        # simulation core would be asked to advance for this trace —
+        # stable across segalg backends, plant parameters and compile
+        # budgets — so cached estimates survive engine/backend switches
+        # while distinct programs can never collide on raw-trace identity.
         return ("culpeo-pg", self._model_key, self.step_limit,
-                self.envelope_margin, resistance, trace.fingerprint())
+                self.envelope_margin, resistance, trace.fingerprint(),
+                canonical_fingerprint(trace))
 
     def select_esr(self, trace: CurrentTrace) -> float:
         """ESR operating point for this trace (paper §IV-B).

@@ -32,6 +32,7 @@ from repro.fleet.kernel import (
     advance,
 )
 from repro.fleet.runner import (
+    FLEET_ENGINES,
     FleetOutcomes,
     FleetReport,
     run_fleet,
@@ -39,8 +40,11 @@ from repro.fleet.runner import (
     summarize,
 )
 from repro.fleet.spec import FleetParams, FleetSpec
+from repro.segalg.vector import advance_fleet
 
 __all__ = [
+    "FLEET_ENGINES",
+    "advance_fleet",
     "FleetSpec",
     "FleetParams",
     "FleetState",

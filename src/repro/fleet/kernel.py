@@ -165,7 +165,15 @@ def advance(state: FleetState, segments: Iterable[Tuple[float, float]],
 
     ``recorder``, if given, captures tracked-device checkpoints after
     every segment — the hook differential cross-checks attach to.
+
+    ``segments`` may be a :class:`~repro.loads.trace.CurrentTrace` or
+    any iterable of ``(current, duration)`` runs — the same contract as
+    the segalg fleet path, so the runner can hand either engine the
+    trace object itself.
     """
+    runs = getattr(segments, "segments", None)
+    if callable(runs):
+        segments = runs()
     params = state.params
     spec = params.spec
     n = state.n

@@ -45,6 +45,12 @@ from repro.harness.report import TextTable
 from repro.obs import THROUGHPUT_BUCKETS, VOLTAGE_BUCKETS_V
 from repro.obs import current as _obs_current
 from repro.resilience.campaign import OUTCOMES
+from repro.segalg.vector import advance_fleet as _segalg_advance
+
+#: Fleet simulation engines: the stepping kernel (bit-compatible with the
+#: scalar fastpath) and the event-driven segment-algebra core (method
+#: tolerances vs stepping, ~5-7x faster on duty-cycled programs).
+FLEET_ENGINES = ("stepping", "segalg")
 
 #: Charge-phase chunk length (s) — matches the scalar engine's
 #: ``charge_until`` stride so scalar mirrors replay identical chunks.
@@ -86,6 +92,7 @@ class FleetOutcomes:
     brown_time: np.ndarray
     brown_task: List[str]
     device_steps: int
+    engine: str = "stepping"
 
     @property
     def devices(self) -> int:
@@ -106,6 +113,7 @@ class _ShardJob:
     cycles: int
     horizon: float
     gates: Tuple[Tuple[str, float], ...]
+    engine: str = "stepping"
 
 
 def _run_shard(job: _ShardJob) -> dict:
@@ -119,6 +127,7 @@ def _run_shard(job: _ShardJob) -> dict:
     gates = dict(job.gates)
     program = build_program(job.app, cycles=job.cycles)
     state = FleetState(params)
+    step = _segalg_advance if job.engine == "segalg" else advance
 
     outcome = np.full(n, _COMPLETED, dtype=np.int64)
     tasks_committed = np.zeros(n, dtype=np.int64)
@@ -147,7 +156,7 @@ def _run_shard(job: _ShardJob) -> dict:
                 if not need.any():
                     break
             v_before = state.v_term.copy()
-            advance(state, ((0.0, CHARGE_CHUNK),), True, None, active=need)
+            step(state, ((0.0, CHARGE_CHUNK),), True, None, active=need)
             progressed = state.v_term > v_before + PROGRESS_EPS
             stall = np.where(need & ~progressed, stall + 1, 0)
             if not solar:
@@ -165,8 +174,8 @@ def _run_shard(job: _ShardJob) -> dict:
             outcome[late] = _DEGRADED
             pending &= ~late
         if launch.any():
-            browned = advance(state, list(task.trace.segments()), True,
-                              spec.v_off, active=launch)
+            browned = step(state, task.trace, True,
+                           spec.v_off, active=launch)
             hit = launch & ~np.isnan(browned)
             if hit.any():
                 outcome[hit] = _BROWN_OUT
@@ -191,11 +200,14 @@ def _run_shard(job: _ShardJob) -> dict:
 
 def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
                   cycles: int = 2, estimator: str = "culpeo-pg",
-                  horizon: float = 120.0, jobs: int = 1) -> FleetOutcomes:
+                  horizon: float = 120.0, jobs: int = 1,
+                  engine: str = "stepping") -> FleetOutcomes:
     """Run the fleet and return raw per-device outcomes.
 
     Gates come from ``estimator`` evaluated once on the un-jittered base
-    plant (shared firmware). Results are byte-identical for any ``jobs``.
+    plant (shared firmware). Results are byte-identical for any ``jobs``
+    (and, under ``engine="segalg"``, for any backend setting — the fleet
+    algebra path is numpy-only by design).
     """
     from repro.apps.programs import build_program
     from repro.sched.gating import program_gates
@@ -205,6 +217,9 @@ def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
         raise ValueError(
             f"unknown estimator {estimator!r}; choose from "
             f"{KNOWN_ESTIMATORS}")
+    if engine not in FLEET_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {FLEET_ENGINES}")
     if cycles < 1:
         raise ValueError(f"cycles must be >= 1, got {cycles}")
     if horizon <= 0:
@@ -220,7 +235,8 @@ def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
     shards = split_ranges(spec.devices, max(1, jobs))
     jobs_list = [
         _ShardJob(spec=spec, start=a, stop=b, app=app, cycles=cycles,
-                  horizon=horizon, gates=tuple(sorted(gates.items())))
+                  horizon=horizon, gates=tuple(sorted(gates.items())),
+                  engine=engine)
         for a, b in shards
     ]
     results = parallel_map(_run_shard, jobs_list, jobs=jobs)
@@ -244,6 +260,7 @@ def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
         brown_time=_cat("brown_time"),
         brown_task=[t for r in results for t in r["brown_task"]],
         device_steps=sum(r["device_steps"] for r in results),
+        engine=engine,
     )
 
     # Telemetry is emitted parent-side from aggregated results so the
@@ -265,7 +282,7 @@ def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
                                   THROUGHPUT_BUCKETS) \
                 .observe(outcomes.device_steps / wall)
         obs.emit("fleet.run", devices=outcomes.devices, app=app,
-                 estimator=estimator,
+                 estimator=estimator, engine=engine,
                  device_steps=outcomes.device_steps,
                  brown_outs=int(np.count_nonzero(
                      outcomes.outcome_codes == _BROWN_OUT)))
@@ -297,6 +314,7 @@ class FleetReport:
     energy_total: float
     brown_outs: List[dict]
     livelocked: List[int]
+    engine: str = "stepping"
 
     @property
     def unsafe_count(self) -> int:
@@ -324,6 +342,7 @@ class FleetReport:
                 "cycles": self.cycles,
                 "estimator": self.estimator,
                 "horizon": self.horizon,
+                "engine": self.engine,
             },
             "devices": self.devices,
             "counts": self.counts,
@@ -401,13 +420,14 @@ def summarize(outcomes: FleetOutcomes) -> FleetReport:
         energy_total=float(outcomes.energy.sum()),
         brown_outs=brown_entries,
         livelocked=livelocked,
+        engine=outcomes.engine,
     )
 
 
 def run_fleet(spec: FleetSpec, *, app: str = "sense-store", cycles: int = 2,
               estimator: str = "culpeo-pg", horizon: float = 120.0,
-              jobs: int = 1) -> FleetReport:
+              jobs: int = 1, engine: str = "stepping") -> FleetReport:
     """Run the fleet and aggregate a report (see :func:`run_fleet_raw`)."""
     return summarize(run_fleet_raw(
         spec, app=app, cycles=cycles, estimator=estimator,
-        horizon=horizon, jobs=jobs))
+        horizon=horizon, jobs=jobs, engine=engine))

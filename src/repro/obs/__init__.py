@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.obs.metrics import (
+    EVENT_COUNT_BUCKETS,
     LATENCY_BUCKETS_S,
     THROUGHPUT_BUCKETS,
     VOLTAGE_BUCKETS_V,
@@ -66,6 +67,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Tracer",
+    "EVENT_COUNT_BUCKETS",
     "LATENCY_BUCKETS_S",
     "THROUGHPUT_BUCKETS",
     "VOLTAGE_BUCKETS_V",

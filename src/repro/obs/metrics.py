@@ -49,6 +49,14 @@ THROUGHPUT_BUCKETS: Tuple[float, ...] = tuple(
     round(10.0 ** (e / 3.0), 6) for e in range(0, 28)
 )
 
+#: Default boundaries for small discrete-count histograms (events per
+#: advance, passes per solve): 0 and a coarse log-2 ladder to 4096.
+#: Most segment-algebra advances see zero or a handful of events; the
+#: tail buckets catch pathological regime-chatter workloads.
+EVENT_COUNT_BUCKETS: Tuple[float, ...] = tuple(
+    [0.0] + [float(2 ** e) for e in range(0, 13)]
+)
+
 
 class Counter:
     """A monotonically increasing integer."""

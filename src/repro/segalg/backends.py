@@ -1,0 +1,75 @@
+"""Runtime backend selection for the segment-algebra core.
+
+``REPRO_SEGALG_BACKEND`` picks how the core's sequential recurrences are
+evaluated:
+
+* ``numpy`` (default) — renormalized vector scans (chunked product scan
+  for the redistribution mode, limited-lookback unroll for the terminal
+  transient). Pure numpy, no extra dependencies.
+* ``numba`` — the exact sequential recurrences, JIT-compiled. When numba
+  is not importable the request **silently falls back to numpy** — the
+  environment variable is a performance hint, never a hard dependency
+  (the container images this repo targets do not ship numba).
+
+Both backends iterate the same fixed-point equations, so results agree
+to far better than the documented V_TOL; the fleet/vector path is numpy
+regardless of backend, which is what makes fleet reports byte-identical
+across backends (enforced by the CI determinism check).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+_ENV_VAR = "REPRO_SEGALG_BACKEND"
+_VALID = ("numpy", "numba")
+
+#: Resolved backend name, or ``None`` before first use / after reset.
+_resolved: Optional[str] = None
+_numba_jit: Optional[Callable] = None
+
+
+def _resolve() -> str:
+    global _resolved, _numba_jit
+    requested = os.environ.get(_ENV_VAR, "numpy").strip().lower() or "numpy"
+    if requested not in _VALID:
+        requested = "numpy"
+    if requested == "numba":
+        try:
+            from numba import njit  # type: ignore[import-not-found]
+        except Exception:
+            requested = "numpy"  # silent fallback: numba is optional
+        else:
+            _numba_jit = njit
+    _resolved = requested
+    return requested
+
+
+def backend() -> str:
+    """The active backend name (``numpy`` or ``numba``), resolved once.
+
+    Resolution is cached; call :func:`reset` (tests only) to re-read the
+    environment.
+    """
+    return _resolved if _resolved is not None else _resolve()
+
+
+def reset() -> None:
+    """Forget the cached resolution (test hook for env-var changes)."""
+    global _resolved, _numba_jit
+    _resolved = None
+    _numba_jit = None
+
+
+def jit(fn: Callable) -> Callable:
+    """Compile ``fn`` under the numba backend; identity under numpy.
+
+    Functions passed here must be nopython-compatible (plain loops over
+    float64 arrays). Under the numpy backend they are still valid Python
+    and run as-is — that is what keeps the numba code path testable on
+    machines without numba.
+    """
+    if backend() == "numba" and _numba_jit is not None:
+        return _numba_jit(cache=False)(fn)
+    return fn

@@ -1,0 +1,460 @@
+"""Bank model: the closed-form constants of the two-branch charge model.
+
+The stepping engines integrate the paper's storage bank numerically; this
+module hoists the same component parameters once and derives the
+constants of the *analytic* solution the segment-algebra core advances
+with. The bank's linear ODE system
+
+.. math::
+
+    C_{dec}\\,\\dot v_t = (v_m - v_t)/R_{esr} + (v_r - v_t)/R_{red} - i_{ext}
+
+    C_{main}\\,\\dot v_m = -(v_m - v_t)/R_{esr} - i_{leak}
+
+    C_{red}\\,\\dot v_r = -(v_r - v_t)/R_{red}
+
+diagonalizes (after quasi-statically eliminating the fast terminal node)
+into three closed-form coordinates per constant-current interval:
+
+* the **charge ledger** ``u = Q_total / C_total`` — exactly linear in
+  time, since total stored charge only changes through the external
+  current and leakage;
+* the **redistribution mode** ``d = v_m - v_r`` — a single exponential
+  with time constant ``tau_r`` toward ``d_eq(i)``;
+* the **terminal transient** ``v_t - v_star`` — a fast exponential with
+  time constant ``tau = C_dec / g`` toward the quasi-static terminal
+  voltage ``v_star = vbar + kappa*d - i_ext/g``.
+
+Every attribute here is either a Python float (scalar path) or a
+per-device numpy array (fleet path); the algebra in
+:mod:`repro.segalg.core` broadcasts over both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.power.booster import (
+    CurvedEfficiency,
+    InputBooster,
+    LinearEfficiency,
+    OutputBooster,
+)
+from repro.power.capacitor import IdealCapacitor, TwoBranchSupercap
+from repro.power.harvester import (
+    ConstantPowerHarvester,
+    NullHarvester,
+    SolarHarvester,
+)
+from repro.power.monitor import VoltageMonitor
+from repro.power.reconfigurable import ReconfigurableBuffer
+
+#: Derated efficiency floor, matching OutputBooster.input_current.
+DERATING_FLOOR = 0.30
+
+#: Input-booster low-voltage clamp, matching InputBooster.charge_current.
+V_CLAMP = 0.1
+
+# Harvest sampling modes (compile-time property of an advance call).
+HARVEST_NONE = 0
+HARVEST_CONST = 1
+HARVEST_SOLAR = 2
+HARVEST_CALLABLE = 3
+
+
+def _resolve_buffer(buffer):
+    """Unwrap a ReconfigurableBuffer to its active group (exact types)."""
+    if type(buffer) is ReconfigurableBuffer:
+        buffer = buffer._group  # noqa: SLF001 — sim-internal
+    if type(buffer) in (IdealCapacitor, TwoBranchSupercap):
+        return buffer
+    return None
+
+
+def supported(system) -> bool:
+    """Whether the segment-algebra core models this system analytically.
+
+    Same component whitelist as the scalar fastpath: stock buffer,
+    boosters and monitor (exact types — a subclass may change behavior
+    the algebra has already integrated away). Unlike the fastpath,
+    observers are *not* a disqualifier: their due-times become events.
+    """
+    if _resolve_buffer(system.buffer) is None:
+        return False
+    if type(system.output_booster) is not OutputBooster:
+        return False
+    if type(system.input_booster) is not InputBooster:
+        return False
+    if type(system.monitor) is not VoltageMonitor:
+        return False
+    out_eta = type(system.output_booster.efficiency_model)
+    in_eta = type(system.input_booster.efficiency_model)
+    return (out_eta in (LinearEfficiency, CurvedEfficiency)
+            and in_eta in (LinearEfficiency, CurvedEfficiency))
+
+
+class _Eta:
+    """An efficiency curve in analytic form: value and slope.
+
+    Parameters may be floats or per-device arrays (only ``base``/
+    ``intercept`` varies across a fleet; the shape is shared).
+    """
+
+    def __init__(self, kind: str, p0, p1, p2, v_ref, floor, ceiling):
+        self.kind = kind  # "linear" | "curved"
+        self.p0 = p0      # intercept / base
+        self.p1 = p1      # slope
+        self.p2 = p2      # curvature (curved only)
+        self.v_ref = v_ref
+        self.floor = floor
+        self.ceiling = ceiling
+
+    @classmethod
+    def from_model(cls, model) -> "_Eta":
+        if type(model) is LinearEfficiency:
+            return cls("linear", model.intercept, model.slope, 0.0, 0.0,
+                       model.floor, model.ceiling)
+        if type(model) is CurvedEfficiency:
+            return cls("curved", model.base, model.slope, model.curvature,
+                       model.v_ref, model.floor, model.ceiling)
+        raise TypeError(f"unsupported efficiency model {type(model).__name__}")
+
+    def eval(self, v):
+        """``(eta, deta_dv)`` at ``v``, with the clip window applied.
+
+        The slope is zero wherever the curve is clipped to its floor or
+        ceiling — exactly the derivative the Newton chord needs.
+        """
+        if self.kind == "linear":
+            raw = self.p0 + self.p1 * v
+            draw = self.p1
+        else:
+            dv = v - self.v_ref
+            raw = self.p0 + self.p1 * dv - self.p2 * dv * dv
+            draw = self.p1 - 2.0 * self.p2 * dv
+        eta = np.minimum(self.ceiling, np.maximum(self.floor, raw))
+        deta = np.where((raw > self.floor) & (raw < self.ceiling), draw, 0.0)
+        return eta, deta
+
+
+class Bank:
+    """Hoisted component parameters + derived closed-form constants.
+
+    Scalar instances (one device) hold floats; fleet instances hold
+    per-device arrays. The degenerate configurations the stepping paths
+    support — no redistribution branch, no decoupling capacitor, ideal
+    capacitor — are encoded with flags and "safe" denominators so the
+    algebra stays division-safe under broadcasting.
+    """
+
+    # -- constructors -------------------------------------------------------
+
+    def __init__(self) -> None:
+        self.is_ideal = False
+        self.harvest_mode = HARVEST_NONE
+        self.harvest_power = 0.0
+        self.harvest_omega = 0.0
+        self.harvest_phase = 0.0
+        self.power_at = None  # HARVEST_CALLABLE only
+
+    @classmethod
+    def from_system(cls, system, harvesting: bool) -> "Bank":
+        """Hoist a scalar :class:`PowerSystem` (must pass supported())."""
+        bank = cls()
+        buf = _resolve_buffer(system.buffer)
+        if buf is None:
+            raise TypeError("segalg does not support this buffer type")
+        if type(buf) is IdealCapacitor:
+            bank.is_ideal = True
+            bank.cap = buf.capacitance
+            bank.esr = buf.esr
+            bank.leak = buf.leakage_current
+            bank.c_tot = buf.capacitance
+            bank.has_red = False
+            bank.cd_pos = False
+            bank.tau = 0.0
+            bank.tau_safe = 1.0
+            bank.tau_r_safe = 1.0
+            bank.inv_tau_r = 0.0
+            bank.kappa = 0.0
+            bank.deq_coef = 0.0
+            bank.deq_leak = 0.0
+            bank.g = 1.0 / buf.esr if buf.esr > 0 else math.inf
+            bank.c_s = buf.capacitance
+        else:
+            bank._derive_two_branch(
+                c_main=buf.c_main, r_esr=buf.r_esr, c_red=buf.c_redist,
+                r_red=buf.r_redist, c_dec=buf.c_decoupling,
+                leak=buf.leakage_current, scalar=True)
+
+        out = system.output_booster
+        bank.v_out = out.v_out
+        bank.min_vin = out.min_input_voltage
+        bank.derating = out.power_derating
+        bank.eta_out = _Eta.from_model(out.efficiency_model)
+        inp = system.input_booster
+        bank.v_max_in = inp.v_max
+        bank.eta_in = _Eta.from_model(inp.efficiency_model)
+        mon = system.monitor
+        bank.v_off = mon.v_off
+        bank.v_high = mon.v_high
+
+        harvester = system.harvester
+        if not harvesting or type(harvester) is NullHarvester:
+            bank.harvest_mode = HARVEST_NONE
+        elif type(harvester) is ConstantPowerHarvester:
+            bank.harvest_mode = HARVEST_CONST
+            bank.harvest_power = harvester.power
+        elif type(harvester) is SolarHarvester:
+            bank.harvest_mode = HARVEST_SOLAR
+            bank.harvest_power = harvester.peak
+            bank.harvest_omega = 2.0 * math.pi / harvester.period
+            bank.harvest_phase = harvester.phase
+        else:
+            bank.harvest_mode = HARVEST_CALLABLE
+            bank.power_at = harvester.power_at
+        return bank
+
+    @classmethod
+    def from_fleet_state(cls, state, harvesting: bool) -> "Bank":
+        """Hoist a :class:`repro.fleet.kernel.FleetState` batch."""
+        params = state.params
+        spec = params.spec
+        bank = cls()
+        bank._derive_two_branch(
+            c_main=params.c_main, r_esr=params.r_esr, c_red=params.c_redist,
+            r_red=params.r_redist, c_dec=params.c_decoupling,
+            leak=params.leakage, scalar=False)
+        bank.v_out = spec.v_out
+        bank.min_vin = 0.5
+        bank.derating = 0.6
+        # Per-device efficiency base, shared curve shape — the exact
+        # arrays the stepping fleet kernel hoists.
+        bank.eta_out = _Eta(
+            "curved", params.eta_base, state._eta_slope,  # noqa: SLF001
+            state._eta_curvature, state._eta_v_ref,       # noqa: SLF001
+            state._eta_floor, state._eta_ceiling)         # noqa: SLF001
+        bank.v_max_in = spec.v_high
+        bank.eta_in = _Eta("linear", state._eta_in, 0.0, 0.0,  # noqa: SLF001
+                           0.0, 0.0, 1.0)
+        bank.v_off = spec.v_off
+        bank.v_high = spec.v_high
+        if not harvesting:
+            bank.harvest_mode = HARVEST_NONE
+        elif spec.harvest_period <= 0:
+            bank.harvest_mode = HARVEST_CONST
+            bank.harvest_power = params.p_harvest
+        else:
+            bank.harvest_mode = HARVEST_SOLAR
+            bank.harvest_power = params.p_harvest
+            bank.harvest_omega = 2.0 * np.pi / spec.harvest_period
+            bank.harvest_phase = params.phase
+        return bank
+
+    def _derive_two_branch(self, c_main, r_esr, c_red, r_red, c_dec, leak,
+                           scalar: bool) -> None:
+        self.is_ideal = False
+        self.c_main = c_main
+        self.r_esr = r_esr
+        self.c_red = c_red
+        self.r_red = r_red
+        self.c_dec = c_dec
+        self.leak = leak
+        if scalar:
+            has_red = c_red > 0 and math.isfinite(r_red)
+            cd_pos = c_dec > 0
+        else:
+            has_red = (c_red > 0) & np.isfinite(r_red)
+            cd_pos = c_dec > 0
+        self.has_red = has_red
+        self.cd_pos = cd_pos
+        rr = np.where(has_red, r_red, 1.0)
+        cr = np.where(has_red, c_red, 1.0)
+        self.rr_safe = rr
+        self.cr_safe = cr
+        g = 1.0 / r_esr + np.where(has_red, 1.0 / rr, 0.0)
+        self.g = g
+        c_s = c_main + np.where(has_red, c_red, 0.0)
+        self.c_s = c_s
+        self.c_tot = c_s + c_dec
+        # terminal transient
+        self.tau = np.where(cd_pos, c_dec / g, 0.0)
+        self.tau_safe = np.where(cd_pos, c_dec / g, 1.0)
+        # redistribution mode: d = v_main - v_redist relaxes with tau_r
+        inv_tau_r = np.where(
+            has_red,
+            (1.0 / (g * r_esr * rr)) * (1.0 / c_main + 1.0 / cr),
+            0.0)
+        self.inv_tau_r = inv_tau_r
+        tau_r = np.where(has_red, 1.0 / np.where(has_red, inv_tau_r, 1.0),
+                         1.0)
+        self.tau_r_safe = tau_r
+        a = (1.0 / r_esr) / g
+        b = np.where(has_red, (1.0 / rr) / g, 0.0)
+        self.kappa = np.where(has_red, (a * c_red - b * c_main) / c_s, 0.0)
+        # d_eq = deq_coef * i_ext + deq_leak
+        self.deq_coef = np.where(
+            has_red,
+            -(1.0 / (r_esr * c_main) - 1.0 / (rr * cr)) * tau_r / g,
+            0.0)
+        self.deq_leak = np.where(has_red, -(leak / c_main) * tau_r, 0.0)
+        if scalar:
+            # collapse 0-d numpy scalars back to floats for the scalar path
+            for name in ("rr_safe", "cr_safe", "g", "c_s", "c_tot", "tau",
+                         "tau_safe", "inv_tau_r", "tau_r_safe", "kappa",
+                         "deq_coef", "deq_leak"):
+                setattr(self, name, float(getattr(self, name)))
+
+    # -- current models -----------------------------------------------------
+
+    def load_current(self, v, p_out, drawing):
+        """``(i_in, di_dv)``: output-booster draw at terminal voltage ``v``.
+
+        Mirrors ``OutputBooster.input_current`` with the analytic slope
+        alongside (zero wherever a clamp is active), broadcast over
+        arrays. ``drawing`` gates the draw (monitor-enabled and loaded).
+        """
+        v_in = np.maximum(v, self.min_vin)
+        eta, deta = self.eta_out.eval(v_in)
+        if np.ndim(p_out) > 0 or p_out > 0.0:
+            if self.derating > 0.0:
+                derated = eta - self.derating * p_out
+                floored = derated < DERATING_FLOOR
+                apply = p_out > 0.0
+                eta = np.where(apply, np.maximum(derated, DERATING_FLOOR),
+                               eta)
+                deta = np.where(apply & floored, 0.0, deta)
+        i_raw = p_out / eta / v_in
+        dvin = np.where(v > self.min_vin, 1.0, 0.0)
+        di_raw = -i_raw * (deta / eta + 1.0 / v_in) * dvin
+        i_in = np.where(drawing, i_raw, 0.0)
+        di = np.where(drawing, di_raw, 0.0)
+        return i_in, di
+
+    def charge_current(self, v, p_h, allow):
+        """``(i_chg, di_dv)``: input-booster charge at terminal voltage ``v``.
+
+        ``allow`` is the *regime* gate (harvesting on and the span is in
+        the charging regime); the ``v >= v_max_in`` cutoff is NOT applied
+        here — crossing V_max is an event, handled by the drivers, so the
+        currents stay smooth within a span.
+        """
+        v_clamp = np.maximum(v, V_CLAMP)
+        eta, deta = self.eta_in.eval(v_clamp)
+        i_raw = p_h * eta / v_clamp
+        dvc = np.where(v > V_CLAMP, 1.0, 0.0)
+        di_raw = (p_h * deta / v_clamp - i_raw / v_clamp) * dvc
+        gate = allow & (p_h > 0.0)
+        return np.where(gate, i_raw, 0.0), np.where(gate, di_raw, 0.0)
+
+    def harvest_power_at(self, t):
+        """Harvested power at absolute time ``t`` (scalar or array)."""
+        if self.harvest_mode == HARVEST_NONE:
+            return np.zeros_like(t) if isinstance(t, np.ndarray) else 0.0
+        if self.harvest_mode == HARVEST_CONST:
+            if isinstance(t, np.ndarray):
+                return self.harvest_power + np.zeros_like(t)
+            return self.harvest_power
+        if self.harvest_mode == HARVEST_SOLAR:
+            return self.harvest_power * np.maximum(
+                0.0, np.sin(self.harvest_omega * t + self.harvest_phase))
+        # HARVEST_CALLABLE — scalar path only, pointwise
+        if isinstance(t, np.ndarray):
+            return np.array([self.power_at(float(x)) for x in t])
+        return self.power_at(t)
+
+    # -- state conversions --------------------------------------------------
+
+    def to_modes(self, v_main, v_red):
+        """(v_main, v_redist) -> (vbar, d) mode coordinates."""
+        if self.is_ideal:
+            return v_main, np.zeros_like(v_main) if isinstance(
+                v_main, np.ndarray) else 0.0
+        vbar = (self.c_main * v_main
+                + np.where(self.has_red, self.c_red * v_red, 0.0)) / self.c_s
+        d = np.where(self.has_red, v_main - v_red, 0.0)
+        if not isinstance(v_main, np.ndarray):
+            return float(vbar), float(d)
+        return vbar, d
+
+    def from_modes(self, vbar, d):
+        """(vbar, d) -> (v_main, v_redist), clamped at zero like stepping."""
+        if self.is_ideal:
+            return vbar, vbar
+        v_main = vbar + np.where(self.has_red, self.c_red / self.c_s, 0.0) * d
+        v_red = np.where(self.has_red,
+                         vbar - (self.c_main / self.c_s) * d, vbar)
+        v_main = np.maximum(v_main, 0.0)
+        v_red = np.maximum(v_red, 0.0)
+        if not isinstance(vbar, np.ndarray):
+            return float(v_main), float(v_red)
+        return v_main, v_red
+
+    # -- cache key ----------------------------------------------------------
+
+    def config_key(self) -> tuple:
+        """Hashable scalar-path key for the program cache (scalar only)."""
+        eo = self.eta_out
+        ei = self.eta_in
+        if self.is_ideal:
+            bank = ("ideal", self.cap, self.esr, self.leak)
+        else:
+            bank = ("2b", self.c_main, self.r_esr, self.c_red, self.r_red,
+                    self.c_dec, self.leak)
+        harv = (self.harvest_mode, self.harvest_power, self.harvest_omega,
+                self.harvest_phase,
+                id(self.power_at) if self.power_at is not None else 0)
+        return (bank,
+                (self.v_out, self.min_vin, self.derating,
+                 eo.kind, eo.p0, eo.p1, eo.p2, eo.v_ref, eo.floor,
+                 eo.ceiling),
+                (self.v_max_in, ei.kind, ei.p0, ei.p1, ei.p2, ei.v_ref,
+                 ei.floor, ei.ceiling),
+                (self.v_off, self.v_high),
+                harv)
+
+
+def bound_current(bank: Bank, i_out: float) -> float:
+    """A magnitude bound on the external current for a segment.
+
+    Used by program compilation to size interval subdivisions. The bound
+    is the worst-case booster draw at the brown-out rail (lowest useful
+    operating voltage → highest draw) plus the worst-case harvest charge
+    at the same rail — conservative for any reachable trajectory the
+    tolerances care about. Evaluated on the scalar base plant; fleet
+    jitter perturbs it by a few percent against orders of magnitude of
+    headroom in the per-interval voltage budget.
+    """
+    v_ref = max(float(np.min(np.asarray(bank.v_off))), 2.0 * V_CLAMP)
+    i_load = 0.0
+    if i_out > 0.0:
+        p_out = i_out * float(np.max(np.asarray(bank.v_out)))
+        eta, _ = bank.eta_out.eval(v_ref)
+        eta = float(np.min(np.asarray(eta)))
+        if bank.derating > 0.0:
+            eta = max(DERATING_FLOOR, eta - bank.derating * p_out)
+        i_load = p_out / eta / max(v_ref, bank.min_vin)
+    p_h = 0.0
+    if bank.harvest_mode in (HARVEST_CONST, HARVEST_SOLAR):
+        p_h = float(np.max(np.asarray(bank.harvest_power)))
+    elif bank.harvest_mode == HARVEST_CALLABLE:
+        p_h = float(bank.power_at(0.0))
+    eta_in, _ = bank.eta_in.eval(v_ref)
+    i_chg = p_h * float(np.max(np.asarray(eta_in))) / v_ref
+    return i_load + i_chg
+
+
+__all__ = [
+    "Bank",
+    "DERATING_FLOOR",
+    "HARVEST_CALLABLE",
+    "HARVEST_CONST",
+    "HARVEST_NONE",
+    "HARVEST_SOLAR",
+    "V_CLAMP",
+    "bound_current",
+    "supported",
+]

@@ -1,0 +1,532 @@
+"""Scalar event-driven driver of the segment-algebra core.
+
+Where the stepping kernels walk fixed sub-steps, this driver advances a
+:class:`~repro.sim.engine.PowerSystemSimulator` *span by span*: it
+solves whole runs of program intervals in closed form
+(:func:`~repro.segalg.core.span_solve`), scans the analytic trajectory
+for the first **event** — a brown-out crossing, a monitor hysteresis
+flip, the terminal reaching the input booster's V_max rail, a harvest
+resume, an observer due-time — commits everything before the event
+exactly, applies it, and continues. Between events there is no step
+size: a multi-second recharge is one linear-algebra call.
+
+The driver mirrors :func:`repro.sim.fastpath.advance_segments` — same
+signature, same state writeback — but is a *method change*, not a
+re-ordering of the same arithmetic: results agree with the stepping
+engines to method tolerances (~1e-4 V), not bit-for-bit. Documented
+differences: the recorded ``v_min`` is the continuous trajectory
+minimum (stepping only sees post-step values); energy uses the exact
+per-interval average terminal voltage (stepping uses the step's upper
+endpoint); leakage applies unconditionally (stepping gates it on
+``v_main > 0``, unreachable in supported workloads).
+
+Events the scan recognizes, in tie-break priority order:
+
+1. **brown** — trajectory falls below ``stop_below`` (strict);
+2. **monitor-off** — falls below ``V_off`` while enabled (strict);
+3. **cap** — rises above ``V_max`` while charging: enters the
+   *pinned* regime (terminal held at the rail, branches relaxing);
+4. **resume** — falls back below ``V_max`` while not charging;
+5. **monitor-on** — reaches ``V_high`` while disabled (inclusive).
+
+Unlike the fastpath, attached observers do **not** disqualify a system:
+their due-times become span horizons, and the engine's own ``_notify``
+runs at each horizon with the state synced back.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import EVENT_COUNT_BUCKETS
+from repro.obs import current as _obs_current
+from repro.segalg.core import (
+    CROSS_ITERS,
+    interval_extrema,
+    pin_available,
+    pin_required,
+    pinned_step,
+    span_solve,
+)
+from repro.segalg.model import (
+    HARVEST_CONST,
+    HARVEST_NONE,
+    Bank,
+    _resolve_buffer,
+)
+from repro.segalg.program import program_for
+
+#: Max program intervals solved per span: bounds the event-rescan cost
+#: (an event forces a re-solve of the span tail) while keeping the
+#: per-span overhead negligible for event-free workloads.
+SPAN_CAP = 4096
+
+#: Opening span length. Spans grow geometrically while event-free and
+#: shrink back to the neighbourhood of each event that fires, so a
+#: regime flip every few intervals costs re-solves proportional to the
+#: committed work, not to :data:`SPAN_CAP`.
+SPAN_OPEN = 64
+
+#: "At the rail" half-width (volts): crossings land within bisection
+#: error of V_max, far inside this; entry states exactly at the rail
+#: match it too.
+PIN_EPS = 1e-9
+
+
+def _stationary(slope: float, T: float, tau_safe: float, cd: bool,
+                dur: float) -> Optional[float]:
+    """Interior stationary time of ``vs_c0 + slope t + T e^{-t/tau}``."""
+    if not cd or T == 0.0 or T * slope <= 0.0:
+        return None
+    x = slope * tau_safe / T
+    if x >= 1.0 or x <= math.exp(-dur / tau_safe):
+        return None
+    return -tau_safe * math.log(x)
+
+
+def _cross(level: float, vs_c0: float, slope: float, T: float,
+           tau_safe: float, cd: bool, dur: float, v0: float, v1: float,
+           downward: bool, strict0: bool = False) -> Optional[float]:
+    """First time the interval curve crosses ``level``, or ``None``.
+
+    ``downward`` means the event condition is ``v < level`` (strict);
+    upward events are inclusive (``v >= level``). When the condition
+    already holds at the interval start the crossing is immediate. When
+    only an interior excursion satisfies it, the bracket ends at the
+    single stationary point so the bisection sees exactly one root.
+
+    ``strict0`` makes the *start-point* immediacy strict — used for the
+    cap event, whose spans legitimately begin exactly at the rail after
+    a rejected pin: the trajectory dips first (branch inrush) and the
+    event is the later re-crossing, not the start point itself.
+    """
+    if downward:
+        if v0 < level:
+            return 0.0
+        bracket = dur if v1 < level else _stationary(slope, T, tau_safe,
+                                                     cd, dur)
+    else:
+        if v0 > level or (v0 >= level and not strict0):
+            return 0.0
+        bracket = dur if v1 >= level else _stationary(slope, T, tau_safe,
+                                                      cd, dur)
+    if bracket is None:
+        return None
+    # pure-float bisection: same arithmetic as core.crossing_time, minus
+    # the array machinery (this runs once per event)
+    above0 = (vs_c0 + (T if cd else 0.0)) > level
+    lo_t, hi_t = 0.0, float(bracket)
+    for _unused in range(CROSS_ITERS):
+        mid = 0.5 * (lo_t + hi_t)
+        vm = vs_c0 + slope * mid + (
+            T * math.exp(-mid / tau_safe) if cd else 0.0)
+        if (vm > level) == above0:
+            lo_t = mid
+        else:
+            hi_t = mid
+    return 0.5 * (lo_t + hi_t)
+
+
+def _clip_span(idx: int, rem: float, horizon_rel: Optional[float],
+               pos: float, dur_a: np.ndarray, n: int,
+               cap: int = SPAN_CAP):
+    """Interval durations from the cursor to the span cap / horizon.
+
+    Returns ``(durs, j)``: the (copied) duration column with the first
+    entry trimmed to the cursor remainder and the last possibly cut at
+    the observer horizon, plus the exclusive program index the span
+    reaches. Shared by the normal-span and pinned-regime paths so both
+    advance the cursor over identical geometry.
+    """
+    j = min(idx + cap, n)
+    durs = dur_a[idx:j].copy()
+    durs[0] = rem
+    if horizon_rel is not None:
+        h_rem = horizon_rel - pos
+        ends = np.cumsum(durs)
+        if h_rem < ends[-1] - 1e-15:
+            k = int(np.searchsorted(ends, h_rem - 1e-15))
+            durs = durs[:k + 1]
+            durs[k] = h_rem - (ends[k - 1] if k else 0.0)
+            j = idx + k + 1
+    return durs, j
+
+
+def _span_harvest(bank: Bank, t_abs0: float, starts_rel: np.ndarray,
+                  durs: np.ndarray) -> np.ndarray:
+    """Harvest power per interval, sampled at the interval midpoint."""
+    m = len(durs)
+    if bank.harvest_mode == HARVEST_NONE:
+        return np.zeros(m)
+    if bank.harvest_mode == HARVEST_CONST:
+        return np.full(m, bank.harvest_power)
+    mids = t_abs0 + starts_rel + 0.5 * durs
+    return np.asarray(bank.harvest_power_at(mids), dtype=np.float64)
+
+
+def _writeback(sim, bank: Bank, buffer, monitor, vbar: float, d: float,
+               vt: float, enabled: bool, time_abs: float, v_min: float,
+               energy: float) -> None:
+    sim.time = time_abs
+    sim._v_min_seen = v_min       # noqa: SLF001 — sim-internal
+    sim._energy_out = energy      # noqa: SLF001
+    monitor.force_enabled(enabled)
+    if bank.is_ideal:
+        buffer._v = vbar          # noqa: SLF001
+        buffer._i_last = (vbar - vt) / bank.esr if bank.esr > 0 else 0.0  # noqa: SLF001
+    else:
+        v_main, v_red = bank.from_modes(vbar, d)
+        buffer._v_main = v_main   # noqa: SLF001
+        buffer._v_redist = v_red  # noqa: SLF001
+        buffer._v_term = vt       # noqa: SLF001
+
+
+def advance_segments(sim, segments, harvesting: bool,
+                     stop_below: Optional[float]) -> Optional[float]:
+    """Advance ``sim`` through ``(current, duration)`` segments analytically.
+
+    Drop-in for the fastpath kernel's entry point: mutates the simulator,
+    buffer and monitor in place and returns the absolute brown-out time
+    if the terminal voltage crossed ``stop_below`` (stopping there), else
+    ``None``. ``segments`` may be a :class:`CurrentTrace` (best: its
+    fingerprint keys the program cache) or any iterable of runs. The
+    caller must have verified :func:`repro.segalg.model.supported`.
+    """
+    system = sim.system
+    bank = Bank.from_system(system, harvesting)
+    program = program_for(bank, segments)
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("segalg.calls").inc()
+
+    buffer = _resolve_buffer(system.buffer)
+    monitor = system.monitor
+    if bank.is_ideal:
+        vbar = buffer._v                                    # noqa: SLF001
+        vt = max(vbar - buffer._i_last * bank.esr, 0.0)     # noqa: SLF001
+        d = 0.0
+    else:
+        vbar, d = bank.to_modes(buffer._v_main,             # noqa: SLF001
+                                buffer._v_redist)           # noqa: SLF001
+        vt = buffer._v_term                                 # noqa: SLF001
+    enabled = monitor.output_enabled
+
+    t0 = sim.time
+    v_min = sim._v_min_seen        # noqa: SLF001
+    energy = sim._energy_out       # noqa: SLF001
+    stopping = stop_below is not None
+    stop_level = stop_below if stopping else 0.0
+    harv = bank.harvest_mode != HARVEST_NONE
+    v_rail = bank.v_max_in
+    cd = (not bank.is_ideal) and bool(bank.cd_pos)
+    tau_s = bank.tau_safe if not bank.is_ideal else 1.0
+
+    n = program.n
+    i_out_a = program.i_out
+    dur_a = program.dur
+    t_start_a = program.t_start
+    has_obs = bool(sim.observers)
+    if has_obs:
+        sim._refresh_observer_due()  # noqa: SLF001
+
+    idx = 0
+    off = 0.0
+    events = 0
+    span_len = SPAN_OPEN
+    stall_idx = -1
+    stall_n = 0
+    brown_time: Optional[float] = None
+
+    while idx < n:
+        pos = float(t_start_a[idx]) + off
+
+        # -- observer horizon / notification ------------------------------
+        horizon_rel: Optional[float] = None
+        burden = 0.0
+        if has_obs:
+            next_due = sim._next_observer_time()  # noqa: SLF001
+            if next_due is not None and next_due <= t0 + pos + 1e-12:
+                _writeback(sim, bank, buffer, monitor, vbar, d, vt,
+                           enabled, t0 + pos, v_min, energy)
+                sim._notify()                     # noqa: SLF001
+                next_due = sim._next_observer_time()  # noqa: SLF001
+            if next_due is not None and next_due > t0 + pos + 1e-12:
+                horizon_rel = next_due - t0
+            burden = sim._burden()                # noqa: SLF001
+
+        rem = float(dur_a[idx]) - off
+
+        # -- pinned-at-V_max regime ---------------------------------------
+        if harv and abs(vt - v_rail) <= PIN_EPS:
+            if (not enabled) and v_rail >= bank.v_high:
+                enabled = True
+                events += 1
+            # Batch the pin check across the whole span: the requirement
+            # only decays within a constant-current interval (branches
+            # fill toward the rail), so it is enough to test each
+            # interval's *start* — and with the terminal held at the
+            # rail the branch relaxation composes across intervals as
+            # one exponential in cumulative time, no recurrence needed.
+            durs, j = _clip_span(idx, rem, horizon_rel, pos, dur_a, n,
+                                 span_len)
+            m = j - idx
+            i_tot = i_out_a[idx:j] + burden
+            starts_rel = np.cumsum(durs) - durs
+            p_hs = _span_harvest(bank, t0 + pos, starts_rel, durs)
+            drawing = np.asarray(enabled & (i_tot > 0.0))
+            i_ins, _unused = bank.load_current(
+                np.full(m, v_rail), i_tot * bank.v_out, drawing)
+            avails = pin_available(bank, v_rail, p_hs)
+            if bank.is_ideal:
+                v_m0 = v_r0 = vbar
+                req = i_ins + bank.leak
+            else:
+                v_m0, v_r0 = bank.from_modes(vbar, d)
+                v_eq_m = v_rail - bank.leak * bank.r_esr
+                decay_m = np.exp(-starts_rel / (bank.r_esr * bank.c_main))
+                v_m_start = v_eq_m + (v_m0 - v_eq_m) * decay_m
+                if bank.has_red:
+                    decay_r = np.exp(
+                        -starts_rel / (bank.rr_safe * bank.cr_safe))
+                    v_r_start = v_rail + (v_r0 - v_rail) * decay_r
+                else:
+                    v_r_start = np.full(m, v_r0)
+                req = pin_required(bank, v_rail, v_m_start, v_r_start,
+                                   i_ins)
+            ok = req <= avails
+            kf = m if bool(ok.all()) else int(np.argmax(~ok))
+            if kf == m:
+                span_len = min(SPAN_CAP, span_len * 4)
+            else:
+                span_len = min(SPAN_CAP, max(8, 2 * (kf + 1)))
+            if kf > 0:
+                t_hold = float(np.sum(durs[:kf]))
+                v_m1, v_r1 = pinned_step(bank, v_rail, v_m0, v_r0, t_hold)
+                vbar, d = bank.to_modes(float(v_m1), float(v_r1))
+                vt = v_rail
+                energy += float(np.sum(i_ins[:kf] * durs[:kf])) * v_rail
+                consumed = float(durs[kf - 1])
+                idx_new = idx + kf - 1
+                off = (off if kf == 1 else 0.0) + consumed
+                idx = idx_new
+                if off >= float(dur_a[idx]) * (1.0 - 1e-12):
+                    idx += 1
+                    off = 0.0
+                continue
+            charging = True  # rail cannot be held: falls below, charging
+        elif harv and vt > v_rail + PIN_EPS:
+            charging = False  # above the rail: decay until resume event
+        else:
+            charging = harv
+
+        # -- build one span ------------------------------------------------
+        durs, j = _clip_span(idx, rem, horizon_rel, pos, dur_a, n,
+                             span_len)
+        m = j - idx
+        i_span = i_out_a[idx:j]
+        starts_rel = np.cumsum(durs) - durs
+        p_h_span = _span_harvest(bank, t0 + pos, starts_rel, durs)
+
+        sol = span_solve(bank, i_span, durs, p_h_span, vbar, d, vt,
+                         enabled, charging, burden=burden,
+                         stop_level=stop_level if stopping else None)
+        if sol.n < m:
+            # solver truncated past a deep brown-out: the kept prefix is
+            # guaranteed to contain the brown crossing the scan commits
+            m = sol.n
+            durs = durs[:m]
+            i_span = i_span[:m]
+            p_h_span = p_h_span[:m]
+
+        # -- event scan ----------------------------------------------------
+        lo, hi = interval_extrema(sol.v_start, sol.v_end, sol.vs_c_start,
+                                  sol.slope, sol.T, tau_s, cd, durs)
+        f_brown = (lo < stop_level) if stopping else None
+        f_moff = (lo < bank.v_off) if enabled else None
+        f_cap = (hi > v_rail) if charging else None
+        f_res = (lo < v_rail) if (harv and not charging) else None
+        f_mon = (hi >= bank.v_high) if not enabled else None
+        any_mask = np.zeros(m, dtype=bool)
+        for flag in (f_brown, f_moff, f_cap, f_res, f_mon):
+            if flag is not None:
+                any_mask |= flag
+
+        event = None
+        if any_mask.any():
+            e = int(np.argmax(any_mask))
+            de = float(durs[e])
+            v0 = float(sol.v_start[e])
+            v1 = float(sol.v_end[e])
+            curve = (float(sol.vs_c_start[e]), float(sol.slope[e]),
+                     float(sol.T[e]), tau_s, cd, de, v0, v1)
+            cands = []
+            if f_brown is not None and f_brown[e]:
+                t_c = _cross(stop_level, *curve, downward=True)
+                if t_c is not None:
+                    cands.append((t_c, 0, "brown"))
+            if f_moff is not None and f_moff[e]:
+                t_c = _cross(bank.v_off, *curve, downward=True)
+                if t_c is not None:
+                    cands.append((t_c, 1, "moff"))
+            if f_cap is not None and f_cap[e]:
+                t_c = _cross(v_rail, *curve, downward=False, strict0=True)
+                if t_c is not None:
+                    cands.append((t_c, 2, "cap"))
+            if f_res is not None and f_res[e]:
+                t_c = _cross(v_rail, *curve, downward=True)
+                if t_c is not None:
+                    cands.append((t_c, 3, "resume"))
+            if f_mon is not None and f_mon[e]:
+                t_c = _cross(bank.v_high, *curve, downward=False)
+                if t_c is not None:
+                    cands.append((t_c, 4, "mon_on"))
+            if cands:
+                cands.sort(key=lambda c: (c[0], c[1]))
+                event = (e, cands[0][0], cands[0][2])
+
+        if event is None:
+            # -- no event: commit the whole span --------------------------
+            span_len = min(SPAN_CAP, span_len * 4)
+            energy += float(np.sum(sol.i_in * sol.v_avg * durs))
+            v_min = min(v_min, float(np.min(lo)))
+            vbar = float(sol.vbar_end[-1])
+            d = float(sol.d_end[-1])
+            vt = float(sol.v_end[-1])
+            consumed = float(durs[m - 1])
+            idx_new = idx + m - 1
+            off = (off if m == 1 else 0.0) + consumed
+            idx = idx_new
+            if off >= float(dur_a[idx]) * (1.0 - 1e-12):
+                idx += 1
+                off = 0.0
+            continue
+
+        # -- event: commit prefix, then the partial interval ---------------
+        e, t_c, kind = event
+        events += 1
+        span_len = min(SPAN_CAP, max(8, 2 * (e + 1)))
+
+        # Backstop against rail livelock: if a cap event repeatedly fires
+        # at the very start of the same interval (pin rejected, yet the
+        # span immediately re-crosses the rail), the true trajectory is
+        # hovering at the rail — commit the interval remainder as a
+        # pinned hold instead of iterating forever.
+        if kind == "cap" and e == 0 and t_c <= float(durs[0]) * 1e-9:
+            if idx == stall_idx:
+                stall_n += 1
+            else:
+                # a hover on the previous interval makes another one
+                # likely: skip the repeat-detection grace period
+                stall_n = 3 if stall_idx == -2 else 1
+                stall_idx = idx
+            if stall_n >= 3:
+                hold = float(durs[0])
+                i_tot0 = float(i_span[0]) + burden
+                i_in0, _unused = bank.load_current(
+                    np.float64(v_rail), i_tot0 * bank.v_out,
+                    enabled and i_tot0 > 0.0)
+                if bank.is_ideal:
+                    v_m0h = v_r0h = vbar
+                else:
+                    v_m0h, v_r0h = bank.from_modes(vbar, d)
+                v_m1h, v_r1h = pinned_step(bank, v_rail, v_m0h, v_r0h,
+                                           hold)
+                vbar, d = bank.to_modes(float(v_m1h), float(v_r1h))
+                vt = v_rail
+                energy += float(i_in0) * v_rail * hold
+                stall_idx, stall_n = -2, 0  # -2: hover streak marker
+                off += hold
+                if off >= float(dur_a[idx]) * (1.0 - 1e-12):
+                    idx += 1
+                    off = 0.0
+                continue
+        else:
+            stall_idx, stall_n = -1, 0
+        if e > 0:
+            energy += float(np.sum(sol.i_in[:e] * sol.v_avg[:e] * durs[:e]))
+            v_min = min(v_min, float(np.min(lo[:e])))
+            vbar = float(sol.vbar_end[e - 1])
+            d = float(sol.d_end[e - 1])
+            vt = float(sol.v_end[e - 1])
+        if t_c > 0.0:
+            # Commit the partial interval along the *solved* span curve —
+            # the same curve the crossing time was bisected on, so the
+            # committed state is exactly the trajectory value at t_c.
+            vs0 = float(sol.vs_c_start[e])
+            sl = float(sol.slope[e])
+            T_e = float(sol.T[e]) if cd else 0.0
+            i_ext_e = float(sol.i_ext[e])
+            i_led_e = float(sol.i_led[e])
+            if cd:
+                ex = math.exp(-t_c / tau_s)
+                vt_c = vs0 + sl * t_c + T_e * ex
+                vt_avg_c = (vs0 + 0.5 * sl * t_c
+                            + T_e * tau_s * (1.0 - ex) / t_c)
+            else:
+                vt_c = vs0 + sl * t_c
+                vt_avg_c = vs0 + 0.5 * sl * t_c
+            energy += float(sol.i_in[e]) * vt_avg_c * t_c
+            lo_c = min(vt, vt_c)
+            t_st = _stationary(sl, T_e, tau_s, cd, t_c)
+            if t_st is not None:
+                lo_c = min(lo_c, vs0 + sl * t_st
+                           + T_e * math.exp(-t_st / tau_s))
+            v_min = min(v_min, lo_c)
+            if bank.is_ideal:
+                vbar = vt_c + i_ext_e * bank.esr
+                d = 0.0
+            else:
+                vbar = vbar - (i_led_e * t_c
+                               + bank.c_dec * (vt_c - vt)) / bank.c_s
+                if bank.has_red:
+                    d_eq = bank.deq_coef * i_ext_e + bank.deq_leak
+                    d = d_eq + (d - d_eq) * math.exp(-t_c * bank.inv_tau_r)
+                else:
+                    d = 0.0
+            vt = vt_c
+
+        off_base = off if e == 0 else 0.0
+        idx += e
+        off = off_base + t_c
+        if off >= float(dur_a[idx]) * (1.0 - 1e-12):
+            idx += 1
+            off = 0.0
+
+        if kind == "brown":
+            v_min = min(v_min, stop_level)
+            if stop_level <= bank.v_off:
+                enabled = False  # the monitor saw the same crossing
+            brown_time = t0 + float(t_start_a[idx]) + off if idx < n \
+                else t0 + program.duration
+            break
+        if kind == "moff":
+            enabled = False
+            v_min = min(v_min, bank.v_off)
+        elif kind == "mon_on":
+            enabled = True
+        elif kind in ("cap", "resume"):
+            vt = v_rail  # snap onto the rail: the pinned check re-decides
+
+    # -- final writeback ----------------------------------------------------
+    if brown_time is not None:
+        end_abs = brown_time
+    else:
+        end_abs = t0 + program.duration
+    _writeback(sim, bank, buffer, monitor, vbar, d, vt, enabled, end_abs,
+               v_min, energy)
+    if has_obs:
+        next_due = sim._next_observer_time()      # noqa: SLF001
+        if next_due is not None and next_due <= end_abs + 1e-12:
+            sim._notify()                         # noqa: SLF001
+
+    if obs is not None:
+        obs.metrics.counter("segalg.events_advanced").inc(events)
+        obs.metrics.histogram("segalg.events_per_advance",
+                              EVENT_COUNT_BUCKETS).observe(events)
+    return brown_time
+
+
+__all__ = ["PIN_EPS", "SPAN_CAP", "advance_segments"]

@@ -26,12 +26,22 @@ from repro.loads.trace import CurrentTrace
 from repro.obs import VOLTAGE_BUCKETS_V
 from repro.obs import current as _obs_current
 from repro.power.system import PowerSystem
+from repro.segalg import (
+    advance_segments as _segalg_advance,
+    supported as _segalg_supported,
+)
 from repro.sim.fastpath import advance_segments, supported as _fast_supported
 
 #: Process-wide default for ``PowerSystemSimulator(fast=...)``. The fast
 #: kernel is bit-exact with the reference loop, so it is on by default;
 #: benchmarks and equivalence tests flip it off via :func:`set_default_fast`.
 DEFAULT_FAST = True
+
+#: Process-wide default for ``PowerSystemSimulator(segalg=...)``. The
+#: segment-algebra core is a *different integrator* — it agrees with the
+#: stepping kernels only to method tolerances (~1e-4 V, see DESIGN §12)
+#: rather than bit-exactly — so it is opt-in, never silently on.
+DEFAULT_SEGALG = False
 
 
 def set_default_fast(value: bool) -> bool:
@@ -40,6 +50,15 @@ def set_default_fast(value: bool) -> bool:
     global DEFAULT_FAST
     old = DEFAULT_FAST
     DEFAULT_FAST = bool(value)
+    return old
+
+
+def set_default_segalg(value: bool) -> bool:
+    """Set the process-wide default for the segment-algebra core; returns
+    the old value (so callers can restore it)."""
+    global DEFAULT_SEGALG
+    old = DEFAULT_SEGALG
+    DEFAULT_SEGALG = bool(value)
     return old
 
 
@@ -105,11 +124,13 @@ class PowerSystemSimulator:
 
     def __init__(self, system: PowerSystem,
                  observers: Optional[List[EngineObserver]] = None,
-                 fast: Optional[bool] = None) -> None:
+                 fast: Optional[bool] = None,
+                 segalg: Optional[bool] = None) -> None:
         self.system = system
         self.observers: List[EngineObserver] = list(observers or [])
         self.time = 0.0
         self.fast = DEFAULT_FAST if fast is None else bool(fast)
+        self.segalg = DEFAULT_SEGALG if segalg is None else bool(segalg)
         self._v_min_seen = system.buffer.terminal_voltage
         self._energy_out = 0.0
         # Cached observer schedule: per-observer next due time plus their
@@ -214,6 +235,13 @@ class PowerSystemSimulator:
         return (self.fast and not self.observers
                 and _fast_supported(self.system))
 
+    def _use_segalg(self) -> bool:
+        """Whether the event-driven segment-algebra core should run in
+        place of any stepping loop: opted in, stock component types.
+        Unlike the fastpath, observers do not disqualify — their
+        due-times become events the algebra advances to exactly."""
+        return self.segalg and _segalg_supported(self.system)
+
     def _advance(self, i_out: float, duration: float, harvesting: bool,
                  stop_below: Optional[float]) -> Optional[float]:
         """Advance ``duration`` seconds at constant load current ``i_out``.
@@ -224,6 +252,9 @@ class PowerSystemSimulator:
         to it. The buffer sees the booster's input current minus any
         harvester charge current.
         """
+        if self._use_segalg():
+            return _segalg_advance(self, ((i_out, duration),), harvesting,
+                                   stop_below)
         if self._use_fast():
             return advance_segments(self, ((i_out, duration),), harvesting,
                                     stop_below)
@@ -361,7 +392,14 @@ class PowerSystemSimulator:
                 notes=["output booster disabled at task start"],
             )
 
-        if self._use_fast():
+        if self._use_segalg():
+            # Whole-trace algebra call: the trace object itself is passed
+            # so its fingerprint can key the segment-program cache.
+            hit = _segalg_advance(self, trace, harvesting, stop_level)
+            if hit is not None:
+                browned_out = True
+                brown_time = hit
+        elif self._use_fast():
             # Whole-trace kernel call: component state is hoisted once for
             # the entire trace, not once per segment.
             hit = advance_segments(self, trace.segments(), harvesting,

@@ -22,7 +22,8 @@ _SPEC.loader.exec_module(compare_mod)
 
 
 def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0,
-             fleet_speedup=15.0):
+             fleet_speedup=15.0, segalg_kernel_speedup=13.0,
+             segalg_fleet_speedup=6.0):
     return {
         "benchmark": "BENCH",
         "quick": False,
@@ -38,6 +39,10 @@ def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0,
         "fleet": {"speedup": fleet_speedup,
                   "scalar_s": 1.8, "fleet_s": 0.1,
                   "fleet_device_steps_per_s": 1.1e7},
+        "segalg_kernel": {"speedup": segalg_kernel_speedup,
+                          "fastpath_s": 0.074, "segalg_s": 0.0056},
+        "segalg_fleet": {"speedup": segalg_fleet_speedup,
+                         "stepping_s": 1.0, "segalg_s": 0.17},
     }
 
 

@@ -1,0 +1,75 @@
+"""``REPRO_SEGALG_BACKEND`` resolution: env parsing, numba fallback."""
+
+import pytest
+
+from repro.segalg import backends
+
+
+@pytest.fixture(autouse=True)
+def _fresh_resolution(monkeypatch):
+    monkeypatch.delenv(backends._ENV_VAR, raising=False)
+    backends.reset()
+    yield
+    backends.reset()
+
+
+def test_default_is_numpy():
+    assert backends.backend() == "numpy"
+
+
+def test_resolution_is_cached(monkeypatch):
+    assert backends.backend() == "numpy"
+    # a late env change is invisible until reset() re-reads it
+    monkeypatch.setenv(backends._ENV_VAR, "numba")
+    assert backends.backend() == "numpy"
+    backends.reset()
+    assert backends.backend() in ("numpy", "numba")
+
+
+@pytest.mark.parametrize("raw", ["", "  ", "cuda", "NUMPY ", "fortran"])
+def test_invalid_or_blank_requests_resolve_to_numpy(monkeypatch, raw):
+    monkeypatch.setenv(backends._ENV_VAR, raw)
+    backends.reset()
+    assert backends.backend() == "numpy"
+
+
+def test_numba_request_is_a_hint_not_a_dependency(monkeypatch):
+    # on containers without numba this exercises the silent fallback; on
+    # machines with numba it resolves to the real backend — both are
+    # valid outcomes, and neither may raise
+    monkeypatch.setenv(backends._ENV_VAR, "numba")
+    backends.reset()
+    resolved = backends.backend()
+    assert resolved in ("numpy", "numba")
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        assert resolved == "numpy"
+
+
+def test_jit_is_identity_under_numpy():
+    assert backends.backend() == "numpy"
+
+    def f(x):
+        return x + 1
+
+    assert backends.jit(f) is f
+
+
+def test_jit_result_is_callable_under_any_backend(monkeypatch):
+    monkeypatch.setenv(backends._ENV_VAR, "numba")
+    backends.reset()
+
+    def f(x):
+        return x * 2.0
+
+    assert backends.jit(f)(3.0) == 6.0
+
+
+def test_reset_clears_cached_jit(monkeypatch):
+    monkeypatch.setenv(backends._ENV_VAR, "numba")
+    backends.reset()
+    backends.backend()
+    backends.reset()
+    assert backends._resolved is None
+    assert backends._numba_jit is None
