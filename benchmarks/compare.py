@@ -136,12 +136,7 @@ def render(rows: list) -> str:
 
 
 def default_baseline() -> str:
-    """The checked-in baseline, ``BENCH.json``.
-
-    The legacy ``BENCH_PR1.json`` file is kept in-tree as a historical
-    record but is no longer consulted — it predates the segalg metrics
-    this gate now requires.
-    """
+    """The checked-in baseline, ``BENCH.json``."""
     root = Path(__file__).resolve().parent.parent
     return str(root / "BENCH.json")
 

@@ -12,6 +12,11 @@ Usage::
     python -m repro chaos --replay chaos-case.json  # re-run a chaos case
     python -m repro fleet --devices 1000 --jobs 4   # vectorized fleet run
     python -m repro fleet --devices 64 --check 8    # + differential check
+    python -m repro env generate --devices 64 --front-delay 0.1 \\
+        --out sky.npz                               # record an environment
+    python -m repro env inspect sky.npz             # summary JSON
+    python -m repro env replay sky.npz --check 8    # fleet under that sky
+    python -m repro fleet --devices 64 --env sky.npz  # fleet + recorded env
     python -m repro trace ps --trials 1             # traced app run
     python -m repro stats obs-out/metrics.json      # render the snapshot
 
@@ -25,9 +30,12 @@ jitter) against the hardened runtime and exits non-zero if any gated task
 browns out or livelocks; ``fleet`` expands one base plant into N seeded
 jittered devices, steps them all through a shared-firmware program on
 the vectorized kernel, and can differentially cross-check sampled
-devices against the scalar kernel; ``trace`` re-runs an app or experiment with the
-observability layer on, leaving a JSONL trace and a metrics snapshot
-behind; ``stats`` renders such a snapshot.
+devices against the scalar kernel; ``env`` records parametric harvesting
+environments (diurnal solar with cloud transients, kinetic bursts, thermal
+gradients behind an MPPT front-end) as compact fingerprinted ``.npz``
+fleet traces and replays them through the fleet engines; ``trace`` re-runs
+an app or experiment with the observability layer on, leaving a JSONL
+trace and a metrics snapshot behind; ``stats`` renders such a snapshot.
 """
 
 from __future__ import annotations
@@ -188,7 +196,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     report = run_verification(
         args.trials, seed=args.seed, jobs=args.jobs,
         tolerance=args.tolerance, conservative_margin=args.margin,
-        failures_dir=args.failures_dir, **kwargs,
+        failures_dir=args.failures_dir, env_axis=args.env_axis, **kwargs,
     )
     print(report.render())
     if args.report is not None:
@@ -249,7 +257,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report = run_campaign(
             args.trials, seed=args.seed, jobs=args.jobs,
             injectors=injectors, apps=apps, horizon=args.horizon,
-            cases_dir=args.cases_dir, **kwargs,
+            cases_dir=args.cases_dir, env_axis=args.env_axis, **kwargs,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -289,6 +297,24 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(f"unknown estimator {args.estimator!r}", file=sys.stderr)
         print(f"choose from: {', '.join(KNOWN_ESTIMATORS)}", file=sys.stderr)
         return 2
+    env_spec = None
+    if args.env is not None:
+        from repro.env import load_trace
+
+        try:
+            env_trace = load_trace(args.env)
+        except (ValueError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if env_trace.spec is None:
+            print(f"{args.env}: recorded trace carries no generating spec",
+                  file=sys.stderr)
+            return 2
+        if args.harvest_period > 0:
+            print("--env and --harvest-period are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        env_spec = env_trace.spec
     try:
         spec = FleetSpec(
             devices=args.devices,
@@ -298,6 +324,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             esr_jitter=args.esr_jitter,
             capacitance_jitter=args.cap_jitter,
             harvest_jitter=args.harvest_jitter,
+            env=env_spec,
         )
         outcomes = run_fleet_raw(
             spec, app=args.app, cycles=args.cycles,
@@ -331,6 +358,105 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.fail_on_unsafe and not report.ok:
         return 1
     return 0
+
+
+def _env_spec_from_args(args: argparse.Namespace):
+    """Build an :class:`~repro.env.EnvSpec` from ``repro env`` flags."""
+    from repro.env import EnvSpec
+
+    return EnvSpec(
+        model=args.model,
+        mppt=args.mppt,
+        duration=args.duration,
+        seed=args.env_seed,
+        peak_power=args.peak_power * 1e-3,
+        period=args.period if args.period is not None else args.duration,
+        cloud_rate=args.cloud_rate,
+        front_delay=args.front_delay,
+        grid_dt=args.grid_dt,
+    )
+
+
+def cmd_env(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.env import generate_fleet_trace, load_trace, save_trace
+
+    if args.verb == "generate":
+        try:
+            spec = _env_spec_from_args(args)
+            trace = generate_fleet_trace(spec, args.devices)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        save_trace(args.out, trace)
+        summary = trace.summary()
+        print(f"wrote {args.out}: {summary['devices']} device(s), "
+              f"{summary['pieces']} piece(s), {summary['duration_s']:.1f} s, "
+              f"fingerprint {summary['fingerprint']}")
+        return 0
+
+    if args.verb == "inspect":
+        try:
+            trace = load_trace(args.trace)
+        except (ValueError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(json.dumps(trace.summary(), indent=2, sort_keys=True))
+        return 0
+
+    # replay: re-run the recorded environment through the fleet engine
+    from repro.fleet import (
+        FleetSpec,
+        cross_check,
+        run_fleet_raw,
+        sample_indices,
+        summarize,
+    )
+
+    try:
+        trace = load_trace(args.trace)
+    except (ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if trace.spec is None:
+        print(f"{args.trace}: recorded trace carries no generating spec — "
+              f"replay needs one to rebuild the fleet", file=sys.stderr)
+        return 2
+    regenerated = generate_fleet_trace(trace.spec, trace.devices)
+    if regenerated.fingerprint != trace.fingerprint:
+        print(f"{args.trace}: recorded fingerprint {trace.fingerprint} does "
+              f"not match regeneration {regenerated.fingerprint}",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = FleetSpec(devices=trace.devices, seed=args.seed,
+                         env=trace.spec)
+        outcomes = run_fleet_raw(
+            spec, app=args.app, cycles=args.cycles,
+            estimator=args.estimator, horizon=args.horizon,
+            jobs=args.jobs, engine=args.engine,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = summarize(outcomes)
+    print(report.render())
+
+    check_failed = False
+    if args.check > 0:
+        indices = sample_indices(spec.devices, args.check, spec.seed)
+        result = cross_check(outcomes, indices)
+        print()
+        print(result.render())
+        check_failed = not result.ok
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 1 if check_failed else 0
 
 
 #: App aliases accepted by ``repro trace`` (the paper's three applications).
@@ -477,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory for shrunk repro cases "
                                "(default verify-failures/; created only "
                                "on failure)")
+    p_verify.add_argument("--env-axis", action="store_true",
+                          help="attach a randomized harvesting environment "
+                               "(lowered to a recorded trace) per trial and "
+                               "run admission with the charger on; ground "
+                               "truth stays the dark-plant search")
     p_verify.add_argument("--replay", metavar="CASE.json", default=None,
                           help="re-run one persisted repro case and exit")
     p_verify.set_defaults(fn=cmd_verify)
@@ -511,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for replayable unsafe-trial cases "
                               "(default chaos-cases/; created only when a "
                               "trial is unsafe)")
+    p_chaos.add_argument("--env-axis", action="store_true",
+                         help="swap each trial's constant harvester for a "
+                              "randomized environment trace (clouds, "
+                              "bursts, thermal ramps) the injectors "
+                              "compose with")
     p_chaos.add_argument("--replay", metavar="CASE.json", default=None,
                          help="re-run one persisted chaos case and exit")
     p_chaos.add_argument("--expect-unsafe", action="store_true",
@@ -559,6 +695,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--harvest-jitter", type=float, default=0.25,
                          help="per-device harvest spread half-width "
                               "(default 0.25)")
+    p_fleet.add_argument("--env", metavar="FILE", default=None,
+                         help="drive the fleet from a recorded environment "
+                              "(.npz from `repro env generate`): the "
+                              "file's spec regenerates one correlated "
+                              "power column per device, replacing the "
+                              "built-in constant/solar harvest model "
+                              "(excludes --harvest-period)")
     p_fleet.add_argument("--engine", default="stepping",
                          choices=["stepping", "segalg"],
                          help="simulation engine: the stepping kernel "
@@ -577,6 +720,84 @@ def build_parser() -> argparse.ArgumentParser:
                               "livelocked (a deployment finding, not a "
                               "harness failure — off by default)")
     p_fleet.set_defaults(fn=cmd_fleet)
+
+    p_env = sub.add_parser(
+        "env",
+        help="harvesting environments: generate, inspect, replay recorded "
+             "fleet traces")
+    env_sub = p_env.add_subparsers(dest="verb", required=True)
+
+    p_gen = env_sub.add_parser(
+        "generate",
+        help="expand an environment spec into a correlated fleet trace "
+             "(.npz, byte-deterministic)")
+    p_gen.add_argument("--model", default="diurnal-solar",
+                       help="environment model (diurnal-solar, "
+                            "kinetic-burst, thermal-gradient)")
+    p_gen.add_argument("--mppt", default="voc-fraction",
+                       help="harvester front-end (constant-voltage, "
+                            "voc-fraction, perturb-observe)")
+    p_gen.add_argument("--duration", type=float, default=240.0,
+                       help="recording length in seconds (default 240)")
+    p_gen.add_argument("--env-seed", type=int, default=0, metavar="SEED",
+                       help="environment transient seed (default 0)")
+    p_gen.add_argument("--peak-power", type=float, default=4.0, metavar="MW",
+                       help="full-sun maximum-power-point output in mW "
+                            "(default 4.0)")
+    p_gen.add_argument("--period", type=float, default=None,
+                       help="model period in seconds (default: duration)")
+    p_gen.add_argument("--cloud-rate", type=float, default=4.0,
+                       help="cloud transients per diurnal period "
+                            "(default 4.0)")
+    p_gen.add_argument("--devices", type=int, default=64, metavar="N",
+                       help="fleet size — one power column per device "
+                            "(default 64)")
+    p_gen.add_argument("--front-delay", type=float, default=0.0,
+                       metavar="SEC",
+                       help="per-device environment delay: a weather front "
+                            "sweeping the fleet in index order (default 0 "
+                            "= every device under the same sky)")
+    p_gen.add_argument("--grid-dt", type=float, default=0.25, metavar="SEC",
+                       help="shared fleet trace grid step (default 0.25)")
+    p_gen.add_argument("--out", metavar="FILE", default="env-trace.npz",
+                       help="output path (default env-trace.npz)")
+    p_gen.set_defaults(fn=cmd_env)
+
+    p_ins = env_sub.add_parser(
+        "inspect", help="print a recorded trace's summary as JSON")
+    p_ins.add_argument("trace", help="path to a .npz written by "
+                                     "`repro env generate`")
+    p_ins.set_defaults(fn=cmd_env)
+
+    p_rep = env_sub.add_parser(
+        "replay",
+        help="verify a recorded trace against its spec and run the fleet "
+             "under it")
+    p_rep.add_argument("trace", help="path to a .npz written by "
+                                     "`repro env generate`")
+    p_rep.add_argument("--seed", type=int, default=0,
+                       help="fleet device-jitter seed (default 0)")
+    p_rep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1; reports are "
+                            "byte-identical for any N)")
+    p_rep.add_argument("--app", default="sense-store",
+                       help="shared firmware program (default sense-store)")
+    p_rep.add_argument("--cycles", type=int, default=2, metavar="N",
+                       help="program repetitions per device (default 2)")
+    p_rep.add_argument("--estimator", default="culpeo-pg",
+                       help="gate estimator (default culpeo-pg)")
+    p_rep.add_argument("--horizon", type=float, default=120.0,
+                       help="per-device time budget in seconds "
+                            "(default 120)")
+    p_rep.add_argument("--engine", default="stepping",
+                       choices=["stepping", "segalg"],
+                       help="simulation engine (default stepping)")
+    p_rep.add_argument("--check", type=int, default=0, metavar="N",
+                       help="differential mode: re-run N sampled devices "
+                            "on the scalar kernel (exit 1 on mismatch)")
+    p_rep.add_argument("--report", metavar="FILE", default=None,
+                       help="also write the structured report as JSON")
+    p_rep.set_defaults(fn=cmd_env)
 
     p_trace = sub.add_parser(
         "trace",

@@ -1,0 +1,88 @@
+"""Spatio-temporal correlation: one environment swept across a fleet.
+
+A deployment does not see ten thousand independent skies — it sees one
+sky arriving at different times. This module models that as a **moving
+front**: device ``i`` experiences the base environment delayed by
+``front_delay * i`` seconds (devices indexed along the front's travel
+direction), so a cloud transient sweeps the fleet in index order at a
+fixed speed.
+
+The fleet representation is a *shared* uniform edge grid
+(``grid_dt``-spaced, covering the spec duration) with one power column
+per device. Delays are quantized to whole grid steps, which keeps every
+device's column a pure shift of the shared base samples: the sharded
+fleet runner regenerates columns per worker from the spec alone and
+gets byte-identical arrays in every process, because each column is
+``base[max(k - shift_i, 0)]`` — no per-device float arithmetic that
+could reorder.
+
+Before the front arrives, a device holds the environment's initial
+value (the sky it was already under), mirroring the trace semantics of
+clamp-before-start.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def base_grid(spec) -> tuple:
+    """Shared uniform edges + base power samples for ``spec``.
+
+    Returns ``(edges, base)``: ``edges`` has ``K + 1`` entries spanning
+    at least ``spec.duration``; ``base[k]`` is the front-end power for
+    piece ``[edges[k], edges[k+1])``, sampled at the piece midpoint for
+    stateless front-ends and sequentially at piece starts for stateful
+    ones (one tracker sample per piece).
+    """
+    grid_dt = spec.grid_dt
+    pieces = max(1, int(np.ceil(spec.duration / grid_dt - 1e-12)))
+    edges = np.arange(pieces + 1, dtype=np.float64) * grid_dt
+    model = spec.build_model(horizon=float(edges[-1]))
+    pv = spec.build_transducer()
+    mppt = spec.build_mppt()
+    mppt.reset()
+    base = np.empty(pieces, dtype=np.float64)
+    if mppt.stateful:
+        for k in range(pieces):
+            base[k] = mppt.harvest_power(pv, model.intensity(k * grid_dt))
+    else:
+        for k in range(pieces):
+            mid = (k + 0.5) * grid_dt
+            base[k] = mppt.harvest_power(pv, model.intensity(mid))
+    return edges, base
+
+
+def device_shifts(spec, devices: int) -> np.ndarray:
+    """Per-device delay in whole grid steps (front arrival order)."""
+    raw = spec.front_delay * np.arange(devices, dtype=np.float64)
+    return np.rint(raw / spec.grid_dt).astype(np.int64)
+
+
+def fleet_columns(spec, devices: int) -> tuple:
+    """``(edges, powers)`` for a correlated fleet of ``devices``.
+
+    ``edges`` is the shared 1-D grid; ``powers`` is ``[devices, K]``
+    with row ``i`` the base samples delayed by ``i``'s quantized front
+    delay. A pure function of ``(spec, devices)``.
+    """
+    if devices < 0:
+        raise ValueError(f"devices must be >= 0, got {devices}")
+    edges, base = base_grid(spec)
+    pieces = len(base)
+    powers = np.empty((devices, pieces), dtype=np.float64)
+    if devices == 0:
+        return edges, powers
+    shifts = device_shifts(spec, devices)
+    for shift in np.unique(shifts):
+        rows = shifts == shift
+        s = int(min(shift, pieces))
+        if s == 0:
+            powers[rows] = base
+        else:
+            powers[rows, :s] = base[0]
+            powers[rows, s:] = base[:pieces - s]
+    return edges, powers
+
+
+__all__ = ["base_grid", "device_shifts", "fleet_columns"]

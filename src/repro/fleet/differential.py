@@ -123,7 +123,7 @@ def run_device_scalar(params: FleetParams, index: int, app: str,
         advance = fastpath.advance_segments
     buffer = system.buffer
     program = build_program(app, cycles=cycles)
-    solar = spec.harvest_period > 0
+    time_varying = spec.harvest_period > 0 or spec.env is not None
 
     outcome = "completed"
     tasks_committed = 0
@@ -148,7 +148,7 @@ def run_device_scalar(params: FleetParams, index: int, app: str,
                 stall = 0
             else:
                 stall += 1
-            if not solar and stall >= STALL_CHUNKS \
+            if not time_varying and stall >= STALL_CHUNKS \
                     and buffer.terminal_voltage < gate_v:
                 outcome = "livelock"
                 pending = False

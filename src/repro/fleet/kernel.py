@@ -222,6 +222,13 @@ def advance(state: FleetState, segments: Iterable[Tuple[float, float]],
 
     if not harvesting:
         harvest_mode = 0
+    elif params.harvest_edges is not None:
+        # Environment replay: shared piece edges, per-device columns.
+        harvest_mode = 3
+        h_edges = params.harvest_edges
+        h_powers = params.harvest_powers
+        hp_last = h_powers.shape[1] - 1
+        h_rows = np.arange(n)
     elif spec.harvest_period <= 0:
         harvest_mode = 1
     else:
@@ -279,6 +286,14 @@ def advance(state: FleetState, segments: Iterable[Tuple[float, float]],
                 else:
                     if harvest_mode == 1:
                         p_h = p_harvest
+                    elif harvest_mode == 3:
+                        # Piece containing each device's current time —
+                        # the same lookup the scalar fastpath's forward
+                        # pointer performs, so the floats match exactly.
+                        h_idx = np.searchsorted(h_edges, time,
+                                                side="right") - 1
+                        h_idx = np.clip(h_idx, 0, hp_last)
+                        p_h = h_powers[h_rows, h_idx]
                     else:
                         p_h = p_harvest * np.maximum(
                             0.0, np.sin(omega * time + phase))
@@ -301,6 +316,15 @@ def advance(state: FleetState, segments: Iterable[Tuple[float, float]],
                 dt = np.minimum(dt, stable)
                 dt = np.minimum(dt, _MAX_IDLE_DT)
                 dt = np.minimum(dt, remaining)
+                if harvest_mode == 3:
+                    # Clamp at the next harvest edge — the same value at
+                    # the same point of the min chain as the scalar
+                    # fastpath, so both kernels land on the edge exactly
+                    # (the _MIN_DT floor below may overshoot it by at
+                    # most a microsecond on both paths alike).
+                    next_edge = h_edges[h_idx + 1]
+                    gap = next_edge - time
+                    dt = np.where((time < next_edge) & (gap < dt), gap, dt)
                 dt = np.maximum(dt, np.minimum(_MIN_DT, remaining))
 
                 # two-branch buffer step (TwoBranchSupercap.step)

@@ -135,7 +135,10 @@ def _run_shard(job: _ShardJob) -> dict:
     brown_task = [""] * n
     # Devices still walking the program (not dead, not given up).
     pending = np.ones(n, dtype=bool)
-    solar = spec.harvest_period > 0
+    # Time-varying harvest (built-in solar or an environment trace):
+    # equilibrium-below-gate is never declared — power may return —
+    # so only the horizon ends a charge wait.
+    time_varying = spec.harvest_period > 0 or spec.env is not None
 
     for task in program.tasks:
         if not pending.any():
@@ -159,7 +162,7 @@ def _run_shard(job: _ShardJob) -> dict:
             step(state, ((0.0, CHARGE_CHUNK),), True, None, active=need)
             progressed = state.v_term > v_before + PROGRESS_EPS
             stall = np.where(need & ~progressed, stall + 1, 0)
-            if not solar:
+            if not time_varying:
                 stuck = need & (stall >= STALL_CHUNKS) \
                     & (state.v_term < gate_v)
                 if stuck.any():

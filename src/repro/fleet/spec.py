@@ -30,8 +30,15 @@ from repro.power.booster import (
     LinearEfficiency,
     OutputBooster,
 )
+from repro.env.correlate import base_grid, fleet_columns
+from repro.env.spec import EnvSpec
+from repro.env.trace_io import trace_fingerprint
 from repro.power.capacitor import TwoBranchSupercap
-from repro.power.harvester import ConstantPowerHarvester, SolarHarvester
+from repro.power.harvester import (
+    ConstantPowerHarvester,
+    SolarHarvester,
+    TraceHarvester,
+)
 from repro.power.monitor import VoltageMonitor
 from repro.power.system import PowerSystem, capybara_power_system
 
@@ -72,8 +79,14 @@ class FleetSpec:
     capacitance_jitter: float = 0.05
     harvest_jitter: float = 0.25
     eta_jitter: float = 0.02
+    # -- recorded/parametric environment (overrides harvest_power/period) --
+    env: Optional[EnvSpec] = None
 
     def __post_init__(self) -> None:
+        if self.env is not None and self.harvest_period > 0:
+            raise ValueError(
+                "env and harvest_period are mutually exclusive — the "
+                "environment engine replaces the built-in solar profile")
         if self.devices < 0:
             raise ValueError(f"devices must be >= 0, got {self.devices}")
         if self.harvest_power < 0:
@@ -94,7 +107,7 @@ class FleetSpec:
         """True when every device is an exact copy of the base plant."""
         return (self.esr_jitter == 0 and self.capacitance_jitter == 0
                 and self.harvest_jitter == 0 and self.eta_jitter == 0
-                and self.harvest_period == 0)
+                and self.harvest_period == 0 and self.env is None)
 
     def to_dict(self) -> dict:
         data = asdict(self)
@@ -108,15 +121,23 @@ class FleetSpec:
             raise ValueError(f"not a fleet spec: {data.get('format')!r}")
         fields = {k: v for k, v in data.items()
                   if k not in ("format", "version")}
+        if fields.get("env") is not None:
+            fields["env"] = EnvSpec.from_dict(fields["env"])
         return cls(**fields)
 
     def base_system(self) -> PowerSystem:
         """The un-jittered base plant (what the shared firmware is gated
         against), rested at V_high."""
-        harvester = (ConstantPowerHarvester(self.harvest_power)
-                     if self.harvest_period <= 0
-                     else SolarHarvester(peak=self.harvest_power,
-                                         period=self.harvest_period))
+        if self.env is not None:
+            # The un-shifted, un-jittered environment on the fleet's
+            # shared grid — the same floats device columns derive from.
+            edges, base = base_grid(self.env)
+            harvester: object = TraceHarvester(edges, base)
+        elif self.harvest_period <= 0:
+            harvester = ConstantPowerHarvester(self.harvest_power)
+        else:
+            harvester = SolarHarvester(peak=self.harvest_power,
+                                       period=self.harvest_period)
         system = capybara_power_system(
             datasheet_capacitance=self.datasheet_capacitance,
             capacitance_tolerance=self.capacitance_tolerance,
@@ -160,6 +181,16 @@ class FleetSpec:
                 "c_decoupling")
         r_esr = self.dc_esr * esr_f
         eta_defaults = CurvedEfficiency()
+        harvest_edges = harvest_powers = None
+        harvest_fp = ""
+        if self.env is not None:
+            # Correlated environment: shared grid, per-device columns,
+            # each scaled by the device's harvest jitter factor (site
+            # shading). Regenerated identically in every shard worker —
+            # the columns never travel between processes.
+            harvest_edges, columns = fleet_columns(self.env, n)
+            harvest_powers = columns * harv_f[:, None]
+            harvest_fp = trace_fingerprint(harvest_edges, harvest_powers)
         return FleetParams(
             spec=self,
             c_main=c_main,
@@ -171,6 +202,9 @@ class FleetSpec:
             eta_base=eta_defaults.base * eta_f,
             p_harvest=self.harvest_power * harv_f,
             phase=(phase if self.harvest_period > 0 else np.zeros(n)),
+            harvest_edges=harvest_edges,
+            harvest_powers=harvest_powers,
+            harvest_fp=harvest_fp,
         )
 
 
@@ -193,6 +227,11 @@ class FleetParams:
     eta_base: np.ndarray
     p_harvest: np.ndarray
     phase: np.ndarray
+    # Environment replay (spec.env only): shared piece edges, one power
+    # column per device, and the content fingerprint of the whole batch.
+    harvest_edges: Optional[np.ndarray] = None
+    harvest_powers: Optional[np.ndarray] = None
+    harvest_fp: str = ""
 
     @property
     def n(self) -> int:
@@ -217,10 +256,19 @@ class FleetParams:
             eta_base=self.eta_base[start:stop],
             p_harvest=self.p_harvest[start:stop],
             phase=self.phase[start:stop],
+            harvest_edges=self.harvest_edges,
+            harvest_powers=(None if self.harvest_powers is None
+                            else self.harvest_powers[start:stop]),
+            harvest_fp=self.harvest_fp,
         )
 
     def device_harvester(self, i: int):
         spec = self.spec
+        if self.harvest_edges is not None:
+            # The device's environment column, verbatim — the scalar
+            # plant replays the same floats the fleet kernels hold.
+            return TraceHarvester(self.harvest_edges,
+                                  self.harvest_powers[i])
         if spec.harvest_period > 0:
             return SolarHarvester(peak=float(self.p_harvest[i]),
                                   period=spec.harvest_period,

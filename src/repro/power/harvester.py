@@ -9,8 +9,11 @@ profiles for robustness experiments.
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Iterable, Protocol, Tuple, runtime_checkable
+
+import numpy as np
 
 
 @runtime_checkable
@@ -61,6 +64,155 @@ class SolarHarvester:
     def power_at(self, t: float) -> float:
         return self.peak * max(0.0, math.sin(2.0 * math.pi * t / self.period
                                              + self.phase))
+
+
+class TraceHarvester:
+    """Recorded (or lowered) harvest: piecewise-constant power over time.
+
+    This is the representation every kernel consumes natively — the
+    environment engine (:mod:`repro.env`) lowers its parametric models
+    into one of these, and the simulation layers (reference loop, scalar
+    fastpath, segment algebra, fleet kernels) treat the piece edges as
+    exact breakpoints instead of sampling through them.
+
+    Semantics: ``edges`` is a strictly increasing float array starting at
+    0.0 with ``len(powers) + 1`` entries; piece ``k`` holds ``powers[k]``
+    on ``[edges[k], edges[k+1])``. Queries before 0 clamp to the first
+    piece; queries at or past the last edge hold the final power (a
+    recorded trace ends, the sky does not switch off). ``power_at`` is a
+    pure array lookup, so the reference loop and the fastpath see the
+    identical float at the identical time — a bit-identity requirement.
+
+    The content fingerprint (a digest of the canonical edge/power arrays)
+    doubles as the cache identity: it keys both the segment-program cache
+    and the VsafeCache through ``PowerSystem.config_key``, so two
+    harvesters lowered from the same environment share cached work across
+    processes.
+    """
+
+    __slots__ = ("edges", "powers", "_fingerprint")
+
+    def __init__(self, edges: np.ndarray, powers: np.ndarray) -> None:
+        edges = np.asarray(edges, dtype=np.float64)
+        powers = np.asarray(powers, dtype=np.float64)
+        if edges.ndim != 1 or powers.ndim != 1:
+            raise ValueError("edges and powers must be 1-D arrays")
+        if len(edges) != len(powers) + 1:
+            raise ValueError(
+                f"need len(edges) == len(powers) + 1, got "
+                f"{len(edges)} edges for {len(powers)} powers")
+        if len(powers) == 0:
+            raise ValueError("a harvest trace needs at least one piece")
+        if edges[0] != 0.0:
+            raise ValueError(f"edges must start at 0.0, got {edges[0]}")
+        if not np.all(np.diff(edges) > 0.0):
+            raise ValueError("edges must be strictly increasing")
+        if np.any(powers < 0.0) or not np.all(np.isfinite(powers)):
+            raise ValueError("powers must be finite and non-negative")
+        self.edges = edges
+        self.powers = powers
+        self._fingerprint: str = ""
+
+    @classmethod
+    def from_pieces(cls, pieces: Iterable[Tuple[float, float]]
+                    ) -> "TraceHarvester":
+        """Build from ``(power_watts, duration_s)`` runs.
+
+        Zero-duration pieces are dropped and equal-power neighbours are
+        merged, so two descriptions of the same physical profile produce
+        the same arrays — and therefore the same fingerprint.
+        """
+        merged: list = []
+        for power, duration in pieces:
+            power = float(power)
+            duration = float(duration)
+            if duration < 0:
+                raise ValueError(f"negative piece duration {duration}")
+            if duration == 0.0:
+                continue
+            if merged and merged[-1][0] == power:
+                merged[-1][1] += duration
+            else:
+                merged.append([power, duration])
+        if not merged:
+            raise ValueError("a harvest trace needs at least one piece")
+        powers = np.array([p for p, _ in merged], dtype=np.float64)
+        durations = np.array([d for _, d in merged], dtype=np.float64)
+        edges = np.concatenate(([0.0], np.cumsum(durations)))
+        return cls(edges, powers)
+
+    @property
+    def duration(self) -> float:
+        """Recorded span in seconds (the final power holds past it)."""
+        return float(self.edges[-1])
+
+    @property
+    def max_power(self) -> float:
+        return float(self.powers.max())
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the canonical arrays (cache identity)."""
+        if not self._fingerprint:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(b"repro.harvest-trace-v1")
+            digest.update(self.edges.tobytes())
+            digest.update(self.powers.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def power_at(self, t: float) -> float:
+        """Piece lookup: clamp-before-start, hold-last-after-end."""
+        idx = int(np.searchsorted(self.edges, t, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        elif idx >= len(self.powers):
+            idx = len(self.powers) - 1
+        return float(self.powers[idx])
+
+    def next_boundary(self, t: float) -> float:
+        """First piece edge strictly after ``t`` (``inf`` past the end)."""
+        idx = int(np.searchsorted(self.edges, t, side="right"))
+        if idx >= len(self.edges):
+            return math.inf
+        return float(self.edges[idx])
+
+    def max_power_after(self, t: float) -> float:
+        """Largest power from the piece containing ``t`` onward.
+
+        Distinguishes a recorded lull (more power coming) from a trace
+        that has genuinely gone dark — charge loops bail out only on the
+        latter.
+        """
+        idx = int(np.searchsorted(self.edges, t, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        elif idx >= len(self.powers):
+            idx = len(self.powers) - 1
+        return float(self.powers[idx:].max())
+
+    def energy(self, duration: float) -> float:
+        """Exact ``∫ P dt`` over ``[0, duration]`` (holds the last power)."""
+        if duration <= 0.0:
+            return 0.0
+        clipped = np.minimum(self.edges, duration)
+        pieces = float(np.sum(self.powers * np.diff(clipped)))
+        if duration > self.duration:
+            pieces += float(self.powers[-1]) * (duration - self.duration)
+        return pieces
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceHarvester):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    def __repr__(self) -> str:
+        return (f"TraceHarvester(pieces={len(self.powers)}, "
+                f"duration={self.duration:.3f}s, "
+                f"max={self.max_power:.4g}W)")
 
 
 class CallableHarvester:

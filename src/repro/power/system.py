@@ -34,6 +34,7 @@ from repro.power.harvester import (
     ConstantPowerHarvester,
     Harvester,
     NullHarvester,
+    TraceHarvester,
 )
 from repro.power.monitor import VoltageMonitor
 from repro.units import OperatingRange
@@ -79,6 +80,10 @@ class PowerSystem:
             harvester_key: tuple = ("null",)
         elif isinstance(harvester, ConstantPowerHarvester):
             harvester_key = ("const", harvester.power)
+        elif isinstance(harvester, TraceHarvester):
+            # Content-addressed: two systems replaying the same recorded
+            # environment share VsafeCache entries across processes.
+            harvester_key = ("trace", harvester.fingerprint)
         else:
             harvester_key = ("harv-id", id(harvester))
         return ("power-system",

@@ -102,6 +102,11 @@ class CampaignConfig:
     stall_tolerance: int = 6
     dropout_grace: float = 5.0
     stuck_limit: int = 3
+    #: Environment scenario axis: replace the constant harvester with a
+    #: per-trial environment lowered to a recorded trace. Opt-in — the
+    #: extra draws come from their own RNG stream, so campaigns with the
+    #: axis off keep their seeded outcomes byte for byte.
+    env_axis: bool = False
 
     def combos(self) -> List[Tuple[str, str, dict]]:
         """The (app, estimator, injector) grid trials cycle through."""
@@ -178,7 +183,8 @@ def _classify(report: ExecutionReport, gate: AdaptiveGate,
 def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
                   injector_dict: dict, *, horizon: float,
                   stall_tolerance: int, dropout_grace: float,
-                  stuck_limit: int) -> ChaosTrialOutcome:
+                  stuck_limit: int,
+                  env_axis: bool = False) -> ChaosTrialOutcome:
     """Run one fully resolved chaos trial (shared by campaign and replay)."""
     from repro.sim.engine import PowerSystemSimulator
     from repro.verify.runner import build_estimator
@@ -189,11 +195,26 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
     # Randomized Capybara-class plant. The capacitance stays under 50 mF
     # so every app task's energy floor clears the stuck-ADC detection
     # threshold with margin (see CHAOS_APPS).
+    harvest_power = float(rng.uniform(2e-3, 6e-3))
     system = capybara_power_system(
         datasheet_capacitance=float(rng.uniform(30e-3, 45e-3)),
         dc_esr=float(rng.uniform(2.0, 5.0)),
-        harvester=ConstantPowerHarvester(float(rng.uniform(2e-3, 6e-3))),
+        harvester=ConstantPowerHarvester(harvest_power),
     )
+    if env_axis:
+        # Environment axis: the same plant under a time-varying sky.
+        # The scenario comes from the env stream (trial_rng draws above
+        # are untouched) and is scaled so its *peak* sits at twice the
+        # constant power it replaces — the same energy ballpark with
+        # dips and dark stretches the injectors now compose with.
+        import dataclasses
+
+        from repro.verify.generators import env_rng, random_env_spec
+
+        scenario = dataclasses.replace(
+            random_env_spec(env_rng(seed, index)),
+            duration=float(horizon), peak_power=2.0 * harvest_power)
+        system = system.with_harvester(scenario.lower())
     system = injector.apply_to_system(system, rng)
     v_high = system.monitor.v_high
     system.rest_at(v_high)
@@ -250,6 +271,7 @@ def run_chaos_trial(args: "Tuple[int, CampaignConfig]") -> ChaosTrialOutcome:
         cfg.seed, index, app, estimator_name, injector_dict,
         horizon=cfg.horizon, stall_tolerance=cfg.stall_tolerance,
         dropout_grace=cfg.dropout_grace, stuck_limit=cfg.stuck_limit,
+        env_axis=cfg.env_axis,
     )
 
 
@@ -277,6 +299,7 @@ class ChaosReport:
     per_injector: Dict[str, Dict[str, int]]
     unsafe: List[dict]
     cases: List[str]
+    env_axis: bool = False
 
     @property
     def unsafe_count(self) -> int:
@@ -298,6 +321,7 @@ class ChaosReport:
                 "injectors": list(self.injectors),
                 "apps": list(self.apps),
                 "horizon": self.horizon,
+                "env_axis": self.env_axis,
             },
             "counts": self.counts,
             "per_estimator": self.per_estimator,
@@ -312,7 +336,8 @@ class ChaosReport:
         table = TextTable(
             columns,
             title=(f"chaos campaign: {self.trials} trials, seed {self.seed}, "
-                   f"estimators {', '.join(self.estimators)}"),
+                   f"estimators {', '.join(self.estimators)}"
+                   + (", env axis on" if self.env_axis else "")),
         )
         for name in sorted(self.per_injector):
             stats = self.per_injector[name]
@@ -348,12 +373,15 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
                  stall_tolerance: int = 6,
                  dropout_grace: float = 5.0,
                  stuck_limit: int = 3,
-                 cases_dir: Optional[str] = None) -> ChaosReport:
+                 cases_dir: Optional[str] = None,
+                 env_axis: bool = False) -> ChaosReport:
     """Run ``trials`` seeded chaos trials and aggregate a report.
 
     ``cases_dir`` receives one JSON chaos case per unsafe trial (created
     on demand; untouched when the campaign is clean). Results are
-    bit-identical for any ``jobs``.
+    bit-identical for any ``jobs``. ``env_axis`` swaps the constant
+    harvester for a per-trial environment trace (see
+    :class:`CampaignConfig`).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -378,6 +406,7 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
         seed=seed, estimators=names, injectors=injector_dicts,
         apps=app_names, horizon=horizon, stall_tolerance=stall_tolerance,
         dropout_grace=dropout_grace, stuck_limit=stuck_limit,
+        env_axis=env_axis,
     )
     outcomes = parallel_map(run_chaos_trial,
                             [(i, cfg) for i in range(trials)], jobs=jobs)
@@ -432,6 +461,7 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
                     estimator=outcome.estimator, injector=outcome.injector,
                     horizon=horizon, stall_tolerance=stall_tolerance,
                     dropout_grace=dropout_grace, stuck_limit=stuck_limit,
+                    env_axis=env_axis,
                     original={"outcome": outcome.outcome,
                               "details": outcome.details},
                 )
@@ -446,4 +476,5 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
         injectors=injector_dicts, apps=app_names, horizon=horizon,
         counts=counts, per_estimator=per_estimator,
         per_injector=per_injector, unsafe=unsafe, cases=case_paths,
+        env_axis=env_axis,
     )

@@ -35,6 +35,9 @@ class ChaosCase:
     stall_tolerance: int
     dropout_grace: float
     stuck_limit: int
+    #: Whether the campaign ran with the environment scenario axis on
+    #: (the replay must regenerate the same environment trace).
+    env_axis: bool = False
     #: Outcome details recorded when the case was found.
     original: dict = field(default_factory=dict)
 
@@ -51,6 +54,7 @@ class ChaosCase:
             "stall_tolerance": self.stall_tolerance,
             "dropout_grace": self.dropout_grace,
             "stuck_limit": self.stuck_limit,
+            "env_axis": self.env_axis,
             "original": self.original,
         }
 
@@ -70,6 +74,7 @@ class ChaosCase:
             stall_tolerance=int(data["stall_tolerance"]),
             dropout_grace=float(data["dropout_grace"]),
             stuck_limit=int(data["stuck_limit"]),
+            env_axis=bool(data.get("env_axis", False)),
             original=data.get("original", {}),
         )
 
@@ -81,6 +86,7 @@ class ChaosCase:
             self.seed, self.index, self.app, self.estimator, self.injector,
             horizon=self.horizon, stall_tolerance=self.stall_tolerance,
             dropout_grace=self.dropout_grace, stuck_limit=self.stuck_limit,
+            env_axis=self.env_axis,
         )
 
 

@@ -48,6 +48,7 @@ from repro.power.harvester import (
     ConstantPowerHarvester,
     NullHarvester,
     SolarHarvester,
+    TraceHarvester,
 )
 from repro.power.monitor import VoltageMonitor
 from repro.power.reconfigurable import ReconfigurableBuffer
@@ -63,6 +64,7 @@ HARVEST_NONE = 0
 HARVEST_CONST = 1
 HARVEST_SOLAR = 2
 HARVEST_CALLABLE = 3
+HARVEST_TRACE = 4
 
 
 def _resolve_buffer(buffer):
@@ -159,6 +161,13 @@ class Bank:
         self.harvest_omega = 0.0
         self.harvest_phase = 0.0
         self.power_at = None  # HARVEST_CALLABLE only
+        # HARVEST_TRACE only: shared piece edges (1-D, starts at 0) and
+        # piece powers — 1-D on the scalar path, [devices, pieces] on the
+        # fleet path. ``harvest_fp`` is the content fingerprint that keys
+        # the program cache.
+        self.harvest_edges: Optional[np.ndarray] = None
+        self.harvest_powers: Optional[np.ndarray] = None
+        self.harvest_fp = ""
 
     @classmethod
     def from_system(cls, system, harvesting: bool) -> "Bank":
@@ -213,6 +222,12 @@ class Bank:
             bank.harvest_power = harvester.peak
             bank.harvest_omega = 2.0 * math.pi / harvester.period
             bank.harvest_phase = harvester.phase
+        elif type(harvester) is TraceHarvester:
+            bank.harvest_mode = HARVEST_TRACE
+            bank.harvest_edges = harvester.edges
+            bank.harvest_powers = harvester.powers
+            bank.harvest_power = harvester.max_power
+            bank.harvest_fp = harvester.fingerprint
         else:
             bank.harvest_mode = HARVEST_CALLABLE
             bank.power_at = harvester.power_at
@@ -244,6 +259,15 @@ class Bank:
         bank.v_high = spec.v_high
         if not harvesting:
             bank.harvest_mode = HARVEST_NONE
+        elif params.harvest_edges is not None:
+            # Environment replay: shared piece edges, per-device power
+            # columns ([devices, pieces]). harvest_power carries the
+            # fleet-wide max for conservative compile-time bounds.
+            bank.harvest_mode = HARVEST_TRACE
+            bank.harvest_edges = params.harvest_edges
+            bank.harvest_powers = params.harvest_powers
+            bank.harvest_power = float(np.max(params.harvest_powers))
+            bank.harvest_fp = params.harvest_fp
         elif spec.harvest_period <= 0:
             bank.harvest_mode = HARVEST_CONST
             bank.harvest_power = params.p_harvest
@@ -361,10 +385,32 @@ class Bank:
         if self.harvest_mode == HARVEST_SOLAR:
             return self.harvest_power * np.maximum(
                 0.0, np.sin(self.harvest_omega * t + self.harvest_phase))
+        if self.harvest_mode == HARVEST_TRACE:
+            # Piece lookup (scalar-path 1-D powers): clamp-before-start,
+            # hold-last-after-end — TraceHarvester.power_at, vectorized.
+            idx = np.searchsorted(self.harvest_edges, t, side="right") - 1
+            idx = np.clip(idx, 0, len(self.harvest_powers) - 1)
+            if isinstance(t, np.ndarray):
+                return self.harvest_powers[idx]
+            return float(self.harvest_powers[int(idx)])
         # HARVEST_CALLABLE — scalar path only, pointwise
         if isinstance(t, np.ndarray):
             return np.array([self.power_at(float(x)) for x in t])
         return self.power_at(t)
+
+    def next_harvest_edge(self, t: float) -> float:
+        """First harvest-trace edge strictly after ``t`` (scalar path).
+
+        ``inf`` for non-trace modes and past the end of the recording —
+        the span-clipping horizon in the scalar driver feeds on this.
+        """
+        if self.harvest_mode != HARVEST_TRACE:
+            return math.inf
+        edges = self.harvest_edges
+        idx = int(np.searchsorted(edges, t, side="right"))
+        if idx >= len(edges):
+            return math.inf
+        return float(edges[idx])
 
     # -- state conversions --------------------------------------------------
 
@@ -404,9 +450,16 @@ class Bank:
         else:
             bank = ("2b", self.c_main, self.r_esr, self.c_red, self.r_red,
                     self.c_dec, self.leak)
+        if self.harvest_mode == HARVEST_TRACE:
+            # Content-addressed: programs compiled against one recorded
+            # environment are reusable by any process replaying it.
+            harv_tail: object = self.harvest_fp
+        elif self.power_at is not None:
+            harv_tail = id(self.power_at)
+        else:
+            harv_tail = 0
         harv = (self.harvest_mode, self.harvest_power, self.harvest_omega,
-                self.harvest_phase,
-                id(self.power_at) if self.power_at is not None else 0)
+                self.harvest_phase, harv_tail)
         return (bank,
                 (self.v_out, self.min_vin, self.derating,
                  eo.kind, eo.p0, eo.p1, eo.p2, eo.v_ref, eo.floor,
@@ -440,6 +493,8 @@ def bound_current(bank: Bank, i_out: float) -> float:
     p_h = 0.0
     if bank.harvest_mode in (HARVEST_CONST, HARVEST_SOLAR):
         p_h = float(np.max(np.asarray(bank.harvest_power)))
+    elif bank.harvest_mode == HARVEST_TRACE:
+        p_h = float(np.max(bank.harvest_powers))
     elif bank.harvest_mode == HARVEST_CALLABLE:
         p_h = float(bank.power_at(0.0))
     eta_in, _ = bank.eta_in.eval(v_ref)
@@ -454,6 +509,7 @@ __all__ = [
     "HARVEST_CONST",
     "HARVEST_NONE",
     "HARVEST_SOLAR",
+    "HARVEST_TRACE",
     "V_CLAMP",
     "bound_current",
     "supported",

@@ -54,6 +54,7 @@ from repro.segalg.core import (
 from repro.segalg.model import (
     HARVEST_CONST,
     HARVEST_NONE,
+    HARVEST_TRACE,
     Bank,
     _resolve_buffer,
 )
@@ -220,6 +221,7 @@ def advance_segments(sim, segments, harvesting: bool,
     stopping = stop_below is not None
     stop_level = stop_below if stopping else 0.0
     harv = bank.harvest_mode != HARVEST_NONE
+    trace_mode = bank.harvest_mode == HARVEST_TRACE
     v_rail = bank.v_max_in
     cd = (not bank.is_ideal) and bool(bank.cd_pos)
     tau_s = bank.tau_safe if not bank.is_ideal else 1.0
@@ -256,6 +258,25 @@ def advance_segments(sim, segments, harvesting: bool,
             if next_due is not None and next_due > t0 + pos + 1e-12:
                 horizon_rel = next_due - t0
             burden = sim._burden()                # noqa: SLF001
+
+        # -- harvest-trace edge horizon -----------------------------------
+        # Recorded-trace piece edges become span horizons exactly like
+        # observer due-times: every span then lies inside one constant-
+        # power piece, so the midpoint sampling in ``_span_harvest`` is
+        # *exact*, not an approximation. A cursor sitting within a
+        # sub-picosecond sliver of an edge (commit-time float drift)
+        # skips to the edge *after* it — clipping at the sliver would
+        # make a zero-length interval and stall, but dropping the
+        # horizon altogether would let the span sample across pieces.
+        if trace_mode:
+            edge_abs = bank.next_harvest_edge(t0 + pos)
+            if edge_abs != math.inf and edge_abs - t0 <= pos + 1e-12:
+                edge_abs = bank.next_harvest_edge(edge_abs)
+            if edge_abs != math.inf:
+                edge_rel = edge_abs - t0
+                if edge_rel > pos + 1e-12 and (horizon_rel is None
+                                               or edge_rel < horizon_rel):
+                    horizon_rel = edge_rel
 
         rem = float(dur_a[idx]) - off
 

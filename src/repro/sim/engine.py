@@ -25,6 +25,7 @@ from typing import List, Optional, Protocol, runtime_checkable
 from repro.loads.trace import CurrentTrace
 from repro.obs import VOLTAGE_BUCKETS_V
 from repro.obs import current as _obs_current
+from repro.power.harvester import TraceHarvester
 from repro.power.system import PowerSystem
 from repro.segalg import (
     advance_segments as _segalg_advance,
@@ -208,7 +209,8 @@ class PowerSystemSimulator:
         return c_dec / buffer._conductance  # noqa: SLF001 — sim-internal
 
     def _choose_dt(self, i_terminal: float, remaining: float,
-                   in_transient: bool, loaded: bool) -> float:
+                   in_transient: bool, loaded: bool,
+                   harvest_cap: float = math.inf) -> float:
         buffer = self.system.buffer
         dv = self.LOAD_DV if loaded else self.IDLE_DV
         if abs(i_terminal) > 1e-12:
@@ -224,6 +226,14 @@ class PowerSystemSimulator:
                 dt = min(dt, tau / 4.0)
         stable = getattr(buffer, "max_stable_dt", math.inf)
         dt = min(dt, stable, self.MAX_IDLE_DT, remaining)
+        # Land a step edge exactly on the next harvest-trace breakpoint so
+        # an abrupt recorded power step is never smeared across a step.
+        # (min over the same set of values in every kernel — order-free,
+        # so the fastpath replays this chain bit-exactly.) The MIN_DT
+        # floor below may overshoot the edge by <= 1 us; that guarantees
+        # progress and costs one microsecond-step of stale power.
+        if harvest_cap < dt:
+            dt = harvest_cap
         next_obs = self._next_observer_time()
         if next_obs is not None and next_obs > self.time:
             dt = min(dt, next_obs - self.time)
@@ -275,6 +285,11 @@ class PowerSystemSimulator:
         self._refresh_observer_due()  # observers may have been rescheduled
         loaded = i_out > 0 or self._burden() > 0
         transient_window = 6.0 * self._transient_tau() if loaded else 0.0
+        # Exact-type check (not duck typing), mirrored by the fastpath: a
+        # subclass overriding power_at must take the generic sampled path
+        # in *both* kernels or bit-identity breaks.
+        harvest_edges = (type(system.harvester) is TraceHarvester
+                         and harvesting)
         # Absolute time is recomputed from the window start each iteration
         # (start + elapsed, with elapsed accumulated segment-relative), so
         # float error from repeated `time += dt` cannot compound across
@@ -294,8 +309,13 @@ class PowerSystemSimulator:
                 i_chg = 0.0
             i_net = i_in - i_chg
             in_transient = loaded and elapsed < transient_window
+            if harvest_edges:
+                harvest_cap = system.harvester.next_boundary(self.time) \
+                    - self.time
+            else:
+                harvest_cap = math.inf
             dt = self._choose_dt(i_net, duration - elapsed, in_transient,
-                                 loaded)
+                                 loaded, harvest_cap)
             v_new = system.buffer.step(i_net, dt)
             elapsed += dt
             self.time = start + elapsed
@@ -461,7 +481,15 @@ class PowerSystemSimulator:
             v_before = self.system.buffer.terminal_voltage
             self._advance(0.0, chunk, harvesting, None)
             if self.system.buffer.terminal_voltage <= v_before + 1e-9:
-                if not harvesting or self.system.harvester.power_at(self.time) <= 0:
+                if not harvesting:
+                    return None
+                harvester = self.system.harvester
+                if type(harvester) is TraceHarvester:
+                    # A recorded lull is not "no input" — positive pieces
+                    # may lie ahead; only a trace gone dark for good bails.
+                    if harvester.max_power_after(self.time) <= 0:
+                        return None
+                elif harvester.power_at(self.time) <= 0:
                     return None  # nothing coming in; avoid spinning to deadline
         self.system.monitor.observe(self.system.buffer.terminal_voltage)
         return self.time - start

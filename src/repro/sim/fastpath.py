@@ -35,7 +35,11 @@ from repro.power.booster import (
     OutputBooster,
 )
 from repro.power.capacitor import IdealCapacitor, TwoBranchSupercap
-from repro.power.harvester import ConstantPowerHarvester, NullHarvester
+from repro.power.harvester import (
+    ConstantPowerHarvester,
+    NullHarvester,
+    TraceHarvester,
+)
 from repro.power.monitor import VoltageMonitor
 from repro.power.reconfigurable import ReconfigurableBuffer
 
@@ -144,6 +148,9 @@ def advance_segments(sim, segments: Iterable[Tuple[float, float]],
     enabled = monitor.output_enabled
 
     harvester = system.harvester
+    h_edges = h_powers = None
+    hp_idx = 0
+    hp_last = 0
     if not harvesting or type(harvester) is NullHarvester:
         harvest_mode = 0
         p_h_const = 0.0
@@ -152,6 +159,16 @@ def advance_segments(sim, segments: Iterable[Tuple[float, float]],
         harvest_mode = 1
         p_h_const = harvester.power
         power_at = None
+    elif type(harvester) is TraceHarvester:
+        # Exact type only (mirrors the reference loop): a subclass with
+        # an overridden power_at must take the sampled mode-2 path in
+        # both kernels, or bit-identity breaks between them.
+        harvest_mode = 3
+        p_h_const = 0.0
+        power_at = None
+        h_edges = harvester.edges.tolist()
+        h_powers = harvester.powers.tolist()
+        hp_last = len(h_powers) - 1
     else:
         harvest_mode = 2
         p_h_const = 0.0
@@ -240,7 +257,17 @@ def advance_segments(sim, segments: Iterable[Tuple[float, float]],
             if harvest_mode == 0:
                 i_chg = 0.0
             else:
-                p_h = p_h_const if harvest_mode == 1 else power_at(time_abs)
+                if harvest_mode == 1:
+                    p_h = p_h_const
+                elif harvest_mode == 3:
+                    # piece-pointer walk: time only moves forward, so the
+                    # lookup is O(1) amortized and returns the identical
+                    # float TraceHarvester.power_at would.
+                    while hp_idx < hp_last and time_abs >= h_edges[hp_idx + 1]:
+                        hp_idx += 1
+                    p_h = h_powers[hp_idx]
+                else:
+                    p_h = power_at(time_abs)
                 if p_h == 0.0 or v >= v_max_in:
                     i_chg = 0.0
                 else:
@@ -264,6 +291,15 @@ def advance_segments(sim, segments: Iterable[Tuple[float, float]],
                 dt = max_idle_dt
             if remaining < dt:
                 dt = remaining
+            if harvest_mode == 3:
+                # land a step edge on the next harvest breakpoint — the
+                # same clamp value _choose_dt computes, inserted at the
+                # same point of the (order-free) min chain
+                next_edge = h_edges[hp_idx + 1]
+                if time_abs < next_edge:
+                    gap = next_edge - time_abs
+                    if gap < dt:
+                        dt = gap
             dt_floor = min_dt if min_dt < remaining else remaining
             if dt < dt_floor:
                 dt = dt_floor

@@ -418,3 +418,51 @@ def trace_segments(trace: CurrentTrace) -> List[List[float]]:
 def trace_from_segments(segments: Sequence[Sequence[float]]) -> CurrentTrace:
     """Inverse of :func:`trace_segments`."""
     return CurrentTrace((float(c), float(d)) for c, d in segments)
+
+
+#: Environment scenario axis: the verification stream that draws a
+#: harvesting environment per trial lives apart from the system/trace
+#: stream so turning the axis on never reshuffles the systems and loads
+#: an existing seed generates.
+_ENV_STREAM = 0xE57
+
+
+def env_rng(seed: int, index: int) -> np.random.Generator:
+    """Per-trial stream for the environment axis (independent of
+    :func:`trial_rng` — see :data:`_ENV_STREAM`)."""
+    return np.random.default_rng((seed, index, _ENV_STREAM))
+
+
+def random_env_spec(rng: np.random.Generator) -> "EnvSpec":
+    """Draw one harvesting-environment scenario for the env axis.
+
+    Sweeps every model × MPPT front-end combination with randomized
+    model parameters; durations stay short enough that lowering is a
+    negligible fraction of a trial. Returned specs are plain data
+    (:class:`repro.env.EnvSpec`), so a convicting trial's environment
+    serializes alongside its system and trace.
+    """
+    from repro.env import ENV_MODELS, ENV_MPPTS, EnvSpec
+
+    model = str(rng.choice(ENV_MODELS))
+    mppt = str(rng.choice(ENV_MPPTS))
+    duration = float(rng.uniform(30.0, 90.0))
+    return EnvSpec(
+        model=model,
+        mppt=mppt,
+        duration=duration,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        peak_power=float(np.exp(rng.uniform(np.log(1e-3), np.log(8e-3)))),
+        period=float(rng.uniform(0.8, 1.6)) * duration,
+        daylight_fraction=float(rng.uniform(0.35, 0.65)),
+        cloud_rate=float(rng.uniform(0.0, 8.0)),
+        cloud_depth=float(rng.uniform(0.3, 0.9)),
+        cloud_duration=float(rng.uniform(2.0, 10.0)),
+        base_intensity=float(rng.uniform(0.02, 0.15)),
+        burst_rate=float(rng.uniform(0.05, 0.4)),
+        burst_duration=float(rng.uniform(0.5, 4.0)),
+        burst_intensity=float(rng.uniform(0.5, 1.0)),
+        intensity_low=float(rng.uniform(0.05, 0.3)),
+        intensity_high=float(rng.uniform(0.6, 1.0)),
+        mppt_fraction=float(rng.uniform(0.6, 0.9)),
+    )

@@ -87,7 +87,8 @@ class OracleResult:
 def differential_check(system: PowerSystem, trace: CurrentTrace,
                        estimator, truth: Optional[GroundTruth] = None, *,
                        tolerance: float = 0.002,
-                       conservative_margin: float = 0.25) -> OracleResult:
+                       conservative_margin: float = 0.25,
+                       harvesting: bool = False) -> OracleResult:
     """Judge one estimator against ground truth and the simulated plant.
 
     ``truth`` may be passed in when the caller already ran the binary
@@ -95,6 +96,13 @@ def differential_check(system: PowerSystem, trace: CurrentTrace,
     it is computed here with ``tolerance``. ``conservative_margin`` is the
     fraction of the operating range beyond which a sound estimate is
     flagged OVERLY_CONSERVATIVE.
+
+    ``harvesting`` applies to the **admission run only**: the environment
+    axis attaches a recorded-trace harvester to ``system`` and admits the
+    load with the charger on. Ground truth stays a rested-buffer,
+    harvesting-off search — harvest can only add charge during the run,
+    so an estimate sound against the dark-plant truth stays sound under
+    any environment, and the conviction rule is unchanged.
     """
     if conservative_margin <= 0:
         raise ValueError(
@@ -117,7 +125,7 @@ def differential_check(system: PowerSystem, trace: CurrentTrace,
     # charge above V_high, and a claim below V_off means "start with the
     # booster already cut" — both are the estimator's problem, not ours.
     v_start = min(estimate.v_safe, system.monitor.v_high)
-    run = attempt_load(system, trace, v_start)
+    run = attempt_load(system, trace, v_start, harvesting=harvesting)
     margin = estimate.v_safe - truth.v_safe
     margin_fraction = margin / v_range if v_range > 0 else math.inf
     if run.browned_out and margin < -tolerance:

@@ -37,6 +37,8 @@ from repro.verify import metamorphic
 from repro.verify.cases import ReproCase, save_case
 from repro.verify.generators import (
     SystemSpec,
+    env_rng,
+    random_env_spec,
     random_system_spec,
     random_trace,
     trial_rng,
@@ -97,6 +99,11 @@ class TrialConfig:
     metamorphic: bool = True
     shrink: bool = True
     shrink_budget: int = 120
+    #: Environment scenario axis: attach a per-trial harvesting
+    #: environment (lowered to a recorded trace) and run the admission
+    #: attempt with the charger on. Opt-in — it draws from its own RNG
+    #: stream, so existing seeds keep their systems and loads.
+    env_axis: bool = False
 
 
 @dataclass
@@ -134,18 +141,31 @@ def run_trial(args: "Tuple[int, TrialConfig]") -> TrialOutcome:
     system = spec.build()
     model = system.characterize()
 
+    # Environment axis: lower a randomized harvesting environment to a
+    # recorded trace and attach it for the admission runs. Ground truth
+    # stays the dark-plant search — harvest only adds charge, so the
+    # soundness contract the oracle enforces is unchanged (see
+    # ``differential_check``).
+    check_system = system
+    env_scenario = None
+    if cfg.env_axis:
+        env_scenario = random_env_spec(env_rng(cfg.seed, index))
+        check_system = system.with_harvester(env_scenario.lower())
+
     truth = find_true_vsafe(system, trace, tolerance=cfg.tolerance)
     outcome = TrialOutcome(index=index, feasible=truth.feasible)
 
     for name in cfg.estimators:
         estimator = build_estimator(name, system, model)
         result = differential_check(
-            system, trace, estimator, truth,
+            check_system, trace, estimator, truth,
             tolerance=cfg.tolerance,
             conservative_margin=cfg.conservative_margin,
+            harvesting=cfg.env_axis,
         )
         outcome.oracle.append({**result.to_dict(), "estimator_key": name})
-        if result.verdict is Verdict.UNSOUND and cfg.shrink:
+        if result.verdict is Verdict.UNSOUND and cfg.shrink \
+                and env_scenario is None:
             shrunk = shrink_trace(
                 trace,
                 lambda t: _unsound_on(
@@ -182,6 +202,7 @@ class VerificationReport:
     estimators: Tuple[str, ...]
     tolerance: float
     conservative_margin: float
+    env_axis: bool
     counts: Dict[str, int]
     per_estimator: Dict[str, dict]
     invariants: Dict[str, dict]
@@ -212,6 +233,7 @@ class VerificationReport:
                 "estimators": list(self.estimators),
                 "tolerance": self.tolerance,
                 "conservative_margin": self.conservative_margin,
+                "env_axis": self.env_axis,
             },
             "counts": self.counts,
             "per_estimator": self.per_estimator,
@@ -227,7 +249,8 @@ class VerificationReport:
             ["estimator", "sound", "unsound", "conservative", "infeasible",
              "worst margin (V)", "mean margin (V)"],
             title=(f"verification: {self.trials} trials, seed {self.seed}, "
-                   f"estimators {', '.join(self.estimators)}"),
+                   f"estimators {', '.join(self.estimators)}"
+                   + (", env axis on" if self.env_axis else "")),
         )
         for name in self.estimators:
             stats = self.per_estimator[name]
@@ -267,13 +290,15 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
                      metamorphic_checks: bool = True,
                      shrink: bool = True,
                      shrink_budget: int = 120,
-                     failures_dir: Optional[str] = None
+                     failures_dir: Optional[str] = None,
+                     env_axis: bool = False
                      ) -> VerificationReport:
     """Run ``trials`` randomized soundness trials and aggregate a report.
 
     ``failures_dir`` receives one JSON repro case per UNSOUND verdict
     (created on demand; untouched when the run is clean). Results are
-    bit-identical for any ``jobs``.
+    bit-identical for any ``jobs``. ``env_axis`` adds a randomized
+    harvesting environment per trial (see :class:`TrialConfig`).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -286,7 +311,7 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
     cfg = TrialConfig(seed=seed, estimators=names, tolerance=tolerance,
                       conservative_margin=conservative_margin,
                       metamorphic=metamorphic_checks, shrink=shrink,
-                      shrink_budget=shrink_budget)
+                      shrink_budget=shrink_budget, env_axis=env_axis)
     outcomes = parallel_map(run_trial, [(i, cfg) for i in range(trials)],
                             jobs=jobs)
 
@@ -377,7 +402,8 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
 
     return VerificationReport(
         trials=trials, seed=seed, estimators=names, tolerance=tolerance,
-        conservative_margin=conservative_margin, counts=counts,
+        conservative_margin=conservative_margin, env_axis=env_axis,
+        counts=counts,
         per_estimator=per_estimator, invariants=invariant_stats,
         worst={"least_margin": worst_overall,
                "most_conservative": most_conservative},

@@ -1,0 +1,97 @@
+"""Spatio-temporal correlation: a front sweeping the fleet in index order.
+
+The fleet representation must be a pure, shard-stable function of the
+spec: shared grid, per-device columns that are whole-step shifts of one
+base sample array, clamp-before-arrival semantics, and zero per-device
+float arithmetic that could reorder across processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import EnvSpec, fleet_columns
+from repro.env.correlate import base_grid, device_shifts
+
+
+def _spec(**overrides):
+    base = dict(model="diurnal-solar", duration=30.0, seed=4,
+                cloud_rate=6.0, front_delay=0.5, grid_dt=0.25)
+    base.update(overrides)
+    return EnvSpec(**base)
+
+
+class TestBaseGrid:
+    def test_grid_spans_duration_uniformly(self):
+        edges, base = base_grid(_spec())
+        assert edges[0] == 0.0
+        assert edges[-1] >= 30.0
+        np.testing.assert_allclose(np.diff(edges), 0.25)
+        assert len(base) == len(edges) - 1
+        assert np.all(base >= 0.0)
+
+    def test_pure_function_of_spec(self):
+        edges_a, base_a = base_grid(_spec())
+        edges_b, base_b = base_grid(_spec())
+        np.testing.assert_array_equal(edges_a, edges_b)
+        np.testing.assert_array_equal(base_a, base_b)
+
+
+class TestDeviceShifts:
+    def test_shifts_are_whole_grid_steps_in_index_order(self):
+        shifts = device_shifts(_spec(front_delay=0.5, grid_dt=0.25), 8)
+        assert shifts.dtype == np.int64
+        assert shifts.tolist() == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_fractional_delays_quantize_to_nearest_step(self):
+        shifts = device_shifts(_spec(front_delay=0.3, grid_dt=0.25), 4)
+        # raw delays 0.0, 0.3, 0.6, 0.9 -> 0, 1, 2, 4 steps
+        assert shifts.tolist() == [0, 1, 2, 4]
+
+    def test_zero_delay_is_an_uncorrelated_identical_sky(self):
+        edges, powers = fleet_columns(_spec(front_delay=0.0), 5)
+        for i in range(1, 5):
+            np.testing.assert_array_equal(powers[i], powers[0])
+
+
+class TestFleetColumns:
+    def test_each_column_is_a_shift_of_the_base(self):
+        spec = _spec()
+        edges, powers = fleet_columns(spec, 6)
+        _edges, base = base_grid(spec)
+        shifts = device_shifts(spec, 6)
+        pieces = len(base)
+        for i in range(6):
+            s = int(shifts[i])
+            np.testing.assert_array_equal(powers[i, s:],
+                                          base[:pieces - s])
+            # before the front arrives the device holds the initial sky
+            np.testing.assert_array_equal(powers[i, :s],
+                                          np.full(s, base[0]))
+
+    def test_front_sweeps_in_index_order(self):
+        # A kinetic sky: the brightest burst's arrival piece must step
+        # through the fleet in index order, one front delay at a time.
+        spec = _spec(model="kinetic-burst", burst_rate=0.3,
+                     front_delay=1.0)
+        edges, powers = fleet_columns(spec, 4)
+        _edges, base = base_grid(spec)
+        shifts = device_shifts(spec, 4)
+        peak = int(np.argmax(base))
+        assert peak + int(shifts[-1]) < powers.shape[1]
+        arrivals = [int(np.argmax(powers[i])) for i in range(4)]
+        assert arrivals == [peak + int(s) for s in shifts]
+
+    def test_shift_past_recording_end_holds_initial_value(self):
+        spec = _spec(front_delay=100.0)
+        _edges, powers = fleet_columns(spec, 3)
+        _e, base = base_grid(spec)
+        np.testing.assert_array_equal(powers[2],
+                                      np.full(powers.shape[1], base[0]))
+
+    def test_zero_devices_is_an_empty_fleet(self):
+        edges, powers = fleet_columns(_spec(), 0)
+        assert powers.shape == (0, len(edges) - 1)
+
+    def test_rejects_negative_devices(self):
+        with pytest.raises(ValueError):
+            fleet_columns(_spec(), -1)

@@ -1,0 +1,184 @@
+"""Lowering: environment model + front-end -> piecewise harvest trace.
+
+Two contracts carry the whole stack. **Breakpoint exactness**: every
+model breakpoint lands on a trace edge verbatim (or the power is
+genuinely constant across it, in which case the merge pass may drop
+the edge — same physics either way). **Energy conservation**: the
+trace's ``sum(P_k * dt_k)`` tracks the model's true ``integral(P dt)``
+within the refinement tolerance, and exactly for piecewise-constant
+models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import EnvSpec, lower_environment
+from repro.env.lowering import MIN_DT
+
+DURATION = 60.0
+
+#: All nine model x front-end combinations the spec can express.
+COMBOS = [(model, mppt)
+          for model in ("diurnal-solar", "kinetic-burst",
+                        "thermal-gradient")
+          for mppt in ("constant-voltage", "voc-fraction",
+                       "perturb-observe")]
+
+
+def _spec(model, mppt, **overrides):
+    base = dict(model=model, mppt=mppt, duration=DURATION, seed=3,
+                peak_power=4e-3, period=40.0, cloud_rate=6.0,
+                burst_rate=0.3)
+    base.update(overrides)
+    return EnvSpec(**base)
+
+
+def _trace_energy(trace):
+    return float(np.sum(trace.powers * np.diff(trace.edges)))
+
+
+def _model_energy(spec, dt=0.002):
+    """Fine midpoint quadrature of the front-end power over the model.
+
+    Stateful front-ends are integrated on the trace's own semantics
+    elsewhere; this reference is only used for stateless ones, where
+    evaluation order does not matter.
+    """
+    model = spec.build_model()
+    pv = spec.build_transducer()
+    mppt = spec.build_mppt()
+    mppt.reset()
+    mids = np.arange(dt / 2.0, spec.duration, dt)
+    return float(sum(mppt.harvest_power(pv, model.intensity(float(t)))
+                     for t in mids) * dt)
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("model,mppt", COMBOS)
+    def test_lowered_trace_is_well_formed(self, model, mppt):
+        trace = _spec(model, mppt).lower()
+        assert trace.edges[0] == 0.0
+        assert trace.edges[-1] == pytest.approx(DURATION, abs=1e-9)
+        assert np.all(np.diff(trace.edges) > 0.0)
+        assert np.all(trace.powers >= 0.0)
+        assert np.all(np.isfinite(trace.powers))
+
+    @pytest.mark.parametrize("model,mppt", COMBOS)
+    def test_power_never_exceeds_full_sun_mpp(self, model, mppt):
+        spec = _spec(model, mppt)
+        _v, p_max = spec.build_transducer().mpp(1.0)
+        trace = spec.lower()
+        assert float(trace.powers.max()) <= p_max + 1e-15
+
+    def test_same_spec_lowers_to_identical_trace(self):
+        a = _spec("diurnal-solar", "voc-fraction").lower()
+        b = _spec("diurnal-solar", "voc-fraction").lower()
+        np.testing.assert_array_equal(a.edges, b.edges)
+        np.testing.assert_array_equal(a.powers, b.powers)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestBreakpointExactness:
+    @pytest.mark.parametrize("model", ["diurnal-solar", "kinetic-burst",
+                                       "thermal-gradient"])
+    def test_model_breakpoints_survive_verbatim(self, model):
+        spec = _spec(model, "voc-fraction")
+        trace = spec.lower()
+        edges = set(trace.edges.tolist())
+        breaks = spec.build_model().breakpoints(DURATION)
+        assert len(breaks) > 0
+        for b in breaks:
+            if float(b) in edges:
+                continue
+            # The merge pass may only drop an edge when the power is
+            # constant across it (e.g. a cloud edge at night).
+            eps = 1e-9
+            assert trace.power_at(float(b) - eps) == \
+                trace.power_at(float(b) + eps), b
+
+    def test_cloud_step_lands_on_an_edge_in_daylight(self):
+        # Permanent daylight: every cloud edge changes the power, so
+        # none may be merged away.
+        spec = _spec("diurnal-solar", "constant-voltage",
+                     daylight_fraction=1.0, period=DURATION,
+                     cloud_rate=8.0)
+        model = spec.build_model()
+        assert len(model.cloud_starts) > 0
+        edges = set(spec.lower().edges.tolist())
+        for b in model.breakpoints(DURATION):
+            assert float(b) in edges, b
+
+
+class TestEnergyConservation:
+    @pytest.mark.parametrize("model", ["diurnal-solar",
+                                       "thermal-gradient"])
+    @pytest.mark.parametrize("mppt", ["constant-voltage", "voc-fraction"])
+    def test_energy_within_refinement_tolerance(self, model, mppt):
+        spec = _spec(model, mppt)
+        trace = spec.lower()
+        _v, p_scale = spec.build_transducer().mpp(1.0)
+        budget = 2.0 * spec.tol * p_scale * DURATION
+        assert abs(_trace_energy(trace) - _model_energy(spec)) <= budget
+
+    def test_tighter_tolerance_tightens_energy(self):
+        spec = _spec("diurnal-solar", "voc-fraction")
+        loose = spec.lower()
+        tight = _spec("diurnal-solar", "voc-fraction", tol=0.002,
+                      max_dt=0.5).lower()
+        reference = _model_energy(spec)
+        assert abs(_trace_energy(tight) - reference) <= \
+            abs(_trace_energy(loose) - reference) + 1e-9
+        assert len(tight.powers) > len(loose.powers)
+
+    def test_piecewise_constant_model_is_exact(self):
+        # Kinetic bursts are flat between breakpoints: the midpoint
+        # sample *is* the piece value, so lowering loses no energy.
+        spec = _spec("kinetic-burst", "constant-voltage")
+        trace = spec.lower()
+        model = spec.build_model()
+        pv = spec.build_transducer()
+        mppt = spec.build_mppt()
+        cuts = np.concatenate([[0.0],
+                               model.breakpoints(DURATION),
+                               [DURATION]])
+        exact = float(sum(
+            mppt.harvest_power(pv, model.intensity(0.5 * (a + b)))
+            * (b - a) for a, b in zip(cuts[:-1], cuts[1:])))
+        assert _trace_energy(trace) == pytest.approx(exact, rel=1e-12)
+
+
+class TestRefinementControls:
+    def test_max_dt_caps_piece_length_between_breakpoints(self):
+        # A strictly monotone ramp (half a thermal period spans the
+        # whole duration): no two pieces hold equal power, so the merge
+        # pass can never fuse neighbours past the cap.
+        trace = _spec("thermal-gradient", "voc-fraction",
+                      period=2.0 * DURATION, max_dt=1.0).lower()
+        assert float(np.diff(trace.edges).max()) <= 1.0 + 1e-9
+
+    def test_min_dt_floors_subdivision(self):
+        trace = _spec("diurnal-solar", "voc-fraction", cloud_rate=8.0,
+                      tol=1e-6).lower()
+        widths = np.diff(trace.edges)
+        assert float(widths.min()) >= 0.25 * MIN_DT
+
+    def test_stateful_front_end_uses_sequential_grid(self):
+        # P&O cannot be sampled out of order: the grid is breakpoints
+        # plus the uniform sample_dt lattice, nothing finer.
+        spec = _spec("thermal-gradient", "perturb-observe")
+        trace = spec.lower()
+        lattice = np.arange(1, int(DURATION / spec.po_dt)) * spec.po_dt
+        expected = sorted({0.0, DURATION}
+                          | set(lattice.tolist())
+                          | set(spec.build_model()
+                                .breakpoints(DURATION).tolist()))
+        # Edges are a subset of the sequential grid (merge may drop
+        # equal-power interior points), in grid order.
+        grid = set(expected)
+        assert all(float(e) in grid for e in trace.edges)
+
+    def test_rejects_nonpositive_duration(self):
+        spec = _spec("diurnal-solar", "voc-fraction")
+        with pytest.raises(ValueError):
+            lower_environment(spec.build_model(), spec.build_transducer(),
+                              spec.build_mppt(), 0.0)

@@ -1,0 +1,131 @@
+"""PV transducer and MPPT front-end invariants.
+
+The front-ends are the link between a dimensionless sky and the watts
+the rest of the stack integrates, so the contract is physical: power is
+never negative, never exceeds the true maximum power point, the
+fractional-V_OC setpoint stays strictly inside ``(0, 1) * V_oc``, and
+perturb-and-observe converges to within one perturbation step of the
+true MPP on a static curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    ConstantVoltageMPPT,
+    PVTransducer,
+    PerturbObserveMPPT,
+    VocFractionMPPT,
+)
+
+INTENSITIES = [0.05, 0.2, 0.5, 0.8, 1.0]
+
+
+@pytest.fixture
+def pv():
+    return PVTransducer.scaled_to(4e-3)
+
+
+class TestTransducer:
+    def test_power_non_negative_everywhere(self, pv):
+        for e in [0.0] + INTENSITIES:
+            for v in np.linspace(-0.5, pv.v_oc + 0.5, 101):
+                assert pv.power(float(v), e) >= 0.0
+
+    def test_dark_panel_produces_nothing(self, pv):
+        assert pv.v_open(0.0) == 0.0
+        assert pv.power(1.5, 0.0) == 0.0
+
+    def test_open_circuit_and_short_circuit_bound_the_curve(self, pv):
+        for e in INTENSITIES:
+            v_open = pv.v_open(e)
+            assert pv.current(v_open, e) == 0.0
+            assert pv.current(0.0, e) == pytest.approx(pv.i_sc * e)
+
+    def test_scaled_to_delivers_peak_power_at_full_sun(self):
+        for peak in (1e-3, 4e-3, 20e-3):
+            pv = PVTransducer.scaled_to(peak)
+            _v, p = pv.mpp(1.0)
+            assert p == pytest.approx(peak, rel=1e-6)
+
+    def test_mpp_is_the_maximum(self, pv):
+        for e in INTENSITIES:
+            v_mpp, p_mpp = pv.mpp(e)
+            assert 0.0 < v_mpp < pv.v_open(e)
+            for v in np.linspace(0.0, pv.v_open(e), 257):
+                assert pv.power(float(v), e) <= p_mpp + 1e-15
+
+
+class TestFrontEndInvariants:
+    def _front_ends(self):
+        return [ConstantVoltageMPPT(v_ref=1.7),
+                VocFractionMPPT(fraction=0.76),
+                PerturbObserveMPPT(step=0.05)]
+
+    def test_harvest_power_non_negative_and_bounded_by_mpp(self, pv):
+        for mppt in self._front_ends():
+            mppt.reset()
+            for e in [0.0] + INTENSITIES:
+                _v, p_mpp = pv.mpp(e)
+                p = mppt.harvest_power(pv, e)
+                assert p >= 0.0
+                assert p <= p_mpp + 1e-15
+
+    def test_voc_fraction_setpoint_strictly_inside_voc(self, pv):
+        mppt = VocFractionMPPT(fraction=0.76)
+        for e in INTENSITIES:
+            v_open = pv.v_open(e)
+            v = mppt.setpoint(pv, e)
+            assert 0.0 < v < v_open
+
+    def test_voc_fraction_rejects_degenerate_fractions(self):
+        with pytest.raises(ValueError):
+            VocFractionMPPT(fraction=0.0)
+        with pytest.raises(ValueError):
+            VocFractionMPPT(fraction=1.0)
+
+    def test_constant_voltage_clamps_to_open_circuit(self, pv):
+        mppt = ConstantVoltageMPPT(v_ref=1.7)
+        # Bright sky: regulation at the setpoint.
+        assert mppt.setpoint(pv, 1.0) == pytest.approx(1.7)
+        # Dim sky: V_oc sags under the setpoint, regulation clamps.
+        dim = 1e-4
+        assert mppt.setpoint(pv, dim) == pytest.approx(pv.v_open(dim))
+
+
+class TestPerturbObserveConvergence:
+    @pytest.mark.parametrize("intensity", [0.3, 0.6, 1.0])
+    @pytest.mark.parametrize("v_start", [0.3, 1.1, 2.0])
+    def test_converges_within_one_step_of_mpp(self, pv, intensity,
+                                              v_start):
+        mppt = PerturbObserveMPPT(step=0.05, v_start=v_start)
+        v_mpp, p_mpp = pv.mpp(intensity)
+        for _ in range(200):
+            mppt.harvest_power(pv, intensity)
+        # The tracker dithers around the MPP: a direction reversal takes
+        # one extra observation, so the setpoint excursion is up to two
+        # steps; the extracted power must stay within that band.
+        floor = min(pv.power(v_mpp - 2 * mppt.step, intensity),
+                    pv.power(v_mpp + 2 * mppt.step, intensity))
+        tail = [mppt.harvest_power(pv, intensity) for _ in range(8)]
+        assert min(tail) >= floor - 1e-15
+        assert max(tail) <= p_mpp + 1e-15
+        assert abs(mppt.setpoint(pv, intensity) - v_mpp) <= \
+            2 * mppt.step + 1e-12
+
+    def test_tracker_state_is_resettable(self, pv):
+        mppt = PerturbObserveMPPT(step=0.05)
+        first = [mppt.harvest_power(pv, 0.8) for _ in range(16)]
+        mppt.reset()
+        again = [mppt.harvest_power(pv, 0.8) for _ in range(16)]
+        assert first == again
+
+    def test_survives_darkness_and_recovers(self, pv):
+        mppt = PerturbObserveMPPT(step=0.05)
+        for _ in range(20):
+            mppt.harvest_power(pv, 0.8)
+        assert mppt.harvest_power(pv, 0.0) == 0.0
+        for _ in range(200):
+            mppt.harvest_power(pv, 0.8)
+        _v_mpp, p_mpp = pv.mpp(0.8)
+        assert mppt.harvest_power(pv, 0.8) >= 0.5 * p_mpp

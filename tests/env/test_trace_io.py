@@ -1,0 +1,162 @@
+"""Recorded-trace npz format: round-trips, fingerprints, byte identity.
+
+The CI byte-identity gates rest on the writer being deterministic:
+save -> load -> save must reproduce the file byte for byte, and two
+generations from the same spec must produce identical archives. The
+fingerprint is the trace's identity — load refuses archives whose
+recorded digest no longer matches the arrays.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    EnvFleetTrace,
+    EnvSpec,
+    generate_fleet_trace,
+    load_trace,
+    save_trace,
+)
+from repro.env.trace_io import trace_fingerprint
+
+
+def _spec(**overrides):
+    base = dict(model="diurnal-solar", duration=20.0, seed=6,
+                cloud_rate=6.0, front_delay=0.3, grid_dt=0.25)
+    base.update(overrides)
+    return EnvSpec(**base)
+
+
+@pytest.fixture
+def trace():
+    return generate_fleet_trace(_spec(), devices=5)
+
+
+class TestEnvFleetTrace:
+    def test_generation_is_deterministic(self, trace):
+        again = generate_fleet_trace(_spec(), devices=5)
+        np.testing.assert_array_equal(trace.edges, again.edges)
+        np.testing.assert_array_equal(trace.powers, again.powers)
+        assert trace.fingerprint == again.fingerprint
+
+    def test_fingerprint_tracks_content(self, trace):
+        bent = EnvFleetTrace(edges=trace.edges,
+                             powers=trace.powers + 1e-6,
+                             spec=trace.spec)
+        assert bent.fingerprint != trace.fingerprint
+        assert trace.fingerprint == trace_fingerprint(trace.edges,
+                                                      trace.powers)
+
+    def test_device_harvester_shares_the_column_floats(self, trace):
+        harvester = trace.device_harvester(2)
+        np.testing.assert_array_equal(harvester.edges, trace.edges)
+        np.testing.assert_array_equal(harvester.powers, trace.powers[2])
+
+    def test_summary_fields(self, trace):
+        summary = trace.summary()
+        assert summary["format"] == "repro.env-trace"
+        assert summary["devices"] == 5
+        assert summary["fingerprint"] == trace.fingerprint
+        assert summary["spec"]["model"] == "diurnal-solar"
+        json.dumps(summary)  # must be a plain JSON document
+
+    def test_rejects_malformed_arrays(self):
+        with pytest.raises(ValueError):
+            EnvFleetTrace(edges=np.array([0.0, 1.0]),
+                          powers=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            EnvFleetTrace(edges=np.array([0.5, 1.0]),
+                          powers=np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            EnvFleetTrace(edges=np.array([0.0, 1.0]),
+                          powers=np.full((1, 1), -1e-3))
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, trace, tmp_path):
+        path = tmp_path / "sky.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.edges, trace.edges)
+        np.testing.assert_array_equal(loaded.powers, trace.powers)
+        assert loaded.spec == trace.spec
+        assert loaded.fingerprint == trace.fingerprint
+
+    def test_save_load_save_is_byte_identical(self, trace, tmp_path):
+        first = tmp_path / "a.npz"
+        second = tmp_path / "b.npz"
+        save_trace(first, trace)
+        save_trace(second, load_trace(first))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_two_saves_of_the_same_spec_are_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_trace(a, generate_fleet_trace(_spec(), devices=5))
+        save_trace(b, generate_fleet_trace(_spec(), devices=5))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_specless_trace_round_trips(self, trace, tmp_path):
+        raw = EnvFleetTrace(edges=trace.edges, powers=trace.powers)
+        path = tmp_path / "recorded.npz"
+        save_trace(path, raw)
+        loaded = load_trace(path)
+        assert loaded.spec is None
+        assert loaded.fingerprint == raw.fingerprint
+
+    def test_archive_is_plain_npz(self, trace, tmp_path):
+        path = tmp_path / "sky.npz"
+        save_trace(path, trace)
+        with np.load(path, allow_pickle=False) as data:
+            assert set(data.files) == {"edges", "header", "powers"}
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                assert info.date_time == (1980, 1, 1, 0, 0, 0)
+                assert info.compress_type == zipfile.ZIP_STORED
+
+
+class TestLoadRejections:
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, edges=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="not an environment trace"):
+            load_trace(path)
+
+    def test_rejects_tampered_content(self, trace, tmp_path):
+        path = tmp_path / "sky.npz"
+        save_trace(path, trace)
+        with np.load(path, allow_pickle=False) as data:
+            header = str(data["header"])
+            edges = data["edges"]
+            powers = np.array(data["powers"])
+        powers[0, 0] += 1e-6  # corrupt one sample, keep the header
+        import io
+        import zipfile as zf
+        with zf.ZipFile(path, "w", zf.ZIP_STORED) as archive:
+            for name, arr in (("edges", edges),
+                              ("header", np.array(header)),
+                              ("powers", powers)):
+                buf = io.BytesIO()
+                np.lib.format.write_array(buf, np.asarray(arr),
+                                          version=(1, 0))
+                archive.writestr(name + ".npy", buf.getvalue())
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            load_trace(path)
+
+    def test_rejects_future_version(self, trace, tmp_path):
+        import io
+        import zipfile as zf
+        path = tmp_path / "sky.npz"
+        header = json.dumps({"format": "repro.env-trace", "version": 99})
+        with zf.ZipFile(path, "w", zf.ZIP_STORED) as archive:
+            for name, arr in (("edges", trace.edges),
+                              ("header", np.array(header)),
+                              ("powers", trace.powers)):
+                buf = io.BytesIO()
+                np.lib.format.write_array(buf, np.asarray(arr),
+                                          version=(1, 0))
+                archive.writestr(name + ".npy", buf.getvalue())
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            load_trace(path)

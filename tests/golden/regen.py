@@ -8,6 +8,14 @@ the estimator math, the catalog synthesis, the bank composition algebra,
 or the characterization path shows up as a corpus diff, reviewed like any
 other golden-file change.
 
+A second section pins the **environment engine**: one entry per
+environment model × MPPT front-end, each recording the lowered trace's
+content fingerprint (the identity that keys the V_safe and
+segment-program caches) alongside every estimator's V_safe on the
+standard Capybara plant driven by that trace. A drift in the model
+sampling, the MPPT math, or the lowering pass moves the fingerprint; a
+drift in how estimators see trace harvesters moves the V_safe values.
+
 Regenerate (from the repository root) with::
 
     PYTHONPATH=src python -m tests.golden.regen
@@ -20,6 +28,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.env.spec import ENV_MODELS, ENV_MPPTS, EnvSpec
 from repro.loads.trace import CurrentTrace
 from repro.power.booster import (
     CurvedEfficiency,
@@ -30,7 +39,7 @@ from repro.power.booster import (
 from repro.power.catalog import build_bank_survey, reference_catalog
 from repro.power.harvester import ConstantPowerHarvester
 from repro.power.monitor import VoltageMonitor
-from repro.power.system import PowerSystem
+from repro.power.system import PowerSystem, capybara_power_system
 from repro.verify.runner import KNOWN_ESTIMATORS, build_estimator
 
 #: Small but technology-complete: 3 parts per technology, the paper's
@@ -49,6 +58,12 @@ V_OFF = 1.6
 V_OUT = 2.55
 C_DECOUPLING = 100e-6
 HARVEST_POWER = 4e-3
+
+#: Environment golden entries: a fixed seed and duration small enough to
+#: lower in milliseconds but long enough to exercise every model's
+#: stochastic structure (clouds, bursts) and the stateful P&O tracker.
+ENV_SEED = 2022
+ENV_DURATION = 30.0
 
 CORPUS_PATH = Path(__file__).resolve().parent / "vsafe_corpus.json"
 
@@ -75,6 +90,39 @@ def _system_for_bank(bank) -> PowerSystem:
     )
     system.rest_at(V_HIGH)
     return system
+
+
+def _env_entries(trace: CurrentTrace) -> list:
+    """One pinned entry per environment model × MPPT front-end."""
+    entries = []
+    for model_name in ENV_MODELS:
+        for mppt_name in ENV_MPPTS:
+            spec = EnvSpec(model=model_name, mppt=mppt_name,
+                           duration=ENV_DURATION, seed=ENV_SEED,
+                           peak_power=HARVEST_POWER, period=24.0,
+                           cloud_rate=5.0, burst_rate=0.3)
+            harvester = spec.lower()
+            system = capybara_power_system(harvester=harvester)
+            system.rest_at(V_HIGH)
+            model = system.characterize()
+            vsafe = {}
+            for name in KNOWN_ESTIMATORS:
+                estimator = build_estimator(name, system, model)
+                estimate = estimator.estimate(system, trace)
+                vsafe[name] = {
+                    "v_safe": estimate.v_safe,
+                    "method": estimate.method,
+                }
+            entries.append({
+                "model": model_name,
+                "mppt": mppt_name,
+                "env_fingerprint": spec.fingerprint,
+                "trace_fingerprint": harvester.fingerprint,
+                "pieces": int(len(harvester.powers)),
+                "energy_j": harvester.energy(ENV_DURATION),
+                "vsafe": vsafe,
+            })
+    return entries
 
 
 def build_corpus() -> dict:
@@ -121,7 +169,7 @@ def build_corpus() -> dict:
 
     return {
         "format": "repro.golden-vsafe",
-        "version": 1,
+        "version": 2,
         "catalog": {
             "parts_per_technology": PARTS_PER_TECHNOLOGY,
             "seed": CATALOG_SEED,
@@ -136,6 +184,11 @@ def build_corpus() -> dict:
         },
         "estimators": list(KNOWN_ESTIMATORS),
         "entries": entries,
+        "environment": {
+            "seed": ENV_SEED,
+            "duration_s": ENV_DURATION,
+            "entries": _env_entries(trace),
+        },
     }
 
 
@@ -146,7 +199,8 @@ def main() -> int:
     surveyed = sum(1 for e in corpus["entries"] if e["surveyed"])
     print(f"wrote {CORPUS_PATH} "
           f"({surveyed}/{len(corpus['entries'])} parts surveyed, "
-          f"{len(corpus['estimators'])} estimators)")
+          f"{len(corpus['estimators'])} estimators, "
+          f"{len(corpus['environment']['entries'])} environment entries)")
     return 0
 
 

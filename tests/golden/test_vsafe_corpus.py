@@ -32,7 +32,7 @@ class TestCorpusShape:
     def test_header_and_coverage(self):
         corpus = _committed()
         assert corpus["format"] == "repro.golden-vsafe"
-        assert corpus["version"] == 1
+        assert corpus["version"] == 2
         # Technology-complete: all four technologies appear.
         technologies = {e["technology"] for e in corpus["entries"]}
         assert technologies == {"electrolytic", "ceramic", "tantalum",
@@ -53,6 +53,30 @@ class TestCorpusShape:
             for name, record in entry["vsafe"].items():
                 assert record["v_safe"] >= v_off, (entry["part_number"],
                                                    name)
+
+    def test_environment_entries_cover_every_model_and_front_end(self):
+        corpus = _committed()
+        env = corpus["environment"]
+        combos = {(e["model"], e["mppt"]) for e in env["entries"]}
+        assert len(env["entries"]) == 9
+        assert combos == {
+            (m, f)
+            for m in ("diurnal-solar", "kinetic-burst", "thermal-gradient")
+            for f in ("constant-voltage", "voc-fraction",
+                      "perturb-observe")}
+        estimators = set(corpus["estimators"])
+        v_off = corpus["plant"]["v_off"]
+        fingerprints = set()
+        for entry in env["entries"]:
+            assert set(entry["vsafe"]) == estimators
+            assert entry["pieces"] > 1
+            assert entry["energy_j"] > 0.0
+            assert len(entry["trace_fingerprint"]) == 32
+            fingerprints.add(entry["trace_fingerprint"])
+            for name, record in entry["vsafe"].items():
+                assert record["v_safe"] >= v_off, (entry["model"], name)
+        # Distinct environments lower to distinct traces.
+        assert len(fingerprints) == len(env["entries"])
 
 
 class TestCorpusMatchesCode:

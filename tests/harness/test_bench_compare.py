@@ -139,17 +139,21 @@ class TestMain:
         out = capsys.readouterr().out
         assert "BENCH.json" in out
 
-    def test_default_baseline_prefers_new_name(self):
-        """BENCH.json wins over the legacy BENCH_PR1.json when both exist."""
+    def test_default_baseline_is_bench_json(self):
         assert compare_mod.default_baseline().endswith("BENCH.json")
 
-    def test_legacy_baseline_still_readable(self, tmp_path, capsys):
-        """Old baselines without a fleet section still work as --baseline:
-        the fleet gate falls back to its absolute floor."""
-        repo_root = Path(__file__).resolve().parents[2]
-        legacy = str(repo_root / "BENCH_PR1.json")
+    def test_baseline_missing_sections_still_gates_floors(self, tmp_path,
+                                                          capsys):
+        """A baseline lacking whole sections (e.g. recorded before a
+        metric existed) still works as --baseline: those gates fall
+        back to their absolute floors."""
+        stripped = _payload()
+        del stripped["fleet"]
+        del stripped["segalg_kernel"]
+        del stripped["segalg_fleet"]
+        base = self._write(tmp_path, "base.json", stripped)
         fresh = self._write(tmp_path, "fresh.json", _payload())
-        assert compare_mod.main([fresh, "--baseline", legacy]) == 0
+        assert compare_mod.main([fresh, "--baseline", base]) == 0
         assert "verdict: OK" in capsys.readouterr().out
 
 

@@ -163,3 +163,46 @@ class TestCampaign:
         # fault breaks that assumption by design, so PG is not in the
         # default chaos set (it stays selectable explicitly).
         assert "culpeo-pg" not in CHAOS_STOCK
+
+
+class TestEnvAxis:
+    """Chaos under randomized environments instead of constant harvest."""
+
+    KW = dict(estimators=("culpeo-isr",), injectors=ESR_ONLY,
+              apps=("sense-store",))
+
+    def test_env_axis_campaign_runs_and_is_recorded(self):
+        report = run_campaign(2, seed=0, env_axis=True, **self.KW)
+        assert sum(report.counts.values()) == 2
+        assert report.env_axis
+        assert report.to_dict()["config"]["env_axis"] is True
+        assert "env axis on" in report.render()
+
+    def test_env_axis_is_deterministic_and_parallel_stable(self):
+        import json
+        a = run_campaign(3, seed=1, env_axis=True, jobs=1, **self.KW)
+        b = run_campaign(3, seed=1, env_axis=True, jobs=2, **self.KW)
+        assert json.dumps(a.to_dict(), sort_keys=True) \
+            == json.dumps(b.to_dict(), sort_keys=True)
+
+    def test_axis_off_is_the_default_and_unchanged(self):
+        report = run_campaign(1, seed=2, **self.KW)
+        assert not report.env_axis
+        assert report.to_dict()["config"]["env_axis"] is False
+
+    def test_unsafe_env_case_replays_with_its_environment(self, tmp_path):
+        # Find an unsafe env-axis trial (the energy baseline under ESR
+        # aging browns out readily), then replay it from the persisted
+        # case: the case must regenerate the same environment.
+        cases_dir = tmp_path / "cases"
+        report = run_campaign(4, seed=3, env_axis=True,
+                              estimators=("energy-v",),
+                              injectors=ESR_ONLY,
+                              apps=("sense-store",),
+                              cases_dir=str(cases_dir))
+        assert not report.ok
+        case = load_chaos_case(report.cases[0])
+        assert case.env_axis
+        replayed = case.replay()
+        assert replayed.outcome == case.original["outcome"]
+        assert replayed.details == case.original["details"]

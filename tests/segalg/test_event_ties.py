@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro import segalg
+from repro.env.spec import EnvSpec
 from repro.fleet.kernel import FleetRecorder, FleetState
 from repro.fleet.spec import FleetSpec
 from repro.loads.trace import CurrentTrace
@@ -242,3 +243,84 @@ class TestCrossingOnCompiledBoundary:
         state, _ = _fleet(spec, [(0.0, t_rail), (0.0, 1.0)], v0=v0)
         assert float(state.v_term[0]) == pytest.approx(v_max)
         assert float(state.time[0]) == pytest.approx(t_rail + 1.0)
+
+
+class TestEnvBreakpointOnTaskBoundary:
+    """An environment piece edge landing *exactly* on a task boundary.
+
+    Env fleet columns live on a uniform ``grid_dt`` lattice, so a task
+    segment ending on a lattice point makes the span horizon, the
+    segment commit, and the harvest-power step all coincide at one
+    float. Both segalg paths must take the step exactly once — no
+    stall on the zero-length sliver, no double-sampled piece — and
+    stay within the method band of the stepping fastpath (which clamps
+    its step at the same edge).
+    """
+
+    def _spec(self):
+        env = EnvSpec(model="diurnal-solar", duration=8.0, seed=3,
+                      peak_power=5e-3, period=8.0, daylight_fraction=1.0,
+                      cloud_rate=6.0, grid_dt=0.25)
+        return FleetSpec(devices=1, seed=0, esr_jitter=0.0,
+                         capacitance_jitter=0.0, harvest_jitter=0.0,
+                         eta_jitter=0.0, env=env)
+
+    def _boundary_with_power_step(self, params):
+        harvester = params.device_harvester(0)
+        edges, powers = harvester.edges, harvester.powers
+        for k in range(2, len(powers) - 4):
+            if powers[k - 1] != powers[k]:
+                return float(edges[k])
+        raise AssertionError("no interior power step found")
+
+    def test_scalar_takes_the_step_exactly_once(self):
+        spec = self._spec()
+        params = spec.parameters()
+        t_b = self._boundary_with_power_step(params)
+        segments = [(0.012, t_b), (0.0, 1.0)]
+
+        from repro.sim import fastpath
+        system = params.device_system(0)
+        system.rest_at(2.2)  # the _scalar helper's start voltage
+        sim_fast = PowerSystemSimulator(system, fast=False)
+        fastpath.advance_segments(sim_fast, segments, True, None)
+
+        sim, sys_alg, brown = _scalar(spec, segments)
+        assert brown is None
+        assert sim.time == pytest.approx(t_b + 1.0, abs=1e-9)
+        assert sys_alg.buffer.terminal_voltage == pytest.approx(
+            system.buffer.terminal_voltage, abs=5e-3)
+
+    def test_fleet_agrees_on_the_tie(self):
+        spec = self._spec()
+        params = spec.parameters()
+        t_b = self._boundary_with_power_step(params)
+        segments = [(0.012, t_b), (0.0, 1.0)]
+
+        _sim, sys_alg, _ = _scalar(spec, segments)
+        state, brown = _fleet(spec, segments)
+        assert np.isnan(float(brown[0]))
+        assert float(state.time[0]) == pytest.approx(t_b + 1.0, abs=1e-9)
+        assert float(state.v_term[0]) == pytest.approx(
+            sys_alg.buffer.terminal_voltage, abs=1e-3)
+
+    def test_splitting_the_task_at_the_edge_changes_nothing(self):
+        # The boundary is already a span horizon; making it a *source*
+        # boundary as well must not move the physics.
+        spec = self._spec()
+        params = spec.parameters()
+        t_b = self._boundary_with_power_step(params)
+        whole = [(0.012, t_b + 1.0)]
+        split = [(0.012, t_b), (0.012, 1.0)]
+
+        # Partition sensitivity bounds the drift: a new source boundary
+        # re-cuts the compiled intervals (~1e-4 V here), nothing more.
+        _sim_a, sys_a, _ = _scalar(spec, whole)
+        _sim_b, sys_b, _ = _scalar(spec, split)
+        assert sys_b.buffer.terminal_voltage == pytest.approx(
+            sys_a.buffer.terminal_voltage, abs=5e-4)
+
+        state_a, _ = _fleet(spec, whole)
+        state_b, _ = _fleet(spec, split)
+        assert float(state_b.v_term[0]) == pytest.approx(
+            float(state_a.v_term[0]), abs=5e-4)

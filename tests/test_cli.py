@@ -114,7 +114,7 @@ class TestTraceCommand:
 
     def test_stats_rejects_foreign_json(self, capsys, tmp_path):
         bad = tmp_path / "other.json"
-        bad.write_text('{"benchmark": "BENCH_PR1"}')
+        bad.write_text('{"benchmark": "BENCH"}')
         assert main(["stats", str(bad)]) == 2
         assert "not a repro.obs metrics snapshot" in capsys.readouterr().err
 
@@ -270,3 +270,101 @@ class TestFleetCommand:
         assert main(args) == 0
         assert "UNSAFE" in capsys.readouterr().out
         assert main(args + ["--fail-on-unsafe"]) == 1
+
+
+class TestEnvCommand:
+    """End-to-end `repro env`: generate, inspect, replay."""
+
+    GEN = ["env", "generate", "--devices", "6", "--duration", "20",
+           "--front-delay", "0.3", "--env-seed", "5"]
+
+    def _generate(self, tmp_path, *extra):
+        out = tmp_path / "sky.npz"
+        assert main(self.GEN + ["--out", str(out)] + list(extra)) == 0
+        return out
+
+    def test_generate_writes_a_trace(self, capsys, tmp_path):
+        out = self._generate(tmp_path)
+        assert out.exists()
+        line = capsys.readouterr().out
+        assert "6 device(s)" in line
+        assert "fingerprint" in line
+
+    def test_generate_is_byte_deterministic(self, capsys, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = self._generate(tmp_path / "a")
+        b = self._generate(tmp_path / "b")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_generate_rejects_bad_spec(self, capsys, tmp_path):
+        assert main(["env", "generate", "--model", "lunar",
+                     "--out", str(tmp_path / "x.npz")]) == 2
+        assert "unknown environment model" in capsys.readouterr().err
+
+    def test_inspect_prints_summary_json(self, capsys, tmp_path):
+        out = self._generate(tmp_path)
+        capsys.readouterr()
+        assert main(["env", "inspect", str(out)]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.env-trace"
+        assert payload["devices"] == 6
+        assert payload["spec"]["model"] == "diurnal-solar"
+
+    def test_inspect_rejects_foreign_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.npz"
+        import numpy as np
+        np.savez(bad, edges=np.array([0.0, 1.0]))
+        assert main(["env", "inspect", str(bad)]) == 2
+        assert "not an environment trace" in capsys.readouterr().err
+
+    def test_replay_verifies_and_runs_the_fleet(self, capsys, tmp_path):
+        out = self._generate(tmp_path)
+        report = tmp_path / "replay.json"
+        code = main(["env", "replay", str(out), "--horizon", "20",
+                     "--cycles", "1", "--check", "2",
+                     "--report", str(report)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "fleet: 6 devices" in text
+        assert "differential check" in text
+        import json
+        payload = json.loads(report.read_text())
+        assert payload["format"] == "repro.fleet-report"
+        assert payload["config"]["spec"]["env"]["model"] == "diurnal-solar"
+
+    def test_replay_reports_identical_across_jobs(self, tmp_path):
+        out = self._generate(tmp_path)
+        reports = []
+        for jobs in ("1", "3"):
+            path = tmp_path / f"replay-j{jobs}.json"
+            assert main(["env", "replay", str(out), "--horizon", "20",
+                         "--cycles", "1", "--jobs", jobs,
+                         "--report", str(path)]) == 0
+            reports.append(path)
+        assert reports[0].read_text() == reports[1].read_text()
+
+    def test_replay_needs_a_generating_spec(self, capsys, tmp_path):
+        import numpy as np
+        from repro.env import EnvFleetTrace, save_trace
+        raw = EnvFleetTrace(edges=np.array([0.0, 1.0, 2.0]),
+                            powers=np.full((2, 2), 1e-3))
+        path = tmp_path / "recorded.npz"
+        save_trace(path, raw)
+        assert main(["env", "replay", str(path)]) == 2
+        assert "no generating spec" in capsys.readouterr().err
+
+    def test_fleet_env_flag_drives_the_fleet(self, capsys, tmp_path):
+        out = self._generate(tmp_path)
+        code = main(["fleet", "--devices", "6", "--env", str(out),
+                     "--horizon", "20", "--cycles", "1", "--check", "2"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "differential check" in text
+
+    def test_fleet_env_excludes_harvest_period(self, capsys, tmp_path):
+        out = self._generate(tmp_path)
+        assert main(["fleet", "--devices", "6", "--env", str(out),
+                     "--harvest-period", "60"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -6,6 +6,8 @@ import pytest
 from repro.verify.generators import (
     _MIN_SEGMENT_WIDTH,
     SystemSpec,
+    env_rng,
+    random_env_spec,
     random_system_spec,
     random_trace,
     trace_from_segments,
@@ -103,3 +105,33 @@ class TestRandomTrace:
         trace = random_trace(rng, random_system_spec(rng))
         rebuilt = trace_from_segments(trace_segments(trace))
         assert list(rebuilt.segments()) == list(trace.segments())
+
+
+class TestRandomEnvSpec:
+    def test_deterministic_per_trial(self):
+        for index in (0, 3, 11):
+            assert random_env_spec(env_rng(4, index)) \
+                == random_env_spec(env_rng(4, index))
+
+    def test_env_stream_is_independent_of_trial_stream(self):
+        # Drawing the environment must never consume the trial stream:
+        # the same (seed, index) yields different generators.
+        assert env_rng(9, 2).random(4).tolist() \
+            != trial_rng(9, 2).random(4).tolist()
+
+    def test_specs_are_valid_and_varied(self):
+        models = set()
+        mppts = set()
+        for index in range(24):
+            spec = random_env_spec(env_rng(0, index))
+            models.add(spec.model)
+            mppts.add(spec.mppt)
+            assert 30.0 <= spec.duration <= 90.0
+            assert 0.0 < spec.peak_power <= 8e-3
+        assert len(models) == 3
+        assert len(mppts) == 3
+
+    def test_specs_lower_cleanly(self):
+        for index in range(4):
+            trace = random_env_spec(env_rng(1, index)).lower()
+            assert np.all(trace.powers >= 0.0)

@@ -124,3 +124,31 @@ class TestChaosReplayRoundTrip:
         save_chaos_case(case, first)
         save_chaos_case(load_chaos_case(first), second)
         assert first.read_text() == second.read_text()
+
+    def test_env_axis_flag_survives_disk(self, tmp_path):
+        import dataclasses
+        case = dataclasses.replace(
+            _chaos_case("culpeo-isr", {"injector": "none"}),
+            env_axis=True)
+        path = tmp_path / "chaos.json"
+        save_chaos_case(case, path)
+        loaded = load_chaos_case(path)
+        assert loaded.env_axis
+        # The replay regenerates the recorded environment: same outcome
+        # and details as the in-memory original.
+        direct = case.replay()
+        replayed = loaded.replay()
+        assert replayed.outcome == direct.outcome
+        assert replayed.details == direct.details
+
+    def test_pre_env_documents_still_load(self, tmp_path):
+        # Cases persisted before the environment axis existed have no
+        # env_axis key; they must load (and replay dark) unchanged.
+        import json
+        case = _chaos_case("culpeo-isr", {"injector": "none"})
+        path = tmp_path / "old.json"
+        document = case.to_dict()
+        del document["env_axis"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        loaded = load_chaos_case(path)
+        assert not loaded.env_axis
