@@ -541,6 +541,34 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        cache_path=args.cache,
+        max_sessions=args.max_sessions,
+        metrics_out=args.metrics_out,
+    )
+    # The daemon always runs instrumented: the shed/deadline counters and
+    # latency histograms ARE its operational surface (snapshot written to
+    # --metrics-out at shutdown).
+    obs.enable()
+    try:
+        return asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        obs.disable()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -831,6 +859,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="dump the raw snapshot JSON instead of tables")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the V_safe admission daemon (newline-delimited JSON "
+             "over TCP; answers byte-identical to the library)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port; 0 picks an ephemeral port and "
+                              "prints it (default 0)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="largest batch one kernel dispatch may "
+                              "coalesce (default 64)")
+    p_serve.add_argument("--queue-limit", type=int, default=1024,
+                         help="bounded admission queue; beyond this "
+                              "requests are shed (default 1024)")
+    p_serve.add_argument("--deadline-ms", type=float, default=0.0,
+                         help="default per-request queue deadline in ms; "
+                              "0 disables (default 0)")
+    p_serve.add_argument("--cache", default=None, metavar="PATH",
+                         help="disk path for the persistent V_safe cache "
+                              "(warm across restarts; default in-memory "
+                              "only)")
+    p_serve.add_argument("--max-sessions", type=int, default=4096,
+                         help="bounded device-session LRU (default 4096)")
+    p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the obs metrics snapshot here at "
+                              "shutdown")
+    p_serve.set_defaults(fn=cmd_serve)
     return parser
 
 

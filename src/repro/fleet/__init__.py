@@ -15,8 +15,23 @@ harvesting devices) actually runs in. Three layers:
   into any-jobs byte-identical :class:`FleetReport`s, with a
   :mod:`~repro.fleet.differential` mode cross-checking sampled devices
   against the scalar kernel (``repro fleet --check N``).
+
+A fourth entry point, :mod:`~repro.fleet.batch`, inverts the spec's
+shape for the serving layer: N *unrelated* one-shot queries — each with
+its own plant and start voltage — assembled into one kernel call, with
+per-lane answers byte-identical to a batch of one.
 """
 
+from repro.fleet.batch import (
+    BATCH_ENGINES,
+    BatchPlant,
+    BatchQuery,
+    BatchResult,
+    BatchShared,
+    advance_batch,
+    build_batch,
+    shared_key,
+)
 from repro.fleet.differential import (
     CrossCheckResult,
     DeviceMismatch,
@@ -43,6 +58,14 @@ from repro.fleet.spec import FleetParams, FleetSpec
 from repro.segalg.vector import advance_fleet
 
 __all__ = [
+    "BATCH_ENGINES",
+    "BatchPlant",
+    "BatchQuery",
+    "BatchResult",
+    "BatchShared",
+    "advance_batch",
+    "build_batch",
+    "shared_key",
     "FLEET_ENGINES",
     "advance_fleet",
     "FleetSpec",

@@ -1,0 +1,40 @@
+"""``repro.serve`` — V_safe as a service.
+
+The paper's charge-management interface answers one question — *is the
+bank above V_safe for this task?* — on the device. This package answers
+the same question for a **fleet**, from one daemon: admission queries
+arrive over a newline-delimited canonical-JSON socket protocol
+(:mod:`~repro.serve.protocol`), a coalescer batches concurrent queries
+that share an analysis onto one vectorized kernel call
+(:mod:`~repro.serve.engine` over :mod:`repro.fleet.batch`), a
+disk-backed content-keyed cache keeps answers warm across restarts
+(:mod:`~repro.serve.cache`), and per-device sessions carry the
+Culpeo-R-shaped state — capture registers and adaptive derate — that
+cannot live anywhere but with the device's history
+(:mod:`~repro.serve.sessions`).
+
+The correctness bar is deliberately unforgiving: every served answer is
+**byte-identical** to the library's answer for the same query, enforced
+end to end by the differential client (:mod:`~repro.serve.client`) and
+the CI smoke harness (:mod:`~repro.serve.check`). Batching, coalescing,
+caching and restarts are throughput features; none of them is allowed
+to change a single byte.
+"""
+
+from repro.serve.cache import PersistentVsafeCache
+from repro.serve.engine import AdmissionEngine
+from repro.serve.protocol import PROTOCOL_VERSION, canonical
+from repro.serve.server import ServeConfig, VsafeServer, run_server
+from repro.serve.sessions import DeviceSession, SessionStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionEngine",
+    "DeviceSession",
+    "PersistentVsafeCache",
+    "ServeConfig",
+    "SessionStore",
+    "VsafeServer",
+    "canonical",
+    "run_server",
+]

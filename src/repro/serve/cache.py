@@ -1,0 +1,256 @@
+"""The disk-backed V_safe cache tier: warm across daemon restarts.
+
+The in-process :class:`~repro.core.vsafe_cache.VsafeCache` dies with the
+process; a serving daemon restarts often and should not recompute every
+estimate it ever served. :class:`PersistentVsafeCache` adds one disk
+tier: a JSON file of content-keyed entries, loaded (and integrity-
+checked) at startup, written atomically at shutdown or on demand.
+
+Keys are the same *content* identities the in-memory cache uses —
+estimator ``cache_key()`` tuples (which fold in the plant's
+``config_key()``), trace fingerprints, the segment-program
+:func:`~repro.segalg.program.canonical_fingerprint`, and EnvSpec
+fingerprints — digested to a stable hex string. Invalidation therefore
+stays structural: change the plant, the trace, or the environment and
+the key simply stops matching. There is no epoch bookkeeping, and a
+stale file can never serve a wrong answer — only a missing one.
+
+Failure containment: the load path treats the file as untrusted. A
+truncated write, a corrupted byte, a wrong format tag, or a checksum
+mismatch all reject the whole file and start empty (the daemon falls
+back to recomputing — correctness is never delegated to the disk).
+Writes go to a uniquely named temp file in the same directory followed
+by :func:`os.replace`, so concurrent writers can interleave freely: the
+file is always *some* writer's complete, checksummed snapshot.
+
+Values round-trip exactly: entries are plain JSON objects of floats and
+strings, and CPython's float repr/parse is lossless, so an estimate
+restored from disk serves byte-identical answers to one computed fresh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Hashable, Optional
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.obs import current as _obs_current
+from repro.serve.protocol import canonical
+
+FORMAT = "repro.serve-vsafe-cache"
+VERSION = 1
+
+#: Temp-file sequence counter (per process) for atomic replace writes.
+_tmp_seq = 0
+_tmp_lock = threading.Lock()
+
+
+def key_digest(key: Hashable) -> str:
+    """Stable hex digest of a structured cache key.
+
+    ``repr`` of the key tuple is deterministic for the plain types the
+    keys are built from (strings, numbers, nested tuples), and blake2b
+    is process-independent — two daemons derive the same digest for the
+    same content, which is what makes the file shareable.
+    """
+    return hashlib.blake2b(repr(key).encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def estimate_entry(estimate: VsafeEstimate) -> dict:
+    """A :class:`VsafeEstimate` as a plain JSON entry (lossless floats)."""
+    return {
+        "kind": "estimate",
+        "v_safe": estimate.v_safe,
+        "v_delta": estimate.v_delta,
+        "energy_v2": estimate.demand.energy_v2,
+        "demand_v_delta": estimate.demand.v_delta,
+        "method": estimate.method,
+    }
+
+
+def entry_estimate(entry: dict) -> VsafeEstimate:
+    """Rebuild the estimate an entry was made from (exact floats)."""
+    return VsafeEstimate(
+        v_safe=float(entry["v_safe"]),
+        v_delta=float(entry["v_delta"]),
+        demand=TaskDemand(energy_v2=float(entry["energy_v2"]),
+                          v_delta=float(entry["demand_v_delta"])),
+        method=str(entry["method"]),
+    )
+
+
+def _checksum(entries: Dict[str, dict]) -> str:
+    return hashlib.blake2b(canonical(entries).encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+class PersistentVsafeCache:
+    """A bounded LRU of JSON entries with an optional disk tier.
+
+    ``path=None`` is a purely in-memory cache (the differential client's
+    local mirror uses one); with a path, the constructor loads whatever
+    valid snapshot exists and :meth:`flush` persists the current state
+    atomically. Thread-safe like its in-memory sibling.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 maxsize: int = 65536) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.path = None if path is None else Path(path)
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        #: Why the disk tier did (or did not) contribute at startup.
+        self.load_status = "no-file"
+        self.loaded_entries = 0
+        if self.path is not None:
+            self._load()
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _load(self) -> None:
+        """Load the snapshot if it verifies; start empty otherwise."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        except OSError:
+            self._reject("unreadable")
+            return
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._reject("corrupt-json")
+            return
+        if not isinstance(payload, dict) \
+                or payload.get("format") != FORMAT \
+                or payload.get("version") != VERSION:
+            self._reject("bad-format")
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, dict) \
+                or payload.get("checksum") != _checksum(entries):
+            self._reject("checksum-mismatch")
+            return
+        with self._lock:
+            for digest, entry in entries.items():
+                if isinstance(digest, str) and isinstance(entry, dict):
+                    self._data[digest] = entry
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            self.loaded_entries = len(self._data)
+        self.load_status = "loaded"
+
+    def _reject(self, reason: str) -> None:
+        """Record a rejected file (the daemon recomputes from scratch)."""
+        self.load_status = f"rejected:{reason}"
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter("serve.cache.load_rejected").inc()
+
+    def flush(self) -> None:
+        """Persist the current entries atomically (no-op when pathless).
+
+        Unique temp name + ``os.replace``: a reader never sees a partial
+        file, and the last of several concurrent writers wins with a
+        complete snapshot.
+        """
+        global _tmp_seq
+        if self.path is None:
+            return
+        with self._lock:
+            entries = dict(self._data)
+        payload = {
+            "format": FORMAT,
+            "version": VERSION,
+            "entries": entries,
+            "checksum": _checksum(entries),
+        }
+        with _tmp_lock:
+            _tmp_seq += 1
+            seq = _tmp_seq
+        tmp = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}.{seq}.tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(canonical(payload) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Optional[dict]:
+        """The entry for ``key``, or None (counts toward hit/miss stats)."""
+        digest = key_digest(key)
+        with self._lock:
+            entry = self._data.get(digest)
+            if entry is None:
+                self._misses += 1
+            else:
+                self._data.move_to_end(digest)
+                self._hits += 1
+        self._observe(hit=entry is not None)
+        return entry
+
+    def put(self, key: Hashable, entry: dict) -> None:
+        if not isinstance(entry, dict):
+            raise TypeError(f"entries are plain dicts, got {type(entry)}")
+        digest = key_digest(key)
+        with self._lock:
+            self._data[digest] = entry
+            self._data.move_to_end(digest)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def get_estimate(self, key: Hashable) -> Optional[VsafeEstimate]:
+        entry = self.get(key)
+        if entry is None or entry.get("kind") != "estimate":
+            return None
+        try:
+            return entry_estimate(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_estimate(self, key: Hashable, estimate: VsafeEstimate) -> None:
+        self.put(key, estimate_entry(estimate))
+
+    @staticmethod
+    def _observe(hit: bool) -> None:
+        obs = _obs_current()
+        if obs is None:
+            return
+        obs.metrics.counter(
+            "serve.cache.hits" if hit else "serve.cache.misses").inc()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self._hits,
+                "misses": self._misses,
+                "load_status": self.load_status,
+                "loaded_entries": self.loaded_entries,
+            }
+
+
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "PersistentVsafeCache",
+    "entry_estimate",
+    "estimate_entry",
+    "key_digest",
+]

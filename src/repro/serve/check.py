@@ -1,0 +1,314 @@
+"""End-to-end differential check: the daemon vs the library, byte for byte.
+
+``python -m repro.serve.check`` spawns a real ``python -m repro serve``
+subprocess, fires a seeded mixed workload at it over concurrent
+connections, and compares every response line against the independent
+library oracle (:class:`~repro.serve.client.ExpectedAnswers`). Two
+modes:
+
+* **smoke** (default; the CI ``serve-smoke`` job): mixed admits /
+  simulates / reports / pings across ``--connections`` concurrent
+  connections, every byte compared, then a ``stats`` probe, a graceful
+  ``shutdown``, and an exit-code-0 assertion. Device-scoped requests
+  stay sequential on their home connection (session answers are
+  history-dependent); everything else is concurrent — exactly the
+  interleaving the batcher must coalesce without changing an answer.
+* **sustained** (``--sustained``; the nightly job): pipelined floods of
+  session-free admits against a deliberately small queue, asserting the
+  daemon *sheds* (``overloaded``) rather than stalls, and that every
+  non-shed answer is still byte-identical. Load shedding is
+  timing-dependent, so shed responses are only counted, never compared.
+
+Exit code 0 means every assertion held; any mismatch prints both byte
+strings and fails the run (and with it, the CI job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro.env.spec import EnvSpec
+from repro.serve.client import ExpectedAnswers, ServeClient, ServerProcess
+from repro.serve.protocol import canonical
+
+#: Distinct plant overrides the workload cycles through (None = default).
+SYSTEMS: Tuple[Optional[dict], ...] = (
+    None,
+    {"datasheet_capacitance": 33e-3, "capacitance_tolerance": 0.1},
+    {"dc_esr": 6.0, "v_high": 2.50, "v_out": 2.45},
+)
+
+APPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("sense-store", ("sample", "compute", "store")),
+    ("sense-tx", ("sample", "compute", "radio")),
+    ("crypto-tx", ("sample", "encrypt", "radio")),
+)
+
+ESTIMATORS: Tuple[str, ...] = ("culpeo-pg", "culpeo-isr", "energy-direct")
+
+V_BANKS: Tuple[float, ...] = (1.7, 1.9, 2.1, 2.3, 2.56)
+V_STARTS: Tuple[float, ...] = (1.8, 2.2, 2.56)
+
+#: One small recorded environment for env-backed simulate queries.
+ENV = EnvSpec(model="diurnal-solar", duration=60.0, seed=3).to_dict()
+
+
+def _random_admit(rng: Random, req_id: str,
+                  device: Optional[str]) -> dict:
+    app, tasks = APPS[rng.randrange(len(APPS))]
+    req = {
+        "op": "admit", "id": req_id,
+        "v_bank": V_BANKS[rng.randrange(len(V_BANKS))],
+        "app": app, "task": tasks[rng.randrange(len(tasks))],
+        "estimator": ESTIMATORS[rng.randrange(len(ESTIMATORS))],
+    }
+    system = SYSTEMS[rng.randrange(len(SYSTEMS))]
+    if system is not None:
+        req["system"] = system
+    if device is not None:
+        req["device"] = device
+    return req
+
+
+def _random_simulate(rng: Random, req_id: str) -> dict:
+    req = {
+        "op": "simulate", "id": req_id,
+        "v_start": V_STARTS[rng.randrange(len(V_STARTS))],
+    }
+    kind = rng.randrange(4)
+    if kind == 0:
+        req["trace"] = [[0.01, 0.2], [0.004, 0.35], [0.012, 0.15]]
+    else:
+        app, _tasks = APPS[rng.randrange(len(APPS))]
+        req["app"] = app
+        req["cycles"] = 1 + rng.randrange(2)
+    if kind == 2:
+        req["harvesting"] = True
+    elif kind == 3:
+        req["harvesting"] = True
+        req["env"] = ENV
+    system = SYSTEMS[rng.randrange(len(SYSTEMS))]
+    if system is not None:
+        req["system"] = system
+    return req
+
+
+def make_smoke_workload(seed: int, queries: int, devices: int,
+                        connections: int) -> List[List[dict]]:
+    """Per-connection request lists. Each device lives on exactly one
+    connection, so its session history is sequential."""
+    rng = Random(seed)
+    lanes: List[List[dict]] = [[] for _ in range(connections)]
+    device_lane = {f"dev-{i}": i % connections for i in range(devices)}
+    names = sorted(device_lane)
+    for n in range(queries):
+        roll = rng.random()
+        if roll < 0.5:
+            device = None
+            if devices and rng.random() < 0.6:
+                device = names[rng.randrange(len(names))]
+            lane = (device_lane[device] if device is not None
+                    else rng.randrange(connections))
+            req = _random_admit(rng, f"q{n}", device)
+        elif roll < 0.75:
+            lane = rng.randrange(connections)
+            req = _random_simulate(rng, f"q{n}")
+        elif roll < 0.9 and devices:
+            device = names[rng.randrange(len(names))]
+            lane = device_lane[device]
+            outcome = "brownout" if rng.random() < 0.5 else "success"
+            req = {"op": "report", "id": f"q{n}", "device": device,
+                   "outcome": outcome}
+        else:
+            lane = rng.randrange(connections)
+            req = {"op": "ping", "id": f"q{n}"}
+        if rng.random() < 0.1:
+            req["deadline_ms"] = 30000.0
+        lanes[lane].append(req)
+    return lanes
+
+
+async def _run_lane(host: str, port: int, requests: List[dict],
+                    oracle: ExpectedAnswers,
+                    mismatches: List[str]) -> None:
+    client = await ServeClient.connect(host, port)
+    try:
+        for req in requests:
+            # The oracle must see device ops in served order; computing
+            # just before the sequential round-trip guarantees it.
+            expected = oracle.expect_line(req)
+            got = await client.request_line(req)
+            if got != expected:
+                mismatches.append(
+                    f"id={req.get('id')}\n  served   {got!r}\n"
+                    f"  expected {expected!r}")
+    finally:
+        await client.close()
+
+
+async def run_smoke(host: str, port: int, lanes: List[List[dict]],
+                    shutdown: bool = True) -> Tuple[int, int]:
+    """Returns (requests checked, mismatches); prints each mismatch."""
+    oracle = ExpectedAnswers()
+    mismatches: List[str] = []
+    await asyncio.gather(*(
+        _run_lane(host, port, lane, oracle, mismatches)
+        for lane in lanes if lane))
+    checked = sum(len(lane) for lane in lanes)
+
+    control = await ServeClient.connect(host, port)
+    try:
+        stats = json.loads(await control.request_line(
+            {"op": "stats", "id": "stats"}))
+        if not stats.get("ok"):
+            mismatches.append(f"stats probe failed: {canonical(stats)}")
+        if shutdown:
+            ack = json.loads(await control.request_line(
+                {"op": "shutdown", "id": "bye"}))
+            if not ack.get("stopping"):
+                mismatches.append(f"shutdown not acked: {canonical(ack)}")
+    finally:
+        await control.close()
+    for text in mismatches:
+        print(f"MISMATCH {text}", file=sys.stderr)
+    return checked, len(mismatches)
+
+
+async def _flood_lane(host: str, port: int, requests: List[dict],
+                      expected: Dict[str, bytes], counts: Dict[str, int],
+                      mismatches: List[str]) -> None:
+    """Pipelined: write the whole lane, then collect every response."""
+    client = await ServeClient.connect(host, port)
+    try:
+        for req in requests:
+            await client.send(req)
+        for _ in requests:
+            line = await client.recv_line()
+            body = json.loads(line)
+            if body.get("ok"):
+                counts["answered"] += 1
+                if line != expected[body["id"]]:
+                    mismatches.append(
+                        f"id={body['id']}\n  served   {line!r}\n"
+                        f"  expected {expected[body['id']]!r}")
+            elif body.get("error") in ("overloaded", "deadline"):
+                counts[body["error"]] += 1
+            else:
+                mismatches.append(f"unexpected error: {line!r}")
+    finally:
+        await client.close()
+
+
+async def run_sustained(host: str, port: int, seed: int, queries: int,
+                        connections: int, waves: int = 5) -> int:
+    """Flood with session-free admits until the daemon sheds; byte-check
+    every answered response. Returns the number of failures."""
+    oracle = ExpectedAnswers()
+    rng = Random(seed)
+    mismatches: List[str] = []
+    totals = {"answered": 0, "overloaded": 0, "deadline": 0}
+    per_lane = max(1, queries // max(1, connections))
+    for wave in range(waves):
+        lanes = []
+        expected: Dict[str, bytes] = {}
+        for c in range(connections):
+            lane = [_random_admit(rng, f"w{wave}c{c}n{n}", None)
+                    for n in range(per_lane)]
+            for req in lane:
+                expected[req["id"]] = oracle.expect_line(req)
+            lanes.append(lane)
+        counts = {"answered": 0, "overloaded": 0, "deadline": 0}
+        await asyncio.gather(*(
+            _flood_lane(host, port, lane, expected, counts, mismatches)
+            for lane in lanes))
+        for key, value in counts.items():
+            totals[key] += value
+        print(f"wave {wave}: {canonical(counts)}", flush=True)
+        if totals["overloaded"] > 0 and wave >= 1:
+            break
+    control = await ServeClient.connect(host, port)
+    try:
+        await control.request_line({"op": "shutdown", "id": "bye"})
+    finally:
+        await control.close()
+    failures = len(mismatches)
+    for text in mismatches:
+        print(f"MISMATCH {text}", file=sys.stderr)
+    if totals["overloaded"] == 0:
+        print("FAIL: sustained load never tripped load shedding",
+              file=sys.stderr)
+        failures += 1
+    if totals["answered"] == 0:
+        print("FAIL: no request was answered under load", file=sys.stderr)
+        failures += 1
+    print(f"sustained totals: {canonical(totals)}", flush=True)
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.check",
+        description="differential serving check: served bytes vs library")
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--devices", type=int, default=8)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sustained", action="store_true",
+                        help="flood mode: assert load shedding engages")
+    parser.add_argument("--queue-limit", type=int, default=None,
+                        help="server queue bound (sustained defaults small)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--deadline-ms", type=float, default=0.0)
+    parser.add_argument("--metrics-out", default=None,
+                        help="ask the server to write its obs snapshot here")
+    args = parser.parse_args(argv)
+
+    queue_limit = args.queue_limit
+    if queue_limit is None:
+        queue_limit = 64 if args.sustained else 1024
+    server_args = ["--queue-limit", str(queue_limit),
+                   "--max-batch", str(args.max_batch)]
+    if args.deadline_ms:
+        server_args += ["--deadline-ms", str(args.deadline_ms)]
+    if args.metrics_out:
+        server_args += ["--metrics-out", args.metrics_out]
+
+    with ServerProcess(*server_args) as server:
+        if args.sustained:
+            failures = asyncio.run(run_sustained(
+                server.host, server.port, args.seed, args.queries,
+                args.connections))
+            checked = None
+        else:
+            lanes = make_smoke_workload(args.seed, args.queries,
+                                        args.devices, args.connections)
+            checked, failures = asyncio.run(run_smoke(
+                server.host, server.port, lanes))
+        rc = server.wait()
+        if rc != 0:
+            print(f"FAIL: server exited with {rc}", file=sys.stderr)
+            failures += 1
+    if args.metrics_out and not Path(args.metrics_out).is_file():
+        print(f"FAIL: no metrics snapshot at {args.metrics_out}",
+              file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"serve check FAILED ({failures} failures)", file=sys.stderr)
+        return 1
+    if checked is not None:
+        print(f"serve check OK: {checked} responses byte-identical, "
+              f"clean shutdown")
+    else:
+        print("serve check OK: shedding engaged, answers byte-identical, "
+              "clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

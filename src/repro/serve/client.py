@@ -1,0 +1,292 @@
+"""The differential serving client: library answers vs served bytes.
+
+The serving correctness bar is *byte identity*: for every request, the
+daemon's response line must equal — byte for byte — the response the
+library produces for the same query. This module supplies both halves:
+
+* :class:`ExpectedAnswers` — the **library path**. It recomputes each
+  answer from first principles (``capybara_power_system`` +
+  ``build_estimator`` for admits, a batch-of-one
+  :func:`~repro.fleet.batch.advance_batch` for simulates, its own
+  mirror of the adaptive derate arithmetic for sessions), deliberately
+  *without* importing the engine — a shared bug in a shared code path
+  is exactly what a differential check must not be blind to.
+* :class:`ServeClient` — a small asyncio NDJSON client (sequential
+  request/response, or pipelined fire-then-collect for load tests).
+* :class:`ServerProcess` — spawns ``python -m repro serve`` as a real
+  subprocess and parses the announced port, so the CI smoke job
+  exercises the same daemon a deployment would run.
+
+Ordering discipline: answers involving a device session depend on that
+device's request history, so a differential run keeps each device's
+operations sequential on one connection; operations for *different*
+devices (and all session-free requests) may fly concurrently on any
+number of connections — which is precisely the concurrency the batcher
+is supposed to coalesce without changing a byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+from repro.env.correlate import base_grid
+from repro.env.spec import EnvSpec
+from repro.fleet.batch import BatchPlant, BatchQuery, BatchShared, \
+    advance_batch
+from repro.loads.trace import CurrentTrace
+from repro.apps.programs import build_program
+from repro.power.system import capybara_power_system
+from repro.sched.adaptive import AdaptiveCulpeoScheduler as _Sched
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    encode_line,
+)
+from repro.verify.runner import build_estimator
+
+_PLANT_FIELDS = ("datasheet_capacitance", "capacitance_tolerance",
+                 "dc_esr", "c_decoupling", "leakage_current",
+                 "redist_fraction", "harvest_power")
+_SHARED_FIELDS = ("v_high", "v_off", "v_out")
+
+
+class _LocalDevice:
+    """The client's independent mirror of one device's derate backoff
+    (reimplements the scheduler arithmetic; does not import the serve
+    session type)."""
+
+    __slots__ = ("derate", "brownouts", "successes")
+
+    def __init__(self) -> None:
+        self.derate = 0.0
+        self.brownouts = 0
+        self.successes = 0
+
+    def brownout(self) -> None:
+        self.brownouts += 1
+        self.derate = (_Sched.DERATE_INITIAL if self.derate <= 0.0
+                       else min(_Sched.DERATE_MAX, self.derate * 2.0))
+
+    def success(self) -> None:
+        self.successes += 1
+        if self.derate > 0.0:
+            halved = self.derate / 2.0
+            self.derate = 0.0 if halved < _Sched.DERATE_EPSILON else halved
+
+
+class ExpectedAnswers:
+    """Computes, through the library, the response each request must get."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, _LocalDevice] = {}
+        self._estimators: Dict[tuple, Any] = {}
+        self._systems: Dict[tuple, Any] = {}
+
+    # -- request pieces -----------------------------------------------------
+
+    @staticmethod
+    def _split_system(req: dict) -> tuple:
+        system = req.get("system") or {}
+        plant = BatchPlant(**{k: float(system[k]) for k in _PLANT_FIELDS
+                              if k in system})
+        shared = BatchShared(**{k: float(system[k]) for k in _SHARED_FIELDS
+                                if k in system})
+        return plant, shared
+
+    @staticmethod
+    def _trace(req: dict) -> CurrentTrace:
+        raw = req.get("trace")
+        if raw is not None:
+            return CurrentTrace([(float(i), float(d)) for i, d in raw])
+        program = build_program(req["app"], req.get("cycles", 1))
+        task_name = req.get("task")
+        if task_name is None:
+            return CurrentTrace([seg for task in program
+                                 for seg in task.trace.segments()])
+        for task in program:
+            if task.name == task_name:
+                return task.trace
+        raise ValueError(f"no task {task_name!r} in {req['app']!r}")
+
+    def _estimator(self, name: str, plant: BatchPlant,
+                   shared: BatchShared):
+        key = (name, plant, shared)
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            system = self._system(plant, shared)
+            estimator = build_estimator(name, system)
+            self._estimators[key] = estimator
+        return estimator
+
+    def _system(self, plant: BatchPlant, shared: BatchShared):
+        key = (plant, shared)
+        system = self._systems.get(key)
+        if system is None:
+            system = capybara_power_system(
+                datasheet_capacitance=plant.datasheet_capacitance,
+                capacitance_tolerance=plant.capacitance_tolerance,
+                dc_esr=plant.dc_esr,
+                c_decoupling=plant.c_decoupling,
+                leakage_current=plant.leakage_current,
+                redist_fraction=plant.redist_fraction,
+                v_high=shared.v_high,
+                v_off=shared.v_off,
+                v_out=shared.v_out,
+            )
+            self._systems[key] = system
+        return system
+
+    # -- the oracle ---------------------------------------------------------
+
+    def expect(self, req: dict) -> dict:
+        """The full response object the daemon must produce for ``req``
+        (given every earlier ``expect`` call, in order, per device)."""
+        op = req["op"]
+        req_id = req.get("id")
+        if op == "ping":
+            return {"id": req_id, "ok": True, "op": "ping",
+                    "version": PROTOCOL_VERSION}
+        if op == "admit":
+            plant, shared = self._split_system(req)
+            estimator = self._estimator(req.get("estimator", "culpeo-pg"),
+                                        plant, shared)
+            estimate = estimator.estimate(self._system(plant, shared),
+                                          self._trace(req))
+            derate = 0.0
+            device = req.get("device")
+            if device:
+                derate = self._devices.setdefault(
+                    device, _LocalDevice()).derate
+            gate = min(shared.v_high, estimate.v_safe + derate)
+            return {"id": req_id, "ok": True, "op": "admit",
+                    "admitted": float(req["v_bank"]) >= gate,
+                    "v_safe": estimate.v_safe,
+                    "v_delta": estimate.v_delta,
+                    "gate": gate, "derate": derate,
+                    "method": estimate.method}
+        if op == "simulate":
+            plant, shared = self._split_system(req)
+            trace = self._trace(req)
+            harvesting = bool(req.get("harvesting", False))
+            stop_below = shared.v_off if req.get("stop", True) else None
+            edges = powers = None
+            fp = ""
+            if harvesting and req.get("env") is not None:
+                spec = EnvSpec.from_dict(req["env"])
+                fp = spec.fingerprint
+                edges, base = base_grid(spec)
+                powers = base[None, :].copy()
+            result = advance_batch(
+                [BatchQuery(plant=plant, v_start=float(req["v_start"]))],
+                trace, harvesting=harvesting, stop_below=stop_below,
+                shared=shared, harvest_edges=edges, harvest_powers=powers,
+                harvest_fp=fp)
+            body = {"id": req_id, "ok": True, "op": "simulate"}
+            body.update(result.lane(0))
+            return body
+        if op == "report":
+            device = self._devices.setdefault(req["device"], _LocalDevice())
+            if req["outcome"] == "brownout":
+                device.brownout()
+            else:
+                device.success()
+            return {"id": req_id, "ok": True, "op": "report",
+                    "device": req["device"], "derate": device.derate,
+                    "brownouts": device.brownouts,
+                    "successes": device.successes}
+        raise ValueError(f"no library oracle for op {op!r}")
+
+    def expect_line(self, req: dict) -> bytes:
+        """The exact wire bytes the daemon must answer ``req`` with."""
+        return encode_line(self.expect(req))
+
+
+class ServeClient:
+    """A minimal NDJSON client over one connection."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer)
+
+    async def send(self, req: dict) -> None:
+        self.writer.write(encode_line(req))
+        await self.writer.drain()
+
+    async def recv_line(self) -> bytes:
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line
+
+    async def request_line(self, req: dict) -> bytes:
+        """Sequential round-trip: send one request, return its raw line."""
+        await self.send(req)
+        return await self.recv_line()
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+class ServerProcess:
+    """``python -m repro serve`` as a subprocess (context manager)."""
+
+    def __init__(self, *args: str, env: Optional[dict] = None) -> None:
+        self.args = list(args)
+        self.env = env
+        self.proc: Optional[subprocess.Popen] = None
+        self.host = ""
+        self.port = 0
+
+    def __enter__(self) -> "ServerProcess":
+        env = dict(os.environ if self.env is None else self.env)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             *self.args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        # The daemon announces its ephemeral port on the first line.
+        while True:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server exited before announcing its port "
+                    f"(rc={self.proc.poll()})")
+            if line.startswith("serving on "):
+                address = line.split("serving on ", 1)[1].strip()
+                self.host, port = address.rsplit(":", 1)
+                self.port = int(port)
+                return self
+
+    def wait(self, timeout: float = 30.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+
+__all__ = [
+    "ExpectedAnswers",
+    "ServeClient",
+    "ServerProcess",
+]

@@ -1,0 +1,484 @@
+"""The admission core: coalesced estimates, batched kernel dispatch.
+
+This is the synchronous heart of the daemon — everything the asyncio
+layer (:mod:`repro.serve.server`) does is feed it request batches. One
+:meth:`AdmissionEngine.handle_batch` call services a mixed batch:
+
+* ``admit`` requests are **coalesced**: requests sharing a cache key
+  (estimator configuration x plant ``config_key()`` x trace/program
+  fingerprint) resolve to *one* estimator run through the persistent
+  :class:`~repro.serve.cache.PersistentVsafeCache`; the per-request
+  remainder (V_bank comparison, session derate) is arithmetic. This is
+  the paper's shared-charge-interface observation in service form: the
+  expensive quantity is a property of (plant, task), not of the device
+  asking, so a million devices asking about the same firmware cost one
+  analysis.
+* ``simulate`` requests are **batched**: cache misses sharing a
+  :func:`~repro.fleet.batch.shared_key` group become lanes of one
+  heterogeneous :func:`~repro.fleet.batch.advance_batch` call on the
+  stepping fleet kernel, whose batch-composition invariance keeps every
+  lane's answer byte-identical to a batch-of-one — the library answer.
+* ``report`` requests mutate device sessions (derate backoff).
+
+Session effects are applied in arrival order after the pure phase, so a
+batch ``[admit(d), report(d), admit(d)]`` behaves exactly like the three
+requests served one at a time — which is how the differential client
+checks it.
+
+Estimates and simulation lanes are pure functions of their keys, so an
+answer is byte-identical whether it was computed fresh, coalesced into a
+neighbour's computation, restored from the disk tier, or stepped in any
+batch — the serving correctness bar reduces to this module never mixing
+keys up, and ``tests/serve`` plus the CI differential client enforce it
+end to end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.env.correlate import base_grid
+from repro.env.spec import EnvSpec
+from repro.fleet.batch import (
+    BatchPlant,
+    BatchQuery,
+    BatchShared,
+    advance_batch,
+    shared_key,
+)
+from repro.loads.trace import CurrentTrace
+from repro.obs import current as _obs_current
+from repro.segalg.program import canonical_fingerprint
+from repro.serve.cache import PersistentVsafeCache
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    ok_response,
+)
+from repro.serve.sessions import SessionStore
+from repro.apps.programs import TASK_PROGRAMS, build_program
+from repro.power.system import capybara_power_system
+from repro.sched.estimators import estimator_cache_key
+from repro.verify.runner import KNOWN_ESTIMATORS, build_estimator
+
+#: Per-lane plant fields a request's ``system`` object may override.
+_PLANT_FIELDS = ("datasheet_capacitance", "capacitance_tolerance",
+                 "dc_esr", "c_decoupling", "leakage_current",
+                 "redist_fraction", "harvest_power")
+
+#: Shared-rail fields (every lane of a kernel batch must agree on them;
+#: for admits they just parameterize the plant).
+_SHARED_FIELDS = ("v_high", "v_off", "v_out")
+
+
+def _system_config(req: dict) -> tuple:
+    """The request's full plant configuration as a sorted, hashable key."""
+    system = req.get("system") or {}
+    plant = BatchPlant(**{k: float(system[k]) for k in _PLANT_FIELDS
+                          if k in system})
+    shared = BatchShared(**{k: float(system[k]) for k in _SHARED_FIELDS
+                            if k in system})
+    return (plant, shared)
+
+
+class AdmissionEngine:
+    """Stateful serving core: caches, sessions, and the batch dispatcher."""
+
+    def __init__(self,
+                 cache: Optional[PersistentVsafeCache] = None,
+                 sessions: Optional[SessionStore] = None,
+                 max_systems: int = 64) -> None:
+        self.cache = cache if cache is not None else PersistentVsafeCache()
+        self.sessions = sessions if sessions is not None else SessionStore()
+        self.max_systems = max_systems
+        # Scalar plants + estimators, keyed by configuration (LRU).
+        self._systems: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._estimators: "OrderedDict[tuple, Any]" = OrderedDict()
+        # Trace resolution cache: request task key -> (trace, fp, canon).
+        self._traces: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # Environment grids keyed by EnvSpec fingerprint.
+        self._env_grids: "OrderedDict[str, tuple]" = OrderedDict()
+        # Fully resolved admit plans keyed by request *signature* — the
+        # steady-state fast path: one dict probe replaces plant/estimator/
+        # trace resolution for every repeat of a known query shape.
+        self._admit_plans: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # L1 over the persistent tier: resolved VsafeEstimate objects by
+        # cache key, so steady-state batches skip digest + entry decode.
+        self._estimate_memo: Dict[tuple, Any] = {}
+        self.coalesced = 0
+        self.kernel_calls = 0
+        self.kernel_lanes = 0
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _lru_get(self, table: OrderedDict, key, build, cap: int):
+        value = table.get(key)
+        if value is None:
+            value = build()
+            table[key] = value
+            while len(table) > cap:
+                table.popitem(last=False)
+        else:
+            table.move_to_end(key)
+        return value
+
+    def _system_for(self, plant: BatchPlant, shared: BatchShared):
+        """The scalar plant + model for an admit's estimator run."""
+        key = (plant, shared)
+
+        def build():
+            system = capybara_power_system(
+                datasheet_capacitance=plant.datasheet_capacitance,
+                capacitance_tolerance=plant.capacitance_tolerance,
+                dc_esr=plant.dc_esr,
+                c_decoupling=plant.c_decoupling,
+                leakage_current=plant.leakage_current,
+                redist_fraction=plant.redist_fraction,
+                v_high=shared.v_high,
+                v_off=shared.v_off,
+                v_out=shared.v_out,
+            )
+            return system, system.characterize()
+
+        return self._lru_get(self._systems, key, build, self.max_systems)
+
+    def _estimator_for(self, name: str, plant: BatchPlant,
+                       shared: BatchShared):
+        if name not in KNOWN_ESTIMATORS:
+            raise ProtocolError(
+                f"unknown estimator {name!r}; "
+                f"choose from {', '.join(KNOWN_ESTIMATORS)}")
+        key = (name, plant, shared)
+
+        def build():
+            system, model = self._system_for(plant, shared)
+            return build_estimator(name, system, model)
+
+        return self._lru_get(self._estimators, key, build,
+                             self.max_systems * len(KNOWN_ESTIMATORS))
+
+    def _trace_for(self, req: dict) -> tuple:
+        """Resolve the request's task to ``(trace, fp, canonical_fp)``."""
+        raw = req.get("trace")
+        if raw is not None:
+            key = ("trace", tuple((float(i), float(d)) for i, d in raw))
+        else:
+            app = req.get("app")
+            if app not in TASK_PROGRAMS:
+                raise ProtocolError(
+                    f"unknown app {app!r}; "
+                    f"choose from {', '.join(TASK_PROGRAMS)}")
+            cycles = req.get("cycles", 1)
+            if not isinstance(cycles, int) or isinstance(cycles, bool) \
+                    or cycles < 1:
+                raise ProtocolError("'cycles' must be a positive integer")
+            key = ("app", app, req.get("task"), cycles)
+
+        def build():
+            if raw is not None:
+                try:
+                    trace = CurrentTrace(key[1])
+                except ValueError as exc:
+                    raise ProtocolError(f"bad trace: {exc}") from exc
+            else:
+                program = build_program(key[1], key[3])
+                task_name = key[2]
+                if task_name is None:
+                    segments = [seg for task in program
+                                for seg in task.trace.segments()]
+                    trace = CurrentTrace(segments)
+                else:
+                    trace = None
+                    for task in program:
+                        if task.name == task_name:
+                            trace = task.trace
+                            break
+                    if trace is None:
+                        names = sorted({t.name for t in program})
+                        raise ProtocolError(
+                            f"app {key[1]!r} has no task {task_name!r}; "
+                            f"choose from {', '.join(names)}")
+            return trace, trace.fingerprint(), canonical_fingerprint(trace)
+
+        return self._lru_get(self._traces, key, build, 256)
+
+    def _env_grid_for(self, env: dict) -> tuple:
+        """(fingerprint, edges, base powers) for a request's EnvSpec."""
+        try:
+            spec = EnvSpec.from_dict(env)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad env spec: {exc}") from exc
+        fp = spec.fingerprint
+
+        def build():
+            edges, base = base_grid(spec)
+            return fp, edges, base
+
+        return self._lru_get(self._env_grids, fp, build, 8)
+
+    def _admit_plan(self, req: dict) -> tuple:
+        """``(cache key, plant, shared, trace, fp, estimator)`` for an
+        admit, memoized by the request's cheap structural signature."""
+        system = req.get("system")
+        raw = req.get("trace")
+        sig = (
+            req.get("estimator", "culpeo-pg"),
+            None if system is None else tuple(sorted(system.items())),
+            ("trace", tuple(tuple(seg) for seg in raw)) if raw is not None
+            else ("app", req.get("app"), req.get("task"),
+                  req.get("cycles", 1)),
+        )
+        plan = self._admit_plans.get(sig)
+        if plan is not None:
+            self._admit_plans.move_to_end(sig)
+            return plan
+        plant, shared = _system_config(req)
+        name = sig[0]
+        estimator = self._estimator_for(name, plant, shared)
+        trace, fp, canon = self._trace_for(req)
+        est_key = estimator_cache_key(estimator) \
+            or (name, plant.config_key())
+        key = ("vsafe", est_key, fp, canon)
+        plan = (key, plant, shared, trace, fp, estimator)
+        self._admit_plans[sig] = plan
+        while len(self._admit_plans) > 1024:
+            self._admit_plans.popitem(last=False)
+        return plan
+
+    # -- the batch entry point ----------------------------------------------
+
+    def handle(self, req: dict) -> dict:
+        """Serve one request (tests and the bench harness use this)."""
+        return self.handle_batch([req])[0]
+
+    def handle_batch(self, reqs: List[dict]) -> List[dict]:
+        """Serve a mixed batch with sequential semantics.
+
+        Admits and reports resolve in one arrival-order pass — estimates
+        are pure, so a memo hit (or a first-in-batch compute that warms
+        the memo) coalesces duplicates without reordering any session
+        effect, and the result is identical to serving the requests one
+        at a time. Simulates only *plan* in the first pass: their cache
+        misses are grouped by :func:`~repro.fleet.batch.shared_key` and
+        dispatched as one kernel call per group, then patched into the
+        response list (they touch no session, so deferring them is
+        invisible).
+        """
+        n = len(reqs)
+        coalesced_before = self.coalesced
+        responses: List[Optional[dict]] = [None] * n
+        sim_plan: Dict[int, tuple] = {}        # idx -> (sim key, ctx)
+        sim_groups: Dict[tuple, list] = {}
+        seen_keys = set()
+        admits = simulates = reports = 0
+
+        for idx, req in enumerate(reqs):
+            op = req.get("op")
+            req_id = req.get("id")
+            try:
+                if op == "admit":
+                    admits += 1
+                    key, plant, shared, trace, fp, estimator = \
+                        self._admit_plan(req)
+                    if key in seen_keys:
+                        self.coalesced += 1
+                    else:
+                        seen_keys.add(key)
+                    estimate = self._estimate_for(key, plant, shared,
+                                                  trace, estimator)
+                    device = req.get("device")
+                    derate = 0.0
+                    if device:
+                        session = self.sessions.get_or_create(device)
+                        session.queries += 1
+                        session.capture(fp, estimate.v_safe)
+                        derate = session.derate
+                    gate = min(shared.v_high, estimate.v_safe + derate)
+                    responses[idx] = {
+                        "id": req_id, "ok": True, "op": "admit",
+                        "admitted": float(req["v_bank"]) >= gate,
+                        "v_safe": estimate.v_safe,
+                        "v_delta": estimate.v_delta,
+                        "gate": gate,
+                        "derate": derate,
+                        "method": estimate.method,
+                    }
+                elif op == "simulate":
+                    simulates += 1
+                    self._plan_simulate(idx, req, sim_plan, sim_groups)
+                elif op == "report":
+                    reports += 1
+                    session = self.sessions.get_or_create(req["device"])
+                    if req["outcome"] == "brownout":
+                        session.note_brownout()
+                    else:
+                        session.note_success()
+                    responses[idx] = ok_response(req_id, "report", {
+                        "device": session.device,
+                        "derate": session.derate,
+                        "brownouts": session.brownouts,
+                        "successes": session.successes,
+                    })
+                elif op == "ping":
+                    responses[idx] = ok_response(
+                        req_id, "ping", {"version": PROTOCOL_VERSION})
+                elif op == "stats":
+                    responses[idx] = ok_response(req_id, "stats",
+                                                 self.stats())
+                else:
+                    raise ProtocolError(f"engine cannot serve op {op!r}")
+            except ProtocolError as exc:
+                responses[idx] = error_response(req_id, exc.code, str(exc))
+            except Exception as exc:  # registry/kernel failure: contained
+                responses[idx] = error_response(req_id, "internal",
+                                                f"{type(exc).__name__}: "
+                                                f"{exc}")
+
+        if sim_groups:
+            sim_results = self._resolve_simulations(sim_groups, sim_plan,
+                                                    responses, reqs)
+            for idx, lane in sim_results.items():
+                responses[idx] = ok_response(reqs[idx].get("id"),
+                                             "simulate", lane)
+            for idx in sim_plan:
+                if responses[idx] is None:
+                    responses[idx] = error_response(
+                        reqs[idx].get("id"), "internal",
+                        "simulation lane failed")
+
+        self._observe_batch(n, admits, simulates, reports,
+                            self.coalesced - coalesced_before)
+        return responses  # type: ignore[return-value]
+
+    # -- admit resolution ---------------------------------------------------
+
+    def _estimate_for(self, key, plant, shared, trace, estimator):
+        """The estimate for a resolved admit plan: L1 memo over the
+        persistent tier over one estimator run (coalescing = every
+        same-key admit after the first hits the memo)."""
+        memo = self._estimate_memo
+        estimate = memo.get(key)
+        if estimate is not None:
+            return estimate
+        estimate = self.cache.get_estimate(key)
+        if estimate is None:
+            system, _model = self._system_for(plant, shared)
+            estimate = estimator.estimate(system, trace)
+            self.cache.put_estimate(key, estimate)
+        if len(memo) >= 4096:
+            memo.clear()
+        memo[key] = estimate
+        return estimate
+
+    # -- simulate resolution ------------------------------------------------
+
+    def _plan_simulate(self, idx, req, sim_plan, sim_groups) -> None:
+        plant, shared = _system_config(req)
+        trace, fp, _canon = self._trace_for(req)
+        harvesting = bool(req.get("harvesting", False))
+        stop = bool(req.get("stop", True))
+        v_start = float(req["v_start"])
+        env_fp = ""
+        env_grid = None
+        if harvesting and req.get("env") is not None:
+            env_fp, edges, base = self._env_grid_for(req["env"])
+            env_grid = (edges, base)
+        stop_below = shared.v_off if stop else None
+        segments = tuple(trace.segments())
+        group = shared_key(shared, segments, harvesting, stop_below, env_fp)
+        sim_key = ("sim", plant.config_key(), group, v_start)
+        sim_plan[idx] = (sim_key, plant, shared, v_start)
+        sim_groups.setdefault(group, []).append(
+            (idx, segments, harvesting, stop_below, env_grid, env_fp))
+
+    def _resolve_simulations(self, sim_groups, sim_plan, responses, reqs):
+        """Serve cached lanes; batch the misses of each group into one
+        stepping-kernel call (byte-identical to batch-of-one answers)."""
+        results: Dict[int, dict] = {}
+        for group, members in sim_groups.items():
+            misses = []
+            for member in members:
+                idx = member[0]
+                sim_key = sim_plan[idx][0]
+                entry = self.cache.get(sim_key)
+                if entry is not None and entry.get("kind") == "sim":
+                    results[idx] = {k: entry[k] for k in
+                                    ("v_end", "v_min", "time", "energy",
+                                     "brownout")}
+                else:
+                    misses.append(member)
+            if not misses:
+                continue
+            _idx0, segments, harvesting, stop_below, env_grid, env_fp = \
+                misses[0]
+            queries = []
+            for member in misses:
+                idx = member[0]
+                _key, plant, shared, v_start = sim_plan[idx]
+                queries.append(BatchQuery(plant=plant, v_start=v_start))
+            shared = sim_plan[misses[0][0]][2]
+            harvest_edges = harvest_powers = None
+            if env_grid is not None:
+                edges, base = env_grid
+                harvest_edges = edges
+                harvest_powers = np.repeat(base[None, :], len(queries),
+                                           axis=0)
+            try:
+                batch = advance_batch(
+                    queries, segments, harvesting=harvesting,
+                    stop_below=stop_below, shared=shared,
+                    harvest_edges=harvest_edges,
+                    harvest_powers=harvest_powers, harvest_fp=env_fp)
+            except Exception as exc:
+                for member in misses:
+                    idx = member[0]
+                    responses[idx] = error_response(
+                        reqs[idx].get("id"), "internal",
+                        f"kernel dispatch failed: {exc}")
+                continue
+            self.kernel_calls += 1
+            self.kernel_lanes += len(queries)
+            for lane_no, member in enumerate(misses):
+                idx = member[0]
+                lane = batch.lane(lane_no)
+                lane_entry = dict(lane)
+                lane_entry["kind"] = "sim"
+                self.cache.put(sim_plan[idx][0], lane_entry)
+                results[idx] = lane
+        return results
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _observe_batch(self, size, admits, simulates, reports,
+                       coalesced) -> None:
+        """One obs fetch per batch — zero registry touches when disabled."""
+        obs = _obs_current()
+        if obs is None:
+            return
+        metrics = obs.metrics
+        metrics.counter("serve.requests").inc(size)
+        if admits:
+            metrics.counter("serve.admits").inc(admits)
+        if simulates:
+            metrics.counter("serve.simulates").inc(simulates)
+        if reports:
+            metrics.counter("serve.reports").inc(reports)
+        if coalesced:
+            metrics.counter("serve.coalesced").inc(coalesced)
+
+    def stats(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "cache": self.cache.stats(),
+            "sessions": self.sessions.stats(),
+            "coalesced": self.coalesced,
+            "kernel_calls": self.kernel_calls,
+            "kernel_lanes": self.kernel_lanes,
+        }
+
+
+__all__ = ["AdmissionEngine"]

@@ -1,0 +1,137 @@
+"""Per-device sessions: Culpeo-R capture registers and derate backoff.
+
+Culpeo-R's hardware holds one capture register per profiled task; the
+paper's runtime keeps V_safe state *on the device*. When admission moves
+into a central daemon (the fleet is queried, not self-gating), that
+state has to live server-side: each device gets a :class:`DeviceSession`
+holding its served-capture registry (what V_safe the daemon last
+answered per task fingerprint — the capture registers, relocated) and
+its adaptive derate.
+
+The derate arithmetic deliberately *is*
+:class:`~repro.sched.adaptive.AdaptiveCulpeoScheduler`'s, constant for
+constant — first raise ``DERATE_INITIAL``, doubling to ``DERATE_MAX``
+on every reported brown-out, halving on success and dropping below
+``DERATE_EPSILON`` — so a fleet served centrally backs off exactly like
+a fleet of self-scheduling devices would. The served gate is
+``min(V_high, V_safe + derate)``: waiting for a full buffer is always
+safe, so the backoff saturates at V_high gating just like the on-device
+policy chain.
+
+The store is a bounded LRU: an idle device's session eventually falls
+out and it simply starts fresh (derate zero), which is the conservative
+direction only if estimates are sound — the same reasoning the paper
+uses for reboot-fresh capture registers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sched.adaptive import AdaptiveCulpeoScheduler as _Sched
+
+#: Mirrored from the on-device scheduler so the two backoff policies can
+#: never drift apart.
+DERATE_INITIAL = _Sched.DERATE_INITIAL
+DERATE_MAX = _Sched.DERATE_MAX
+DERATE_EPSILON = _Sched.DERATE_EPSILON
+
+
+@dataclass
+class DeviceSession:
+    """One device's server-side state (plain data, JSON-ready)."""
+
+    device: str
+    derate: float = 0.0
+    brownouts: int = 0
+    successes: int = 0
+    queries: int = 0
+    #: Served capture registers: task fingerprint -> last served V_safe.
+    captures: Dict[str, float] = field(default_factory=dict)
+
+    def gate(self, v_safe: float, v_high: float) -> float:
+        """The derated admission gate, capped at the full-buffer rail."""
+        return min(v_high, v_safe + self.derate)
+
+    def note_brownout(self) -> None:
+        """A reported brown-out: the estimate (or the plant model behind
+        it) is optimistic for this device — double the safety margin."""
+        self.brownouts += 1
+        self.derate = (DERATE_INITIAL if self.derate <= 0.0
+                       else min(DERATE_MAX, self.derate * 2.0))
+
+    def note_success(self) -> None:
+        """A reported completion: decay the margin toward zero."""
+        self.successes += 1
+        if self.derate <= 0.0:
+            return
+        halved = self.derate / 2.0
+        self.derate = 0.0 if halved < DERATE_EPSILON else halved
+
+    def capture(self, fingerprint: str, v_safe: float) -> None:
+        """Record the served estimate (the capture-register write)."""
+        self.captures[fingerprint] = v_safe
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "derate": self.derate,
+            "brownouts": self.brownouts,
+            "successes": self.successes,
+            "queries": self.queries,
+            "captures": len(self.captures),
+        }
+
+
+class SessionStore:
+    """A bounded LRU of device sessions (single-event-loop access)."""
+
+    def __init__(self, max_sessions: int = 4096) -> None:
+        if max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, DeviceSession]" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, device: str) -> Optional[DeviceSession]:
+        session = self._sessions.get(device)
+        if session is not None:
+            self._sessions.move_to_end(device)
+        return session
+
+    def get_or_create(self, device: str) -> DeviceSession:
+        session = self._sessions.get(device)
+        if session is None:
+            session = DeviceSession(device=device)
+            self._sessions[device] = session
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._sessions.move_to_end(device)
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, device: str) -> bool:
+        return device in self._sessions
+
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "evictions": self.evictions,
+        }
+
+
+__all__ = [
+    "DERATE_EPSILON",
+    "DERATE_INITIAL",
+    "DERATE_MAX",
+    "DeviceSession",
+    "SessionStore",
+]

@@ -23,7 +23,7 @@ _SPEC.loader.exec_module(compare_mod)
 
 def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0,
              fleet_speedup=15.0, segalg_kernel_speedup=13.0,
-             segalg_fleet_speedup=6.0):
+             segalg_fleet_speedup=6.0, serving_qps=200_000.0):
     return {
         "benchmark": "BENCH",
         "quick": False,
@@ -43,6 +43,8 @@ def _payload(kernel_speedup=5.0, hit_rate=0.9, sweep_speedup=3.0,
                           "fastpath_s": 0.074, "segalg_s": 0.0056},
         "segalg_fleet": {"speedup": segalg_fleet_speedup,
                          "stepping_s": 1.0, "segalg_s": 0.17},
+        "serving": {"qps": serving_qps, "requests": 200000,
+                    "seconds": 1.0, "wire_qps": 80_000.0},
     }
 
 

@@ -179,6 +179,27 @@ class TestMerge:
         assert histogram._min == 1.0 and histogram._max == 8.0
         assert histogram.count == 3
 
+    def test_histogram_merge_from_folds_without_a_snapshot(self):
+        a = Histogram("h", [1.0, 4.0])
+        b = Histogram("h", [1.0, 4.0])
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(9.0)
+        a.merge_from(b)
+        assert a.count == 3
+        assert a._min == 0.5 and a._max == 9.0
+        reference = Histogram("h", [1.0, 4.0])
+        for value in (0.5, 2.0, 9.0):
+            reference.observe(value)
+        assert a._counts == reference._counts
+        assert a._sum == reference._sum
+
+    def test_histogram_merge_from_rejects_bucket_mismatch(self):
+        a = Histogram("h", [1.0, 4.0])
+        b = Histogram("h", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
 
 class TestRenderSnapshot:
     def test_renders_all_instrument_kinds(self):

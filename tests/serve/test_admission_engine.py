@@ -1,0 +1,275 @@
+"""The admission engine vs the library oracle, byte for byte.
+
+Every assertion here reduces to the serving bar: a response produced by
+the batching, coalescing, caching engine must be *byte-identical* (under
+canonical encoding) to the answer the library computes from first
+principles — for any batch composition, any cache temperature, and any
+session history.
+"""
+
+import pytest
+
+from repro import obs
+from repro.env.spec import EnvSpec
+from repro.serve.cache import PersistentVsafeCache
+from repro.serve.client import ExpectedAnswers
+from repro.serve.engine import AdmissionEngine
+from repro.serve.protocol import canonical
+from repro.serve.sessions import DERATE_INITIAL
+
+ADMIT = {"op": "admit", "id": "a0", "v_bank": 2.1,
+         "app": "sense-store", "task": "sample"}
+SIMULATE = {"op": "simulate", "id": "s0", "v_start": 2.2,
+            "trace": [[0.01, 0.2], [0.004, 0.35]]}
+ENV = EnvSpec(model="diurnal-solar", duration=60.0, seed=3).to_dict()
+
+
+def _req(base, **overrides):
+    req = dict(base)
+    req.update(overrides)
+    return req
+
+
+def _assert_oracle_identical(engine, requests):
+    """Engine answers == library answers, byte for byte, in order."""
+    oracle = ExpectedAnswers()
+    for req in requests:
+        served = engine.handle(req)
+        assert canonical(served) == canonical(oracle.expect(req)), req
+
+
+class TestAdmitAgainstOracle:
+    def test_default_system_all_estimators(self):
+        engine = AdmissionEngine()
+        _assert_oracle_identical(engine, [
+            _req(ADMIT, id=f"a{i}", estimator=name)
+            for i, name in enumerate(
+                ("culpeo-pg", "culpeo-isr", "energy-direct"))
+        ])
+
+    def test_system_overrides_and_explicit_trace(self):
+        engine = AdmissionEngine()
+        _assert_oracle_identical(engine, [
+            _req(ADMIT, system={"dc_esr": 6.0, "v_high": 2.50,
+                                "v_out": 2.45}),
+            _req(ADMIT, id="a1", app=None, task=None,
+                 trace=[[0.012, 0.05], [0.0, 0.2]]),
+            _req(ADMIT, id="a2", task=None, cycles=2),  # whole program
+        ])
+
+    def test_admitted_flag_tracks_the_gate(self):
+        engine = AdmissionEngine()
+        low = engine.handle(_req(ADMIT, v_bank=0.0))
+        high = engine.handle(_req(ADMIT, v_bank=2.56))
+        assert low["ok"] and not low["admitted"]
+        assert high["ok"] and high["admitted"]
+        assert low["v_safe"] == high["v_safe"]
+
+
+class TestCoalescing:
+    def test_same_key_admits_coalesce_in_one_batch(self):
+        engine = AdmissionEngine()
+        batch = [_req(ADMIT, id=f"a{i}") for i in range(4)]
+        responses = engine.handle_batch(batch)
+        assert engine.coalesced == 3
+        bodies = {canonical({**r, "id": None}) for r in responses}
+        assert len(bodies) == 1          # only the id differed
+
+    def test_coalesced_answers_equal_solo_answers(self):
+        solo = AdmissionEngine().handle(dict(ADMIT))
+        batched = AdmissionEngine().handle_batch(
+            [_req(ADMIT, id=f"a{i}") for i in range(3)])
+        for response in batched:
+            assert canonical({**response, "id": "a0"}) == canonical(solo)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        engine = AdmissionEngine()
+        engine.handle_batch([
+            dict(ADMIT),
+            _req(ADMIT, id="a1", estimator="energy-direct"),
+        ])
+        assert engine.coalesced == 0
+
+
+class TestBatchedEqualsSequential:
+    def test_mixed_batch_with_session_effects(self):
+        # One batch through engine A; the same requests one at a time
+        # through engine B. Session effects (report between admits for
+        # the same device) must land identically.
+        requests = [
+            _req(ADMIT, device="dev-1"),
+            {"op": "report", "id": "r0", "device": "dev-1",
+             "outcome": "brownout"},
+            _req(ADMIT, id="a1", device="dev-1"),
+            dict(SIMULATE),
+            {"op": "ping", "id": "p0"},
+            {"op": "report", "id": "r1", "device": "dev-1",
+             "outcome": "success"},
+            _req(ADMIT, id="a2", device="dev-1"),
+        ]
+        batched = AdmissionEngine().handle_batch(
+            [dict(r) for r in requests])
+        engine_b = AdmissionEngine()
+        sequential = [engine_b.handle(dict(r)) for r in requests]
+        assert [canonical(r) for r in batched] == \
+            [canonical(r) for r in sequential]
+
+
+class TestSimulate:
+    def test_against_oracle_all_variants(self):
+        engine = AdmissionEngine()
+        _assert_oracle_identical(engine, [
+            dict(SIMULATE),
+            _req(SIMULATE, id="s1", harvesting=True),
+            _req(SIMULATE, id="s2", stop=False),
+            _req(SIMULATE, id="s3", trace=None, app="sense-tx", cycles=2),
+            _req(SIMULATE, id="s4", harvesting=True, env=ENV),
+            _req(SIMULATE, id="s5",
+                 system={"datasheet_capacitance": 33e-3,
+                         "capacitance_tolerance": 0.1}),
+        ])
+
+    def test_shared_key_groups_ride_one_kernel_call(self):
+        engine = AdmissionEngine()
+        batch = [_req(SIMULATE, id=f"s{i}", v_start=2.0 + 0.1 * i)
+                 for i in range(4)]
+        responses = engine.handle_batch(batch)
+        assert all(r["ok"] for r in responses)
+        assert engine.kernel_calls == 1
+        assert engine.kernel_lanes == 4
+        # Each lane byte-identical to its solo answer.
+        for req, response in zip(batch, responses):
+            solo = AdmissionEngine().handle(dict(req))
+            assert canonical({**response, "id": None}) == \
+                canonical({**solo, "id": None})
+
+    def test_repeat_simulate_hits_the_cache(self):
+        engine = AdmissionEngine()
+        engine.handle(dict(SIMULATE))
+        assert engine.kernel_calls == 1
+        engine.handle(_req(SIMULATE, id="s9"))
+        assert engine.kernel_calls == 1   # served from cache, no kernel
+
+    def test_different_v_start_misses_different_env_regroups(self):
+        engine = AdmissionEngine()
+        engine.handle(dict(SIMULATE))
+        engine.handle(_req(SIMULATE, id="s1", v_start=1.9))
+        assert engine.kernel_calls == 2
+        # Env-backed queries group by EnvSpec fingerprint.
+        engine.handle_batch([
+            _req(SIMULATE, id="s2", harvesting=True, env=ENV),
+            _req(SIMULATE, id="s3", harvesting=True,
+                 env=dict(ENV, seed=4)),
+        ])
+        assert engine.kernel_calls == 4   # two groups, two calls
+
+
+class TestSessions:
+    def test_report_backoff_moves_the_gate(self):
+        engine = AdmissionEngine()
+        before = engine.handle(_req(ADMIT, device="dev-2"))
+        assert before["derate"] == 0.0
+        report = engine.handle({"op": "report", "id": "r", "device":
+                                "dev-2", "outcome": "brownout"})
+        assert report["derate"] == DERATE_INITIAL
+        after = engine.handle(_req(ADMIT, id="a1", device="dev-2"))
+        assert after["derate"] == DERATE_INITIAL
+        assert after["gate"] == pytest.approx(
+            min(2.56, after["v_safe"] + DERATE_INITIAL))
+        assert after["v_safe"] == before["v_safe"]
+
+    def test_admit_writes_capture_register(self):
+        engine = AdmissionEngine()
+        served = engine.handle(_req(ADMIT, device="dev-3"))
+        session = engine.sessions.get("dev-3")
+        assert session.queries == 1
+        assert list(session.captures.values()) == [served["v_safe"]]
+
+
+class TestErrorContainment:
+    @pytest.mark.parametrize("req", [
+        _req(ADMIT, estimator="bogus"),
+        _req(ADMIT, app="bogus", task=None),
+        _req(ADMIT, task="bogus"),
+        _req(ADMIT, task=None, cycles=0),
+        _req(SIMULATE, harvesting=True, env={"model": "bogus"}),
+        {"op": "bogus", "id": "x"},
+    ])
+    def test_bad_requests_answer_bad_request(self, req):
+        response = AdmissionEngine().handle(req)
+        assert response["ok"] is False
+        assert response["error"] == "bad-request"
+        assert response["id"] == req.get("id")
+
+    def test_one_bad_request_does_not_poison_the_batch(self):
+        responses = AdmissionEngine().handle_batch([
+            dict(ADMIT),
+            _req(ADMIT, id="bad", estimator="bogus"),
+            _req(ADMIT, id="a1"),
+        ])
+        assert responses[0]["ok"] and responses[2]["ok"]
+        assert not responses[1]["ok"]
+        assert canonical({**responses[0], "id": None}) == \
+            canonical({**responses[2], "id": None})
+
+
+class TestPersistentTier:
+    def test_warm_restart_serves_identical_bytes(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        first = AdmissionEngine(cache=PersistentVsafeCache(path))
+        cold = first.handle(dict(ADMIT))
+        first.handle(dict(SIMULATE))
+        first.cache.flush()
+
+        second = AdmissionEngine(cache=PersistentVsafeCache(path))
+        assert second.cache.load_status == "loaded"
+        warm = second.handle(dict(ADMIT))
+        assert canonical(warm) == canonical(cold)
+        assert second.cache.stats()["hits"] >= 1
+        # The simulate is also warm: no kernel call on the restart.
+        second.handle(dict(SIMULATE))
+        assert second.kernel_calls == 0
+
+    def test_envspec_change_invalidates_structurally(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        first = AdmissionEngine(cache=PersistentVsafeCache(path))
+        first.handle(_req(SIMULATE, harvesting=True, env=ENV))
+        first.cache.flush()
+
+        second = AdmissionEngine(cache=PersistentVsafeCache(path))
+        second.handle(_req(SIMULATE, harvesting=True, env=ENV))
+        assert second.kernel_calls == 0          # same env: warm
+        second.handle(_req(SIMULATE, id="s1", harvesting=True,
+                           env=dict(ENV, seed=4)))
+        assert second.kernel_calls == 1          # new fingerprint: miss
+
+
+class TestIntrospection:
+    def test_ping_and_stats(self):
+        engine = AdmissionEngine()
+        ping = engine.handle({"op": "ping"})
+        assert ping["version"] >= 1
+        engine.handle(dict(ADMIT))
+        stats = engine.handle({"op": "stats", "id": "st"})
+        assert stats["ok"]
+        assert stats["cache"]["entries"] >= 1
+        assert stats["kernel_calls"] == 0
+
+    def test_batch_telemetry_one_obs_fetch(self):
+        obs.enable()
+        try:
+            engine = AdmissionEngine()
+            engine.handle_batch([
+                dict(ADMIT), _req(ADMIT, id="a1"), dict(SIMULATE),
+                {"op": "report", "id": "r", "device": "d",
+                 "outcome": "success"},
+            ])
+            snapshot = obs.current().metrics.snapshot()
+            counters = snapshot["counters"]
+            assert counters["serve.requests"] == 4
+            assert counters["serve.admits"] == 2
+            assert counters["serve.simulates"] == 1
+            assert counters["serve.reports"] == 1
+            assert counters["serve.coalesced"] == 1
+        finally:
+            obs.disable()

@@ -1,0 +1,180 @@
+"""The persistent V_safe cache tier: warm restarts, hostile files.
+
+The disk tier's contract is asymmetric: it may only ever *add* hits. A
+valid snapshot must restore estimates that serve byte-identical answers;
+anything less than a valid snapshot (truncation, corruption, tampering,
+format drift) must reject the whole file and fall back to recomputing.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.model import TaskDemand, VsafeEstimate
+from repro.serve.cache import (
+    FORMAT,
+    PersistentVsafeCache,
+    entry_estimate,
+    estimate_entry,
+    key_digest,
+)
+from repro.serve.protocol import canonical
+
+
+def _estimate(v_safe=2.2000000000000003, v_delta=0.12345678901234567):
+    return VsafeEstimate(
+        v_safe=v_safe, v_delta=v_delta,
+        demand=TaskDemand(energy_v2=0.1 + 0.2, v_delta=v_delta),
+        method="culpeo-pg")
+
+
+KEY = ("vsafe", ("culpeo-pg", ("batch-plant", 45e-3)), "fp", "canon")
+
+
+class TestEntryRoundTrip:
+    def test_lossless_floats_through_json(self):
+        # The whole point of the JSON tier: an estimate that went
+        # entry -> json text -> entry serves the same bytes.
+        entry = estimate_entry(_estimate())
+        rehydrated = json.loads(canonical(entry))
+        restored = entry_estimate(rehydrated)
+        original = _estimate()
+        assert restored.v_safe == original.v_safe
+        assert restored.v_delta == original.v_delta
+        assert restored.demand.energy_v2 == original.demand.energy_v2
+        assert restored.method == original.method
+
+    def test_key_digest_is_stable_and_discriminating(self):
+        assert key_digest(KEY) == key_digest(KEY)
+        assert key_digest(KEY) != key_digest(KEY + ("x",))
+
+
+class TestInMemoryTier:
+    def test_miss_then_hit_with_stats(self):
+        cache = PersistentVsafeCache()
+        assert cache.get(KEY) is None
+        cache.put_estimate(KEY, _estimate())
+        assert cache.get_estimate(KEY).v_safe == _estimate().v_safe
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["load_status"] == "no-file"
+
+    def test_lru_eviction_at_maxsize(self):
+        cache = PersistentVsafeCache(maxsize=2)
+        cache.put("a", {"kind": "sim"})
+        cache.put("b", {"kind": "sim"})
+        assert cache.get("a") is not None   # refresh "a"
+        cache.put("c", {"kind": "sim"})     # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert len(cache) == 2
+
+    def test_get_estimate_ignores_foreign_kinds(self):
+        cache = PersistentVsafeCache()
+        cache.put(KEY, {"kind": "sim", "v_end": 2.0})
+        assert cache.get_estimate(KEY) is None
+
+    def test_put_rejects_non_dict(self):
+        with pytest.raises(TypeError):
+            PersistentVsafeCache().put(KEY, _estimate())
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PersistentVsafeCache(maxsize=0)
+
+
+class TestDiskTier:
+    def test_warm_restart_serves_identical_entries(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        first = PersistentVsafeCache(path)
+        assert first.load_status == "no-file"
+        first.put_estimate(KEY, _estimate())
+        first.put(("sim", "k"), {"kind": "sim", "v_end": 2.5, "v_min": 1.9,
+                                 "time": 0.7, "energy": 0.01,
+                                 "brownout": None})
+        first.flush()
+
+        second = PersistentVsafeCache(path)
+        assert second.load_status == "loaded"
+        assert second.loaded_entries == 2
+        # Byte-level identity of the restored estimate's entry — the
+        # property the served-answer byte bar rests on.
+        assert canonical(second.get(KEY)) == canonical(estimate_entry(
+            _estimate()))
+        assert second.get(("sim", "k"))["brownout"] is None
+
+    def test_pathless_flush_is_a_noop(self):
+        PersistentVsafeCache().flush()   # must not raise
+
+    @pytest.mark.parametrize("reason, mutate", [
+        ("corrupt-json", lambda text: text[: len(text) // 2]),  # truncated
+        ("corrupt-json", lambda text: "garbage\x00" + text),
+        ("bad-format", lambda text: text.replace(FORMAT, "other-format")),
+        ("bad-format", lambda text: '{"entries":{}}'),
+        ("checksum-mismatch",
+         lambda text: text.replace('"v_safe":2.2', '"v_safe":9.2')),
+    ])
+    def test_invalid_files_reject_and_start_empty(self, tmp_path, reason,
+                                                  mutate):
+        path = tmp_path / "vsafe.json"
+        good = PersistentVsafeCache(path)
+        good.put_estimate(KEY, _estimate(v_safe=2.2))
+        good.flush()
+        path.write_text(mutate(path.read_text(encoding="utf-8")),
+                        encoding="utf-8")
+
+        cache = PersistentVsafeCache(path)
+        assert cache.load_status == f"rejected:{reason}"
+        assert len(cache) == 0
+        assert cache.get(KEY) is None        # falls back to recompute
+
+    def test_tampered_entry_fails_checksum(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        good = PersistentVsafeCache(path)
+        good.put(("k",), {"kind": "sim", "v_end": 1.0})
+        good.flush()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        digest = next(iter(payload["entries"]))
+        payload["entries"][digest]["v_end"] = 9.0   # checksum left stale
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert PersistentVsafeCache(path).load_status == \
+            "rejected:checksum-mismatch"
+
+    def test_loaded_entries_respect_maxsize(self, tmp_path):
+        path = tmp_path / "vsafe.json"
+        big = PersistentVsafeCache(path)
+        for i in range(8):
+            big.put(("k", i), {"kind": "sim", "v_end": float(i)})
+        big.flush()
+        small = PersistentVsafeCache(path, maxsize=3)
+        assert small.load_status == "loaded"
+        assert len(small) == 3
+
+    def test_concurrent_writers_leave_a_valid_snapshot(self, tmp_path):
+        # Unique temp name + os.replace: any interleaving of flushes
+        # leaves *some* writer's complete checksummed file.
+        path = tmp_path / "vsafe.json"
+        errors = []
+
+        def writer(worker):
+            try:
+                cache = PersistentVsafeCache(path)
+                for i in range(20):
+                    cache.put(("w", worker, i),
+                              {"kind": "sim", "v_end": float(i)})
+                    cache.flush()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = PersistentVsafeCache(path)
+        assert final.load_status == "loaded"
+        assert final.loaded_entries >= 20
+        assert not list(tmp_path.glob("*.tmp"))   # no litter left behind

@@ -1,0 +1,212 @@
+"""The asyncio daemon end to end: bytes, backpressure, clean exits.
+
+In-process servers (fast, deterministic — the dispatcher can be paused
+to force queue states) plus one real-subprocess differential smoke via
+:mod:`repro.serve.check`, which is the same entry point the CI
+``serve-smoke`` job runs.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve.check import main as check_main, make_smoke_workload
+from repro.serve.client import ExpectedAnswers, ServeClient
+from repro.serve.protocol import encode_line
+from repro.serve.server import ServeConfig, VsafeServer
+
+ADMIT = {"op": "admit", "id": "a0", "v_bank": 2.1,
+         "app": "sense-store", "task": "sample"}
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(config, body):
+    """Start a server, run ``body(server, client)``, stop, clean up."""
+    server = VsafeServer(config)
+    await server.start()
+    runner = asyncio.ensure_future(server.serve_until_stopped())
+    client = await ServeClient.connect(server.host, server.port)
+    try:
+        result = await body(server, client)
+    finally:
+        await client.close()
+        server.stop()
+        await runner
+    return result
+
+
+class TestEndToEnd:
+    def test_served_bytes_match_the_oracle(self):
+        async def body(server, client):
+            oracle = ExpectedAnswers()
+            for req in (
+                {"op": "ping", "id": "p"},
+                dict(ADMIT),
+                {"op": "simulate", "id": "s", "v_start": 2.2,
+                 "trace": [[0.01, 0.2]]},
+                {"op": "report", "id": "r", "device": "d",
+                 "outcome": "brownout"},
+            ):
+                assert await client.request_line(req) == \
+                    oracle.expect_line(req)
+
+        _run(_with_server(ServeConfig(), body))
+
+    def test_malformed_lines_answer_inline_errors(self):
+        async def body(server, client):
+            client.writer.write(b"{not json}\n")
+            await client.writer.drain()
+            bad = json.loads(await client.recv_line())
+            assert bad["ok"] is False and bad["error"] == "bad-request"
+            # The connection survives a bad line.
+            pong = json.loads(await client.request_line(
+                {"op": "ping", "id": "p"}))
+            assert pong["ok"]
+            # A structurally invalid (but decodable) request too.
+            missing = json.loads(await client.request_line(
+                {"op": "admit", "id": "x"}))
+            assert missing["error"] == "bad-request"
+
+        _run(_with_server(ServeConfig(), body))
+
+    def test_blank_lines_are_ignored(self):
+        async def body(server, client):
+            client.writer.write(b"\n\n" + encode_line({"op": "ping",
+                                                       "id": "p"}))
+            await client.writer.drain()
+            assert json.loads(await client.recv_line())["ok"]
+
+        _run(_with_server(ServeConfig(), body))
+
+    def test_stats_are_deep_and_live(self):
+        async def body(server, client):
+            await client.request_line(dict(ADMIT))
+            stats = json.loads(await client.request_line(
+                {"op": "stats", "id": "st"}))
+            assert stats["ok"]
+            assert stats["batches"] == 1
+            assert stats["engine"]["cache"]["entries"] >= 1
+            assert stats["queue_limit"] == server.config.queue_limit
+
+        _run(_with_server(ServeConfig(), body))
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_overloaded(self):
+        async def body(server, client):
+            # Pause the dispatcher so the queue can only fill.
+            server._dispatcher.cancel()
+            await asyncio.gather(server._dispatcher,
+                                 return_exceptions=True)
+            first = dict(ADMIT)
+            shed = {**ADMIT, "id": "a1"}
+            await client.send(first)       # occupies the single slot
+            await asyncio.sleep(0.05)      # let the handler enqueue it
+            await client.send(shed)
+            rejected = json.loads(await client.recv_line())
+            assert rejected["id"] == "a1"
+            assert rejected["error"] == "overloaded"
+            assert server.shed == 1
+            # Resume dispatch: the queued request must still be answered
+            # and drain cleanly through shutdown.
+            server._dispatcher = asyncio.ensure_future(
+                server._dispatch_loop())
+            answered = json.loads(await client.recv_line())
+            assert answered["id"] == "a0" and answered["ok"]
+
+        config = ServeConfig(queue_limit=1)
+        _run(_with_server(config, body))
+
+    def test_expired_deadline_rejects_before_the_kernel(self):
+        async def body(server, client):
+            server._dispatcher.cancel()
+            await asyncio.gather(server._dispatcher,
+                                 return_exceptions=True)
+            await client.send({**ADMIT, "deadline_ms": 1.0})
+            await asyncio.sleep(0.05)      # queued past its deadline
+            server._dispatcher = asyncio.ensure_future(
+                server._dispatch_loop())
+            rejected = json.loads(await client.recv_line())
+            assert rejected["error"] == "deadline"
+            assert server.deadline_expired == 1
+            assert server.engine.kernel_calls == 0
+            assert server.engine.cache.stats()["misses"] == 0
+
+        _run(_with_server(ServeConfig(deadline_ms=1.0), body))
+
+
+class TestLifecycle:
+    def test_shutdown_op_acks_drains_and_leaves_no_tasks(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+
+        async def run():
+            obs.enable()
+            try:
+                server = VsafeServer(ServeConfig(
+                    metrics_out=str(metrics_path)))
+                await server.start()
+                runner = asyncio.ensure_future(
+                    server.serve_until_stopped())
+                client = await ServeClient.connect(server.host,
+                                                   server.port)
+                await client.request_line(dict(ADMIT))
+                ack = json.loads(await client.request_line(
+                    {"op": "shutdown", "id": "bye"}))
+                assert ack["stopping"] is True
+                await client.close()
+                assert await runner == 0
+                # Nothing left behind but this coroutine.
+                leftovers = [t for t in asyncio.all_tasks()
+                             if t is not asyncio.current_task()]
+                assert leftovers == []
+            finally:
+                obs.disable()
+
+        _run(run())
+        payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert payload["serve"]["batches"] >= 1
+        counters = payload["metrics"]["counters"]
+        assert counters["serve.requests"] >= 1
+        assert "serve.batch_size" in payload["metrics"]["histograms"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServeConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            ServeConfig(deadline_ms=-1.0)
+
+
+class TestSubprocessSmoke:
+    def test_differential_check_entry_point(self, tmp_path):
+        # The CI serve-smoke job, miniaturized: a real `python -m repro
+        # serve` subprocess, a seeded mixed workload, every response
+        # byte-compared against the library oracle, rc 0, metrics file.
+        metrics = tmp_path / "serve-metrics.json"
+        rc = check_main(["--queries", "40", "--devices", "4",
+                         "--connections", "3", "--seed", "1",
+                         "--metrics-out", str(metrics)])
+        assert rc == 0
+        payload = json.loads(metrics.read_text(encoding="utf-8"))
+        assert payload["serve"]["shed"] == 0
+
+    def test_workload_generator_is_seeded_and_partitioned(self):
+        lanes = make_smoke_workload(seed=3, queries=60, devices=5,
+                                    connections=4)
+        again = make_smoke_workload(seed=3, queries=60, devices=5,
+                                    connections=4)
+        assert lanes == again
+        assert sum(len(lane) for lane in lanes) == 60
+        # Device affinity: every device's requests live on one lane.
+        home = {}
+        for lane_no, lane in enumerate(lanes):
+            for req in lane:
+                device = req.get("device")
+                if device is not None:
+                    assert home.setdefault(device, lane_no) == lane_no

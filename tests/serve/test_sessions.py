@@ -1,0 +1,101 @@
+"""Device sessions: the on-device backoff arithmetic, relocated.
+
+A centrally-served fleet must back off exactly like a fleet of
+self-scheduling devices, so the session constants are *imported* from
+the adaptive scheduler and the raise/decay sequences are asserted to
+match its arithmetic step for step.
+"""
+
+import pytest
+
+from repro.sched.adaptive import AdaptiveCulpeoScheduler
+from repro.serve.sessions import (
+    DERATE_EPSILON,
+    DERATE_INITIAL,
+    DERATE_MAX,
+    DeviceSession,
+    SessionStore,
+)
+
+
+class TestDerateMirror:
+    def test_constants_are_the_schedulers(self):
+        assert DERATE_INITIAL == AdaptiveCulpeoScheduler.DERATE_INITIAL
+        assert DERATE_MAX == AdaptiveCulpeoScheduler.DERATE_MAX
+        assert DERATE_EPSILON == AdaptiveCulpeoScheduler.DERATE_EPSILON
+
+    def test_brownouts_double_up_to_the_cap(self):
+        session = DeviceSession("d")
+        expected = 0.0
+        for _ in range(12):
+            session.note_brownout()
+            expected = (DERATE_INITIAL if expected <= 0.0
+                        else min(DERATE_MAX, expected * 2.0))
+            assert session.derate == expected
+        assert session.derate == DERATE_MAX
+        assert session.brownouts == 12
+
+    def test_successes_halve_then_snap_to_zero(self):
+        session = DeviceSession("d")
+        session.note_brownout()
+        session.note_brownout()          # 2 * DERATE_INITIAL
+        session.note_success()
+        assert session.derate == DERATE_INITIAL
+        while session.derate > 0.0:
+            session.note_success()
+        assert session.derate == 0.0
+        # Once at zero, further successes stay at zero.
+        session.note_success()
+        assert session.derate == 0.0
+
+    def test_decay_snaps_below_epsilon(self):
+        session = DeviceSession("d", derate=DERATE_EPSILON * 1.5)
+        session.note_success()
+        assert session.derate == 0.0
+
+    def test_gate_is_capped_at_v_high(self):
+        session = DeviceSession("d", derate=0.5)
+        assert session.gate(2.2, 2.56) == pytest.approx(2.56)
+        session.derate = 0.02
+        assert session.gate(2.2, 2.56) == pytest.approx(2.22)
+
+    def test_capture_registers_record_last_served_v_safe(self):
+        session = DeviceSession("d")
+        session.capture("fp-a", 2.1)
+        session.capture("fp-a", 2.2)
+        session.capture("fp-b", 1.9)
+        assert session.captures == {"fp-a": 2.2, "fp-b": 1.9}
+        assert session.to_dict()["captures"] == 2
+
+
+class TestSessionStore:
+    def test_get_or_create_then_get(self):
+        store = SessionStore()
+        assert store.get("d0") is None
+        session = store.get_or_create("d0")
+        assert store.get("d0") is session
+        assert store.get_or_create("d0") is session
+        assert "d0" in store and len(store) == 1
+
+    def test_lru_eviction_counts_and_forgets(self):
+        store = SessionStore(max_sessions=2)
+        store.get_or_create("a").note_brownout()
+        store.get_or_create("b")
+        store.get_or_create("a")          # refresh "a"
+        store.get_or_create("c")          # evicts "b"
+        assert store.get("b") is None
+        assert store.evictions == 1
+        # The evicted device starts fresh — derate zero, the
+        # conservative-direction reasoning the module docstring gives.
+        fresh = store.get_or_create("b")
+        assert fresh.derate == 0.0
+
+    def test_stats_shape(self):
+        store = SessionStore(max_sessions=8)
+        store.get_or_create("a")
+        assert store.stats() == {"sessions": 1, "max_sessions": 8,
+                                 "evictions": 0}
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError):
+            SessionStore(max_sessions=0)
