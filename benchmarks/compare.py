@@ -80,6 +80,10 @@ REPORTED_METRICS: List[str] = [
     "segalg_kernel.fastpath_s", "segalg_kernel.segalg_s",
     "segalg_fleet.stepping_s", "segalg_fleet.segalg_s",
     "serving.seconds", "serving.requests", "serving.wire_qps",
+    # Degraded-tier throughput (disk tier abandoned, memo + compute):
+    # the crash-safety story's cost axis. Reported so regressions are
+    # visible, ungated because the absolute number is machine-bound.
+    "serving.qps_degraded",
 ]
 
 

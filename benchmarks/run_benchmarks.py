@@ -369,6 +369,35 @@ def bench_serving(requests: int, repeats: int, batch: int = 64,
 
     seconds = _bench(run_core, repeats)
     wire_seconds = _bench(run_wire, repeats)
+
+    # The degraded data plane: same queries through an engine whose disk
+    # tier has been abandoned after an ENOSPC (the crash-safety story's
+    # graceful-degradation mode — memo + compute, every ok response
+    # flagged ``degraded``). Reported, never gated: it exists to show
+    # the failure mode costs throughput, not correctness.
+    import tempfile as _tempfile
+
+    from repro.serve.cache import PersistentVsafeCache
+    from repro.serve.faultfs import FaultyDiskOps
+
+    with _tempfile.TemporaryDirectory() as tmp:
+        full_disk = FaultyDiskOps(enospc_after_bytes=0)
+        cache = PersistentVsafeCache(os.path.join(tmp, "cache"),
+                                     disk=full_disk)
+        cache.put(("prime",), {"kind": "sim"})    # first put hits the wall
+        assert cache.degraded
+        degraded_engine = AdmissionEngine(cache=cache)
+        degraded_engine.handle_batch(
+            [parse_request(obj) for obj in decoded[:distinct]])
+
+        def run_degraded():
+            for i in range(0, len(decoded), batch):
+                degraded_engine.handle_batch(
+                    [parse_request(obj) for obj in decoded[i:i + batch]])
+
+        degraded_seconds = _bench(run_degraded, repeats)
+        cache.close()
+
     return dict(
         requests=requests,
         batch=batch,
@@ -377,6 +406,8 @@ def bench_serving(requests: int, repeats: int, batch: int = 64,
         qps=requests / seconds,
         wire_seconds=wire_seconds,
         wire_qps=requests / wire_seconds,
+        degraded_seconds=degraded_seconds,
+        qps_degraded=requests / degraded_seconds,
     )
 
 
@@ -456,6 +487,7 @@ def main(argv=None) -> int:
     print(f"  {serving['requests']} requests in {serving['seconds']:.3f}s"
           f"  ({serving['qps']:.3g} queries/s core, "
           f"{serving['wire_qps']:.3g} queries/s wire, "
+          f"{serving['qps_degraded']:.3g} queries/s degraded tier, "
           f"batch {serving['batch']})")
 
     payload = dict(

@@ -219,6 +219,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     if args.replay is not None:
+        import json as _json
+        from pathlib import Path as _Path
+
+        raw = _json.loads(_Path(args.replay).read_text(encoding="utf-8"))
+        if raw.get("format") == "repro.serve-chaos-case":
+            return _replay_serve_chaos(args.replay)
         case = load_chaos_case(args.replay)
         outcome = case.replay()
         print(f"replaying {args.replay}: trial {case.index}, app {case.app}, "
@@ -229,6 +235,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for key in ("tasks_committed", "brownouts", "backoffs", "stuck_on"):
             print(f"  {key}: {outcome.details.get(key)}")
         return 1 if outcome.unsafe else 0
+
+    if args.serve:
+        return _run_serve_chaos(args)
 
     injectors = None
     if args.injectors:
@@ -274,6 +283,57 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.expect_unsafe:
         # Demonstration mode: the campaign *should* break the estimator
         # under test (e.g. an energy baseline under ESR drift).
+        return 0 if not report.ok else 1
+    return 0 if report.ok else 1
+
+
+def _replay_serve_chaos(path: str) -> int:
+    from repro.serve.chaos import load_serve_chaos_case
+
+    case = load_serve_chaos_case(path)
+    outcome = case.replay()
+    print(f"replaying {path}: trial {case.index}, "
+          f"injector {case.injector['injector']}")
+    print(f"outcome: {outcome.outcome}  "
+          f"(recorded: {case.original.get('outcome', '?')})")
+    for key in ("checked", "mismatches", "retries", "reconnects",
+                "restarts", "bad_exits"):
+        print(f"  {key}: {outcome.details.get(key)}")
+    return 1 if outcome.unsafe else 0
+
+
+def _run_serve_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos --serve``: the campaign against the real daemon."""
+    from repro.serve.chaos import SERVICE_INJECTORS, run_serve_campaign
+
+    injectors = None
+    if args.injectors:
+        names = args.injectors.split(",")
+        unknown = [n for n in names if n not in SERVICE_INJECTORS]
+        if unknown:
+            print(f"unknown service injector(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"choose from: {', '.join(sorted(SERVICE_INJECTORS))}",
+                  file=sys.stderr)
+            return 2
+        injectors = tuple(SERVICE_INJECTORS[n]().to_dict() for n in names)
+    try:
+        report = run_serve_campaign(
+            args.trials, seed=args.seed, jobs=args.jobs,
+            injectors=injectors, queries=args.queries,
+            cases_dir=args.cases_dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report is not None:
+        import json
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2), encoding="utf-8")
+        print(f"wrote {args.report}", file=sys.stderr)
+    if args.expect_unsafe:
         return 0 if not report.ok else 1
     return 0 if report.ok else 1
 
@@ -556,6 +616,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_path=args.cache,
         max_sessions=args.max_sessions,
         metrics_out=args.metrics_out,
+        drain_timeout=args.drain_timeout,
     )
     # The daemon always runs instrumented: the shed/deadline counters and
     # latency histograms ARE its operational surface (snapshot written to
@@ -676,7 +737,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "bursts, thermal ramps) the injectors "
                               "compose with")
     p_chaos.add_argument("--replay", metavar="CASE.json", default=None,
-                         help="re-run one persisted chaos case and exit")
+                         help="re-run one persisted chaos case and exit "
+                              "(simulator and serve cases are told apart "
+                              "by their format field)")
+    p_chaos.add_argument("--serve", action="store_true",
+                         help="service-level chaos: each trial boots a "
+                              "real 'repro serve' daemon and fires a "
+                              "fault-injected workload through the "
+                              "self-healing client (--injectors then "
+                              "names service injectors; --estimators/"
+                              "--apps/--horizon are simulator-only)")
+    p_chaos.add_argument("--queries", type=int, default=40, metavar="N",
+                         help="requests per serve-chaos trial "
+                              "(default 40; --serve only)")
     p_chaos.add_argument("--expect-unsafe", action="store_true",
                          help="invert the exit status: succeed only if the "
                               "campaign found unsafe trials (for baseline "
@@ -887,6 +960,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write the obs metrics snapshot here at "
                               "shutdown")
+    p_serve.add_argument("--drain-timeout", type=float, default=5.0,
+                         metavar="S",
+                         help="bound on graceful shutdown (queue drain + "
+                              "cache flush); a wedged disk cannot hang "
+                              "exit past this (default 5s)")
     p_serve.set_defaults(fn=cmd_serve)
     return parser
 

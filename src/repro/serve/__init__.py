@@ -19,22 +19,64 @@ end to end by the differential client (:mod:`~repro.serve.client`) and
 the CI smoke harness (:mod:`~repro.serve.check`). Batching, coalescing,
 caching and restarts are throughput features; none of them is allowed
 to change a single byte.
+
+The crash-safety layer holds that bar while things break: the cache is
+a journaled, checksummed, crash-consistent tier (:mod:`~repro.serve.journal`)
+that degrades to memo+compute when the disk misbehaves
+(:mod:`~repro.serve.faultfs` injects those misbehaviours); the
+self-healing :class:`~repro.serve.vsafe_client.VsafeClient` retries
+with deadlines, seeded backoff and idempotent resend; typed errors
+(:mod:`~repro.serve.errors`) document exactly what is retryable; and
+``repro chaos --serve`` (:mod:`~repro.serve.chaos`) proves the whole
+stack under service-level fault injection.
 """
 
 from repro.serve.cache import PersistentVsafeCache
+from repro.serve.chaos import (
+    SERVICE_INJECTORS,
+    ChaosProxy,
+    ServeChaosReport,
+    run_serve_campaign,
+)
 from repro.serve.engine import AdmissionEngine
-from repro.serve.protocol import PROTOCOL_VERSION, canonical
+from repro.serve.errors import (
+    DeadlineBudgetExceeded,
+    DeadlineExpiredError,
+    DegradedOperationError,
+    MalformedRequestError,
+    OverloadedError,
+    ServeConnectionError,
+    ServeTimeoutError,
+    VsafeServiceError,
+)
+from repro.serve.protocol import PROTOCOL_VERSION, RETRYABLE_ERRORS, canonical
 from repro.serve.server import ServeConfig, VsafeServer, run_server
 from repro.serve.sessions import DeviceSession, SessionStore
+from repro.serve.vsafe_client import RetryPolicy, VsafeClient
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "RETRYABLE_ERRORS",
+    "SERVICE_INJECTORS",
     "AdmissionEngine",
+    "ChaosProxy",
+    "DeadlineBudgetExceeded",
+    "DeadlineExpiredError",
+    "DegradedOperationError",
     "DeviceSession",
+    "MalformedRequestError",
+    "OverloadedError",
     "PersistentVsafeCache",
+    "RetryPolicy",
+    "ServeChaosReport",
     "ServeConfig",
+    "ServeConnectionError",
+    "ServeTimeoutError",
     "SessionStore",
+    "VsafeClient",
     "VsafeServer",
+    "VsafeServiceError",
     "canonical",
+    "run_serve_campaign",
     "run_server",
 ]

@@ -3,8 +3,10 @@
 The in-process :class:`~repro.core.vsafe_cache.VsafeCache` dies with the
 process; a serving daemon restarts often and should not recompute every
 estimate it ever served. :class:`PersistentVsafeCache` adds one disk
-tier: a JSON file of content-keyed entries, loaded (and integrity-
-checked) at startup, written atomically at shutdown or on demand.
+tier: an append-only checksummed journal of content-keyed entries
+(:mod:`repro.serve.journal`), replayed (and integrity-checked) at
+startup, appended on every put, compacted atomically when it outgrows
+the live set.
 
 Keys are the same *content* identities the in-memory cache uses —
 estimator ``cache_key()`` tuples (which fold in the plant's
@@ -15,13 +17,20 @@ stays structural: change the plant, the trace, or the environment and
 the key simply stops matching. There is no epoch bookkeeping, and a
 stale file can never serve a wrong answer — only a missing one.
 
-Failure containment: the load path treats the file as untrusted. A
-truncated write, a corrupted byte, a wrong format tag, or a checksum
-mismatch all reject the whole file and start empty (the daemon falls
-back to recomputing — correctness is never delegated to the disk).
-Writes go to a uniquely named temp file in the same directory followed
-by :func:`os.replace`, so concurrent writers can interleave freely: the
-file is always *some* writer's complete, checksummed snapshot.
+Failure containment runs in both directions:
+
+* **reads** treat the file as untrusted. Every journal record carries
+  its own checksum, so a crash mid-append, a short write, or a flipped
+  byte drops exactly the damaged records (``load_status`` becomes
+  ``recovered``) while every verifiable record is replayed byte-exactly;
+  a file that is not this journal's format at all is rejected whole.
+* **writes** degrade instead of failing the request. The first
+  ``OSError`` out of the disk (ENOSPC, a failing fsync, a dying device)
+  flips the cache into **degraded** mode: the disk tier is abandoned for
+  the life of the process, every lookup falls back to memo + compute,
+  ``degraded`` / ``disk_errors`` surface in :meth:`stats`, and the
+  ``serve.cache.degraded`` obs counter fires. Correctness is never
+  delegated to the disk — degraded mode only costs recomputes.
 
 Values round-trip exactly: entries are plain JSON objects of floats and
 strings, and CPython's float repr/parse is lossless, so an estimate
@@ -31,23 +40,16 @@ restored from disk serves byte-identical answers to one computed fresh.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Hashable, Optional
+from typing import Hashable, Optional
 
 from repro.core.model import TaskDemand, VsafeEstimate
 from repro.obs import current as _obs_current
-from repro.serve.protocol import canonical
-
-FORMAT = "repro.serve-vsafe-cache"
-VERSION = 1
-
-#: Temp-file sequence counter (per process) for atomic replace writes.
-_tmp_seq = 0
-_tmp_lock = threading.Lock()
+from repro.serve.faultfs import DiskOps, disk_ops_from_env
+from repro.serve.journal import FORMAT, VERSION, JournalWriter, read_journal
 
 
 def key_digest(key: Hashable) -> str:
@@ -85,104 +87,132 @@ def entry_estimate(entry: dict) -> VsafeEstimate:
     )
 
 
-def _checksum(entries: Dict[str, dict]) -> str:
-    return hashlib.blake2b(canonical(entries).encode("utf-8"),
-                           digest_size=16).hexdigest()
-
-
 class PersistentVsafeCache:
-    """A bounded LRU of JSON entries with an optional disk tier.
+    """A bounded LRU of JSON entries with a journaled disk tier.
 
     ``path=None`` is a purely in-memory cache (the differential client's
-    local mirror uses one); with a path, the constructor loads whatever
-    valid snapshot exists and :meth:`flush` persists the current state
-    atomically. Thread-safe like its in-memory sibling.
+    local mirror uses one); with a path, the constructor replays
+    whatever verifiable journal records exist and every :meth:`put`
+    appends one durable record. :meth:`flush` fsyncs. Thread-safe like
+    its in-memory sibling. ``disk`` overrides the syscall seam (fault
+    injection); by default it comes from the ``REPRO_SERVE_FAULTS``
+    environment plan, healthy when unset.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None,
-                 maxsize: int = 65536) -> None:
+                 maxsize: int = 65536,
+                 disk: Optional[DiskOps] = None) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.path = None if path is None else Path(path)
         self.maxsize = maxsize
         self._data: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.Lock()
+        self._disk_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._writer: Optional[JournalWriter] = None
+        self._degraded = False
+        self._last_disk_error = ""
+        self.disk_errors = 0
         #: Why the disk tier did (or did not) contribute at startup.
         self.load_status = "no-file"
         self.loaded_entries = 0
+        self.dropped_records = 0
         if self.path is not None:
-            self._load()
+            if disk is None:
+                disk = disk_ops_from_env()
+            try:
+                self._open_disk_tier(disk)
+            except OSError as exc:
+                self._disk_fail("open", exc)
 
     # -- disk tier ----------------------------------------------------------
 
-    def _load(self) -> None:
-        """Load the snapshot if it verifies; start empty otherwise."""
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return
-        except OSError:
-            self._reject("unreadable")
-            return
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError:
-            self._reject("corrupt-json")
-            return
-        if not isinstance(payload, dict) \
-                or payload.get("format") != FORMAT \
-                or payload.get("version") != VERSION:
-            self._reject("bad-format")
-            return
-        entries = payload.get("entries")
-        if not isinstance(entries, dict) \
-                or payload.get("checksum") != _checksum(entries):
-            self._reject("checksum-mismatch")
-            return
+    def _open_disk_tier(self, disk: DiskOps) -> None:
+        """Replay the journal and leave an append descriptor behind."""
+        recovery = read_journal(self.path)
+        self.load_status = recovery.status
+        self.dropped_records = recovery.dropped_records
+        if recovery.rejected:
+            self._observe_count("serve.cache.load_rejected")
+        elif recovery.dropped_records:
+            self._observe_count("serve.cache.recovered_drops",
+                                recovery.dropped_records)
         with self._lock:
-            for digest, entry in entries.items():
-                if isinstance(digest, str) and isinstance(entry, dict):
-                    self._data[digest] = entry
+            for digest, entry in recovery.entries.items():
+                self._data[digest] = entry
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
             self.loaded_entries = len(self._data)
-        self.load_status = "loaded"
+            snapshot = dict(self._data)
+        self._writer = JournalWriter(self.path, disk)
+        self._writer.open(write_header=recovery.status == "no-file")
+        if recovery.status != "no-file" and recovery.status != "loaded":
+            # Torn tails and foreign files are rewritten away so the
+            # journal on disk is clean again after every recovery.
+            self._writer.compact(snapshot)
 
-    def _reject(self, reason: str) -> None:
-        """Record a rejected file (the daemon recomputes from scratch)."""
-        self.load_status = f"rejected:{reason}"
-        obs = _obs_current()
-        if obs is not None:
-            obs.metrics.counter("serve.cache.load_rejected").inc()
+    def _disk_fail(self, op: str, exc: BaseException) -> None:
+        """First disk failure: abandon the tier, keep serving."""
+        self.disk_errors += 1
+        first = not self._degraded
+        self._degraded = True
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._observe_count("serve.cache.disk_error")
+        if first:
+            self._observe_count("serve.cache.degraded")
+        self._last_disk_error = f"{op}: {exc}"
+
+    @property
+    def degraded(self) -> bool:
+        """True once the disk tier has been abandoned after an error."""
+        return self._degraded
+
+    def _journal_put(self, digest: str, entry: dict) -> None:
+        if self._writer is None:
+            return
+        with self._disk_lock:
+            writer = self._writer
+            if writer is None:      # degraded concurrently
+                return
+            try:
+                writer.append(digest, entry)
+                if writer.should_compact(len(self._data)):
+                    with self._lock:
+                        snapshot = dict(self._data)
+                    writer.compact(snapshot)
+                    self._observe_count("serve.cache.compactions")
+            except OSError as exc:
+                self._disk_fail("append", exc)
 
     def flush(self) -> None:
-        """Persist the current entries atomically (no-op when pathless).
+        """Make every appended record durable (fsync); no-op pathless.
 
-        Unique temp name + ``os.replace``: a reader never sees a partial
-        file, and the last of several concurrent writers wins with a
-        complete snapshot.
+        Puts are already on the journal when this runs — flush only has
+        to push them through the page cache. A failing fsync degrades
+        the tier like any other disk error (the records may or may not
+        have survived; recovery's checksums decide at next startup).
         """
-        global _tmp_seq
-        if self.path is None:
+        if self.path is None or self._writer is None:
             return
-        with self._lock:
-            entries = dict(self._data)
-        payload = {
-            "format": FORMAT,
-            "version": VERSION,
-            "entries": entries,
-            "checksum": _checksum(entries),
-        }
-        with _tmp_lock:
-            _tmp_seq += 1
-            seq = _tmp_seq
-        tmp = self.path.with_name(
-            f"{self.path.name}.{os.getpid()}.{seq}.tmp")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(canonical(payload) + "\n", encoding="utf-8")
-        os.replace(tmp, self.path)
+        with self._disk_lock:
+            writer = self._writer
+            if writer is None:
+                return
+            try:
+                writer.sync()
+            except OSError as exc:
+                self._disk_fail("fsync", exc)
+
+    def close(self) -> None:
+        """Release the journal descriptor (tests; daemons just exit)."""
+        with self._disk_lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -208,6 +238,8 @@ class PersistentVsafeCache:
             self._data.move_to_end(digest)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+        if not self._degraded:
+            self._journal_put(digest, entry)
 
     def get_estimate(self, key: Hashable) -> Optional[VsafeEstimate]:
         entry = self.get(key)
@@ -229,6 +261,12 @@ class PersistentVsafeCache:
         obs.metrics.counter(
             "serve.cache.hits" if hit else "serve.cache.misses").inc()
 
+    @staticmethod
+    def _observe_count(name: str, n: int = 1) -> None:
+        obs = _obs_current()
+        if obs is not None:
+            obs.metrics.counter(name).inc(n)
+
     # -- introspection ------------------------------------------------------
 
     def __len__(self) -> int:
@@ -236,14 +274,22 @@ class PersistentVsafeCache:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            stats = {
                 "entries": len(self._data),
                 "maxsize": self.maxsize,
                 "hits": self._hits,
                 "misses": self._misses,
                 "load_status": self.load_status,
                 "loaded_entries": self.loaded_entries,
+                "degraded": self._degraded,
+                "disk_errors": self.disk_errors,
             }
+        if self._degraded:
+            stats["last_disk_error"] = self._last_disk_error
+        if self._writer is not None:
+            stats["journal_records"] = self._writer.records
+            stats["compactions"] = self._writer.compactions
+        return stats
 
 
 __all__ = [

@@ -1,0 +1,1061 @@
+"""Service-level chaos: fault-injected campaigns against the real daemon.
+
+``repro chaos --serve`` is :mod:`repro.resilience` pointed at the
+serving stack. One campaign *trial* is: derive the trial RNG from
+``(seed, index)``, boot a **real** ``python -m repro serve`` subprocess
+(its own cache journal in a scratch directory), pick one service-fault
+injector from the grid, fire a seeded mixed workload at the daemon
+through the self-healing :class:`~repro.serve.vsafe_client.VsafeClient`,
+and byte-compare every answered response against the independent library
+oracle (:class:`~repro.serve.client.ExpectedAnswers`). The outcome is
+classified with the same four-way taxonomy the simulator campaigns use:
+
+``completed``
+    Every response byte-identical, no retries, no degradation, daemon
+    exited 0 — nothing fired, nothing needed masking.
+``degraded_but_safe``
+    Faults fired (resets, stalls, a degraded disk tier, expired
+    deadlines, a killed-and-restarted daemon) and the stack visibly
+    absorbed them — retries, reconnects, resends, ``degraded`` flags —
+    while every *answered* byte stayed identical. The designed mode.
+``brown_out``
+    A wrong byte, an unexpected error, or a bad daemon exit code: the
+    service-level safety property was violated.
+``livelock``
+    The trial watchdog expired — the client could not make progress.
+
+The injector family (:data:`SERVICE_INJECTORS`) covers the failure
+planes a deployment actually has:
+
+* **transport** — ``connection-reset`` (the peer aborts mid-stream),
+  ``half-open-stall`` (responses silently stop: a dead NAT entry, a
+  wedged middlebox), ``slow-loris`` (request bytes trickle in) — all
+  via an in-process seeded :class:`ChaosProxy` between client and
+  daemon;
+* **disk** — ``disk-full`` (ENOSPC mid-append), ``short-write`` (a torn
+  record), ``fsync-eio`` (durability refused) — shipped to the daemon
+  subprocess as a :mod:`repro.serve.faultfs` plan via the
+  ``REPRO_SERVE_FAULTS`` environment variable;
+* **process** — ``sigkill`` (crash at a randomized workload point;
+  restart on the same port with the same journal — recovery must serve
+  identical bytes), ``sigterm`` (the drain deadline is load-bearing:
+  exit code must be 0);
+* **time** — ``deadline-storm``: a seeded fraction of requests carry a
+  queue deadline so small it *always* expires (any positive queue
+  residence exceeds it — clock-independent by construction), so the
+  shed path runs under load without a timing assumption.
+
+Trials fan out over :func:`repro.harness.parallel.parallel_map`; the
+report is a pure function of ``(trials, seed, parameters)`` —
+byte-identical for any ``--jobs`` — and every unsafe trial is saved as
+a replayable JSON case (``repro chaos --replay``), exactly the workflow
+``repro verify`` and simulator chaos established.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from random import Random
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.harness.parallel import parallel_map
+from repro.harness.report import TextTable
+from repro.obs import current as _obs_current
+from repro.serve.client import ExpectedAnswers, ServerProcess
+from repro.serve.errors import (
+    DeadlineBudgetExceeded,
+    DeadlineExpiredError,
+    DegradedOperationError,
+    VsafeServiceError,
+)
+from repro.serve.faultfs import FAULTS_ENV
+from repro.serve.protocol import MAX_LINE_BYTES, encode_line
+from repro.serve.vsafe_client import VsafeClient
+
+#: A queue deadline (ms) no dispatched request can beat: the enqueue ->
+#: dispatch path always takes at least one event-loop hop, so any
+#: positive measured residence exceeds a nanosecond. Deterministic
+#: expiry without sleeping or reading a wall clock.
+STORM_DEADLINE_MS = 1e-6
+
+#: Registered service injector classes by name.
+SERVICE_INJECTORS: Dict[str, Type["ServiceInjector"]] = {}
+
+
+def register(cls: Type["ServiceInjector"]) -> Type["ServiceInjector"]:
+    """Class decorator adding a service injector to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    if cls.name in SERVICE_INJECTORS:
+        raise ValueError(f"duplicate service injector: {cls.name!r}")
+    SERVICE_INJECTORS[cls.name] = cls
+    return cls
+
+
+def service_injector_from_dict(data: dict) -> "ServiceInjector":
+    """Rebuild a service injector from its ``to_dict`` form."""
+    name = data.get("injector")
+    if name not in SERVICE_INJECTORS:
+        raise ValueError(f"unknown service injector {name!r}; choose from "
+                         f"{sorted(SERVICE_INJECTORS)}")
+    return SERVICE_INJECTORS[name](**data.get("params", {}))
+
+
+def default_service_injector_dicts() -> Tuple[dict, ...]:
+    """Every registered service injector with defaults, as plain data."""
+    return tuple(SERVICE_INJECTORS[name]().to_dict()
+                 for name in sorted(SERVICE_INJECTORS))
+
+
+class ServiceInjector:
+    """Base service fault recipe: named, parameterized, plain-data.
+
+    ``kind`` routes the fault to its plane: ``"proxy"`` recipes shape
+    the :class:`ChaosProxy` between client and daemon, ``"disk"``
+    recipes ship a :mod:`~repro.serve.faultfs` plan into the daemon's
+    environment, ``"signal"`` recipes kill or terminate the daemon
+    mid-workload, ``"workload"`` recipes mark requests (deadline
+    storms), and ``"none"`` is the clean control.
+    """
+
+    name: str = ""
+    kind: str = "none"
+    #: ``"kill"`` or ``"term"`` for signal-kind injectors.
+    signal: Optional[str] = None
+
+    def params(self) -> dict:
+        return {}
+
+    def to_dict(self) -> dict:
+        return {"injector": self.name, "params": self.params()}
+
+    def fault_plan(self) -> Optional[dict]:
+        """The ``REPRO_SERVE_FAULTS`` plan for disk-kind injectors."""
+        return None
+
+    def proxy_profile(self) -> Optional[dict]:
+        """The per-connection behaviour for proxy-kind injectors."""
+        return None
+
+    def storm_fraction(self) -> float:
+        """Fraction of requests marked with the storm deadline."""
+        return 0.0
+
+
+@register
+class NoServiceFault(ServiceInjector):
+    """The control: a clean trial must classify ``completed``."""
+
+    name = "none"
+    kind = "none"
+
+
+@register
+class ConnectionReset(ServiceInjector):
+    """The proxy aborts (RST) each connection after a few requests."""
+
+    name = "connection-reset"
+    kind = "proxy"
+
+    def __init__(self, every: int = 4, jitter: int = 3) -> None:
+        if every < 2:
+            raise ValueError(f"every must be >= 2, got {every}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.every = int(every)
+        self.jitter = int(jitter)
+
+    def params(self) -> dict:
+        return {"every": self.every, "jitter": self.jitter}
+
+    def proxy_profile(self) -> Optional[dict]:
+        return {"mode": "reset", "every": self.every, "jitter": self.jitter}
+
+
+@register
+class HalfOpenStall(ServiceInjector):
+    """Responses silently stop after a few — the socket stays open.
+
+    The half-open classic: a dead NAT entry or wedged middlebox. Only
+    the client's per-attempt timeout can save it."""
+
+    name = "half-open-stall"
+    kind = "proxy"
+
+    def __init__(self, after: int = 6, jitter: int = 4) -> None:
+        if after < 1:
+            raise ValueError(f"after must be >= 1, got {after}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.after = int(after)
+        self.jitter = int(jitter)
+
+    def params(self) -> dict:
+        return {"after": self.after, "jitter": self.jitter}
+
+    def proxy_profile(self) -> Optional[dict]:
+        return {"mode": "stall", "after": self.after, "jitter": self.jitter}
+
+
+@register
+class SlowLoris(ServiceInjector):
+    """Request bytes trickle toward the daemon in tiny delayed chunks.
+
+    One slow client must cost only its own latency — the daemon's
+    per-connection reads must not head-of-line-block the others."""
+
+    name = "slow-loris"
+    kind = "proxy"
+
+    def __init__(self, chunk: int = 48, delay_ms: float = 2.0) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms}")
+        self.chunk = int(chunk)
+        self.delay_ms = float(delay_ms)
+
+    def params(self) -> dict:
+        return {"chunk": self.chunk, "delay_ms": self.delay_ms}
+
+    def proxy_profile(self) -> Optional[dict]:
+        return {"mode": "loris", "chunk": self.chunk,
+                "delay_ms": self.delay_ms}
+
+
+@register
+class DiskFull(ServiceInjector):
+    """ENOSPC partway through the journal: the tier must degrade, the
+    answers must not change."""
+
+    name = "disk-full"
+    kind = "disk"
+
+    def __init__(self, after_bytes: int = 1500) -> None:
+        if after_bytes < 0:
+            raise ValueError(f"after_bytes must be >= 0, got {after_bytes}")
+        self.after_bytes = int(after_bytes)
+
+    def params(self) -> dict:
+        return {"after_bytes": self.after_bytes}
+
+    def fault_plan(self) -> Optional[dict]:
+        return {"enospc_after_bytes": self.after_bytes}
+
+
+@register
+class ShortWrite(ServiceInjector):
+    """One append is torn mid-record; recovery must drop it cleanly."""
+
+    name = "short-write"
+    kind = "disk"
+
+    def __init__(self, at_write: int = 3) -> None:
+        if at_write < 1:
+            raise ValueError(f"at_write must be >= 1, got {at_write}")
+        self.at_write = int(at_write)
+
+    def params(self) -> dict:
+        return {"at_write": self.at_write}
+
+    def fault_plan(self) -> Optional[dict]:
+        return {"short_write_at": self.at_write}
+
+
+@register
+class FsyncEio(ServiceInjector):
+    """fsync returns EIO: durability refused, service must continue."""
+
+    name = "fsync-eio"
+    kind = "disk"
+
+    def __init__(self, after: int = 1) -> None:
+        if after < 1:
+            raise ValueError(f"after must be >= 1, got {after}")
+        self.after = int(after)
+
+    def params(self) -> dict:
+        return {"after": self.after}
+
+    def fault_plan(self) -> Optional[dict]:
+        return {"fsync_fail_after": self.after}
+
+
+@register
+class SigKill(ServiceInjector):
+    """SIGKILL at a randomized workload point; restart on the same port
+    with the same journal. Recovery must serve identical bytes."""
+
+    name = "sigkill"
+    kind = "signal"
+    signal = "kill"
+
+    def __init__(self, at_fraction: float = 0.5) -> None:
+        if not 0.0 < at_fraction < 1.0:
+            raise ValueError(
+                f"at_fraction must be in (0, 1), got {at_fraction}")
+        self.at_fraction = float(at_fraction)
+
+    def params(self) -> dict:
+        return {"at_fraction": self.at_fraction}
+
+
+@register
+class SigTerm(ServiceInjector):
+    """SIGTERM mid-workload: the daemon must drain and exit 0 inside its
+    ``drain_timeout`` budget, then a restart continues the workload."""
+
+    name = "sigterm"
+    kind = "signal"
+    signal = "term"
+
+    def __init__(self, at_fraction: float = 0.5) -> None:
+        if not 0.0 < at_fraction < 1.0:
+            raise ValueError(
+                f"at_fraction must be in (0, 1), got {at_fraction}")
+        self.at_fraction = float(at_fraction)
+
+    def params(self) -> dict:
+        return {"at_fraction": self.at_fraction}
+
+
+@register
+class DeadlineStorm(ServiceInjector):
+    """A seeded fraction of requests carry :data:`STORM_DEADLINE_MS` —
+    they deterministically expire in the queue, exercising the shed path
+    with zero timing assumptions."""
+
+    name = "deadline-storm"
+    kind = "workload"
+
+    def __init__(self, fraction: float = 0.3) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def params(self) -> dict:
+        return {"fraction": self.fraction}
+
+    def storm_fraction(self) -> float:
+        return self.fraction
+
+
+# -- the chaos proxy --------------------------------------------------------
+
+
+class ChaosProxy:
+    """A seeded TCP forwarder that misbehaves on schedule.
+
+    Sits between a client and the daemon. Each accepted connection gets
+    its own RNG stream derived from ``(seed, connection index)``, so a
+    trial's fault schedule is reproducible while connections differ.
+    Profiles (see the proxy-kind injectors): ``reset`` aborts after N
+    forwarded requests, ``stall`` blackholes responses after K,
+    ``loris`` trickles request bytes in delayed chunks.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 profile: Optional[dict], seed: int) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.profile = profile or {}
+        self.seed = seed
+        self.host = ""
+        self.port = 0
+        self.connections = 0
+        self.resets = 0
+        self.stalled = 0
+        self.trickled = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: set = set()
+
+    @property
+    def faults_fired(self) -> int:
+        return self.resets + self.stalled + self.trickled
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0, limit=MAX_LINE_BYTES)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def _handle(self, creader: asyncio.StreamReader,
+                      cwriter: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        index = self.connections
+        self.connections += 1
+        rng = Random(f"chaos-proxy:{self.seed}:{index}")
+        try:
+            ureader, uwriter = await asyncio.open_connection(
+                *self.upstream, limit=MAX_LINE_BYTES)
+        except (OSError, asyncio.CancelledError):
+            self._tasks.discard(task)
+            cwriter.close()
+            return
+        mode = self.profile.get("mode")
+        reset_at = stall_at = None
+        if mode == "reset":
+            reset_at = (self.profile["every"]
+                        + rng.randrange(self.profile["jitter"] + 1))
+        elif mode == "stall":
+            stall_at = (self.profile["after"]
+                        + rng.randrange(self.profile["jitter"] + 1))
+
+        async def client_to_server() -> None:
+            forwarded = 0
+            while True:
+                line = await creader.readline()
+                if not line:
+                    break
+                if mode == "loris":
+                    chunk = self.profile["chunk"]
+                    delay = self.profile["delay_ms"] / 1000.0
+                    self.trickled += 1
+                    for i in range(0, len(line), chunk):
+                        uwriter.write(line[i:i + chunk])
+                        await uwriter.drain()
+                        await asyncio.sleep(delay)
+                else:
+                    uwriter.write(line)
+                    await uwriter.drain()
+                forwarded += 1
+                if reset_at is not None and forwarded >= reset_at:
+                    self.resets += 1
+                    # An RST, not a FIN: buffered responses are lost too.
+                    cwriter.transport.abort()
+                    uwriter.transport.abort()
+                    return
+            uwriter.close()
+
+        async def server_to_client() -> None:
+            forwarded = 0
+            while True:
+                line = await ureader.readline()
+                if not line:
+                    break
+                if stall_at is not None and forwarded >= stall_at:
+                    # Half-open: swallow the response, keep the socket.
+                    self.stalled += 1
+                    continue
+                forwarded += 1
+                cwriter.write(line)
+                await cwriter.drain()
+
+        try:
+            await asyncio.gather(client_to_server(), server_to_client(),
+                                 return_exceptions=True)
+        except asyncio.CancelledError:
+            pass  # proxy stop() cancels live forwarders
+        finally:
+            self._tasks.discard(task)
+            for writer in (cwriter, uwriter):
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    pass
+
+
+# -- workloads and comparison -----------------------------------------------
+
+_APPS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("sense-store", ("sample", "compute", "store")),
+    ("sense-tx", ("sample", "compute", "radio")),
+)
+_ESTIMATORS: Tuple[str, ...] = ("culpeo-pg", "energy-direct")
+_V_BANKS: Tuple[float, ...] = (1.7, 1.9, 2.1, 2.3)
+_SYSTEMS: Tuple[Optional[dict], ...] = (
+    None,
+    {"datasheet_capacitance": 33e-3, "capacitance_tolerance": 0.1},
+)
+
+
+def make_trial_workload(rng: Random, queries: int, *,
+                        session_ops: bool = True,
+                        flush_ops: bool = False,
+                        storm_fraction: float = 0.0) -> List[dict]:
+    """A seeded mixed workload for one serve-chaos trial.
+
+    ``session_ops=False`` keeps the workload free of device state
+    (admits without ``device``, no reports) so a daemon restart cannot
+    desynchronize the oracle — in-memory sessions die with the process,
+    cached estimates do not. ``flush_ops`` interleaves ``flush``
+    requests so disk faults that only fire on fsync surface mid-trial.
+    ``storm_fraction`` marks that fraction with the storm deadline.
+    """
+    reqs: List[dict] = []
+    devices = [f"dev-{i}" for i in range(4)]
+    for n in range(queries):
+        roll = rng.random()
+        if flush_ops and n % 7 == 5:
+            reqs.append({"op": "flush", "id": f"q{n}"})
+            continue
+        if roll < 0.55:
+            app, tasks = _APPS[rng.randrange(len(_APPS))]
+            req = {"op": "admit", "id": f"q{n}",
+                   "v_bank": _V_BANKS[rng.randrange(len(_V_BANKS))],
+                   "app": app, "task": tasks[rng.randrange(len(tasks))],
+                   "estimator": _ESTIMATORS[rng.randrange(len(_ESTIMATORS))]}
+            system = _SYSTEMS[rng.randrange(len(_SYSTEMS))]
+            if system is not None:
+                req["system"] = system
+            if session_ops and rng.random() < 0.5:
+                req["device"] = devices[rng.randrange(len(devices))]
+        elif roll < 0.75:
+            req = {"op": "simulate", "id": f"q{n}", "v_start": 2.2,
+                   "trace": [[0.01, 0.2], [0.004, 0.35], [0.012, 0.15]]}
+        elif roll < 0.9 and session_ops:
+            req = {"op": "report", "id": f"q{n}",
+                   "device": devices[rng.randrange(len(devices))],
+                   "outcome": "brownout" if rng.random() < 0.5
+                   else "success"}
+        else:
+            req = {"op": "ping", "id": f"q{n}"}
+        # Only queued ops can expire; inline ops (ping/flush) answer
+        # before the deadline check and must not be stormed.
+        if storm_fraction > 0.0 \
+                and req["op"] in ("admit", "simulate", "report") \
+                and rng.random() < storm_fraction:
+            req["deadline_ms"] = STORM_DEADLINE_MS
+        reqs.append(req)
+    return reqs
+
+
+def lines_match(got: bytes, expected: bytes,
+                strip_degraded: bool = False) -> bool:
+    """Byte identity, optionally modulo a true ``degraded`` flag.
+
+    When the disk tier is (deliberately) unhealthy, ok responses carry
+    ``"degraded": true``; stripping exactly that key must restore the
+    healthy bytes — anything else differing is a real mismatch.
+    """
+    if got == expected:
+        return True
+    if not strip_degraded:
+        return False
+    try:
+        body = json.loads(got)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    if not isinstance(body, dict) or body.pop("degraded", None) is not True:
+        return False
+    return encode_line(body) == expected
+
+
+# -- one trial --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeCampaignConfig:
+    """Everything a worker needs to run one serve-chaos trial."""
+
+    seed: int
+    injectors: Tuple[dict, ...]
+    queries: int = 40
+    queue_limit: int = 256
+    drain_timeout: float = 5.0
+    deadline_s: float = 20.0      # client budget per request
+    watchdog_s: float = 120.0     # whole-phase bound -> livelock
+
+    def combos(self) -> List[dict]:
+        injectors = self.injectors or default_service_injector_dicts()
+        return list(injectors)
+
+
+@dataclass
+class ServeTrialOutcome:
+    """Plain-data result of one serve-chaos trial (picklable)."""
+
+    index: int
+    injector: dict
+    outcome: str
+    details: dict = field(default_factory=dict)
+
+    @property
+    def unsafe(self) -> bool:
+        return self.outcome in ("brown_out", "livelock")
+
+
+class _Totals:
+    """Mutable per-trial accumulators (client counters + fault sightings)."""
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.mismatches: List[str] = []
+        self.retries = 0
+        self.reconnects = 0
+        self.resends = 0
+        self.degraded_seen = 0
+        self.storm_expired = 0
+        self.flush_degraded = 0
+        self.restarts = 0
+        self.proxy_faults = 0
+        self.bad_exits: List[int] = []
+
+    def absorb(self, client: VsafeClient) -> None:
+        self.retries += client.retries
+        # The first connect of each phase is normal, not healing.
+        self.reconnects += max(0, client.reconnects - 1)
+        self.resends += client.resends
+        self.degraded_seen += client.degraded_seen
+
+    @property
+    def activity(self) -> int:
+        return (self.retries + self.reconnects + self.resends
+                + self.degraded_seen + self.storm_expired
+                + self.flush_degraded + self.restarts
+                + self.proxy_faults)
+
+    def as_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "mismatches": len(self.mismatches),
+            "mismatch_samples": self.mismatches[:3],
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "resends": self.resends,
+            "degraded_seen": self.degraded_seen,
+            "storm_expired": self.storm_expired,
+            "flush_degraded": self.flush_degraded,
+            "restarts": self.restarts,
+            "proxy_faults": self.proxy_faults,
+            "bad_exits": self.bad_exits,
+        }
+
+
+async def _run_phase(host: str, port: int, reqs: List[dict],
+                     oracle: ExpectedAnswers, injector: ServiceInjector,
+                     seed: int, totals: _Totals,
+                     deadline_s: float) -> None:
+    """Drive one contiguous slice of the workload against one daemon."""
+    proxy: Optional[ChaosProxy] = None
+    target_host, target_port = host, port
+    profile = injector.proxy_profile()
+    if profile is not None:
+        proxy = ChaosProxy(host, port, profile, seed)
+        await proxy.start()
+        target_host, target_port = proxy.host, proxy.port
+    strip = injector.kind == "disk"
+    client = VsafeClient(target_host, target_port, deadline_s=deadline_s,
+                         attempt_timeout_s=0.5, seed=seed)
+    try:
+        for req in reqs:
+            if req["op"] == "flush":
+                # No oracle for flush (its count is cache-internal);
+                # a degraded error is the *expected* disk-fault signal.
+                try:
+                    await client.request(dict(req))
+                except DegradedOperationError:
+                    totals.flush_degraded += 1
+                continue
+            if req.get("deadline_ms") == STORM_DEADLINE_MS:
+                # Doomed by construction: never reaches the engine, so
+                # the oracle must not see it either.
+                try:
+                    await client.request(dict(req),
+                                         retry_server_errors=False)
+                except DeadlineExpiredError:
+                    totals.storm_expired += 1
+                    continue
+                totals.mismatches.append(
+                    f"id={req['id']}: storm deadline did not expire")
+                continue
+            # Device ops are order-sensitive: compute the expectation
+            # immediately before the sequential round-trip.
+            expected = oracle.expect_line(req)
+            line = await client.request_line(dict(req))
+            totals.checked += 1
+            if not lines_match(line, expected, strip_degraded=strip):
+                totals.mismatches.append(
+                    f"id={req['id']}\n  served   {line!r}\n"
+                    f"  expected {expected!r}")
+    finally:
+        totals.absorb(client)
+        await client.close()
+        if proxy is not None:
+            await proxy.stop()
+            totals.proxy_faults += proxy.faults_fired
+
+
+def _shutdown_daemon(server: ServerProcess, totals: _Totals,
+                     drain_timeout: float) -> None:
+    """Graceful stop via the shutdown op; the exit code is part of the
+    safety property (a non-zero exit is a brown-out)."""
+    async def _ask() -> None:
+        client = VsafeClient(server.host, server.port, deadline_s=5.0,
+                             attempt_timeout_s=1.0)
+        try:
+            await client.request({"op": "shutdown", "id": "bye"})
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(_ask())
+        rc = server.wait(timeout=drain_timeout + 10.0)
+    except (VsafeServiceError, subprocess.TimeoutExpired, OSError) as exc:
+        totals.mismatches.append(f"graceful shutdown failed: {exc}")
+        return
+    if rc != 0:
+        totals.bad_exits.append(rc)
+
+
+def _run_resolved_serve(seed: int, index: int, injector_dict: dict, *,
+                        queries: int, queue_limit: int,
+                        drain_timeout: float, deadline_s: float,
+                        watchdog_s: float) -> ServeTrialOutcome:
+    """Run one fully resolved serve-chaos trial (campaign and replay)."""
+    injector = service_injector_from_dict(injector_dict)
+    rng = Random(f"serve-chaos:{seed}:{index}")
+    workload = make_trial_workload(
+        rng, queries,
+        session_ops=injector.kind != "signal",
+        flush_ops=injector.kind == "disk",
+        storm_fraction=injector.storm_fraction())
+
+    tmpdir = tempfile.mkdtemp(prefix="serve-chaos-")
+    cache_path = os.path.join(tmpdir, "vsafe-cache.journal")
+    env = dict(os.environ)
+    plan = injector.fault_plan()
+    if plan is not None:
+        env[FAULTS_ENV] = json.dumps(plan)
+    server_args = ("--cache", cache_path,
+                   "--queue-limit", str(queue_limit),
+                   "--drain-timeout", str(drain_timeout))
+
+    oracle = ExpectedAnswers()
+    totals = _Totals()
+    timed_out = False
+    server: Optional[ServerProcess] = None
+
+    def _phase(reqs: List[dict]) -> bool:
+        """One bounded client phase; True when the watchdog expired."""
+        try:
+            asyncio.run(asyncio.wait_for(
+                _run_phase(server.host, server.port, reqs, oracle,
+                           injector, seed * 1_000_003 + index, totals,
+                           deadline_s),
+                timeout=watchdog_s))
+            return False
+        except asyncio.TimeoutError:
+            return True
+        except DeadlineBudgetExceeded as exc:
+            totals.mismatches.append(f"client budget exhausted: {exc}")
+            return False
+
+    try:
+        server = ServerProcess(*server_args, env=env).__enter__()
+        if injector.kind == "signal":
+            jitter = rng.uniform(-0.15, 0.15)
+            cut = int(len(workload) * (injector.at_fraction + jitter))
+            cut = min(len(workload) - 1, max(1, cut))
+            timed_out = _phase(workload[:cut])
+            port = server.port
+            if injector.signal == "term":
+                server.terminate()
+                try:
+                    rc = server.wait(timeout=drain_timeout + 10.0)
+                    if rc != 0:
+                        totals.bad_exits.append(rc)
+                except subprocess.TimeoutExpired:
+                    totals.mismatches.append(
+                        "SIGTERM drain exceeded its deadline")
+                    server.kill()
+            else:
+                server.kill()
+            server.__exit__(None, None, None)
+            # Restart on the same port with the same journal: recovery
+            # plus the healing client must make the cut invisible.
+            server = ServerProcess(*server_args, env=env,
+                                   port=port).__enter__()
+            totals.restarts += 1
+            if not timed_out:
+                timed_out = _phase(workload[cut:])
+        else:
+            timed_out = _phase(workload)
+        if not timed_out:
+            _shutdown_daemon(server, totals, drain_timeout)
+    finally:
+        if server is not None:
+            server.__exit__(None, None, None)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    failed = bool(totals.mismatches or totals.bad_exits)
+    if timed_out:
+        outcome = "livelock"
+    elif failed:
+        outcome = "brown_out"
+    elif totals.activity:
+        outcome = "degraded_but_safe"
+    else:
+        outcome = "completed"
+    return ServeTrialOutcome(index=index, injector=injector_dict,
+                             outcome=outcome, details=totals.as_dict())
+
+
+def run_serve_trial(args: "Tuple[int, ServeCampaignConfig]") \
+        -> ServeTrialOutcome:
+    """Execute one campaign trial (module-level: picklable for fan-out)."""
+    index, cfg = args
+    combos = cfg.combos()
+    injector_dict = combos[index % len(combos)]
+    return _run_resolved_serve(
+        cfg.seed, index, injector_dict, queries=cfg.queries,
+        queue_limit=cfg.queue_limit, drain_timeout=cfg.drain_timeout,
+        deadline_s=cfg.deadline_s, watchdog_s=cfg.watchdog_s)
+
+
+# -- cases, report, campaign ------------------------------------------------
+
+CASE_FORMAT = "repro.serve-chaos-case"
+CASE_VERSION = 1
+
+OUTCOMES: Tuple[str, ...] = ("completed", "degraded_but_safe", "brown_out",
+                             "livelock")
+
+
+@dataclass(frozen=True)
+class ServeChaosCase:
+    """One replayable unsafe serve-chaos trial."""
+
+    seed: int
+    index: int
+    injector: dict
+    queries: int
+    queue_limit: int
+    drain_timeout: float
+    deadline_s: float
+    watchdog_s: float
+    original: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CASE_FORMAT,
+            "version": CASE_VERSION,
+            "seed": self.seed,
+            "index": self.index,
+            "injector": self.injector,
+            "queries": self.queries,
+            "queue_limit": self.queue_limit,
+            "drain_timeout": self.drain_timeout,
+            "deadline_s": self.deadline_s,
+            "watchdog_s": self.watchdog_s,
+            "original": self.original,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeChaosCase":
+        if data.get("format") != CASE_FORMAT:
+            raise ValueError("not a repro serve-chaos-case document")
+        if data.get("version") != CASE_VERSION:
+            raise ValueError(f"unsupported version: {data.get('version')!r}")
+        return cls(
+            seed=int(data["seed"]), index=int(data["index"]),
+            injector=dict(data["injector"]), queries=int(data["queries"]),
+            queue_limit=int(data["queue_limit"]),
+            drain_timeout=float(data["drain_timeout"]),
+            deadline_s=float(data["deadline_s"]),
+            watchdog_s=float(data["watchdog_s"]),
+            original=data.get("original", {}),
+        )
+
+    def replay(self) -> ServeTrialOutcome:
+        """Re-run the recorded trial against a fresh daemon."""
+        return _run_resolved_serve(
+            self.seed, self.index, self.injector, queries=self.queries,
+            queue_limit=self.queue_limit, drain_timeout=self.drain_timeout,
+            deadline_s=self.deadline_s, watchdog_s=self.watchdog_s)
+
+
+def save_serve_chaos_case(case: ServeChaosCase, path) -> None:
+    Path(path).write_text(json.dumps(case.to_dict(), indent=2),
+                          encoding="utf-8")
+
+
+def load_serve_chaos_case(path) -> ServeChaosCase:
+    return ServeChaosCase.from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+@dataclass
+class ServeChaosReport:
+    """Aggregated outcomes of one serve-chaos campaign.
+
+    Pure data — no timestamps, no worker counts, details only for
+    unsafe trials (the safe-path counters are timing-dependent) — so
+    identical ``(trials, seed, parameters)`` runs serialize to
+    identical JSON regardless of parallelism.
+    """
+
+    trials: int
+    seed: int
+    injectors: Tuple[dict, ...]
+    queries: int
+    queue_limit: int
+    drain_timeout: float
+    counts: Dict[str, int]
+    per_injector: Dict[str, Dict[str, int]]
+    unsafe: List[dict]
+    cases: List[str]
+
+    @property
+    def unsafe_count(self) -> int:
+        return len(self.unsafe)
+
+    @property
+    def ok(self) -> bool:
+        """True when no trial served a wrong byte or wedged."""
+        return self.unsafe_count == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.serve-chaos-report",
+            "version": 1,
+            "config": {
+                "trials": self.trials,
+                "seed": self.seed,
+                "injectors": list(self.injectors),
+                "queries": self.queries,
+                "queue_limit": self.queue_limit,
+                "drain_timeout": self.drain_timeout,
+            },
+            "counts": self.counts,
+            "per_injector": self.per_injector,
+            "unsafe": self.unsafe,
+            "cases": self.cases,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        table = TextTable(
+            ["injector"] + list(OUTCOMES),
+            title=(f"serve chaos campaign: {self.trials} trials, "
+                   f"seed {self.seed}, {self.queries} queries/trial"))
+        for name in sorted(self.per_injector):
+            stats = self.per_injector[name]
+            table.add_row([name] + [stats.get(o, 0) for o in OUTCOMES])
+        lines = [table.render()]
+        if self.unsafe:
+            lines.append(f"unsafe trials ({self.unsafe_count}):")
+            for entry in self.unsafe[:10]:
+                lines.append(
+                    f"  trial {entry['index']} / {entry['injector']}: "
+                    f"{entry['outcome']}")
+        if self.cases:
+            lines.append(f"serve chaos cases ({len(self.cases)}):")
+            for path in self.cases:
+                lines.append(f"  {path}")
+        lines.append("verdict: " + ("OK" if self.ok else "UNSAFE"))
+        return "\n".join(lines)
+
+
+def run_serve_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
+                       injectors: Optional[Tuple[dict, ...]] = None,
+                       queries: int = 40, queue_limit: int = 256,
+                       drain_timeout: float = 5.0,
+                       deadline_s: float = 20.0,
+                       watchdog_s: float = 120.0,
+                       cases_dir: Optional[str] = None) -> ServeChaosReport:
+    """Run ``trials`` seeded serve-chaos trials and aggregate a report.
+
+    Each trial boots (and tears down) a real daemon subprocess, so
+    trials are heavyweight; the stock CI smoke runs one trial per
+    injector. Results are identical for any ``jobs``; ``cases_dir``
+    receives one replayable JSON case per unsafe trial.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    injector_dicts = (tuple(injectors) if injectors is not None
+                      else default_service_injector_dicts())
+    for data in injector_dicts:
+        service_injector_from_dict(data)  # validate in the parent
+    cfg = ServeCampaignConfig(
+        seed=seed, injectors=injector_dicts, queries=queries,
+        queue_limit=queue_limit, drain_timeout=drain_timeout,
+        deadline_s=deadline_s, watchdog_s=watchdog_s)
+    outcomes = parallel_map(run_serve_trial,
+                            [(i, cfg) for i in range(trials)], jobs=jobs)
+
+    counts: Dict[str, int] = {o: 0 for o in OUTCOMES}
+    per_injector: Dict[str, Dict[str, int]] = {
+        data["injector"]: {o: 0 for o in OUTCOMES}
+        for data in injector_dicts}
+    unsafe: List[dict] = []
+    case_paths: List[str] = []
+
+    # Telemetry parent-side, so the event stream is jobs-independent.
+    obs = _obs_current()
+    if obs is not None:
+        obs.metrics.counter("serve_chaos.trials").inc(len(outcomes))
+    for outcome in outcomes:
+        counts[outcome.outcome] += 1
+        per_injector[outcome.injector["injector"]][outcome.outcome] += 1
+        if obs is not None:
+            obs.metrics.counter(
+                f"serve_chaos.outcome.{outcome.outcome}").inc()
+        if outcome.unsafe:
+            entry = {
+                "index": outcome.index,
+                "injector": outcome.injector["injector"],
+                "outcome": outcome.outcome,
+                "details": outcome.details,
+            }
+            unsafe.append(entry)
+            if cases_dir is not None:
+                directory = Path(cases_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                case = ServeChaosCase(
+                    seed=seed, index=outcome.index,
+                    injector=outcome.injector, queries=queries,
+                    queue_limit=queue_limit, drain_timeout=drain_timeout,
+                    deadline_s=deadline_s, watchdog_s=watchdog_s,
+                    original={"outcome": outcome.outcome,
+                              "details": outcome.details})
+                path = directory / (
+                    f"serve-chaos-{outcome.index:06d}-"
+                    f"{outcome.injector['injector']}.json")
+                save_serve_chaos_case(case, path)
+                case_paths.append(str(path))
+
+    return ServeChaosReport(
+        trials=trials, seed=seed, injectors=injector_dicts,
+        queries=queries, queue_limit=queue_limit,
+        drain_timeout=drain_timeout, counts=counts,
+        per_injector=per_injector, unsafe=unsafe, cases=case_paths)
+
+
+__all__ = [
+    "CASE_FORMAT",
+    "ChaosProxy",
+    "OUTCOMES",
+    "STORM_DEADLINE_MS",
+    "SERVICE_INJECTORS",
+    "ServeCampaignConfig",
+    "ServeChaosCase",
+    "ServeChaosReport",
+    "ServeTrialOutcome",
+    "ServiceInjector",
+    "default_service_injector_dicts",
+    "lines_match",
+    "load_serve_chaos_case",
+    "make_trial_workload",
+    "run_serve_campaign",
+    "run_serve_trial",
+    "save_serve_chaos_case",
+    "service_injector_from_dict",
+]

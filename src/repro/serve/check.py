@@ -19,6 +19,17 @@ modes:
   non-shed answer is still byte-identical. Load shedding is
   timing-dependent, so shed responses are only counted, never compared.
 
+``--chaos`` runs either mode with the service-fault injectors live: a
+disk-fault plan (ENOSPC) degrades the daemon's cache tier mid-run, and
+every data connection is routed through seeded
+:class:`~repro.serve.chaos.ChaosProxy` instances cycling the transport
+faults (resets, half-open stalls, slow-loris trickle); sustained mode
+additionally storms a fraction of requests with a queue deadline that
+always expires. Lanes then drive the self-healing
+:class:`~repro.serve.vsafe_client.VsafeClient` instead of the raw
+client, and answers are compared modulo the (expected) ``degraded``
+flag — the bar is unchanged: every *answered* byte identical.
+
 Exit code 0 means every assertion held; any mismatch prints both byte
 strings and fails the run (and with it, the CI job).
 """
@@ -28,7 +39,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import shutil
 import sys
+import tempfile
 from pathlib import Path
 from random import Random
 from typing import Dict, List, Optional, Tuple
@@ -36,6 +50,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.env.spec import EnvSpec
 from repro.serve.client import ExpectedAnswers, ServeClient, ServerProcess
 from repro.serve.protocol import canonical
+
+#: The transport-fault mix ``--chaos`` cycles data connections through.
+CHAOS_PROFILES: Tuple[dict, ...] = (
+    {"mode": "reset", "every": 8, "jitter": 4},
+    {"mode": "stall", "after": 10, "jitter": 5},
+    {"mode": "loris", "chunk": 64, "delay_ms": 1.0},
+)
+
+#: The disk-fault plan ``--chaos`` ships to the daemon.
+CHAOS_DISK_PLAN = {"enospc_after_bytes": 4096}
+
+#: Fraction of sustained-flood requests stormed with the always-expiring
+#: queue deadline under ``--chaos``.
+CHAOS_STORM_FRACTION = 0.2
 
 #: Distinct plant overrides the workload cycles through (None = default).
 SYSTEMS: Tuple[Optional[dict], ...] = (
@@ -152,14 +180,62 @@ async def _run_lane(host: str, port: int, requests: List[dict],
         await client.close()
 
 
+async def _run_lane_chaos(host: str, port: int, requests: List[dict],
+                          oracle: ExpectedAnswers,
+                          mismatches: List[str], seed: int) -> None:
+    """A smoke lane through the self-healing client: same oracle, same
+    byte bar (modulo the expected ``degraded`` flag), faults masked."""
+    from repro.serve.chaos import lines_match
+    from repro.serve.vsafe_client import VsafeClient
+
+    client = VsafeClient(host, port, deadline_s=30.0,
+                         attempt_timeout_s=1.0, seed=seed)
+    try:
+        for req in requests:
+            expected = oracle.expect_line(req)
+            got = await client.request_line(dict(req))
+            if not lines_match(got, expected, strip_degraded=True):
+                mismatches.append(
+                    f"id={req.get('id')}\n  served   {got!r}\n"
+                    f"  expected {expected!r}")
+    finally:
+        await client.close()
+
+
+async def _start_chaos_proxies(host: str, port: int, seed: int) -> list:
+    """One ChaosProxy per transport profile, fronting the daemon."""
+    from repro.serve.chaos import ChaosProxy
+
+    proxies = []
+    for offset, profile in enumerate(CHAOS_PROFILES):
+        proxy = ChaosProxy(host, port, profile, seed + offset)
+        await proxy.start()
+        proxies.append(proxy)
+    return proxies
+
+
 async def run_smoke(host: str, port: int, lanes: List[List[dict]],
-                    shutdown: bool = True) -> Tuple[int, int]:
+                    shutdown: bool = True,
+                    chaos_seed: Optional[int] = None) -> Tuple[int, int]:
     """Returns (requests checked, mismatches); prints each mismatch."""
     oracle = ExpectedAnswers()
     mismatches: List[str] = []
-    await asyncio.gather(*(
-        _run_lane(host, port, lane, oracle, mismatches)
-        for lane in lanes if lane))
+    if chaos_seed is None:
+        await asyncio.gather(*(
+            _run_lane(host, port, lane, oracle, mismatches)
+            for lane in lanes if lane))
+    else:
+        proxies = await _start_chaos_proxies(host, port, chaos_seed)
+        try:
+            await asyncio.gather(*(
+                _run_lane_chaos(proxies[i % len(proxies)].host,
+                                proxies[i % len(proxies)].port,
+                                lane, oracle, mismatches,
+                                chaos_seed * 31 + i)
+                for i, lane in enumerate(lanes) if lane))
+        finally:
+            for proxy in proxies:
+                await proxy.stop()
     checked = sum(len(lane) for lane in lanes)
 
     control = await ServeClient.connect(host, port)
@@ -205,8 +281,48 @@ async def _flood_lane(host: str, port: int, requests: List[dict],
         await client.close()
 
 
+async def _flood_lane_chaos(host: str, port: int, requests: List[dict],
+                            expected: Dict[str, bytes],
+                            counts: Dict[str, int],
+                            mismatches: List[str], seed: int) -> None:
+    """A flood lane through the self-healing client's pipelined path:
+    transport faults are masked by idempotent resend; shed and stormed
+    requests come back as error lines and are counted, not compared."""
+    from repro.serve.chaos import lines_match
+    from repro.serve.errors import DeadlineBudgetExceeded
+    from repro.serve.vsafe_client import VsafeClient
+
+    client = VsafeClient(host, port, deadline_s=120.0,
+                         attempt_timeout_s=1.0, seed=seed)
+    try:
+        # Window stays below the reset profile's minimum (8 forwarded
+        # lines): the proxy must deliver some responses before it can
+        # abort, so every reconnect cycle makes progress.
+        results = await client.request_many(
+            [dict(req) for req in requests], window=4,
+            retry_server_errors=False)
+    except DeadlineBudgetExceeded as exc:
+        mismatches.append(f"flood lane livelocked: {exc}")
+        return
+    finally:
+        await client.close()
+    for rid, line in results.items():
+        body = json.loads(line)
+        if body.get("ok"):
+            counts["answered"] += 1
+            if not lines_match(line, expected[rid], strip_degraded=True):
+                mismatches.append(
+                    f"id={rid}\n  served   {line!r}\n"
+                    f"  expected {expected[rid]!r}")
+        elif body.get("error") in ("overloaded", "deadline"):
+            counts[body["error"]] += 1
+        else:
+            mismatches.append(f"unexpected error: {line!r}")
+
+
 async def run_sustained(host: str, port: int, seed: int, queries: int,
-                        connections: int, waves: int = 5) -> int:
+                        connections: int, waves: int = 5,
+                        chaos_seed: Optional[int] = None) -> int:
     """Flood with session-free admits until the daemon sheds; byte-check
     every answered response. Returns the number of failures."""
     oracle = ExpectedAnswers()
@@ -214,24 +330,49 @@ async def run_sustained(host: str, port: int, seed: int, queries: int,
     mismatches: List[str] = []
     totals = {"answered": 0, "overloaded": 0, "deadline": 0}
     per_lane = max(1, queries // max(1, connections))
-    for wave in range(waves):
-        lanes = []
-        expected: Dict[str, bytes] = {}
-        for c in range(connections):
-            lane = [_random_admit(rng, f"w{wave}c{c}n{n}", None)
-                    for n in range(per_lane)]
-            for req in lane:
-                expected[req["id"]] = oracle.expect_line(req)
-            lanes.append(lane)
-        counts = {"answered": 0, "overloaded": 0, "deadline": 0}
-        await asyncio.gather(*(
-            _flood_lane(host, port, lane, expected, counts, mismatches)
-            for lane in lanes))
-        for key, value in counts.items():
-            totals[key] += value
-        print(f"wave {wave}: {canonical(counts)}", flush=True)
-        if totals["overloaded"] > 0 and wave >= 1:
-            break
+    proxies = []
+    if chaos_seed is not None:
+        from repro.serve.chaos import STORM_DEADLINE_MS
+        proxies = await _start_chaos_proxies(host, port, chaos_seed)
+    try:
+        for wave in range(waves):
+            lanes = []
+            expected: Dict[str, bytes] = {}
+            for c in range(connections):
+                lane = [_random_admit(rng, f"w{wave}c{c}n{n}", None)
+                        for n in range(per_lane)]
+                for req in lane:
+                    expected[req["id"]] = oracle.expect_line(req)
+                if chaos_seed is not None:
+                    # Storm a seeded fraction: those deterministically
+                    # expire queued, whatever the timing.
+                    for req in lane:
+                        if rng.random() < CHAOS_STORM_FRACTION:
+                            req["deadline_ms"] = STORM_DEADLINE_MS
+                lanes.append(lane)
+            counts = {"answered": 0, "overloaded": 0, "deadline": 0}
+            if chaos_seed is None:
+                await asyncio.gather(*(
+                    _flood_lane(host, port, lane, expected, counts,
+                                mismatches)
+                    for lane in lanes))
+            else:
+                await asyncio.gather(*(
+                    _flood_lane_chaos(proxies[c % len(proxies)].host,
+                                      proxies[c % len(proxies)].port,
+                                      lane, expected, counts, mismatches,
+                                      chaos_seed * 131 + wave * 17 + c)
+                    for c, lane in enumerate(lanes)))
+            for key, value in counts.items():
+                totals[key] += value
+            print(f"wave {wave}: {canonical(counts)}", flush=True)
+            shed = (totals["overloaded"] if chaos_seed is None
+                    else totals["overloaded"] + totals["deadline"])
+            if shed > 0 and wave >= 1:
+                break
+    finally:
+        for proxy in proxies:
+            await proxy.stop()
     control = await ServeClient.connect(host, port)
     try:
         await control.request_line({"op": "shutdown", "id": "bye"})
@@ -240,8 +381,13 @@ async def run_sustained(host: str, port: int, seed: int, queries: int,
     failures = len(mismatches)
     for text in mismatches:
         print(f"MISMATCH {text}", file=sys.stderr)
-    if totals["overloaded"] == 0:
+    if chaos_seed is None and totals["overloaded"] == 0:
         print("FAIL: sustained load never tripped load shedding",
+              file=sys.stderr)
+        failures += 1
+    if chaos_seed is not None \
+            and totals["overloaded"] + totals["deadline"] == 0:
+        print("FAIL: chaos flood never exercised the shed path",
               file=sys.stderr)
         failures += 1
     if totals["answered"] == 0:
@@ -261,6 +407,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--sustained", action="store_true",
                         help="flood mode: assert load shedding engages")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run with service-fault injectors live: "
+                             "chaos proxies on every data connection, a "
+                             "disk-fault plan degrading the cache tier, "
+                             "and (sustained) a deadline storm")
     parser.add_argument("--queue-limit", type=int, default=None,
                         help="server queue bound (sustained defaults small)")
     parser.add_argument("--max-batch", type=int, default=64)
@@ -279,21 +430,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         server_args += ["--metrics-out", args.metrics_out]
 
-    with ServerProcess(*server_args) as server:
-        if args.sustained:
-            failures = asyncio.run(run_sustained(
-                server.host, server.port, args.seed, args.queries,
-                args.connections))
-            checked = None
-        else:
-            lanes = make_smoke_workload(args.seed, args.queries,
-                                        args.devices, args.connections)
-            checked, failures = asyncio.run(run_smoke(
-                server.host, server.port, lanes))
-        rc = server.wait()
-        if rc != 0:
-            print(f"FAIL: server exited with {rc}", file=sys.stderr)
-            failures += 1
+    chaos_seed = args.seed if args.chaos else None
+    env = None
+    tmpdir = None
+    if args.chaos:
+        # A journaled cache tier on a faulty disk: the ENOSPC plan makes
+        # the daemon degrade to memo+compute mid-run, and the tmp
+        # journal exercises recovery paths the stock check never sees.
+        from repro.serve.faultfs import FAULTS_ENV
+        tmpdir = tempfile.mkdtemp(prefix="repro-serve-chaos-check-")
+        server_args += ["--cache", os.path.join(tmpdir, "vsafe-cache")]
+        env = dict(os.environ)
+        env[FAULTS_ENV] = json.dumps(CHAOS_DISK_PLAN)
+
+    try:
+        with ServerProcess(*server_args, env=env) as server:
+            if args.sustained:
+                failures = asyncio.run(run_sustained(
+                    server.host, server.port, args.seed, args.queries,
+                    args.connections, chaos_seed=chaos_seed))
+                checked = None
+            else:
+                lanes = make_smoke_workload(args.seed, args.queries,
+                                            args.devices, args.connections)
+                checked, failures = asyncio.run(run_smoke(
+                    server.host, server.port, lanes,
+                    chaos_seed=chaos_seed))
+            rc = server.wait()
+            if rc != 0:
+                print(f"FAIL: server exited with {rc}", file=sys.stderr)
+                failures += 1
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
     if args.metrics_out and not Path(args.metrics_out).is_file():
         print(f"FAIL: no metrics snapshot at {args.metrics_out}",
               file=sys.stderr)

@@ -243,20 +243,26 @@ class ServeClient:
 
 
 class ServerProcess:
-    """``python -m repro serve`` as a subprocess (context manager)."""
+    """``python -m repro serve`` as a subprocess (context manager).
 
-    def __init__(self, *args: str, env: Optional[dict] = None) -> None:
+    ``port=0`` (the default) asks for an ephemeral port and parses the
+    announced one; a fixed ``port`` lets a chaos trial restart the
+    daemon on the address a healing client is still retrying.
+    """
+
+    def __init__(self, *args: str, env: Optional[dict] = None,
+                 port: int = 0) -> None:
         self.args = list(args)
         self.env = env
         self.proc: Optional[subprocess.Popen] = None
         self.host = ""
-        self.port = 0
+        self.port = port
 
     def __enter__(self) -> "ServerProcess":
         env = dict(os.environ if self.env is None else self.env)
         self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0",
-             *self.args],
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(self.port), *self.args],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env)
         # The daemon announces its ephemeral port on the first line.
@@ -274,6 +280,18 @@ class ServerProcess:
 
     def wait(self, timeout: float = 30.0) -> int:
         return self.proc.wait(timeout=timeout)
+
+    def poll(self) -> Optional[int]:
+        return self.proc.poll()
+
+    def kill(self) -> None:
+        """SIGKILL — the crash a chaos trial simulates."""
+        self.proc.kill()
+        self.proc.wait()
+
+    def terminate(self) -> None:
+        """SIGTERM — the daemon must drain and exit 0 within its budget."""
+        self.proc.terminate()
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.proc.poll() is None:

@@ -18,7 +18,12 @@ layer (:mod:`repro.serve.server`) does is feed it request batches. One
   heterogeneous :func:`~repro.fleet.batch.advance_batch` call on the
   stepping fleet kernel, whose batch-composition invariance keeps every
   lane's answer byte-identical to a batch-of-one — the library answer.
-* ``report`` requests mutate device sessions (derate backoff).
+* ``report`` requests mutate device sessions (derate backoff) — and are
+  **deduplicated** by the digest of their canonical request bytes: a
+  byte-identical resend (the self-healing client recovering from a dead
+  connection) replays the recorded response instead of double-counting
+  the outcome, which is what makes every op idempotent under resend
+  (the Alpaca recovery discipline at the service layer).
 
 Session effects are applied in arrival order after the pure phase, so a
 batch ``[admit(d), report(d), admit(d)]`` behaves exactly like the three
@@ -35,6 +40,7 @@ end to end.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional
 
@@ -56,6 +62,7 @@ from repro.serve.cache import PersistentVsafeCache
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    canonical,
     error_response,
     ok_response,
 )
@@ -109,7 +116,12 @@ class AdmissionEngine:
         # L1 over the persistent tier: resolved VsafeEstimate objects by
         # cache key, so steady-state batches skip digest + entry decode.
         self._estimate_memo: Dict[tuple, Any] = {}
+        # Applied reports by canonical-request digest (LRU): the
+        # idempotent-resend ledger. A byte-identical report replays its
+        # recorded response instead of mutating the session again.
+        self._applied_reports: "OrderedDict[str, dict]" = OrderedDict()
         self.coalesced = 0
+        self.replayed_reports = 0
         self.kernel_calls = 0
         self.kernel_lanes = 0
 
@@ -270,6 +282,7 @@ class AdmissionEngine:
         """
         n = len(reqs)
         coalesced_before = self.coalesced
+        replayed_before = self.replayed_reports
         responses: List[Optional[dict]] = [None] * n
         sim_plan: Dict[int, tuple] = {}        # idx -> (sim key, ctx)
         sim_groups: Dict[tuple, list] = {}
@@ -307,22 +320,16 @@ class AdmissionEngine:
                         "derate": derate,
                         "method": estimate.method,
                     }
+                    if self.cache.degraded:
+                        responses[idx]["degraded"] = True
                 elif op == "simulate":
                     simulates += 1
                     self._plan_simulate(idx, req, sim_plan, sim_groups)
                 elif op == "report":
                     reports += 1
-                    session = self.sessions.get_or_create(req["device"])
-                    if req["outcome"] == "brownout":
-                        session.note_brownout()
-                    else:
-                        session.note_success()
-                    responses[idx] = ok_response(req_id, "report", {
-                        "device": session.device,
-                        "derate": session.derate,
-                        "brownouts": session.brownouts,
-                        "successes": session.successes,
-                    })
+                    responses[idx] = self._handle_report(req, req_id)
+                elif op == "flush":
+                    responses[idx] = self.flush_response(req_id)
                 elif op == "ping":
                     responses[idx] = ok_response(
                         req_id, "ping", {"version": PROTOCOL_VERSION})
@@ -344,6 +351,8 @@ class AdmissionEngine:
             for idx, lane in sim_results.items():
                 responses[idx] = ok_response(reqs[idx].get("id"),
                                              "simulate", lane)
+                if self.cache.degraded:
+                    responses[idx]["degraded"] = True
             for idx in sim_plan:
                 if responses[idx] is None:
                     responses[idx] = error_response(
@@ -351,7 +360,8 @@ class AdmissionEngine:
                         "simulation lane failed")
 
         self._observe_batch(n, admits, simulates, reports,
-                            self.coalesced - coalesced_before)
+                            self.coalesced - coalesced_before,
+                            self.replayed_reports - replayed_before)
         return responses  # type: ignore[return-value]
 
     # -- admit resolution ---------------------------------------------------
@@ -373,6 +383,59 @@ class AdmissionEngine:
             memo.clear()
         memo[key] = estimate
         return estimate
+
+    # -- report resolution --------------------------------------------------
+
+    def _handle_report(self, req: dict, req_id) -> dict:
+        """Apply a device outcome once; replay byte-identical resends.
+
+        The dedup key is the digest of the *canonical request bytes* —
+        the exact unit the self-healing client resends after an
+        ambiguous transport failure. The recorded response is replayed
+        verbatim (degraded flag included as it was), so a resend is
+        byte-identical to the answer the lost connection swallowed.
+        """
+        digest = hashlib.blake2b(canonical(req).encode("utf-8"),
+                                 digest_size=16).hexdigest()
+        stored = self._applied_reports.get(digest)
+        if stored is not None:
+            self._applied_reports.move_to_end(digest)
+            self.replayed_reports += 1
+            return dict(stored)
+        session = self.sessions.get_or_create(req["device"])
+        if req["outcome"] == "brownout":
+            session.note_brownout()
+        else:
+            session.note_success()
+        response = ok_response(req_id, "report", {
+            "device": session.device,
+            "derate": session.derate,
+            "brownouts": session.brownouts,
+            "successes": session.successes,
+        })
+        if self.cache.degraded:
+            response["degraded"] = True
+        self._applied_reports[digest] = dict(response)
+        while len(self._applied_reports) > 65536:
+            self._applied_reports.popitem(last=False)
+        return response
+
+    # -- flush --------------------------------------------------------------
+
+    def flush_response(self, req_id) -> dict:
+        """Serve a ``flush`` op: force the disk tier durable, or say why
+        not (the ``degraded`` error code's home)."""
+        if not self.cache.degraded:
+            self.cache.flush()          # a failing fsync degrades inside
+        if self.cache.degraded:
+            reason = self.cache.stats().get("last_disk_error", "") \
+                or "no disk error recorded"
+            return error_response(
+                req_id, "degraded",
+                f"disk tier unhealthy ({reason}); serving from "
+                f"memory + recompute")
+        return ok_response(req_id, "flush",
+                           {"entries": len(self.cache)})
 
     # -- simulate resolution ------------------------------------------------
 
@@ -454,7 +517,7 @@ class AdmissionEngine:
     # -- telemetry ----------------------------------------------------------
 
     def _observe_batch(self, size, admits, simulates, reports,
-                       coalesced) -> None:
+                       coalesced, replayed) -> None:
         """One obs fetch per batch — zero registry touches when disabled."""
         obs = _obs_current()
         if obs is None:
@@ -469,6 +532,10 @@ class AdmissionEngine:
             metrics.counter("serve.reports").inc(reports)
         if coalesced:
             metrics.counter("serve.coalesced").inc(coalesced)
+        if replayed:
+            metrics.counter("serve.replayed_reports").inc(replayed)
+        if self.cache.degraded:
+            metrics.counter("serve.degraded_responses").inc(size)
 
     def stats(self) -> dict:
         return {
@@ -476,6 +543,7 @@ class AdmissionEngine:
             "cache": self.cache.stats(),
             "sessions": self.sessions.stats(),
             "coalesced": self.coalesced,
+            "replayed_reports": self.replayed_reports,
             "kernel_calls": self.kernel_calls,
             "kernel_lanes": self.kernel_lanes,
         }

@@ -1,0 +1,162 @@
+"""Typed client-side errors for the V_safe admission service.
+
+The wire protocol reports failures as ``{"ok": false, "error": code}``
+lines; the self-healing client (:mod:`repro.serve.vsafe_client`) lifts
+those codes — and the transport failures underneath them — into this
+hierarchy so callers branch on exception *types* instead of matching
+strings.
+
+The retryable subset
+--------------------
+An error is **retryable** when resending the *same canonical request
+bytes* can legitimately succeed and cannot double-apply an effect (the
+protocol's idempotency contract — see
+:data:`repro.serve.protocol.RETRYABLE_ERRORS` and the module docstring
+there):
+
+* :class:`OverloadedError` — the bounded queue shed the request; it was
+  never dispatched. Back off and resend.
+* :class:`DeadlineExpiredError` — the queue deadline lapsed before
+  dispatch; nothing ran. Resend with time left on the budget.
+* :class:`ServeConnectionError` / :class:`ServeTimeoutError` — the
+  transport died or stalled *possibly after the server processed the
+  request*; resending the same bytes is still safe because every op is
+  idempotent under byte-identical resend (reports are deduplicated
+  server-side).
+
+Not retryable: :class:`MalformedRequestError` and
+:class:`InternalServerError` (the same bytes fail the same way),
+:class:`DegradedOperationError` (the disk tier is gone for the life of
+the process — retrying cannot bring it back), and
+:class:`DeadlineBudgetExceeded` (the *caller's* overall budget is
+spent; the request may have been retried many times already).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serve.protocol import RETRYABLE_ERRORS
+
+
+class VsafeServiceError(ReproError):
+    """Base for everything the admission service can fail with.
+
+    ``code`` is the wire error code (or a transport pseudo-code);
+    ``retryable`` says whether resending the same canonical bytes may
+    succeed.
+    """
+
+    code: str = "internal"
+    retryable: bool = False
+
+    def __init__(self, message: str,
+                 response: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        #: The decoded error response line, when one was received.
+        self.response = response
+
+
+class OverloadedError(VsafeServiceError):
+    """The server shed the request (bounded queue full). Retryable."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class DeadlineExpiredError(VsafeServiceError):
+    """The request's queue deadline lapsed before dispatch. Retryable."""
+
+    code = "deadline"
+    retryable = True
+
+
+class DegradedOperationError(VsafeServiceError):
+    """The disk tier is unhealthy and the request required it."""
+
+    code = "degraded"
+    retryable = False
+
+
+class MalformedRequestError(VsafeServiceError):
+    """The server rejected the request as malformed (``bad-request``)."""
+
+    code = "bad-request"
+    retryable = False
+
+
+class InternalServerError(VsafeServiceError):
+    """The engine failed on this request; same bytes fail the same way."""
+
+    code = "internal"
+    retryable = False
+
+
+class ServeConnectionError(VsafeServiceError):
+    """The connection died (reset, close, refused). Retryable — the
+    client reconnects and resends the same canonical bytes."""
+
+    code = "connection"
+    retryable = True
+
+
+class ServeTimeoutError(VsafeServiceError):
+    """One attempt stalled past its per-attempt timeout (a half-open
+    peer, a stalled proxy). Retryable after reconnect."""
+
+    code = "timeout"
+    retryable = True
+
+
+class DeadlineBudgetExceeded(VsafeServiceError):
+    """The caller's overall deadline budget ran out across attempts.
+
+    ``last_error`` preserves the final underlying failure so callers
+    can tell a flaky network from a persistently overloaded server.
+    """
+
+    code = "budget"
+    retryable = False
+
+    def __init__(self, message: str,
+                 last_error: Optional[VsafeServiceError] = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+#: Wire code -> exception class, for lifting error response lines.
+_CODE_TO_ERROR = {
+    "overloaded": OverloadedError,
+    "deadline": DeadlineExpiredError,
+    "degraded": DegradedOperationError,
+    "bad-request": MalformedRequestError,
+    "internal": InternalServerError,
+}
+
+# The protocol's retryable set and this hierarchy must agree; a drifted
+# entry would make the client retry a non-idempotent failure.
+assert all(_CODE_TO_ERROR[code].retryable for code in RETRYABLE_ERRORS)
+
+
+def error_for_response(body: dict) -> VsafeServiceError:
+    """The typed exception for a decoded ``{"ok": false}`` line."""
+    code = body.get("error")
+    cls = _CODE_TO_ERROR.get(code, InternalServerError)
+    message = body.get("message") or f"server error: {code!r}"
+    return cls(message, response=body)
+
+
+__all__ = [
+    "DeadlineBudgetExceeded",
+    "DeadlineExpiredError",
+    "DegradedOperationError",
+    "InternalServerError",
+    "MalformedRequestError",
+    "OverloadedError",
+    "ServeConnectionError",
+    "ServeTimeoutError",
+    "VsafeServiceError",
+    "error_for_response",
+]

@@ -1,0 +1,154 @@
+"""A fault-injectable seam over the journal's disk syscalls.
+
+The journaled cache tier (:mod:`repro.serve.journal`) performs exactly
+four kinds of disk operation — ``write``, ``fsync``, ``replace`` and
+``open`` — and routes every one of them through a :class:`DiskOps`
+object. The default is a thin passthrough to :mod:`os`; a
+:class:`FaultyDiskOps` built from a plain-JSON *fault plan* makes those
+same syscalls fail the way real disks fail:
+
+* **disk full** — once the cumulative bytes written cross
+  ``enospc_after_bytes``, writes raise ``ENOSPC``. A write that crosses
+  the boundary writes only the remaining allowance first (a short
+  write), which is exactly how a filling filesystem tears a record.
+* **short write** — write call number ``short_write_at`` persists only
+  ``short_write_bytes`` bytes and reports it, leaving a torn record for
+  recovery to drop.
+* **fsync failure** — fsync call numbers >= ``fsync_fail_after`` raise
+  ``EIO`` (the "fsyncgate" failure mode: the page cache lied).
+* **replace failure** — ``os.replace`` raises ``EIO``, so an atomic
+  compaction attempt dies without touching the live file.
+
+Plans travel as JSON so a *real daemon subprocess* can be injected: the
+service chaos campaign (:mod:`repro.serve.chaos`) serializes a plan into
+the ``REPRO_SERVE_FAULTS`` environment variable and the cache picks it
+up at construction. Faults only make the disk tier *unavailable*; the
+journal's recovery invariants (checksummed records, torn tails dropped)
+are what keep it from ever being *wrong*.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+from typing import List, Optional
+
+#: Environment variable a daemon subprocess reads its fault plan from.
+FAULTS_ENV = "REPRO_SERVE_FAULTS"
+
+
+class DiskOps:
+    """Passthrough syscalls (the healthy disk). Subclass to inject."""
+
+    def open_append(self, path: str) -> int:
+        return os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return os.write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+
+class FaultyDiskOps(DiskOps):
+    """A :class:`DiskOps` that fails according to a fault plan.
+
+    All thresholds are optional; ``None`` disables that fault. Counters
+    (``writes``, ``bytes_written``, ``fsyncs``) and the ``fired`` list
+    let tests assert which faults actually triggered.
+    """
+
+    def __init__(self, *,
+                 enospc_after_bytes: Optional[int] = None,
+                 short_write_at: Optional[int] = None,
+                 short_write_bytes: int = 7,
+                 fsync_fail_after: Optional[int] = None,
+                 replace_fail: bool = False) -> None:
+        self.enospc_after_bytes = enospc_after_bytes
+        self.short_write_at = short_write_at
+        self.short_write_bytes = short_write_bytes
+        self.fsync_fail_after = fsync_fail_after
+        self.replace_fail = replace_fail
+        self.writes = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.fired: List[str] = []
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultyDiskOps":
+        allowed = ("enospc_after_bytes", "short_write_at",
+                   "short_write_bytes", "fsync_fail_after", "replace_fail")
+        unknown = sorted(set(data) - set(allowed))
+        if unknown:
+            raise ValueError(f"unknown fault plan field(s): "
+                             f"{', '.join(unknown)}")
+        return cls(**data)
+
+    def write(self, fd: int, data: bytes) -> int:
+        call = self.writes
+        self.writes += 1
+        if self.short_write_at is not None and call == self.short_write_at:
+            self.fired.append("short-write")
+            keep = min(self.short_write_bytes, max(0, len(data) - 1))
+            written = os.write(fd, data[:keep])
+            self.bytes_written += written
+            return written
+        if self.enospc_after_bytes is not None:
+            allowance = self.enospc_after_bytes - self.bytes_written
+            if allowance <= 0:
+                self.fired.append("enospc")
+                raise OSError(errno.ENOSPC, "No space left on device")
+            if allowance < len(data):
+                # The filesystem fills mid-record: a genuine short write.
+                self.fired.append("enospc-short")
+                written = os.write(fd, data[:allowance])
+                self.bytes_written += written
+                return written
+        written = os.write(fd, data)
+        self.bytes_written += written
+        return written
+
+    def fsync(self, fd: int) -> None:
+        call = self.fsyncs
+        self.fsyncs += 1
+        if self.fsync_fail_after is not None \
+                and call >= self.fsync_fail_after:
+            self.fired.append("fsync")
+            raise OSError(errno.EIO, "fsync: I/O error")
+        os.fsync(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        if self.replace_fail:
+            self.fired.append("replace")
+            raise OSError(errno.EIO, "replace: I/O error")
+        os.replace(src, dst)
+
+
+def disk_ops_from_env() -> DiskOps:
+    """The process's disk ops: faulty iff ``REPRO_SERVE_FAULTS`` is set.
+
+    An unparseable plan raises ``ValueError`` loudly rather than running
+    a chaos trial with the fault silently disabled.
+    """
+    raw = os.environ.get(FAULTS_ENV)
+    if not raw:
+        return DiskOps()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad {FAULTS_ENV} plan: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{FAULTS_ENV} must be a JSON object")
+    return FaultyDiskOps.from_dict(data)
+
+
+__all__ = [
+    "FAULTS_ENV",
+    "DiskOps",
+    "FaultyDiskOps",
+    "disk_ops_from_env",
+]

@@ -30,6 +30,9 @@ Every request is an object with ``op`` and (except ``ping``) ``id``:
     feeding its session's derate backoff.
 ``stats``
     server introspection: obs snapshot, cache and session counters.
+``flush``
+    force the persistent cache tier to durable storage now; answers
+    ``degraded`` when the disk tier has been abandoned after an error.
 ``shutdown``
     graceful drain-and-exit.
 
@@ -38,7 +41,25 @@ Responses
 ``{"id":..., "ok":true, "op":..., ...payload}`` on success;
 ``{"id":..., "ok":false, "error":code, "message":...}`` otherwise.
 Error codes: ``bad-request`` (malformed), ``overloaded`` (queue full —
-load shedding), ``deadline`` (expired before dispatch), ``internal``.
+load shedding), ``deadline`` (expired before dispatch), ``degraded``
+(the disk tier is unhealthy and the request needed it), ``internal``.
+When the daemon's disk tier is degraded, successful ``admit`` /
+``simulate`` / ``report`` responses additionally carry
+``"degraded": true`` — the answer is still byte-exact modulo that flag,
+it just was not persisted.
+
+Idempotency (the self-healing client's retry contract)
+------------------------------------------------------
+``ping``/``stats``/``flush``/``admit``/``simulate`` are naturally
+idempotent: resending the same canonical request bytes yields the same
+answer bytes. ``report`` mutates a device session, so the engine
+deduplicates reports by the digest of their canonical request bytes and
+*replays* the recorded response on a byte-identical resend — after a
+connection dies mid-request, a client may always resend the same bytes
+without double-counting an outcome (give genuinely distinct reports
+distinct ``id`` values). This mirrors Alpaca's recovery discipline
+(arXiv:1909.06951): make each unit re-executable so a crash anywhere is
+indistinguishable from a retry.
 """
 
 from __future__ import annotations
@@ -49,10 +70,16 @@ from typing import Any, Dict, Optional
 PROTOCOL_VERSION = 1
 
 #: Operations the daemon understands.
-OPS = ("ping", "admit", "simulate", "report", "stats", "shutdown")
+OPS = ("ping", "admit", "simulate", "report", "stats", "flush", "shutdown")
 
 #: Ops answered inline by the connection handler (no queue, no batch).
-INLINE_OPS = ("ping", "stats", "shutdown")
+INLINE_OPS = ("ping", "stats", "flush", "shutdown")
+
+#: Error codes a client may retry with the *same* canonical bytes
+#: (shedding and queue deadlines are transient; see the idempotency
+#: contract above). ``bad-request``, ``degraded`` and ``internal`` are
+#: not retryable: the same request will fail the same way.
+RETRYABLE_ERRORS = ("overloaded", "deadline")
 
 #: Plant override fields accepted in a request's ``system`` object —
 #: exactly the per-lane half of a Capybara configuration
@@ -212,6 +239,7 @@ __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
     "REPORT_OUTCOMES",
+    "RETRYABLE_ERRORS",
     "SYSTEM_FIELDS",
     "ProtocolError",
     "canonical",

@@ -21,17 +21,25 @@ Backpressure is structural, not advisory:
 Both paths are visible: ``serve.shed`` / ``serve.deadline_expired``
 counters, ``serve.batch_size`` and ``serve.latency_s`` histograms, all
 through the one-check-per-batch :func:`repro.obs.current` discipline the
-engines use. Shutdown (the ``shutdown`` op or ``stop()``) is graceful:
-stop accepting, drain the queue through the dispatcher, flush the
-persistent cache, optionally write a metrics snapshot, and leave no
-task behind — the CI smoke job asserts exit code 0 and the e2e test
-asserts ``asyncio.all_tasks()`` is empty afterwards.
+engines use. Shutdown (the ``shutdown`` op, ``stop()``, or SIGTERM /
+SIGINT — the daemon installs handlers) is graceful *and bounded*: stop
+accepting, drain the queue through the dispatcher, flush the persistent
+cache, optionally write a metrics snapshot, and leave no task behind —
+the CI smoke job asserts exit code 0 and the e2e test asserts
+``asyncio.all_tasks()`` is empty afterwards. The drain and the flush
+share one ``drain_timeout`` budget (``--drain-timeout``): a wedged disk
+or a stuck queue cannot hang shutdown forever — the flush runs on a
+daemon thread and is abandoned (``serve.drain_timeout`` counter,
+``drain_timed_out`` in stats) when the budget lapses, which is safe
+because the journal is append-as-you-go and recovery drops torn tails.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,6 +74,7 @@ class ServeConfig:
     cache_path: Optional[str] = None
     max_sessions: int = 4096
     metrics_out: Optional[str] = None
+    drain_timeout: float = 5.0    # shutdown budget: queue drain + flush
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -76,6 +85,9 @@ class ServeConfig:
         if self.deadline_ms < 0:
             raise ValueError(
                 f"deadline_ms must be >= 0, got {self.deadline_ms}")
+        if self.drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0, got {self.drain_timeout}")
 
 
 class _Pending:
@@ -110,6 +122,7 @@ class VsafeServer:
         self.deadline_expired = 0
         self.batches = 0
         self.connections = 0
+        self.drain_timed_out = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -145,21 +158,55 @@ class VsafeServer:
             self._stopping.set()
 
     async def _shutdown(self) -> None:
+        deadline = time.perf_counter() + self.config.drain_timeout
         # Stop accepting; let open connections finish their current line.
         self._server.close()
         await self._server.wait_closed()
         if self._conn_tasks:
+            grace = min(SHUTDOWN_GRACE_S, self.config.drain_timeout)
             done, pending = await asyncio.wait(
-                self._conn_tasks, timeout=SHUTDOWN_GRACE_S)
+                self._conn_tasks, timeout=grace)
             for task in pending:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        # Everything enqueued before the sentinel is still answered.
+        # Everything enqueued before the sentinel is still answered —
+        # unless the drain budget lapses first (a wedged engine must not
+        # hang shutdown; undelivered answers are the lesser evil).
         await self._queue.put(None)
-        await self._dispatcher
-        self.engine.cache.flush()
+        try:
+            await asyncio.wait_for(
+                self._dispatcher,
+                timeout=max(0.05, deadline - time.perf_counter()))
+        except asyncio.TimeoutError:
+            self.drain_timed_out = True
+            self._count("serve.drain_timeout")
+        await self._flush_bounded(deadline)
         self._write_metrics()
+
+    async def _flush_bounded(self, deadline: float) -> None:
+        """Flush the cache tier on a daemon thread, bounded by the drain
+        deadline: a wedged disk (a hanging fsync) is *abandoned*, not
+        awaited — safe because puts were already appended to the journal
+        and recovery drops whatever did not survive."""
+        cache = self.engine.cache
+        flushed = threading.Event()
+
+        def _flush() -> None:
+            try:
+                cache.flush()
+            finally:
+                flushed.set()
+
+        worker = threading.Thread(target=_flush, daemon=True,
+                                  name="serve-flush")
+        worker.start()
+        end = max(deadline, time.perf_counter() + 0.05)
+        while not flushed.is_set() and time.perf_counter() < end:
+            await asyncio.sleep(0.01)
+        if not flushed.is_set():
+            self.drain_timed_out = True
+            self._count("serve.drain_timeout")
 
     def _write_metrics(self) -> None:
         """Persist the obs snapshot (the CI smoke job uploads this)."""
@@ -218,6 +265,9 @@ class VsafeServer:
         elif op == "stats":
             await self._write(writer, wlock, ok_response(
                 req_id, "stats", self.stats(deep=True)))
+        elif op == "flush":
+            await self._write(writer, wlock,
+                              self.engine.flush_response(req_id))
         elif op == "shutdown":
             await self._write(writer, wlock, ok_response(
                 req_id, "shutdown", {"stopping": True}))
@@ -322,6 +372,8 @@ class VsafeServer:
             "queue": 0 if self._queue is None else self._queue.qsize(),
             "queue_limit": self.config.queue_limit,
             "max_batch": self.config.max_batch,
+            "drain_timeout": self.config.drain_timeout,
+            "drain_timed_out": self.drain_timed_out,
         }
         if deep:
             stats["engine"] = self.engine.stats()
@@ -329,10 +381,28 @@ class VsafeServer:
 
 
 async def run_server(config: ServeConfig) -> int:
-    """Start a server and run it to completion (the CLI entry point)."""
+    """Start a server and run it to completion (the CLI entry point).
+
+    SIGTERM and SIGINT request the same graceful, ``drain_timeout``-
+    bounded shutdown the ``shutdown`` op does — an orchestrator's stop
+    signal drains in-flight work and flushes the cache tier instead of
+    dropping it on the floor.
+    """
     server = VsafeServer(config)
     await server.start()
-    return await server.serve_until_stopped()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.stop)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            break  # platform without loop signal support
+    try:
+        return await server.serve_until_stopped()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
 
 
 __all__ = ["SHUTDOWN_GRACE_S", "ServeConfig", "VsafeServer", "run_server"]

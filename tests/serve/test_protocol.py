@@ -77,7 +77,7 @@ def _admit(**overrides):
 class TestParseRequest:
     def test_every_op_is_known(self):
         assert set(OPS) == {"ping", "admit", "simulate", "report",
-                            "stats", "shutdown"}
+                            "flush", "stats", "shutdown"}
 
     def test_valid_requests_pass_through_unchanged(self):
         for req in (

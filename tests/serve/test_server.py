@@ -8,12 +8,14 @@ to force queue states) plus one real-subprocess differential smoke via
 
 import asyncio
 import json
+import time
 
 import pytest
 
 from repro import obs
 from repro.serve.check import main as check_main, make_smoke_workload
-from repro.serve.client import ExpectedAnswers, ServeClient
+from repro.serve.client import ExpectedAnswers, ServeClient, ServerProcess
+from repro.serve.faultfs import FaultyDiskOps
 from repro.serve.protocol import encode_line
 from repro.serve.server import ServeConfig, VsafeServer
 
@@ -181,6 +183,141 @@ class TestLifecycle:
             ServeConfig(queue_limit=0)
         with pytest.raises(ValueError):
             ServeConfig(deadline_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(drain_timeout=0.0)
+
+    def test_wedged_flush_cannot_hang_shutdown(self, tmp_path):
+        """The satellite contract: SIGTERM/stop() drains within
+        ``drain_timeout`` even when the cache flush never returns."""
+        async def run():
+            config = ServeConfig(cache_path=str(tmp_path / "cache"),
+                                 drain_timeout=0.5)
+            server = VsafeServer(config)
+            await server.start()
+            runner = asyncio.ensure_future(server.serve_until_stopped())
+            client = await ServeClient.connect(server.host, server.port)
+            await client.request_line(dict(ADMIT))
+            await client.close()
+
+            def wedged_flush():
+                time.sleep(60.0)       # a disk that never answers
+
+            server.engine.cache.flush = wedged_flush
+            started = time.perf_counter()
+            server.stop()
+            assert await runner == 0
+            elapsed = time.perf_counter() - started
+            assert elapsed < 10.0      # bounded, not the 60s wedge
+            assert server.drain_timed_out
+
+        _run(run())
+
+
+class TestCrashSafety:
+    def test_flush_op_reports_durable_entries(self, tmp_path):
+        async def body(server, client):
+            await client.request_line(dict(ADMIT))
+            flushed = json.loads(await client.request_line(
+                {"op": "flush", "id": "f"}))
+            assert flushed["ok"] and flushed["entries"] >= 1
+            assert "degraded" not in flushed
+
+        _run(_with_server(
+            ServeConfig(cache_path=str(tmp_path / "cache")), body))
+
+    def test_degraded_tier_flags_responses_and_fails_flush(self, tmp_path):
+        async def run():
+            config = ServeConfig(cache_path=str(tmp_path / "cache"))
+            server = VsafeServer(config)
+            # Fail the first fsync: the tier degrades on the first flush.
+            server.engine.cache._writer.disk = FaultyDiskOps(
+                fsync_fail_after=0)
+            await server.start()
+            runner = asyncio.ensure_future(server.serve_until_stopped())
+            client = await ServeClient.connect(server.host, server.port)
+            try:
+                degraded = json.loads(await client.request_line(
+                    {"op": "flush", "id": "f"}))
+                assert degraded["ok"] is False
+                assert degraded["error"] == "degraded"
+                # Queries still answer — with the degraded marker.
+                answer = json.loads(await client.request_line(dict(ADMIT)))
+                assert answer["ok"] and answer["degraded"] is True
+                stats = json.loads(await client.request_line(
+                    {"op": "stats", "id": "st"}))
+                assert stats["engine"]["cache"]["degraded"] is True
+            finally:
+                await client.close()
+                server.stop()
+                await runner
+
+        _run(run())
+
+    def test_byte_identical_reports_are_deduplicated(self):
+        async def body(server, client):
+            report = {"op": "report", "id": "r", "device": "d",
+                      "outcome": "brownout"}
+            first = await client.request_line(report)
+            # A byte-identical resend replays the recorded response
+            # instead of double-counting the brownout.
+            second = await client.request_line(report)
+            assert second == first
+            assert json.loads(first)["brownouts"] == 1
+            assert server.engine.replayed_reports == 1
+            # A *different* report still applies.
+            third = json.loads(await client.request_line(
+                {**report, "id": "r2"}))
+            assert third["brownouts"] == 2
+
+        _run(_with_server(ServeConfig(), body))
+
+    def test_warm_restart_survives_sigkill(self, tmp_path):
+        """The daemon is SIGKILLed; a successor on the same journal
+        serves the same bytes for the same queries."""
+        async def ask(host, port, reqs):
+            client = await ServeClient.connect(host, port)
+            try:
+                return [await client.request_line(dict(r)) for r in reqs]
+            finally:
+                await client.close()
+
+        reqs = [dict(ADMIT), {"op": "admit", "id": "a1", "v_bank": 1.9,
+                              "app": "sense-tx", "task": "radio"}]
+        cache = str(tmp_path / "cache")
+        with ServerProcess("--cache", cache) as first:
+            before = asyncio.run(ask(first.host, first.port, reqs))
+            flushed = asyncio.run(ask(first.host, first.port,
+                                      [{"op": "flush", "id": "f"}]))
+            assert json.loads(flushed[0])["ok"]
+            port = first.port
+            first.kill()
+        with ServerProcess("--cache", cache, port=port) as second:
+            after = asyncio.run(ask(second.host, second.port, reqs))
+            stats = asyncio.run(ask(second.host, second.port,
+                                    [{"op": "stats", "id": "st"}]))
+            assert asyncio.run(ask(
+                second.host, second.port,
+                [{"op": "shutdown", "id": "bye"}]))
+            assert second.wait() == 0
+        assert after == before
+        loaded = json.loads(stats[0])["engine"]["cache"]
+        assert loaded["load_status"] in ("loaded", "recovered")
+        assert loaded["loaded_entries"] >= 1
+
+    def test_sigterm_drains_to_exit_zero(self):
+        with ServerProcess() as server:
+            async def ping():
+                client = await ServeClient.connect(server.host,
+                                                   server.port)
+                try:
+                    return json.loads(await client.request_line(
+                        {"op": "ping", "id": "p"}))
+                finally:
+                    await client.close()
+
+            assert asyncio.run(ping())["ok"]
+            server.terminate()             # SIGTERM, not the shutdown op
+            assert server.wait(timeout=30) == 0
 
 
 class TestSubprocessSmoke:
