@@ -196,7 +196,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     report = run_verification(
         args.trials, seed=args.seed, jobs=args.jobs,
         tolerance=args.tolerance, conservative_margin=args.margin,
-        failures_dir=args.failures_dir, env_axis=args.env_axis, **kwargs,
+        failures_dir=args.failures_dir, env_axis=args.env_axis,
+        bank_axis=args.bank_axis, **kwargs,
     )
     print(report.render())
     if args.report is not None:
@@ -266,7 +267,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report = run_campaign(
             args.trials, seed=args.seed, jobs=args.jobs,
             injectors=injectors, apps=apps, horizon=args.horizon,
-            cases_dir=args.cases_dir, env_axis=args.env_axis, **kwargs,
+            cases_dir=args.cases_dir, env_axis=args.env_axis,
+            bank_axis=args.bank_axis, **kwargs,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -375,6 +377,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         env_spec = env_trace.spec
+    bank_spec = None
+    if args.bank:
+        from repro.fleet.spec import FleetBankSpec
+
+        bank_spec = FleetBankSpec.capybara()
     try:
         spec = FleetSpec(
             devices=args.devices,
@@ -385,6 +392,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             capacitance_jitter=args.cap_jitter,
             harvest_jitter=args.harvest_jitter,
             env=env_spec,
+            bank=bank_spec,
         )
         outcomes = run_fleet_raw(
             spec, app=args.app, cycles=args.cycles,
@@ -697,6 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "(lowered to a recorded trace) per trial and "
                                "run admission with the charger on; ground "
                                "truth stays the dark-plant search")
+    p_verify.add_argument("--bank-axis", action="store_true",
+                          help="give each trial a reconfigurable bank set "
+                               "and a scheduled mid-trace reconfiguration; "
+                               "estimators are characterized in the live "
+                               "configuration, the stale-config baseline "
+                               "is convicted")
     p_verify.add_argument("--replay", metavar="CASE.json", default=None,
                           help="re-run one persisted repro case and exit")
     p_verify.set_defaults(fn=cmd_verify)
@@ -736,6 +750,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "randomized environment trace (clouds, "
                               "bursts, thermal ramps) the injectors "
                               "compose with")
+    p_chaos.add_argument("--bank-axis", action="store_true",
+                         help="swap each trial's fixed supercap for a "
+                              "Capybara-style reconfigurable bank set "
+                              "gated by the configuration-aware scheduler "
+                              "(enables the bank-switch fault injectors)")
     p_chaos.add_argument("--replay", metavar="CASE.json", default=None,
                          help="re-run one persisted chaos case and exit "
                               "(simulator and serve cases are told apart "
@@ -803,6 +822,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "power column per device, replacing the "
                               "built-in constant/solar harvest model "
                               "(excludes --harvest-period)")
+    p_fleet.add_argument("--bank", action="store_true",
+                         help="give every device the default Capybara "
+                              "two-bank reconfigurable buffer; devices "
+                              "draw a per-device configuration and the "
+                              "firmware gates from per-configuration "
+                              "V_safe tables")
     p_fleet.add_argument("--engine", default="stepping",
                          choices=["stepping", "segalg"],
                          help="simulation engine: the stepping kernel "

@@ -124,6 +124,13 @@ def run_device_scalar(params: FleetParams, index: int, app: str,
     buffer = system.buffer
     program = build_program(app, cycles=cycles)
     time_varying = spec.harvest_period > 0 or spec.env is not None
+    # Bank fleets key the shared gate table per configuration (§V-B);
+    # the mirror reads the rows of this device's drawn configuration.
+    gate_prefix = ""
+    if spec.bank is not None:
+        from repro.sched.bank import config_tag
+        config = spec.bank.configs[int(params.config_idx[index])]
+        gate_prefix = f"{config_tag(config)}/"
 
     outcome = "completed"
     tasks_committed = 0
@@ -134,7 +141,7 @@ def run_device_scalar(params: FleetParams, index: int, app: str,
     for task in program.tasks:
         if not pending:
             break
-        gate_v = min(spec.v_high, gates[task.name])
+        gate_v = min(spec.v_high, gates[gate_prefix + task.name])
         stall = 0
 
         while pending and buffer.terminal_voltage < gate_v:

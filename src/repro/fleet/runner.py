@@ -129,6 +129,18 @@ def _run_shard(job: _ShardJob) -> dict:
     state = FleetState(params)
     step = _segalg_advance if job.engine == "segalg" else advance
 
+    def _task_gate(task_name: str):
+        """Gate level(s) for one task: a scalar on fixed fleets, a
+        per-device array when devices carry per-config tables."""
+        if spec.bank is None:
+            return min(spec.v_high, gates[task_name])
+        from repro.sched.bank import config_tag
+        per_config = np.array([
+            gates[f"{config_tag(config)}/{task_name}"]
+            for config in spec.bank.configs
+        ])
+        return np.minimum(spec.v_high, per_config[params.config_idx])
+
     outcome = np.full(n, _COMPLETED, dtype=np.int64)
     tasks_committed = np.zeros(n, dtype=np.int64)
     brown_time = np.full(n, np.nan)
@@ -143,7 +155,7 @@ def _run_shard(job: _ShardJob) -> dict:
     for task in program.tasks:
         if not pending.any():
             break
-        gate_v = min(spec.v_high, gates[task.name])
+        gate_v = _task_gate(task.name)
         stall = np.zeros(n, dtype=np.int64)
 
         # -- charge phase ------------------------------------------------
@@ -229,10 +241,33 @@ def run_fleet_raw(spec: FleetSpec, *, app: str = "sense-store",
         raise ValueError(f"horizon must be > 0, got {horizon}")
 
     program = build_program(app, cycles=cycles)  # validates the app name
-    base = spec.base_system()
-    model = base.characterize()
-    est = build_estimator(estimator, base, model)
-    gates, fallback_tasks = program_gates(est, base, program)
+    if spec.bank is not None:
+        # Per-configuration gate tables (§V-B): the shared firmware ships
+        # one table per candidate configuration, each derived from the
+        # un-jittered base plant switched *into* that configuration.
+        # Composite "tag/task" keys keep the job payload flat; shards
+        # rebuild per-device gate arrays from the device's own
+        # configuration index.
+        from repro.sched.bank import config_tag
+
+        gates = {}
+        fallback_set = set()
+        for config in spec.bank.configs:
+            base = spec.bank_system(config)
+            model = base.characterize()
+            est = build_estimator(estimator, base, model)
+            config_gates, config_fallbacks = program_gates(est, base,
+                                                           program)
+            tag = config_tag(config)
+            for task_name, level in config_gates.items():
+                gates[f"{tag}/{task_name}"] = level
+            fallback_set.update(config_fallbacks)
+        fallback_tasks = sorted(fallback_set)
+    else:
+        base = spec.base_system()
+        model = base.characterize()
+        est = build_estimator(estimator, base, model)
+        gates, fallback_tasks = program_gates(est, base, program)
 
     wall_start = _time.perf_counter()
     shards = split_ranges(spec.devices, max(1, jobs))

@@ -1,0 +1,202 @@
+"""Scheduled bank reconfiguration: plans, segment splitting, the event.
+
+The paper's §V-B argues Culpeo supports Capybara/Morphy-style
+reconfigurable storage by tagging profiles and V_safe entries per buffer
+configuration; Williams & Hicks (arXiv:2401.08806) show *when* to resize
+matters as much as *whether*. This module is the simulation side of that
+story: a :class:`ReconfigPlan` is a serializable schedule of mid-trace
+bank switches, and every engine (reference stepping loop, scalar
+fastpath, scalar segment algebra, fleet kernels) consumes it the same
+way — split the load trace at each event offset, advance each sub-span
+with the unmodified engine, and apply the *shared* electrical transform
+(:func:`apply_reconfiguration`) between spans.
+
+The transform is deliberately one piece of code: the four-way
+differential (reference ≡ fastpath ≡ scalar segalg ≡ fleet segalg) holds
+on plan-bearing traces because every scalar engine literally calls the
+same :meth:`ReconfigurableBuffer.configure`, and the fleet driver
+(:mod:`repro.fleet.bank`) mirrors it elementwise in the same float
+order.
+
+Event semantics (documented, relied on by the tie tests):
+
+* An event at offset ``t`` fires after exactly ``t`` seconds of the
+  trace have been simulated — if ``t`` falls inside a segment the
+  segment is split into two same-current pieces, if it lands on a
+  boundary no split is needed.
+* The switch is instantaneous: banks leaving the active set are parked
+  at the group's charge-weighted open-circuit voltage, the new group
+  starts at the charge-weighted merge of its members' voltages
+  (conservative redistribution — charge conserved, energy lost to the
+  equalization, see ``ReconfigurableBuffer.configure``).
+* The monitor observes the post-switch terminal voltage (hysteresis
+  applies: a merge below V_off drops the output rail; re-arming needs
+  V_high). ``v_min`` accounting sees the post-switch voltage.
+* If the post-switch voltage is below the brown-out stop level the run
+  browns out *at the event time*; remaining events are cancelled.
+* A brown-out inside a sub-span cancels the remaining events too — a
+  dead device does not switch banks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "ReconfigureEvent",
+    "ReconfigPlan",
+    "apply_reconfiguration",
+    "split_at_offsets",
+]
+
+
+@dataclass(frozen=True)
+class ReconfigureEvent:
+    """One scheduled bank switch: at ``time`` seconds into the trace,
+    make ``config`` the active bank set."""
+
+    time: float
+    config: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not math.isfinite(self.time) or self.time < 0:
+            raise ValueError(f"event time must be finite and >= 0, "
+                             f"got {self.time}")
+        if not self.config:
+            raise ValueError("event config must name at least one bank")
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(
+            self, "config", tuple(sorted(str(n) for n in self.config)))
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "config": list(self.config)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReconfigureEvent":
+        return cls(time=float(data["time"]),
+                   config=tuple(data["config"]))
+
+
+@dataclass(frozen=True)
+class ReconfigPlan:
+    """A strictly time-ordered schedule of :class:`ReconfigureEvent`."""
+
+    events: Tuple[ReconfigureEvent, ...]
+
+    FORMAT = "repro.reconfig-plan"
+    VERSION = 1
+
+    def __post_init__(self):
+        events = tuple(self.events)
+        for prev, nxt in zip(events, events[1:]):
+            if nxt.time <= prev.time:
+                raise ValueError(
+                    "reconfiguration events must be strictly increasing "
+                    f"in time, got {prev.time} then {nxt.time}")
+        object.__setattr__(self, "events", events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def offsets(self) -> Tuple[float, ...]:
+        return tuple(event.time for event in self.events)
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the plan (cache-key material)."""
+        return tuple((event.time, event.config) for event in self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReconfigPlan":
+        if data.get("format", cls.FORMAT) != cls.FORMAT:
+            raise ValueError(f"not a reconfiguration plan: "
+                             f"{data.get('format')!r}")
+        return cls(events=tuple(ReconfigureEvent.from_dict(e)
+                                for e in data.get("events", [])))
+
+    @classmethod
+    def build(cls, *steps: "Tuple[float, Sequence[str]]") -> "ReconfigPlan":
+        """Convenience: ``ReconfigPlan.build((t0, names0), (t1, names1))``."""
+        return cls(events=tuple(
+            ReconfigureEvent(time=t, config=tuple(names))
+            for t, names in steps))
+
+
+def split_at_offsets(
+    segments: Iterable[Tuple[float, float]],
+    offsets: Sequence[float],
+) -> List[List[Tuple[float, float]]]:
+    """Split a segment list at trace-relative time offsets.
+
+    Returns ``len(offsets) + 1`` spans; span ``k`` covers the trace time
+    window ``[offsets[k-1], offsets[k])``. A segment straddling an offset
+    is cut into two same-current pieces (the second carries the exact
+    float remainder ``duration - piece``, so the cut point — not the
+    re-associated sum — is what all consumers agree on). Offsets at or
+    past the end of the trace produce trailing empty spans.
+    Every engine that consumes a plan must advance *these* spans so that
+    sub-segment boundaries — and therefore float-step sequences — are
+    identical across engines.
+    """
+    offsets = [float(t) for t in offsets]
+    for prev, nxt in zip(offsets, offsets[1:]):
+        if nxt <= prev:
+            raise ValueError("offsets must be strictly increasing")
+    spans: List[List[Tuple[float, float]]] = [[] for _ in
+                                              range(len(offsets) + 1)]
+    bounds = offsets + [math.inf]
+    idx = 0
+    elapsed = 0.0
+    for current, duration in segments:
+        current = float(current)
+        remaining = float(duration)
+        if remaining < 0:
+            raise ValueError(f"segment duration must be >= 0, "
+                             f"got {duration}")
+        while True:
+            room = bounds[idx] - elapsed
+            if room <= 0 and idx < len(offsets):
+                idx += 1
+                continue
+            if remaining <= room or idx >= len(offsets):
+                if remaining > 0:
+                    spans[idx].append((current, remaining))
+                elapsed += remaining
+                break
+            # The segment straddles bounds[idx]: emit the piece up to the
+            # boundary and carry the exact float remainder forward.
+            if room > 0:
+                spans[idx].append((current, room))
+                elapsed = bounds[idx]
+                remaining -= room
+            idx += 1
+    return spans
+
+
+def apply_reconfiguration(system, event: ReconfigureEvent) -> float:
+    """Apply one reconfiguration event to a scalar power system.
+
+    The single shared transform every scalar engine runs between
+    sub-spans: switch the buffer's active bank set, then let the monitor
+    observe the post-switch terminal voltage (so a redistribution sag
+    below V_off drops the output rail with normal hysteresis). Returns
+    the post-switch terminal voltage.
+    """
+    buffer = system.buffer
+    configure = getattr(buffer, "configure", None)
+    if configure is None:
+        raise ValueError(
+            "reconfiguration plan given but the system's buffer "
+            f"({type(buffer).__name__}) has no configure()")
+    configure(event.config)
+    voltage = buffer.terminal_voltage
+    system.monitor.observe(voltage)
+    return voltage

@@ -75,16 +75,21 @@ class ReconfigurableBuffer:
 
     def _build_group(self, names: FrozenSet[str],
                      voltage: float) -> TwoBranchSupercap:
-        capacitance = sum(self._banks[n].capacitance for n in names)
+        # Iterate in sorted order: float summation order must not depend
+        # on set iteration (hash randomization), or the same configuration
+        # could differ in the last ulp across processes — breaking the
+        # byte-identical replay and sharding contracts.
+        ordered = sorted(names)
+        capacitance = sum(self._banks[n].capacitance for n in ordered)
         # Parallel ESR combination of the active banks.
-        conductance = sum(1.0 / self._banks[n].esr for n in names
+        conductance = sum(1.0 / self._banks[n].esr for n in ordered
                           if self._banks[n].esr > 0)
         if conductance > 0:
             esr = 1.0 / conductance
         else:
             esr = 1e-3  # all-ideal banks: a floor keeps the model sane
         esr += self.switch_resistance
-        leakage = sum(self._banks[n].leakage_current for n in names)
+        leakage = sum(self._banks[n].leakage_current for n in ordered)
         c_redist = capacitance * self.redist_fraction
         group = TwoBranchSupercap(
             c_main=capacitance - c_redist,
@@ -116,10 +121,13 @@ class ReconfigurableBuffer:
             rest = self._group.open_circuit_voltage
             for name in self._active:
                 self._idle_voltage[name] = rest
-        # Charge-weighted merge of the newly active banks.
+        # Charge-weighted merge of the newly active banks, accumulated in
+        # sorted order so the result is hash-seed independent (see
+        # _build_group).
+        ordered = sorted(new_active)
         charge = sum(self._banks[n].capacitance * self._idle_voltage[n]
-                     for n in new_active)
-        capacitance = sum(self._banks[n].capacitance for n in new_active)
+                     for n in ordered)
+        capacitance = sum(self._banks[n].capacitance for n in ordered)
         voltage = charge / capacitance
         self._active = new_active
         self._group = self._build_group(new_active, voltage)
@@ -169,6 +177,21 @@ class ReconfigurableBuffer:
         """Rest the active group (not the parked banks) at ``voltage``."""
         self._group.reset(voltage)
 
+    def rest_all(self, voltage: float) -> None:
+        """Rest the active group *and* every parked bank at ``voltage``.
+
+        A freshly built buffer has its parked banks at the constructor
+        voltage (0 V by default), so a mid-trace reconnection would merge
+        against empty banks and plunge the rail. Simulation paths that
+        schedule reconfiguration events (ground truth with a
+        :class:`~repro.power.reconfig.ReconfigPlan`) call this so the
+        whole bank set starts from the admission voltage — the physical
+        precondition a charged device actually satisfies.
+        """
+        self._group.reset(voltage)
+        for name in self._idle_voltage:
+            self._idle_voltage[name] = float(voltage)
+
     def settle(self) -> None:
         self._group.settle()
 
@@ -181,6 +204,39 @@ class ReconfigurableBuffer:
         """
         return ("reconfig", tuple(sorted(self._active)),
                 self.switch_resistance, self._group.config_key())
+
+    def aged(self, capacitance_factor: float = 0.8,
+             esr_factor: float = 2.0) -> "ReconfigurableBuffer":
+        """A copy of this buffer after end-of-life aging.
+
+        Every bank in the set ages together — identical parts, identical
+        history (paper §IV-C: capacitance to ~80 %, ESR doubled). The
+        aged copy keeps the active configuration, the per-bank parked
+        voltages, and the active group's open-circuit voltage, so aging
+        a live plant is charge-neutral the way the fixed buffer's
+        :meth:`TwoBranchSupercap.aged` is.
+        """
+        if capacitance_factor <= 0 or esr_factor <= 0:
+            raise ValueError("aging factors must be positive")
+        import dataclasses
+
+        aged_banks = {
+            name: dataclasses.replace(
+                bank,
+                capacitance=bank.capacitance * capacitance_factor,
+                esr=bank.esr * esr_factor,
+            )
+            for name, bank in self._banks.items()
+        }
+        clone = ReconfigurableBuffer(
+            aged_banks, tuple(sorted(self._active)),
+            switch_resistance=self.switch_resistance,
+            redist_fraction=self.redist_fraction,
+            c_decoupling=self.c_decoupling,
+        )
+        clone._idle_voltage = dict(self._idle_voltage)
+        clone._group.reset(self.open_circuit_voltage)
+        return clone
 
     def copy(self) -> "ReconfigurableBuffer":
         clone = ReconfigurableBuffer.__new__(ReconfigurableBuffer)

@@ -85,9 +85,17 @@ CHAOS_APPS: Dict[str, Callable[[], Program]] = {
 }
 
 
-def default_injector_dicts() -> Tuple[dict, ...]:
-    """Every registered injector with default parameters, as plain data."""
-    return tuple(INJECTORS[name]().to_dict() for name in sorted(INJECTORS))
+def default_injector_dicts(include_bank: bool = False) -> Tuple[dict, ...]:
+    """Every registered injector with default parameters, as plain data.
+
+    Bank-fabric injectors (identity on fixed buffers) join the grid only
+    when ``include_bank`` — i.e. when the campaign's bank axis is on —
+    so axis-off campaigns keep their seeded combo grid byte for byte.
+    """
+    return tuple(
+        INJECTORS[name]().to_dict() for name in sorted(INJECTORS)
+        if include_bank or not INJECTORS[name].bank_only
+    )
 
 
 @dataclass(frozen=True)
@@ -107,10 +115,18 @@ class CampaignConfig:
     #: extra draws come from their own RNG stream, so campaigns with the
     #: axis off keep their seeded outcomes byte for byte.
     env_axis: bool = False
+    #: Bank reconfiguration axis: replace the fixed supercap with a
+    #: small/large reconfigurable bank set and gate with the
+    #: configuration-aware :class:`repro.sched.bank.AdaptiveBankScheduler`.
+    #: The plant draws the *same* RNG values as the fixed one, so
+    #: campaigns with the axis off keep their seeded outcomes byte for
+    #: byte; the bank-fabric injectors join the default grid only here.
+    bank_axis: bool = False
 
     def combos(self) -> List[Tuple[str, str, dict]]:
         """The (app, estimator, injector) grid trials cycle through."""
-        injectors = self.injectors or default_injector_dicts()
+        injectors = (self.injectors
+                     or default_injector_dicts(include_bank=self.bank_axis))
         return list(product(self.apps, self.estimators, injectors))
 
 
@@ -175,7 +191,11 @@ def _classify(report: ExecutionReport, gate: AdaptiveGate,
         return "livelock"
     if report.total_brownouts > 0:
         return "brown_out"
-    if report.finished and gate.backoffs == 0 and not fallback_tasks:
+    degraded = (gate.backoffs > 0 or bool(fallback_tasks)
+                # Bank scheduler: a hardware tag that never matched the
+                # request forced V_high gating — visibly degraded.
+                or getattr(gate, "tag_mismatches", 0) > 0)
+    if report.finished and not degraded:
         return "completed"
     return "degraded_but_safe"
 
@@ -184,7 +204,8 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
                   injector_dict: dict, *, horizon: float,
                   stall_tolerance: int, dropout_grace: float,
                   stuck_limit: int,
-                  env_axis: bool = False) -> ChaosTrialOutcome:
+                  env_axis: bool = False,
+                  bank_axis: bool = False) -> ChaosTrialOutcome:
     """Run one fully resolved chaos trial (shared by campaign and replay)."""
     from repro.sim.engine import PowerSystemSimulator
     from repro.verify.runner import build_estimator
@@ -194,13 +215,32 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
 
     # Randomized Capybara-class plant. The capacitance stays under 50 mF
     # so every app task's energy floor clears the stuck-ADC detection
-    # threshold with margin (see CHAOS_APPS).
+    # threshold with margin (see CHAOS_APPS). The draws are hoisted so the
+    # bank axis consumes the *same* RNG values as the fixed plant.
     harvest_power = float(rng.uniform(2e-3, 6e-3))
+    datasheet_c = float(rng.uniform(30e-3, 45e-3))
+    dc_esr = float(rng.uniform(2.0, 5.0))
     system = capybara_power_system(
-        datasheet_capacitance=float(rng.uniform(30e-3, 45e-3)),
-        dc_esr=float(rng.uniform(2.0, 5.0)),
+        datasheet_capacitance=datasheet_c,
+        dc_esr=dc_esr,
         harvester=ConstantPowerHarvester(harvest_power),
     )
+    if bank_axis:
+        # Bank axis: the same drawn capacitance, split into a Capybara-
+        # style switchable set — one fast-recharging small bank (25 %)
+        # and one large reserve (75 %), ESR chosen so the full set lands
+        # near the drawn DC ESR. The datasheet field is cleared: per-
+        # config characterization must read the live configuration.
+        from repro.power.reconfigurable import (
+            ReconfigurableBuffer,
+            capybara_bank_set,
+        )
+
+        banks = capybara_bank_set(small=0.25 * datasheet_c,
+                                  large=0.75 * datasheet_c,
+                                  part_esr=4.0 * dc_esr)
+        system.buffer = ReconfigurableBuffer(banks, ("large", "small"))
+        system.datasheet_capacitance = None
     if env_axis:
         # Environment axis: the same plant under a time-varying sky.
         # The scenario comes from the env stream (trial_rng draws above
@@ -218,24 +258,68 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
     system = injector.apply_to_system(system, rng)
     v_high = system.monitor.v_high
     system.rest_at(v_high)
-    # The model is characterized *after* environment faults: the ESR curve
-    # is a live measurement (re-profiling sees the aged part), but the
-    # datasheet capacitance field is stale by construction — exactly the
-    # knowledge gap the capacitance fault exploits.
-    model = system.characterize()
+    rest_all = getattr(system.buffer, "rest_all", None)
+    if rest_all is not None:
+        rest_all(v_high)
 
     hook: Optional[Callable] = None
     if estimator_name in ("culpeo-isr", "culpeo-uarch"):
         def _corrupt(runtime, _rng=rng, _inj=injector):
             _inj.apply_to_runtime(runtime, _rng)
         hook = _corrupt
-    estimator = build_estimator(estimator_name, system, model,
-                                runtime_hook=hook)
 
     program = CHAOS_APPS[app]()
-    gates, fallback_tasks = program_gates(estimator, system, program)
 
-    gate = AdaptiveGate(gates, v_high)
+    if bank_axis and hasattr(system.buffer, "configure"):
+        # Configuration-aware gating: per-config V_safe tables built by
+        # re-characterizing the plant *in* each configuration (the §V-B
+        # contract — a stuck fabric is profiled as the rig it actually
+        # is), composed at launch with the DESIGN §16 switch penalties by
+        # the adaptive per-task policy.
+        from repro.sched.bank import AdaptiveBankScheduler, build_config_gates
+
+        configs = {"small": ("small",), "large": ("large",),
+                   "both": ("large", "small")}
+        config_gates, config_fallbacks = build_config_gates(
+            system, program, configs,
+            lambda sys_, model_: build_estimator(
+                estimator_name, sys_, model_, runtime_hook=hook))
+        fallback_tasks = sorted(
+            {name for lst in config_fallbacks.values() for name in lst})
+        # Per-task rail energy drives the policy: reactive tasks on the
+        # small bank, heavy ones on the large. Threshold at the midpoint
+        # so both classes are populated for every app.
+        v_out = system.output_booster.v_out
+        task_energy: Dict[str, float] = {}
+        task_peaks: Dict[str, float] = {}
+        for task in program:
+            if task.name in task_energy:
+                continue
+            segments = list(task.trace.segments())
+            task_energy[task.name] = v_out * sum(c * d for c, d in segments)
+            task_peaks[task.name] = max(c for c, _ in segments)
+        threshold = (min(task_energy.values())
+                     + max(task_energy.values())) / 2.0
+        gate = AdaptiveBankScheduler(
+            system.buffer, configs, config_gates, task_energy,
+            v_off=system.monitor.v_off, v_high=v_high,
+            energy_threshold=threshold, task_peaks=task_peaks)
+        gates = config_gates
+        # Re-arm the plant in the full configuration for the run itself.
+        system.buffer.configure(("large", "small"))
+        system.rest_at(v_high)
+        if rest_all is not None:
+            rest_all(v_high)
+    else:
+        # The model is characterized *after* environment faults: the ESR
+        # curve is a live measurement (re-profiling sees the aged part),
+        # but the datasheet capacitance field is stale by construction —
+        # exactly the knowledge gap the capacitance fault exploits.
+        model = system.characterize()
+        estimator = build_estimator(estimator_name, system, model,
+                                    runtime_hook=hook)
+        gates, fallback_tasks = program_gates(estimator, system, program)
+        gate = AdaptiveGate(gates, v_high)
     engine = PowerSystemSimulator(system)
     executor = IntermittentExecutor(
         engine, gate, stuck_limit=stuck_limit,
@@ -258,6 +342,8 @@ def _run_resolved(seed: int, index: int, app: str, estimator_name: str,
             "backoffs": gate.backoffs,
             "fallback_tasks": fallback_tasks,
             "gates": gates,
+            "bank_switches": getattr(gate, "switches", 0),
+            "tag_mismatches": getattr(gate, "tag_mismatches", 0),
         },
     )
 
@@ -271,7 +357,7 @@ def run_chaos_trial(args: "Tuple[int, CampaignConfig]") -> ChaosTrialOutcome:
         cfg.seed, index, app, estimator_name, injector_dict,
         horizon=cfg.horizon, stall_tolerance=cfg.stall_tolerance,
         dropout_grace=cfg.dropout_grace, stuck_limit=cfg.stuck_limit,
-        env_axis=cfg.env_axis,
+        env_axis=cfg.env_axis, bank_axis=cfg.bank_axis,
     )
 
 
@@ -300,6 +386,7 @@ class ChaosReport:
     unsafe: List[dict]
     cases: List[str]
     env_axis: bool = False
+    bank_axis: bool = False
 
     @property
     def unsafe_count(self) -> int:
@@ -322,6 +409,7 @@ class ChaosReport:
                 "apps": list(self.apps),
                 "horizon": self.horizon,
                 "env_axis": self.env_axis,
+                "bank_axis": self.bank_axis,
             },
             "counts": self.counts,
             "per_estimator": self.per_estimator,
@@ -337,7 +425,8 @@ class ChaosReport:
             columns,
             title=(f"chaos campaign: {self.trials} trials, seed {self.seed}, "
                    f"estimators {', '.join(self.estimators)}"
-                   + (", env axis on" if self.env_axis else "")),
+                   + (", env axis on" if self.env_axis else "")
+                   + (", bank axis on" if self.bank_axis else "")),
         )
         for name in sorted(self.per_injector):
             stats = self.per_injector[name]
@@ -374,7 +463,8 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
                  dropout_grace: float = 5.0,
                  stuck_limit: int = 3,
                  cases_dir: Optional[str] = None,
-                 env_axis: bool = False) -> ChaosReport:
+                 env_axis: bool = False,
+                 bank_axis: bool = False) -> ChaosReport:
     """Run ``trials`` seeded chaos trials and aggregate a report.
 
     ``cases_dir`` receives one JSON chaos case per unsafe trial (created
@@ -399,14 +489,14 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
                 f"unknown app {name!r}; choose from {tuple(CHAOS_APPS)}"
             )
     injector_dicts = (tuple(injectors) if injectors is not None
-                      else default_injector_dicts())
+                      else default_injector_dicts(include_bank=bank_axis))
     for data in injector_dicts:
         injector_from_dict(data)  # validate early, in the parent
     cfg = CampaignConfig(
         seed=seed, estimators=names, injectors=injector_dicts,
         apps=app_names, horizon=horizon, stall_tolerance=stall_tolerance,
         dropout_grace=dropout_grace, stuck_limit=stuck_limit,
-        env_axis=env_axis,
+        env_axis=env_axis, bank_axis=bank_axis,
     )
     outcomes = parallel_map(run_chaos_trial,
                             [(i, cfg) for i in range(trials)], jobs=jobs)
@@ -461,7 +551,7 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
                     estimator=outcome.estimator, injector=outcome.injector,
                     horizon=horizon, stall_tolerance=stall_tolerance,
                     dropout_grace=dropout_grace, stuck_limit=stuck_limit,
-                    env_axis=env_axis,
+                    env_axis=env_axis, bank_axis=bank_axis,
                     original={"outcome": outcome.outcome,
                               "details": outcome.details},
                 )
@@ -476,5 +566,5 @@ def run_campaign(trials: int, *, seed: int = 0, jobs: int = 1,
         injectors=injector_dicts, apps=app_names, horizon=horizon,
         counts=counts, per_estimator=per_estimator,
         per_injector=per_injector, unsafe=unsafe, cases=case_paths,
-        env_axis=env_axis,
+        env_axis=env_axis, bank_axis=bank_axis,
     )

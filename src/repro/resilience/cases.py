@@ -38,6 +38,11 @@ class ChaosCase:
     #: Whether the campaign ran with the environment scenario axis on
     #: (the replay must regenerate the same environment trace).
     env_axis: bool = False
+    #: Whether the campaign ran with the bank reconfiguration axis on
+    #: (the replay must rebuild the same reconfigurable plant and
+    #: configuration-aware scheduler). Pre-bank documents load with the
+    #: default (axis off), keeping old case files replayable.
+    bank_axis: bool = False
     #: Outcome details recorded when the case was found.
     original: dict = field(default_factory=dict)
 
@@ -55,6 +60,7 @@ class ChaosCase:
             "dropout_grace": self.dropout_grace,
             "stuck_limit": self.stuck_limit,
             "env_axis": self.env_axis,
+            "bank_axis": self.bank_axis,
             "original": self.original,
         }
 
@@ -75,6 +81,7 @@ class ChaosCase:
             dropout_grace=float(data["dropout_grace"]),
             stuck_limit=int(data["stuck_limit"]),
             env_axis=bool(data.get("env_axis", False)),
+            bank_axis=bool(data.get("bank_axis", False)),
             original=data.get("original", {}),
         )
 
@@ -86,7 +93,7 @@ class ChaosCase:
             self.seed, self.index, self.app, self.estimator, self.injector,
             horizon=self.horizon, stall_tolerance=self.stall_tolerance,
             dropout_grace=self.dropout_grace, stuck_limit=self.stuck_limit,
-            env_axis=self.env_axis,
+            env_axis=self.env_axis, bank_axis=self.bank_axis,
         )
 
 

@@ -77,6 +77,11 @@ class FaultInjector:
     """
 
     name: str = ""
+    #: True for injectors that only bite on reconfigurable-bank plants —
+    #: excluded from the default campaign grid unless the bank axis is on
+    #: (they are identity on fixed buffers: pure wasted trials, and their
+    #: presence would reshuffle the seeded combo grid of old campaigns).
+    bank_only: bool = False
 
     def params(self) -> dict:
         """Plain-JSON parameters (inverse of ``__init__`` kwargs)."""
@@ -229,6 +234,163 @@ class CapacitanceDegradation(FaultInjector):
         factor = float(rng.uniform(self.factor_min, self.factor_max))
         system.buffer = system.buffer.aged(capacitance_factor=factor,
                                            esr_factor=1.0)
+        return system
+
+
+class _BankFaultWrapper:
+    """Base proxy over a reconfigurable buffer: delegate everything,
+    intercept ``configure``. Subclasses model one switch-fabric fault."""
+
+    def __init__(self, inner) -> None:
+        object.__setattr__(self, "_inner", inner)
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __setattr__(self, name, value):
+        setattr(object.__getattribute__(self, "_inner"), name, value)
+
+    def copy(self):
+        # Preserve the fault across the deep copies the harness makes
+        # (ground truth, profiling) — an aged part stays aged there too.
+        return type(self)(object.__getattribute__(self, "_inner").copy())
+
+
+class _StuckSwitchBuffer(_BankFaultWrapper):
+    """``configure`` is a no-op: the switch fabric never actuates, so
+    both the electrical configuration and the reported tag stay frozen
+    at whatever the buffer powered up in."""
+
+    def configure(self, names):
+        inner = object.__getattribute__(self, "_inner")
+        return inner.config_id
+
+
+class _RedistLossBuffer(_BankFaultWrapper):
+    """Every actuation leaks extra charge: after a real ``configure``
+    the merged group sags by ``loss_fraction`` of its voltage (lossy
+    balancing resistors, shoot-through during break-before-make)."""
+
+    def __init__(self, inner, loss_fraction: float) -> None:
+        super().__init__(inner)
+        object.__setattr__(self, "_loss_fraction", float(loss_fraction))
+
+    def configure(self, names):
+        inner = object.__getattribute__(self, "_inner")
+        result = inner.configure(names)
+        loss = object.__getattribute__(self, "_loss_fraction")
+        inner.reset(inner.terminal_voltage * (1.0 - loss))
+        return result
+
+    def copy(self):
+        inner = object.__getattribute__(self, "_inner")
+        loss = object.__getattribute__(self, "_loss_fraction")
+        return _RedistLossBuffer(inner.copy(), loss)
+
+
+class _StaleTagBuffer(_BankFaultWrapper):
+    """``configure`` actuates the rail but the tag register lags one
+    switch behind — ``config_id`` reports the *previous* configuration
+    (a corrupted status register / missed interrupt)."""
+
+    def __init__(self, inner) -> None:
+        super().__init__(inner)
+        object.__setattr__(self, "_reported", inner.config_id)
+
+    @property
+    def config_id(self):
+        return object.__getattribute__(self, "_reported")
+
+    def configure(self, names):
+        inner = object.__getattribute__(self, "_inner")
+        previous = inner.config_id
+        inner.configure(names)
+        object.__setattr__(self, "_reported", previous)
+        return previous
+
+    def copy(self):
+        inner = object.__getattribute__(self, "_inner")
+        duplicate = _StaleTagBuffer(inner.copy())
+        object.__setattr__(duplicate, "_reported",
+                           object.__getattribute__(self, "_reported"))
+        return duplicate
+
+
+@register
+class BankSwitchStuck(FaultInjector):
+    """Environment: the bank switch fabric is mechanically stuck.
+
+    ``configure`` stops actuating — the device stays in whatever
+    configuration it powered up in, and the tag truthfully reports that.
+    A configuration-aware scheduler must notice its requested tag never
+    arrives and fall back to the V_high gate (§V-B defensive default);
+    per-config profiling on the stuck rig measures the rig it actually
+    has, so the gates stay sound. Identity on fixed (non-reconfigurable)
+    buffers.
+    """
+
+    name = "bank-switch-stuck"
+    bank_only = True
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        if hasattr(system.buffer, "configure"):
+            system.buffer = _StuckSwitchBuffer(system.buffer)
+        return system
+
+
+@register
+class BankRedistributionLoss(FaultInjector):
+    """Environment: every bank switch loses extra charge.
+
+    Lossy balancing paths or break-before-make shoot-through drain a
+    random fraction of the rail on each actuation, on top of the modeled
+    charge-redistribution loss. The sag lands *before* the executor
+    charges to the launch gate, so a gate composed with the DESIGN §16
+    switch penalty stays sound — the trial burns more charge time, never
+    a task. Identity on fixed buffers.
+    """
+
+    name = "bank-redistribution-loss"
+    bank_only = True
+
+    def __init__(self, loss_min: float = 0.02,
+                 loss_max: float = 0.08) -> None:
+        if not 0.0 <= loss_min <= loss_max < 1.0:
+            raise ValueError("need 0 <= loss_min <= loss_max < 1")
+        self.loss_min = loss_min
+        self.loss_max = loss_max
+
+    def params(self) -> dict:
+        return {"loss_min": self.loss_min, "loss_max": self.loss_max}
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        if hasattr(system.buffer, "configure"):
+            loss = float(rng.uniform(self.loss_min, self.loss_max))
+            system.buffer = _RedistLossBuffer(system.buffer, loss)
+        return system
+
+
+@register
+class BankConfigTagMismatch(FaultInjector):
+    """Environment: the configuration tag register lags the rail.
+
+    The switch fabric actuates correctly but ``config_id`` reports the
+    *previous* configuration — a corrupted status register or missed
+    completion interrupt. The §V-B contract says a scheduler must treat
+    a tag that does not match its request as untrusted and gate at
+    V_high; an unchecked per-config lookup would fetch the wrong row.
+    Identity on fixed buffers.
+    """
+
+    name = "bank-config-tag-mismatch"
+    bank_only = True
+
+    def apply_to_system(self, system: PowerSystem,
+                        rng: np.random.Generator) -> PowerSystem:
+        if hasattr(system.buffer, "configure"):
+            system.buffer = _StaleTagBuffer(system.buffer)
         return system
 
 

@@ -42,6 +42,12 @@ class ReproCase:
     index: Optional[int] = None
     #: The verdict details recorded when the case was found.
     original: dict = field(default_factory=dict)
+    #: Bank axis provenance: whether the trial ran under ``--bank-axis``
+    #: and, for the ``stale-config`` baseline, the pre-switch bank set its
+    #: model was characterized from. Pre-bank documents load with the
+    #: defaults (axis off), keeping old case files replayable.
+    bank_axis: bool = False
+    stale_active: tuple = ()
 
     @property
     def trace(self) -> CurrentTrace:
@@ -59,6 +65,8 @@ class ReproCase:
             "seed": self.seed,
             "index": self.index,
             "original": self.original,
+            "bank_axis": self.bank_axis,
+            "stale_active": list(self.stale_active),
         }
 
     @classmethod
@@ -76,6 +84,8 @@ class ReproCase:
             seed=data.get("seed"),
             index=data.get("index"),
             original=data.get("original", {}),
+            bank_axis=bool(data.get("bank_axis", False)),
+            stale_active=tuple(data.get("stale_active", [])),
         )
 
     @classmethod
@@ -83,7 +93,9 @@ class ReproCase:
               trace: CurrentTrace, *, tolerance: float,
               conservative_margin: float, seed: Optional[int] = None,
               index: Optional[int] = None,
-              result: Optional[OracleResult] = None) -> "ReproCase":
+              result: Optional[OracleResult] = None,
+              bank_axis: bool = False,
+              stale_active: tuple = ()) -> "ReproCase":
         return cls(
             estimator=estimator_name,
             system=system,
@@ -93,14 +105,25 @@ class ReproCase:
             seed=seed,
             index=index,
             original=result.to_dict() if result is not None else {},
+            bank_axis=bank_axis,
+            stale_active=tuple(stale_active),
         )
 
     def replay(self) -> OracleResult:
         """Re-run the differential check this case records."""
+        import dataclasses
+
         from repro.verify.runner import build_estimator  # cycle-free at call
 
         system = self.system.build()
-        estimator = build_estimator(self.estimator, system)
+        model = None
+        if self.estimator == "stale-config" and self.stale_active:
+            # Rebuild the pre-switch configuration and characterize it —
+            # the stale per-config table the convicted baseline ran on.
+            stale_spec = dataclasses.replace(
+                self.system, active=tuple(self.stale_active))
+            model = stale_spec.build().characterize()
+        estimator = build_estimator(self.estimator, system, model)
         return differential_check(
             system, self.trace, estimator,
             tolerance=self.tolerance,

@@ -300,13 +300,21 @@ def _peripheral_mix(rng: np.random.Generator) -> CurrentTrace:
     return trace
 
 
-def random_trace(rng: np.random.Generator, spec: SystemSpec) -> CurrentTrace:
+def random_trace(rng: np.random.Generator, spec: SystemSpec,
+                 active: Optional[Tuple[str, ...]] = None) -> CurrentTrace:
     """Draw one load trace, scaled so its energy fits the spec's buffer.
 
     The scaling keeps most trials feasible — a trial whose ground truth is
     "infeasible even from V_high" verifies nothing about estimator
     soundness — while the uniform family occasionally lands near the edge
     on purpose.
+
+    ``active`` overrides the bank set the regime caps are computed for on
+    reconfigurable specs. Without it the caps fit only ``spec.active`` —
+    fine when the configuration never changes, but the bank axis verifies
+    a *different* configuration than the one a stale table knows about, so
+    the trace must be fitted to the configuration that actually carries
+    the load.
     """
     roll = rng.random()
     if roll < 0.35:
@@ -319,8 +327,8 @@ def random_trace(rng: np.random.Generator, spec: SystemSpec) -> CurrentTrace:
         trace = CurrentTrace.constant(float(rng.uniform(0.002, 0.030)),
                                       float(rng.uniform(0.002, 0.060)))
     trace = _floor_widths(trace)
-    trace = _cap_to_sound_regime(trace, spec)
-    return _fit_to_buffer(trace, spec, rng)
+    trace = _cap_to_sound_regime(trace, spec, active)
+    return _fit_to_buffer(trace, spec, rng, active)
 
 
 #: Minimum generated segment width: 1.2x the ISR's 1 ms sample period, so
@@ -343,8 +351,9 @@ def _floor_widths(trace: CurrentTrace,
     return CurrentTrace(segments)
 
 
-def _cap_to_sound_regime(trace: CurrentTrace,
-                         spec: SystemSpec) -> CurrentTrace:
+def _cap_to_sound_regime(trace: CurrentTrace, spec: SystemSpec,
+                         active: Optional[Tuple[str, ...]] = None,
+                         ) -> CurrentTrace:
     """Keep pulse currents inside the regime the estimators are sound for.
 
     Two plant behaviours are *deliberately* outside the charge models, and
@@ -369,8 +378,8 @@ def _cap_to_sound_regime(trace: CurrentTrace,
     if spec.kind == "fixed":
         worst_r = spec.dc_esr
     else:
-        active = set(spec.active)
-        worst_r = (max(esr for name, _, esr in spec.banks if name in active)
+        names = set(spec.active if active is None else active)
+        worst_r = (max(esr for name, _, esr in spec.banks if name in names)
                    + spec.switch_resistance)
     eta = spec.eta_base
     derate_limit = math.sqrt(
@@ -387,7 +396,8 @@ def _cap_to_sound_regime(trace: CurrentTrace,
 
 
 def _fit_to_buffer(trace: CurrentTrace, spec: SystemSpec,
-                   rng: np.random.Generator) -> CurrentTrace:
+                   rng: np.random.Generator,
+                   active: Optional[Tuple[str, ...]] = None) -> CurrentTrace:
     """Scale the trace down if its energy would exhaust the buffer.
 
     A crude worst-case energy check: rail energy lifted through a 60%
@@ -397,8 +407,8 @@ def _fit_to_buffer(trace: CurrentTrace, spec: SystemSpec,
     """
     true_c = spec.datasheet_capacitance * (1.0 + spec.capacitance_tolerance)
     if spec.kind == "reconfigurable":
-        active = {name for name in spec.active}
-        true_c = sum(c for name, c, _ in spec.banks if name in active)
+        names = set(spec.active if active is None else active)
+        true_c = sum(c for name, c, _ in spec.banks if name in names)
     window_v2 = spec.v_high ** 2 - spec.v_off ** 2
     budget = float(rng.uniform(0.30, 0.60)) * window_v2
     demand_v2 = 2.0 * trace.energy_at(spec.v_out) / 0.60 / true_c
@@ -431,6 +441,58 @@ def env_rng(seed: int, index: int) -> np.random.Generator:
     """Per-trial stream for the environment axis (independent of
     :func:`trial_rng` — see :data:`_ENV_STREAM`)."""
     return np.random.default_rng((seed, index, _ENV_STREAM))
+
+
+#: Bank scenario axis: like the environment axis, the bank stream lives
+#: apart from the system/trace stream so turning ``--bank-axis`` on never
+#: reshuffles the systems and loads an existing seed generates.
+_BANK_STREAM = 0xBA2C
+
+
+def bank_rng(seed: int, index: int) -> np.random.Generator:
+    """Per-trial stream for the bank-configuration axis (independent of
+    :func:`trial_rng` — see :data:`_BANK_STREAM`)."""
+    return np.random.default_rng((seed, index, _BANK_STREAM))
+
+
+def random_bank_scenario(
+    rng: np.random.Generator, spec: SystemSpec,
+) -> Tuple[SystemSpec, Tuple[str, ...]]:
+    """Draw the bank-axis scenario: the live spec and a stale config tag.
+
+    Returns ``(live_spec, stale_active)``: a reconfigurable spec whose
+    active set is a *strict subset* of its banks (the configuration the
+    device actually runs on after a reconfiguration), and the full bank
+    set as the stale, pre-switch configuration. A configuration-unaware
+    estimator that keeps using the pre-switch table sees strictly more
+    capacitance than the rail actually has — the §V-B failure mode the
+    bank axis must convict.
+
+    A fixed spec is converted deterministically (from the caller's bank
+    stream): its electrical draws stay untouched, only the buffer becomes
+    a drawn bank set, mirroring :func:`random_system_spec`'s ranges.
+    """
+    import dataclasses
+
+    if spec.kind != "reconfigurable" or len(spec.banks) < 2:
+        n_banks = int(rng.integers(2, 4))
+        banks = []
+        for i in range(n_banks):
+            capacitance = float(np.exp(rng.uniform(np.log(5e-3),
+                                                   np.log(40e-3))))
+            esr = float(rng.uniform(1.0, 6.0))
+            banks.append((f"bank{i}", capacitance, esr))
+        spec = dataclasses.replace(
+            spec, kind="reconfigurable", banks=tuple(banks),
+            active=tuple(sorted(name for name, _, _ in banks)),
+            switch_resistance=float(rng.uniform(0.01, 0.10)),
+        )
+    names = sorted(name for name, _, _ in spec.banks)
+    k = int(rng.integers(1, len(names)))
+    live = tuple(sorted(
+        str(n) for n in rng.choice(names, size=k, replace=False)))
+    stale = tuple(names)
+    return dataclasses.replace(spec, active=live), stale
 
 
 def random_env_spec(rng: np.random.Generator) -> "EnvSpec":

@@ -37,7 +37,9 @@ from repro.verify import metamorphic
 from repro.verify.cases import ReproCase, save_case
 from repro.verify.generators import (
     SystemSpec,
+    bank_rng,
     env_rng,
+    random_bank_scenario,
     random_env_spec,
     random_system_spec,
     random_trace,
@@ -52,8 +54,12 @@ STOCK_ESTIMATORS: Tuple[str, ...] = ("culpeo-pg", "culpeo-isr",
 
 #: The energy-only baselines the paper proves unsound — available behind
 #: ``--estimators`` so the harness can demonstrate it catches them.
+#: ``stale-config`` is the bank axis's configuration-unaware strawman: a
+#: Culpeo-PG estimator that keeps using the pre-switch configuration's
+#: model (§V-B says per-config tables are mandatory; this shows why).
 BASELINE_ESTIMATORS: Tuple[str, ...] = ("energy-direct", "energy-v",
-                                        "catnap-measured", "catnap-slow")
+                                        "catnap-measured", "catnap-slow",
+                                        "stale-config")
 
 KNOWN_ESTIMATORS: Tuple[str, ...] = STOCK_ESTIMATORS + BASELINE_ESTIMATORS
 
@@ -79,6 +85,11 @@ def build_estimator(name: str, system: PowerSystem,
                                  v_off=model.v_off, v_high=model.v_high)
         return CulpeoREstimator(calc, name.split("-", 1)[1],
                                 runtime_hook=runtime_hook, model=model)
+    if name == "stale-config":
+        # Electrically an exact Culpeo-PG; its unsoundness comes entirely
+        # from the *model* the caller binds it to (the bank-axis runner
+        # characterizes the stale, pre-switch configuration).
+        return CulpeoPgEstimator(model)
     if name == "energy-direct":
         return EnergyDirectEstimator(model)
     if name == "energy-v":
@@ -104,6 +115,12 @@ class TrialConfig:
     #: attempt with the charger on. Opt-in — it draws from its own RNG
     #: stream, so existing seeds keep their systems and loads.
     env_axis: bool = False
+    #: Bank scenario axis: force every trial onto a reconfigurable bank
+    #: set whose live configuration is a strict subset of the full one,
+    #: re-derive ground truth on the live configuration, and hand the
+    #: ``stale-config`` baseline the *pre-switch* model. Opt-in and drawn
+    #: from its own stream (see ``generators._BANK_STREAM``).
+    bank_axis: bool = False
 
 
 @dataclass
@@ -137,9 +154,26 @@ def run_trial(args: "Tuple[int, TrialConfig]") -> TrialOutcome:
     index, cfg = args
     rng = trial_rng(cfg.seed, index)
     spec = random_system_spec(rng)
-    trace = random_trace(rng, spec)
+
+    # Bank axis: the trial's plant becomes a reconfigurable bank set whose
+    # live configuration is a strict subset of the stale (full) one; the
+    # trace is fitted to the *live* configuration — the one that actually
+    # carries the load — and ground truth below is re-derived on it, which
+    # is what keeps the oracle sound per configuration.
+    stale_active: Optional[Tuple[str, ...]] = None
+    if cfg.bank_axis:
+        spec, stale_active = random_bank_scenario(
+            bank_rng(cfg.seed, index), spec)
+        trace = random_trace(rng, spec, active=spec.active)
+    else:
+        trace = random_trace(rng, spec)
     system = spec.build()
     model = system.characterize()
+    stale_model = None
+    if stale_active is not None:
+        import dataclasses
+        stale_model = dataclasses.replace(
+            spec, active=stale_active).build().characterize()
 
     # Environment axis: lower a randomized harvesting environment to a
     # recorded trace and attach it for the admission runs. Ground truth
@@ -156,7 +190,10 @@ def run_trial(args: "Tuple[int, TrialConfig]") -> TrialOutcome:
     outcome = TrialOutcome(index=index, feasible=truth.feasible)
 
     for name in cfg.estimators:
-        estimator = build_estimator(name, system, model)
+        est_model = model
+        if name == "stale-config" and stale_model is not None:
+            est_model = stale_model
+        estimator = build_estimator(name, system, est_model)
         result = differential_check(
             check_system, trace, estimator, truth,
             tolerance=cfg.tolerance,
@@ -179,6 +216,8 @@ def run_trial(args: "Tuple[int, TrialConfig]") -> TrialOutcome:
                 tolerance=cfg.tolerance,
                 conservative_margin=cfg.conservative_margin,
                 seed=cfg.seed, index=index, result=result,
+                bank_axis=cfg.bank_axis,
+                stale_active=stale_active or (),
             )
             outcome.cases.append(case.to_dict())
 
@@ -203,6 +242,7 @@ class VerificationReport:
     tolerance: float
     conservative_margin: float
     env_axis: bool
+    bank_axis: bool
     counts: Dict[str, int]
     per_estimator: Dict[str, dict]
     invariants: Dict[str, dict]
@@ -234,6 +274,7 @@ class VerificationReport:
                 "tolerance": self.tolerance,
                 "conservative_margin": self.conservative_margin,
                 "env_axis": self.env_axis,
+                "bank_axis": self.bank_axis,
             },
             "counts": self.counts,
             "per_estimator": self.per_estimator,
@@ -250,7 +291,8 @@ class VerificationReport:
              "worst margin (V)", "mean margin (V)"],
             title=(f"verification: {self.trials} trials, seed {self.seed}, "
                    f"estimators {', '.join(self.estimators)}"
-                   + (", env axis on" if self.env_axis else "")),
+                   + (", env axis on" if self.env_axis else "")
+                   + (", bank axis on" if self.bank_axis else "")),
         )
         for name in self.estimators:
             stats = self.per_estimator[name]
@@ -291,14 +333,17 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
                      shrink: bool = True,
                      shrink_budget: int = 120,
                      failures_dir: Optional[str] = None,
-                     env_axis: bool = False
+                     env_axis: bool = False,
+                     bank_axis: bool = False
                      ) -> VerificationReport:
     """Run ``trials`` randomized soundness trials and aggregate a report.
 
     ``failures_dir`` receives one JSON repro case per UNSOUND verdict
     (created on demand; untouched when the run is clean). Results are
     bit-identical for any ``jobs``. ``env_axis`` adds a randomized
-    harvesting environment per trial (see :class:`TrialConfig`).
+    harvesting environment per trial; ``bank_axis`` forces every trial
+    onto a reconfigurable bank set with per-configuration ground truth
+    (see :class:`TrialConfig`).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -311,7 +356,8 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
     cfg = TrialConfig(seed=seed, estimators=names, tolerance=tolerance,
                       conservative_margin=conservative_margin,
                       metamorphic=metamorphic_checks, shrink=shrink,
-                      shrink_budget=shrink_budget, env_axis=env_axis)
+                      shrink_budget=shrink_budget, env_axis=env_axis,
+                      bank_axis=bank_axis)
     outcomes = parallel_map(run_trial, [(i, cfg) for i in range(trials)],
                             jobs=jobs)
 
@@ -403,6 +449,7 @@ def run_verification(trials: int, *, seed: int = 0, jobs: int = 1,
     return VerificationReport(
         trials=trials, seed=seed, estimators=names, tolerance=tolerance,
         conservative_margin=conservative_margin, env_axis=env_axis,
+        bank_axis=bank_axis,
         counts=counts,
         per_estimator=per_estimator, invariants=invariant_stats,
         worst={"least_margin": worst_overall,

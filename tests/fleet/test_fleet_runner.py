@@ -138,3 +138,76 @@ class TestBrownTimes:
                                  horizon=60.0)
         assert np.isnan(outcomes.brown_time).all()
         assert outcomes.brown_task == [""] * 4
+
+
+class TestBankFleet:
+    """The per-device bank axis through the full runner."""
+
+    BANK_KW = dict(
+        banks=(("large", 33.75e-3, 2.5, 12e-9),
+               ("small", 11.25e-3, 7.5, 4e-9)),
+        configs=(("small",), ("large",), ("large", "small")),
+    )
+
+    def _spec(self, **overrides):
+        from repro.fleet.spec import FleetBankSpec
+        base = dict(devices=12, seed=5, bank=FleetBankSpec(**self.BANK_KW),
+                    harvest_power=4e-3, esr_jitter=0.2,
+                    capacitance_jitter=0.1)
+        base.update(overrides)
+        return FleetSpec(**base)
+
+    def test_bank_fleet_completes(self):
+        report = run_fleet(self._spec(), cycles=1, horizon=60.0)
+        assert report.devices == 12
+        assert report.counts["completed"] == 12
+
+    def test_reports_byte_identical_across_jobs(self):
+        import json
+
+        spec = self._spec()
+        serial = run_fleet(spec, cycles=1, horizon=60.0, jobs=1)
+        sharded = run_fleet(spec, cycles=1, horizon=60.0, jobs=3)
+        assert (json.dumps(serial.to_dict(), sort_keys=True)
+                == json.dumps(sharded.to_dict(), sort_keys=True))
+
+    def test_segalg_engine_agrees_on_outcomes(self):
+        spec = self._spec()
+        stepping = run_fleet(spec, cycles=1, horizon=60.0)
+        segalg = run_fleet(spec, cycles=1, horizon=60.0, engine="segalg")
+        assert stepping.counts == segalg.counts
+
+    def test_cross_check_reads_per_configuration_gates(self):
+        # Regression: the scalar mirror used to look gates up by bare
+        # task name and KeyError'd on bank fleets, whose shared table is
+        # keyed "<config_tag>/<task>" per device configuration.
+        from repro.fleet.differential import cross_check, sample_indices
+        from repro.fleet.runner import run_fleet_raw
+
+        spec = self._spec(devices=16)
+        for engine in ("stepping", "segalg"):
+            outcomes = run_fleet_raw(spec, cycles=1, horizon=60.0,
+                                     engine=engine)
+            result = cross_check(outcomes, sample_indices(16, 6, seed=5))
+            assert result.ok, result.render()
+        # The sample must include devices on distinct configurations,
+        # or this regression stops testing the per-config lookup.
+        config_idx = spec.parameters().config_idx
+        assert len({int(config_idx[i])
+                    for i in sample_indices(16, 6, seed=5)}) > 1
+
+    def test_gates_are_per_configuration(self):
+        from repro.fleet.runner import run_fleet_raw
+        from repro.sched.bank import config_tag
+
+        spec = self._spec(devices=4)
+        outcomes = run_fleet_raw(spec, cycles=1, horizon=60.0)
+        tags = {config_tag(c) for c in spec.bank.configs}
+        seen = {key.split("/", 1)[0] for key in outcomes.gates}
+        assert seen == tags
+
+    def test_bank_spec_round_trips(self):
+        spec = self._spec()
+        clone = FleetSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.bank is not None

@@ -16,6 +16,12 @@ standard Capybara plant driven by that trace. A drift in the model
 sampling, the MPPT math, or the lowering pass moves the fingerprint; a
 drift in how estimators see trace harvesters moves the V_safe values.
 
+A third section pins the **bank axis**: two Capybara-flavoured bank
+sets, each in every candidate configuration, recording the canonical
+configuration tag, the composed group electricals, and every
+estimator's V_safe on a plant in that configuration — the rows the
+§V-B per-configuration tables are made of.
+
 Regenerate (from the repository root) with::
 
     PYTHONPATH=src python -m tests.golden.regen
@@ -64,6 +70,18 @@ HARVEST_POWER = 4e-3
 #: stochastic structure (clouds, bursts) and the stateful P&O tracker.
 ENV_SEED = 2022
 ENV_DURATION = 30.0
+
+#: Bank-axis golden entries: two Capybara-flavoured bank sets, each
+#: pinned in every candidate configuration (6 config entries total).
+#: The group electricals pin the bank composition algebra
+#: (``ReconfigurableBuffer._build_group``); the per-estimator V_safe
+#: values pin the per-configuration characterization path the §V-B
+#: tables are built from.
+BANK_SETS = {
+    "capybara-default": dict(small=7.5e-3, large=37.5e-3, part_esr=20.0),
+    "capybara-dense": dict(small=11.25e-3, large=33.75e-3, part_esr=10.0),
+}
+BANK_CONFIGS = [["small"], ["large"], ["large", "small"]]
 
 CORPUS_PATH = Path(__file__).resolve().parent / "vsafe_corpus.json"
 
@@ -125,6 +143,46 @@ def _env_entries(trace: CurrentTrace) -> list:
     return entries
 
 
+def _bank_entries(trace: CurrentTrace) -> list:
+    """One pinned entry per bank set × configuration."""
+    from repro.power.reconfigurable import (
+        ReconfigurableBuffer,
+        capybara_bank_set,
+    )
+    from repro.sched.bank import config_tag
+
+    entries = []
+    for set_name in sorted(BANK_SETS):
+        banks = capybara_bank_set(**BANK_SETS[set_name])
+        for config in BANK_CONFIGS:
+            buffer = ReconfigurableBuffer(banks, tuple(config))
+            system = capybara_power_system()
+            system.buffer = buffer
+            system.datasheet_capacitance = None
+            system.rest_at(V_HIGH)
+            buffer.rest_all(V_HIGH)
+            model = system.characterize()
+            vsafe = {}
+            for name in KNOWN_ESTIMATORS:
+                estimator = build_estimator(name, system, model)
+                estimate = estimator.estimate(system, trace)
+                vsafe[name] = {
+                    "v_safe": estimate.v_safe,
+                    "method": estimate.method,
+                }
+            entries.append({
+                "set": set_name,
+                "config": sorted(config),
+                "tag": config_tag(config),
+                "group": {
+                    "capacitance": buffer.total_capacitance,
+                    "r_esr": buffer.r_esr,
+                },
+                "vsafe": vsafe,
+            })
+    return entries
+
+
 def build_corpus() -> dict:
     """The corpus document, a pure function of the constants above."""
     catalog = reference_catalog(
@@ -169,7 +227,7 @@ def build_corpus() -> dict:
 
     return {
         "format": "repro.golden-vsafe",
-        "version": 2,
+        "version": 3,
         "catalog": {
             "parts_per_technology": PARTS_PER_TECHNOLOGY,
             "seed": CATALOG_SEED,
@@ -189,6 +247,11 @@ def build_corpus() -> dict:
             "duration_s": ENV_DURATION,
             "entries": _env_entries(trace),
         },
+        "bank": {
+            "sets": {name: dict(BANK_SETS[name]) for name in BANK_SETS},
+            "configs": [list(c) for c in BANK_CONFIGS],
+            "entries": _bank_entries(trace),
+        },
     }
 
 
@@ -200,7 +263,8 @@ def main() -> int:
     print(f"wrote {CORPUS_PATH} "
           f"({surveyed}/{len(corpus['entries'])} parts surveyed, "
           f"{len(corpus['estimators'])} estimators, "
-          f"{len(corpus['environment']['entries'])} environment entries)")
+          f"{len(corpus['environment']['entries'])} environment entries, "
+          f"{len(corpus['bank']['entries'])} bank-config entries)")
     return 0
 
 

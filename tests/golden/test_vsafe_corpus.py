@@ -32,7 +32,7 @@ class TestCorpusShape:
     def test_header_and_coverage(self):
         corpus = _committed()
         assert corpus["format"] == "repro.golden-vsafe"
-        assert corpus["version"] == 2
+        assert corpus["version"] == 3
         # Technology-complete: all four technologies appear.
         technologies = {e["technology"] for e in corpus["entries"]}
         assert technologies == {"electrolytic", "ceramic", "tantalum",
@@ -77,6 +77,33 @@ class TestCorpusShape:
                 assert record["v_safe"] >= v_off, (entry["model"], name)
         # Distinct environments lower to distinct traces.
         assert len(fingerprints) == len(env["entries"])
+
+    def test_bank_entries_cover_every_set_and_configuration(self):
+        corpus = _committed()
+        bank = corpus["bank"]
+        assert len(bank["entries"]) >= 6
+        combos = {(e["set"], e["tag"]) for e in bank["entries"]}
+        assert combos == {
+            (s, t)
+            for s in ("capybara-default", "capybara-dense")
+            for t in ("small", "large", "large+small")}
+        estimators = set(corpus["estimators"])
+        v_off = corpus["plant"]["v_off"]
+        for entry in bank["entries"]:
+            assert set(entry["vsafe"]) == estimators
+            assert entry["group"]["capacitance"] > 0
+            assert entry["group"]["r_esr"] > 0
+            for name, record in entry["vsafe"].items():
+                assert record["v_safe"] >= v_off, (entry["tag"], name)
+        # Composition algebra sanity, pinned per set: the merged group
+        # holds both banks' capacitance and beats either lone bank's ESR.
+        for set_name in ("capybara-default", "capybara-dense"):
+            rows = {e["tag"]: e["group"] for e in bank["entries"]
+                    if e["set"] == set_name}
+            assert rows["large+small"]["capacitance"] > \
+                rows["large"]["capacitance"] > rows["small"]["capacitance"]
+            assert rows["large+small"]["r_esr"] < min(
+                rows["large"]["r_esr"], rows["small"]["r_esr"])
 
 
 class TestCorpusMatchesCode:

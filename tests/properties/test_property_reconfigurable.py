@@ -1,0 +1,195 @@
+"""Property suite for the reconfigurable energy buffer.
+
+The electrical invariants the bank axis leans on, checked over random
+bank sets, random rest voltages, and random configuration walks:
+
+* switching conserves charge (the merge voltage is the capacitance-
+  weighted mean) and never creates energy — the equalization loss is
+  non-negative and bounded by the pre-merge spread;
+* aggregate ESR is monotone in the active set (adding a bank never
+  raises the group's series resistance) and capacitance is additive;
+* parked banks are electrically isolated — any amount of stepping on
+  the active group leaves their rest voltages bit-identical;
+* configuration walks are deterministic: the same walk from the same
+  state lands on bitwise-identical electrical state regardless of dict
+  insertion order (the sorted-accumulation contract replay depends on).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.bank import CapacitorBank
+from repro.power.reconfigurable import ReconfigurableBuffer
+
+NAMES = ("a", "b", "c", "d")
+
+bank_sets = st.lists(
+    st.tuples(st.floats(min_value=2e-3, max_value=50e-3),
+              st.floats(min_value=0.5, max_value=20.0)),
+    min_size=2, max_size=4,
+).map(lambda rows: {
+    NAMES[i]: CapacitorBank(capacitance=cap, esr=esr,
+                            leakage_current=5e-9, volume_mm3=1.0,
+                            part_count=1, max_voltage=2.7)
+    for i, (cap, esr) in enumerate(rows)
+})
+rest_voltages = st.floats(min_value=0.5, max_value=2.6)
+
+
+def _subsets(names):
+    names = sorted(names)
+    return st.lists(st.sampled_from(names), min_size=1,
+                    max_size=len(names)).map(lambda s: tuple(sorted(set(s))))
+
+
+@st.composite
+def buffer_and_walk(draw):
+    banks = draw(bank_sets)
+    walk = draw(st.lists(_subsets(banks), min_size=1, max_size=6))
+    v0 = draw(rest_voltages)
+    return banks, walk, v0
+
+
+class TestChargeAndEnergy:
+
+    @given(data=buffer_and_walk(),
+           per_bank_v=st.lists(rest_voltages, min_size=4, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_weighted_mean_and_lossy(self, data, per_bank_v):
+        banks, walk, _ = data
+        buffer = ReconfigurableBuffer(banks, (sorted(banks)[0],))
+        # Rest every bank at its own voltage (public API: activate alone,
+        # rest, move on — the last configure parks the rested bank).
+        for name, v in zip(sorted(banks), per_bank_v):
+            buffer.configure((name,))
+            buffer.reset(v)
+        rested = {name: v for name, v in zip(sorted(banks), per_bank_v)}
+        active = buffer.config_id
+
+        for config in walk:
+            members = sorted(config)
+            # What the parked/active banks rest at just before the switch.
+            pre = dict(rested)
+            pre.update({n: buffer.open_circuit_voltage for n in active})
+            charge = sum(banks[n].capacitance * pre[n] for n in members)
+            cap = sum(banks[n].capacitance for n in members)
+            e_before = sum(0.5 * banks[n].capacitance * pre[n] ** 2
+                           for n in members)
+            buffer.configure(config)
+            # Charge conservation: the new rail is the weighted mean.
+            assert buffer.open_circuit_voltage == \
+                pytest_approx(charge / cap)
+            # Equalization never creates energy in the merged set.
+            e_after = 0.5 * cap * buffer.open_circuit_voltage ** 2
+            assert e_after <= e_before + 1e-12
+            rested = pre
+            active = buffer.config_id
+
+    @given(banks=bank_sets, v=rest_voltages)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_voltages_merge_losslessly(self, banks, v):
+        buffer = ReconfigurableBuffer(banks, tuple(sorted(banks)))
+        buffer.rest_all(v)
+        for name in sorted(banks):
+            buffer.configure((name,))
+            assert buffer.open_circuit_voltage == pytest_approx(v)
+        buffer.configure(tuple(sorted(banks)))
+        assert buffer.open_circuit_voltage == pytest_approx(v)
+
+
+class TestGroupComposition:
+
+    @given(banks=bank_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_esr_monotone_capacitance_additive(self, banks):
+        names = sorted(banks)
+        buffer = ReconfigurableBuffer(banks, (names[0],))
+        grown = []
+        for k in range(1, len(names) + 1):
+            buffer.configure(tuple(names[:k]))
+            grown.append((buffer.total_capacitance, buffer.r_esr))
+        for (c_small, r_small), (c_big, r_big) in zip(grown, grown[1:]):
+            assert c_big > c_small
+            assert r_big <= r_small + 1e-15
+        # The full group's capacitance is the bank sum plus decoupling.
+        expected = sum(b.capacitance for b in banks.values()) \
+            + buffer.c_decoupling
+        assert grown[-1][0] == pytest_approx(expected)
+
+
+class TestIsolationAndDeterminism:
+
+    @given(data=buffer_and_walk(),
+           loads=st.lists(st.floats(min_value=0.0, max_value=0.03),
+                          min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_parked_banks_are_isolated(self, data, loads):
+        banks, walk, v0 = data
+        buffer = ReconfigurableBuffer(banks, walk[-1])
+        buffer.rest_all(v0)
+        parked = [n for n in banks if n not in buffer.config_id]
+        before = {n: buffer._idle_voltage[n] for n in parked}
+        for i_load in loads:
+            buffer.step(i_load, 1e-3)
+        for name in parked:
+            assert buffer._idle_voltage[name] == before[name]
+        # And the energy they hold is still visible in stored_energy.
+        parked_e = sum(0.5 * banks[n].capacitance * before[n] ** 2
+                       for n in parked)
+        assert buffer.stored_energy >= parked_e - 1e-12
+
+    @given(data=buffer_and_walk())
+    @settings(max_examples=40, deadline=None)
+    def test_walks_are_bitwise_deterministic(self, data):
+        banks, walk, v0 = data
+        # Same physical banks, reversed dict insertion order: the sorted
+        # accumulation contract says iteration order must not leak into
+        # the floats.
+        reversed_banks = dict(reversed(list(banks.items())))
+        a = ReconfigurableBuffer(banks, (sorted(banks)[0],))
+        b = ReconfigurableBuffer(reversed_banks, (sorted(banks)[0],))
+        for buf in (a, b):
+            buf.rest_all(v0)
+        for config in walk:
+            a.configure(config)
+            b.configure(config)
+            assert a.terminal_voltage == b.terminal_voltage
+            assert a.open_circuit_voltage == b.open_circuit_voltage
+            assert a.total_capacitance == b.total_capacitance
+            assert a.r_esr == b.r_esr
+        assert a.config_key() == b.config_key()
+
+    @given(banks=bank_sets, v=rest_voltages,
+           cap_f=st.floats(min_value=0.5, max_value=0.95),
+           esr_f=st.floats(min_value=1.1, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_aged_scales_parts_and_preserves_charge_state(self, banks, v,
+                                                          cap_f, esr_f):
+        buffer = ReconfigurableBuffer(banks, tuple(sorted(banks)[:1]))
+        buffer.rest_all(v)
+        old = buffer.aged(cap_f, esr_f)
+        assert old.config_id == buffer.config_id
+        for name in banks:
+            assert old.bank(name).capacitance == \
+                pytest_approx(banks[name].capacitance * cap_f)
+            assert old.bank(name).esr == pytest_approx(banks[name].esr
+                                                       * esr_f)
+        assert old.open_circuit_voltage == \
+            pytest_approx(buffer.open_circuit_voltage)
+        for name in banks:
+            if name not in buffer.config_id:
+                assert old._idle_voltage[name] == \
+                    buffer._idle_voltage[name]
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-12)
+
+
+def test_module_self_check():
+    # The helpers above use floats heavily; keep a plain sanity anchor.
+    assert math.isclose(0.1 + 0.2, 0.3, rel_tol=1e-9)

@@ -26,12 +26,28 @@ from repro.sim.faults import FaultyAdc
 EXPECTED_NAMES = {
     "none", "harvester-dropout-storm", "esr-aging",
     "capacitance-degradation", "adc-dropout", "adc-stuck", "adc-noise",
-    "isr-timer-jitter",
+    "isr-timer-jitter", "bank-switch-stuck", "bank-redistribution-loss",
+    "bank-config-tag-mismatch",
 }
+BANK_NAMES = {"bank-switch-stuck", "bank-redistribution-loss",
+              "bank-config-tag-mismatch"}
 
 
 def make_system():
     return capybara_power_system(harvester=ConstantPowerHarvester(3e-3))
+
+
+def make_bank_system():
+    from repro.power.reconfigurable import (
+        ReconfigurableBuffer,
+        capybara_bank_set,
+    )
+    system = make_system()
+    system.buffer = ReconfigurableBuffer(capybara_bank_set(), ("large",))
+    system.datasheet_capacitance = None
+    system.rest_at(system.monitor.v_high)
+    system.buffer.rest_all(system.monitor.v_high)
+    return system
 
 
 class TestRegistry:
@@ -130,6 +146,71 @@ class TestEnvironmentFaults:
         CapacitanceDegradation().apply_to_system(
             system, np.random.default_rng(2))
         assert system.datasheet_capacitance == datasheet
+
+
+class TestBankFaults:
+    def test_bank_injectors_are_marked_bank_only(self):
+        from repro.resilience.injectors import INJECTORS
+        for name in BANK_NAMES:
+            assert INJECTORS[name].bank_only
+        for name in EXPECTED_NAMES - BANK_NAMES:
+            assert not INJECTORS[name].bank_only
+
+    def test_default_grid_excludes_bank_faults_unless_axis_on(self):
+        from repro.resilience.campaign import default_injector_dicts
+        plain = {d["injector"] for d in default_injector_dicts()}
+        with_bank = {d["injector"]
+                     for d in default_injector_dicts(include_bank=True)}
+        assert plain & BANK_NAMES == set()
+        assert BANK_NAMES <= with_bank
+        assert with_bank - BANK_NAMES == plain  # nothing else moved
+
+    def test_bank_faults_are_identity_on_fixed_buffers(self):
+        from repro.resilience.injectors import INJECTORS
+        for name in BANK_NAMES:
+            system = make_system()
+            before = system.buffer
+            INJECTORS[name]().apply_to_system(system,
+                                              np.random.default_rng(0))
+            assert system.buffer is before
+
+    def test_stuck_switch_freezes_configuration_and_tag(self):
+        from repro.resilience.injectors import BankSwitchStuck
+        system = make_bank_system()
+        BankSwitchStuck().apply_to_system(system, np.random.default_rng(0))
+        before_v = system.buffer.terminal_voltage
+        system.buffer.configure(("large", "small"))
+        assert system.buffer.config_id == frozenset({"large"})
+        assert system.buffer.terminal_voltage == before_v
+
+    def test_redistribution_loss_sags_the_rail_on_each_switch(self):
+        from repro.resilience.injectors import BankRedistributionLoss
+        system = make_bank_system()
+        BankRedistributionLoss(loss_min=0.05, loss_max=0.05) \
+            .apply_to_system(system, np.random.default_rng(0))
+        before = system.buffer.terminal_voltage
+        system.buffer.configure(("large", "small"))
+        # the switch actuated (tag is honest) but burned extra charge
+        assert system.buffer.config_id == frozenset({"large", "small"})
+        assert system.buffer.terminal_voltage < 0.96 * before
+
+    def test_stale_tag_lags_one_switch_behind(self):
+        from repro.resilience.injectors import BankConfigTagMismatch
+        system = make_bank_system()
+        BankConfigTagMismatch().apply_to_system(system,
+                                                np.random.default_rng(0))
+        system.buffer.configure(("large", "small"))
+        assert system.buffer.config_id == frozenset({"large"})  # the lag
+        system.buffer.configure(("small",))
+        assert system.buffer.config_id == frozenset({"large", "small"})
+
+    def test_faults_survive_the_harness_copy(self):
+        from repro.resilience.injectors import BankSwitchStuck
+        system = make_bank_system()
+        BankSwitchStuck().apply_to_system(system, np.random.default_rng(0))
+        duplicate = system.buffer.copy()
+        duplicate.configure(("large", "small"))
+        assert duplicate.config_id == frozenset({"large"})
 
 
 class FakeIsrRuntime:

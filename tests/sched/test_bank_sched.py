@@ -1,0 +1,265 @@
+"""Configuration-aware gating: composition rules and bank policy.
+
+DESIGN §16's contract, unit-by-unit: the canonical configuration tag,
+the transition guard band (zero when nothing switches, monotone in its
+inputs), the composed gate (never below the per-config V_safe, capped at
+V_high), and the AdaptiveBankScheduler policy — energy-based preference,
+feasibility-aware escalation, the §V-B V_high default on tag mismatch,
+and derate doubling with the pin-to-heavy fallback.
+"""
+
+import pytest
+
+from repro.loads.trace import CurrentTrace
+from repro.power.reconfigurable import (
+    ReconfigurableBuffer,
+    capybara_bank_set,
+)
+from repro.power.system import capybara_power_system
+from repro.sched.bank import (
+    AdaptiveBankScheduler,
+    build_config_gates,
+    compose_gate,
+    config_tag,
+    switch_penalty,
+)
+from repro.sched.task import Task
+
+V_OFF = 1.6
+V_HIGH = 2.56
+CONFIGS = {"small": ("small",), "large": ("large",),
+           "both": ("large", "small")}
+GATES = {"small": {"sense": 1.9, "crunch": 2.4},
+         "large": {"sense": 1.8, "crunch": 2.1},
+         "both": {"sense": 1.78, "crunch": 2.05}}
+ENERGY = {"sense": 1e-4, "crunch": 5e-3}
+
+
+def _task(name):
+    return Task(name, CurrentTrace.constant(0.004, 0.05))
+
+
+def _buffer(initial=("large", "small")):
+    buffer = ReconfigurableBuffer(capybara_bank_set(), initial)
+    buffer.rest_all(2.2)
+    return buffer
+
+
+def _sched(buffer=None, gates=GATES, **kw):
+    kw.setdefault("task_peaks", {"crunch": 0.03})
+    return AdaptiveBankScheduler(
+        buffer if buffer is not None else _buffer(),
+        CONFIGS, gates, ENERGY,
+        v_off=V_OFF, v_high=V_HIGH, energy_threshold=1e-3, **kw)
+
+
+class TestConfigTag:
+    def test_canonical_sorted_join(self):
+        assert config_tag(("b", "a")) == "a+b"
+        assert config_tag(["small"]) == "small"
+        assert config_tag(("large", "small")) == \
+            config_tag(("small", "large"))
+
+
+class TestSwitchPenalty:
+    def test_zero_when_nothing_switches(self):
+        assert switch_penalty(i_peak=0.0, switch_resistance=0.05,
+                              config_capacitance=45e-3,
+                              incoming_capacitance=0.0,
+                              v_window=1.0) == 0.0
+
+    def test_monotone_in_peak_and_incoming(self):
+        kw = dict(switch_resistance=0.05, config_capacitance=45e-3,
+                  v_window=1.0)
+        base = switch_penalty(i_peak=0.01, incoming_capacitance=10e-3,
+                              **kw)
+        assert switch_penalty(i_peak=0.02, incoming_capacitance=10e-3,
+                              **kw) > base
+        assert switch_penalty(i_peak=0.01, incoming_capacitance=20e-3,
+                              **kw) > base
+
+    def test_redistribution_term_bounded_by_window(self):
+        # C_in/(C_on+C_in) < 1, so the sag term never exceeds the window
+        penalty = switch_penalty(i_peak=0.0, switch_resistance=0.0,
+                                 config_capacitance=1e-3,
+                                 incoming_capacitance=1.0, v_window=0.9)
+        assert penalty < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            switch_penalty(i_peak=-1.0, switch_resistance=0.0,
+                           config_capacitance=1e-3,
+                           incoming_capacitance=0.0, v_window=0.0)
+        with pytest.raises(ValueError):
+            switch_penalty(i_peak=0.0, switch_resistance=0.0,
+                           config_capacitance=0.0,
+                           incoming_capacitance=0.0, v_window=0.0)
+
+
+class TestComposeGate:
+    def test_no_penalty_is_the_row_itself(self):
+        assert compose_gate(1.9, v_high=V_HIGH) == 1.9
+
+    def test_gate_never_below_the_row(self):
+        gate = compose_gate(1.9, v_high=V_HIGH, i_peak=0.03,
+                            switch_resistance=0.05,
+                            config_capacitance=45e-3,
+                            incoming_capacitance=11e-3, v_window=0.96)
+        assert gate > 1.9
+
+    def test_capped_at_v_high(self):
+        assert compose_gate(2.55, v_high=V_HIGH, i_peak=1.0,
+                            switch_resistance=1.0,
+                            config_capacitance=1e-3,
+                            incoming_capacitance=1e-3,
+                            v_window=1.0) == V_HIGH
+
+
+class TestConfigPolicy:
+    def test_cheap_task_prefers_reactive(self):
+        assert _sched().config_for("sense") == "small"
+
+    def test_heavy_task_prefers_large(self):
+        assert _sched().config_for("crunch") == "large"
+
+    def test_unknown_task_gets_the_biggest_bank(self):
+        # no table row can certify an unprofiled task (every lookup
+        # defaults to V_high), so escalation ends on the largest set
+        assert _sched().config_for("mystery") == "both"
+
+    def test_infeasible_row_escalates_by_capacitance(self):
+        gates = {"small": {"sense": V_HIGH}, "large": {"sense": 1.8},
+                 "both": {"sense": 1.78}}
+        # the reactive row cannot certify the task even from a full
+        # buffer; the next candidate is the biggest configuration
+        assert _sched(gates=gates).config_for("sense") == "both"
+
+    def test_nothing_feasible_falls_back_to_biggest(self):
+        gates = {name: {} for name in CONFIGS}  # all rows default V_high
+        assert _sched(gates=gates).config_for("sense") == "both"
+
+    def test_requires_reactive_and_heavy_configs(self):
+        with pytest.raises(ValueError):
+            AdaptiveBankScheduler(
+                _buffer(), {"only": ("small",)}, {"only": {}}, {},
+                v_off=V_OFF, v_high=V_HIGH, energy_threshold=1e-3)
+
+
+class TestGateComposition:
+    def test_shrinking_switch_pays_no_redistribution(self):
+        # both -> small drops a bank: nothing merges in, no peak given,
+        # so the gate is exactly the per-config row
+        sched = _sched(_buffer(("large", "small")))
+        gate = sched(_task("sense"))
+        assert gate == GATES["small"]["sense"]
+        assert sched.buffer.config_id == frozenset({"small"})
+        assert sched.switches == 1
+
+    def test_growing_switch_pays_the_guard_band(self):
+        sched = _sched(_buffer(("small",)))
+        gate = sched(_task("crunch"))  # small -> large merges a bank in
+        row = GATES["large"]["crunch"]
+        assert row < gate <= V_HIGH
+        assert sched.buffer.config_id == frozenset({"large"})
+
+    def test_steady_state_drops_the_redistribution_term(self):
+        sched = _sched(_buffer(("small",)))
+        first = sched(_task("crunch"))
+        second = sched(_task("crunch"))  # already in "large": no merge
+        assert sched.switches == 1
+        assert second < first
+        # the IR term (peak through the closed switch) still applies
+        assert second > GATES["large"]["crunch"]
+
+    def test_tag_mismatch_answers_v_high(self):
+        class StuckBuffer:
+            """Reports a configuration other than the one requested."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def configure(self, names):
+                return self._inner.configure(names)
+
+            @property
+            def config_id(self):
+                return frozenset({"small"})  # the lie
+
+            def bank(self, name):
+                return self._inner.bank(name)
+
+            @property
+            def total_capacitance(self):
+                return self._inner.total_capacitance
+
+            @property
+            def switch_resistance(self):
+                return self._inner.switch_resistance
+
+        sched = _sched(StuckBuffer(_buffer(("small",))))
+        gate = sched(_task("crunch"))  # asks for "large", hardware lies
+        assert gate == V_HIGH
+        assert sched.tag_mismatches == 1
+
+
+class TestDerateFallback:
+    def test_brownout_doubles_derate_and_raises_gate(self):
+        sched = _sched(_buffer(("small",)))
+        base = sched(_task("sense"))
+        sched.on_brownout(_task("sense"))
+        assert sched.derate["sense"] == sched.DERATE_INITIAL
+        assert sched(_task("sense")) == pytest.approx(
+            base + sched.DERATE_INITIAL)
+        sched.on_brownout(_task("sense"))
+        assert sched.derate["sense"] == 2 * sched.DERATE_INITIAL
+
+    def test_derate_caps_at_maximum(self):
+        sched = _sched()
+        for _ in range(12):
+            sched.on_brownout(_task("sense"))
+        assert sched.derate["sense"] == sched.DERATE_MAX
+
+    def test_repeated_brownouts_pin_to_heavy(self):
+        sched = _sched()
+        assert sched.config_for("sense") == "small"
+        sched.on_brownout(_task("sense"))
+        assert sched.config_for("sense") == "small"  # one strike only
+        sched.on_brownout(_task("sense"))
+        assert sched.config_for("sense") == "large"  # pinned
+        assert sched.pinned["sense"] == "large"
+
+    def test_success_halves_then_clears_derate(self):
+        sched = _sched()
+        sched.on_brownout(_task("sense"))
+        sched.on_success(_task("sense"))
+        assert sched.derate["sense"] == sched.DERATE_INITIAL / 2
+        for _ in range(8):
+            sched.on_success(_task("sense"))
+        assert "sense" not in sched.derate
+
+    def test_success_on_clean_task_is_a_no_op(self):
+        sched = _sched()
+        sched.on_success(_task("sense"))
+        assert sched.derate == {}
+
+
+class TestBuildConfigGates:
+    def test_every_row_derived_from_its_own_configuration(self):
+        from repro.verify.runner import build_estimator
+
+        system = capybara_power_system()
+        system.buffer = ReconfigurableBuffer(
+            capybara_bank_set(), ("large", "small"))
+        system.datasheet_capacitance = None
+        program = [_task("sense"), _task("crunch")]
+        gates, fallbacks = build_config_gates(
+            system, program, CONFIGS,
+            lambda sys, model: build_estimator("culpeo-pg", sys, model))
+        assert set(gates) == set(CONFIGS)
+        for name in CONFIGS:
+            assert set(gates[name]) == {"sense", "crunch"}
+            for row in gates[name].values():
+                assert V_OFF <= row <= V_HIGH
+        # different configurations, different electricals, different rows
+        assert gates["small"]["sense"] != gates["large"]["sense"]
+        assert set(fallbacks) == set(CONFIGS)

@@ -14,9 +14,11 @@ import pytest
 
 from repro import segalg
 from repro.env.spec import EnvSpec
+from repro.fleet.bank import advance_fleet_plan
 from repro.fleet.kernel import FleetRecorder, FleetState
-from repro.fleet.spec import FleetSpec
+from repro.fleet.spec import FleetBankSpec, FleetSpec
 from repro.loads.trace import CurrentTrace
+from repro.power.reconfig import ReconfigPlan, split_at_offsets
 from repro.segalg.model import Bank
 from repro.segalg.program import compile_segments
 from repro.segalg.vector import advance_fleet
@@ -24,7 +26,38 @@ from repro.sim.engine import PowerSystemSimulator
 
 V_OFF = 1.6
 DRAW = 0.020
+#: The repo's documented segalg-vs-stepping method tolerance (volts).
+V_METHOD_TOL = 5e-3
 WEAK = FleetSpec(devices=1, seed=0, harvest_power=0.1e-3)
+
+#: A two-bank set pinned to start in the lone large configuration, so
+#: every reconfiguration event below actually changes the rail.
+RECONFIG_BANK = FleetBankSpec(
+    banks=(("large", 33.75e-3, 2.5, 12e-9),
+           ("small", 11.25e-3, 7.5, 4e-9)),
+    configs=(("large",),))
+MERGE = ("large", "small")
+
+
+def _bank_spec(**overrides):
+    kw = dict(devices=1, seed=0, harvest_power=3e-3, bank=RECONFIG_BANK)
+    kw.update(overrides)
+    return FleetSpec(**kw)
+
+
+def _scalar_plan(spec, segments, plan, v0=2.2, fast=True,
+                 use_segalg=False):
+    system = spec.parameters().device_system(0, rest_at=v0)
+    sim = PowerSystemSimulator(system, fast=fast, segalg=use_segalg)
+    result = sim.run_trace(CurrentTrace(list(segments)),
+                           reconfig_plan=plan)
+    return system, result
+
+
+def _fleet_plan(spec, segments, plan, v0=2.2, engine="stepping"):
+    state = FleetState(spec.parameters(), v_start=v0)
+    return advance_fleet_plan(state, list(segments), plan, True, V_OFF,
+                              engine=engine)
 
 
 def _scalar(spec, segments, harvesting=True, stop_below=None, v0=2.2):
@@ -324,3 +357,214 @@ class TestEnvBreakpointOnTaskBoundary:
         state_b, _ = _fleet(spec, split)
         assert float(state_b.v_term[0]) == pytest.approx(
             float(state_a.v_term[0]), abs=5e-4)
+
+
+class TestReconfigOnBrownCrossing:
+    """A reconfiguration event within a hair of the brown-out crossing.
+
+    The documented semantics: a brown-out inside a sub-span cancels the
+    remaining events (a dead device does not switch banks), while an
+    event that fires first changes the plant — here merging in a charged
+    reserve bank, which postpones the crossing. Both orderings are
+    pinned just past the partition sensitivity on each side.
+    """
+
+    EPS = 4e-3
+
+    def _t_star(self, spec):
+        _sys, res = _scalar_plan(spec, [(DRAW, 30.0)], None)
+        assert res.browned_out and 0.0 < res.brown_out_time < 30.0
+        return res.brown_out_time
+
+    def test_switch_a_hair_after_the_crossing_never_fires(self):
+        spec = _bank_spec(harvest_power=0.1e-3)
+        t_star = self._t_star(spec)
+        plan = ReconfigPlan.build((t_star + self.EPS, MERGE))
+        system, res = _scalar_plan(spec, [(DRAW, 30.0)], plan)
+        assert res.browned_out
+        assert res.brown_out_time == pytest.approx(t_star, abs=self.EPS)
+        assert res.brown_out_time < t_star + self.EPS
+        # the dead device kept its configuration
+        assert system.buffer.config_id == frozenset({"large"})
+
+        state0 = FleetState(spec.parameters(), v_start=2.2)
+        c_before = state0.params.c_main.copy()
+        final, brown = advance_fleet_plan(state0, [(DRAW, 30.0)], plan,
+                                          True, V_OFF)
+        assert float(brown[0]) == pytest.approx(res.brown_out_time,
+                                                abs=1e-7)
+        assert not bool(final.alive[0])
+        assert np.array_equal(final.params.c_main, c_before)
+
+    def test_switch_a_hair_before_the_crossing_postpones_it(self):
+        spec = _bank_spec(harvest_power=0.1e-3)
+        t_star = self._t_star(spec)
+        plan = ReconfigPlan.build((t_star - self.EPS, MERGE))
+        system, res = _scalar_plan(spec, [(DRAW, 30.0)], plan)
+        # the merge fired: the charged small bank pulls the rail back up
+        assert system.buffer.config_id == frozenset(MERGE)
+        assert res.browned_out  # the reserve only buys time
+        assert res.brown_out_time > t_star + self.EPS
+
+        final, brown = _fleet_plan(spec, [(DRAW, 30.0)], plan)
+        assert float(brown[0]) == pytest.approx(res.brown_out_time,
+                                                abs=1e-7)
+
+        sys_alg, res_alg = _scalar_plan(spec, [(DRAW, 30.0)], plan,
+                                        fast=False, use_segalg=True)
+        assert sys_alg.buffer.config_id == frozenset(MERGE)
+        assert res_alg.browned_out
+        assert res_alg.brown_out_time == pytest.approx(
+            res.brown_out_time, abs=0.05)
+
+
+class TestReconfigOnTaskBoundary:
+    """An event landing exactly on a source-segment boundary.
+
+    The splitter's contract: an offset on a boundary needs no cut, and
+    every engine advances the identical spans. Physics must vary
+    continuously as the event crosses the boundary.
+    """
+
+    EPS = 4e-3
+    SEGMENTS = [(DRAW, 0.4), (0.0, 0.6)]
+
+    def test_boundary_event_needs_no_split(self):
+        spans = split_at_offsets(self.SEGMENTS, (0.4,))
+        assert spans[0] == [(DRAW, 0.4)]
+        assert spans[1] == [(0.0, 0.6)]
+
+    def _all_engines(self, plan):
+        spec = _bank_spec()
+        sys_fast, res_fast = _scalar_plan(spec, self.SEGMENTS, plan)
+        _sys, res_alg = _scalar_plan(spec, self.SEGMENTS, plan,
+                                     fast=False, use_segalg=True)
+        fleet_step, _ = _fleet_plan(spec, self.SEGMENTS, plan)
+        fleet_alg, _ = _fleet_plan(spec, self.SEGMENTS, plan,
+                                   engine="segalg")
+        return sys_fast, res_fast, res_alg, fleet_step, fleet_alg
+
+    def test_event_exactly_on_the_boundary(self):
+        plan = ReconfigPlan.build((0.4, MERGE))
+        sys_fast, res_fast, res_alg, fleet_step, fleet_alg = \
+            self._all_engines(plan)
+        assert not res_fast.browned_out
+        assert sys_fast.buffer.config_id == frozenset(MERGE)
+        assert float(fleet_step.v_term[0]) == pytest.approx(
+            res_fast.v_final, abs=1e-7)
+        assert res_alg.v_final == pytest.approx(res_fast.v_final,
+                                                abs=V_METHOD_TOL)
+        assert float(fleet_alg.v_term[0]) == pytest.approx(
+            res_alg.v_final, abs=1e-3)
+
+    def test_both_orderings_bracket_the_boundary(self):
+        finals = []
+        for t_e in (0.4 - self.EPS, 0.4, 0.4 + self.EPS):
+            plan = ReconfigPlan.build((t_e, MERGE))
+            _sys, res_fast, res_alg, fleet_step, _ = \
+                self._all_engines(plan)
+            assert float(fleet_step.v_term[0]) == pytest.approx(
+                res_fast.v_final, abs=1e-7)
+            assert res_alg.v_final == pytest.approx(res_fast.v_final,
+                                                    abs=V_METHOD_TOL)
+            finals.append(res_fast.v_final)
+        # moving the switch by 4 ms moves the endpoint by less
+        assert max(finals) - min(finals) < 0.02
+
+
+class TestReconfigOnEnvBreakpoint:
+    """An event landing on an environment power-step edge that is also
+    a task boundary — span horizon, segment commit, harvest step and
+    bank switch all at one float. Both orderings must stay in band."""
+
+    EPS = 4e-3
+
+    def _spec(self):
+        env = EnvSpec(model="diurnal-solar", duration=8.0, seed=3,
+                      peak_power=5e-3, period=8.0, daylight_fraction=1.0,
+                      cloud_rate=6.0, grid_dt=0.25)
+        return FleetSpec(devices=1, seed=0, esr_jitter=0.0,
+                         capacitance_jitter=0.0, harvest_jitter=0.0,
+                         eta_jitter=0.0, env=env, bank=RECONFIG_BANK)
+
+    def _boundary_with_power_step(self, params):
+        harvester = params.device_harvester(0)
+        edges, powers = harvester.edges, harvester.powers
+        for k in range(2, len(powers) - 4):
+            if powers[k - 1] != powers[k]:
+                return float(edges[k])
+        raise AssertionError("no interior power step found")
+
+    def test_switch_on_the_power_step_both_orderings(self):
+        spec = self._spec()
+        t_b = self._boundary_with_power_step(spec.parameters())
+        segments = [(0.012, t_b), (0.0, 1.0)]
+        for t_e in (t_b - self.EPS, t_b, t_b + self.EPS):
+            plan = ReconfigPlan.build((t_e, MERGE))
+            sys_fast, res_fast = _scalar_plan(spec, segments, plan)
+            _sys, res_alg = _scalar_plan(spec, segments, plan,
+                                         fast=False, use_segalg=True)
+            fleet_step, brown = _fleet_plan(spec, segments, plan)
+            fleet_alg, _ = _fleet_plan(spec, segments, plan,
+                                       engine="segalg")
+            assert not res_fast.browned_out
+            assert np.isnan(float(brown[0]))
+            assert sys_fast.buffer.config_id == frozenset(MERGE)
+            assert float(fleet_step.v_term[0]) == pytest.approx(
+                res_fast.v_final, abs=1e-7)
+            assert res_alg.v_final == pytest.approx(res_fast.v_final,
+                                                    abs=V_METHOD_TOL)
+            assert float(fleet_alg.v_term[0]) == pytest.approx(
+                res_alg.v_final, abs=1e-3)
+
+
+class TestReconfigOnRailArrival:
+    """An event landing on the V_high rail arrival.
+
+    Merging in a lower-rested bank pulls the pinned rail down (the dip
+    must show in ``v_min`` — the documented post-switch accounting) and
+    the pin regime then recovers. Both orderings: just before arrival
+    (still charging) and just after (pinned)."""
+
+    EPS = 4e-3
+
+    def _t_rail(self, spec, v0=2.2):
+        """(arrival time, pin level) — the pin overshoots nominal V_high
+        by the hysteresis sliver, so the level is measured, not assumed."""
+        def v_after(d):
+            _sys, res = _scalar_plan(spec, [(0.0, d)], None, v0=v0)
+            return res.v_final
+
+        lo_d, hi_d = 1e-3, 60.0
+        v_rail = v_after(hi_d)
+        assert v_rail > 2.5
+        assert v_after(lo_d) < v_rail - 1e-3
+        for _ in range(60):
+            mid = 0.5 * (lo_d + hi_d)
+            if v_after(mid) < v_rail - 1e-9:
+                lo_d = mid
+            else:
+                hi_d = mid
+        return hi_d, v_rail
+
+    def test_merge_on_the_rail_both_orderings(self):
+        spec = _bank_spec(harvest_power=6e-3)
+        t_rail, v_rail = self._t_rail(spec)
+        segments = [(0.0, t_rail), (0.0, 1.0)]
+        finals = []
+        for t_e in (t_rail - self.EPS, t_rail, t_rail + self.EPS):
+            plan = ReconfigPlan.build((t_e, MERGE))
+            sys_fast, res_fast = _scalar_plan(spec, segments, plan)
+            fleet_step, brown = _fleet_plan(spec, segments, plan)
+            assert not res_fast.browned_out
+            assert np.isnan(float(brown[0]))
+            assert sys_fast.buffer.config_id == frozenset(MERGE)
+            # the merge dip off the rail is visible to v_min accounting
+            assert V_OFF < res_fast.v_min < v_rail - 0.02
+            # near the pin the engines differ by the hysteresis sliver
+            # (the scalar pin overshoots nominal V_high by ~3e-4 V), so
+            # the stepping comparison is banded, not bitwise, here
+            assert float(fleet_step.v_term[0]) == pytest.approx(
+                res_fast.v_final, abs=1e-3)
+            finals.append(res_fast.v_final)
+        assert max(finals) - min(finals) < 0.02

@@ -6,7 +6,9 @@ import pytest
 from repro.verify.generators import (
     _MIN_SEGMENT_WIDTH,
     SystemSpec,
+    bank_rng,
     env_rng,
+    random_bank_scenario,
     random_env_spec,
     random_system_spec,
     random_trace,
@@ -81,6 +83,80 @@ class TestRandomSystemSpec:
         for index in (0, 5, 9):
             spec = random_system_spec(trial_rng(5, index))
             assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_reconfigurable_specs_stay_in_the_fixed_regime(self):
+        """The regression the generator branch fixed: reconfigurable
+        draws must come from the same bounded electrical regime as fixed
+        buffers — rails inside the ADC reference, bank parts inside the
+        documented ranges, a canonical (sorted, non-empty) active set."""
+        seen = 0
+        for index in range(200):
+            spec = random_system_spec(trial_rng(8, index))
+            if spec.kind != "reconfigurable":
+                continue
+            seen += 1
+            assert spec.v_off < spec.v_high <= 2.56
+            assert 2 <= len(spec.banks) <= 3
+            for name, capacitance, esr in spec.banks:
+                assert 5e-3 <= capacitance <= 40e-3
+                assert 1.0 <= esr <= 6.0
+            assert spec.active
+            assert spec.active == tuple(sorted(set(spec.active)))
+            assert set(spec.active) <= {n for n, _, _ in spec.banks}
+            assert 0.0 <= spec.switch_resistance <= 0.2
+            # And the spec is actually simulable end to end.
+            if seen <= 3:
+                model = spec.build().characterize()
+                assert model.capacitance > 0
+        assert seen >= 20  # ~1/4 odds per draw
+
+
+class TestRandomBankScenario:
+    def test_deterministic_per_trial(self):
+        spec = random_system_spec(trial_rng(0, 2))
+        a = random_bank_scenario(bank_rng(0, 2), spec)
+        b = random_bank_scenario(bank_rng(0, 2), spec)
+        assert a == b
+
+    def test_bank_stream_is_independent_of_trial_stream(self):
+        assert bank_rng(9, 2).random(4).tolist() \
+            != trial_rng(9, 2).random(4).tolist()
+
+    def test_live_config_is_strict_subset_of_stale(self):
+        for index in range(20):
+            spec = random_system_spec(trial_rng(1, index))
+            live, stale = random_bank_scenario(bank_rng(1, index), spec)
+            assert live.kind == "reconfigurable"
+            names = sorted(n for n, _, _ in live.banks)
+            assert tuple(stale) == tuple(names)
+            assert set(live.active) < set(stale)
+            assert live.active  # never empty
+
+    def test_fixed_specs_convert_without_touching_their_draws(self):
+        for index in range(40):
+            spec = random_system_spec(trial_rng(2, index))
+            if spec.kind != "fixed":
+                continue
+            live, _stale = random_bank_scenario(bank_rng(2, index), spec)
+            assert live.kind == "reconfigurable"
+            # the electrical draws the trial already made are untouched
+            assert live.v_off == spec.v_off
+            assert live.v_high == spec.v_high
+            assert live.eta_base == spec.eta_base
+            assert live.c_decoupling == spec.c_decoupling
+            break
+        else:  # pragma: no cover
+            pytest.fail("no fixed spec in 40 draws")
+
+    def test_stale_and_live_specs_both_build(self):
+        import dataclasses
+        spec = random_system_spec(trial_rng(3, 0))
+        live, stale = random_bank_scenario(bank_rng(3, 0), spec)
+        live_model = live.build().characterize()
+        stale_model = dataclasses.replace(
+            live, active=tuple(stale)).build().characterize()
+        # the stale table always claims at least the live capacitance
+        assert stale_model.capacitance > live_model.capacitance
 
 
 class TestRandomTrace:
